@@ -1,0 +1,351 @@
+//! Shared-bus simulations (§6).
+//!
+//! The bus is a word-serial resource shared by all processors; concurrent
+//! transfers interleave, which is exactly a processor-sharing queue. The
+//! paper's `c + b·P` effective per-word delay is therefore *emergent* here:
+//! a batch of `W` words is `W·b` of bus work (completing at `W·b·P` under
+//! `P`-way sharing) plus `W·c` of local per-word overhead.
+//!
+//! Both machines run on **one** coupled [`PsQueue`] timeline, so a write
+//! posted by an early finisher steals bandwidth from reads still in
+//! flight — the cross-phase contention a pair of independent
+//! processor-sharing rounds would miss. [`SyncBusSim`]: read → compute →
+//! write per processor. [`AsyncBusSim`]: computation ordered
+//! boundary-first with writes *posted* as soon as the boundary ring is
+//! updated; the iteration ends when both the compute and the drained
+//! backlog are done (§6.2's `t_read + max(E·A·Tfp, b·B_total)`).
+
+use crate::iteration::{CycleReport, IterationSpec};
+use parspeed_core::BusParams;
+use parspeed_desim::PsQueue;
+
+/// Synchronous shared-bus simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncBusSim {
+    bus: BusParams,
+    tfp: f64,
+}
+
+/// Asynchronous (posted-write) shared-bus simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncBusSim {
+    bus: BusParams,
+    tfp: f64,
+}
+
+/// Read-round completion times in isolation (no write interference) —
+/// the baseline the tests compare the coupled timeline against.
+#[cfg(test)]
+fn read_completions(spec: &IterationSpec, bus: &BusParams) -> Vec<f64> {
+    use parspeed_desim::{processor_sharing, PsArrival};
+    let p = spec.processors();
+    let arrivals: Vec<PsArrival> = (0..p)
+        .map(|i| PsArrival { at: 0.0, work: spec.plan.words_into(i) as f64 * bus.b })
+        .collect();
+    let ps = processor_sharing(&arrivals);
+    (0..p)
+        .map(|i| ps[i] + spec.plan.words_into(i) as f64 * bus.c)
+        .collect()
+}
+
+impl SyncBusSim {
+    /// Builds the simulator from machine constants.
+    pub fn new(m: &parspeed_core::MachineParams) -> Self {
+        Self { bus: m.bus, tfp: m.tfp }
+    }
+
+    /// Builds the simulator with explicit constants.
+    pub fn with(tfp: f64, bus: BusParams) -> Self {
+        Self { bus, tfp }
+    }
+
+    /// Simulates one iteration: read round, compute, write round, all on
+    /// one coupled processor-sharing timeline — a write posted by an early
+    /// finisher slows reads still in flight, exactly as on a real bus.
+    pub fn simulate(&self, spec: &IterationSpec) -> CycleReport {
+        let p = spec.processors();
+        let mut q = PsQueue::new();
+        // Reads are jobs 0..p in processor order.
+        for i in 0..p {
+            q.offer(0.0, spec.plan.words_into(i) as f64 * self.bus.b);
+        }
+        let mut write_owner: Vec<usize> = Vec::with_capacity(p); // job id p+k -> processor
+        let mut finish = vec![0.0f64; p];
+        while let Some((job, t)) = q.next_completion() {
+            if job < p {
+                let i = job;
+                let read_done = t + spec.plan.words_into(i) as f64 * self.bus.c;
+                let compute_done = read_done + spec.compute_time(i, self.tfp);
+                q.offer(compute_done, spec.plan.words_from(i) as f64 * self.bus.b);
+                write_owner.push(i);
+                finish[i] = compute_done; // until the write lands
+            } else {
+                let i = write_owner[job - p];
+                finish[i] = t + spec.plan.words_from(i) as f64 * self.bus.c;
+            }
+        }
+        CycleReport::from_finishes(finish, spec.max_compute(self.tfp))
+    }
+}
+
+impl AsyncBusSim {
+    /// Builds the simulator from machine constants.
+    pub fn new(m: &parspeed_core::MachineParams) -> Self {
+        Self { bus: m.bus, tfp: m.tfp }
+    }
+
+    /// Builds the simulator with explicit constants.
+    pub fn with(tfp: f64, bus: BusParams) -> Self {
+        Self { bus, tfp }
+    }
+
+    /// Simulates one iteration on one coupled timeline: reads share the
+    /// bus; each partition updates its boundary ring first and posts the
+    /// write batch the moment it exists, draining under computation (and
+    /// under later partitions' reads — posted writes steal bus bandwidth
+    /// from reads still in flight, as on the real machine).
+    pub fn simulate(&self, spec: &IterationSpec) -> CycleReport {
+        let p = spec.processors();
+        let mut q = PsQueue::new();
+        for i in 0..p {
+            q.offer(0.0, spec.plan.words_into(i) as f64 * self.bus.b);
+        }
+        let mut write_owner: Vec<usize> = Vec::with_capacity(p);
+        let mut finish = vec![0.0f64; p];
+        while let Some((job, t)) = q.next_completion() {
+            if job < p {
+                let i = job;
+                let read_done = t + spec.plan.words_into(i) as f64 * self.bus.c;
+                // Boundary ring first; the batch is posted when it exists.
+                let post_at =
+                    read_done + spec.e_flops * spec.plan.words_from(i) as f64 * self.tfp;
+                q.offer(post_at, spec.plan.words_from(i) as f64 * self.bus.b);
+                write_owner.push(i);
+                finish[i] = read_done + spec.compute_time(i, self.tfp);
+            } else {
+                let i = write_owner[job - p];
+                finish[i] = finish[i].max(t);
+            }
+        }
+        CycleReport::from_finishes(finish, spec.max_compute(self.tfp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_core::{ArchModel, MachineParams, SyncBus, Workload};
+    use parspeed_grid::{Decomposition, RectDecomposition, StripDecomposition};
+    use parspeed_stencil::{PartitionShape, Stencil};
+
+    fn machine() -> MachineParams {
+        MachineParams::paper_defaults()
+    }
+
+    #[test]
+    fn sync_strips_reproduce_equation_2_up_to_boundary_deficit() {
+        // Equal strips: eq. (2) charges *every* partition the interior
+        // volume 4nk, but the two domain-edge strips move half that, so the
+        // simulated bus load is lighter by exactly 1/P of the transfer
+        // term. The gap must be bounded by that deficit and vanish as P
+        // grows.
+        let m = machine().with_bus_overhead(0.3e-6);
+        let sim = SyncBusSim::new(&m);
+        let n = 128usize;
+        let mut errs = Vec::new();
+        for p in [4usize, 8, 16, 32] {
+            let d = StripDecomposition::new(n, p);
+            let spec = IterationSpec::new(&d, &Stencil::five_point());
+            let r = sim.simulate(&spec);
+            let bus = SyncBus::new(&m);
+            let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
+            let model = bus.cycle_time(&w, (n * n) as f64 / p as f64);
+            let rel = (r.cycle_time - model).abs() / model;
+            assert!(
+                rel < 1.3 / p as f64 + 0.02,
+                "P={p}: sim {} vs model {model} ({rel})",
+                r.cycle_time
+            );
+            assert!(r.cycle_time <= model * 1.001, "sim must not exceed eq. (2)");
+            errs.push(rel);
+        }
+        assert!(errs[3] < errs[0], "deficit must shrink with P: {errs:?}");
+    }
+
+    #[test]
+    fn sync_squares_track_the_model_up_to_edge_blocks() {
+        // q×q blocks: the 4q domain-edge blocks miss one or two sides, a
+        // 1/q = 1/√P deficit against the all-interior model.
+        let m = machine();
+        let sim = SyncBusSim::new(&m);
+        let bus = SyncBus::new(&m);
+        let w = Workload::new(256, &Stencil::five_point(), PartitionShape::Square);
+        let mut errs = Vec::new();
+        for q in [4usize, 8, 16] {
+            let d = RectDecomposition::new(256, q, q);
+            let spec = IterationSpec::new(&d, &Stencil::five_point());
+            let r = sim.simulate(&spec);
+            let model = bus.cycle_time(&w, (256.0 * 256.0) / (q * q) as f64);
+            let rel = (r.cycle_time - model).abs() / model;
+            assert!(
+                rel < 2.2 / q as f64 + 0.02,
+                "q={q}: sim {} vs model {model} ({rel})",
+                r.cycle_time
+            );
+            errs.push(rel);
+        }
+        assert!(errs[2] < errs[0], "deficit must shrink with √P: {errs:?}");
+    }
+
+    #[test]
+    fn emergent_contention_matches_b_times_p() {
+        // P equal batches sharing the bus: each read completes at
+        // W·(c + b·P) — the paper's contention model, emerging from PS.
+        let m = machine().with_bus_overhead(0.2e-6);
+        let n = 64usize;
+        let p = 8usize;
+        let d = StripDecomposition::new(n, p);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let reads = read_completions(&spec, &m.bus);
+        // Interior strips read 2nk words; with mixed batch sizes PS lets
+        // small batches out earlier, but the *last* interior finisher sees
+        // the full serialized load: total work / bus rate + local overhead.
+        let total_words: usize = (0..p).map(|i| spec.plan.words_into(i)).sum();
+        let last = reads.iter().cloned().fold(0.0, f64::max);
+        let expect = total_words as f64 * m.bus.b + 2.0 * n as f64 * m.bus.c;
+        assert!((last - expect).abs() / expect < 1e-9, "last {last} vs {expect}");
+    }
+
+    #[test]
+    fn async_beats_sync_cycle_for_same_decomposition() {
+        let m = machine();
+        for p in [4usize, 8, 16, 32] {
+            let d = StripDecomposition::new(256, p);
+            let spec = IterationSpec::new(&d, &Stencil::five_point());
+            let sync = SyncBusSim::new(&m).simulate(&spec);
+            let async_ = AsyncBusSim::new(&m).simulate(&spec);
+            assert!(
+                async_.cycle_time <= sync.cycle_time * (1.0 + 1e-12),
+                "P={p}: async {} > sync {}",
+                async_.cycle_time,
+                sync.cycle_time
+            );
+        }
+    }
+
+    #[test]
+    fn async_hides_writes_when_compute_dominates() {
+        // Few processors ⇒ big partitions ⇒ compute ≫ backlog: the async
+        // cycle should be read + compute, with writes fully hidden.
+        let m = machine();
+        let d = StripDecomposition::new(256, 2);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r = AsyncBusSim::new(&m).simulate(&spec);
+        let reads = read_completions(&spec, &m.bus);
+        let expect = (0..2)
+            .map(|i| reads[i] + spec.compute_time(i, m.tfp))
+            .fold(0.0, f64::max);
+        assert!((r.cycle_time - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn async_pays_backlog_when_communication_dominates() {
+        // Many processors ⇒ tiny partitions ⇒ the bus is the bottleneck and
+        // the cycle exceeds read + compute.
+        let m = machine();
+        let d = StripDecomposition::new(256, 128);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r = AsyncBusSim::new(&m).simulate(&spec);
+        let reads = read_completions(&spec, &m.bus);
+        let compute_only = (0..128)
+            .map(|i| reads[i] + spec.compute_time(i, m.tfp))
+            .fold(0.0, f64::max);
+        assert!(r.cycle_time > compute_only * 1.2, "backlog should dominate");
+    }
+
+    #[test]
+    fn async_matches_section_62_formula() {
+        // Equal strips near the model optimum: compare against
+        // t_read + max(E·A·Tfp, 2n³bk/A). The sim posts writes after the
+        // boundary ring updates, a small O(E·2nk·Tfp) shift.
+        let m = machine();
+        let n = 256usize;
+        let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
+        let bus = parspeed_core::AsyncBus::new(&m);
+        let a_star = bus.optimal_area(&w);
+        let p = ((n * n) as f64 / a_star).round().clamp(2.0, n as f64) as usize;
+        let d = StripDecomposition::new(n, p);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r = AsyncBusSim::new(&m).simulate(&spec);
+        let model = bus.cycle_time(&w, (n * n) as f64 / p as f64);
+        let rel = (r.cycle_time - model).abs() / model;
+        assert!(rel < 0.05, "sim {} vs model {model} ({rel})", r.cycle_time);
+    }
+
+    #[test]
+    fn single_partition_pays_nothing() {
+        let m = machine();
+        let d = StripDecomposition::new(64, 1);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        for r in [SyncBusSim::new(&m).simulate(&spec), AsyncBusSim::new(&m).simulate(&spec)] {
+            assert_eq!(r.cycle_time, spec.max_compute(m.tfp));
+        }
+    }
+
+    #[test]
+    fn overhead_c_is_local_not_bus_work() {
+        // Doubling c must not slow other processors' bus service: the PS
+        // makespan component is unchanged.
+        let base = machine().with_bus_overhead(0.0);
+        let heavy = machine().with_bus_overhead(1.0e-5);
+        let d = StripDecomposition::new(128, 8);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r0 = SyncBusSim::new(&base).simulate(&spec);
+        let r1 = SyncBusSim::new(&heavy).simulate(&spec);
+        let delta = r1.cycle_time - r0.cycle_time;
+        // The last finisher reads 2nk and writes 2nk words: 4nk·c extra.
+        let expect = 4.0 * 128.0 * 1.0e-5;
+        assert!((delta - expect).abs() / expect < 0.05, "delta {delta} vs {expect}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let m = machine();
+        let d = RectDecomposition::new(64, 2, 4);
+        let spec = IterationSpec::new(&d, &Stencil::nine_point_box());
+        assert_eq!(SyncBusSim::new(&m).simulate(&spec), SyncBusSim::new(&m).simulate(&spec));
+        assert_eq!(AsyncBusSim::new(&m).simulate(&spec), AsyncBusSim::new(&m).simulate(&spec));
+    }
+
+    #[test]
+    fn more_processors_eventually_hurt_on_the_bus() {
+        // The §6 headline: contention makes adding processors
+        // counterproductive past the optimum.
+        let m = machine();
+        let n = 128usize;
+        let cycles: Vec<f64> = [2usize, 4, 8, 16, 32, 64, 128]
+            .iter()
+            .map(|&p| {
+                let d = StripDecomposition::new(n, p);
+                let spec = IterationSpec::new(&d, &Stencil::five_point());
+                SyncBusSim::new(&m).simulate(&spec).cycle_time
+            })
+            .collect();
+        let min_at = cycles
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(min_at < cycles.len() - 1, "no interior optimum found: {cycles:?}");
+        assert!(cycles.last().unwrap() > &cycles[min_at]);
+    }
+
+    #[test]
+    fn domain_cover_sanity() {
+        let d = StripDecomposition::new(64, 8);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        assert_eq!(spec.regions.iter().map(|r| r.area()).sum::<usize>(), 64 * 64);
+        assert_eq!(spec.processors(), d.count());
+    }
+}

@@ -1,0 +1,292 @@
+//! Partition-to-node embeddings for the hypercube (§4).
+//!
+//! The paper's hypercube analysis rests on one sentence: "the hypercube's
+//! rich communication topology allows the mapping of adjacent strips (or
+//! square) partitions onto processors in such a way that logically adjacent
+//! partitions are mapped onto physically adjacent processors (at least with
+//! stencils having no diagonals)." This module builds those mappings and
+//! verifies both the claim and its parenthetical caveat:
+//!
+//! * [`HypercubeEmbedding::strip_chain`] — the binary reflected Gray code
+//!   maps the strip chain with **dilation 1** (every pair of consecutive
+//!   strips lands on nodes differing in one bit), for *any* partition
+//!   count, power of two or not: a Gray path's prefix is still a path.
+//! * [`HypercubeEmbedding::grid`] — the product of two Gray codes maps a
+//!   `pr×pc` grid of rectangles with dilation 1 on axis neighbours. The
+//!   caveat is real and measurable: **diagonal** partners (9-point box
+//!   corner exchanges) differ in one row bit *and* one column bit —
+//!   dilation exactly 2.
+//! * [`HypercubeEmbedding::identity`] and [`HypercubeEmbedding::random`] —
+//!   the baselines that show the Gray code is doing work: binary counting
+//!   order flips `O(log P)` bits across ripple-carry boundaries, and a
+//!   random placement dilates to about half the cube dimension.
+//!
+//! [`crate::NeighborExchangeSim::simulate_embedded`] charges each exchange
+//! its hop count under an embedding (store-and-forward latency; contention
+//! at intermediate nodes is not modelled), which quantifies what the
+//! paper's mapping assumption is worth in cycle time.
+
+use crate::iteration::IterationSpec;
+
+/// The binary reflected Gray code of `i`.
+pub fn gray(i: u64) -> u64 {
+    i ^ (i >> 1)
+}
+
+/// The inverse of [`gray`]: the rank of a Gray codeword.
+pub fn gray_rank(mut g: u64) -> u64 {
+    let mut r = 0u64;
+    while g != 0 {
+        r ^= g;
+        g >>= 1;
+    }
+    r
+}
+
+/// Hamming distance between two node labels — the hypercube hop count.
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// An assignment of partitions to hypercube node labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HypercubeEmbedding {
+    dims: u32,
+    node_of: Vec<u64>,
+}
+
+impl HypercubeEmbedding {
+    /// Smallest cube dimension holding `p` nodes.
+    fn dims_for(p: usize) -> u32 {
+        assert!(p > 0, "empty embedding");
+        (usize::BITS - (p - 1).leading_zeros()).max(0)
+    }
+
+    /// Builds an embedding from explicit labels (must be distinct and fit
+    /// the smallest cube holding them).
+    pub fn from_labels(node_of: Vec<u64>) -> Self {
+        assert!(!node_of.is_empty(), "empty embedding");
+        let mut seen = node_of.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), node_of.len(), "node labels must be distinct");
+        let max = *node_of.iter().max().expect("non-empty");
+        let dims = if max == 0 { 0 } else { 64 - max.leading_zeros() };
+        Self { dims, node_of }
+    }
+
+    /// Gray-code embedding of a chain of `p` strip partitions:
+    /// partition `i` lands on node `gray(i)`. Dilation 1 for any `p`.
+    pub fn strip_chain(p: usize) -> Self {
+        let dims = Self::dims_for(p);
+        Self { dims, node_of: (0..p as u64).map(gray).collect() }
+    }
+
+    /// Gray×Gray embedding of a `pr×pc` grid of rectangles (row-major
+    /// partition indices): row bits and column bits are separate Gray
+    /// codes, so axis neighbours are dilation 1 and diagonal partners are
+    /// dilation 2.
+    pub fn grid(pr: usize, pc: usize) -> Self {
+        let bits_r = Self::dims_for(pr);
+        let bits_c = Self::dims_for(pc);
+        let node_of = (0..pr as u64)
+            .flat_map(|r| (0..pc as u64).map(move |c| (gray(r) << bits_c) | gray(c)))
+            .collect();
+        Self { dims: bits_r + bits_c, node_of }
+    }
+
+    /// The naive baseline: partition `i` on node `i` (binary counting
+    /// order). Ripple carries make consecutive indices far apart.
+    pub fn identity(p: usize) -> Self {
+        Self { dims: Self::dims_for(p), node_of: (0..p as u64).collect() }
+    }
+
+    /// A seeded random placement (Fisher–Yates over the smallest cube,
+    /// splitmix64 stream): the no-structure baseline.
+    pub fn random(p: usize, seed: u64) -> Self {
+        let dims = Self::dims_for(p);
+        let size = 1usize << dims;
+        let mut labels: Vec<u64> = (0..size as u64).collect();
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..size).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            labels.swap(i, j);
+        }
+        labels.truncate(p);
+        Self { dims, node_of: labels }
+    }
+
+    /// Cube dimension (the machine has `2^dims` nodes).
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Number of embedded partitions.
+    pub fn len(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// True when the embedding holds no partitions (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.node_of.is_empty()
+    }
+
+    /// Node label of partition `i`.
+    pub fn node(&self, i: usize) -> u64 {
+        self.node_of[i]
+    }
+
+    /// Hop count between two partitions' nodes.
+    pub fn hops(&self, a: usize, b: usize) -> u32 {
+        hamming(self.node_of[a], self.node_of[b])
+    }
+
+    /// Maximum hop count over the communicating pairs of `spec` — the
+    /// embedding's dilation for that workload.
+    pub fn dilation(&self, spec: &IterationSpec) -> u32 {
+        self.pairs(spec).into_iter().map(|(a, b)| self.hops(a, b)).max().unwrap_or(0)
+    }
+
+    /// Mean hop count over communicating pairs.
+    pub fn mean_hops(&self, spec: &IterationSpec) -> f64 {
+        let pairs = self.pairs(spec);
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        pairs.iter().map(|&(a, b)| self.hops(a, b) as f64).sum::<f64>() / pairs.len() as f64
+    }
+
+    /// The distinct communicating pairs of `spec`, `(min, max)`-ordered.
+    fn pairs(&self, spec: &IterationSpec) -> Vec<(usize, usize)> {
+        let mut v: Vec<(usize, usize)> = spec
+            .plan
+            .copies()
+            .iter()
+            .map(|c| (c.src.min(c.dst), c.src.max(c.dst)))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_grid::{RectDecomposition, StripDecomposition};
+    use parspeed_stencil::Stencil;
+
+    #[test]
+    fn gray_roundtrip_and_adjacency() {
+        for i in 0..4096u64 {
+            assert_eq!(gray_rank(gray(i)), i);
+            if i > 0 {
+                assert_eq!(hamming(gray(i), gray(i - 1)), 1, "at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn strip_chain_has_dilation_one_for_any_count() {
+        // Including the non-power-of-two counts other authors dodge ([7]).
+        for p in [2usize, 3, 5, 7, 8, 12, 17, 31, 33] {
+            let emb = HypercubeEmbedding::strip_chain(p);
+            let d = StripDecomposition::new(64.max(p), p);
+            let spec = IterationSpec::new(&d, &Stencil::five_point());
+            assert_eq!(emb.dilation(&spec), 1, "p={p}");
+        }
+    }
+
+    #[test]
+    fn grid_embedding_axis_neighbours_are_adjacent() {
+        for (pr, pc) in [(2usize, 2usize), (3, 4), (4, 4), (5, 3), (8, 8)] {
+            let n = 48usize;
+            if n % pc != 0 {
+                continue;
+            }
+            let emb = HypercubeEmbedding::grid(pr, pc);
+            let d = RectDecomposition::new(n, pr, pc);
+            let spec = IterationSpec::new(&d, &Stencil::five_point());
+            assert_eq!(emb.dilation(&spec), 1, "{pr}×{pc}");
+        }
+    }
+
+    #[test]
+    fn diagonal_stencils_dilate_to_exactly_two() {
+        // The paper's parenthetical: "(at least with stencils having no
+        // diagonals)". Corner exchanges cross one row bit and one column
+        // bit.
+        let emb = HypercubeEmbedding::grid(4, 4);
+        let d = RectDecomposition::new(48, 4, 4);
+        let spec = IterationSpec::new(&d, &Stencil::nine_point_box());
+        assert_eq!(emb.dilation(&spec), 2);
+        // Still 1 on average-dominated axis traffic.
+        assert!(emb.mean_hops(&spec) < 2.0);
+        assert!(emb.mean_hops(&spec) > 1.0);
+    }
+
+    #[test]
+    fn identity_embedding_suffers_ripple_carry() {
+        // Strips 3↔4 are 011↔100: three bit flips.
+        let emb = HypercubeEmbedding::identity(8);
+        let d = StripDecomposition::new(64, 8);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        assert!(emb.dilation(&spec) >= 3);
+    }
+
+    #[test]
+    fn random_embedding_is_worse_than_gray_on_average() {
+        let p = 32usize;
+        let d = StripDecomposition::new(64, p);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let gray_emb = HypercubeEmbedding::strip_chain(p);
+        let rnd = HypercubeEmbedding::random(p, 0xDECAF);
+        assert!(rnd.mean_hops(&spec) > gray_emb.mean_hops(&spec));
+        assert_eq!(gray_emb.mean_hops(&spec), 1.0);
+    }
+
+    #[test]
+    fn dims_are_minimal() {
+        assert_eq!(HypercubeEmbedding::strip_chain(1).dims(), 0);
+        assert_eq!(HypercubeEmbedding::strip_chain(2).dims(), 1);
+        assert_eq!(HypercubeEmbedding::strip_chain(5).dims(), 3);
+        assert_eq!(HypercubeEmbedding::strip_chain(8).dims(), 3);
+        assert_eq!(HypercubeEmbedding::strip_chain(9).dims(), 4);
+        assert_eq!(HypercubeEmbedding::grid(3, 5).dims(), 2 + 3);
+    }
+
+    #[test]
+    fn random_labels_are_distinct_and_seeded() {
+        let a = HypercubeEmbedding::random(20, 7);
+        let b = HypercubeEmbedding::random(20, 7);
+        let c = HypercubeEmbedding::random(20, 8);
+        assert_eq!(a, b, "same seed must replay");
+        assert_ne!(a, c, "different seeds should differ");
+        let mut labels: Vec<u64> = (0..20).map(|i| a.node(i)).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 20);
+    }
+
+    #[test]
+    fn from_labels_validates() {
+        let e = HypercubeEmbedding::from_labels(vec![0, 3, 1]);
+        assert_eq!(e.dims(), 2);
+        assert_eq!(e.hops(0, 1), 2);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_duplicate_labels() {
+        let _ = HypercubeEmbedding::from_labels(vec![1, 1]);
+    }
+}

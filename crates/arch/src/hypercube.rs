@@ -1,0 +1,354 @@
+//! Nearest-neighbour message-passing simulation (hypercube §4, mesh §5).
+//!
+//! Both machines map logically adjacent partitions onto physically adjacent
+//! processors (Gray-code / subcube embeddings on the cube, native adjacency
+//! on the mesh), so one simulator serves both: processors compute, then
+//! perform pairwise *rendezvous exchanges* with each neighbour — a send and
+//! a receive serialized through the node's single half-duplex port, costing
+//! `msg(V) = ⌈V/ps⌉·α + β` each way.
+//!
+//! Exchanges are scheduled by a proper edge colouring of the partner graph
+//! (the classical BSP schedule: strips alternate odd/even boundaries, grids
+//! do N/S then E/W), executed event-by-event so load imbalance and port
+//! waiting emerge naturally rather than being assumed away.
+
+use crate::iteration::{CycleReport, IterationSpec};
+use crate::message::{merge_messages, message_cost};
+use parspeed_core::HypercubeParams;
+use parspeed_desim::{run, Scheduler, Time, World};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Simulator for hypercube- and mesh-class machines.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborExchangeSim {
+    params: HypercubeParams,
+    tfp: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    ComputeDone(usize),
+    ExchangeDone(usize),
+}
+
+struct ExchangeWorld {
+    endpoints: Vec<(usize, usize)>,
+    duration: Vec<f64>,
+    pending: Vec<VecDeque<usize>>,
+    busy: Vec<bool>,
+    finish: Vec<f64>,
+}
+
+impl ExchangeWorld {
+    fn try_start(&mut self, i: usize, sched: &mut Scheduler<Ev>) {
+        if self.busy[i] {
+            return;
+        }
+        let Some(&e) = self.pending[i].front() else {
+            self.finish[i] = self.finish[i].max(sched.now().as_secs());
+            return;
+        };
+        let (a, b) = self.endpoints[e];
+        let j = if a == i { b } else { a };
+        if !self.busy[j] && self.pending[j].front() == Some(&e) {
+            self.pending[i].pop_front();
+            self.pending[j].pop_front();
+            self.busy[i] = true;
+            self.busy[j] = true;
+            sched.schedule_in(self.duration[e], Ev::ExchangeDone(e));
+        }
+    }
+}
+
+impl World<Ev> for ExchangeWorld {
+    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::ComputeDone(i) => {
+                self.busy[i] = false;
+                self.try_start(i, sched);
+            }
+            Ev::ExchangeDone(e) => {
+                let (a, b) = self.endpoints[e];
+                self.busy[a] = false;
+                self.busy[b] = false;
+                self.try_start(a, sched);
+                self.try_start(b, sched);
+            }
+        }
+    }
+}
+
+/// Greedy proper edge colouring over deterministically ordered edges.
+fn edge_colors(endpoints: &[(usize, usize)], nodes: usize) -> Vec<usize> {
+    let mut node_colors: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+    let mut colors = Vec::with_capacity(endpoints.len());
+    for &(a, b) in endpoints {
+        let mut c = 0usize;
+        while node_colors[a].contains(&c) || node_colors[b].contains(&c) {
+            c += 1;
+        }
+        node_colors[a].push(c);
+        node_colors[b].push(c);
+        colors.push(c);
+    }
+    colors
+}
+
+impl NeighborExchangeSim {
+    /// Hypercube-flavoured simulator.
+    pub fn hypercube(m: &parspeed_core::MachineParams) -> Self {
+        Self { params: m.hypercube, tfp: m.tfp }
+    }
+
+    /// Mesh-flavoured simulator.
+    pub fn mesh(m: &parspeed_core::MachineParams) -> Self {
+        Self { params: m.mesh, tfp: m.tfp }
+    }
+
+    /// Simulator with explicit constants.
+    pub fn with(tfp: f64, params: HypercubeParams) -> Self {
+        Self { params, tfp }
+    }
+
+    /// Simulates one iteration: compute, then coloured rendezvous rounds.
+    pub fn simulate(&self, spec: &IterationSpec) -> CycleReport {
+        self.simulate_hops(spec, |_, _| 1)
+    }
+
+    /// [`NeighborExchangeSim::simulate`] under a partition-to-node
+    /// embedding: each exchange pays its hop count (store-and-forward
+    /// latency; port contention at intermediate nodes is not modelled).
+    /// With a dilation-1 embedding this is exactly [`simulate`], which is
+    /// the §4 mapping claim made executable.
+    ///
+    /// [`simulate`]: NeighborExchangeSim::simulate
+    pub fn simulate_embedded(
+        &self,
+        spec: &IterationSpec,
+        embedding: &crate::HypercubeEmbedding,
+    ) -> CycleReport {
+        assert_eq!(embedding.len(), spec.processors(), "embedding size mismatch");
+        self.simulate_hops(spec, |a, b| embedding.hops(a, b).max(1) as usize)
+    }
+
+    fn simulate_hops(
+        &self,
+        spec: &IterationSpec,
+        hops: impl Fn(usize, usize) -> usize,
+    ) -> CycleReport {
+        let p = spec.processors();
+        // Undirected partner edges carrying both directions' words.
+        let mut pair_words: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
+        for msg in merge_messages(&spec.plan) {
+            let key = (msg.src.min(msg.dst), msg.src.max(msg.dst));
+            let entry = pair_words.entry(key).or_insert((0, 0));
+            if msg.src < msg.dst {
+                entry.0 += msg.words;
+            } else {
+                entry.1 += msg.words;
+            }
+        }
+        let endpoints: Vec<(usize, usize)> = pair_words.keys().cloned().collect();
+        // Rendezvous: send then receive through the half-duplex port; a
+        // non-adjacent pair pays the full message cost per hop.
+        let duration: Vec<f64> = endpoints
+            .iter()
+            .map(|&(a, b)| {
+                let (fwd, bwd) = pair_words[&(a, b)];
+                let h = hops(a, b) as f64;
+                h * (message_cost(fwd, &self.params) + message_cost(bwd, &self.params))
+            })
+            .collect();
+        let colors = edge_colors(&endpoints, p);
+        // Per-node agendas in colour order (ties broken by edge index).
+        let mut agenda: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
+        for (e, &(a, b)) in endpoints.iter().enumerate() {
+            agenda[a].push((colors[e], e));
+            agenda[b].push((colors[e], e));
+        }
+        let pending: Vec<VecDeque<usize>> = agenda
+            .into_iter()
+            .map(|mut v| {
+                v.sort_unstable();
+                v.into_iter().map(|(_, e)| e).collect()
+            })
+            .collect();
+
+        let mut world = ExchangeWorld {
+            endpoints,
+            duration,
+            pending,
+            busy: vec![true; p], // busy computing until ComputeDone
+            finish: vec![0.0; p],
+        };
+        let mut sched = Scheduler::new();
+        for i in 0..p {
+            sched.schedule(Time::from_secs(spec.compute_time(i, self.tfp)), Ev::ComputeDone(i));
+        }
+        run(&mut world, &mut sched);
+        debug_assert!(world.pending.iter().all(|q| q.is_empty()), "deadlocked exchange");
+        CycleReport::from_finishes(world.finish, spec.max_compute(self.tfp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_core::MachineParams;
+    use parspeed_grid::{RectDecomposition, StripDecomposition};
+    use parspeed_stencil::Stencil;
+
+    fn sim() -> NeighborExchangeSim {
+        NeighborExchangeSim::hypercube(&MachineParams::paper_defaults())
+    }
+
+    #[test]
+    fn equal_strips_match_closed_form() {
+        // Interior strip: 2 neighbours × (send + recv) = 4 messages of n·k
+        // words; equal compute everywhere ⇒ cycle = compute + 4·msg.
+        let m = MachineParams::paper_defaults();
+        let d = StripDecomposition::new(256, 8);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r = sim().simulate(&spec);
+        let expect = spec.max_compute(m.tfp) + 4.0 * message_cost(256, &m.hypercube);
+        assert!(
+            (r.cycle_time - expect).abs() / expect < 1e-12,
+            "sim {} vs model {expect}",
+            r.cycle_time
+        );
+    }
+
+    #[test]
+    fn square_blocks_match_closed_form() {
+        // 4×4 blocks of 64×64 on n=256: interior block has 4 neighbours ⇒
+        // 8 messages of s·k = 64 words.
+        let m = MachineParams::paper_defaults();
+        let d = RectDecomposition::new(256, 4, 4);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r = sim().simulate(&spec);
+        let expect = spec.max_compute(m.tfp) + 8.0 * message_cost(64, &m.hypercube);
+        assert!(
+            (r.cycle_time - expect).abs() / expect < 1e-12,
+            "sim {} vs model {expect}",
+            r.cycle_time
+        );
+    }
+
+    #[test]
+    fn edge_nodes_finish_no_later_than_the_cycle() {
+        let d = StripDecomposition::new(128, 4);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r = sim().simulate(&spec);
+        // Boundary strips have one neighbour: strictly earlier finish.
+        assert!(r.node_finish[0] < r.cycle_time);
+        assert!(r.node_finish[3] < r.cycle_time);
+        for &f in &r.node_finish {
+            assert!(f <= r.cycle_time);
+        }
+    }
+
+    #[test]
+    fn imbalance_delays_the_cycle() {
+        // 10 rows over 4 strips: heights 3,3,2,2 — the tall strips pace the
+        // iteration beyond the balanced ideal.
+        let m = MachineParams::paper_defaults();
+        let d = StripDecomposition::new(100, 3); // heights 34,33,33
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r = sim().simulate(&spec);
+        assert!(r.cycle_time >= spec.max_compute(m.tfp));
+        assert!(r.max_compute > spec.compute_time(2, m.tfp));
+    }
+
+    #[test]
+    fn single_partition_is_pure_compute() {
+        let m = MachineParams::paper_defaults();
+        let d = StripDecomposition::new(64, 1);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r = sim().simulate(&spec);
+        assert_eq!(r.cycle_time, spec.max_compute(m.tfp));
+        assert_eq!(r.comm_overhead(), 0.0);
+    }
+
+    #[test]
+    fn reach_two_stencils_double_the_words() {
+        let m = MachineParams::paper_defaults();
+        let d = StripDecomposition::new(256, 4);
+        let s5 = IterationSpec::new(&d, &Stencil::five_point());
+        let s9 = IterationSpec::with_flops(&d, &Stencil::nine_point_star(), 6.0);
+        let r5 = sim().simulate(&s5);
+        let r9 = sim().simulate(&s9);
+        let comm5 = r5.cycle_time - s5.max_compute(m.tfp);
+        let comm9 = r9.cycle_time - s9.max_compute(m.tfp);
+        // 512 words still fit the same packet count region: compare costs.
+        let expect5 = 4.0 * message_cost(256, &m.hypercube);
+        let expect9 = 4.0 * message_cost(512, &m.hypercube);
+        assert!((comm5 - expect5).abs() / expect5 < 1e-9);
+        assert!((comm9 - expect9).abs() / expect9 < 1e-9);
+    }
+
+    #[test]
+    fn nine_point_box_pays_for_corners() {
+        // Diagonal taps add corner exchanges (extra partner edges) that the
+        // closed form ignores — the simulation must cost strictly more.
+        let d = RectDecomposition::new(64, 4, 4);
+        let five = sim().simulate(&IterationSpec::with_flops(&d, &Stencil::five_point(), 6.0));
+        let box9 = sim().simulate(&IterationSpec::with_flops(&d, &Stencil::nine_point_box(), 6.0));
+        assert!(box9.cycle_time > five.cycle_time);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let d = RectDecomposition::new(128, 4, 2);
+        let spec = IterationSpec::new(&d, &Stencil::nine_point_box());
+        let a = sim().simulate(&spec);
+        let b = sim().simulate(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gray_embedding_changes_nothing() {
+        // Dilation 1 ⇒ simulate_embedded must equal the plain simulation —
+        // the §4 mapping claim, executable.
+        use crate::HypercubeEmbedding;
+        let d = StripDecomposition::new(128, 8);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let plain = sim().simulate(&spec);
+        let embedded = sim().simulate_embedded(&spec, &HypercubeEmbedding::strip_chain(8));
+        assert_eq!(plain, embedded);
+    }
+
+    #[test]
+    fn bad_embeddings_cost_real_time() {
+        use crate::HypercubeEmbedding;
+        let p = 16usize;
+        let d = StripDecomposition::new(128, p);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let gray = sim().simulate_embedded(&spec, &HypercubeEmbedding::strip_chain(p));
+        let ident = sim().simulate_embedded(&spec, &HypercubeEmbedding::identity(p));
+        let random = sim().simulate_embedded(&spec, &HypercubeEmbedding::random(p, 42));
+        assert!(ident.cycle_time > gray.cycle_time, "identity should ripple-carry");
+        assert!(random.cycle_time > gray.cycle_time, "random should dilate");
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding size mismatch")]
+    fn embedded_simulation_validates_size() {
+        use crate::HypercubeEmbedding;
+        let d = StripDecomposition::new(64, 4);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let _ = sim().simulate_embedded(&spec, &HypercubeEmbedding::strip_chain(5));
+    }
+
+    #[test]
+    fn colors_are_proper() {
+        let endpoints = vec![(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)];
+        let colors = edge_colors(&endpoints, 4);
+        for (e, &(a, b)) in endpoints.iter().enumerate() {
+            for (f, &(c, d)) in endpoints.iter().enumerate() {
+                if e != f && colors[e] == colors[f] {
+                    assert!(a != c && a != d && b != c && b != d, "adjacent same colour");
+                }
+            }
+        }
+    }
+}

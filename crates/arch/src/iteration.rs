@@ -1,0 +1,133 @@
+//! The common description of one simulated iteration.
+
+use parspeed_grid::halo::{plan, HaloPlan};
+use parspeed_grid::{Decomposition, Region};
+use parspeed_stencil::Stencil;
+
+/// Everything a machine simulator needs to run one iteration of a
+/// partitioned Jacobi sweep: the partition geometry, the exact halo
+/// exchange plan, and the per-point compute cost.
+#[derive(Debug, Clone)]
+pub struct IterationSpec {
+    /// Domain side `n`.
+    pub n: usize,
+    /// Partition regions, indexed by processor.
+    pub regions: Vec<Region>,
+    /// Exact halo-exchange plan (ground-truth communication volumes).
+    pub plan: HaloPlan,
+    /// Flops per grid-point update (`E(S)`).
+    pub e_flops: f64,
+}
+
+impl IterationSpec {
+    /// Builds a spec from a decomposition and stencil, using the calibrated
+    /// `E(S)` when available.
+    pub fn new<D: Decomposition + ?Sized>(decomp: &D, stencil: &Stencil) -> Self {
+        let e = stencil.calibrated_e().unwrap_or_else(|| stencil.flops_per_point());
+        Self::with_flops(decomp, stencil, e)
+    }
+
+    /// Builds a spec with an explicit `E(S)`.
+    pub fn with_flops<D: Decomposition + ?Sized>(decomp: &D, stencil: &Stencil, e_flops: f64) -> Self {
+        assert!(e_flops > 0.0);
+        Self {
+            n: decomp.domain(),
+            regions: decomp.regions(),
+            plan: plan(decomp, stencil),
+            e_flops,
+        }
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Compute time of processor `i` at `tfp` seconds per flop.
+    pub fn compute_time(&self, i: usize, tfp: f64) -> f64 {
+        self.e_flops * self.regions[i].area() as f64 * tfp
+    }
+
+    /// The longest per-processor compute time — the floor any simulated
+    /// cycle must respect.
+    pub fn max_compute(&self, tfp: f64) -> f64 {
+        (0..self.processors())
+            .map(|i| self.compute_time(i, tfp))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The outcome of simulating one iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleReport {
+    /// Iteration completion time: when the last processor finishes.
+    pub cycle_time: f64,
+    /// Per-processor finish times.
+    pub node_finish: Vec<f64>,
+    /// The longest pure-compute time among processors.
+    pub max_compute: f64,
+}
+
+impl CycleReport {
+    /// Builds a report from per-node finish times.
+    pub fn from_finishes(node_finish: Vec<f64>, max_compute: f64) -> Self {
+        let cycle_time = node_finish.iter().cloned().fold(0.0, f64::max);
+        Self { cycle_time, node_finish, max_compute }
+    }
+
+    /// Communication + waiting overhead beyond pure compute.
+    pub fn comm_overhead(&self) -> f64 {
+        (self.cycle_time - self.max_compute).max(0.0)
+    }
+
+    /// Fraction of the cycle that is not pure compute.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.cycle_time == 0.0 {
+            0.0
+        } else {
+            self.comm_overhead() / self.cycle_time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_grid::StripDecomposition;
+
+    #[test]
+    fn spec_reflects_decomposition() {
+        let d = StripDecomposition::new(16, 4);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        assert_eq!(spec.processors(), 4);
+        assert_eq!(spec.n, 16);
+        assert_eq!(spec.e_flops, 6.0);
+        // Equal strips: equal compute.
+        let tfp = 1.0e-7;
+        assert_eq!(spec.compute_time(0, tfp), spec.compute_time(3, tfp));
+        assert!((spec.max_compute(tfp) - 6.0 * 64.0 * tfp).abs() < 1e-18);
+    }
+
+    #[test]
+    fn uneven_strips_show_in_max_compute() {
+        let d = StripDecomposition::new(10, 4); // heights 3,3,2,2
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let tfp = 1.0;
+        assert!(spec.compute_time(0, tfp) > spec.compute_time(3, tfp));
+        assert_eq!(spec.max_compute(tfp), spec.compute_time(0, tfp));
+    }
+
+    #[test]
+    fn report_overheads() {
+        let r = CycleReport::from_finishes(vec![2.0, 3.0, 2.5], 2.0);
+        assert_eq!(r.cycle_time, 3.0);
+        assert_eq!(r.comm_overhead(), 1.0);
+        assert!((r.comm_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_report_is_sane() {
+        let r = CycleReport::from_finishes(vec![0.0], 0.0);
+        assert_eq!(r.comm_fraction(), 0.0);
+    }
+}

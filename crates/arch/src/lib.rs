@@ -1,0 +1,54 @@
+//! Event-driven simulators of the paper's machine classes.
+//!
+//! Nicol & Willard measured real machines — an Intel iPSC hypercube, the
+//! FLEX/32 shared-bus multiprocessor, Butterfly/RP3-class switching
+//! networks. None of those exist here, so this crate builds each one as a
+//! deterministic discrete-event simulation on `parspeed-desim`, faithful to
+//! the paper's cost assumptions at the level where they were *assumptions*
+//! and event-accurate where the paper abstracted:
+//!
+//! * [`NeighborExchangeSim`] — hypercube / mesh nearest-neighbour message
+//!   passing: half-duplex ports, packetized messages (`⌈V/ps⌉·α + β`),
+//!   rendezvous pairwise exchanges scheduled by edge colouring. Captures
+//!   load imbalance and port serialization that the closed forms idealize.
+//! * [`SyncBusSim`] / [`AsyncBusSim`] — a word-serial shared bus as a
+//!   processor-sharing resource, so the paper's `c + b·P` contention is
+//!   *emergent*, not assumed. The asynchronous variant posts writes
+//!   boundary-first and lets the backlog drain under computation.
+//! * [`BanyanSim`] — a word-level butterfly: `log₂P` stages of 2×2
+//!   switches as FCFS resources. With the paper's dedicated-module
+//!   assignment the simulation *demonstrates* the zero-contention
+//!   assumption; with an adversarial assignment it measures the contention
+//!   the paper's assumption avoids.
+//! * [`Mesh2dSim`] — a true XY-routed store-and-forward 2-D mesh: the §5
+//!   machine without the everyone-is-adjacent idealization, so box-stencil
+//!   corner exchanges pay real transit through intermediate nodes' ports.
+//! * [`ScheduledBusSim`] — the §8 future-work scheduler at event level:
+//!   batch-granularity bus slots stagger reads under computation and drain
+//!   writes FIFO, recovering the asynchronous bus's performance on
+//!   synchronous hardware; [`word_round_robin`] is the negative control
+//!   (word-granularity slots are processor sharing, i.e. no schedule).
+//! * [`validate`] — side-by-side model-vs-simulation tables (experiment
+//!   E13).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod banyan;
+mod bus;
+mod embedding;
+mod hypercube;
+mod iteration;
+mod mesh2d;
+mod message;
+mod schedule;
+pub mod validate;
+
+pub use banyan::{BanyanSim, ModuleAssignment};
+pub use bus::{AsyncBusSim, SyncBusSim};
+pub use embedding::{gray, gray_rank, hamming, HypercubeEmbedding};
+pub use hypercube::NeighborExchangeSim;
+pub use iteration::{CycleReport, IterationSpec};
+pub use mesh2d::{Mesh2dReport, Mesh2dSim};
+pub use message::{merge_messages, message_cost, Message};
+pub use schedule::{word_round_robin, ScheduledBusSim, SlotOrder};

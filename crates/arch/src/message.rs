@@ -1,0 +1,101 @@
+//! Messages: packetized point-to-point transfers.
+
+use parspeed_core::HypercubeParams;
+use parspeed_grid::halo::HaloPlan;
+
+/// A point-to-point message: all halo rectangles from `src` to `dst`
+/// packed into one transfer, as a real message-passing code would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sending processor.
+    pub src: usize,
+    /// Receiving processor.
+    pub dst: usize,
+    /// Payload in words.
+    pub words: usize,
+}
+
+/// Transmission time of a `words`-word message: `⌈words/ps⌉·α + β` (§4).
+pub fn message_cost(words: usize, p: &HypercubeParams) -> f64 {
+    if words == 0 {
+        return 0.0;
+    }
+    (words as f64 / p.packet_words as f64).ceil() * p.alpha + p.beta
+}
+
+/// Coalesces a halo plan's copies into one message per ordered `(src, dst)`
+/// pair, sorted deterministically.
+pub fn merge_messages(plan: &HaloPlan) -> Vec<Message> {
+    let mut merged: std::collections::BTreeMap<(usize, usize), usize> =
+        std::collections::BTreeMap::new();
+    for c in plan.copies() {
+        *merged.entry((c.src, c.dst)).or_insert(0) += c.words();
+    }
+    merged
+        .into_iter()
+        .map(|((src, dst), words)| Message { src, dst, words })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_grid::{halo, StripDecomposition};
+    use parspeed_stencil::Stencil;
+
+    fn params() -> HypercubeParams {
+        HypercubeParams { alpha: 1.0e-5, beta: 1.0e-3, packet_words: 128 }
+    }
+
+    #[test]
+    fn cost_rounds_up_packets() {
+        let p = params();
+        assert_eq!(message_cost(0, &p), 0.0);
+        assert!((message_cost(1, &p) - (1.0e-5 + 1.0e-3)).abs() < 1e-18);
+        assert!((message_cost(128, &p) - (1.0e-5 + 1.0e-3)).abs() < 1e-18);
+        assert!((message_cost(129, &p) - (2.0e-5 + 1.0e-3)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn startup_dominates_short_messages() {
+        let p = params();
+        let one = message_cost(1, &p);
+        let full = message_cost(128, &p);
+        assert_eq!(one, full); // same packet count ⇒ β amortization matters
+    }
+
+    #[test]
+    fn merge_produces_one_message_per_neighbour_pair() {
+        let d = StripDecomposition::new(16, 4);
+        let plan = halo::plan(&d, &Stencil::five_point());
+        let msgs = merge_messages(&plan);
+        // 3 boundaries × 2 directions.
+        assert_eq!(msgs.len(), 6);
+        for m in &msgs {
+            assert_eq!(m.words, 16); // one row of n=16, k=1
+        }
+    }
+
+    #[test]
+    fn merge_coalesces_reach_two_rings() {
+        let d = StripDecomposition::new(16, 2);
+        let plan = halo::plan(&d, &Stencil::nine_point_star());
+        let msgs = merge_messages(&plan);
+        assert_eq!(msgs.len(), 2);
+        for m in &msgs {
+            assert_eq!(m.words, 32); // two rows of 16
+        }
+    }
+
+    #[test]
+    fn merge_is_sorted_and_deterministic() {
+        let d = StripDecomposition::new(32, 8);
+        let plan = halo::plan(&d, &Stencil::five_point());
+        let a = merge_messages(&plan);
+        let b = merge_messages(&plan);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!((w[0].src, w[0].dst) < (w[1].src, w[1].dst));
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Slot-scheduled shared-bus simulation (§8 future work).
+//!
+//! The paper closes by suggesting "clever scheduling to access
+//! communication resources" as a contention remedy. The analytic answer is
+//! in `parspeed_core::schedule`; this simulator is its event-level
+//! counterpart, with everything the closed forms idealize away: non-uniform
+//! batches (domain-edge partitions move less), explicit slot tables, and a
+//! FIFO write drain that interleaves with the tail of the read plan.
+//!
+//! One iteration under [`ScheduledBusSim`]:
+//!
+//! 1. **Read plan** — the bus is granted to one partition at a time for its
+//!    whole boundary-read batch, in [`SlotOrder`]; partition `i` starts
+//!    computing the moment its own batch (plus the local `c` per-word
+//!    overhead) lands, overlapping every later slot's read.
+//! 2. **Write drain** — a partition posts its boundary-write batch when its
+//!    sweep finishes; the bus serves posted batches first-come-first-served
+//!    (ties by slot order) once the read plan has released it.
+//!
+//! Word-granularity round-robin — the naive "fair" schedule — is also
+//! provided and is *provably the unscheduled bus*: each of `P` concurrent
+//! requesters gets `1/P` of the bandwidth, which is processor sharing,
+//! which is the paper's `c + b·P`. The tests pin both results: staggering
+//! tracks the asynchronous bus, word-slicing tracks the synchronous one.
+
+use crate::iteration::{CycleReport, IterationSpec};
+use parspeed_core::BusParams;
+use parspeed_desim::FcfsServer;
+use parspeed_desim::Time;
+
+/// Order in which the read plan grants bus slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOrder {
+    /// Partition index order (the default; matches the analytic model).
+    Index,
+    /// Largest read batch first — frees the biggest compute earliest.
+    LargestFirst,
+    /// Smallest read batch first — minimizes mean read completion.
+    SmallestFirst,
+}
+
+impl SlotOrder {
+    /// The slot permutation for `spec` under this order (deterministic:
+    /// ties broken by partition index).
+    pub fn slots(&self, spec: &IterationSpec) -> Vec<usize> {
+        let p = spec.processors();
+        let mut order: Vec<usize> = (0..p).collect();
+        match self {
+            SlotOrder::Index => {}
+            SlotOrder::LargestFirst => {
+                order.sort_by_key(|&i| (usize::MAX - spec.plan.words_into(i), i));
+            }
+            SlotOrder::SmallestFirst => {
+                order.sort_by_key(|&i| (spec.plan.words_into(i), i));
+            }
+        }
+        order
+    }
+}
+
+/// Batch-granularity slot-scheduled synchronous bus.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledBusSim {
+    bus: BusParams,
+    tfp: f64,
+    order: SlotOrder,
+}
+
+impl ScheduledBusSim {
+    /// Builds the simulator from machine constants with index slot order.
+    pub fn new(m: &parspeed_core::MachineParams) -> Self {
+        Self { bus: m.bus, tfp: m.tfp, order: SlotOrder::Index }
+    }
+
+    /// Builds the simulator with an explicit slot order.
+    pub fn with_order(m: &parspeed_core::MachineParams, order: SlotOrder) -> Self {
+        Self { bus: m.bus, tfp: m.tfp, order }
+    }
+
+    /// Builds the simulator with explicit constants.
+    pub fn with(tfp: f64, bus: BusParams, order: SlotOrder) -> Self {
+        Self { bus, tfp, order }
+    }
+
+    /// The slot order in use.
+    pub fn order(&self) -> SlotOrder {
+        self.order
+    }
+
+    /// Simulates one iteration: serial read plan in slot order, overlapped
+    /// compute, FIFO write drain.
+    pub fn simulate(&self, spec: &IterationSpec) -> CycleReport {
+        let p = spec.processors();
+        if p <= 1 {
+            return CycleReport::from_finishes(
+                vec![spec.max_compute(self.tfp); p.max(1)],
+                spec.max_compute(self.tfp),
+            );
+        }
+        let slots = self.order.slots(spec);
+
+        // Read plan: the bus serves whole batches back to back.
+        let mut bus = FcfsServer::new();
+        let mut read_done = vec![0.0f64; p];
+        for &i in &slots {
+            let words = spec.plan.words_into(i) as f64;
+            let (_, end) = bus.serve(Time::ZERO, words * self.bus.b);
+            read_done[i] = end.as_secs() + words * self.bus.c;
+        }
+
+        // Compute phase overlaps later slots' reads; write batches are
+        // posted at sweep completion.
+        let compute_done: Vec<f64> =
+            (0..p).map(|i| read_done[i] + spec.compute_time(i, self.tfp)).collect();
+
+        // Write drain: FIFO by post time (ties by slot position), bus
+        // available once the read plan releases it.
+        let mut posts: Vec<(usize, f64)> = (0..p).map(|i| (i, compute_done[i])).collect();
+        let slot_pos = {
+            let mut pos = vec![0usize; p];
+            for (s, &i) in slots.iter().enumerate() {
+                pos[i] = s;
+            }
+            pos
+        };
+        posts.sort_by(|a, b| a.1.total_cmp(&b.1).then(slot_pos[a.0].cmp(&slot_pos[b.0])));
+        let mut finish = vec![0.0f64; p];
+        for (i, at) in posts {
+            let words = spec.plan.words_from(i) as f64;
+            let (_, end) = bus.serve(Time::from_secs(at), words * self.bus.b);
+            finish[i] = end.as_secs() + words * self.bus.c;
+        }
+        CycleReport::from_finishes(finish, spec.max_compute(self.tfp))
+    }
+}
+
+/// Word-granularity round-robin "schedule" — the negative control.
+///
+/// Equal per-word interleaving across `P` concurrent requesters is
+/// processor sharing, so this is by construction the synchronous bus of
+/// §6.1; it exists so the equivalence is executable rather than asserted.
+pub fn word_round_robin(
+    m: &parspeed_core::MachineParams,
+    spec: &IterationSpec,
+) -> CycleReport {
+    crate::SyncBusSim::new(m).simulate(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncBusSim, SyncBusSim};
+    use parspeed_core::{ArchModel, MachineParams, ScheduledBus, Workload};
+    use parspeed_grid::{Decomposition, RectDecomposition, StripDecomposition};
+    use parspeed_stencil::{PartitionShape, Stencil};
+
+    fn machine() -> MachineParams {
+        MachineParams::paper_defaults()
+    }
+
+    #[test]
+    fn single_partition_is_pure_compute() {
+        let d = StripDecomposition::new(32, 1);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let r = ScheduledBusSim::new(&machine()).simulate(&spec);
+        assert_eq!(r.cycle_time, spec.max_compute(machine().tfp));
+    }
+
+    #[test]
+    fn staggering_beats_processor_sharing_everywhere() {
+        // At every allocation the slot schedule only removes waiting.
+        let m = machine();
+        let n = 128usize;
+        for p in [2usize, 4, 8, 16, 32, 64] {
+            let d = StripDecomposition::new(n, p);
+            let spec = IterationSpec::new(&d, &Stencil::five_point());
+            let sched = ScheduledBusSim::new(&m).simulate(&spec);
+            let sync = SyncBusSim::new(&m).simulate(&spec);
+            assert!(
+                sched.cycle_time <= sync.cycle_time * (1.0 + 1e-12),
+                "P={p}: scheduled {} > sync {}",
+                sched.cycle_time,
+                sync.cycle_time
+            );
+        }
+    }
+
+    #[test]
+    fn tracks_the_analytic_schedule_model() {
+        // Uniform interior strips: the simulation must match
+        // core::ScheduledBus up to the domain-edge deficit (edge strips
+        // move half the model volume), which shrinks like 1/P.
+        let m = machine();
+        let n = 128usize;
+        let model = ScheduledBus::new(&m);
+        let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
+        let mut errs = Vec::new();
+        for p in [4usize, 8, 16, 32] {
+            let d = StripDecomposition::new(n, p);
+            let spec = IterationSpec::new(&d, &Stencil::five_point());
+            let sim = ScheduledBusSim::new(&m).simulate(&spec).cycle_time;
+            let t = model.cycle_time(&w, (n * n) as f64 / p as f64);
+            let rel = (sim - t).abs() / t;
+            assert!(rel < 1.5 / p as f64 + 0.03, "P={p}: sim {sim} vs model {t} ({rel})");
+            errs.push(rel);
+        }
+        assert!(errs[3] < errs[0] + 1e-12, "deficit must shrink with P: {errs:?}");
+    }
+
+    #[test]
+    fn recovers_async_bus_performance_at_its_optimum() {
+        // The §8 headline at event level: the scheduled synchronous bus
+        // matches the posted-write machine's cycle time near the async
+        // optimum.
+        let m = machine();
+        let n = 256usize;
+        let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
+        let asy = parspeed_core::AsyncBus::new(&m);
+        let p = ((n * n) as f64 / asy.optimal_area(&w)).round().clamp(2.0, n as f64) as usize;
+        let d = StripDecomposition::new(n, p);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let sched = ScheduledBusSim::new(&m).simulate(&spec).cycle_time;
+        let async_ = AsyncBusSim::new(&m).simulate(&spec).cycle_time;
+        let rel = (sched - async_).abs() / async_;
+        assert!(rel < 0.10, "scheduled {sched} vs async {async_} ({rel})");
+    }
+
+    #[test]
+    fn word_round_robin_is_exactly_the_sync_bus() {
+        let m = machine().with_bus_overhead(0.5e-6);
+        for p in [2usize, 8, 32] {
+            let d = StripDecomposition::new(96, p);
+            let spec = IterationSpec::new(&d, &Stencil::nine_point_star());
+            assert_eq!(word_round_robin(&m, &spec), SyncBusSim::new(&m).simulate(&spec));
+        }
+    }
+
+    #[test]
+    fn cycle_respects_work_conservation_lower_bounds() {
+        // No schedule can beat max(total bus work, any processor's own
+        // read + compute + write chain at full bus speed).
+        let m = machine();
+        let d = RectDecomposition::new(64, 4, 4);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        for order in [SlotOrder::Index, SlotOrder::LargestFirst, SlotOrder::SmallestFirst] {
+            let r = ScheduledBusSim::with_order(&m, order).simulate(&spec);
+            let total_words: usize =
+                (0..spec.processors()).map(|i| spec.plan.words_into(i) + spec.plan.words_from(i)).sum();
+            let bus_floor = total_words as f64 * m.bus.b;
+            let chain_floor = (0..spec.processors())
+                .map(|i| {
+                    (spec.plan.words_into(i) + spec.plan.words_from(i)) as f64 * (m.bus.b + m.bus.c)
+                        + spec.compute_time(i, m.tfp)
+                })
+                .fold(0.0, f64::max);
+            assert!(r.cycle_time + 1e-15 >= bus_floor, "{order:?}");
+            assert!(r.cycle_time + 1e-15 >= chain_floor, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn slot_orders_permute_every_partition_once() {
+        let d = StripDecomposition::new(40, 7); // uneven strips
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        for order in [SlotOrder::Index, SlotOrder::LargestFirst, SlotOrder::SmallestFirst] {
+            let mut slots = order.slots(&spec);
+            slots.sort_unstable();
+            assert_eq!(slots, (0..7).collect::<Vec<_>>(), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn smallest_first_orders_by_read_volume() {
+        // Edge strips read one neighbour, interior strips two: the edge
+        // strips must occupy the first slots.
+        let d = StripDecomposition::new(64, 8);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let slots = SlotOrder::SmallestFirst.slots(&spec);
+        let first_two: Vec<usize> = slots[..2].to_vec();
+        assert!(first_two.contains(&0) && first_two.contains(&7), "{slots:?}");
+        let lf = SlotOrder::LargestFirst.slots(&spec);
+        assert!(!lf[..2].contains(&0) && !lf[..2].contains(&7), "{lf:?}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let m = machine();
+        let d = RectDecomposition::new(48, 3, 4);
+        let spec = IterationSpec::new(&d, &Stencil::nine_point_box());
+        let a = ScheduledBusSim::new(&m).simulate(&spec);
+        let b = ScheduledBusSim::new(&m).simulate(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_processors_eventually_hurt_even_scheduled() {
+        // Scheduling does not repeal contention: the bus-saturated regime
+        // still dominates at fine decompositions.
+        let m = machine();
+        let n = 128usize;
+        let cycles: Vec<f64> = [2usize, 8, 32, 128]
+            .iter()
+            .map(|&p| {
+                let d = StripDecomposition::new(n, p);
+                let spec = IterationSpec::new(&d, &Stencil::five_point());
+                ScheduledBusSim::new(&m).simulate(&spec).cycle_time
+            })
+            .collect();
+        assert!(cycles[3] > cycles[1], "contention must reappear: {cycles:?}");
+    }
+}

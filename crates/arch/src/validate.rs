@@ -1,0 +1,180 @@
+//! Model-vs-simulation validation tables (experiment E13).
+//!
+//! For each architecture, partition shape and processor count, compare the
+//! closed-form cycle time of `parspeed-core` against the event-level
+//! simulation of this crate. Agreement certifies that the paper's algebra
+//! matches the machine behaviour it claims to abstract; the residual gaps
+//! are exactly the effects the paper knowingly neglects (corner words,
+//! load imbalance, boundary partitions moving less data).
+
+use crate::{
+    AsyncBusSim, BanyanSim, IterationSpec, Mesh2dSim, NeighborExchangeSim, ScheduledBusSim,
+    SyncBusSim,
+};
+use parspeed_core::{
+    ArchModel, AsyncBus, Banyan, Hypercube, MachineParams, Mesh, ScheduledBus, SyncBus, Workload,
+};
+use parspeed_grid::{Decomposition, RectDecomposition, StripDecomposition};
+use parspeed_stencil::{PartitionShape, Stencil};
+
+/// One comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRow {
+    /// Architecture name.
+    pub arch: &'static str,
+    /// Partition shape.
+    pub shape: PartitionShape,
+    /// Grid side.
+    pub n: usize,
+    /// Processors used.
+    pub p: usize,
+    /// Closed-form cycle time (seconds).
+    pub model: f64,
+    /// Simulated cycle time (seconds).
+    pub sim: f64,
+}
+
+impl ValidationRow {
+    /// Relative deviation `|sim − model| / model`.
+    pub fn rel_err(&self) -> f64 {
+        (self.sim - self.model).abs() / self.model
+    }
+
+    /// The expected agreement bound: the closed forms idealize every
+    /// partition as interior, so the simulation (whose domain-edge
+    /// partitions move less data) undershoots by up to `~1/P` of the
+    /// transfer term for strips and `~1/√P` for squares, plus a small
+    /// slack for packet rounding and posting delays.
+    pub fn tolerance(&self) -> f64 {
+        let p = self.p as f64;
+        match self.shape {
+            PartitionShape::Strip => 1.3 / p + 0.03,
+            PartitionShape::Square => 2.2 / p.sqrt() + 0.03,
+        }
+    }
+}
+
+fn strip_decomp(n: usize, p: usize) -> Option<Box<dyn Decomposition>> {
+    (p <= n).then(|| Box::new(StripDecomposition::new(n, p)) as Box<dyn Decomposition>)
+}
+
+fn square_decomp(n: usize, p: usize) -> Option<Box<dyn Decomposition>> {
+    // Perfect q×q block grids only, to match the model's square idealization.
+    let q = (p as f64).sqrt().round() as usize;
+    (q * q == p && n % q == 0)
+        .then(|| Box::new(RectDecomposition::new(n, q, q)) as Box<dyn Decomposition>)
+}
+
+/// Builds the full validation table for grid side `n` over `procs`.
+pub fn validate_all(m: &MachineParams, n: usize, stencil: &Stencil, procs: &[usize]) -> Vec<ValidationRow> {
+    let mut rows = Vec::new();
+    for shape in [PartitionShape::Strip, PartitionShape::Square] {
+        let w = Workload::new(n, stencil, shape);
+        for &p in procs {
+            if p < 2 {
+                continue;
+            }
+            let decomp = match shape {
+                PartitionShape::Strip => strip_decomp(n, p),
+                PartitionShape::Square => square_decomp(n, p),
+            };
+            let Some(decomp) = decomp else { continue };
+            let spec = IterationSpec::with_flops(decomp.as_ref(), stencil, w.e_flops);
+            let area = w.points() / p as f64;
+
+            rows.push(ValidationRow {
+                arch: "hypercube",
+                shape,
+                n,
+                p,
+                model: Hypercube::new(m).cycle_time(&w, area),
+                sim: NeighborExchangeSim::hypercube(m).simulate(&spec).cycle_time,
+            });
+            rows.push(ValidationRow {
+                arch: "synchronous bus",
+                shape,
+                n,
+                p,
+                model: SyncBus::new(m).cycle_time(&w, area),
+                sim: SyncBusSim::new(m).simulate(&spec).cycle_time,
+            });
+            rows.push(ValidationRow {
+                arch: "asynchronous bus",
+                shape,
+                n,
+                p,
+                model: AsyncBus::new(m).cycle_time(&w, area),
+                sim: AsyncBusSim::new(m).simulate(&spec).cycle_time,
+            });
+            rows.push(ValidationRow {
+                arch: "switching network",
+                shape,
+                n,
+                p,
+                model: Banyan::new(m).cycle_time(&w, area),
+                sim: BanyanSim::new(m).simulate(&spec).cycle.cycle_time,
+            });
+            rows.push(ValidationRow {
+                arch: "scheduled bus",
+                shape,
+                n,
+                p,
+                model: ScheduledBus::new(m).cycle_time(&w, area),
+                sim: ScheduledBusSim::new(m).simulate(&spec).cycle_time,
+            });
+            rows.push(ValidationRow {
+                arch: "mesh (XY-routed)",
+                shape,
+                n,
+                p,
+                model: Mesh::new(m).cycle_time(&w, area),
+                sim: Mesh2dSim::new(m).simulate(&spec).cycle.cycle_time,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_and_simulation_agree_within_tolerance() {
+        let m = MachineParams::paper_defaults();
+        let rows = validate_all(&m, 128, &Stencil::five_point(), &[4, 16, 64]);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                r.rel_err() < r.tolerance(),
+                "{} {:?} n={} P={}: model {} sim {} ({:.1}%)",
+                r.arch,
+                r.shape,
+                r.n,
+                r.p,
+                r.model,
+                r.sim,
+                100.0 * r.rel_err()
+            );
+        }
+    }
+
+    #[test]
+    fn all_architectures_and_shapes_present() {
+        let m = MachineParams::paper_defaults();
+        let rows = validate_all(&m, 64, &Stencil::five_point(), &[4]);
+        let archs: std::collections::BTreeSet<_> = rows.iter().map(|r| r.arch).collect();
+        assert_eq!(archs.len(), 6);
+        let shapes: std::collections::BTreeSet<_> =
+            rows.iter().map(|r| format!("{:?}", r.shape)).collect();
+        assert_eq!(shapes.len(), 2);
+    }
+
+    #[test]
+    fn infeasible_processor_counts_are_skipped() {
+        let m = MachineParams::paper_defaults();
+        // p = 5 is not a perfect square: no square rows for it.
+        let rows = validate_all(&m, 64, &Stencil::five_point(), &[5]);
+        assert!(rows.iter().all(|r| r.shape == PartitionShape::Strip));
+    }
+}

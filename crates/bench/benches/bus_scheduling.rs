@@ -1,0 +1,80 @@
+//! Microbenchmarks for the §8 scheduling extension: the incremental
+//! processor-sharing queue, the scheduled-bus simulator across slot
+//! orders, and the analytic scheduled-bus optimizer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parspeed_arch::{IterationSpec, ScheduledBusSim, SlotOrder, SyncBusSim};
+use parspeed_core::{ArchModel, MachineParams, ProcessorBudget, ScheduledBus, Workload};
+use parspeed_desim::PsQueue;
+use parspeed_grid::StripDecomposition;
+use parspeed_stencil::{PartitionShape, Stencil};
+use std::hint::black_box;
+
+fn bench_psqueue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("psqueue");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    // The coupled read→compute→write pattern both bus sims run.
+    for p in [64usize, 256] {
+        g.throughput(Throughput::Elements(2 * p as u64));
+        g.bench_function(format!("coupled_chain_p{p}"), |b| {
+            b.iter(|| {
+                let mut q = PsQueue::new();
+                for i in 0..p {
+                    q.offer(0.0, 1.0 + (i % 5) as f64);
+                }
+                let mut last = 0.0;
+                while let Some((id, t)) = q.next_completion() {
+                    if id < p {
+                        q.offer(t + 0.25, 1.0 + (id % 5) as f64);
+                    }
+                    last = t;
+                }
+                black_box(last)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduled_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduled_bus");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let m = MachineParams::paper_defaults();
+    let d = StripDecomposition::new(512, 64);
+    let spec = IterationSpec::new(&d, &Stencil::five_point());
+    g.bench_function("sync_ps_512x64", |b| {
+        let sim = SyncBusSim::new(&m);
+        b.iter(|| black_box(sim.simulate(&spec).cycle_time))
+    });
+    for (name, order) in [
+        ("staggered_512x64", SlotOrder::Index),
+        ("largest_first_512x64", SlotOrder::LargestFirst),
+    ] {
+        let sim = ScheduledBusSim::with_order(&m, order);
+        g.bench_function(name, |b| b.iter(|| black_box(sim.simulate(&spec).cycle_time)));
+    }
+    g.finish();
+}
+
+fn bench_scheduled_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduled_model");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let m = MachineParams::paper_defaults();
+    let sched = ScheduledBus::new(&m);
+    for shape in [PartitionShape::Strip, PartitionShape::Square] {
+        let w = Workload::new(1024, &Stencil::five_point(), shape);
+        g.bench_function(format!("optimize_{}", shape.name()), |b| {
+            b.iter(|| black_box(sched.optimize(&w, ProcessorBudget::Unlimited).cycle_time))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_psqueue, bench_scheduled_sim, bench_scheduled_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Discrete-event kernel throughput: event scheduling, the
+//! processor-sharing solver, and a full machine-iteration simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parspeed_arch::{IterationSpec, NeighborExchangeSim, SyncBusSim};
+use parspeed_core::MachineParams;
+use parspeed_desim::{processor_sharing, run, PsArrival, Scheduler, Time, World};
+use parspeed_grid::StripDecomposition;
+use parspeed_stencil::Stencil;
+use std::hint::black_box;
+
+struct Sink(u64);
+impl World<u32> for Sink {
+    fn handle(&mut self, ev: u32, _s: &mut Scheduler<u32>) {
+        self.0 += ev as u64;
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let n_events = 10_000u32;
+    g.throughput(Throughput::Elements(n_events as u64));
+    g.bench_function("schedule_and_drain_10k", |b| {
+        b.iter(|| {
+            let mut sched = Scheduler::new();
+            for i in 0..n_events {
+                sched.schedule(Time::from_secs(((i * 2654435761) % 1000) as f64), i);
+            }
+            let mut w = Sink(0);
+            run(&mut w, &mut sched);
+            black_box(w.0)
+        })
+    });
+    let arrivals: Vec<PsArrival> = (0..256)
+        .map(|i| PsArrival { at: (i % 7) as f64 * 0.5, work: 1.0 + (i % 13) as f64 })
+        .collect();
+    g.throughput(Throughput::Elements(arrivals.len() as u64));
+    g.bench_function("processor_sharing_256", |b| {
+        b.iter(|| processor_sharing(black_box(&arrivals)))
+    });
+    g.finish();
+}
+
+fn bench_machine_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_sim");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let m = MachineParams::paper_defaults();
+    let d = StripDecomposition::new(256, 32);
+    let spec = IterationSpec::new(&d, &Stencil::five_point());
+    g.bench_function("hypercube_32strips", |b| {
+        let sim = NeighborExchangeSim::hypercube(&m);
+        b.iter(|| sim.simulate(black_box(&spec)))
+    });
+    g.bench_function("sync_bus_32strips", |b| {
+        let sim = SyncBusSim::new(&m);
+        b.iter(|| sim.simulate(black_box(&spec)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_machine_iteration);
+criterion_main!(benches);

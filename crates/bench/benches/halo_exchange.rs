@@ -1,0 +1,58 @@
+//! Halo-plan construction and full partitioned iterations: strips vs
+//! near-square blocks — the communication-volume contrast the paper is
+//! about, on real memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parspeed_exec::PartitionedJacobi;
+use parspeed_grid::{halo, RectDecomposition, StripDecomposition};
+use parspeed_solver::PoissonProblem;
+use parspeed_stencil::Stencil;
+use std::hint::black_box;
+
+fn bench_plan_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("halo_plan");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let n = 256usize;
+    let strips = StripDecomposition::new(n, 16);
+    let rect = RectDecomposition::new(n, 4, 4);
+    for stencil in [Stencil::five_point(), Stencil::nine_point_box()] {
+        g.bench_function(BenchmarkId::new("strips16", stencil.name()), |b| {
+            b.iter(|| halo::plan(black_box(&strips), &stencil))
+        });
+        g.bench_function(BenchmarkId::new("rect4x4", stencil.name()), |b| {
+            b.iter(|| halo::plan(black_box(&rect), &stencil))
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitioned_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitioned_iterate");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    let n = 256usize;
+    let p = PoissonProblem::laplace(n, 0.0);
+    let s = Stencil::five_point();
+    {
+        let d = StripDecomposition::new(n, 8);
+        let mut exec = PartitionedJacobi::new(&p, &s, &d);
+        g.bench_function("strips8_n256", |b| b.iter(|| exec.iterate(false)));
+    }
+    {
+        let d = RectDecomposition::new(n, 4, 2);
+        let mut exec = PartitionedJacobi::new(&p, &s, &d);
+        g.bench_function("rect4x2_n256", |b| b.iter(|| exec.iterate(false)));
+    }
+    {
+        let d = StripDecomposition::new(n, 8);
+        let mut exec = PartitionedJacobi::new(&p, &s, &d);
+        g.bench_function("strips8_n256_with_check", |b| b.iter(|| exec.iterate(true)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan_construction, bench_partitioned_iteration);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Stencil sweep kernels: fused 5-point fast path vs the generic
+//! tap-driven sweep, and the wider catalogue stencils.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parspeed_grid::Grid2D;
+use parspeed_solver::apply::{jacobi_sweep, jacobi_sweep_5pt};
+use parspeed_stencil::Stencil;
+use std::hint::black_box;
+
+fn setup(n: usize, halo: usize) -> (Grid2D, Grid2D, Grid2D) {
+    let mut src = Grid2D::from_fn(n, n, halo, |r, c| ((r * 31 + c * 17) % 97) as f64 * 0.01);
+    src.fill_halo(0.5);
+    let dst = Grid2D::new(n, n, halo);
+    let f = Grid2D::from_fn(n, n, 0, |r, c| ((r + c) % 5) as f64);
+    (src, dst, f)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 256usize;
+    let mut g = c.benchmark_group("jacobi_sweep");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(600));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.throughput(Throughput::Elements((n * n) as u64));
+
+    let (src, mut dst, f) = setup(n, 1);
+    g.bench_function(BenchmarkId::new("5pt_fused", n), |b| {
+        b.iter(|| jacobi_sweep_5pt(black_box(&src), &mut dst, &f, 1e-4))
+    });
+    let five = Stencil::five_point();
+    g.bench_function(BenchmarkId::new("5pt_generic", n), |b| {
+        b.iter(|| jacobi_sweep(&five, black_box(&src), &mut dst, &f, 1e-4))
+    });
+    let nine = Stencil::nine_point_box();
+    g.bench_function(BenchmarkId::new("9pt_box_generic", n), |b| {
+        b.iter(|| jacobi_sweep(&nine, black_box(&src), &mut dst, &f, 1e-4))
+    });
+    let (src2, mut dst2, f2) = setup(n, 2);
+    let star = Stencil::nine_point_star();
+    g.bench_function(BenchmarkId::new("9pt_star_generic", n), |b| {
+        b.iter(|| jacobi_sweep(&star, black_box(&src2), &mut dst2, &f2, 1e-4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

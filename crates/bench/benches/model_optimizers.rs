@@ -1,0 +1,62 @@
+//! Analytic-model throughput: cycle-time evaluation and the full
+//! integer-allocation optimizer, per architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parspeed_core::{
+    ArchModel, AsyncBus, Banyan, Hypercube, MachineParams, ProcessorBudget, SyncBus, Workload,
+};
+use parspeed_stencil::{PartitionShape, Stencil};
+use std::hint::black_box;
+
+fn bench_optimize(c: &mut Criterion) {
+    let m = MachineParams::paper_defaults();
+    let models: Vec<(&str, Box<dyn ArchModel>)> = vec![
+        ("sync_bus", Box::new(SyncBus::new(&m))),
+        ("async_bus", Box::new(AsyncBus::new(&m))),
+        ("hypercube", Box::new(Hypercube::new(&m))),
+        ("banyan", Box::new(Banyan::with_network(&m, 256))),
+    ];
+    let mut g = c.benchmark_group("optimize");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(400));
+    g.warm_up_time(std::time::Duration::from_millis(150));
+    let w = Workload::new(1024, &Stencil::five_point(), PartitionShape::Square);
+    for (name, model) in &models {
+        g.bench_function(BenchmarkId::new("unlimited", name), |b| {
+            let wrapped = OptWrap(model.as_ref());
+            b.iter(|| wrapped.optimize(black_box(&w), ProcessorBudget::Unlimited))
+        });
+    }
+    g.bench_function("cycle_time_sweep_sync_bus", |b| {
+        let bus = SyncBus::new(&m);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in 1..=256usize {
+                acc += bus.cycle_time(&w, w.points() / p as f64);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// `optimize` needs `Self: Sized`; forward the trait through a wrapper.
+#[derive(Clone, Copy)]
+struct OptWrap<'a>(&'a dyn ArchModel);
+impl ArchModel for OptWrap<'_> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn tfp(&self) -> f64 {
+        self.0.tfp()
+    }
+    fn cycle_time(&self, w: &Workload, area: f64) -> f64 {
+        self.0.cycle_time(w, area)
+    }
+    fn closed_form_optimal_area(&self, w: &Workload) -> Option<f64> {
+        self.0.closed_form_optimal_area(w)
+    }
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

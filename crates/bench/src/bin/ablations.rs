@@ -1,0 +1,5 @@
+//! Regenerates the ablation studies; see `parspeed_bench::experiments::ablations`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", parspeed_bench::experiments::ablations::run(quick));
+}

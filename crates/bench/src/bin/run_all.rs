@@ -1,0 +1,6 @@
+//! Regenerates every table and figure of the paper in one pass.
+//! CSV series land in `target/experiments/`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", parspeed_bench::experiments::run_all(quick));
+}

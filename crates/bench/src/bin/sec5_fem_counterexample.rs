@@ -1,0 +1,5 @@
+//! Regenerates one paper artifact; see `parspeed_bench::experiments::sec5_fem`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", parspeed_bench::experiments::sec5_fem::run(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates one paper artifact; see `parspeed_bench::experiments::sec7_switching`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", parspeed_bench::experiments::sec7_switching::run(quick));
+}

@@ -1,0 +1,5 @@
+//! Regenerates one paper artifact; see `parspeed_bench::experiments::validate_desim`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", parspeed_bench::experiments::validate_desim::run(quick));
+}

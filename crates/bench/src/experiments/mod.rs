@@ -1,0 +1,48 @@
+//! One module per reproduced artifact. See `DESIGN.md` §5 for the index.
+
+pub mod ablations;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod sec4_convergence;
+pub mod sec4_embedding;
+pub mod sec4_hypercube;
+pub mod sec5_fem;
+pub mod sec61_leverage;
+pub mod sec61_worked;
+pub mod sec62_async;
+pub mod sec7_switching;
+pub mod sec8_scheduling;
+pub mod table1;
+pub mod table_k;
+pub mod validate_desim;
+pub mod validate_threads;
+
+/// Runs every experiment and concatenates the reports (the `run_all`
+/// binary). `quick` trims sweep sizes for CI.
+pub fn run_all(quick: bool) -> String {
+    let parts: Vec<(&str, String)> = vec![
+        ("E1  k(P,S) table", table_k::run(quick)),
+        ("E2  Fig 6 working rectangles", fig6::run(quick)),
+        ("E3  Fig 7 minimal problem size", fig7::run(quick)),
+        ("E4  Fig 8 optimal speedup", fig8::run(quick)),
+        ("E5  Table I", table1::run(quick)),
+        ("E6  §4 hypercube", sec4_hypercube::run(quick)),
+        ("E7  §4 convergence checking", sec4_convergence::run(quick)),
+        ("E8  §5 FEM counter-example", sec5_fem::run(quick)),
+        ("E9  §6.1 worked example", sec61_worked::run(quick)),
+        ("E10 §6.1 leverage", sec61_leverage::run(quick)),
+        ("E11 §6.2 asynchronous bus", sec62_async::run(quick)),
+        ("E12 §7 switching network", sec7_switching::run(quick)),
+        ("E13 model vs discrete-event simulation", validate_desim::run(quick)),
+        ("E14 model vs real threads", validate_threads::run(quick)),
+        ("E15 §8 scheduled bus access", sec8_scheduling::run(quick)),
+        ("E16 §4 Gray-code embeddings", sec4_embedding::run(quick)),
+        ("E17 ablations (tolerance, contours, combine hardware)", ablations::run(quick)),
+    ];
+    let mut out = String::new();
+    for (name, body) in parts {
+        out.push_str(&format!("\n═══ {name} ═══\n\n{body}\n"));
+    }
+    out
+}

@@ -1,0 +1,78 @@
+//! `parspeed compare` — every architecture side by side on one instance.
+
+use crate::args::{Args, CliError};
+use crate::select;
+use parspeed_bench::report::Table;
+use parspeed_core::{ProcessorBudget, Workload};
+
+pub const KEYS: &[&str] = &["n", "stencil", "shape", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const SWITCHES: &[&str] = &["flex32"];
+
+/// Usage shown by `parspeed help compare`.
+pub const USAGE: &str = "parspeed compare [--n 256] [--stencil 5pt] [--shape square] [--procs N]
+    [machine overrides]
+
+Optimizes the same problem on every architecture class and tabulates the
+optimal processor counts and speedups — the paper's Table I, for your
+instance instead of asymptotically.";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let m = select::machine(args)?;
+    let n = args.usize_or("n", 256)?;
+    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
+    let shape = select::shape(args.str_or("shape", "square"))?;
+    let w = Workload::new(n, &stencil, shape);
+    let budget = match args.usize_opt("procs")? {
+        Some(p) => ProcessorBudget::Limited(p),
+        None => ProcessorBudget::Unlimited,
+    };
+
+    let mut t = Table::new(
+        format!("All architectures · n={n} · {} · {}", stencil.name(), shape.name()),
+        &["architecture", "processors", "cycle time", "speedup", "efficiency"],
+    );
+    for name in select::ARCHITECTURES {
+        let model = select::arch_model(name, &m)?;
+        let opt = parspeed_core::optimize_constrained(model.as_ref(), &w, budget, None)
+            .expect("no memory budget, cannot be infeasible");
+        t.row(vec![
+            model.name().into(),
+            opt.processors.to_string(),
+            format!("{:.3e} s", opt.cycle_time),
+            format!("{:.2}", opt.speedup),
+            format!("{:.1}%", opt.efficiency * 100.0),
+        ]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_every_architecture() {
+        let toks: Vec<String> = ["--n", "128"].iter().map(|t| t.to_string()).collect();
+        let args = Args::parse(&toks, KEYS, SWITCHES).unwrap();
+        let out = run(&args).unwrap();
+        for name in ["hypercube", "mesh", "synchronous bus", "asynchronous bus", "scheduled bus", "switching network"] {
+            assert!(out.contains(name), "missing {name}: {out}");
+        }
+    }
+
+    #[test]
+    fn hypercube_dominates_the_bus_on_large_grids() {
+        let args = Args::parse(&[], KEYS, SWITCHES).unwrap();
+        let out = run(&args).unwrap();
+        // The hypercube row should show a larger speedup than the sync bus
+        // row — crude but effective: parse the speedup column.
+        let speedup = |needle: &str| -> f64 {
+            out.lines()
+                .find(|l| l.contains(needle))
+                .and_then(|l| l.split_whitespace().rev().nth(1).map(|s| s.parse().unwrap()))
+                .unwrap()
+        };
+        assert!(speedup("hypercube") > speedup("synchronous bus"), "{out}");
+    }
+}

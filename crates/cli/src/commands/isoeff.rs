@@ -1,0 +1,91 @@
+//! `parspeed isoeff` — isoefficiency: how fast must the problem grow to
+//! keep the machine efficient? (The modern framing of the paper's
+//! fixed-N results.)
+
+use crate::args::{Args, CliError};
+use crate::select;
+use parspeed_bench::report::Table;
+use parspeed_core::isoefficiency::{isoefficiency_exponent, min_grid_for_efficiency};
+use parspeed_core::Workload;
+
+pub const KEYS: &[&str] = &["stencil", "shape", "efficiency", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const SWITCHES: &[&str] = &["flex32"];
+
+/// Usage shown by `parspeed help isoeff`.
+pub const USAGE: &str = "parspeed isoeff --arch <name> [--efficiency 0.5] [--stencil 5pt]
+    [--shape square] [--procs 8,16,32,64] [machine overrides]
+
+For each processor count, the smallest grid side reaching the target
+efficiency, and the fitted isoefficiency exponent d(log W)/d(log N)
+(W = n²). Hypercube squares ≈ 1 (ideal), banyan ≈ 1 + log factor, bus
+squares ≈ 3, bus strips ≈ 4.";
+
+/// Runs the subcommand.
+pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
+    let m = select::machine(args)?;
+    let model = select::arch_model(arch, &m)?;
+    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
+    let shape = select::shape(args.str_or("shape", "square"))?;
+    let efficiency = args.f64_or("efficiency", 0.5)?;
+    if !(0.0..1.0).contains(&efficiency) || efficiency == 0.0 {
+        return Err(CliError(format!("--efficiency must be in (0, 1); got {efficiency}")));
+    }
+    let procs = args.usize_list_or("procs", &[8, 16, 32, 64])?;
+    if procs.len() < 2 || procs.iter().any(|&p| p == 0) {
+        return Err(CliError("--procs needs at least two positive counts".into()));
+    }
+    let template = Workload::new(2, &stencil, shape);
+
+    let mut t = Table::new(
+        format!(
+            "Isoefficiency · {} · {} · {} · target {:.0}%",
+            model.name(),
+            stencil.name(),
+            shape.name(),
+            efficiency * 100.0
+        ),
+        &["N", "min n", "work n²", "points/processor"],
+    );
+    for &p in &procs {
+        let n = min_grid_for_efficiency(model.as_ref(), &template, p, efficiency);
+        t.row(vec![
+            p.to_string(),
+            n.to_string(),
+            (n * n).to_string(),
+            format!("{:.0}", (n * n) as f64 / p as f64),
+        ]);
+    }
+    let exponent = isoefficiency_exponent(model.as_ref(), &template, &procs, efficiency);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "Fitted isoefficiency exponent: {exponent:.2} (W ∝ N^{exponent:.2}; lower = more scalable).\n"
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        let toks: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+        Args::parse(&toks, KEYS, SWITCHES).unwrap()
+    }
+
+    #[test]
+    fn bus_squares_fit_cubic() {
+        let out = run("sync-bus", &parse(&["--procs", "8,16,32,64"])).unwrap();
+        let exp: f64 = out
+            .lines()
+            .find(|l| l.contains("exponent"))
+            .and_then(|l| l.split_whitespace().nth(3).map(|s| s.parse().unwrap()))
+            .unwrap();
+        assert!((exp - 3.0).abs() < 0.2, "{out}");
+    }
+
+    #[test]
+    fn rejects_bad_targets_and_sweeps() {
+        assert!(run("sync-bus", &parse(&["--efficiency", "1.5"])).is_err());
+        assert!(run("sync-bus", &parse(&["--procs", "8"])).is_err());
+    }
+}

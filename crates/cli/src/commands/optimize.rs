@@ -1,0 +1,93 @@
+//! `parspeed optimize` — the paper's headline question for one instance:
+//! how many processors, and what speedup?
+
+use crate::args::{Args, CliError};
+use crate::select;
+use parspeed_bench::report::Table;
+use parspeed_core::{MemoryBudget, ProcessorBudget, Workload};
+
+pub const KEYS: &[&str] = &["n", "stencil", "shape", "procs", "memory", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const SWITCHES: &[&str] = &["flex32"];
+
+/// Usage shown by `parspeed help optimize`.
+pub const USAGE: &str = "parspeed optimize --arch <name> [--n 256] [--stencil 5pt] [--shape square]
+    [--procs N] [--memory WORDS] [machine overrides: --tfp --b --c --alpha --beta --packet --w --flex32]
+
+Finds the optimal processor count and speedup for one problem instance on
+one architecture (any of: hypercube, mesh, sync-bus, async-bus,
+scheduled-bus, banyan). --procs caps the machine (default: unlimited);
+--memory adds a per-processor capacity in words, which can force spreading
+(§3/§4).";
+
+/// Runs the subcommand.
+pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
+    let m = select::machine(args)?;
+    let model = select::arch_model(arch, &m)?;
+    let n = args.usize_or("n", 256)?;
+    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
+    let shape = select::shape(args.str_or("shape", "square"))?;
+    let w = Workload::new(n, &stencil, shape);
+    let budget = match args.usize_opt("procs")? {
+        Some(p) => ProcessorBudget::Limited(p),
+        None => ProcessorBudget::Unlimited,
+    };
+    let memory = args.f64_opt("memory")?.map(MemoryBudget::words);
+
+    let opt = parspeed_core::optimize_constrained(model.as_ref(), &w, budget, memory)
+        .map_err(|e| CliError(e.to_string()))?;
+
+    let mut t = Table::new(
+        format!("{} · n={n} · {} · {}", model.name(), stencil.name(), shape.name()),
+        &["quantity", "value"],
+    );
+    t.row(vec!["optimal processors".into(), opt.processors.to_string()]);
+    t.row(vec!["largest partition (points)".into(), format!("{:.0}", opt.area)]);
+    t.row(vec!["cycle time".into(), format!("{:.3e} s", opt.cycle_time)]);
+    t.row(vec!["speedup".into(), format!("{:.2}", opt.speedup)]);
+    t.row(vec!["efficiency".into(), format!("{:.1}%", opt.efficiency * 100.0)]);
+    t.row(vec!["uses every processor".into(), if opt.used_all { "yes" } else { "no" }.into()]);
+    if let Some(mem) = memory {
+        t.row(vec![
+            "largest partition memory (words)".into(),
+            format!("{:.0} of {:.0}", MemoryBudget::partition_words(&w, opt.processors), mem.words_per_processor),
+        ]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        let toks: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+        Args::parse(&toks, KEYS, SWITCHES).unwrap()
+    }
+
+    #[test]
+    fn paper_anchor_appears_in_output() {
+        // 256² squares on the sync bus: the §6.1 anchor of ~14 processors.
+        let out = run("sync-bus", &parse(&["--procs", "64"])).unwrap();
+        assert!(out.contains("14"), "{out}");
+        assert!(out.contains("no"), "interior optimum leaves processors idle: {out}");
+    }
+
+    #[test]
+    fn memory_floor_shows_in_output() {
+        let out =
+            run("sync-bus", &parse(&["--procs", "64", "--memory", "20000"])).unwrap();
+        assert!(out.contains("partition memory"), "{out}");
+    }
+
+    #[test]
+    fn infeasible_memory_is_a_clean_error() {
+        let e = run("sync-bus", &parse(&["--memory", "10"])).unwrap_err();
+        assert!(e.0.contains("does not fit"));
+    }
+
+    #[test]
+    fn unknown_architecture_is_an_error() {
+        let e = run("torus", &parse(&[])).unwrap_err();
+        assert!(e.0.contains("torus"));
+    }
+}

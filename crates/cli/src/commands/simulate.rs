@@ -1,0 +1,137 @@
+//! `parspeed simulate` — one event-level iteration beside the closed form.
+
+use crate::args::{Args, CliError};
+use crate::select;
+use parspeed_arch::{
+    AsyncBusSim, BanyanSim, IterationSpec, Mesh2dSim, NeighborExchangeSim, ScheduledBusSim,
+    SyncBusSim,
+};
+use parspeed_bench::report::Table;
+use parspeed_core::Workload;
+use parspeed_grid::{Decomposition, RectDecomposition, StripDecomposition};
+use parspeed_stencil::PartitionShape;
+
+pub const KEYS: &[&str] = &["n", "stencil", "shape", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const SWITCHES: &[&str] = &["flex32"];
+
+/// Usage shown by `parspeed help simulate`.
+pub const USAGE: &str = "parspeed simulate --arch <name> [--n 256] [--procs 16] [--stencil 5pt]
+    [--shape strip] [machine overrides]
+
+Simulates one iteration event by event on the chosen machine (real
+decomposition, exact halo volumes, emergent contention) and prints the
+cycle time next to the analytic model's prediction. Besides the six model
+architectures, `--arch mesh2d` runs the XY-routed store-and-forward mesh,
+where box-stencil corner traffic pays real transit.";
+
+/// Runs the subcommand.
+pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
+    let m = select::machine(args)?;
+    let n = args.usize_or("n", 256)?;
+    let p = args.usize_or("procs", 16)?;
+    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
+    let shape = select::shape(args.str_or("shape", "strip"))?;
+    let model = select::arch_model(arch, &m)?;
+
+    let decomp: Box<dyn Decomposition> = match shape {
+        PartitionShape::Strip => {
+            if p > n {
+                return Err(CliError(format!("{p} strips need a grid of at least {p} rows")));
+            }
+            Box::new(StripDecomposition::new(n, p))
+        }
+        PartitionShape::Square => RectDecomposition::near_square(n, p)
+            .map(|d| Box::new(d) as Box<dyn Decomposition>)
+            .ok_or_else(|| {
+                CliError(format!(
+                    "no near-square decomposition of a {n}×{n} grid into {p} blocks; \
+                     try a processor count with a factor dividing {n}"
+                ))
+            })?,
+    };
+    let spec = IterationSpec::new(decomp.as_ref(), &stencil);
+
+    let report = match arch {
+        "hypercube" => NeighborExchangeSim::hypercube(&m).simulate(&spec),
+        "mesh" => NeighborExchangeSim::mesh(&m).simulate(&spec),
+        "mesh2d" => Mesh2dSim::new(&m).simulate(&spec).cycle,
+        "sync-bus" => SyncBusSim::new(&m).simulate(&spec),
+        "async-bus" => AsyncBusSim::new(&m).simulate(&spec),
+        "scheduled-bus" => ScheduledBusSim::new(&m).simulate(&spec),
+        "banyan" => BanyanSim::new(&m).simulate(&spec).cycle,
+        other => return Err(CliError(format!("no simulator for `{other}`"))),
+    };
+
+    let w = Workload::new(n, &stencil, shape);
+    let predicted = model.cycle_time(&w, w.points() / p as f64);
+    let mut t = Table::new(
+        format!("{} · n={n} · P={p} · {} · {}", model.name(), stencil.name(), shape.name()),
+        &["quantity", "value"],
+    );
+    t.row(vec!["simulated cycle time".into(), format!("{:.3e} s", report.cycle_time)]);
+    t.row(vec!["model cycle time".into(), format!("{:.3e} s", predicted)]);
+    t.row(vec![
+        "relative difference".into(),
+        format!("{:.1}%", 100.0 * (report.cycle_time - predicted).abs() / predicted),
+    ]);
+    t.row(vec!["longest pure compute".into(), format!("{:.3e} s", report.max_compute)]);
+    t.row(vec![
+        "communication fraction".into(),
+        format!("{:.1}%", 100.0 * report.comm_fraction()),
+    ]);
+    t.row(vec![
+        "simulated speedup".into(),
+        format!("{:.2}", model.seq_time(&w) / report.cycle_time),
+    ]);
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        let toks: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+        Args::parse(&toks, KEYS, SWITCHES).unwrap()
+    }
+
+    #[test]
+    fn every_architecture_simulates() {
+        for arch in crate::select::ARCHITECTURES.iter().chain(&["mesh2d"]) {
+            let out = run(arch, &parse(&["--n", "64", "--procs", "4"])).unwrap();
+            assert!(out.contains("simulated cycle time"), "{arch}: {out}");
+        }
+    }
+
+    #[test]
+    fn hypercube_strips_track_the_model_closely() {
+        let out = run("hypercube", &parse(&["--n", "256", "--procs", "8"])).unwrap();
+        let diff_line = out.lines().find(|l| l.contains("relative difference")).unwrap();
+        let pct: f64 = diff_line
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(pct < 5.0, "{out}");
+    }
+
+    #[test]
+    fn impossible_decompositions_error_cleanly() {
+        // More strips than rows.
+        assert!(run("hypercube", &parse(&["--n", "8", "--procs", "16"])).is_err());
+        // 97 blocks on an 8-grid: the only factorization 97×1 exceeds the
+        // rows, so no near-square decomposition exists.
+        let e = run("sync-bus", &parse(&["--n", "8", "--procs", "97", "--shape", "square"]));
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn prime_grids_fall_back_to_bands() {
+        // 13 blocks on a prime 97-grid: near_square degrades to 13×1 bands
+        // rather than failing.
+        let out = run("sync-bus", &parse(&["--n", "97", "--procs", "13", "--shape", "square"]));
+        assert!(out.is_ok());
+    }
+}

@@ -1,0 +1,147 @@
+//! `parspeed solve` — actually solve a Poisson problem with the numerical
+//! substrate (sequential solvers or the rayon-partitioned executor).
+
+use crate::args::{Args, CliError};
+use crate::select;
+use parspeed_bench::report::Table;
+use parspeed_exec::{CheckPolicy, PartitionedJacobi};
+use parspeed_grid::StripDecomposition;
+use parspeed_solver::{
+    CgSolver, JacobiSolver, Manufactured, MultigridSolver, PoissonProblem, RedBlackSolver,
+    SolveStatus, SorSolver,
+};
+
+pub const KEYS: &[&str] = &["n", "solver", "tol", "stencil", "partitions", "max-iters"];
+pub const SWITCHES: &[&str] = &[];
+
+/// Usage shown by `parspeed help solve`.
+pub const USAGE: &str = "parspeed solve [--n 63] [--solver jacobi|sor|rbsor|cg|multigrid|parallel]
+    [--tol 1e-8] [--stencil 5pt] [--partitions 4] [--max-iters 200000]
+
+Solves the manufactured sin·sin Poisson problem on an n×n grid and reports
+iterations, convergence, and the exact-solution error. `parallel` runs the
+rayon-partitioned Jacobi executor with --partitions strips (bit-identical
+to sequential Jacobi); `multigrid` needs n = 2^k − 1.";
+
+fn error_vs_exact(problem: &PoissonProblem, u: &parspeed_grid::Grid2D) -> f64 {
+    let exact = Manufactured::SinSin;
+    let h = problem.h();
+    let mut worst = 0.0f64;
+    for r in 0..problem.n() {
+        for c in 0..problem.n() {
+            let x = (c as f64 + 1.0) * h;
+            let y = (r as f64 + 1.0) * h;
+            worst = worst.max((u.get(r, c) - exact.u(x, y)).abs());
+        }
+    }
+    worst
+}
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let n = args.usize_or("n", 63)?;
+    let tol = args.f64_or("tol", 1e-8)?;
+    let max_iters = args.usize_or("max-iters", 200_000)?;
+    let solver_name = args.str_or("solver", "jacobi");
+    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
+    let problem = PoissonProblem::manufactured(n, Manufactured::SinSin);
+
+    let (u, status, label): (parspeed_grid::Grid2D, SolveStatus, String) = match solver_name {
+        "jacobi" => {
+            let (u, s) =
+                JacobiSolver { tol, max_iters, ..Default::default() }.solve(&problem, &stencil);
+            (u, s, "point Jacobi".into())
+        }
+        "sor" => {
+            let (u, s) = SorSolver { max_iters, ..SorSolver::optimal(n, tol) }
+                .solve(&problem, &stencil);
+            (u, s, "SOR (optimal ω)".into())
+        }
+        "rbsor" => {
+            let (u, s) =
+                RedBlackSolver { max_iters, ..RedBlackSolver::optimal(n, tol) }.solve(&problem);
+            (u, s, "red-black SOR".into())
+        }
+        "cg" => {
+            let (u, s, stats) = CgSolver { tol, max_iters }.solve(&problem);
+            let label = format!("conjugate gradient ({} global reductions)", stats.global_reductions);
+            (u, s, label)
+        }
+        "multigrid" => {
+            if !parspeed_solver::multigrid_valid_side(n) {
+                return Err(CliError(format!(
+                    "multigrid needs n = 2^k − 1 (e.g. 63, 127, 255); got {n}"
+                )));
+            }
+            let (u, s) =
+                MultigridSolver { tol, max_cycles: max_iters.min(1000), ..Default::default() }
+                    .solve(&problem);
+            (u, s, "geometric multigrid V-cycles".into())
+        }
+        "parallel" => {
+            let parts = args.usize_or("partitions", 4)?.clamp(1, n);
+            let d = StripDecomposition::new(n, parts);
+            let mut exec = PartitionedJacobi::new(&problem, &stencil, &d);
+            let run = exec.solve(tol, max_iters, CheckPolicy::geometric());
+            let status = SolveStatus {
+                converged: run.converged,
+                iterations: run.iterations,
+                final_diff: run.final_diff,
+            };
+            (exec.solution(), status, format!("partitioned Jacobi ({parts} strips, rayon)"))
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown solver `{other}`; one of: jacobi, sor, rbsor, cg, multigrid, parallel"
+            )))
+        }
+    };
+
+    let mut t = Table::new(format!("{label} · n={n} · tol={tol:.0e}"), &["quantity", "value"]);
+    t.row(vec!["converged".into(), if status.converged { "yes" } else { "no" }.into()]);
+    t.row(vec!["iterations".into(), status.iterations.to_string()]);
+    t.row(vec!["final update diff".into(), format!("{:.3e}", status.final_diff)]);
+    t.row(vec!["max error vs exact".into(), format!("{:.3e}", error_vs_exact(&problem, &u))]);
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        let toks: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+        Args::parse(&toks, KEYS, SWITCHES).unwrap()
+    }
+
+    #[test]
+    fn all_solvers_converge_on_a_small_grid() {
+        for solver in ["jacobi", "sor", "rbsor", "cg", "multigrid", "parallel"] {
+            let out = run(&parse(&["--n", "31", "--solver", solver, "--tol", "1e-9"])).unwrap();
+            assert!(out.contains("yes"), "{solver} did not converge: {out}");
+        }
+    }
+
+    #[test]
+    fn multigrid_rejects_bad_sides() {
+        let e = run(&parse(&["--n", "64", "--solver", "multigrid"])).unwrap_err();
+        assert!(e.0.contains("2^k"));
+    }
+
+    #[test]
+    fn sor_beats_jacobi_on_iterations() {
+        let iters = |solver: &str| -> usize {
+            let out = run(&parse(&["--n", "31", "--solver", solver])).unwrap();
+            out.lines()
+                .find(|l| l.contains("iterations"))
+                .and_then(|l| l.split_whitespace().last().unwrap().parse().ok())
+                .unwrap()
+        };
+        assert!(iters("sor") < iters("jacobi") / 4);
+    }
+
+    #[test]
+    fn unknown_solver_is_an_error() {
+        assert!(run(&parse(&["--solver", "adi"])).is_err());
+    }
+}

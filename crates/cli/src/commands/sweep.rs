@@ -1,0 +1,91 @@
+//! `parspeed sweep` — optimal speedup and processor count as the problem
+//! grows (the paper's central question).
+
+use crate::args::{Args, CliError};
+use crate::select;
+use parspeed_bench::report::Table;
+use parspeed_core::{ProcessorBudget, Workload};
+
+pub const KEYS: &[&str] = &["stencil", "shape", "procs", "n-from", "n-to", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const SWITCHES: &[&str] = &["flex32"];
+
+/// Usage shown by `parspeed help sweep`.
+pub const USAGE: &str = "parspeed sweep --arch <name> [--n-from 64] [--n-to 4096] [--stencil 5pt]
+    [--shape square] [--procs N] [machine overrides]
+
+Doubles the grid side from --n-from to --n-to and reports the optimal
+allocation at each size: how speedup scales when the machine grows with
+the problem (Table I) or is fixed at --procs (speedup → N, §6.1).";
+
+/// Runs the subcommand.
+pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
+    let m = select::machine(args)?;
+    let model = select::arch_model(arch, &m)?;
+    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
+    let shape = select::shape(args.str_or("shape", "square"))?;
+    let n_from = args.usize_or("n-from", 64)?;
+    let n_to = args.usize_or("n-to", 4096)?;
+    if n_from == 0 || n_to < n_from {
+        return Err(CliError(format!("bad sweep range {n_from}..{n_to}")));
+    }
+    let budget = match args.usize_opt("procs")? {
+        Some(p) => ProcessorBudget::Limited(p),
+        None => ProcessorBudget::Unlimited,
+    };
+
+    let mut t = Table::new(
+        format!("{} scaling sweep · {} · {}", model.name(), stencil.name(), shape.name()),
+        &["n", "log2(n²)", "processors", "speedup", "efficiency", "speedup ratio"],
+    );
+    let mut n = n_from;
+    let mut prev: Option<f64> = None;
+    while n <= n_to {
+        let w = Workload::new(n, &stencil, shape);
+        let opt = parspeed_core::optimize_constrained(model.as_ref(), &w, budget, None)
+            .expect("no memory budget");
+        t.row(vec![
+            n.to_string(),
+            format!("{:.0}", 2.0 * (n as f64).log2()),
+            opt.processors.to_string(),
+            format!("{:.2}", opt.speedup),
+            format!("{:.1}%", opt.efficiency * 100.0),
+            prev.map_or("—".into(), |p| format!("{:.3}", opt.speedup / p)),
+        ]);
+        prev = Some(opt.speedup);
+        if n > n_to / 2 {
+            break;
+        }
+        n *= 2;
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        let toks: Vec<String> = tokens.iter().map(|t| t.to_string()).collect();
+        Args::parse(&toks, KEYS, SWITCHES).unwrap()
+    }
+
+    #[test]
+    fn sync_bus_square_ratio_approaches_cube_root_of_four() {
+        let out = run("sync-bus", &parse(&["--n-from", "512", "--n-to", "4096"])).unwrap();
+        // Θ((n²)^⅓): doubling n multiplies speedup by ∛4 ≈ 1.587.
+        assert!(out.contains("1.58") || out.contains("1.59"), "{out}");
+    }
+
+    #[test]
+    fn fixed_machine_speedup_approaches_n() {
+        let out = run("hypercube", &parse(&["--procs", "16", "--n-from", "256", "--n-to", "8192"])).unwrap();
+        assert!(out.contains("16  "), "{out}");
+        let last = out.lines().last().unwrap();
+        assert!(last.contains("15.") || last.contains("16.0"), "{last}");
+    }
+
+    #[test]
+    fn bad_range_is_an_error() {
+        assert!(run("hypercube", &parse(&["--n-from", "512", "--n-to", "256"])).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! `parspeed` — command-line interface to the models, simulators, and
+//! solvers of the Nicol & Willard (1987) reproduction. Run `parspeed help`
+//! for the command list.
+
+mod args;
+mod commands;
+mod select;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Name-based selection of stencils, shapes, architectures, and machine
+//! parameter overrides shared by every subcommand.
+
+use crate::args::{err, Args, CliError};
+use parspeed_core::{
+    ArchModel, AsyncBus, Banyan, Hypercube, MachineParams, Mesh, ScheduledBus, SyncBus,
+};
+use parspeed_stencil::{PartitionShape, Stencil};
+
+/// Stencil by CLI name.
+pub fn stencil(name: &str) -> Result<Stencil, CliError> {
+    match name {
+        "5pt" | "5-point" => Ok(Stencil::five_point()),
+        "9pt-box" | "9-point-box" => Ok(Stencil::nine_point_box()),
+        "9pt-star" | "9-point-star" => Ok(Stencil::nine_point_star()),
+        "13pt" | "13-point-star" => Ok(Stencil::thirteen_point_star()),
+        other => Err(err(format!(
+            "unknown stencil `{other}`; one of: 5pt, 9pt-box, 9pt-star, 13pt"
+        ))),
+    }
+}
+
+/// Partition shape by CLI name.
+pub fn shape(name: &str) -> Result<PartitionShape, CliError> {
+    match name {
+        "strip" | "strips" => Ok(PartitionShape::Strip),
+        "square" | "squares" => Ok(PartitionShape::Square),
+        other => Err(err(format!("unknown shape `{other}`; one of: strip, square"))),
+    }
+}
+
+/// The architecture names every subcommand accepts.
+pub const ARCHITECTURES: &[&str] =
+    &["hypercube", "mesh", "sync-bus", "async-bus", "scheduled-bus", "banyan"];
+
+/// Analytic model by CLI name.
+pub fn arch_model(name: &str, m: &MachineParams) -> Result<Box<dyn ArchModel>, CliError> {
+    Ok(match name {
+        "hypercube" => Box::new(Hypercube::new(m)),
+        // `mesh2d` is the XY-routed simulator; its analytic counterpart is
+        // the same nearest-neighbour model.
+        "mesh" | "mesh2d" => Box::new(Mesh::new(m)),
+        "sync-bus" => Box::new(SyncBus::new(m)),
+        "async-bus" => Box::new(AsyncBus::new(m)),
+        "scheduled-bus" => Box::new(ScheduledBus::new(m)),
+        "banyan" => Box::new(Banyan::new(m)),
+        other => {
+            return Err(err(format!(
+                "unknown architecture `{other}`; one of: {}",
+                ARCHITECTURES.join(", ")
+            )))
+        }
+    })
+}
+
+/// Builds [`MachineParams`] from the calibrated defaults plus any
+/// command-line overrides (`--flex32` swaps in the measured `c/b ≈ 1000`
+/// overhead regime before overrides apply).
+pub fn machine(args: &Args) -> Result<MachineParams, CliError> {
+    let mut m = if args.switch("flex32") {
+        MachineParams::flex32_defaults()
+    } else {
+        MachineParams::paper_defaults()
+    };
+    if let Some(tfp) = args.f64_opt("tfp")? {
+        m.tfp = tfp;
+    }
+    if let Some(b) = args.f64_opt("b")? {
+        m.bus.b = b;
+    }
+    if let Some(c) = args.f64_opt("c")? {
+        m.bus.c = c;
+    }
+    if let Some(alpha) = args.f64_opt("alpha")? {
+        m.hypercube.alpha = alpha;
+        m.mesh.alpha = alpha;
+    }
+    if let Some(beta) = args.f64_opt("beta")? {
+        m.hypercube.beta = beta;
+        m.mesh.beta = beta;
+    }
+    if let Some(packet) = args.usize_opt("packet")? {
+        m.hypercube.packet_words = packet;
+        m.mesh.packet_words = packet;
+    }
+    if let Some(w) = args.f64_opt("w")? {
+        m.switch.w = w;
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_and_shape_names_resolve() {
+        assert_eq!(stencil("5pt").unwrap().name(), "5-point");
+        assert_eq!(stencil("9pt-box").unwrap().name(), "9-point box");
+        assert_eq!(shape("strip").unwrap(), PartitionShape::Strip);
+        assert!(stencil("7pt").is_err());
+        assert!(shape("hexagon").is_err());
+    }
+
+    #[test]
+    fn every_listed_architecture_constructs() {
+        let m = MachineParams::paper_defaults();
+        for name in ARCHITECTURES {
+            let model = arch_model(name, &m).unwrap();
+            assert!(!model.name().is_empty());
+        }
+        assert!(arch_model("torus", &m).is_err());
+    }
+
+    const MACHINE_KEYS: &[&str] = &["tfp", "b", "c", "alpha", "beta", "packet", "w"];
+
+    #[test]
+    fn machine_overrides_apply() {
+        let args = Args::parse(
+            &["--b".into(), "2e-6".into(), "--c".into(), "1e-7".into()],
+            MACHINE_KEYS,
+            &["flex32"],
+        )
+        .unwrap();
+        let m = machine(&args).unwrap();
+        assert_eq!(m.bus.b, 2e-6);
+        assert_eq!(m.bus.c, 1e-7);
+        assert_eq!(m.tfp, MachineParams::paper_defaults().tfp);
+    }
+
+    #[test]
+    fn flex32_regime_applies_before_overrides() {
+        let args =
+            Args::parse(&["--flex32".into()], MACHINE_KEYS, &["flex32"]).unwrap();
+        let m = machine(&args).unwrap();
+        assert!((m.bus.c / m.bus.b - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,345 @@
+//! Synchronous shared-bus model (§6.1).
+//!
+//! Every word moved to or from global memory is serialized by the bus; with
+//! `P` processors requesting service concurrently the effective delay per
+//! word is `c + b·P` (`c` fixed overhead, `b` bus cycle). A partition reads
+//! its neighbours' boundary points at the start of an iteration and writes
+//! its own at the end, so with `V` words each way
+//!
+//! ```text
+//! t_ta = 2·V·(c + b·P)
+//! strips : V = 2nk  →  t_cycle(A) = E·A·Tfp + 4n³bk/A + 4nck        (eq. 2)
+//! squares: V = 4sk  →  t_cycle(s) = E·s²·Tfp + 8kbn²/s + 8kcs
+//! ```
+//!
+//! Strip optimum: `A* = √(4n³bk/(E·Tfp))` (eq. 3) — independent of `c`.
+//! Square optimum: the positive root of `E·Tfp·s³ + 4k(c·s² − b·n²) = 0`;
+//! an interior optimum with `P` processors requires `c/b ≤ P`, which is why
+//! the FLEX/32 (`c/b ≈ 1000`) should always use all its processors.
+
+use crate::{roots, ArchModel, BusParams, MachineParams, Workload};
+use parspeed_stencil::PartitionShape;
+
+/// The synchronous-bus architecture model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncBus {
+    tfp: f64,
+    bus: BusParams,
+}
+
+impl SyncBus {
+    /// Builds the model from a machine description.
+    pub fn new(m: &MachineParams) -> Self {
+        Self { tfp: m.tfp, bus: m.bus }
+    }
+
+    /// Builds the model from explicit constants.
+    pub fn with(tfp: f64, bus: BusParams) -> Self {
+        assert!(tfp > 0.0 && bus.b > 0.0 && bus.c >= 0.0);
+        Self { tfp, bus }
+    }
+
+    /// The bus constants in use.
+    pub fn bus(&self) -> BusParams {
+        self.bus
+    }
+
+    /// Transfer/synchronization time `t_ta` for partitions of `area` points
+    /// (`P = n²/area` concurrent requesters).
+    pub fn transfer_time(&self, w: &Workload, area: f64) -> f64 {
+        let p = w.points() / area;
+        let one_way = w.one_way_words(area);
+        2.0 * one_way * (self.bus.c + self.bus.b * p)
+    }
+
+    /// Paper eq. (3): the continuous strip area minimizing cycle time,
+    /// `A* = √(4n³bk/(E·Tfp))` — notably independent of the overhead `c`.
+    pub fn optimal_strip_area(&self, w: &Workload) -> f64 {
+        let n = w.n as f64;
+        (4.0 * n * n * n * self.bus.b * w.k as f64 / (w.e_flops * self.tfp)).sqrt()
+    }
+
+    /// The paper's §6.1 cubic: optimal square side for general `c`.
+    pub fn optimal_square_side(&self, w: &Workload) -> f64 {
+        roots::optimal_square_side(
+            w.e_flops,
+            self.tfp,
+            w.k as f64,
+            self.bus.c,
+            self.bus.b,
+            w.n as f64,
+        )
+    }
+
+    /// Paper ineq. (4) (strips) / (6) (squares): true iff the optimum uses
+    /// *fewer* than all `n_procs` processors.
+    pub fn uses_fewer_than(&self, w: &Workload, n_procs: usize) -> bool {
+        let n = n_procs as f64;
+        let rhs = w.e_flops * w.n as f64 / (4.0 * w.k as f64);
+        let lhs = match w.shape {
+            PartitionShape::Strip => n * n * self.bus.b / self.tfp,
+            PartitionShape::Square => n.powf(1.5) * self.bus.b / self.tfp,
+        };
+        lhs > rhs
+    }
+
+    /// Paper eq. (5)-style all-N speedup: the grid spread across exactly
+    /// `n_procs` processors.
+    pub fn all_n_speedup(&self, w: &Workload, n_procs: usize) -> f64 {
+        let area = w.points() / n_procs as f64;
+        self.speedup_at(w, area)
+    }
+
+    /// Closed-form optimal cycle time with processors unconstrained
+    /// (continuous areas): strips `4n^{3/2}√(E·Tfp·b·k) + 4nck`; squares
+    /// from the cubic root. When the interior optimum is worse than one
+    /// processor — the paper's case (3), communication so expensive that
+    /// the grid belongs on a single machine — the sequential time wins.
+    pub fn optimal_cycle_unbounded(&self, w: &Workload) -> f64 {
+        let interior = match w.shape {
+            PartitionShape::Strip => {
+                let n = w.n as f64;
+                let k = w.k as f64;
+                4.0 * n.powf(1.5) * (w.e_flops * self.tfp * self.bus.b * k).sqrt()
+                    + 4.0 * n * self.bus.c * k
+            }
+            PartitionShape::Square => {
+                let s = self.optimal_square_side(w);
+                self.cycle_time(w, (s * s).min(w.points()))
+            }
+        };
+        interior.min(self.seq_time(w))
+    }
+
+    /// Optimal speedup with processors unconstrained — the paper's
+    /// `Θ((n²)^{1/4})` (strips) / `Θ((n²)^{1/3})` (squares) quantity.
+    pub fn optimal_speedup_unbounded(&self, w: &Workload) -> f64 {
+        self.seq_time(w) / self.optimal_cycle_unbounded(w)
+    }
+
+    /// Necessary condition for an interior square optimum with `P`
+    /// processors: `c/b ≤ P` (§6.1). Returns the ratio `c/b`.
+    pub fn overhead_ratio(&self) -> f64 {
+        self.bus.c / self.bus.b
+    }
+}
+
+impl ArchModel for SyncBus {
+    fn name(&self) -> &'static str {
+        "synchronous bus"
+    }
+
+    fn tfp(&self) -> f64 {
+        self.tfp
+    }
+
+    fn cycle_time(&self, w: &Workload, area: f64) -> f64 {
+        assert!(area > 0.0, "area must be positive");
+        let points = w.points();
+        if area >= points {
+            // One processor: no communication is suffered (§4).
+            return self.seq_time(w);
+        }
+        w.e_flops * area * self.tfp + self.transfer_time(w, area)
+    }
+
+    fn closed_form_optimal_area(&self, w: &Workload) -> Option<f64> {
+        Some(match w.shape {
+            PartitionShape::Strip => self.optimal_strip_area(w),
+            PartitionShape::Square => {
+                let s = self.optimal_square_side(w);
+                s * s
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convex::{golden_min, is_unimodal_sampled};
+    use parspeed_stencil::Stencil;
+
+    fn paper_bus() -> SyncBus {
+        SyncBus::new(&MachineParams::paper_defaults())
+    }
+
+    fn wl(n: usize, shape: PartitionShape) -> Workload {
+        Workload::new(n, &Stencil::five_point(), shape)
+    }
+
+    #[test]
+    fn strip_cycle_matches_equation_2() {
+        // t_cycle = E·A·Tfp + 4n³bk/A + 4nck, term by term.
+        let m = MachineParams::paper_defaults().with_bus_overhead(2.0e-6);
+        let bus = SyncBus::new(&m);
+        let w = wl(64, PartitionShape::Strip);
+        let a = 512.0;
+        let n = 64.0f64;
+        let expect = 6.0 * a * m.tfp
+            + 4.0 * n.powi(3) * m.bus.b * 1.0 / a
+            + 4.0 * n * 2.0e-6 * 1.0;
+        assert!((bus.cycle_time(&w, a) - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn square_cycle_matches_equation() {
+        // t_cycle = E·s²·Tfp + 8kbn²/s + 8kcs.
+        let m = MachineParams::paper_defaults().with_bus_overhead(1.0e-6);
+        let bus = SyncBus::new(&m);
+        let w = Workload::new(64, &Stencil::nine_point_star(), PartitionShape::Square);
+        let s = 16.0f64;
+        let k = 2.0;
+        let expect =
+            11.0 * s * s * m.tfp + 8.0 * k * m.bus.b * 64.0 * 64.0 / s + 8.0 * k * 1.0e-6 * s;
+        assert!((bus.cycle_time(&w, s * s) - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn cycle_time_is_convex_in_area() {
+        let bus = paper_bus();
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            let w = wl(256, shape);
+            assert!(
+                is_unimodal_sampled(16.0, 256.0 * 256.0 - 1.0, 4000, 1e-12, |a| bus
+                    .cycle_time(&w, a)),
+                "{shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_strip_optimum_matches_numeric() {
+        let bus = paper_bus();
+        let w = wl(256, PartitionShape::Strip);
+        let closed = bus.optimal_strip_area(&w);
+        let (numeric, _) = golden_min(1.0, 65535.0, |a| bus.cycle_time(&w, a));
+        assert!((closed - numeric).abs() / closed < 1e-4, "{closed} vs {numeric}");
+    }
+
+    #[test]
+    fn closed_form_square_optimum_matches_numeric_with_overhead() {
+        let m = MachineParams::paper_defaults().with_bus_overhead(0.5e-6);
+        let bus = SyncBus::new(&m);
+        let w = wl(256, PartitionShape::Square);
+        let s = bus.optimal_square_side(&w);
+        let (numeric, _) = golden_min(1.0, 65535.0, |a| bus.cycle_time(&w, a));
+        assert!((s * s - numeric).abs() / (s * s) < 1e-3, "{} vs {numeric}", s * s);
+    }
+
+    #[test]
+    fn paper_anchor_14_processors_on_256_grid() {
+        // §6.1: 256×256, square partitions, 5-point: optimal uses ~14
+        // processors; 9-point: ~22.
+        let bus = paper_bus();
+        let w5 = wl(256, PartitionShape::Square);
+        let s = bus.optimal_square_side(&w5);
+        let p = (256.0 * 256.0) / (s * s);
+        assert!((p - 14.0).abs() < 1.0, "5-point: {p}");
+        let w9 = Workload::new(256, &Stencil::nine_point_box(), PartitionShape::Square);
+        let s9 = bus.optimal_square_side(&w9);
+        let p9 = (256.0 * 256.0) / (s9 * s9);
+        assert!((p9 - 22.0).abs() < 1.0, "9-point: {p9}");
+    }
+
+    #[test]
+    fn inequality_4_matches_direct_comparison() {
+        // uses_fewer_than(N) ⇔ A* > n²/N, across a sweep.
+        let bus = paper_bus();
+        for n in [64usize, 128, 256, 512] {
+            for shape in [PartitionShape::Strip, PartitionShape::Square] {
+                let w = wl(n, shape);
+                for nprocs in [2usize, 4, 8, 16, 32, 64] {
+                    let astar = bus.closed_form_optimal_area(&w).unwrap();
+                    let direct = astar > w.points() / nprocs as f64;
+                    assert_eq!(
+                        bus.uses_fewer_than(&w, nprocs),
+                        direct,
+                        "n={n} N={nprocs} {shape:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strips_call_for_fewer_processors_than_squares() {
+        // Inequalities (4) and (6): "a strip decomposition … will always
+        // call for fewer (or equal) processors than a square decomposition"
+        // when k is equal. N² ≥ N^{3/2} makes the strip inequality trigger
+        // first.
+        let bus = paper_bus();
+        for n in [64usize, 256, 1024] {
+            for nprocs in [4usize, 16, 64] {
+                let ws = wl(n, PartitionShape::Strip);
+                let wq = wl(n, PartitionShape::Square);
+                // If squares already leave processors idle, strips must too.
+                if bus.uses_fewer_than(&wq, nprocs) {
+                    assert!(bus.uses_fewer_than(&ws, nprocs), "n={n} N={nprocs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn communication_is_twice_computation_at_square_optimum() {
+        // §6.1, c = 0: at s̃ the communication cost is exactly twice the
+        // computation cost.
+        let bus = paper_bus(); // c = 0 in defaults
+        let w = wl(512, PartitionShape::Square);
+        let s = bus.optimal_square_side(&w);
+        let comp = w.e_flops * s * s * bus.tfp();
+        let comm = bus.transfer_time(&w, s * s);
+        assert!((comm / comp - 2.0).abs() < 1e-9, "ratio {}", comm / comp);
+    }
+
+    #[test]
+    fn unbounded_speedup_scales_as_the_paper_says() {
+        // Strips Θ((n²)^{1/4}); squares Θ((n²)^{1/3}): quadrupling n²
+        // multiplies speedup by √2 / ∛4 respectively (c = 0).
+        let bus = paper_bus();
+        let s1 = bus.optimal_speedup_unbounded(&wl(256, PartitionShape::Strip));
+        let s2 = bus.optimal_speedup_unbounded(&wl(512, PartitionShape::Strip));
+        assert!((s2 / s1 - 2.0f64.sqrt()).abs() < 1e-6, "strip ratio {}", s2 / s1);
+        let q1 = bus.optimal_speedup_unbounded(&wl(256, PartitionShape::Square));
+        let q2 = bus.optimal_speedup_unbounded(&wl(512, PartitionShape::Square));
+        assert!((q2 / q1 - 4.0f64.powf(1.0 / 3.0)).abs() < 1e-6, "square ratio {}", q2 / q1);
+    }
+
+    #[test]
+    fn squares_beat_strips_on_large_grids() {
+        let bus = paper_bus();
+        for n in [256usize, 512, 1024] {
+            let s = bus.optimal_speedup_unbounded(&wl(n, PartitionShape::Strip));
+            let q = bus.optimal_speedup_unbounded(&wl(n, PartitionShape::Square));
+            assert!(q > s, "n={n}: squares {q} ≤ strips {s}");
+        }
+    }
+
+    #[test]
+    fn flex32_overhead_ratio_demands_all_processors() {
+        // c/b ≈ 1000 ≫ 30 processors ⇒ interior optimum impossible on a
+        // bus machine: optimal square side yields P < 1 … meaning "use all".
+        let bus = SyncBus::new(&MachineParams::flex32_defaults());
+        assert!(bus.overhead_ratio() > 30.0);
+        let w = wl(256, PartitionShape::Square);
+        // The interior optimum would need more processors than any bus
+        // machine has; with N = 30 the all-N allocation must win.
+        assert!(!bus.uses_fewer_than(&w, 30) || bus.overhead_ratio() > 30.0);
+    }
+
+    #[test]
+    fn all_n_speedup_approaches_n() {
+        // §6.1: speedup → N as n² → ∞ for fixed N. Convergence is O(1/n),
+        // so it takes very large grids to close on N.
+        let bus = paper_bus();
+        let mut prev = 0.0;
+        for n in [128usize, 512, 2048, 8192, 65536] {
+            let s = bus.all_n_speedup(&wl(n, PartitionShape::Strip), 16);
+            assert!(s > prev);
+            prev = s;
+        }
+        assert!(prev > 15.0, "speedup at n=65536 is {prev}");
+        assert!(prev < 16.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Convergence-checking costs and scheduling (§4, after Saltz, Naik &
+//! Nicol [13]).
+//!
+//! A convergence check has two parts: a *local* pass comparing every
+//! updated point with its previous value (for small stencils this can be
+//! ~50% of the update compute), and a *dissemination* stage combining the
+//! per-partition verdicts across the machine — non-local communication
+//! whose cost grows with the processor count. The paper notes that naive
+//! per-iteration checking on a hypercube is expensive, but scheduled
+//! checks (every `d` iterations) reduce the cost "to an insignificant
+//! amount". This module prices both parts per architecture and finds the
+//! optimal checking period.
+
+use crate::{HypercubeParams, MachineParams};
+
+/// Per-architecture dissemination cost of one convergence check with `p`
+/// participating processors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dissemination {
+    /// Hypercube all-reduce: `2·⌈log₂p⌉` single-word neighbour messages.
+    Hypercube(HypercubeParams),
+    /// Bus: one word per processor over the shared bus.
+    Bus {
+        /// Bus cycle time per word.
+        b: f64,
+        /// Fixed per-word overhead.
+        c: f64,
+    },
+    /// Mesh with dedicated global-combine hardware (FEM-style): free.
+    CombineHardware,
+    /// Mesh without combine hardware: a software combine tree of depth
+    /// `2·√p` single-word hops.
+    MeshSoftware(HypercubeParams),
+}
+
+impl Dissemination {
+    /// Seconds to combine and redistribute one verdict across `p`
+    /// processors.
+    pub fn time(&self, p: usize) -> f64 {
+        let p = p.max(1) as f64;
+        match self {
+            Dissemination::Hypercube(h) => 2.0 * p.log2().ceil() * (h.alpha + h.beta),
+            Dissemination::Bus { b, c } => p * (b + c),
+            Dissemination::CombineHardware => 0.0,
+            Dissemination::MeshSoftware(h) => 2.0 * p.sqrt().ceil() * (h.alpha + h.beta),
+        }
+    }
+}
+
+/// The cost model for convergence checking on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceModel {
+    /// Flops per grid point of the local check (difference, square,
+    /// accumulate ≈ 3 — about half a 5-point update, as §4 notes).
+    pub check_flops: f64,
+    /// Seconds per flop.
+    pub tfp: f64,
+    /// How verdicts spread.
+    pub dissemination: Dissemination,
+}
+
+impl ConvergenceModel {
+    /// Hypercube-flavoured model from shared machine constants.
+    pub fn hypercube(m: &MachineParams) -> Self {
+        Self { check_flops: 3.0, tfp: m.tfp, dissemination: Dissemination::Hypercube(m.hypercube) }
+    }
+
+    /// Bus-flavoured model.
+    pub fn bus(m: &MachineParams) -> Self {
+        Self {
+            check_flops: 3.0,
+            tfp: m.tfp,
+            dissemination: Dissemination::Bus { b: m.bus.b, c: m.bus.c },
+        }
+    }
+
+    /// Cost of one check: local pass over `area` points plus dissemination
+    /// across `p` processors.
+    pub fn check_time(&self, area: f64, p: usize) -> f64 {
+        self.check_flops * area * self.tfp + self.dissemination.time(p)
+    }
+
+    /// Expected total solve time when convergence lands after about
+    /// `iters_needed` iterations of base cycle time `cycle`, checking every
+    /// `period` iterations.
+    ///
+    /// The solver does not know `iters_needed` in advance (that is the
+    /// whole scheduling problem of [13]), so convergence falls uniformly
+    /// within a checking period: the expected overshoot is `(period−1)/2`
+    /// wasted iterations, and `iters/period + 1` checks run before the
+    /// detecting one.
+    pub fn total_time(&self, iters_needed: usize, cycle: f64, area: f64, p: usize, period: usize) -> f64 {
+        assert!(period >= 1);
+        let d = period as f64;
+        let checks = iters_needed as f64 / d + 1.0;
+        let overshoot = (d - 1.0) / 2.0;
+        (iters_needed as f64 + overshoot) * cycle + checks * self.check_time(area, p)
+    }
+
+    /// The checking period minimizing [`ConvergenceModel::total_time`],
+    /// scanned over `1..=iters_needed` (the curve is unimodal but cheap to
+    /// scan exactly).
+    pub fn optimal_period(&self, iters_needed: usize, cycle: f64, area: f64, p: usize) -> usize {
+        (1..=iters_needed.max(1))
+            .min_by(|&a, &b| {
+                self.total_time(iters_needed, cycle, area, p, a)
+                    .total_cmp(&self.total_time(iters_needed, cycle, area, p, b))
+            })
+            .expect("nonempty range")
+    }
+
+    /// Fractional overhead of checking every `period` iterations relative
+    /// to a check-free solve of `iters_needed` iterations.
+    pub fn overhead_fraction(&self, iters_needed: usize, cycle: f64, area: f64, p: usize, period: usize) -> f64 {
+        let base = iters_needed as f64 * cycle;
+        (self.total_time(iters_needed, cycle, area, p, period) - base) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineParams {
+        MachineParams::paper_defaults()
+    }
+
+    #[test]
+    fn local_check_is_about_half_a_five_point_update() {
+        // §4: "the additional computation required to do a convergence
+        // check can be 50% of the grid update computation" for 5-point.
+        let c = ConvergenceModel::hypercube(&m());
+        let update_flops = 6.0;
+        assert!((c.check_flops / update_flops - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypercube_dissemination_grows_logarithmically() {
+        let c = ConvergenceModel::hypercube(&m());
+        let t16 = c.dissemination.time(16);
+        let t256 = c.dissemination.time(256);
+        assert!((t256 / t16 - 2.0).abs() < 1e-9); // log₂256 / log₂16 = 8/4
+    }
+
+    #[test]
+    fn bus_dissemination_is_cheap() {
+        // §6: "involves only one number from each processor, and is hence
+        // ignored" — must be orders below a boundary exchange.
+        let machine = m();
+        let c = ConvergenceModel::bus(&machine);
+        let diss = c.dissemination.time(30);
+        let one_boundary_word_exchange = 2.0 * 256.0 * (machine.bus.c + machine.bus.b * 30.0);
+        assert!(diss < one_boundary_word_exchange / 100.0);
+    }
+
+    #[test]
+    fn combine_hardware_is_free() {
+        assert_eq!(Dissemination::CombineHardware.time(1024), 0.0);
+    }
+
+    /// A realistic iPSC-class regime: n = 1024 spread over 64 processors
+    /// (16 384 points each), 5-point Jacobi cycle, ~937 iterations.
+    fn regime() -> (ConvergenceModel, usize, f64, f64, usize) {
+        let machine = m();
+        let c = ConvergenceModel::hypercube(&machine);
+        let area = 16_384.0;
+        let cycle = 6.0 * area * machine.tfp;
+        (c, 937, cycle, area, 64)
+    }
+
+    #[test]
+    fn naive_checking_on_hypercube_is_expensive() {
+        // §4: "the communication cost for convergence checking is extremely
+        // high due to message packaging and handling costs" — per-iteration
+        // checking costs more than the iteration itself here.
+        let (c, iters, cycle, area, p) = regime();
+        let over = c.overhead_fraction(iters, cycle, area, p, 1);
+        assert!(over > 0.5, "naive overhead only {over}");
+    }
+
+    #[test]
+    fn scheduling_makes_checking_insignificant() {
+        // §4 / [13]: scheduled checks reduce the cost to an insignificant
+        // amount — under 10% at the optimal period in the same regime where
+        // naive checking costs >50%.
+        let (c, iters, cycle, area, p) = regime();
+        let d = c.optimal_period(iters, cycle, area, p);
+        assert!(d > 1, "optimal period collapsed to naive checking");
+        assert!(d < iters, "optimal period degenerated to a single check");
+        let over = c.overhead_fraction(iters, cycle, area, p, d);
+        assert!(over < 0.10, "scheduled overhead {over} at period {d}");
+    }
+
+    #[test]
+    fn optimal_period_follows_square_root_law() {
+        // Balancing overshoot d/2·cycle against iters/d checks gives
+        // d* ≈ √(2·iters·check/cycle).
+        let (c, iters, cycle, area, p) = regime();
+        let d = c.optimal_period(iters, cycle, area, p) as f64;
+        let law = (2.0 * iters as f64 * c.check_time(area, p) / cycle).sqrt();
+        assert!((d - law).abs() / law < 0.25, "scan {d} vs law {law}");
+        let best = c.total_time(iters, cycle, area, p, d as usize);
+        assert!(best <= c.total_time(iters, cycle, area, p, 1));
+        assert!(best <= c.total_time(iters, cycle, area, p, iters));
+    }
+
+    #[test]
+    fn period_one_checks_every_iteration_with_no_overshoot() {
+        let c = ConvergenceModel::bus(&m());
+        let t = c.total_time(10, 1.0, 100.0, 4, 1);
+        let expected = 10.0 * 1.0 + 11.0 * c.check_time(100.0, 4);
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_overshoot_is_charged() {
+        // Period 4: expected 1.5 wasted iterations, 10/4 + 1 checks.
+        let c = ConvergenceModel::bus(&m());
+        let t = c.total_time(10, 1.0, 0.0, 1, 4);
+        let check = c.check_time(0.0, 1);
+        assert!((t - (11.5 + 3.5 * check)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimization of unimodal functions.
+//!
+//! Every cycle-time curve in the paper is convex (or monotone) in the
+//! partition area, so golden-section search finds the continuous optimum
+//! reliably; the optimizer then snaps it to feasible integer allocations.
+
+/// Golden-section search for the minimum of a unimodal `f` on `[lo, hi]`.
+///
+/// Returns `(x_min, f(x_min))`. Near a smooth quadratic minimum the
+/// abscissa is accurate to about `√ε ≈ 1e-8` relative — the theoretical
+/// limit for value-comparison methods, and far tighter than the integer
+/// snapping downstream needs. For monotone `f` it converges to the cheaper
+/// endpoint, which is exactly the extremal-allocation behaviour the paper's
+/// hypercube analysis needs.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is not finite.
+pub fn golden_min(mut lo: f64, mut hi: f64, f: impl Fn(f64) -> f64) -> (f64, f64) {
+    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad bracket [{lo}, {hi}]");
+    const INVPHI: f64 = 0.618_033_988_749_894_8; // 1/φ
+    const INVPHI2: f64 = 0.381_966_011_250_105_2; // 1/φ²
+    if lo == hi {
+        return (lo, f(lo));
+    }
+    let mut h = hi - lo;
+    let mut a = lo + INVPHI2 * h;
+    let mut b = lo + INVPHI * h;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    // Enough iterations for ~1e-12 relative bracket shrinkage.
+    for _ in 0..200 {
+        if h <= 1e-12 * (lo.abs() + hi.abs() + 1e-300) {
+            break;
+        }
+        if fa < fb {
+            hi = b;
+            b = a;
+            fb = fa;
+            h = hi - lo;
+            a = lo + INVPHI2 * h;
+            fa = f(a);
+        } else {
+            lo = a;
+            a = b;
+            fa = fb;
+            h = hi - lo;
+            b = lo + INVPHI * h;
+            fb = f(b);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    (x, f(x))
+}
+
+/// Checks that `f` is unimodal on a sampled grid of `[lo, hi]`: its sampled
+/// values strictly decrease then strictly increase (either phase may be
+/// empty). Tolerates flat steps within `tol`. Used by tests to certify the
+/// paper's convexity claims numerically.
+pub fn is_unimodal_sampled(lo: f64, hi: f64, samples: usize, tol: f64, f: impl Fn(f64) -> f64) -> bool {
+    assert!(samples >= 2);
+    let xs: Vec<f64> =
+        (0..samples).map(|i| lo + (hi - lo) * i as f64 / (samples - 1) as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+    let mut rising = false;
+    for w in ys.windows(2) {
+        if w[1] > w[0] + tol {
+            rising = true;
+        } else if w[1] < w[0] - tol && rising {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_parabola_minimum() {
+        let (x, fx) = golden_min(-10.0, 10.0, |x| (x - 3.0) * (x - 3.0) + 1.0);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((fx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_decreasing_converges_to_right_endpoint() {
+        let (x, _) = golden_min(0.0, 5.0, |x| -x);
+        assert!((x - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn monotone_increasing_converges_to_left_endpoint() {
+        let (x, _) = golden_min(2.0, 9.0, |x| x * x);
+        assert!((x - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn handles_degenerate_bracket() {
+        let (x, fx) = golden_min(4.0, 4.0, |x| x + 1.0);
+        assert_eq!(x, 4.0);
+        assert_eq!(fx, 5.0);
+    }
+
+    #[test]
+    fn paper_shape_sum_of_hyperbola_and_line() {
+        // t(A) = E·A + V/A — the sync-bus strip cycle-time shape.
+        let e = 2.0;
+        let v = 32.0;
+        let (x, _) = golden_min(0.1, 100.0, |a| e * a + v / a);
+        assert!((x - (v / e).sqrt()).abs() < 1e-6, "got {x}");
+    }
+
+    #[test]
+    fn unimodality_detector() {
+        assert!(is_unimodal_sampled(-5.0, 5.0, 101, 0.0, |x| x * x));
+        assert!(is_unimodal_sampled(0.0, 10.0, 101, 0.0, |x| x));
+        assert!(is_unimodal_sampled(0.0, 10.0, 101, 0.0, |x| -x));
+        // A two-dip curve is not unimodal.
+        assert!(!is_unimodal_sampled(-6.0, 6.0, 601, 0.0, |x: f64| (x * x - 9.0).powi(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bracket")]
+    fn rejects_inverted_bracket() {
+        let _ = golden_min(2.0, 1.0, |x| x);
+    }
+}

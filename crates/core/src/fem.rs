@@ -1,0 +1,152 @@
+//! The §5 counter-example: Adams & Crockett's conjugate-gradient code on
+//! the Finite Element Machine.
+//!
+//! Each CG iteration makes *every processor send every other processor a
+//! number* (the pieces of a global inner product) and add them all up. The
+//! per-iteration time is then
+//!
+//! ```text
+//! t(P) = E·n²·Tfp / P  +  (P − 1)·t_exch  +  P·t_add
+//! ```
+//!
+//! which is **not** monotone in `P`: past `P* ≈ √(E·n²·Tfp/(t_exch+t_add))`
+//! adding processors *increases* execution time. This is the paper's
+//! demonstration that the extremal-allocation result depends on strictly
+//! nearest-neighbour communication.
+
+use crate::MachineParams;
+
+/// Cost model for a CG-style iteration with an all-to-all scalar reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FemModel {
+    /// Seconds per flop.
+    pub tfp: f64,
+    /// Flops per grid point per CG iteration (matvec + axpys + dots).
+    pub e_flops: f64,
+    /// Time to exchange one scalar with one other processor.
+    pub t_exch: f64,
+    /// Time to add one received scalar into the accumulator.
+    pub t_add: f64,
+}
+
+impl FemModel {
+    /// A FEM-flavoured model from the shared machine constants: scalar
+    /// exchange costs one bus word with overhead, additions one flop.
+    pub fn new(m: &MachineParams) -> Self {
+        Self {
+            tfp: m.tfp,
+            // 5-point matvec (6) + 2 dots (4) + 3 axpys (6) per point.
+            e_flops: 16.0,
+            t_exch: m.bus.c + m.bus.b,
+            t_add: m.tfp,
+        }
+    }
+
+    /// Per-iteration execution time with `p` processors on an `n×n` grid.
+    pub fn iteration_time(&self, n: usize, p: usize) -> f64 {
+        assert!(p >= 1);
+        let compute = self.e_flops * (n * n) as f64 * self.tfp / p as f64;
+        if p == 1 {
+            return compute;
+        }
+        compute + (p as f64 - 1.0) * self.t_exch + p as f64 * self.t_add
+    }
+
+    /// The continuous interior optimum `P* = √(E·n²·Tfp/(t_exch + t_add))`.
+    pub fn optimal_processors_continuous(&self, n: usize) -> f64 {
+        (self.e_flops * (n * n) as f64 * self.tfp / (self.t_exch + self.t_add)).sqrt()
+    }
+
+    /// Exact integer optimum by scanning `1..=cap`.
+    pub fn optimal_processors(&self, n: usize, cap: usize) -> usize {
+        (1..=cap.max(1))
+            .min_by(|&a, &b| {
+                self.iteration_time(n, a).total_cmp(&self.iteration_time(n, b))
+            })
+            .expect("cap ≥ 1")
+    }
+
+    /// True iff execution time increases somewhere on `[2, cap]` — the
+    /// §5 non-monotonicity.
+    pub fn is_non_monotone(&self, n: usize, cap: usize) -> bool {
+        let mut prev = self.iteration_time(n, 2);
+        for p in 3..=cap {
+            let t = self.iteration_time(n, p);
+            if t > prev {
+                return true;
+            }
+            prev = t;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fem() -> FemModel {
+        FemModel::new(&MachineParams::paper_defaults())
+    }
+
+    #[test]
+    fn execution_time_is_non_monotone() {
+        // The defining §5 phenomenon: past the optimum, more processors
+        // hurt.
+        let f = fem();
+        assert!(f.is_non_monotone(64, 4096));
+    }
+
+    #[test]
+    fn interior_optimum_matches_continuous_formula() {
+        let f = fem();
+        for n in [32usize, 64, 128, 256] {
+            let cont = f.optimal_processors_continuous(n);
+            let exact = f.optimal_processors(n, 100_000) as f64;
+            assert!(
+                (exact - cont).abs() <= 1.0 + cont * 0.01,
+                "n={n}: continuous {cont} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_grows_with_problem_size() {
+        let f = fem();
+        let p64 = f.optimal_processors(64, 1 << 20);
+        let p256 = f.optimal_processors(256, 1 << 20);
+        let p1024 = f.optimal_processors(1024, 1 << 20);
+        assert!(p64 < p256 && p256 < p1024);
+        // √ scaling: quadrupling n multiplies P* by ~4 (n² × 16, √ → ×4).
+        let ratio = p1024 as f64 / p256 as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn beyond_optimum_time_rises() {
+        let f = fem();
+        let n = 128;
+        let p_star = f.optimal_processors(n, 1 << 20);
+        let at = f.iteration_time(n, p_star);
+        assert!(f.iteration_time(n, p_star * 4) > at);
+        assert!(f.iteration_time(n, p_star * 16) > f.iteration_time(n, p_star * 4));
+    }
+
+    #[test]
+    fn single_processor_pays_no_exchange() {
+        let f = fem();
+        let t1 = f.iteration_time(100, 1);
+        assert!((t1 - f.e_flops * 10_000.0 * f.tfp).abs() < 1e-18);
+    }
+
+    #[test]
+    fn contrast_with_jacobi_extremal_rule() {
+        // For the Jacobi/nearest-neighbour model the paper proves extremal
+        // allocation; for CG/all-to-all the optimum is interior. Both facts
+        // in one place: the FEM optimum is strictly between the extremes.
+        let f = fem();
+        let cap = 1 << 14;
+        let p = f.optimal_processors(256, cap);
+        assert!(p > 1 && p < cap, "interior optimum expected, got {p}");
+    }
+}

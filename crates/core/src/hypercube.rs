@@ -1,0 +1,227 @@
+//! Hypercube model (§4): contention-free nearest-neighbour messages.
+//!
+//! Adjacent partitions map to adjacent nodes (Gray-code embedding for
+//! strips, 2-D subcube embedding for squares), so a message's cost is
+//! independent of total system traffic: a `V`-word message to a neighbour
+//! costs `⌈V/packetsize⌉·α + β`. One half-duplex port per node serializes a
+//! partition's sends and receives:
+//!
+//! ```text
+//! strips : t_ta = 4·(⌈n·k/ps⌉·α + β)      (2 neighbours × send+recv)
+//! squares: t_ta = 8·(⌈s·k/ps⌉·α + β)      (4 neighbours × send+recv)
+//! ```
+//!
+//! `t_cycle(P)` is strictly decreasing in `P` (for `P ≥ 2`), so the optimal
+//! allocation is extremal: one processor or all of them. Growing the
+//! machine with the problem at fixed `F = n²/P` points per processor keeps
+//! the cycle time constant, giving speedup linear in `n²` (Table I).
+
+use crate::{ArchModel, HypercubeParams, MachineParams, Workload};
+use parspeed_stencil::PartitionShape;
+
+/// The hypercube architecture model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hypercube {
+    tfp: f64,
+    p: HypercubeParams,
+}
+
+/// Shared message-cost arithmetic for neighbour-exchange machines
+/// (hypercube and mesh have identical per-iteration cost structure; they
+/// differ only in embedding constraints and auxiliary hardware).
+pub(crate) fn neighbour_exchange_time(
+    p: &HypercubeParams,
+    w: &Workload,
+    area: f64,
+) -> f64 {
+    let msg = |words: f64| (words / p.packet_words as f64).ceil() * p.alpha + p.beta;
+    match w.shape {
+        // Interior strip: two neighbours, send + receive each.
+        PartitionShape::Strip => 4.0 * msg(w.n as f64 * w.k as f64),
+        // Interior square: four neighbours, send + receive each.
+        PartitionShape::Square => 8.0 * msg(area.sqrt() * w.k as f64),
+    }
+}
+
+impl Hypercube {
+    /// Builds the model from a machine description.
+    pub fn new(m: &MachineParams) -> Self {
+        Self { tfp: m.tfp, p: m.hypercube }
+    }
+
+    /// Builds the model from explicit constants.
+    pub fn with(tfp: f64, p: HypercubeParams) -> Self {
+        Self { tfp, p }
+    }
+
+    /// Message parameters in use.
+    pub fn params(&self) -> HypercubeParams {
+        self.p
+    }
+
+    /// Per-iteration neighbour-exchange time for partitions of `area`.
+    pub fn transfer_time(&self, w: &Workload, area: f64) -> f64 {
+        neighbour_exchange_time(&self.p, w, area)
+    }
+
+    /// Cycle time when the machine grows with the problem at fixed
+    /// `points_per_proc` (the paper's constant `C`): it does not depend on
+    /// `n`, which is exactly why speedup is linear in `n²`.
+    pub fn scaled_cycle(&self, w: &Workload, points_per_proc: f64) -> f64 {
+        w.e_flops * points_per_proc * self.tfp
+            + neighbour_exchange_time(&self.p, w, points_per_proc)
+    }
+
+    /// Speedup at fixed `points_per_proc` as the problem (and machine)
+    /// grows — linear in `n²`.
+    pub fn scaled_speedup(&self, w: &Workload, points_per_proc: f64) -> f64 {
+        self.seq_time(w) / self.scaled_cycle(w, points_per_proc)
+    }
+}
+
+impl ArchModel for Hypercube {
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+
+    fn tfp(&self) -> f64 {
+        self.tfp
+    }
+
+    fn cycle_time(&self, w: &Workload, area: f64) -> f64 {
+        assert!(area > 0.0, "area must be positive");
+        if area >= w.points() {
+            return self.seq_time(w);
+        }
+        w.e_flops * area * self.tfp + self.transfer_time(w, area)
+    }
+
+    fn closed_form_optimal_area(&self, w: &Workload) -> Option<f64> {
+        // Monotone in area: no interior optimum. The optimizer compares the
+        // extremal allocations.
+        let _ = w;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_stencil::Stencil;
+
+    fn cube() -> Hypercube {
+        Hypercube::new(&MachineParams::paper_defaults())
+    }
+
+    fn wl(n: usize, shape: PartitionShape) -> Workload {
+        Workload::new(n, &Stencil::five_point(), shape)
+    }
+
+    #[test]
+    fn cycle_time_decreasing_in_processors() {
+        // §4: "t_cycle … is a decreasing function of N over [2, n²]".
+        let c = cube();
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            let w = wl(256, shape);
+            let mut prev = f64::INFINITY;
+            for p in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+                let t = c.cycle_time(&w, w.points() / p as f64);
+                assert!(t < prev, "{shape:?}: t({p}) = {t} ≥ {prev}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn extremal_allocation_one_or_all() {
+        // Communication-heavy regime: one processor wins; compute-heavy:
+        // all processors win. Nothing interior ever wins.
+        let m = MachineParams::paper_defaults();
+        let c = Hypercube::new(&m);
+        let w = wl(64, PartitionShape::Square);
+        let one = c.cycle_time(&w, w.points());
+        let all = c.cycle_time(&w, 1.0);
+        for p in [2usize, 3, 7, 64, 512] {
+            let t = c.cycle_time(&w, w.points() / p as f64);
+            assert!(t >= one.min(all) - 1e-15, "interior P={p} beat both extremes");
+        }
+    }
+
+    #[test]
+    fn tiny_problems_prefer_one_processor() {
+        // β = 1 ms dwarfs the compute of a 8×8 grid: keep it sequential.
+        let c = cube();
+        let w = wl(8, PartitionShape::Square);
+        let one = c.cycle_time(&w, w.points());
+        let all = c.cycle_time(&w, 1.0);
+        assert!(one < all, "seq {one} vs all-procs {all}");
+    }
+
+    #[test]
+    fn large_problems_prefer_all_processors() {
+        let c = cube();
+        let w = wl(1024, PartitionShape::Square);
+        let one = c.cycle_time(&w, w.points());
+        let all = c.cycle_time(&w, 1.0);
+        assert!(all < one);
+    }
+
+    #[test]
+    fn packetization_is_counted() {
+        // n·k = 256 words at 128 words/packet = 2 packets + startup, ×4.
+        let m = MachineParams::paper_defaults();
+        let c = Hypercube::new(&m);
+        let w = wl(256, PartitionShape::Strip);
+        let t = c.transfer_time(&w, 1024.0);
+        let expect = 4.0 * (2.0 * m.hypercube.alpha + m.hypercube.beta);
+        assert!((t - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_cycle_is_constant_in_n() {
+        // Fixed F: the paper's constant C — independent of n.
+        let c = cube();
+        let f = 256.0;
+        let t1 = c.scaled_cycle(&wl(128, PartitionShape::Square), f);
+        let t2 = c.scaled_cycle(&wl(4096, PartitionShape::Square), f);
+        assert!((t1 - t2).abs() < 1e-18);
+    }
+
+    #[test]
+    fn scaled_speedup_is_linear_in_n_squared() {
+        let c = cube();
+        let f = 64.0;
+        let s1 = c.scaled_speedup(&wl(256, PartitionShape::Square), f);
+        let s2 = c.scaled_speedup(&wl(512, PartitionShape::Square), f);
+        let s4 = c.scaled_speedup(&wl(1024, PartitionShape::Square), f);
+        assert!((s2 / s1 - 4.0).abs() < 1e-9);
+        assert!((s4 / s2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_n_speedup_approaches_n() {
+        // §4: with N fixed, speedup → N as n² grows, for both shapes.
+        let c = cube();
+        let nprocs = 64usize;
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            let mut last = 0.0;
+            for n in [256usize, 1024, 4096, 16384] {
+                let w = wl(n, shape);
+                let s = c.speedup_at(&w, w.points() / nprocs as f64);
+                assert!(s > last, "{shape:?} n={n}");
+                last = s;
+            }
+            assert!(last > 0.95 * nprocs as f64, "{shape:?}: {last}");
+            assert!(last <= nprocs as f64);
+        }
+    }
+
+    #[test]
+    fn square_messages_shrink_with_partition() {
+        let c = cube();
+        let w = wl(256, PartitionShape::Square);
+        let big = c.transfer_time(&w, 16384.0);
+        let small = c.transfer_time(&w, 256.0);
+        assert!(small <= big);
+    }
+}

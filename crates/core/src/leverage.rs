@@ -1,0 +1,141 @@
+//! Hardware leverage (§6.1): what faster parts buy at the *re-optimized*
+//! partitioning.
+//!
+//! Because the configuration is re-optimized after the upgrade, these
+//! factors bound the gain of any subsequent partitioning:
+//!
+//! * strips, `c ≈ 0`: optimal time `∝ √(b·Tfp)` — doubling either the bus
+//!   or the processor gives `1/√2 ≈ 0.707`;
+//! * squares, `c = 0`: optimal time `∝ b^{2/3}·Tfp^{1/3}` — doubling the
+//!   bus gives `2^{-2/3} ≈ 0.63`, doubling the processor `2^{-1/3} ≈ 0.79`
+//!   ("we have more leverage by improving communication speed");
+//! * `c`-dominated strips: time is *linear* in `c`, so shaving fixed
+//!   overhead is worth more than raw bandwidth.
+
+use crate::{ArchModel, MachineParams, ProcessorBudget, SyncBus, Workload};
+
+/// Result of one what-if upgrade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeverageReport {
+    /// Optimal cycle time before the upgrade.
+    pub baseline: f64,
+    /// Optimal cycle time after the upgrade (re-optimized).
+    pub upgraded: f64,
+}
+
+impl LeverageReport {
+    /// `upgraded / baseline` — smaller is better.
+    pub fn factor(&self) -> f64 {
+        self.upgraded / self.baseline
+    }
+}
+
+fn optimal_cycle(m: &MachineParams, w: &Workload, budget: ProcessorBudget) -> f64 {
+    SyncBus::new(m).optimize(w, budget).cycle_time
+}
+
+/// Re-optimized effect of multiplying the bus speed by `factor`.
+pub fn bus_speedup(m: &MachineParams, w: &Workload, budget: ProcessorBudget, factor: f64) -> LeverageReport {
+    LeverageReport {
+        baseline: optimal_cycle(m, w, budget),
+        upgraded: optimal_cycle(&m.with_bus_speedup(factor), w, budget),
+    }
+}
+
+/// Re-optimized effect of multiplying the floating-point speed by `factor`.
+pub fn flop_speedup(m: &MachineParams, w: &Workload, budget: ProcessorBudget, factor: f64) -> LeverageReport {
+    LeverageReport {
+        baseline: optimal_cycle(m, w, budget),
+        upgraded: optimal_cycle(&m.with_flop_speedup(factor), w, budget),
+    }
+}
+
+/// Re-optimized effect of scaling the fixed per-word overhead `c` by
+/// `factor` (e.g. `0.5` halves it).
+pub fn overhead_scaling(m: &MachineParams, w: &Workload, budget: ProcessorBudget, factor: f64) -> LeverageReport {
+    LeverageReport {
+        baseline: optimal_cycle(m, w, budget),
+        upgraded: optimal_cycle(&m.with_bus_overhead(m.bus.c * factor), w, budget),
+    }
+}
+
+/// Closed-form §6.1 leverage factors at the continuous optimum (`c = 0`):
+/// `(bus×2, flop×2)` cycle-time ratios for the workload's shape.
+pub fn ideal_factors(w: &Workload) -> (f64, f64) {
+    use parspeed_stencil::PartitionShape;
+    match w.shape {
+        PartitionShape::Strip => ((0.5f64).sqrt(), (0.5f64).sqrt()),
+        PartitionShape::Square => ((0.5f64).powf(2.0 / 3.0), (0.5f64).powf(1.0 / 3.0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_stencil::{PartitionShape, Stencil};
+
+    fn w(shape: PartitionShape) -> Workload {
+        Workload::new(1024, &Stencil::five_point(), shape)
+    }
+
+    #[test]
+    fn strips_gain_inverse_sqrt2_from_either_upgrade() {
+        let m = MachineParams::paper_defaults();
+        let budget = ProcessorBudget::Unlimited;
+        let bus = bus_speedup(&m, &w(PartitionShape::Strip), budget, 2.0).factor();
+        let flop = flop_speedup(&m, &w(PartitionShape::Strip), budget, 2.0).factor();
+        let ideal = (0.5f64).sqrt();
+        assert!((bus - ideal).abs() < 0.02, "bus factor {bus}");
+        assert!((flop - ideal).abs() < 0.02, "flop factor {flop}");
+    }
+
+    #[test]
+    fn squares_prefer_bus_upgrades() {
+        // §6.1: bus×2 → 63% of the original time; flop×2 → 79%.
+        let m = MachineParams::paper_defaults();
+        let budget = ProcessorBudget::Unlimited;
+        let bus = bus_speedup(&m, &w(PartitionShape::Square), budget, 2.0).factor();
+        let flop = flop_speedup(&m, &w(PartitionShape::Square), budget, 2.0).factor();
+        assert!((bus - 0.63).abs() < 0.02, "bus factor {bus}");
+        assert!((flop - 0.794).abs() < 0.02, "flop factor {flop}");
+        assert!(bus < flop, "communication speed must be the better lever");
+    }
+
+    #[test]
+    fn ideal_factors_match_exponents() {
+        let (b, f) = ideal_factors(&w(PartitionShape::Square));
+        assert!((b - 0.5f64.powf(2.0 / 3.0)).abs() < 1e-12);
+        assert!((f - 0.5f64.powf(1.0 / 3.0)).abs() < 1e-12);
+        let (bs, fs) = ideal_factors(&w(PartitionShape::Strip));
+        assert_eq!(bs, fs);
+    }
+
+    #[test]
+    fn overhead_dominated_regime_is_linear_in_c() {
+        // §6.1: "if c is large relative to expected problem sizes … any
+        // speed increase in the bus will not significantly improve
+        // performance; on the other hand, decreasing c has a linear impact".
+        // The grid must be big enough that parallel still beats sequential
+        // despite the 4nck term.
+        let m = MachineParams::paper_defaults().with_bus_overhead(1.0e-3);
+        let budget = ProcessorBudget::Limited(16);
+        let wl = Workload::new(16_384, &Stencil::five_point(), PartitionShape::Strip);
+        let half_c = overhead_scaling(&m, &wl, budget, 0.5).factor();
+        let double_bus = bus_speedup(&m, &wl, budget, 2.0).factor();
+        assert!(half_c < 0.65, "halving c gave only {half_c}");
+        assert!(double_bus > 0.9, "bus upgrade should be nearly worthless, got {double_bus}");
+    }
+
+    #[test]
+    fn upgrades_never_hurt() {
+        let m = MachineParams::flex32_defaults();
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            for budget in [ProcessorBudget::Limited(16), ProcessorBudget::Unlimited] {
+                let wl = w(shape);
+                assert!(bus_speedup(&m, &wl, budget, 2.0).factor() <= 1.0 + 1e-12);
+                assert!(flop_speedup(&m, &wl, budget, 2.0).factor() <= 1.0 + 1e-12);
+                assert!(overhead_scaling(&m, &wl, budget, 0.5).factor() <= 1.0 + 1e-12);
+            }
+        }
+    }
+}

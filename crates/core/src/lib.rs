@@ -1,0 +1,190 @@
+//! The analytic performance model of Nicol & Willard (1987): per-iteration
+//! cycle times for parallel elliptic-PDE solvers on four classes of
+//! architecture, and the optimization of partition size (hence processor
+//! count and speedup) that is the paper's contribution.
+//!
+//! The model (§3): an `n×n` grid is cut into partitions of `A` points each;
+//! one iteration costs
+//!
+//! ```text
+//! t_cycle = t_comp + t_ta,      t_comp = E(S)·A·Tfp
+//! ```
+//!
+//! with `t_ta` the architecture-dependent transfer/synchronization time.
+//! Every `t_cycle(A)` in the paper is convex (or monotone) in `A`, so the
+//! optimal assignment either uses one processor, all processors, or a
+//! unique interior optimum found by calculus (§8). The crate exposes:
+//!
+//! * [`Workload`] — problem instance: grid size, stencil-derived `E(S)` and
+//!   `k(P,S)`, partition shape;
+//! * [`MachineParams`] — calibrated hardware constants;
+//! * one model per architecture: [`Hypercube`], [`Mesh`], [`SyncBus`],
+//!   [`AsyncBus`], [`Banyan`], all implementing [`ArchModel`];
+//! * [`optimize`](ArchModel::optimize) — optimal processor count and
+//!   speedup under a [`ProcessorBudget`];
+//! * [`minsize`] — the smallest grid that gainfully uses all `N`
+//!   processors (Fig. 7);
+//! * [`isoefficiency`] — how fast the problem must grow to hold efficiency
+//!   constant (the modern restatement of the paper's scaling results);
+//! * [`leverage`] — what doubling processor or network speed buys (§6.1);
+//! * [`table1`] — the paper's closing Table I;
+//! * [`fem`] — the §5 Adams–Crockett counter-example;
+//! * [`convergence`] — convergence-check cost model (§4);
+//! * [`schedule`] — the §8 future-work bus-access scheduler: batch
+//!   staggering recovers the asynchronous bus's constant factors on
+//!   synchronous hardware (word-granularity TDMA recovers nothing).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod banyan;
+mod bus_async;
+mod bus_sync;
+pub mod convergence;
+pub mod convex;
+pub mod fem;
+mod hypercube;
+pub mod isoefficiency;
+pub mod leverage;
+pub mod memory;
+mod mesh;
+pub mod minsize;
+mod optimize;
+mod params;
+pub mod roots;
+pub mod schedule;
+pub mod table1;
+mod workload;
+
+pub use banyan::Banyan;
+pub use bus_async::{AsyncBus, OverlapMode};
+pub use bus_sync::SyncBus;
+pub use hypercube::Hypercube;
+pub use memory::{Infeasible, MemoryBudget};
+pub use mesh::Mesh;
+pub use optimize::{assigned_area, optimize_constrained, Optimum};
+pub use params::{BusParams, HypercubeParams, MachineParams, SwitchParams};
+pub use schedule::ScheduledBus;
+pub use workload::{ProcessorBudget, Workload};
+
+/// A per-architecture analytic cycle-time model.
+///
+/// `area` is treated as a continuous quantity, exactly as in the paper; the
+/// integer/feasibility snapping happens in [`ArchModel::optimize`].
+pub trait ArchModel {
+    /// Architecture name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Seconds per floating-point operation on one processor.
+    fn tfp(&self) -> f64;
+
+    /// Per-iteration cycle time with partitions of `area` points
+    /// (`P = n²/area` processors in use).
+    fn cycle_time(&self, w: &Workload, area: f64) -> f64;
+
+    /// The continuous area minimizing [`ArchModel::cycle_time`], when a
+    /// closed form exists. `None` means the cost is monotone in `area`
+    /// (hypercube-like: extremal allocation is optimal).
+    fn closed_form_optimal_area(&self, w: &Workload) -> Option<f64>;
+
+    /// Sequential execution time `E·n²·Tfp` of one iteration.
+    fn seq_time(&self, w: &Workload) -> f64 {
+        w.e_flops * (w.n * w.n) as f64 * self.tfp()
+    }
+
+    /// Speedup of running with partitions of `area` points.
+    fn speedup_at(&self, w: &Workload, area: f64) -> f64 {
+        self.seq_time(w) / self.cycle_time(w, area)
+    }
+
+    /// Optimal processor allocation under `budget`: minimizes the cycle
+    /// time over feasible integer processor counts (snapping the continuous
+    /// optimum, the extremes, and — for strips — the paper's
+    /// `A_l = n·⌊Â/n⌋ / A_h = A_l + n` neighbours).
+    fn optimize(&self, w: &Workload, budget: ProcessorBudget) -> Optimum
+    where
+        Self: Sized,
+    {
+        optimize::optimize(self, w, budget)
+    }
+
+    /// [`ArchModel::optimize`] under a per-processor memory budget (§3/§4):
+    /// allocations whose largest partition overflows the memory are
+    /// excluded, which can force spreading past the unconstrained optimum.
+    /// Errors when the problem does not fit the machine at all.
+    fn optimize_constrained(
+        &self,
+        w: &Workload,
+        budget: ProcessorBudget,
+        memory: Option<MemoryBudget>,
+    ) -> Result<Optimum, Infeasible>
+    where
+        Self: Sized,
+    {
+        optimize::optimize_constrained(self, w, budget, memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_stencil::{PartitionShape, Stencil};
+
+    /// Every architecture model must report speedup ≤ P for every feasible
+    /// allocation: communication can only hurt.
+    #[test]
+    fn speedup_never_exceeds_processor_count() {
+        let m = MachineParams::paper_defaults();
+        let models: Vec<Box<dyn ArchModel>> = vec![
+            Box::new(Hypercube::new(&m)),
+            Box::new(Mesh::new(&m)),
+            Box::new(SyncBus::new(&m)),
+            Box::new(AsyncBus::new(&m)),
+            Box::new(Banyan::new(&m)),
+        ];
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            let w = Workload::new(128, &Stencil::five_point(), shape);
+            for model in &models {
+                for p in [1usize, 2, 4, 16, 64] {
+                    let area = (128.0 * 128.0) / p as f64;
+                    let s = model.speedup_at(&w, area);
+                    assert!(
+                        s <= p as f64 + 1e-9,
+                        "{}: speedup {} > P {} ({:?})",
+                        model.name(),
+                        s,
+                        p,
+                        shape
+                    );
+                    assert!(s > 0.0);
+                }
+            }
+        }
+    }
+
+    /// With one processor (area = n²) every model must equal sequential
+    /// time: no communication is charged.
+    #[test]
+    fn single_processor_means_no_communication() {
+        let m = MachineParams::paper_defaults();
+        let w = Workload::new(64, &Stencil::five_point(), PartitionShape::Square);
+        let models: Vec<Box<dyn ArchModel>> = vec![
+            Box::new(Hypercube::new(&m)),
+            Box::new(Mesh::new(&m)),
+            Box::new(SyncBus::new(&m)),
+            Box::new(AsyncBus::new(&m)),
+            Box::new(Banyan::new(&m)),
+        ];
+        for model in &models {
+            let t = model.cycle_time(&w, (64 * 64) as f64);
+            let seq = model.seq_time(&w);
+            assert!(
+                (t - seq).abs() / seq < 1e-9,
+                "{}: one-processor cycle {} != seq {}",
+                model.name(),
+                t,
+                seq
+            );
+        }
+    }
+}

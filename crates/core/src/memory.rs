@@ -1,0 +1,227 @@
+//! Per-processor memory constraints on the allocation (§3, §4).
+//!
+//! The paper optimizes partition area "subject to memory constraints and
+//! processor availability constraints" (§3) and notes that when "memory
+//! limitations prohibit" placing the whole domain on one processor, "the
+//! computation should be spread maximally" (§4). This module makes the
+//! memory side of that feasibility region explicit.
+//!
+//! A partition of area `A` needs, in words:
+//!
+//! ```text
+//! words(A) = 2·(A + halo(A)) + A
+//! ```
+//!
+//! — two solution buffers (current and next iterate, each with its halo
+//! ring, exactly what the real executor `parspeed_exec::PartitionedJacobi`
+//! allocates) plus the forcing term. `halo(A)` is the one-way boundary
+//! volume of the workload's shape (`2nk` strips, `4√A·k` squares).
+//!
+//! [`MemoryBudget::min_processors`] inverts that to the smallest processor
+//! count whose largest partition fits, and
+//! [`crate::ArchModel::optimize_constrained`] intersects it with the
+//! processor cap. An empty intersection is the [`Infeasible`] error — the
+//! problem simply does not fit the machine, which no allocation policy can
+//! fix.
+
+use crate::optimize::assigned_area;
+use crate::Workload;
+
+/// Per-processor memory capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryBudget {
+    /// Capacity of one processor's local memory, in words (one word per
+    /// grid-point value).
+    pub words_per_processor: f64,
+}
+
+/// The problem does not fit the machine: even the finest admissible
+/// decomposition overflows some processor's memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Infeasible {
+    /// Words needed by the largest partition at the finest decomposition.
+    pub needed: f64,
+    /// Per-processor capacity.
+    pub capacity: f64,
+}
+
+impl std::fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "problem does not fit: finest partition needs {:.0} words, memory holds {:.0}",
+            self.needed, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+impl MemoryBudget {
+    /// A budget of `words` words per processor.
+    pub fn words(words: f64) -> Self {
+        assert!(words > 0.0, "memory capacity must be positive");
+        Self { words_per_processor: words }
+    }
+
+    /// Words needed by the largest partition when the grid is split
+    /// `p` ways: double-buffered solution with halo, plus forcing. One
+    /// processor has no neighbours, hence no halo (§4's convention).
+    pub fn partition_words(w: &Workload, p: usize) -> f64 {
+        let area = assigned_area(w, p);
+        let halo = if p <= 1 { 0.0 } else { w.one_way_words(area) };
+        2.0 * (area + halo) + area
+    }
+
+    /// True iff a `p`-way decomposition fits this budget.
+    pub fn fits(&self, w: &Workload, p: usize) -> bool {
+        Self::partition_words(w, p) <= self.words_per_processor
+    }
+
+    /// The smallest processor count whose largest partition fits, or
+    /// [`Infeasible`] when even the shape's finest decomposition does not.
+    /// `partition_words` is non-increasing in `p`, so binary search applies.
+    pub fn min_processors(&self, w: &Workload) -> Result<usize, Infeasible> {
+        let cap = w.max_processors();
+        if self.fits(w, 1) {
+            return Ok(1);
+        }
+        if !self.fits(w, cap) {
+            return Err(Infeasible {
+                needed: Self::partition_words(w, cap),
+                capacity: self.words_per_processor,
+            });
+        }
+        let (mut lo, mut hi) = (1usize, cap); // lo fails, hi fits
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.fits(w, mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchModel, Hypercube, MachineParams, ProcessorBudget, SyncBus};
+    use parspeed_stencil::{PartitionShape, Stencil};
+
+    fn wl(n: usize, shape: PartitionShape) -> Workload {
+        Workload::new(n, &Stencil::five_point(), shape)
+    }
+
+    #[test]
+    fn whole_domain_words_account_buffers_and_forcing() {
+        // One processor: no halo, 3 buffers of n².
+        let w = wl(64, PartitionShape::Strip);
+        assert_eq!(MemoryBudget::partition_words(&w, 1), 3.0 * 64.0 * 64.0);
+    }
+
+    #[test]
+    fn partition_words_shrink_with_processors() {
+        let w = wl(128, PartitionShape::Square);
+        let mut prev = f64::INFINITY;
+        for p in [1usize, 2, 4, 16, 64, 256] {
+            let words = MemoryBudget::partition_words(&w, p);
+            assert!(words <= prev, "P={p}: {words} > {prev}");
+            prev = words;
+        }
+    }
+
+    #[test]
+    fn min_processors_is_the_exact_threshold() {
+        let w = wl(128, PartitionShape::Strip);
+        let budget = MemoryBudget::words(MemoryBudget::partition_words(&w, 7));
+        let p = budget.min_processors(&w).unwrap();
+        assert!(budget.fits(&w, p));
+        assert!(!budget.fits(&w, p - 1), "P−1 = {} should not fit", p - 1);
+        // Row quantization can make several processor counts share the
+        // same largest strip; the threshold must be the first that fits.
+        assert!(p <= 7);
+    }
+
+    #[test]
+    fn generous_memory_allows_one_processor() {
+        let w = wl(64, PartitionShape::Square);
+        let budget = MemoryBudget::words(1e9);
+        assert_eq!(budget.min_processors(&w).unwrap(), 1);
+    }
+
+    #[test]
+    fn impossible_fit_is_reported() {
+        // Strips of one row still need ~3n words each; a budget below that
+        // is infeasible.
+        let w = wl(256, PartitionShape::Strip);
+        let budget = MemoryBudget::words(100.0);
+        let err = budget.min_processors(&w).unwrap_err();
+        assert!(err.needed > err.capacity);
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn optimizer_respects_the_memory_floor() {
+        // The sync-bus interior optimum on a 256 grid is ~14 processors;
+        // a memory budget forcing ≥ 32 must override it.
+        let m = MachineParams::paper_defaults();
+        let bus = SyncBus::new(&m);
+        let w = wl(256, PartitionShape::Square);
+        let budget = MemoryBudget::words(MemoryBudget::partition_words(&w, 32));
+        let opt = bus
+            .optimize_constrained(&w, ProcessorBudget::Limited(64), Some(budget))
+            .unwrap();
+        assert!(opt.processors >= 32, "memory floor violated: {}", opt.processors);
+        // Unconstrained, it would have chosen ~14.
+        let free = bus.optimize(&w, ProcessorBudget::Limited(64));
+        assert!((13..=15).contains(&free.processors));
+    }
+
+    #[test]
+    fn paper_section4_memory_prohibits_lumping() {
+        // §4: when one processor is best but memory prohibits it, spread
+        // maximally. A tiny hypercube problem prefers 1 processor; with a
+        // memory floor of 2 the optimizer must pick an extreme, and on a
+        // monotone-decreasing-beyond-optimum curve that is the cap.
+        let m = MachineParams::paper_defaults();
+        let cube = Hypercube::new(&m);
+        let w = wl(8, PartitionShape::Square);
+        let free = cube.optimize(&w, ProcessorBudget::Limited(16));
+        assert_eq!(free.processors, 1);
+        let budget = MemoryBudget::words(MemoryBudget::partition_words(&w, 2));
+        let constrained = cube
+            .optimize_constrained(&w, ProcessorBudget::Limited(16), Some(budget))
+            .unwrap();
+        assert!(constrained.processors >= 2);
+    }
+
+    #[test]
+    fn infeasible_budget_propagates_from_optimizer() {
+        let m = MachineParams::paper_defaults();
+        let bus = SyncBus::new(&m);
+        let w = wl(128, PartitionShape::Strip);
+        let err = bus
+            .optimize_constrained(&w, ProcessorBudget::Unlimited, Some(MemoryBudget::words(10.0)))
+            .unwrap_err();
+        assert!(err.needed > 10.0);
+    }
+
+    #[test]
+    fn no_budget_matches_plain_optimize() {
+        let m = MachineParams::paper_defaults();
+        let bus = SyncBus::new(&m);
+        let w = wl(128, PartitionShape::Square);
+        let a = bus.optimize(&w, ProcessorBudget::Limited(32));
+        let b = bus.optimize_constrained(&w, ProcessorBudget::Limited(32), None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_capacity() {
+        let _ = MemoryBudget::words(0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Nearest-neighbour grid (mesh) machines (§5): Illiac-IV / Finite Element
+//! Machine class.
+//!
+//! The per-iteration cost structure is the hypercube's — strictly
+//! nearest-neighbour messages, no contention between non-adjacent
+//! partitions — so "the observations made for hypercubes apply equally
+//! well" (§5). The differences the paper notes are captured here as flags:
+//!
+//! * mesh machines often carry a **global bus and combine hardware** for
+//!   functions like convergence checking, making that overhead negligible
+//!   (used by [`crate::convergence`]);
+//! * strips embed in a linear array; squares need a 2-D mesh. Both are
+//!   native here, unlike the hypercube where the embedding argument (Gray
+//!   codes / subcubes) is doing the work.
+
+use crate::hypercube::neighbour_exchange_time;
+use crate::{ArchModel, HypercubeParams, MachineParams, Workload};
+
+/// The mesh architecture model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mesh {
+    tfp: f64,
+    p: HypercubeParams,
+    combine_hardware: bool,
+}
+
+impl Mesh {
+    /// Builds the model from a machine description (combine hardware
+    /// present, as on the FEM).
+    pub fn new(m: &MachineParams) -> Self {
+        Self { tfp: m.tfp, p: m.mesh, combine_hardware: true }
+    }
+
+    /// Builds the model with explicit constants.
+    pub fn with(tfp: f64, p: HypercubeParams, combine_hardware: bool) -> Self {
+        Self { tfp, p, combine_hardware }
+    }
+
+    /// Whether the machine has dedicated global-combine hardware
+    /// (convergence flags cost nothing when it does).
+    pub fn has_combine_hardware(&self) -> bool {
+        self.combine_hardware
+    }
+
+    /// Message parameters in use.
+    pub fn params(&self) -> HypercubeParams {
+        self.p
+    }
+
+    /// Per-iteration neighbour-exchange time.
+    pub fn transfer_time(&self, w: &Workload, area: f64) -> f64 {
+        neighbour_exchange_time(&self.p, w, area)
+    }
+
+    /// Cycle time at fixed points-per-processor (machine grows with the
+    /// problem): constant, like the hypercube's.
+    pub fn scaled_cycle(&self, w: &Workload, points_per_proc: f64) -> f64 {
+        w.e_flops * points_per_proc * self.tfp
+            + neighbour_exchange_time(&self.p, w, points_per_proc)
+    }
+}
+
+impl ArchModel for Mesh {
+    fn name(&self) -> &'static str {
+        "mesh"
+    }
+
+    fn tfp(&self) -> f64 {
+        self.tfp
+    }
+
+    fn cycle_time(&self, w: &Workload, area: f64) -> f64 {
+        assert!(area > 0.0, "area must be positive");
+        if area >= w.points() {
+            return self.seq_time(w);
+        }
+        w.e_flops * area * self.tfp + self.transfer_time(w, area)
+    }
+
+    fn closed_form_optimal_area(&self, w: &Workload) -> Option<f64> {
+        let _ = w;
+        None // monotone: extremal allocation, as for the hypercube
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hypercube;
+    use parspeed_stencil::{PartitionShape, Stencil};
+
+    #[test]
+    fn mesh_and_hypercube_share_cost_structure() {
+        // With identical message constants the two models coincide — §5's
+        // "the observations made for hypercubes apply equally well".
+        let mut m = MachineParams::paper_defaults();
+        m.mesh = m.hypercube;
+        let mesh = Mesh::new(&m);
+        let cube = Hypercube::new(&m);
+        let w = Workload::new(128, &Stencil::nine_point_box(), PartitionShape::Square);
+        for p in [1usize, 2, 4, 16, 64] {
+            let area = w.points() / p as f64;
+            assert_eq!(mesh.cycle_time(&w, area), cube.cycle_time(&w, area), "P={p}");
+        }
+    }
+
+    #[test]
+    fn cycle_decreasing_in_processors() {
+        let mesh = Mesh::new(&MachineParams::paper_defaults());
+        let w = Workload::new(512, &Stencil::five_point(), PartitionShape::Strip);
+        let mut prev = f64::INFINITY;
+        for p in [2usize, 4, 8, 16, 32] {
+            let t = mesh.cycle_time(&w, w.points() / p as f64);
+            assert!(t < prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn combine_hardware_flag() {
+        let m = MachineParams::paper_defaults();
+        assert!(Mesh::new(&m).has_combine_hardware());
+        let bare = Mesh::with(m.tfp, m.mesh, false);
+        assert!(!bare.has_combine_hardware());
+    }
+
+    #[test]
+    fn scaled_cycle_constant_in_n() {
+        let mesh = Mesh::new(&MachineParams::paper_defaults());
+        let w1 = Workload::new(128, &Stencil::five_point(), PartitionShape::Square);
+        let w2 = Workload::new(2048, &Stencil::five_point(), PartitionShape::Square);
+        assert_eq!(mesh.scaled_cycle(&w1, 100.0), mesh.scaled_cycle(&w2, 100.0));
+    }
+}

@@ -1,0 +1,271 @@
+//! Integer processor-allocation optimization.
+//!
+//! The paper optimizes the continuous partition area by calculus, then
+//! snaps to feasible decompositions: strips admit only whole-row
+//! assignments (`A_l = n·⌊Â/n⌋`, `A_h = A_l + n`, §6.1), squares are
+//! approximated by working rectangles. [`optimize`] packages that
+//! procedure: continuous optimum (closed form when the model has one,
+//! golden-section otherwise), candidate integer processor counts around
+//! it, both extremal allocations, and an exact evaluation of each
+//! candidate at its true (slowest-partition) area.
+
+use crate::convex::golden_min;
+use crate::memory::{Infeasible, MemoryBudget};
+use crate::{ArchModel, ProcessorBudget, Workload};
+use parspeed_stencil::PartitionShape;
+
+/// The result of optimizing a workload on an architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Optimum {
+    /// Optimal number of processors.
+    pub processors: usize,
+    /// Area (points) of the largest partition at that allocation.
+    pub area: f64,
+    /// Per-iteration cycle time at the optimum.
+    pub cycle_time: f64,
+    /// Speedup over one processor.
+    pub speedup: f64,
+    /// Speedup divided by processors used.
+    pub efficiency: f64,
+    /// Whether the optimum uses every available processor.
+    pub used_all: bool,
+}
+
+/// Area of the largest partition when `p` processors share the grid.
+///
+/// Strips get whole rows (`⌈n/p⌉` of them); squares are treated
+/// continuously, as in the paper (`n²/p`; Fig. 6 quantifies the working-
+/// rectangle error of that idealization). This is the feasibility
+/// convention every [`optimize`] candidate is evaluated under — callers
+/// comparing allocations by hand should use it too, or strip allocations
+/// will look better than whole-row assignment permits.
+pub fn assigned_area(w: &Workload, p: usize) -> f64 {
+    match w.shape {
+        PartitionShape::Strip => (w.n as f64 / p as f64).ceil() * w.n as f64,
+        PartitionShape::Square => w.points() / p as f64,
+    }
+}
+
+/// Finds the optimal integer processor count for `w` on `model` under
+/// `budget`. See module docs for the procedure.
+pub fn optimize<M: ArchModel + ?Sized>(model: &M, w: &Workload, budget: ProcessorBudget) -> Optimum {
+    optimize_floored(model, w, budget, 1)
+}
+
+/// [`optimize`] with a per-processor memory budget: the candidate set is
+/// intersected with the allocations whose largest partition fits.
+///
+/// Errors with [`Infeasible`] when even the finest decomposition the
+/// budget's cap admits overflows the memory — the paper's §4 situation
+/// taken to its limit (memory can force spreading, and past the cap there
+/// is nothing left to spread to).
+pub fn optimize_constrained<M: ArchModel + ?Sized>(
+    model: &M,
+    w: &Workload,
+    budget: ProcessorBudget,
+    memory: Option<MemoryBudget>,
+) -> Result<Optimum, Infeasible> {
+    let floor = match memory {
+        None => 1,
+        Some(mem) => {
+            let floor = mem.min_processors(w)?;
+            if floor > budget.cap(w) {
+                return Err(Infeasible {
+                    needed: MemoryBudget::partition_words(w, budget.cap(w)),
+                    capacity: mem.words_per_processor,
+                });
+            }
+            floor
+        }
+    };
+    Ok(optimize_floored(model, w, budget, floor))
+}
+
+/// The shared optimization procedure with a lower bound on the processor
+/// count (1 when unconstrained; the memory floor otherwise).
+fn optimize_floored<M: ArchModel + ?Sized>(
+    model: &M,
+    w: &Workload,
+    budget: ProcessorBudget,
+    floor: usize,
+) -> Optimum {
+    let cap = budget.cap(w);
+    let floor = floor.clamp(1, cap);
+    let points = w.points();
+    let eval = |p: usize| model.cycle_time(w, assigned_area(w, p));
+
+    // Continuous optimum over the admissible area interval.
+    let lo_area = points / cap as f64;
+    let hi_area = points / floor as f64;
+    let a_star = model
+        .closed_form_optimal_area(w)
+        .unwrap_or_else(|| golden_min(lo_area, hi_area, |a| model.cycle_time(w, a)).0)
+        .clamp(lo_area, hi_area);
+    let p_star = points / a_star;
+
+    // Candidate processor counts: extremes, the snapped continuous optimum
+    // and a small neighbourhood (integer rounding plus the paper's strip
+    // row-quantization can shift the optimum by a couple of counts).
+    let mut candidates: Vec<usize> = vec![floor, cap];
+    let centre = p_star.round().max(1.0) as usize;
+    for d in -3i64..=3 {
+        let p = centre as i64 + d;
+        if p >= floor as i64 && p as usize <= cap {
+            candidates.push(p as usize);
+        }
+    }
+    if w.shape == PartitionShape::Strip {
+        // Row-quantized neighbours: strips of r and r+1 rows.
+        let rows = (a_star / w.n as f64).floor().max(1.0) as usize;
+        for r in [rows, rows + 1] {
+            let p = w.n.div_ceil(r);
+            if p >= floor && p <= cap {
+                candidates.push(p);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let mut best_p = floor;
+    let mut best_t = f64::INFINITY;
+    for &p in &candidates {
+        let t = eval(p);
+        if t < best_t - 1e-18 || (t <= best_t && p < best_p) {
+            best_t = t;
+            best_p = p;
+        }
+    }
+
+    let area = assigned_area(w, best_p);
+    let speedup = model.seq_time(w) / best_t;
+    Optimum {
+        processors: best_p,
+        area,
+        cycle_time: best_t,
+        speedup,
+        efficiency: speedup / best_p as f64,
+        used_all: best_p == cap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsyncBus, Banyan, Hypercube, MachineParams, SyncBus};
+    use parspeed_stencil::{PartitionShape, Stencil};
+
+    fn m() -> MachineParams {
+        MachineParams::paper_defaults()
+    }
+
+    fn wl(n: usize, shape: PartitionShape) -> Workload {
+        Workload::new(n, &Stencil::five_point(), shape)
+    }
+
+    /// Brute force over every feasible processor count must never beat the
+    /// optimizer.
+    #[test]
+    fn never_beaten_by_brute_force() {
+        let machine = m();
+        let models: Vec<Box<dyn ArchModel>> = vec![
+            Box::new(SyncBus::new(&machine)),
+            Box::new(AsyncBus::new(&machine)),
+            Box::new(Hypercube::new(&machine)),
+            Box::new(Banyan::with_network(&machine, 64)),
+        ];
+        for model in &models {
+            for shape in [PartitionShape::Strip, PartitionShape::Square] {
+                for n in [32usize, 64, 128] {
+                    let w = wl(n, shape);
+                    let cap = 32usize;
+                    let opt = optimize(model.as_ref(), &w, ProcessorBudget::Limited(cap));
+                    let brute = (1..=cap)
+                        .map(|p| model.cycle_time(&w, assigned_area(&w, p)))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        opt.cycle_time <= brute * (1.0 + 1e-12),
+                        "{} {shape:?} n={n}: optimizer {} vs brute {}",
+                        model.name(),
+                        opt.cycle_time,
+                        brute
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sync_bus_uses_interior_optimum_on_big_machine() {
+        // 256 grid, squares, N = 64 ≫ 14: the paper says use ~14.
+        let bus = SyncBus::new(&m());
+        let w = wl(256, PartitionShape::Square);
+        let opt = bus.optimize(&w, ProcessorBudget::Limited(64));
+        assert!((13..=15).contains(&opt.processors), "got {}", opt.processors);
+        assert!(!opt.used_all);
+    }
+
+    #[test]
+    fn sync_bus_uses_all_of_a_small_machine() {
+        // N = 8 < 14: spread across all processors.
+        let bus = SyncBus::new(&m());
+        let w = wl(256, PartitionShape::Square);
+        let opt = bus.optimize(&w, ProcessorBudget::Limited(8));
+        assert_eq!(opt.processors, 8);
+        assert!(opt.used_all);
+    }
+
+    #[test]
+    fn hypercube_chooses_extremal() {
+        let cube = Hypercube::new(&m());
+        // Large problem: all processors.
+        let big = wl(1024, PartitionShape::Square);
+        let opt = cube.optimize(&big, ProcessorBudget::Limited(256));
+        assert_eq!(opt.processors, 256);
+        // Tiny problem: one processor (β dominates).
+        let small = wl(8, PartitionShape::Square);
+        let opt = cube.optimize(&small, ProcessorBudget::Limited(256));
+        assert_eq!(opt.processors, 1);
+        assert_eq!(opt.speedup, 1.0);
+    }
+
+    #[test]
+    fn strip_allocation_respects_row_quantization() {
+        let bus = SyncBus::new(&m());
+        let w = wl(250, PartitionShape::Strip);
+        let opt = bus.optimize(&w, ProcessorBudget::Unlimited);
+        // Area must correspond to whole rows of the largest strip.
+        let rows = 250f64 / opt.processors as f64;
+        assert!((opt.area - rows.ceil() * 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_budget_uses_shape_cap() {
+        let cube = Hypercube::new(&m());
+        let w = wl(64, PartitionShape::Strip);
+        let opt = cube.optimize(&w, ProcessorBudget::Unlimited);
+        assert!(opt.processors <= 64); // at most one strip per row
+    }
+
+    #[test]
+    fn efficiency_and_flags_consistent() {
+        let bus = AsyncBus::new(&m());
+        let w = wl(128, PartitionShape::Square);
+        for cap in [4usize, 16, 64] {
+            let opt = bus.optimize(&w, ProcessorBudget::Limited(cap));
+            assert!(opt.processors >= 1 && opt.processors <= cap);
+            assert!((opt.efficiency - opt.speedup / opt.processors as f64).abs() < 1e-12);
+            assert_eq!(opt.used_all, opt.processors == cap);
+            assert!(opt.speedup <= opt.processors as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn speedup_of_one_processor_is_one() {
+        let bus = SyncBus::new(&m());
+        let w = wl(64, PartitionShape::Square);
+        let opt = bus.optimize(&w, ProcessorBudget::Limited(1));
+        assert_eq!(opt.processors, 1);
+        assert!((opt.speedup - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,352 @@
+//! Scheduled bus access — the paper's §8 future work, carried out.
+//!
+//! The closing section conjectures that "clever scheduling to access
+//! communication resources" could blunt the contention that caps bus
+//! speedup at `Θ((n²)^{1/3})`. This module builds that scheduler as an
+//! analytic model and proves the conjecture *exactly right*, with a sharp
+//! characterization of how clever the schedule has to be:
+//!
+//! * **Word-granularity round-robin (TDMA) does not help.** Slicing the bus
+//!   one word per processor per turn gives each of `P` requesters `1/P` of
+//!   the bandwidth — which is precisely the processor-sharing behaviour the
+//!   paper's `c + b·P` contention term already models. The "scheduled" bus
+//!   is the unscheduled bus. See [`word_round_robin_cycle`].
+//!
+//! * **Batch-granularity staggering does.** Grant the bus to one partition
+//!   at a time for its *whole* boundary batch, in a fixed slot order. Reads
+//!   then complete staggered — partition `i` at `(i+1)·V·b` instead of all
+//!   at `P·V·b` — so computation overlaps later partitions' reads, and
+//!   writes drain in the same stagger. For uniform batches the cycle time
+//!   is exactly
+//!
+//!   ```text
+//!   t_cycle = max( 2·P·V·b,  (P+1)·V·b + V·c + t_comp ) + V·c
+//!   ```
+//!
+//!   (bus-saturated and compute-bound regimes; `V` one-way words per
+//!   partition). Optimizing the partition area under this law reproduces,
+//!   with `c = 0`, *exactly* the asynchronous-bus optimal cycle times of
+//!   §6.2 — `2·√(2n³bk·E·Tfp)` for strips, `2·(E·Tfp)^{1/3}·(4n²bk)^{2/3}`
+//!   for squares — a `√2` / `1.5×` speedup over the synchronous bus.
+//!   Scheduling recovers the posted-write hardware's entire benefit: the
+//!   overlap that §6.2 buys with an asynchronous memory controller can be
+//!   had from a synchronous bus and a slot table. The asymptotic exponents,
+//!   however, do not move: `Θ((n²)^{1/4})` strips, `Θ((n²)^{1/3})` squares.
+//!   Contention is conserved; only the *idle waiting* is schedulable away.
+//!
+//! The event-level counterpart (non-uniform batches, edge partitions,
+//! explicit slot tables) is `parspeed_arch::ScheduledBusSim`, validated
+//! against this model in experiment E15.
+
+use crate::convex::golden_min;
+use crate::{ArchModel, BusParams, MachineParams, Workload};
+
+/// Synchronous shared bus driven by a batch-granularity slot schedule
+/// (stagger scheduling): partitions access the bus one whole boundary
+/// batch at a time, in a fixed order, both for the read phase and the
+/// write drain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledBus {
+    tfp: f64,
+    bus: BusParams,
+}
+
+impl ScheduledBus {
+    /// Builds the model from a machine description.
+    pub fn new(m: &MachineParams) -> Self {
+        Self { tfp: m.tfp, bus: m.bus }
+    }
+
+    /// Builds the model from explicit constants.
+    pub fn with(tfp: f64, bus: BusParams) -> Self {
+        assert!(tfp > 0.0 && bus.b > 0.0 && bus.c >= 0.0);
+        Self { tfp, bus }
+    }
+
+    /// The bus constants in use.
+    pub fn bus(&self) -> BusParams {
+        self.bus
+    }
+
+    /// Cycle time in the bus-saturated regime: the bus is busy end to end,
+    /// so the iteration lasts exactly the total offered work, `2·P·V·b`,
+    /// plus the last writer's local per-word overhead.
+    pub fn bus_bound_cycle(&self, w: &Workload, area: f64) -> f64 {
+        let p = w.points() / area;
+        let v = w.one_way_words(area);
+        2.0 * p * v * self.bus.b + v * self.bus.c
+    }
+
+    /// Cycle time in the compute-bound regime: the last slot's partition
+    /// finishes reading at `P·V·b`, computes, and writes into an idle bus.
+    pub fn compute_bound_cycle(&self, w: &Workload, area: f64) -> f64 {
+        let p = w.points() / area;
+        let v = w.one_way_words(area);
+        (p + 1.0) * v * self.bus.b + 2.0 * v * self.bus.c + w.e_flops * area * self.tfp
+    }
+}
+
+impl ArchModel for ScheduledBus {
+    fn name(&self) -> &'static str {
+        "scheduled bus"
+    }
+
+    fn tfp(&self) -> f64 {
+        self.tfp
+    }
+
+    /// Exact cycle time of the stagger schedule with uniform batches.
+    ///
+    /// Derivation: reads occupy the bus back to back, partition `i`
+    /// finishing at `(i+1)·V·b` (+`V·c` locally); it computes for `t_comp`
+    /// and requests its write, which the FIFO bus serves after the
+    /// remaining reads and earlier writes. Unrolling the FIFO recursion,
+    /// `r_j + (P−j)·V·b` is independent of `j`, which collapses the last
+    /// completion to the two-regime `max` below.
+    fn cycle_time(&self, w: &Workload, area: f64) -> f64 {
+        assert!(area > 0.0, "area must be positive");
+        if area >= w.points() {
+            return self.seq_time(w); // one processor: no communication
+        }
+        self.bus_bound_cycle(w, area).max(self.compute_bound_cycle(w, area))
+    }
+
+    /// The max of a decreasing (bus-bound) and a convex (compute-bound)
+    /// branch is unimodal but has no single closed form; the optimum is
+    /// either the compute branch's own minimum (when the bus branch has
+    /// already dropped below it) or the branch crossover. Both are found
+    /// numerically to machine precision.
+    fn closed_form_optimal_area(&self, w: &Workload) -> Option<f64> {
+        let hi = w.points();
+        let lo = hi / w.max_processors() as f64;
+        // Minimum of the convex compute-bound branch.
+        let (a_m, comp_at_am) = golden_min(lo, hi, |a| self.compute_bound_cycle(w, a));
+        if self.bus_bound_cycle(w, a_m) <= comp_at_am {
+            return Some(a_m);
+        }
+        // Crossover: bus_bound − compute_bound is strictly decreasing in
+        // area (P·V·b falls, t_comp grows), so bisection is safe.
+        let g = |a: f64| self.bus_bound_cycle(w, a) - self.compute_bound_cycle(w, a);
+        let (mut lo_a, mut hi_a) = (a_m, hi);
+        if g(lo_a) <= 0.0 {
+            return Some(lo_a);
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo_a + hi_a);
+            if g(mid) > 0.0 {
+                lo_a = mid;
+            } else {
+                hi_a = mid;
+            }
+            if hi_a - lo_a <= 1e-12 * hi_a {
+                break;
+            }
+        }
+        Some(0.5 * (lo_a + hi_a))
+    }
+}
+
+/// Per-iteration cycle time of a *word-granularity* round-robin schedule —
+/// the negative control for the §8 conjecture.
+///
+/// One word per processor per turn means `P` concurrent requesters each
+/// progress at `1/P` of the bus bandwidth: every read completes at
+/// `V·(c + b·P)`, every write likewise, and the cycle time is identical to
+/// the unscheduled synchronous bus of §6.1. Provided (and tested) to make
+/// explicit that *granularity* is what separates a useful schedule from a
+/// relabelled queue.
+pub fn word_round_robin_cycle(m: &MachineParams, w: &Workload, area: f64) -> f64 {
+    crate::SyncBus::new(m).cycle_time(w, area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convex::is_unimodal_sampled;
+    use crate::{AsyncBus, ProcessorBudget, SyncBus};
+    use parspeed_stencil::{PartitionShape, Stencil};
+
+    fn machine() -> MachineParams {
+        MachineParams::paper_defaults() // c = 0
+    }
+
+    fn wl(n: usize, shape: PartitionShape) -> Workload {
+        Workload::new(n, &Stencil::five_point(), shape)
+    }
+
+    #[test]
+    fn single_processor_pays_sequential_time() {
+        let sched = ScheduledBus::new(&machine());
+        let w = wl(64, PartitionShape::Square);
+        let t = sched.cycle_time(&w, w.points());
+        assert!((t - sched.seq_time(&w)).abs() / t < 1e-12);
+    }
+
+    #[test]
+    fn cycle_time_is_unimodal_in_area() {
+        let sched = ScheduledBus::new(&machine());
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            let w = wl(256, shape);
+            assert!(
+                is_unimodal_sampled(16.0, 256.0 * 256.0 - 1.0, 4000, 1e-12, |a| sched
+                    .cycle_time(&w, a)),
+                "{shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn staggering_never_loses_to_the_unscheduled_bus() {
+        // The stagger schedule can only remove waiting: at every area its
+        // cycle time is at most the synchronous bus's.
+        let m = machine().with_bus_overhead(0.4e-6);
+        let sched = ScheduledBus::new(&m);
+        let sync = SyncBus::new(&m);
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            let w = wl(128, shape);
+            for p in [2usize, 4, 16, 64, 128] {
+                let a = w.points() / p as f64;
+                assert!(
+                    sched.cycle_time(&w, a) <= sync.cycle_time(&w, a) * (1.0 + 1e-12),
+                    "{shape:?} P={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_granularity_round_robin_is_the_unscheduled_bus() {
+        // The negative control: TDMA at word granularity == §6.1 exactly.
+        let m = machine().with_bus_overhead(0.7e-6);
+        let sync = SyncBus::new(&m);
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            let w = wl(128, shape);
+            for p in [2usize, 8, 32] {
+                let a = w.points() / p as f64;
+                assert_eq!(word_round_robin_cycle(&m, &w, a), sync.cycle_time(&w, a));
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_strip_cycle_matches_async_bus_asymptotically() {
+        // c = 0: the stagger optimum approaches 2·√(2n³bk·E·Tfp) — the
+        // §6.2 asynchronous-bus optimum — from below (the model's exact
+        // optimum is 2√(2n³bk·E·Tfp)·(1 + O(1/n))).
+        let m = machine();
+        let sched = ScheduledBus::new(&m);
+        let asy = AsyncBus::new(&m);
+        for n in [256usize, 1024, 4096] {
+            let w = wl(n, PartitionShape::Strip);
+            let a = sched.closed_form_optimal_area(&w).unwrap();
+            let t_sched = sched.cycle_time(&w, a);
+            let a_async = asy.optimal_area(&w);
+            let t_async = asy.cycle_time(&w, a_async);
+            let rel = (t_sched - t_async).abs() / t_async;
+            let budget = 3.0 / (n as f64).sqrt(); // O(1/√A*) = O(n^{-3/4}) terms
+            assert!(rel < budget, "n={n}: sched {t_sched} vs async {t_async} ({rel})");
+        }
+    }
+
+    #[test]
+    fn optimal_square_cycle_matches_async_bus_asymptotically() {
+        let m = machine();
+        let sched = ScheduledBus::new(&m);
+        let asy = AsyncBus::new(&m);
+        for n in [256usize, 1024, 4096] {
+            let w = wl(n, PartitionShape::Square);
+            let a = sched.closed_form_optimal_area(&w).unwrap();
+            let t_sched = sched.cycle_time(&w, a);
+            let t_async = asy.cycle_time(&w, asy.optimal_area(&w));
+            let rel = (t_sched - t_async).abs() / t_async;
+            assert!(rel < 0.1, "n={n}: sched {t_sched} vs async {t_async} ({rel})");
+        }
+    }
+
+    #[test]
+    fn recovers_root_two_speedup_over_sync_strips() {
+        // The §8 headline: scheduling buys the asynchronous bus's √2
+        // (strips) without posted-write hardware.
+        let m = machine();
+        let sched = ScheduledBus::new(&m);
+        let sync = SyncBus::new(&m);
+        let w = wl(4096, PartitionShape::Strip);
+        let t_sched = sched.cycle_time(&w, sched.closed_form_optimal_area(&w).unwrap());
+        let t_sync = sync.optimal_cycle_unbounded(&w);
+        let gain = t_sync / t_sched;
+        assert!((gain - 2.0f64.sqrt()).abs() < 0.05, "gain {gain}");
+    }
+
+    #[test]
+    fn recovers_threehalves_speedup_over_sync_squares() {
+        let m = machine();
+        let sched = ScheduledBus::new(&m);
+        let sync = SyncBus::new(&m);
+        let w = wl(4096, PartitionShape::Square);
+        let t_sched = sched.cycle_time(&w, sched.closed_form_optimal_area(&w).unwrap());
+        let t_sync = sync.optimal_cycle_unbounded(&w);
+        let gain = t_sync / t_sched;
+        assert!((gain - 1.5).abs() < 0.05, "gain {gain}");
+    }
+
+    #[test]
+    fn asymptotic_exponents_do_not_improve() {
+        // Scheduling shifts constants, not exponents: quadrupling n² still
+        // multiplies optimal speedup by √2 (strips) / ∛4 (squares).
+        let m = machine();
+        let sched = ScheduledBus::new(&m);
+        let opt_speedup = |n: usize, shape| {
+            let w = wl(n, shape);
+            let a = sched.closed_form_optimal_area(&w).unwrap();
+            sched.speedup_at(&w, a)
+        };
+        let s1 = opt_speedup(2048, PartitionShape::Strip);
+        let s2 = opt_speedup(4096, PartitionShape::Strip);
+        assert!((s2 / s1 - 2.0f64.sqrt()).abs() < 0.02, "strip ratio {}", s2 / s1);
+        let q1 = opt_speedup(2048, PartitionShape::Square);
+        let q2 = opt_speedup(4096, PartitionShape::Square);
+        assert!((q2 / q1 - 4.0f64.powf(1.0 / 3.0)).abs() < 0.02, "square ratio {}", q2 / q1);
+    }
+
+    #[test]
+    fn optimizer_integration_respects_budget() {
+        let m = machine();
+        let sched = ScheduledBus::new(&m);
+        let w = wl(256, PartitionShape::Square);
+        for cap in [4usize, 16, 64] {
+            let opt = sched.optimize(&w, ProcessorBudget::Limited(cap));
+            assert!(opt.processors >= 1 && opt.processors <= cap);
+            assert!(opt.speedup <= opt.processors as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn scheduled_bus_wants_more_processors_than_sync() {
+        // Cheaper effective communication ⇒ smaller optimal area ⇒ more
+        // processors at the unconstrained optimum.
+        let m = machine();
+        let sched = ScheduledBus::new(&m);
+        let sync = SyncBus::new(&m);
+        let w = wl(1024, PartitionShape::Square);
+        let p_sched = w.points() / sched.closed_form_optimal_area(&w).unwrap();
+        let p_sync = w.points() / sync.closed_form_optimal_area(&w).unwrap();
+        assert!(p_sched > p_sync, "sched {p_sched} vs sync {p_sync}");
+    }
+
+    #[test]
+    fn overhead_c_still_charges_the_endpoints() {
+        let base = ScheduledBus::new(&machine());
+        let heavy = ScheduledBus::new(&machine().with_bus_overhead(1.0e-5));
+        let w = wl(128, PartitionShape::Strip);
+        let a = w.points() / 8.0;
+        assert!(heavy.cycle_time(&w, a) > base.cycle_time(&w, a));
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be positive")]
+    fn rejects_nonpositive_area() {
+        let sched = ScheduledBus::new(&machine());
+        let w = wl(32, PartitionShape::Strip);
+        let _ = sched.cycle_time(&w, 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests for the analytic model: convexity, closed forms vs
+//! numeric search, monotonicity of the derived quantities.
+
+use parspeed_core::convex::{golden_min, is_unimodal_sampled};
+use parspeed_core::minsize::{min_grid_side, BusVariant};
+use parspeed_core::{
+    ArchModel, AsyncBus, BusParams, MachineParams, SyncBus, Workload,
+};
+use parspeed_stencil::{PartitionShape, Stencil};
+use proptest::prelude::*;
+
+fn arb_machine() -> impl Strategy<Value = MachineParams> {
+    // Plausible ranges around the calibrated defaults (log-uniform-ish).
+    (1.0e-8f64..1.0e-5, 1.0e-7f64..1.0e-5, 0.0f64..1.0e-5).prop_map(|(tfp, b, c)| {
+        let mut m = MachineParams::paper_defaults();
+        m.tfp = tfp;
+        m.bus = BusParams { b, c };
+        m
+    })
+}
+
+proptest! {
+    /// Both bus cycle-time curves are unimodal in the area for any
+    /// positive parameter set — the convexity §8 leans on.
+    #[test]
+    fn bus_cycle_times_are_unimodal(m in arb_machine(), n_idx in 0usize..3, shape_idx in 0usize..2) {
+        let n = [64usize, 128, 256][n_idx];
+        let shape = [PartitionShape::Strip, PartitionShape::Square][shape_idx];
+        let w = Workload::new(n, &Stencil::five_point(), shape);
+        let hi = (n * n) as f64 - 1.0;
+        let sync = SyncBus::new(&m);
+        prop_assert!(is_unimodal_sampled(4.0, hi, 800, 1e-15, |a| sync.cycle_time(&w, a)));
+        let async_ = AsyncBus::new(&m);
+        prop_assert!(is_unimodal_sampled(4.0, hi, 800, 1e-15, |a| async_.cycle_time(&w, a)));
+    }
+
+    /// The closed-form optima agree with golden-section search for any
+    /// parameter set (strips: eq. 3; squares: the §6.1 cubic).
+    #[test]
+    fn closed_forms_match_numeric_search(m in arb_machine(), shape_idx in 0usize..2) {
+        let n = 128usize;
+        let shape = [PartitionShape::Strip, PartitionShape::Square][shape_idx];
+        let w = Workload::new(n, &Stencil::five_point(), shape);
+        let sync = SyncBus::new(&m);
+        let closed = sync.closed_form_optimal_area(&w).unwrap();
+        let (numeric, _) = golden_min(1.0, (n * n) as f64, |a| sync.cycle_time(&w, a));
+        // Compare achieved cycle times (the curve can be flat near the
+        // optimum, so abscissae may differ more than values).
+        let c_closed = sync.cycle_time(&w, closed.clamp(1.0, (n * n) as f64));
+        let c_numeric = sync.cycle_time(&w, numeric);
+        prop_assert!(c_closed <= c_numeric * (1.0 + 1e-6),
+            "closed {c_closed} vs numeric {c_numeric}");
+    }
+
+    /// Minimal problem sizes grow monotonically with the processor count
+    /// and shrink with more compute per point.
+    #[test]
+    fn min_problem_size_monotonicity(m in arb_machine(), v_idx in 0usize..4) {
+        let v = BusVariant::all()[v_idx];
+        let mut prev = 0.0;
+        for np in [4usize, 8, 16, 32] {
+            let n_min = min_grid_side(&m, 6.0, 1.0, np, v);
+            prop_assert!(n_min > prev);
+            prev = n_min;
+        }
+        let light = min_grid_side(&m, 6.0, 1.0, 16, v);
+        let heavy = min_grid_side(&m, 12.0, 1.0, 16, v);
+        prop_assert!(heavy < light);
+    }
+
+    /// Optimal unbounded speedup is monotone in the grid side for both
+    /// shapes and both bus types.
+    #[test]
+    fn unbounded_speedup_monotone_in_n(m in arb_machine(), shape_idx in 0usize..2) {
+        let shape = [PartitionShape::Strip, PartitionShape::Square][shape_idx];
+        let sync = SyncBus::new(&m);
+        let async_ = AsyncBus::new(&m);
+        let mut prev_s = 0.0;
+        let mut prev_a = 0.0;
+        for n in [64usize, 128, 256, 512] {
+            let w = Workload::new(n, &Stencil::five_point(), shape);
+            let s = sync.optimal_speedup_unbounded(&w);
+            let a = async_.optimal_speedup_unbounded(&w);
+            prop_assert!(s >= prev_s);
+            prop_assert!(a >= prev_a);
+            prop_assert!(a + 1e-12 >= s, "async {a} worse than sync {s}");
+            prev_s = s;
+            prev_a = a;
+        }
+    }
+
+    /// The optimizer respects its budget and reports consistent fields.
+    #[test]
+    fn optimizer_invariants(m in arb_machine(), n_idx in 0usize..3, cap in 1usize..128) {
+        let n = [64usize, 128, 256][n_idx];
+        let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Square);
+        let opt = SyncBus::new(&m).optimize(&w, parspeed_core::ProcessorBudget::Limited(cap));
+        prop_assert!(opt.processors >= 1);
+        prop_assert!(opt.processors <= cap.max(1));
+        prop_assert!(opt.speedup > 0.0);
+        prop_assert!(opt.speedup <= opt.processors as f64 + 1e-9);
+        prop_assert!((opt.efficiency - opt.speedup / opt.processors as f64).abs() < 1e-12);
+        prop_assert!(opt.cycle_time > 0.0);
+    }
+
+    /// The §8 scheduled bus: unimodal in the area, never worse than the
+    /// unscheduled bus at the same allocation, never below the bus-work
+    /// conservation floor — for any parameter set.
+    #[test]
+    fn scheduled_bus_sits_between_sync_and_the_work_floor(
+        m in arb_machine(),
+        n_idx in 0usize..3,
+        shape_idx in 0usize..2,
+        p in 2usize..128,
+    ) {
+        use parspeed_core::ScheduledBus;
+        let n = [64usize, 128, 256][n_idx];
+        let shape = [PartitionShape::Strip, PartitionShape::Square][shape_idx];
+        let w = Workload::new(n, &Stencil::five_point(), shape);
+        let hi = (n * n) as f64 - 1.0;
+        let sched = ScheduledBus::new(&m);
+        prop_assert!(is_unimodal_sampled(4.0, hi, 800, 1e-15, |a| sched.cycle_time(&w, a)));
+        let area = w.points() / p as f64;
+        let t_sched = sched.cycle_time(&w, area);
+        let t_sync = SyncBus::new(&m).cycle_time(&w, area);
+        prop_assert!(t_sched <= t_sync * (1.0 + 1e-12), "sched {t_sched} > sync {t_sync}");
+        // Work conservation: the bus must still move every word.
+        let v = w.one_way_words(area);
+        let floor = 2.0 * p as f64 * v * m.bus.b;
+        prop_assert!(t_sched + 1e-18 >= floor, "sched {t_sched} beats the bus-work floor {floor}");
+    }
+
+    /// The scheduled-bus optimizer (interior optimum plus the extremal
+    /// candidates — the paper's one-processor "case 3" included) is never
+    /// beaten by a brute-force scan over allocations.
+    #[test]
+    fn scheduled_bus_optimum_is_global(m in arb_machine(), n_idx in 0usize..2) {
+        use parspeed_core::{assigned_area, ProcessorBudget, ScheduledBus};
+        let n = [64usize, 128][n_idx];
+        let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Square);
+        let sched = ScheduledBus::new(&m);
+        let opt = sched.optimize(&w, ProcessorBudget::Limited(256));
+        for p in 1..=256usize {
+            let t = sched.cycle_time(&w, assigned_area(&w, p));
+            prop_assert!(
+                opt.cycle_time <= t * (1.0 + 1e-9),
+                "P={p} beats the optimizer: {t} < {}",
+                opt.cycle_time
+            );
+        }
+    }
+
+    /// Memory accounting: partition words are non-increasing in the
+    /// processor count, min_processors is the exact threshold, and a
+    /// memory-constrained optimum never beats the unconstrained one.
+    #[test]
+    fn memory_budget_invariants(
+        m in arb_machine(),
+        n_idx in 0usize..3,
+        shape_idx in 0usize..2,
+        pivot in 2usize..64,
+    ) {
+        use parspeed_core::{optimize_constrained, MemoryBudget, ProcessorBudget};
+        let n = [64usize, 128, 256][n_idx];
+        let shape = [PartitionShape::Strip, PartitionShape::Square][shape_idx];
+        let w = Workload::new(n, &Stencil::five_point(), shape);
+        let mut prev = f64::INFINITY;
+        for p in [1usize, 2, 4, 8, 16, 32, 64] {
+            let words = MemoryBudget::partition_words(&w, p);
+            prop_assert!(words <= prev + 1e-9);
+            prev = words;
+        }
+        let budget = MemoryBudget::words(MemoryBudget::partition_words(&w, pivot));
+        let floor = budget.min_processors(&w).unwrap();
+        prop_assert!(budget.fits(&w, floor));
+        prop_assert!(floor <= pivot);
+        if floor > 1 {
+            prop_assert!(!budget.fits(&w, floor - 1));
+        }
+        let bus = SyncBus::new(&m);
+        let free = bus.optimize(&w, ProcessorBudget::Limited(64));
+        let constrained =
+            optimize_constrained(&bus, &w, ProcessorBudget::Limited(64), Some(budget)).unwrap();
+        prop_assert!(constrained.speedup <= free.speedup + 1e-9);
+        prop_assert!(budget.fits(&w, constrained.processors));
+    }
+}

@@ -1,0 +1,207 @@
+//! Exact processor-sharing (fluid) resource.
+//!
+//! The shared bus serves all concurrent requesters by interleaving words;
+//! with `P` active requesters each sees `1/P` of the bandwidth. That is a
+//! processor-sharing queue, and for piecewise-constant populations the
+//! completion times have an exact fluid solution computed here — no
+//! per-word events needed, which keeps `n³`-word iterations simulable.
+//!
+//! With `P` equal batches of `W` words arriving together, every batch
+//! completes at `W·b·P`: exactly the paper's `c + b·P` per-word contention
+//! model (the `c` part is local to the requester and added by the caller).
+
+/// One batch offered to the processor-sharing resource.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsArrival {
+    /// Arrival time, seconds.
+    pub at: f64,
+    /// Service demand at unit rate, seconds (e.g. `words × b`).
+    pub work: f64,
+}
+
+/// Exact completion times for `arrivals` under processor sharing, in input
+/// order.
+///
+/// Runs the fluid dynamics event by event: between arrivals/completions the
+/// `m` active batches all drain at rate `1/m`. `O(n²)` worst case, which is
+/// ample for per-iteration machine simulations (one batch per processor).
+pub fn processor_sharing(arrivals: &[PsArrival]) -> Vec<f64> {
+    let n = arrivals.len();
+    for a in arrivals {
+        assert!(a.at.is_finite() && a.at >= 0.0, "bad arrival time {}", a.at);
+        assert!(a.work.is_finite() && a.work >= 0.0, "bad work {}", a.work);
+    }
+    // Indices sorted by arrival (stable: FIFO among ties).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| arrivals[i].at.total_cmp(&arrivals[j].at));
+
+    let mut completion = vec![0.0f64; n];
+    let mut remaining = vec![0.0f64; n];
+    let mut active: Vec<usize> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+
+    loop {
+        // Next arrival time, if any.
+        let t_arr = order.get(next_arrival).map(|&i| arrivals[i].at);
+        // Earliest completion among active batches at current rate; keep the
+        // argmin so it can be retired unconditionally (when `now` is large
+        // and the residual tiny, `now + r·m` can round back to `now`, and
+        // retiring by threshold alone would loop forever).
+        let t_done = if active.is_empty() {
+            None
+        } else {
+            let m = active.len() as f64;
+            active
+                .iter()
+                .map(|&i| (i, now + remaining[i] * m))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+        };
+        match (t_arr, t_done) {
+            (None, None) => break,
+            (Some(ta), None) => {
+                now = ta;
+            }
+            (Some(ta), Some((_, td))) if ta <= td => {
+                // Drain to the arrival instant, then admit.
+                let dt = ta - now;
+                let m = active.len() as f64;
+                for &i in &active {
+                    remaining[i] -= dt / m;
+                }
+                now = ta;
+            }
+            (_, Some((j, td))) => {
+                // Drain to the completion instant and retire finished work.
+                let dt = td - now;
+                let m = active.len() as f64;
+                for &i in &active {
+                    remaining[i] = (remaining[i] - dt / m).max(0.0);
+                }
+                remaining[j] = 0.0; // the argmin batch is done by construction
+                now = td;
+                active.retain(|&i| {
+                    if remaining[i] <= 1e-15 {
+                        completion[i] = now;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                continue;
+            }
+        }
+        // Admit every batch arriving exactly now.
+        while next_arrival < n && arrivals[order[next_arrival]].at <= now {
+            let i = order[next_arrival];
+            if arrivals[i].work == 0.0 {
+                completion[i] = arrivals[i].at.max(now);
+            } else {
+                remaining[i] = arrivals[i].work;
+                active.push(i);
+            }
+            next_arrival += 1;
+        }
+    }
+    completion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_batch_runs_at_full_rate() {
+        let c = processor_sharing(&[PsArrival { at: 1.0, work: 3.0 }]);
+        assert!((c[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_simultaneous_batches_model_bus_contention() {
+        // P batches of W words arriving together finish at W·P — the
+        // paper's b·P per word.
+        for p in [2usize, 4, 16] {
+            let arr: Vec<PsArrival> =
+                (0..p).map(|_| PsArrival { at: 0.0, work: 2.0 }).collect();
+            let c = processor_sharing(&arr);
+            for &t in &c {
+                assert!((t - 2.0 * p as f64).abs() < 1e-9, "P={p}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        // Busy the whole time ⇒ makespan equals total work.
+        let arr = vec![
+            PsArrival { at: 0.0, work: 1.0 },
+            PsArrival { at: 0.0, work: 2.0 },
+            PsArrival { at: 0.5, work: 0.25 },
+        ];
+        let c = processor_sharing(&arr);
+        let makespan = c.iter().cloned().fold(0.0, f64::max);
+        assert!((makespan - 3.25).abs() < 1e-9, "makespan {makespan}");
+    }
+
+    #[test]
+    fn hand_computed_two_job_case() {
+        // Job A: work 2 at t=0. Job B: work 1 at t=1.
+        // [0,1): A alone, drains 1 (1 left). [1,?): rate ½ each.
+        // A needs 2 more shared seconds, B needs 2: both finish at t=3.
+        let c = processor_sharing(&[
+            PsArrival { at: 0.0, work: 2.0 },
+            PsArrival { at: 1.0, work: 1.0 },
+        ]);
+        assert!((c[0] - 3.0).abs() < 1e-9);
+        assert!((c[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_job_overtakes_long_job() {
+        // PS lets a tiny batch slip past a huge one.
+        let c = processor_sharing(&[
+            PsArrival { at: 0.0, work: 100.0 },
+            PsArrival { at: 0.0, work: 0.1 },
+        ]);
+        assert!(c[1] < 1.0, "short batch done at {}", c[1]);
+        assert!((c[0] - 100.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let c = processor_sharing(&[
+            PsArrival { at: 5.0, work: 0.0 },
+            PsArrival { at: 0.0, work: 1.0 },
+        ]);
+        assert_eq!(c[0], 5.0);
+        assert!((c[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_order_is_preserved_in_output() {
+        // Results are positional regardless of arrival order.
+        let a = vec![
+            PsArrival { at: 2.0, work: 1.0 },
+            PsArrival { at: 0.0, work: 1.0 },
+        ];
+        let c = processor_sharing(&a);
+        assert!(c[1] < c[0]);
+    }
+
+    #[test]
+    fn idle_gap_then_second_wave() {
+        let c = processor_sharing(&[
+            PsArrival { at: 0.0, work: 1.0 },
+            PsArrival { at: 10.0, work: 1.0 },
+            PsArrival { at: 10.0, work: 1.0 },
+        ]);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        assert!((c[1] - 12.0).abs() < 1e-9);
+        assert!((c[2] - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(processor_sharing(&[]).is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! Incremental processor-sharing queue.
+//!
+//! [`processor_sharing`](crate::processor_sharing) solves a *closed* batch:
+//! every arrival is known up front. The shared-bus simulations need more —
+//! a partition's boundary **write** is posted only after its boundary
+//! **read** completes (plus compute), so later arrivals depend on earlier
+//! completions of the *same* resource. [`PsQueue`] runs the same exact
+//! fluid dynamics incrementally: the caller offers jobs as they become
+//! known and pulls completions one at a time, injecting new arrivals
+//! between pulls. Offering everything up front and draining reproduces
+//! `processor_sharing` exactly (tested).
+//!
+//! Determinism: completions are returned in (time, offer-order) order, and
+//! the fluid update is identical for any interleaving of offers with the
+//! same arrival times.
+
+/// Identifier of a job offered to a [`PsQueue`], assigned in offer order.
+pub type JobId = usize;
+
+/// An exact fluid processor-sharing resource that accepts arrivals
+/// incrementally.
+#[derive(Debug, Clone)]
+pub struct PsQueue {
+    /// Jobs not yet admitted, sorted lazily by arrival time.
+    pending: Vec<(f64, JobId, f64)>, // (arrival, id, work)
+    /// Admitted jobs still draining: (id, remaining work).
+    active: Vec<(JobId, f64)>,
+    now: f64,
+    next_id: JobId,
+    served: usize,
+}
+
+impl Default for PsQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PsQueue {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self { pending: Vec::new(), active: Vec::new(), now: 0.0, next_id: 0, served: 0 }
+    }
+
+    /// Offers a job arriving at `at` (≥ the last returned completion time)
+    /// with `work` seconds of demand at unit rate. Returns its id.
+    pub fn offer(&mut self, at: f64, work: f64) -> JobId {
+        assert!(at.is_finite() && at >= 0.0, "bad arrival time {at}");
+        assert!(work.is_finite() && work >= 0.0, "bad work {work}");
+        assert!(
+            at + 1e-18 >= self.now,
+            "arrival at {at} is before the simulation clock {}",
+            self.now
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push((at.max(self.now), id, work));
+        id
+    }
+
+    /// Number of jobs offered so far.
+    pub fn offered(&self) -> usize {
+        self.next_id
+    }
+
+    /// Number of completions already returned.
+    pub fn served(&self) -> usize {
+        self.served
+    }
+
+    /// Advances the fluid to the next completion and returns it, or `None`
+    /// when no offered job remains. New arrivals may be offered between
+    /// calls; they must not predate the returned completion times.
+    pub fn next_completion(&mut self) -> Option<(JobId, f64)> {
+        loop {
+            // Earliest pending arrival.
+            let arr = self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by(|a, b| (a.1 .0, a.1 .1).partial_cmp(&(b.1 .0, b.1 .1)).unwrap())
+                .map(|(idx, &(at, _, _))| (idx, at));
+            // Earliest completion among active jobs (argmin kept so it can
+            // be retired unconditionally — see `processor_sharing`).
+            let done = if self.active.is_empty() {
+                None
+            } else {
+                let m = self.active.len() as f64;
+                self.active
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &(_, rem))| (slot, self.now + rem * m))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+            };
+            let arrival_first = match (arr, done) {
+                (None, None) => return None,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some((_, at)), Some((_, td))) => at <= td,
+            };
+            if arrival_first {
+                let (idx, at) = arr.expect("arrival_first implies a pending arrival");
+                {
+                    // Drain to the arrival instant and admit every pending
+                    // job at or before it (offer order among ties).
+                    let dt = at - self.now;
+                    let m = self.active.len() as f64;
+                    if dt > 0.0 && !self.active.is_empty() {
+                        for j in &mut self.active {
+                            j.1 -= dt / m;
+                        }
+                    }
+                    self.now = at;
+                    let mut due: Vec<(f64, JobId, f64)> = Vec::new();
+                    self.pending.retain(|&(t, id, w)| {
+                        if t <= at {
+                            due.push((t, id, w));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    due.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+                    for (_, id, w) in due {
+                        self.active.push((id, w));
+                    }
+                    let _ = idx;
+                }
+            } else {
+                let (slot, td) = done.expect("completion branch requires an active job");
+                {
+                    let dt = td - self.now;
+                    let m = self.active.len() as f64;
+                    for j in &mut self.active {
+                        j.1 = (j.1 - dt / m).max(0.0);
+                    }
+                    self.active[slot].1 = 0.0; // argmin is done by construction
+                    self.now = td;
+                    // Return exactly one completion: the finished job with
+                    // the smallest id (deterministic among simultaneous).
+                    let pos = self
+                        .active
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &(_, rem))| rem <= 1e-15)
+                        .min_by_key(|(_, &(id, _))| id)
+                        .map(|(p, _)| p)
+                        .expect("argmin batch just retired");
+                    let (id, _) = self.active.swap_remove(pos);
+                    self.served += 1;
+                    return Some((id, self.now));
+                }
+            }
+        }
+    }
+
+    /// Drains every remaining completion into a vector of
+    /// `(job, completion_time)` pairs.
+    pub fn drain(&mut self) -> Vec<(JobId, f64)> {
+        let mut v = Vec::new();
+        while let Some(c) = self.next_completion() {
+            v.push(c);
+        }
+        v
+    }
+
+    /// The simulation clock (time of the last returned completion or
+    /// admitted arrival).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{processor_sharing, PsArrival};
+
+    /// Offering everything up front must reproduce the closed-form solver
+    /// exactly, job by job.
+    #[test]
+    fn matches_closed_processor_sharing() {
+        let arrivals = [
+            PsArrival { at: 0.0, work: 2.0 },
+            PsArrival { at: 1.0, work: 1.0 },
+            PsArrival { at: 1.0, work: 0.5 },
+            PsArrival { at: 10.0, work: 3.0 },
+            PsArrival { at: 0.0, work: 0.0 },
+        ];
+        let closed = processor_sharing(&arrivals);
+        let mut q = PsQueue::new();
+        for a in &arrivals {
+            q.offer(a.at, a.work);
+        }
+        let mut by_id = vec![0.0; arrivals.len()];
+        for (id, t) in q.drain() {
+            by_id[id] = t;
+        }
+        for (i, (&a, &b)) in closed.iter().zip(by_id.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-12, "job {i}: closed {a} vs incremental {b}");
+        }
+    }
+
+    /// The motivating pattern: a second job is offered only after the
+    /// first completes (read → compute → write on one bus).
+    #[test]
+    fn dependent_arrival_after_completion() {
+        let mut q = PsQueue::new();
+        q.offer(0.0, 2.0);
+        let (id, t) = q.next_completion().unwrap();
+        assert_eq!(id, 0);
+        assert!((t - 2.0).abs() < 1e-12);
+        q.offer(t + 1.0, 4.0); // posted after compute
+        let (id2, t2) = q.next_completion().unwrap();
+        assert_eq!(id2, 1);
+        assert!((t2 - 7.0).abs() < 1e-12);
+        assert!(q.next_completion().is_none());
+    }
+
+    /// Two dependent chains share the resource: completions of the write
+    /// wave reflect the contention of overlapping posts.
+    #[test]
+    fn coupled_chains_share_bandwidth() {
+        let mut q = PsQueue::new();
+        q.offer(0.0, 1.0);
+        q.offer(0.0, 1.0);
+        // Both reads complete at 2.0 (shared). Writes post immediately.
+        let (_, t1) = q.next_completion().unwrap();
+        q.offer(t1, 1.0);
+        let (_, t2) = q.next_completion().unwrap();
+        q.offer(t2, 1.0);
+        assert!((t1 - 2.0).abs() < 1e-12 && (t2 - 2.0).abs() < 1e-12);
+        let c = q.drain();
+        assert_eq!(c.len(), 2);
+        // Two unit writes sharing: both end at 4.0.
+        assert!((c[0].1 - 4.0).abs() < 1e-12);
+        assert!((c[1].1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_jobs_complete_at_arrival() {
+        let mut q = PsQueue::new();
+        q.offer(3.0, 0.0);
+        q.offer(0.0, 1.0);
+        let (id, t) = q.next_completion().unwrap();
+        assert_eq!((id, t), (1, 1.0));
+        let (id, t) = q.next_completion().unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(t, 3.0);
+    }
+
+    #[test]
+    fn simultaneous_completions_return_in_id_order() {
+        let mut q = PsQueue::new();
+        q.offer(0.0, 1.0);
+        q.offer(0.0, 1.0);
+        q.offer(0.0, 1.0);
+        let order: Vec<JobId> = q.drain().iter().map(|&(id, _)| id).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn served_and_offered_counters() {
+        let mut q = PsQueue::new();
+        q.offer(0.0, 1.0);
+        q.offer(0.0, 2.0);
+        assert_eq!(q.offered(), 2);
+        assert_eq!(q.served(), 0);
+        let _ = q.next_completion();
+        assert_eq!(q.served(), 1);
+        let _ = q.drain();
+        assert_eq!(q.served(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the simulation clock")]
+    fn rejects_arrivals_in_the_past() {
+        let mut q = PsQueue::new();
+        q.offer(0.0, 5.0);
+        let _ = q.next_completion();
+        q.offer(1.0, 1.0); // clock is at 5.0
+    }
+
+    #[test]
+    fn empty_queue_is_done() {
+        assert!(PsQueue::new().next_completion().is_none());
+    }
+}

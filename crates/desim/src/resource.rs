@@ -1,0 +1,112 @@
+//! Single-server FCFS resources.
+
+use crate::Time;
+
+/// A first-come-first-served single server: a hypercube node's
+/// communication port, one 2×2 switch stage, a DMA engine.
+///
+/// Jobs are offered in simulation-time order (the caller's event order);
+/// each job starts when both it and the server are ready and holds the
+/// server for its service time.
+#[derive(Debug, Clone, Copy)]
+pub struct FcfsServer {
+    next_free: Time,
+    busy: f64,
+    served: u64,
+}
+
+impl Default for FcfsServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FcfsServer {
+    /// A new, idle server.
+    pub fn new() -> Self {
+        Self { next_free: Time::ZERO, busy: 0.0, served: 0 }
+    }
+
+    /// Offers a job arriving at `arrival` needing `service` seconds.
+    /// Returns `(start, end)`.
+    pub fn serve(&mut self, arrival: Time, service: f64) -> (Time, Time) {
+        assert!(service >= 0.0, "negative service time");
+        let start = arrival.max(self.next_free);
+        let end = start + service;
+        self.next_free = end;
+        self.busy += service;
+        self.served += 1;
+        (start, end)
+    }
+
+    /// When the server next becomes idle.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Total busy seconds accumulated.
+    pub fn busy_time(&self) -> f64 {
+        self.busy
+    }
+
+    /// Jobs served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            0.0
+        } else {
+            self.busy / horizon.as_secs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_overlapping_jobs() {
+        let mut s = FcfsServer::new();
+        let (a0, a1) = s.serve(Time::ZERO, 2.0);
+        let (b0, b1) = s.serve(Time::from_secs(1.0), 2.0);
+        assert_eq!(a0, Time::ZERO);
+        assert_eq!(a1, Time::from_secs(2.0));
+        assert_eq!(b0, Time::from_secs(2.0)); // waits for the first
+        assert_eq!(b1, Time::from_secs(4.0));
+    }
+
+    #[test]
+    fn idle_gaps_are_not_counted_busy() {
+        let mut s = FcfsServer::new();
+        s.serve(Time::ZERO, 1.0);
+        s.serve(Time::from_secs(10.0), 1.0);
+        assert_eq!(s.busy_time(), 2.0);
+        assert_eq!(s.served(), 2);
+        assert!((s.utilization(Time::from_secs(11.0)) - 2.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_service_passes_through() {
+        let mut s = FcfsServer::new();
+        let (x0, x1) = s.serve(Time::from_secs(3.0), 0.0);
+        assert_eq!(x0, x1);
+        assert_eq!(s.next_free(), Time::from_secs(3.0));
+    }
+
+    #[test]
+    fn utilization_at_zero_horizon_is_zero() {
+        let s = FcfsServer::new();
+        assert_eq!(s.utilization(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative service")]
+    fn rejects_negative_service() {
+        let mut s = FcfsServer::new();
+        s.serve(Time::ZERO, -1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! The future-event list and the run loop.
+
+use crate::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event handler: a machine model advancing its state on each event.
+pub trait World<E> {
+    /// Handles one event at `sched.now()`, possibly scheduling more.
+    fn handle(&mut self, ev: E, sched: &mut Scheduler<E>);
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Time,
+    seq: u64,
+    ev: E,
+}
+
+// Ordering: earliest time first; FIFO among equal times (seq ascending).
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic future-event list.
+///
+/// Events fire in timestamp order; events with equal timestamps fire in the
+/// order they were scheduled, making every simulation in this workspace
+/// exactly replayable.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: Time,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Self { now: Time::ZERO, queue: BinaryHeap::new(), seq: 0, processed: 0 }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events handed out so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `ev` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current time (causality violation).
+    pub fn schedule(&mut self, at: Time, ev: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+        self.seq += 1;
+    }
+
+    /// Schedules `ev` after a nonnegative `delay` from now.
+    pub fn schedule_in(&mut self, delay: f64, ev: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.schedule(self.now + delay, ev);
+    }
+
+    /// Removes and returns the next event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(s) = self.queue.pop()?;
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.ev))
+    }
+}
+
+/// Runs `world` until no events remain. Returns the final time.
+pub fn run<E, W: World<E>>(world: &mut W, sched: &mut Scheduler<E>) -> Time {
+    while let Some((_, ev)) = sched.pop() {
+        world.handle(ev, sched);
+    }
+    sched.now()
+}
+
+/// Runs until the event list empties or `limit` events have fired
+/// (a runaway guard for models under development). Returns the final time.
+pub fn run_until<E, W: World<E>>(world: &mut W, sched: &mut Scheduler<E>, limit: u64) -> Time {
+    let start = sched.processed();
+    while sched.processed() - start < limit {
+        match sched.pop() {
+            Some((_, ev)) => world.handle(ev, sched),
+            None => break,
+        }
+    }
+    sched.now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<u32>,
+    }
+
+    impl World<u32> for Recorder {
+        fn handle(&mut self, ev: u32, _sched: &mut Scheduler<u32>) {
+            self.seen.push(ev);
+        }
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut sched = Scheduler::new();
+        sched.schedule(Time::from_secs(3.0), 3);
+        sched.schedule(Time::from_secs(1.0), 1);
+        sched.schedule(Time::from_secs(2.0), 2);
+        let mut w = Recorder { seen: vec![] };
+        let end = run(&mut w, &mut sched);
+        assert_eq!(w.seen, vec![1, 2, 3]);
+        assert_eq!(end, Time::from_secs(3.0));
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut sched = Scheduler::new();
+        for i in 0..100u32 {
+            sched.schedule(Time::from_secs(1.0), i);
+        }
+        let mut w = Recorder { seen: vec![] };
+        run(&mut w, &mut sched);
+        assert_eq!(w.seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        sched.schedule(Time::from_secs(5.0), 0);
+        sched.schedule(Time::from_secs(2.0), 1);
+        let (t1, _) = sched.pop().unwrap();
+        let (t2, _) = sched.pop().unwrap();
+        assert!(t1 <= t2);
+        assert_eq!(sched.now(), Time::from_secs(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_causality_violation() {
+        let mut sched: Scheduler<u32> = Scheduler::new();
+        sched.schedule(Time::from_secs(5.0), 0);
+        sched.pop();
+        sched.schedule(Time::from_secs(1.0), 1);
+    }
+
+    #[test]
+    fn run_until_respects_limit() {
+        struct Chain;
+        impl World<u32> for Chain {
+            fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+                sched.schedule_in(1.0, ev + 1); // infinite chain
+            }
+        }
+        let mut sched = Scheduler::new();
+        sched.schedule(Time::ZERO, 0);
+        let mut w = Chain;
+        run_until(&mut w, &mut sched, 10);
+        assert_eq!(sched.processed(), 10);
+        assert_eq!(sched.pending(), 1);
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        let trace = |seed_events: &[(f64, u32)]| {
+            let mut sched = Scheduler::new();
+            for &(t, e) in seed_events {
+                sched.schedule(Time::from_secs(t), e);
+            }
+            let mut w = Recorder { seen: vec![] };
+            run(&mut w, &mut sched);
+            w.seen
+        };
+        let evs = [(0.5, 7), (0.5, 8), (0.1, 1), (0.9, 3)];
+        assert_eq!(trace(&evs), trace(&evs));
+    }
+}

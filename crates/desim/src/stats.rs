@@ -1,0 +1,127 @@
+//! Scalar accumulators for simulation outputs.
+
+/// Running min / max / mean / count over a stream of samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Accumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample {x}");
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Max/min ratio — load-imbalance factor of per-node finish times.
+    pub fn imbalance(&self) -> Option<f64> {
+        (self.count > 0 && self.min > 0.0).then(|| self.max / self.min)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut a = Accumulator::new();
+        for x in iter {
+            a.add(x);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let a: Accumulator = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), Some(2.5));
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(4.0));
+        assert_eq!(a.imbalance(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let a = Accumulator::new();
+        assert_eq!(a.mean(), None);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert_eq!(a.imbalance(), None);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a: Accumulator = [1.0, 5.0].into_iter().collect();
+        let b: Accumulator = [0.5, 2.0].into_iter().collect();
+        a.merge(&b);
+        let c: Accumulator = [1.0, 5.0, 0.5, 2.0].into_iter().collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn imbalance_none_for_zero_min() {
+        let a: Accumulator = [0.0, 1.0].into_iter().collect();
+        assert_eq!(a.imbalance(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_samples() {
+        let mut a = Accumulator::new();
+        a.add(f64::NAN);
+    }
+}

@@ -1,0 +1,116 @@
+//! Simulation time.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Simulation time in seconds.
+///
+/// A thin wrapper over `f64` that is totally ordered (construction rejects
+/// NaN), so it can key the future-event list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Time(f64);
+
+impl Time {
+    /// The origin.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Builds a time; panics on NaN or negative values.
+    pub fn from_secs(s: f64) -> Time {
+        assert!(s.is_finite(), "non-finite time {s}");
+        assert!(s >= 0.0, "negative time {s}");
+        Time(s)
+    }
+
+    /// Seconds since the origin.
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Time {}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for Time {
+    type Output = Time;
+    fn add(self, rhs: f64) -> Time {
+        Time::from_secs(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for Time {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = f64;
+    fn sub(self, rhs: Time) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.5);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!((a + 1.5), b);
+        assert_eq!(b - a, 1.5);
+    }
+
+    #[test]
+    fn display_renders_seconds() {
+        assert_eq!(Time::from_secs(0.5).to_string(), "0.500000000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative time")]
+    fn rejects_negative() {
+        let _ = Time::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let _ = Time::from_secs(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_overflowing_add() {
+        let _ = Time::from_secs(f64::MAX) + f64::MAX;
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the discrete-event kernel.
+
+use parspeed_desim::{processor_sharing, run, FcfsServer, PsArrival, PsQueue, Scheduler, Time, World};
+use proptest::prelude::*;
+
+struct Recorder {
+    seen: Vec<(f64, u32)>,
+}
+
+impl World<u32> for Recorder {
+    fn handle(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+        self.seen.push((sched.now().as_secs(), ev));
+    }
+}
+
+proptest! {
+    /// Events always fire in nondecreasing time order, FIFO among ties,
+    /// regardless of insertion order.
+    #[test]
+    fn events_fire_in_order(times in prop::collection::vec(0.0f64..100.0, 1..100)) {
+        let mut sched = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            sched.schedule(Time::from_secs(t), i as u32);
+        }
+        let mut w = Recorder { seen: vec![] };
+        run(&mut w, &mut sched);
+        prop_assert_eq!(w.seen.len(), times.len());
+        for pair in w.seen.windows(2) {
+            prop_assert!(pair[1].0 >= pair[0].0);
+            if pair[1].0 == pair[0].0 {
+                // FIFO: schedule order (== id order here) preserved.
+                prop_assert!(pair[1].1 > pair[0].1);
+            }
+        }
+    }
+
+    /// The FCFS server conserves work and never overlaps jobs.
+    #[test]
+    fn fcfs_server_serializes(jobs in prop::collection::vec((0.0f64..50.0, 0.0f64..5.0), 1..50)) {
+        let mut sorted = jobs.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut s = FcfsServer::new();
+        let mut last_end = Time::ZERO;
+        let mut total = 0.0;
+        for &(at, dur) in &sorted {
+            let (start, end) = s.serve(Time::from_secs(at), dur);
+            prop_assert!(start >= last_end, "job started before the previous ended");
+            prop_assert!(start >= Time::from_secs(at));
+            prop_assert!((end - start - dur).abs() < 1e-12);
+            last_end = end;
+            total += dur;
+        }
+        prop_assert!((s.busy_time() - total).abs() < 1e-9);
+        prop_assert_eq!(s.served(), sorted.len() as u64);
+    }
+
+    /// Processor sharing: completions are permutation-invariant in the
+    /// input order and bounded below by serial-fair bounds.
+    #[test]
+    fn ps_order_invariance(jobs in prop::collection::vec((0.0f64..20.0, 0.01f64..5.0), 2..30)) {
+        let fwd: Vec<PsArrival> = jobs.iter().map(|&(at, w)| PsArrival { at, work: w }).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let cf = processor_sharing(&fwd);
+        let cr = processor_sharing(&rev);
+        for i in 0..fwd.len() {
+            let j = fwd.len() - 1 - i;
+            prop_assert!((cf[i] - cr[j]).abs() < 1e-9, "job {i} moved");
+        }
+        // Each job sees at least its own work, at most total work + wait.
+        let total: f64 = jobs.iter().map(|j| j.1).sum();
+        let t_max = jobs.iter().map(|j| j.0).fold(0.0, f64::max);
+        for (i, &(at, w)) in jobs.iter().enumerate() {
+            prop_assert!(cf[i] >= at + w - 1e-9);
+            prop_assert!(cf[i] <= t_max + total + 1e-9);
+        }
+    }
+
+    /// PS with identical simultaneous batches: everyone finishes together
+    /// at work × P — the paper's b·P contention law.
+    #[test]
+    fn ps_symmetric_batches(p in 1usize..40, work in 0.01f64..10.0) {
+        let arrivals: Vec<PsArrival> =
+            (0..p).map(|_| PsArrival { at: 0.0, work }).collect();
+        let done = processor_sharing(&arrivals);
+        for &d in &done {
+            prop_assert!((d - work * p as f64).abs() < 1e-6 * work * p as f64 + 1e-12);
+        }
+    }
+
+    /// The incremental queue reproduces the closed-batch solver exactly
+    /// for any job set offered up front.
+    #[test]
+    fn psqueue_matches_closed_solver(
+        jobs in prop::collection::vec((0.0f64..20.0, 0.0f64..5.0), 1..40)
+    ) {
+        let arrivals: Vec<PsArrival> =
+            jobs.iter().map(|&(at, work)| PsArrival { at, work }).collect();
+        let closed = processor_sharing(&arrivals);
+        let mut q = PsQueue::new();
+        for a in &arrivals {
+            q.offer(a.at, a.work);
+        }
+        let mut by_id = vec![f64::NAN; arrivals.len()];
+        for (id, t) in q.drain() {
+            by_id[id] = t;
+        }
+        for i in 0..closed.len() {
+            prop_assert!((closed[i] - by_id[i]).abs() < 1e-9, "job {i}: {} vs {}", closed[i], by_id[i]);
+        }
+    }
+
+    /// Dependent chains terminate and conserve work: every read spawns a
+    /// write at its completion, and the last completion is at least the
+    /// total offered work (one unit-rate server).
+    #[test]
+    fn psqueue_dependent_chains_conserve_work(
+        reads in prop::collection::vec(0.01f64..3.0, 1..20),
+        gap in 0.0f64..2.0,
+    ) {
+        let mut q = PsQueue::new();
+        for &w in &reads {
+            q.offer(0.0, w);
+        }
+        let p = reads.len();
+        let mut total = reads.iter().sum::<f64>();
+        let mut last = 0.0f64;
+        let mut completions = 0usize;
+        while let Some((id, t)) = q.next_completion() {
+            completions += 1;
+            prop_assert!(t + 1e-9 >= last, "time went backwards");
+            last = t;
+            if id < p {
+                // Write of the same size, posted after a local gap.
+                q.offer(t + gap, reads[id]);
+                total += reads[id];
+            }
+        }
+        prop_assert_eq!(completions, 2 * p);
+        // One unit-rate server: finishing all offered work takes at least
+        // `total` seconds no matter how the arrivals interleave.
+        prop_assert!(last + 1e-9 >= total, "work vanished: {last} < {total}");
+    }
+}

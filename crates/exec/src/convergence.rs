@@ -1,0 +1,124 @@
+//! Convergence-check scheduling policies (§4, after Saltz, Naik & Nicol).
+//!
+//! Checking convergence costs a local pass plus a global combine, so a
+//! production solver checks *periodically*, accepting a bounded overshoot.
+//! [`CheckPolicy`] generates the check schedule; `parspeed-core::
+//! convergence` prices it, and `PartitionedJacobi::solve` executes it.
+
+/// When to perform convergence checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckPolicy {
+    /// Check at iterations `d, 2d, 3d, …`.
+    Every(usize),
+    /// Check at `start`, then grow the interval geometrically by `factor`
+    /// up to `max_interval` — cheap early (when convergence is far) and
+    /// responsive late.
+    Geometric {
+        /// First check iteration.
+        start: usize,
+        /// Interval growth factor (> 1).
+        factor: f64,
+        /// Largest allowed interval between checks.
+        max_interval: usize,
+    },
+}
+
+impl CheckPolicy {
+    /// A reasonable geometric default: first check at 8, ×1.5 growth,
+    /// intervals capped at 256 iterations.
+    pub fn geometric() -> Self {
+        CheckPolicy::Geometric { start: 8, factor: 1.5, max_interval: 256 }
+    }
+
+    /// The first iteration at which to check.
+    pub fn first_check(&self) -> usize {
+        match self {
+            CheckPolicy::Every(d) => {
+                assert!(*d >= 1, "period must be ≥ 1");
+                *d
+            }
+            CheckPolicy::Geometric { start, .. } => (*start).max(1),
+        }
+    }
+
+    /// Given the iteration of the previous check, the iteration of the
+    /// next one (strictly increasing).
+    pub fn next_check(&self, last: usize) -> usize {
+        match self {
+            CheckPolicy::Every(d) => last + d.max(&1),
+            CheckPolicy::Geometric { factor, max_interval, start } => {
+                assert!(*factor > 1.0, "geometric factor must exceed 1");
+                let prev_interval = last.max(*start) as f64;
+                let interval =
+                    ((prev_interval * (factor - 1.0)).ceil() as usize).clamp(1, *max_interval);
+                last + interval
+            }
+        }
+    }
+
+    /// The full schedule up to `max_iters`, for inspection and tests.
+    pub fn schedule(&self, max_iters: usize) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut k = self.first_check();
+        while k <= max_iters {
+            v.push(k);
+            k = self.next_check(k);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_d_is_arithmetic() {
+        let p = CheckPolicy::Every(25);
+        assert_eq!(p.schedule(100), vec![25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn every_one_checks_each_iteration() {
+        let p = CheckPolicy::Every(1);
+        assert_eq!(p.schedule(5), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn geometric_grows_then_caps() {
+        let p = CheckPolicy::Geometric { start: 10, factor: 2.0, max_interval: 50 };
+        let s = p.schedule(400);
+        // Intervals: 10, 20, 40, 50, 50, ...
+        assert_eq!(&s[..5], &[10, 20, 40, 80, 130]);
+        for w in s.windows(2) {
+            assert!(w[1] > w[0]);
+            assert!(w[1] - w[0] <= 50);
+        }
+    }
+
+    #[test]
+    fn geometric_default_is_sparse_but_responsive() {
+        let s = CheckPolicy::geometric().schedule(10_000);
+        assert!(s.len() < 60, "too many checks: {}", s.len());
+        // No gap exceeds the cap.
+        for w in s.windows(2) {
+            assert!(w[1] - w[0] <= 256);
+        }
+    }
+
+    #[test]
+    fn schedules_are_strictly_increasing() {
+        for p in [CheckPolicy::Every(7), CheckPolicy::geometric()] {
+            let s = p.schedule(1000);
+            for w in s.windows(2) {
+                assert!(w[1] > w[0], "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be ≥ 1")]
+    fn rejects_zero_period() {
+        let _ = CheckPolicy::Every(0).first_check();
+    }
+}

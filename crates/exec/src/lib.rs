@@ -1,0 +1,31 @@
+//! Shared-memory partitioned parallel runtime.
+//!
+//! This crate is the workspace's real-threads testbed: it executes the
+//! exact computation the paper models — per-partition Jacobi sweeps with
+//! explicit halo exchange between partitions — on the host CPU with rayon,
+//! emulating the paper's distributed-memory discipline in shared memory
+//! (each partition owns local grids; neighbours' boundary values arrive by
+//! explicit copies, never by aliased reads).
+//!
+//! * [`PartitionedJacobi`] — the partitioned executor; bit-identical to the
+//!   sequential solver, since Jacobi updates read only previous-iteration
+//!   values;
+//! * [`CheckPolicy`] — fixed convergence-check schedules (§4, after Saltz,
+//!   Naik & Nicol [13]);
+//! * [`AdaptiveChecker`] — the rate-estimating schedule of [13] itself:
+//!   observed differences predict the convergence iteration and checks
+//!   cluster there;
+//! * [`measure`] — wall-clock cycle-time measurement across thread counts,
+//!   used by the `validate_threads` experiment (E14).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+mod convergence;
+pub mod measure;
+mod partitioned;
+
+pub use adaptive::{AdaptiveChecker, CheckScheduler};
+pub use convergence::CheckPolicy;
+pub use partitioned::{PartitionedJacobi, SolveRun};

@@ -1,0 +1,441 @@
+//! The partitioned Jacobi executor.
+//!
+//! Each partition owns local double-buffered grids with a halo of the
+//! stencil's reach. One iteration is two rayon phases:
+//!
+//! 1. **publish** — every halo copy of the exchange plan extracts its
+//!    rectangle from the owner's current grid (read-only, parallel over
+//!    copies);
+//! 2. **install + sweep** — every partition installs the published
+//!    rectangles addressed to it into its halo, then sweeps its region
+//!    into its back buffer and swaps (parallel over partitions, each
+//!    mutating only its own state).
+//!
+//! Because a Jacobi update reads only previous-iteration values, the
+//! result is bit-for-bit identical to the sequential whole-grid sweep —
+//! which the tests assert, making this executor a machine-checked
+//! refinement of `parspeed-solver`.
+
+use crate::adaptive::CheckScheduler;
+use crate::CheckPolicy;
+use parspeed_grid::halo::{plan, CopySpec};
+use parspeed_grid::{Decomposition, Grid2D, Region};
+use parspeed_solver::apply::jacobi_sweep_region;
+use parspeed_solver::{Boundary, PoissonProblem};
+use parspeed_stencil::Stencil;
+use rayon::prelude::*;
+
+struct Part {
+    region: Region,
+    u: Grid2D,
+    next: Grid2D,
+}
+
+/// Outcome of a partitioned solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveRun {
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Convergence checks performed.
+    pub checks: usize,
+    /// Last observed global max-norm update difference.
+    pub final_diff: f64,
+}
+
+/// Partitioned, rayon-parallel point-Jacobi executor.
+pub struct PartitionedJacobi {
+    stencil: Stencil,
+    h2: f64,
+    forcing: Grid2D,
+    n: usize,
+    copies: Vec<CopySpec>,
+    incoming: Vec<Vec<usize>>, // per partition: indices into `copies`
+    parts: Vec<Part>,
+    iterations: usize,
+}
+
+impl PartitionedJacobi {
+    /// Builds the executor for `problem` under `decomp`.
+    pub fn new<D: Decomposition + ?Sized>(
+        problem: &PoissonProblem,
+        stencil: &Stencil,
+        decomp: &D,
+    ) -> Self {
+        assert_eq!(problem.n(), decomp.domain(), "decomposition does not match the problem");
+        let halo_plan = plan(decomp, stencil);
+        let copies = halo_plan.copies().to_vec();
+        let mut incoming = vec![Vec::new(); decomp.count()];
+        for (ci, c) in copies.iter().enumerate() {
+            incoming[c.dst].push(ci);
+        }
+        let k = stencil.reach();
+        let n = problem.n();
+        let parts: Vec<Part> = decomp
+            .regions()
+            .into_iter()
+            .map(|region| {
+                let mut u = Grid2D::new(region.rows(), region.cols(), k);
+                let mut next = Grid2D::new(region.rows(), region.cols(), k);
+                fill_domain_boundary(&mut u, &region, problem);
+                fill_domain_boundary(&mut next, &region, problem);
+                let _ = n;
+                Part { region, u, next }
+            })
+            .collect();
+        Self {
+            stencil: stencil.clone(),
+            h2: problem.h() * problem.h(),
+            forcing: problem.forcing().clone(),
+            n,
+            copies,
+            incoming,
+            parts,
+            iterations: 0,
+        }
+    }
+
+    /// Number of partitions (the paper's processor count).
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Iterations performed so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Runs one iteration. Returns the global max update difference when
+    /// `compute_diff` is set (the local convergence check of §4).
+    pub fn iterate(&mut self, compute_diff: bool) -> Option<f64> {
+        // Phase 1: publish halo rectangles from the owners' current grids.
+        let parts = &self.parts;
+        let published: Vec<Vec<f64>> = self
+            .copies
+            .par_iter()
+            .map(|c| {
+                let src = &parts[c.src];
+                let mut buf = Vec::with_capacity(c.src_region.area());
+                for gr in c.src_region.r0..c.src_region.r1 {
+                    for gc in c.src_region.c0..c.src_region.c1 {
+                        buf.push(src.u.get(gr - src.region.r0, gc - src.region.c0));
+                    }
+                }
+                buf
+            })
+            .collect();
+
+        // Phase 2: install halos, sweep, swap — each partition touches only
+        // its own state.
+        let copies = &self.copies;
+        let incoming = &self.incoming;
+        let stencil = &self.stencil;
+        let forcing = &self.forcing;
+        let h2 = self.h2;
+        let diffs: Vec<f64> = self
+            .parts
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, part)| {
+                for &ci in &incoming[i] {
+                    let c = &copies[ci];
+                    let buf = &published[ci];
+                    let mut idx = 0;
+                    for gr in c.src_region.r0..c.src_region.r1 {
+                        for gc in c.src_region.c0..c.src_region.c1 {
+                            let lr = gr as isize - part.region.r0 as isize;
+                            let lc = gc as isize - part.region.c0 as isize;
+                            part.u.set_h(lr, lc, buf[idx]);
+                            idx += 1;
+                        }
+                    }
+                }
+                jacobi_sweep_region(
+                    stencil,
+                    &part.u,
+                    &mut part.next,
+                    forcing,
+                    h2,
+                    &part.region,
+                    (part.region.r0, part.region.c0),
+                );
+                let d = if compute_diff { part.u.max_abs_diff(&part.next) } else { 0.0 };
+                part.u.swap(&mut part.next);
+                d
+            })
+            .collect();
+        self.iterations += 1;
+        compute_diff.then(|| diffs.into_iter().fold(0.0, f64::max))
+    }
+
+    /// Iterates until the max-norm update difference at a scheduled check
+    /// falls below `tol`, or `max_iters` is reached.
+    pub fn solve(&mut self, tol: f64, max_iters: usize, policy: CheckPolicy) -> SolveRun {
+        let mut policy = policy;
+        self.solve_scheduled(tol, max_iters, &mut policy)
+    }
+
+    /// [`PartitionedJacobi::solve`] under any [`CheckScheduler`] —
+    /// including the rate-estimating [`AdaptiveChecker`](crate::AdaptiveChecker)
+    /// of §4's reference [13], which feeds observed differences back into
+    /// the schedule.
+    pub fn solve_scheduled(
+        &mut self,
+        tol: f64,
+        max_iters: usize,
+        scheduler: &mut dyn CheckScheduler,
+    ) -> SolveRun {
+        let mut checks = 0usize;
+        let mut diff = f64::INFINITY;
+        let mut next_check = scheduler.first_check();
+        let start = self.iterations;
+        while self.iterations - start < max_iters {
+            let k = self.iterations - start + 1; // iteration number being run
+            let check_now = k >= next_check || k == max_iters;
+            match self.iterate(check_now) {
+                Some(d) => {
+                    checks += 1;
+                    diff = d;
+                    if diff < tol {
+                        return SolveRun {
+                            converged: true,
+                            iterations: self.iterations - start,
+                            checks,
+                            final_diff: diff,
+                        };
+                    }
+                    if k >= next_check {
+                        next_check = scheduler.next_after(k, diff, tol);
+                    }
+                }
+                None => {}
+            }
+        }
+        SolveRun { converged: false, iterations: self.iterations - start, checks, final_diff: diff }
+    }
+
+    /// Assembles the global solution grid from the partitions.
+    pub fn solution(&self) -> Grid2D {
+        let mut g = Grid2D::new(self.n, self.n, 0);
+        for part in &self.parts {
+            for gr in part.region.r0..part.region.r1 {
+                for gc in part.region.c0..part.region.c1 {
+                    g.set(gr, gc, part.u.get(gr - part.region.r0, gc - part.region.c0));
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Fills the halo cells of a local grid that fall *outside the domain*
+/// with the problem's boundary data. Halo cells inside the domain belong
+/// to neighbours and are overwritten by the exchange each iteration.
+fn fill_domain_boundary(g: &mut Grid2D, region: &Region, problem: &PoissonProblem) {
+    let k = g.halo() as isize;
+    let n = problem.n() as isize;
+    let h = problem.h();
+    let rows = g.rows() as isize;
+    let cols = g.cols() as isize;
+    for lr in -k..rows + k {
+        for lc in -k..cols + k {
+            let interior = lr >= 0 && lr < rows && lc >= 0 && lc < cols;
+            if interior {
+                continue;
+            }
+            let gr = region.r0 as isize + lr;
+            let gc = region.c0 as isize + lc;
+            if gr >= 0 && gr < n && gc >= 0 && gc < n {
+                continue; // neighbour-owned: exchanged at runtime
+            }
+            let v = match problem.boundary() {
+                Boundary::Const(v) => v,
+                Boundary::Exact(m) => {
+                    let x = (gc as f64 + 1.0) * h;
+                    let y = (gr as f64 + 1.0) * h;
+                    m.u(x, y)
+                }
+            };
+            g.set_h(lr, lc, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_grid::{RectDecomposition, StripDecomposition};
+    use parspeed_solver::{JacobiSolver, Manufactured};
+
+    /// Sequential reference: plain Jacobi, fixed iteration count.
+    fn sequential_after(problem: &PoissonProblem, stencil: &Stencil, iters: usize) -> Grid2D {
+        let solver = JacobiSolver { tol: 0.0, max_iters: iters, ..Default::default() };
+        let (u, status) = solver.solve(problem, stencil);
+        assert_eq!(status.iterations, iters);
+        u
+    }
+
+    fn assert_bitwise_equal(parallel: &Grid2D, sequential: &Grid2D, label: &str) {
+        for r in 0..sequential.rows() {
+            for c in 0..sequential.cols() {
+                assert_eq!(
+                    parallel.get(r, c),
+                    sequential.get(r, c),
+                    "{label}: mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strips_match_sequential_bitwise() {
+        let p = PoissonProblem::manufactured(24, Manufactured::SinSin);
+        let s = Stencil::five_point();
+        let d = StripDecomposition::new(24, 5);
+        let mut exec = PartitionedJacobi::new(&p, &s, &d);
+        for _ in 0..50 {
+            exec.iterate(false);
+        }
+        let seq = sequential_after(&p, &s, 50);
+        assert_bitwise_equal(&exec.solution(), &seq, "strips/5pt");
+    }
+
+    #[test]
+    fn rect_blocks_with_corners_match_sequential_bitwise() {
+        // The 9-point box needs corner halo cells: the plan must deliver
+        // them or results drift immediately.
+        let p = PoissonProblem::manufactured(24, Manufactured::Bubble);
+        let s = Stencil::nine_point_box();
+        let d = RectDecomposition::new(24, 3, 4);
+        let mut exec = PartitionedJacobi::new(&p, &s, &d);
+        for _ in 0..40 {
+            exec.iterate(false);
+        }
+        let seq = sequential_after(&p, &s, 40);
+        assert_bitwise_equal(&exec.solution(), &seq, "rect/9pt-box");
+    }
+
+    #[test]
+    fn reach_two_star_matches_sequential_bitwise() {
+        // k = 2: halo slabs span two owner partitions for thin strips.
+        let p = PoissonProblem::manufactured(18, Manufactured::SinSin);
+        let s = Stencil::nine_point_star();
+        let d = StripDecomposition::new(18, 6);
+        let mut exec = PartitionedJacobi::new(&p, &s, &d);
+        for _ in 0..20 {
+            exec.iterate(false);
+        }
+        let seq = sequential_after(&p, &s, 20);
+        assert_bitwise_equal(&exec.solution(), &seq, "strips/9pt-star");
+    }
+
+    #[test]
+    fn solve_matches_sequential_iteration_count() {
+        let p = PoissonProblem::manufactured(16, Manufactured::SinSin);
+        let s = Stencil::five_point();
+        let d = StripDecomposition::new(16, 4);
+        let mut exec = PartitionedJacobi::new(&p, &s, &d);
+        let run = exec.solve(1e-8, 100_000, CheckPolicy::Every(1));
+        let (_, seq) = JacobiSolver::with_tol(1e-8).solve(&p, &s);
+        assert!(run.converged && seq.converged);
+        assert_eq!(run.iterations, seq.iterations);
+        assert_eq!(run.checks, run.iterations);
+    }
+
+    #[test]
+    fn lazy_checking_overshoots_boundedly() {
+        let p = PoissonProblem::manufactured(16, Manufactured::SinSin);
+        let s = Stencil::five_point();
+        let build = || PartitionedJacobi::new(&p, &s, &StripDecomposition::new(16, 4));
+        let eager = build().solve(1e-8, 100_000, CheckPolicy::Every(1));
+        let lazy = build().solve(1e-8, 100_000, CheckPolicy::Every(32));
+        assert!(eager.converged && lazy.converged);
+        assert!(lazy.iterations >= eager.iterations);
+        assert!(lazy.iterations <= eager.iterations + 32);
+        assert!(lazy.checks < eager.checks / 8, "{} vs {}", lazy.checks, eager.checks);
+    }
+
+    #[test]
+    fn adaptive_scheduler_converges_with_minimal_checks() {
+        use crate::AdaptiveChecker;
+        let p = PoissonProblem::manufactured(24, Manufactured::SinSin);
+        let s = Stencil::five_point();
+        let build = || PartitionedJacobi::new(&p, &s, &StripDecomposition::new(24, 4));
+        let eager = build().solve(1e-9, 100_000, CheckPolicy::Every(1));
+        let mut adaptive = AdaptiveChecker::default();
+        let run = build().solve_scheduled(1e-9, 100_000, &mut adaptive);
+        assert!(run.converged);
+        // The rate estimate must approximate Jacobi's spectral radius
+        // cos(π/(n+1)) once the dominant mode governs the decay.
+        let rho = (std::f64::consts::PI / 25.0).cos();
+        let est = adaptive.estimated_rate().expect("rate observed");
+        assert!((est - rho).abs() < 0.02, "estimated {est}, spectral {rho}");
+        // Far fewer checks than eager, bounded overshoot.
+        assert!(run.checks <= 12, "adaptive used {} checks", run.checks);
+        assert!(run.iterations >= eager.iterations);
+        assert!(run.iterations <= eager.iterations + eager.iterations / 5 + 64);
+    }
+
+    #[test]
+    fn geometric_policy_uses_few_checks() {
+        let p = PoissonProblem::manufactured(16, Manufactured::Bubble);
+        let s = Stencil::five_point();
+        let build = || PartitionedJacobi::new(&p, &s, &StripDecomposition::new(16, 2));
+        let eager = build().solve(1e-8, 100_000, CheckPolicy::Every(1));
+        let geo = build().solve(1e-8, 100_000, CheckPolicy::geometric());
+        assert!(geo.converged);
+        assert!(geo.checks < 30, "geometric used {} checks", geo.checks);
+        assert!(geo.iterations < eager.iterations * 2);
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_sequential() {
+        let p = PoissonProblem::manufactured(12, Manufactured::SinSin);
+        let s = Stencil::five_point();
+        let d = StripDecomposition::new(12, 1);
+        let mut exec = PartitionedJacobi::new(&p, &s, &d);
+        for _ in 0..30 {
+            exec.iterate(false);
+        }
+        let seq = sequential_after(&p, &s, 30);
+        assert_bitwise_equal(&exec.solution(), &seq, "single");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = PoissonProblem::manufactured(20, Manufactured::Bubble);
+        let s = Stencil::nine_point_box();
+        let d = RectDecomposition::new(20, 2, 2);
+        let run = |iters: usize| {
+            let mut e = PartitionedJacobi::new(&p, &s, &d);
+            for _ in 0..iters {
+                e.iterate(false);
+            }
+            e.solution()
+        };
+        let a = run(25);
+        let b = run(25);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn iterate_reports_diff_only_when_asked() {
+        let p = PoissonProblem::laplace(8, 1.0);
+        let s = Stencil::five_point();
+        let d = StripDecomposition::new(8, 2);
+        let mut exec = PartitionedJacobi::new(&p, &s, &d);
+        assert!(exec.iterate(false).is_none());
+        let d1 = exec.iterate(true).unwrap();
+        assert!(d1 > 0.0); // still relaxing towards the boundary constant
+        assert_eq!(exec.iterations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn rejects_mismatched_decomposition() {
+        let p = PoissonProblem::laplace(8, 0.0);
+        let d = StripDecomposition::new(10, 2);
+        let _ = PartitionedJacobi::new(&p, &Stencil::five_point(), &d);
+    }
+}

@@ -1,0 +1,157 @@
+//! Exact-cover verification for decompositions.
+//!
+//! Every decomposition in this workspace must tile the `n×n` domain exactly:
+//! regions are pairwise disjoint and their areas sum to `n²`. Tests and
+//! debug assertions use [`verify_exact_cover`].
+
+use crate::Region;
+
+/// Why a set of regions fails to tile the domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverError {
+    /// A region sticks out of the `n×n` domain.
+    OutOfBounds {
+        /// Index of the offending region.
+        index: usize,
+        /// The region itself.
+        region: Region,
+    },
+    /// Two regions overlap.
+    Overlap {
+        /// First region index.
+        a: usize,
+        /// Second region index.
+        b: usize,
+    },
+    /// Areas do not sum to `n²` (some points uncovered).
+    AreaMismatch {
+        /// Sum of region areas.
+        covered: usize,
+        /// Expected `n²`.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoverError::OutOfBounds { index, region } => {
+                write!(f, "region #{index} {region:?} exceeds the domain")
+            }
+            CoverError::Overlap { a, b } => write!(f, "regions #{a} and #{b} overlap"),
+            CoverError::AreaMismatch { covered, expected } => {
+                write!(f, "regions cover {covered} points, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+/// Verifies that `regions` exactly tile the `n×n` domain.
+///
+/// Disjointness is checked by a row sweep: regions enter at `r0` and leave
+/// at `r1`, and the active column intervals are kept in an ordered map
+/// where any overlap shows up against an interval's immediate neighbours —
+/// `O(P log P)` for `P` partitions, cheap enough for the debug assertions
+/// on fine decompositions (`P = n·pc`). Coverage is the area sum, which
+/// together with disjointness and boundedness implies exact cover.
+pub fn verify_exact_cover(n: usize, regions: &[Region]) -> Result<(), CoverError> {
+    use std::collections::BTreeMap;
+
+    let mut covered = 0usize;
+    // (row, is_removal, region index); removals sort before insertions at
+    // the same row, matching half-open row ranges.
+    let mut events: Vec<(usize, bool, usize)> = Vec::with_capacity(2 * regions.len());
+    for (i, r) in regions.iter().enumerate() {
+        if r.r1 > n || r.c1 > n {
+            return Err(CoverError::OutOfBounds { index: i, region: *r });
+        }
+        covered += r.area();
+        if !r.is_empty() {
+            events.push((r.r0, false, i));
+            events.push((r.r1, true, i));
+        }
+    }
+    events.sort_unstable_by_key(|&(row, is_removal, _)| (row, !is_removal));
+
+    // Active column intervals, keyed by start column.
+    let mut active: BTreeMap<usize, (usize, usize)> = BTreeMap::new(); // c0 -> (c1, idx)
+    for (_, is_removal, i) in events {
+        let r = &regions[i];
+        if is_removal {
+            active.remove(&r.c0);
+            continue;
+        }
+        // The previous interval must end at or before our start …
+        if let Some((_, &(prev_c1, prev_idx))) = active.range(..=r.c0).next_back() {
+            if prev_c1 > r.c0 {
+                return Err(CoverError::Overlap { a: prev_idx, b: i });
+            }
+        }
+        // … and the next interval must start at or after our end.
+        if let Some((&next_c0, &(_, next_idx))) = active.range(r.c0 + 1..).next() {
+            if next_c0 < r.c1 {
+                return Err(CoverError::Overlap { a: next_idx, b: i });
+            }
+        }
+        active.insert(r.c0, (r.c1, i));
+    }
+    if covered != n * n {
+        return Err(CoverError::AreaMismatch { covered, expected: n * n });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_exact_tiling() {
+        let regions = vec![
+            Region::new(0, 2, 0, 4),
+            Region::new(2, 4, 0, 2),
+            Region::new(2, 4, 2, 4),
+        ];
+        verify_exact_cover(4, &regions).unwrap();
+    }
+
+    #[test]
+    fn detects_out_of_bounds() {
+        let regions = vec![Region::new(0, 5, 0, 4)];
+        assert!(matches!(
+            verify_exact_cover(4, &regions),
+            Err(CoverError::OutOfBounds { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let regions = vec![Region::new(0, 3, 0, 4), Region::new(2, 4, 0, 4)];
+        assert!(matches!(verify_exact_cover(4, &regions), Err(CoverError::Overlap { a: 0, b: 1 })));
+    }
+
+    #[test]
+    fn detects_gap() {
+        let regions = vec![Region::new(0, 2, 0, 4), Region::new(3, 4, 0, 4)];
+        assert!(matches!(
+            verify_exact_cover(4, &regions),
+            Err(CoverError::AreaMismatch { covered: 12, expected: 16 })
+        ));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = CoverError::Overlap { a: 1, b: 2 };
+        assert!(e.to_string().contains("overlap"));
+        let e = CoverError::AreaMismatch { covered: 3, expected: 4 };
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn empty_regions_on_empty_domain() {
+        // Degenerate but consistent: zero regions cover a 0×0 domain.
+        verify_exact_cover(0, &[]).unwrap();
+    }
+}

@@ -1,0 +1,249 @@
+//! Exact halo-exchange plans.
+//!
+//! For a decomposition and a stencil, [`plan`] computes every region copy
+//! one iteration needs: which partition owns the data, which partition's
+//! halo receives it, and the global-coordinate rectangle moved. The plan is
+//! the ground-truth communication volume — the analytic model's `2nk` /
+//! `4sk` volumes are approximations of it — and drives both the machine
+//! simulators (`parspeed-arch`) and the real shared-memory executor
+//! (`parspeed-exec`).
+
+use crate::{Decomposition, Region};
+use parspeed_stencil::Stencil;
+
+/// One halo copy: move `src_region` (global coordinates, owned by `src`)
+/// into the halo of `dst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopySpec {
+    /// Partition that owns the data.
+    pub src: usize,
+    /// Partition whose halo receives it.
+    pub dst: usize,
+    /// The rectangle moved, in global coordinates.
+    pub src_region: Region,
+}
+
+impl CopySpec {
+    /// Number of words this copy moves.
+    pub fn words(&self) -> usize {
+        self.src_region.area()
+    }
+}
+
+/// A complete per-iteration exchange plan.
+#[derive(Debug, Clone)]
+pub struct HaloPlan {
+    copies: Vec<CopySpec>,
+    partitions: usize,
+}
+
+impl HaloPlan {
+    /// All copies, ordered by `(dst, src)`.
+    pub fn copies(&self) -> &[CopySpec] {
+        &self.copies
+    }
+
+    /// Number of partitions in the decomposition this plan serves.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Words *received* by partition `i` per iteration.
+    pub fn words_into(&self, i: usize) -> usize {
+        self.copies.iter().filter(|c| c.dst == i).map(|c| c.words()).sum()
+    }
+
+    /// Words *sent* by partition `i` per iteration.
+    pub fn words_from(&self, i: usize) -> usize {
+        self.copies.iter().filter(|c| c.src == i).map(|c| c.words()).sum()
+    }
+
+    /// Total words moved per iteration, all partitions.
+    pub fn total_words(&self) -> usize {
+        self.copies.iter().map(|c| c.words()).sum()
+    }
+
+    /// Distinct communication partners of partition `i`.
+    pub fn partners(&self, i: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .copies
+            .iter()
+            .filter_map(|c| {
+                if c.dst == i {
+                    Some(c.src)
+                } else if c.src == i {
+                    Some(c.dst)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Computes the needed halo rectangles of `region`: the four axis slabs of
+/// the stencil's row/column reach, plus the four corner blocks when the
+/// stencil has diagonal taps. All clamped to the domain.
+fn needed_rects(region: &Region, n: usize, stencil: &Stencil) -> Vec<Region> {
+    let kr = stencil.reach_rows();
+    let kc = stencil.reach_cols();
+    let mut v = Vec::with_capacity(8);
+    let push = |v: &mut Vec<Region>, r: Region| {
+        if !r.is_empty() {
+            v.push(r);
+        }
+    };
+    // Above / below.
+    if kr > 0 {
+        push(&mut v, Region { r0: region.r0.saturating_sub(kr), r1: region.r0, c0: region.c0, c1: region.c1 });
+        push(&mut v, Region { r0: region.r1, r1: (region.r1 + kr).min(n), c0: region.c0, c1: region.c1 });
+    }
+    // Left / right.
+    if kc > 0 {
+        push(&mut v, Region { r0: region.r0, r1: region.r1, c0: region.c0.saturating_sub(kc), c1: region.c0 });
+        push(&mut v, Region { r0: region.r0, r1: region.r1, c0: region.c1, c1: (region.c1 + kc).min(n) });
+    }
+    if stencil.has_diagonal() && kr > 0 && kc > 0 {
+        let rows = [(region.r0.saturating_sub(kr), region.r0), (region.r1, (region.r1 + kr).min(n))];
+        let cols = [(region.c0.saturating_sub(kc), region.c0), (region.c1, (region.c1 + kc).min(n))];
+        for (r0, r1) in rows {
+            for (c0, c1) in cols {
+                push(&mut v, Region { r0, r1, c0, c1 });
+            }
+        }
+    }
+    v
+}
+
+/// Builds the exchange plan for `decomp` under `stencil`.
+pub fn plan<D: Decomposition + ?Sized>(decomp: &D, stencil: &Stencil) -> HaloPlan {
+    let n = decomp.domain();
+    let regions = decomp.regions();
+    let mut copies = Vec::new();
+    for (dst, dst_region) in regions.iter().enumerate() {
+        for need in needed_rects(dst_region, n, stencil) {
+            for (src, src_region) in regions.iter().enumerate() {
+                if src == dst {
+                    continue;
+                }
+                let inter = need.intersect(src_region);
+                if !inter.is_empty() {
+                    copies.push(CopySpec { src, dst, src_region: inter });
+                }
+            }
+        }
+    }
+    copies.sort_by_key(|c| (c.dst, c.src, c.src_region.r0, c.src_region.c0));
+    HaloPlan { copies, partitions: regions.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BoundaryWords, RectDecomposition, StripDecomposition};
+    use parspeed_stencil::Stencil;
+
+    #[test]
+    fn strip_plan_five_point() {
+        let d = StripDecomposition::new(16, 4);
+        let p = plan(&d, &Stencil::five_point());
+        // Interior strips receive a row from each neighbour; edge strips
+        // from one.
+        assert_eq!(p.words_into(0), 16);
+        assert_eq!(p.words_into(1), 32);
+        assert_eq!(p.words_into(2), 32);
+        assert_eq!(p.words_into(3), 16);
+        // Symmetric: sends mirror receives.
+        for i in 0..4 {
+            assert_eq!(p.words_from(i), p.words_into(i));
+        }
+        assert_eq!(p.partners(1), vec![0, 2]);
+    }
+
+    /// The plan's per-partition receive volume must equal the exact
+    /// geometric boundary count — for every decomposition and stencil.
+    #[test]
+    fn plan_matches_exact_boundary_words() {
+        let stencils = Stencil::catalog();
+        let n = 24;
+        let decomps: Vec<Box<dyn Decomposition>> = vec![
+            Box::new(StripDecomposition::new(n, 5)),
+            Box::new(RectDecomposition::new(n, 3, 4)),
+            Box::new(RectDecomposition::new(n, 2, 2)),
+            Box::new(RectDecomposition::new(n, 1, 6)),
+        ];
+        for d in &decomps {
+            for s in &stencils {
+                let p = plan(d.as_ref(), s);
+                for i in 0..d.count() {
+                    let exact = BoundaryWords::exact(&d.region(i), n, s);
+                    assert_eq!(
+                        p.words_into(i),
+                        exact.read,
+                        "{} partition {i}: plan {} vs exact {}",
+                        s.name(),
+                        p.words_into(i),
+                        exact.read
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reach_two_strip_spanning_thin_neighbours() {
+        // Strips of height 1 with a reach-2 stencil: the needed slab spans
+        // two owner partitions on each side.
+        let d = StripDecomposition::new(6, 6);
+        let p = plan(&d, &Stencil::nine_point_star());
+        // Partition 2 needs rows 0..2 (owners 0 and 1) and rows 3..5
+        // (owners 3 and 4): four partners.
+        assert_eq!(p.partners(2), vec![0, 1, 3, 4]);
+        assert_eq!(p.words_into(2), 4 * 6);
+    }
+
+    #[test]
+    fn rect_plan_includes_corners_only_for_diagonal_stencils() {
+        let d = RectDecomposition::new(12, 3, 3);
+        let centre = 4; // centre block
+        let p5 = plan(&d, &Stencil::five_point());
+        assert_eq!(p5.partners(centre), vec![1, 3, 5, 7]);
+        let p9 = plan(&d, &Stencil::nine_point_box());
+        assert_eq!(p9.partners(centre), vec![0, 1, 2, 3, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn single_partition_needs_no_exchange() {
+        let d = StripDecomposition::new(8, 1);
+        for s in Stencil::catalog() {
+            let p = plan(&d, &s);
+            assert!(p.copies().is_empty(), "{}", s.name());
+            assert_eq!(p.total_words(), 0);
+        }
+    }
+
+    #[test]
+    fn total_words_is_sum_of_directions() {
+        let d = RectDecomposition::new(16, 4, 4);
+        let p = plan(&d, &Stencil::five_point());
+        let by_dst: usize = (0..d.count()).map(|i| p.words_into(i)).sum();
+        let by_src: usize = (0..d.count()).map(|i| p.words_from(i)).sum();
+        assert_eq!(by_dst, p.total_words());
+        assert_eq!(by_src, p.total_words());
+    }
+
+    #[test]
+    fn copies_are_deterministically_ordered() {
+        let d = RectDecomposition::new(16, 2, 2);
+        let s = Stencil::nine_point_box();
+        let a = plan(&d, &s);
+        let b = plan(&d, &s);
+        assert_eq!(a.copies(), b.copies());
+        let mut sorted = a.copies().to_vec();
+        sorted.sort_by_key(|c| (c.dst, c.src, c.src_region.r0, c.src_region.c0));
+        assert_eq!(sorted, a.copies());
+    }
+}

@@ -1,0 +1,144 @@
+//! Strip decomposition (paper Fig. 4) with the paper's remainder rule.
+//!
+//! "It is easy to decompose the domain into strips for `P` processors: if
+//! `n = k·P + r` with `0 ≤ r < P` then `r` processors receive `k + 1`
+//! contiguous rows, and the remaining processors each receive `k`
+//! contiguous rows." (§3)
+
+use crate::{Decomposition, Region};
+
+/// Full-width horizontal strips over an `n×n` domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripDecomposition {
+    n: usize,
+    p: usize,
+}
+
+impl StripDecomposition {
+    /// Decomposes an `n×n` domain into `p` strips, `1 ≤ p ≤ n`.
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(n > 0, "empty domain");
+        assert!(p >= 1 && p <= n, "need 1 ≤ p ≤ n (got p={p}, n={n})");
+        Self { n, p }
+    }
+
+    /// Row range of strip `i`: the first `n % p` strips are one row taller.
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        assert!(i < self.p, "strip index out of range");
+        let q = self.n / self.p;
+        let r = self.n % self.p;
+        let start = if i < r { i * (q + 1) } else { r * (q + 1) + (i - r) * q };
+        let len = if i < r { q + 1 } else { q };
+        start..start + len
+    }
+
+    /// Indices of strips adjacent to strip `i` (one or two).
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        assert!(i < self.p);
+        let mut v = Vec::with_capacity(2);
+        if i > 0 {
+            v.push(i - 1);
+        }
+        if i + 1 < self.p {
+            v.push(i + 1);
+        }
+        v
+    }
+
+    /// Number of *communicating boundaries* in the whole decomposition —
+    /// `p - 1`, independent of the remainder (paper: "the number of
+    /// communicating boundaries is the same as if all the partitions have
+    /// equal work", Fig. 4).
+    pub fn communicating_boundaries(&self) -> usize {
+        self.p - 1
+    }
+}
+
+impl Decomposition for StripDecomposition {
+    fn domain(&self) -> usize {
+        self.n
+    }
+
+    fn count(&self) -> usize {
+        self.p
+    }
+
+    fn region(&self, i: usize) -> Region {
+        let rows = self.row_range(i);
+        Region::new(rows.start, rows.end, 0, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::verify_exact_cover;
+
+    #[test]
+    fn paper_remainder_rule() {
+        // n = 10, p = 4: q = 2, r = 2 → heights 3,3,2,2.
+        let d = StripDecomposition::new(10, 4);
+        let heights: Vec<usize> = (0..4).map(|i| d.row_range(i).len()).collect();
+        assert_eq!(heights, vec![3, 3, 2, 2]);
+        assert_eq!(d.row_range(0), 0..3);
+        assert_eq!(d.row_range(1), 3..6);
+        assert_eq!(d.row_range(2), 6..8);
+        assert_eq!(d.row_range(3), 8..10);
+    }
+
+    #[test]
+    fn even_division_has_equal_strips() {
+        let d = StripDecomposition::new(256, 16);
+        for i in 0..16 {
+            assert_eq!(d.row_range(i).len(), 16);
+        }
+        assert_eq!(d.max_area(), d.min_area());
+        assert_eq!(d.max_area(), 256 * 16);
+    }
+
+    #[test]
+    fn exact_cover_for_many_shapes() {
+        for n in [1usize, 2, 7, 10, 64, 101] {
+            for p in [1usize, 2, 3, 5, 7] {
+                if p > n {
+                    continue;
+                }
+                let d = StripDecomposition::new(n, p);
+                verify_exact_cover(n, &d.regions()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_chain() {
+        let d = StripDecomposition::new(16, 4);
+        assert_eq!(d.neighbors(0), vec![1]);
+        assert_eq!(d.neighbors(1), vec![0, 2]);
+        assert_eq!(d.neighbors(3), vec![2]);
+        assert_eq!(d.communicating_boundaries(), 3);
+    }
+
+    #[test]
+    fn single_strip_owns_domain() {
+        let d = StripDecomposition::new(9, 1);
+        assert_eq!(d.region(0), Region::new(0, 9, 0, 9));
+        assert!(d.neighbors(0).is_empty());
+        assert_eq!(d.communicating_boundaries(), 0);
+    }
+
+    #[test]
+    fn areas_differ_by_at_most_one_row() {
+        for n in [17usize, 33, 100] {
+            for p in 1..=16 {
+                let d = StripDecomposition::new(n, p);
+                assert!(d.max_area() - d.min_area() <= n, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ p ≤ n")]
+    fn rejects_more_strips_than_rows() {
+        let _ = StripDecomposition::new(4, 5);
+    }
+}

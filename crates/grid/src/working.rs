@@ -1,0 +1,278 @@
+//! Working rectangles: the paper's "nearly square" approximation (§3, Fig 6).
+//!
+//! Square partitions only admit areas that are perfect squares with sides
+//! dividing `n`, which severely limits the feasible processor counts. The
+//! paper instead covers the domain with *legal rectangles* (see
+//! [`RectDecomposition`](crate::RectDecomposition)) and keeps, for each
+//! achievable area `A`, the legal rectangle of minimum perimeter — but only
+//! if that perimeter is within 5% of `4·√A`, the perimeter of a true square
+//! of the same area. The survivors are *working rectangles*. The analysis
+//! then optimizes as if partitions were exact squares, and Fig. 6 shows the
+//! resulting approximation error is small (≲3% in area, ≲6% in perimeter
+//! for a 256×256 grid).
+
+use crate::RectDecomposition;
+
+/// A legal rectangle that is "sufficiently square-like".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkingRect {
+    /// Rectangle height in rows (a strip height achievable for `n`).
+    pub height: usize,
+    /// Rectangle width in columns (a divisor of `n`).
+    pub width: usize,
+    /// A strip count that produces `height` rows.
+    pub generating_strips: usize,
+}
+
+impl WorkingRect {
+    /// Area `height × width`.
+    pub fn area(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Perimeter `2·(height + width)`.
+    pub fn perimeter(&self) -> usize {
+        2 * (self.height + self.width)
+    }
+
+    /// Relative deviation of this rectangle's perimeter from the perimeter
+    /// `4·√A` of the true square of the *same* area.
+    pub fn squareness(&self) -> f64 {
+        let ideal = 4.0 * (self.area() as f64).sqrt();
+        (self.perimeter() as f64 - ideal) / ideal
+    }
+}
+
+/// The catalogue of working rectangles for an `n×n` grid.
+#[derive(Debug, Clone)]
+pub struct WorkingRectangles {
+    n: usize,
+    tolerance: f64,
+    /// Sorted by area, one entry per retained area.
+    rects: Vec<WorkingRect>,
+}
+
+impl WorkingRectangles {
+    /// Builds the catalogue with the paper's 5% perimeter tolerance.
+    pub fn new(n: usize) -> Self {
+        Self::with_tolerance(n, 0.05)
+    }
+
+    /// Builds the catalogue with a custom perimeter tolerance (ablation
+    /// experiments vary this).
+    ///
+    /// Heights may be any row count in `1..=n` — row borders are free (the
+    /// strip step of Fig. 5 may cut rows anywhere); only the *column* border
+    /// carries the paper's divisibility requirement (`m | n`). Each height
+    /// records the strip count whose remainder rule best realizes it, used
+    /// when materializing a decomposition. Restricting heights to exact
+    /// remainder-rule values would blow the paper's Fig.-6 error envelope
+    /// ("usually less than 3%") out to >30%, so the free-row-border reading
+    /// is the one consistent with the published figure.
+    pub fn with_tolerance(n: usize, tolerance: f64) -> Self {
+        assert!(n > 0);
+        assert!(tolerance >= 0.0);
+        let heights: Vec<(usize, usize)> = (1..=n)
+            .map(|h| {
+                // Strip count whose typical height is closest to h.
+                let p = (n as f64 / h as f64).round().max(1.0) as usize;
+                (h, p.min(n))
+            })
+            .collect();
+        // Widths: divisors of n.
+        let widths: Vec<usize> = (1..=n).filter(|w| n % w == 0).collect();
+
+        // Per area, the minimum-perimeter legal rectangle.
+        let mut best: std::collections::BTreeMap<usize, WorkingRect> =
+            std::collections::BTreeMap::new();
+        for &(h, p) in &heights {
+            for &w in &widths {
+                let cand = WorkingRect { height: h, width: w, generating_strips: p };
+                let a = cand.area();
+                match best.get(&a) {
+                    Some(cur) if cur.perimeter() <= cand.perimeter() => {}
+                    _ => {
+                        best.insert(a, cand);
+                    }
+                }
+            }
+        }
+        // Retain only square-like survivors (the 5% rule).
+        let rects: Vec<WorkingRect> =
+            best.into_values().filter(|r| r.squareness() <= tolerance).collect();
+        Self { n, tolerance, rects }
+    }
+
+    /// Domain side.
+    pub fn domain(&self) -> usize {
+        self.n
+    }
+
+    /// The tolerance used.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// All working rectangles, sorted by area.
+    pub fn all(&self) -> &[WorkingRect] {
+        &self.rects
+    }
+
+    /// The working rectangle whose area is closest to `target_area`
+    /// (ties broken towards the smaller area). `None` if the catalogue is
+    /// empty.
+    pub fn closest(&self, target_area: usize) -> Option<WorkingRect> {
+        if self.rects.is_empty() {
+            return None;
+        }
+        let i = self.rects.partition_point(|r| r.area() < target_area);
+        let candidates = [i.checked_sub(1), (i < self.rects.len()).then_some(i)];
+        candidates
+            .into_iter()
+            .flatten()
+            .map(|j| self.rects[j])
+            .min_by_key(|r| (r.area().abs_diff(target_area), r.area()))
+    }
+
+    /// Fig 6(a): relative area error of the closest working rectangle.
+    pub fn area_error(&self, target_area: usize) -> Option<f64> {
+        self.closest(target_area)
+            .map(|r| (r.area() as f64 - target_area as f64).abs() / target_area as f64)
+    }
+
+    /// Fig 6(b): relative perimeter error of the closest working rectangle
+    /// against the perimeter `4·√A` of a true square of the target area.
+    pub fn perimeter_error(&self, target_area: usize) -> Option<f64> {
+        self.closest(target_area).map(|r| {
+            let ideal = 4.0 * (target_area as f64).sqrt();
+            (r.perimeter() as f64 - ideal).abs() / ideal
+        })
+    }
+
+    /// Materializes the closest working rectangle as a full decomposition:
+    /// `generating_strips` row bands × `n / width` column bands.
+    pub fn decomposition_for(&self, target_area: usize) -> Option<RectDecomposition> {
+        let r = self.closest(target_area)?;
+        Some(RectDecomposition::new(self.n, r.generating_strips, self.n / r.width))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Decomposition;
+
+    #[test]
+    fn perfect_squares_survive_for_power_of_two_n() {
+        // 64×64 blocks on a 256 grid: exactly square, must be retained.
+        let w = WorkingRectangles::new(256);
+        let r = w.closest(4096).expect("64×64 exists");
+        assert_eq!(r.area(), 4096);
+        assert_eq!((r.height, r.width), (64, 64));
+        assert_eq!(r.squareness(), 0.0);
+    }
+
+    #[test]
+    fn five_percent_rule_rejects_slabs() {
+        let w = WorkingRectangles::new(256);
+        for r in w.all() {
+            assert!(
+                r.squareness() <= 0.05 + 1e-12,
+                "{}×{} has squareness {}",
+                r.height,
+                r.width,
+                r.squareness()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_error_bounds_on_256() {
+        // Fig 6: for A in [1024, 16384] the approximation error is
+        // "usually less than 3% for area and less than 6% for perimeter".
+        // The coverage has holes where no legal rectangle is square-like
+        // (between the divisor-width bands), so "usually" is statistical:
+        // we assert the median area error is < 3%, the median perimeter
+        // error < 6%, a clear majority of plotted areas are under the 3%
+        // bar, and even the holes stay bounded.
+        let w = WorkingRectangles::new(256);
+        let mut area_errs = Vec::new();
+        let mut per_errs = Vec::new();
+        let mut a = 1024;
+        while a <= 16384 {
+            area_errs.push(w.area_error(a).unwrap());
+            per_errs.push(w.perimeter_error(a).unwrap());
+            a += 2;
+        }
+        let max_area = area_errs.iter().cloned().fold(0.0, f64::max);
+        assert!(max_area < 0.30, "max area error {max_area}");
+        let under_3 = area_errs.iter().filter(|e| **e < 0.03).count();
+        assert!(
+            under_3 as f64 / area_errs.len() as f64 > 0.55,
+            "only {under_3}/{} areas under 3%",
+            area_errs.len()
+        );
+        area_errs.sort_by(f64::total_cmp);
+        per_errs.sort_by(f64::total_cmp);
+        assert!(area_errs[area_errs.len() / 2] < 0.03);
+        assert!(per_errs[per_errs.len() / 2] < 0.06);
+    }
+
+    #[test]
+    fn closest_prefers_nearer_area() {
+        let w = WorkingRectangles::new(256);
+        let r = w.closest(4100).unwrap();
+        // 64×64 = 4096 is only 4 away; nothing closer should exist.
+        assert!(r.area().abs_diff(4100) <= 4096usize.abs_diff(4100));
+    }
+
+    #[test]
+    fn decomposition_materializes_and_covers() {
+        let w = WorkingRectangles::new(256);
+        let d = w.decomposition_for(4096).unwrap();
+        crate::cover::verify_exact_cover(256, &d.regions()).unwrap();
+        // The decomposition uses 256²/4096 = 16 processors.
+        assert_eq!(d.count(), 16);
+    }
+
+    #[test]
+    fn tolerance_zero_keeps_only_true_squares() {
+        let w = WorkingRectangles::with_tolerance(64, 0.0);
+        for r in w.all() {
+            assert_eq!(r.height, r.width);
+        }
+        // 8×8, 16×16, 32×32, 64×64 all exist (8, 16, 32 divide 64 and are
+        // achievable strip heights).
+        assert!(w.closest(64).map(|r| r.area()) == Some(64));
+        assert!(w.closest(4096).map(|r| r.area()) == Some(4096));
+    }
+
+    #[test]
+    fn wider_tolerance_is_superset() {
+        let tight = WorkingRectangles::with_tolerance(128, 0.02);
+        let loose = WorkingRectangles::with_tolerance(128, 0.10);
+        assert!(loose.all().len() >= tight.all().len());
+        for r in tight.all() {
+            assert!(loose.all().iter().any(|s| s.area() == r.area()));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_grids_work() {
+        // n = 100: divisors 1,2,4,5,10,20,25,50,100.
+        let w = WorkingRectangles::new(100);
+        assert!(!w.all().is_empty());
+        let r = w.closest(625).unwrap(); // 25×25 is legal and square
+        assert_eq!(r.area(), 625);
+    }
+
+    #[test]
+    fn empty_catalog_is_impossible_for_positive_n() {
+        // Height n (1 strip) × width n is always exactly square.
+        for n in [1usize, 2, 3, 17, 64] {
+            let w = WorkingRectangles::new(n);
+            let full = w.closest(n * n).unwrap();
+            assert_eq!(full.area(), n * n);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for decompositions and halo plans.
+
+use parspeed_grid::cover::verify_exact_cover;
+use parspeed_grid::{halo, Decomposition, RectDecomposition, StripDecomposition, WorkingRectangles};
+use parspeed_stencil::Stencil;
+use proptest::prelude::*;
+
+proptest! {
+    /// `near_square` always returns exactly `p` partitions when it returns
+    /// at all, and they tile the domain.
+    #[test]
+    fn near_square_has_exact_count(n in 2usize..128, p in 1usize..64) {
+        if let Some(d) = RectDecomposition::near_square(n, p) {
+            prop_assert_eq!(d.count(), p);
+            verify_exact_cover(n, &d.regions()).unwrap();
+        } else {
+            // near_square only fails when no factorization pr·pc = p has
+            // pc | n and pr ≤ n; pc = 1 works whenever p ≤ n.
+            prop_assert!(p > n, "near_square({n}, {p}) should exist");
+        }
+    }
+
+    /// Centrally symmetric stencils send exactly what they receive —
+    /// provided every partition is at least the stencil's reach thick.
+    /// Thinner strips forward deeper neighbours' reads (a 1-row strip under
+    /// a reach-2 stencil is read *through*: demands on it exceed its own),
+    /// so symmetry genuinely fails there; see
+    /// `thin_strips_break_send_receive_symmetry` below.
+    #[test]
+    fn halo_plans_are_symmetric(n in 4usize..48, p in 1usize..12, stencil_idx in 0usize..4) {
+        let stencil = &Stencil::catalog()[stencil_idx];
+        // Cap p so the thinnest strip (⌊n/p⌋ rows) is ≥ the stencil reach.
+        let p = p.min(n / stencil.reach().max(1)).max(1);
+        let d = StripDecomposition::new(n, p);
+        let plan = halo::plan(&d, stencil);
+        for i in 0..p {
+            prop_assert_eq!(plan.words_from(i), plan.words_into(i), "partition {}", i);
+        }
+        // Pairwise symmetry: i→j volume equals j→i volume.
+        for i in 0..p {
+            for j in 0..p {
+                let ij: usize = plan
+                    .copies()
+                    .iter()
+                    .filter(|c| c.src == i && c.dst == j)
+                    .map(|c| c.words())
+                    .sum();
+                let ji: usize = plan
+                    .copies()
+                    .iter()
+                    .filter(|c| c.src == j && c.dst == i)
+                    .map(|c| c.words())
+                    .sum();
+                prop_assert_eq!(ij, ji);
+            }
+        }
+    }
+
+    /// Materialized working-rectangle decompositions tile the domain and
+    /// use the block geometry the catalogue promised.
+    #[test]
+    fn working_rectangle_decompositions_cover(n_idx in 0usize..4, frac in 0.02f64..0.9) {
+        let n = [32usize, 64, 100, 128][n_idx];
+        let rects = WorkingRectangles::new(n);
+        let target = (((n * n) as f64) * frac) as usize;
+        if let Some(d) = rects.decomposition_for(target.max(1)) {
+            verify_exact_cover(n, &d.regions()).unwrap();
+        }
+    }
+
+    /// Every region of a rect decomposition has the common legal width.
+    #[test]
+    fn legal_rectangles_share_width(n in 2usize..96, pr in 1usize..8, pc_idx in 0usize..4) {
+        let pr = pr.min(n);
+        let divisors: Vec<usize> = (1..=n).filter(|d| n % d == 0).collect();
+        let pc = divisors[pc_idx % divisors.len()];
+        let d = RectDecomposition::new(n, pr, pc);
+        let w = d.block_width();
+        for i in 0..d.count() {
+            prop_assert_eq!(d.region(i).cols(), w);
+        }
+    }
+
+    /// Strip areas are within one row of each other and sum to n².
+    #[test]
+    fn strip_load_balance(n in 1usize..256, p in 1usize..64) {
+        let p = p.min(n);
+        let d = StripDecomposition::new(n, p);
+        let total: usize = d.regions().iter().map(|r| r.area()).sum();
+        prop_assert_eq!(total, n * n);
+        prop_assert!(d.max_area() - d.min_area() <= n);
+    }
+
+    /// Even when thin partitions break send/receive symmetry, the plan
+    /// conserves words globally: total sent equals total received, and
+    /// every copy's rectangle lies inside its owner.
+    #[test]
+    fn halo_plans_conserve_words(n in 4usize..48, p in 1usize..24, stencil_idx in 0usize..4) {
+        let stencil = &Stencil::catalog()[stencil_idx];
+        let p = p.min(n);
+        let d = StripDecomposition::new(n, p);
+        let plan = halo::plan(&d, stencil);
+        let sent: usize = (0..p).map(|i| plan.words_from(i)).sum();
+        let received: usize = (0..p).map(|i| plan.words_into(i)).sum();
+        prop_assert_eq!(sent, received);
+        for c in plan.copies() {
+            let owner = d.region(c.src);
+            prop_assert_eq!(owner.intersect(&c.src_region), c.src_region);
+        }
+    }
+}
+
+/// The documented counterexample to send/receive symmetry: strips of one
+/// row under a reach-2 stencil. Partition 2 of `8/5` strips (heights
+/// 2,2,2,1,1) receives 32 words but sends 40 — its 1-row neighbour below
+/// is read *through* by the partition beyond it.
+#[test]
+fn thin_strips_break_send_receive_symmetry() {
+    let d = StripDecomposition::new(8, 5);
+    let plan = halo::plan(&d, &Stencil::nine_point_star());
+    assert_eq!(plan.words_into(2), 32);
+    assert_eq!(plan.words_from(2), 40);
+    let sent: usize = (0..5).map(|i| plan.words_from(i)).sum();
+    let received: usize = (0..5).map(|i| plan.words_into(i)).sum();
+    assert_eq!(sent, received, "asymmetry is local, never global");
+}

@@ -1,0 +1,212 @@
+//! Point Jacobi and weighted Jacobi — the algorithm the paper models.
+
+use crate::apply::{jacobi_sweep, jacobi_sweep_5pt};
+use crate::{PoissonProblem, SolveStatus};
+use parspeed_grid::Grid2D;
+use parspeed_stencil::Stencil;
+
+/// Point-Jacobi solver with periodic convergence checking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JacobiSolver {
+    /// Convergence tolerance on the max-norm update difference.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Check convergence every this many iterations (§4's scheduling knob).
+    pub check_period: usize,
+    /// Damping factor: `1.0` is plain Jacobi; `(0,1)` under-relaxes.
+    pub omega: f64,
+}
+
+impl Default for JacobiSolver {
+    fn default() -> Self {
+        Self { tol: 1e-8, max_iters: 200_000, check_period: 1, omega: 1.0 }
+    }
+}
+
+impl JacobiSolver {
+    /// Plain Jacobi with the given tolerance.
+    pub fn with_tol(tol: f64) -> Self {
+        Self { tol, ..Self::default() }
+    }
+
+    /// Solves `problem` with `stencil`; returns the solution grid (halo =
+    /// stencil reach) and the solve status.
+    pub fn solve(&self, problem: &PoissonProblem, stencil: &Stencil) -> (Grid2D, SolveStatus) {
+        assert!(self.check_period >= 1);
+        assert!(self.omega > 0.0 && self.omega <= 1.0, "need 0 < ω ≤ 1");
+        let halo = stencil.reach();
+        let h2 = problem.h() * problem.h();
+        let is_5pt = stencil.name() == "5-point" && self.omega == 1.0;
+        let mut u = problem.initial_grid(halo);
+        let mut next = problem.initial_grid(halo);
+        let f = problem.forcing();
+
+        let mut iterations = 0;
+        let mut diff = f64::INFINITY;
+        while iterations < self.max_iters {
+            if is_5pt {
+                jacobi_sweep_5pt(&u, &mut next, f, h2);
+            } else {
+                jacobi_sweep(stencil, &u, &mut next, f, h2);
+                if self.omega != 1.0 {
+                    for r in 0..u.rows() {
+                        for c in 0..u.cols() {
+                            let blended =
+                                self.omega * next.get(r, c) + (1.0 - self.omega) * u.get(r, c);
+                            next.set(r, c, blended);
+                        }
+                    }
+                }
+            }
+            iterations += 1;
+            let check_now = iterations % self.check_period == 0 || iterations == self.max_iters;
+            if check_now {
+                diff = u.max_abs_diff(&next);
+            }
+            u.swap(&mut next);
+            if check_now && diff < self.tol {
+                return (u, SolveStatus { converged: true, iterations, final_diff: diff });
+            }
+        }
+        (u, SolveStatus { converged: false, iterations, final_diff: diff })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::residual_max;
+    use crate::Manufactured;
+
+    #[test]
+    fn converges_on_sinsin_to_discretization_accuracy() {
+        let n = 24;
+        let p = PoissonProblem::manufactured(n, Manufactured::SinSin);
+        let (u, status) = JacobiSolver::with_tol(1e-10).solve(&p, &Stencil::five_point());
+        assert!(status.converged, "did not converge in {} iters", status.iterations);
+        let exact = p.exact_solution().unwrap();
+        let err = u.max_abs_diff(&exact);
+        // O(h²) discretization error: h = 1/25 ⇒ ~π²/12·h²·‖u‖ ≈ 1.3e-3.
+        assert!(err < 5e-3, "error {err}");
+        assert!(err > 1e-6, "suspiciously exact — check the test");
+    }
+
+    #[test]
+    fn laplace_with_constant_boundary_converges_to_that_constant() {
+        let p = PoissonProblem::laplace(16, 4.2);
+        let (u, status) = JacobiSolver::with_tol(1e-12).solve(&p, &Stencil::five_point());
+        assert!(status.converged);
+        for r in 0..16 {
+            for c in 0..16 {
+                assert!((u.get(r, c) - 4.2).abs() < 1e-8, "({r},{c}) = {}", u.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn error_shrinks_like_h_squared() {
+        let err_at = |n: usize| {
+            let p = PoissonProblem::manufactured(n, Manufactured::SinSin);
+            let (u, s) = JacobiSolver::with_tol(1e-11).solve(&p, &Stencil::five_point());
+            assert!(s.converged);
+            u.max_abs_diff(&p.exact_solution().unwrap())
+        };
+        let e8 = err_at(8);
+        let e16 = err_at(16);
+        // h halves (roughly): error should drop ~4×; allow slack for the
+        // (n+1) spacing mismatch.
+        let ratio = e8 / e16;
+        assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn nine_point_box_solves_too() {
+        let n = 16;
+        let p = PoissonProblem::manufactured(n, Manufactured::Bubble);
+        let (u, status) = JacobiSolver::with_tol(1e-10).solve(&p, &Stencil::nine_point_box());
+        assert!(status.converged);
+        let err = u.max_abs_diff(&p.exact_solution().unwrap());
+        assert!(err < 1e-3, "error {err}");
+    }
+
+    #[test]
+    fn plain_jacobi_diverges_on_the_nine_point_star() {
+        // The fourth-order star operator is not diagonally dominant
+        // (|off-diag| sums to 68 against a diagonal of 60), and the Jacobi
+        // iteration matrix has spectral radius ≈ 68/60 > 1 at the highest
+        // frequencies: undamped point Jacobi diverges. The paper models the
+        // *cost* of such stencils, not their convergence — this pins the
+        // numerical fact that forces damping below.
+        // The initial error is the smooth (1,1) mode, so the unstable
+        // highest mode is seeded only by rounding noise (~1e-16·|λ|^k);
+        // a couple of thousand iterations make the growth unmistakable.
+        let p = PoissonProblem::manufactured(12, Manufactured::SinSin);
+        let probe = JacobiSolver { max_iters: 2000, tol: 1e-15, ..Default::default() };
+        let (_, status) = probe.solve(&p, &Stencil::nine_point_star());
+        assert!(!status.converged);
+        assert!(status.final_diff > 1.0, "diff {} should have blown up", status.final_diff);
+    }
+
+    #[test]
+    fn reach_two_stencils_solve_with_damping_and_analytic_ghosts() {
+        // ω < 2/(1 + ρ) ≈ 0.94 restores convergence for the star operators.
+        let n = 12;
+        let p = PoissonProblem::manufactured(n, Manufactured::SinSin);
+        for s in [Stencil::nine_point_star(), Stencil::thirteen_point_star()] {
+            let damped = JacobiSolver { omega: 0.8, tol: 1e-10, ..Default::default() };
+            let (u, status) = damped.solve(&p, &s);
+            assert!(status.converged, "{}", s.name());
+            let err = u.max_abs_diff(&p.exact_solution().unwrap());
+            assert!(err < 5e-2, "{}: error {err}", s.name());
+        }
+    }
+
+    #[test]
+    fn check_period_changes_iteration_count_only_slightly() {
+        let n = 12;
+        let p = PoissonProblem::manufactured(n, Manufactured::Bubble);
+        let base = JacobiSolver { check_period: 1, tol: 1e-9, ..Default::default() };
+        let lazy = JacobiSolver { check_period: 25, tol: 1e-9, ..Default::default() };
+        let (_, s1) = base.solve(&p, &Stencil::five_point());
+        let (_, s25) = lazy.solve(&p, &Stencil::five_point());
+        assert!(s1.converged && s25.converged);
+        assert!(s25.iterations >= s1.iterations);
+        assert!(s25.iterations <= s1.iterations + 25, "{} vs {}", s25.iterations, s1.iterations);
+        assert_eq!(s25.iterations % 25, 0);
+    }
+
+    #[test]
+    fn damped_jacobi_still_converges() {
+        let p = PoissonProblem::manufactured(10, Manufactured::Bubble);
+        let solver = JacobiSolver { omega: 0.8, tol: 1e-9, ..Default::default() };
+        let (u, status) = solver.solve(&p, &Stencil::five_point());
+        assert!(status.converged);
+        // Damping slows convergence but lands on the same fixed point.
+        let res = residual_max(
+            &Stencil::five_point(),
+            &u,
+            p.forcing(),
+            p.h() * p.h(),
+        );
+        assert!(res < 1e-5, "residual {res}");
+    }
+
+    #[test]
+    fn iteration_cap_reports_non_convergence() {
+        let p = PoissonProblem::manufactured(24, Manufactured::SinSin);
+        let solver = JacobiSolver { max_iters: 10, tol: 1e-12, ..Default::default() };
+        let (_, status) = solver.solve(&p, &Stencil::five_point());
+        assert!(!status.converged);
+        assert_eq!(status.iterations, 10);
+        assert!(status.final_diff > 1e-12);
+    }
+
+    #[test]
+    fn status_reports_final_diff_below_tol_on_success() {
+        let p = PoissonProblem::manufactured(8, Manufactured::Bubble);
+        let (_, status) = JacobiSolver::with_tol(1e-7).solve(&p, &Stencil::five_point());
+        assert!(status.converged);
+        assert!(status.final_diff < 1e-7);
+    }
+}

@@ -1,0 +1,54 @@
+//! Real numerical solvers for the elliptic PDE substrate of the paper.
+//!
+//! The performance model abstracts "an iterative solution of these
+//! equations (e.g. point Jacobi)" — this crate supplies the actual
+//! numerics so the reproduction can run genuine workloads end to end:
+//!
+//! * [`PoissonProblem`] — `-∇²u = f` on the unit square, Dirichlet
+//!   boundary, discretized on the paper's `n×n` interior grid;
+//! * [`apply`] — stencil sweep kernels (generic tap-driven plus a fused
+//!   5-point fast path) and discrete residuals;
+//! * [`JacobiSolver`] — point / weighted Jacobi with periodic convergence
+//!   checks (the algorithm the paper models);
+//! * [`SorSolver`] — Gauss-Seidel and SOR with the optimal relaxation
+//!   factor;
+//! * [`RedBlackSolver`] — red-black Gauss-Seidel/SOR, the parallelizable
+//!   ordering (rayon row-parallel within each colour);
+//! * [`CgSolver`] — conjugate gradients on the 5-point operator, whose
+//!   global inner products are the §5 Adams–Crockett communication pattern;
+//! * [`MultigridSolver`] — geometric V-cycle multigrid (the MGR[v]-class
+//!   method of the paper's related work, ref [7]);
+//! * [`Manufactured`] — analytic solutions for verification;
+//! * [`norms`] — sequential and rayon-parallel reductions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apply;
+mod cg;
+mod jacobi;
+mod manufactured;
+mod multigrid;
+pub mod norms;
+mod problem;
+mod redblack;
+mod sor;
+
+pub use cg::{CgSolver, CgStats};
+pub use jacobi::JacobiSolver;
+pub use manufactured::Manufactured;
+pub use multigrid::{valid_side as multigrid_valid_side, MultigridSolver};
+pub use problem::{Boundary, PoissonProblem};
+pub use redblack::RedBlackSolver;
+pub use sor::SorSolver;
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStatus {
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Last max-norm update difference observed at a convergence check.
+    pub final_diff: f64,
+}

@@ -1,0 +1,136 @@
+//! Gauss-Seidel and successive over-relaxation (lexicographic ordering).
+
+use crate::{PoissonProblem, SolveStatus};
+use parspeed_grid::Grid2D;
+use parspeed_stencil::Stencil;
+
+/// SOR solver (`omega = 1` is Gauss-Seidel) with periodic convergence
+/// checks. Sequential by construction — the lexicographic ordering the
+/// paper contrasts with the parallelizable Jacobi and red-black sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SorSolver {
+    /// Convergence tolerance on the max-norm update difference.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Relaxation factor in `(0, 2)`.
+    pub omega: f64,
+    /// Check convergence every this many sweeps.
+    pub check_period: usize,
+}
+
+impl SorSolver {
+    /// Gauss-Seidel (`ω = 1`).
+    pub fn gauss_seidel(tol: f64) -> Self {
+        Self { tol, max_iters: 200_000, omega: 1.0, check_period: 1 }
+    }
+
+    /// SOR with the asymptotically optimal factor for the 5-point Laplacian
+    /// on an `n×n` grid: `ω* = 2 / (1 + sin(π·h))`, `h = 1/(n+1)`.
+    pub fn optimal(n: usize, tol: f64) -> Self {
+        let h = std::f64::consts::PI / (n as f64 + 1.0);
+        Self { tol, max_iters: 200_000, omega: 2.0 / (1.0 + h.sin()), check_period: 1 }
+    }
+
+    /// Solves `problem` with `stencil` by in-place relaxation sweeps.
+    pub fn solve(&self, problem: &PoissonProblem, stencil: &Stencil) -> (Grid2D, SolveStatus) {
+        assert!(self.omega > 0.0 && self.omega < 2.0, "SOR needs 0 < ω < 2");
+        let halo = stencil.reach();
+        let h2 = problem.h() * problem.h();
+        let rs_h2 = stencil.rhs_scale() * h2;
+        let inv = 1.0 / stencil.divisor();
+        let mut u = problem.initial_grid(halo);
+        let f = problem.forcing();
+        let n = problem.n();
+
+        let mut iterations = 0;
+        let mut diff = f64::INFINITY;
+        while iterations < self.max_iters {
+            let mut sweep_diff = 0.0f64;
+            for r in 0..n {
+                for c in 0..n {
+                    let (ri, ci) = (r as isize, c as isize);
+                    let mut acc = 0.0;
+                    for t in stencil.taps() {
+                        acc += t.coeff
+                            * u.get_h(ri + t.offset.dy as isize, ci + t.offset.dx as isize);
+                    }
+                    let jacobi = (acc + rs_h2 * f.get(r, c)) * inv;
+                    let old = u.get(r, c);
+                    let new = old + self.omega * (jacobi - old);
+                    sweep_diff = sweep_diff.max((new - old).abs());
+                    u.set(r, c, new);
+                }
+            }
+            iterations += 1;
+            if iterations % self.check_period == 0 {
+                diff = sweep_diff;
+                if diff < self.tol {
+                    return (u, SolveStatus { converged: true, iterations, final_diff: diff });
+                }
+            }
+        }
+        (u, SolveStatus { converged: false, iterations, final_diff: diff })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JacobiSolver, Manufactured};
+
+    #[test]
+    fn gauss_seidel_converges_about_twice_as_fast_as_jacobi() {
+        let n = 16;
+        let p = PoissonProblem::manufactured(n, Manufactured::SinSin);
+        let (_, gs) = SorSolver::gauss_seidel(1e-8).solve(&p, &Stencil::five_point());
+        let (_, jac) = JacobiSolver::with_tol(1e-8).solve(&p, &Stencil::five_point());
+        assert!(gs.converged && jac.converged);
+        let ratio = jac.iterations as f64 / gs.iterations as f64;
+        assert!(ratio > 1.6 && ratio < 2.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn optimal_sor_is_dramatically_faster() {
+        let n = 24;
+        let p = PoissonProblem::manufactured(n, Manufactured::SinSin);
+        let (_, sor) = SorSolver::optimal(n, 1e-8).solve(&p, &Stencil::five_point());
+        let (_, gs) = SorSolver::gauss_seidel(1e-8).solve(&p, &Stencil::five_point());
+        assert!(sor.converged && gs.converged);
+        assert!(
+            sor.iterations * 4 < gs.iterations,
+            "SOR {} vs GS {}",
+            sor.iterations,
+            gs.iterations
+        );
+    }
+
+    #[test]
+    fn sor_reaches_the_same_solution_as_jacobi() {
+        let n = 12;
+        let p = PoissonProblem::manufactured(n, Manufactured::Bubble);
+        let (u_sor, _) = SorSolver::optimal(n, 1e-11).solve(&p, &Stencil::five_point());
+        let (u_jac, _) = JacobiSolver::with_tol(1e-11).solve(&p, &Stencil::five_point());
+        assert!(u_sor.max_abs_diff(&u_jac) < 1e-7);
+    }
+
+    #[test]
+    fn works_with_the_nine_point_box() {
+        let n = 12;
+        let p = PoissonProblem::manufactured(n, Manufactured::SinSin);
+        let (u, s) = SorSolver::gauss_seidel(1e-9).solve(&p, &Stencil::nine_point_box());
+        assert!(s.converged);
+        let err = u.max_abs_diff(&p.exact_solution().unwrap());
+        // Plain Mehrstellen without the h²∇²f/12 rhs correction is second
+        // order with a larger constant than the 5-point cross.
+        assert!(err < 2e-2, "error {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < ω < 2")]
+    fn rejects_divergent_omega() {
+        let p = PoissonProblem::laplace(4, 0.0);
+        let bad = SorSolver { omega: 2.5, ..SorSolver::gauss_seidel(1e-6) };
+        let _ = bad.solve(&p, &Stencil::five_point());
+    }
+}

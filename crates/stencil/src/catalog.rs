@@ -1,0 +1,176 @@
+//! The four stencils drawn in the paper (Figures 1 and 3).
+//!
+//! Coefficients are the standard ones for `-∇²u = f`; the 13-point operator
+//! is used by the paper only for its *geometry* (it is the example of a
+//! stencil needing two perimeters *and* diagonals), so any consistent
+//! coefficient set serves; we use a 9-point-star core plus unit diagonals
+//! with a matching divisor so that constants are fixed points of the
+//! homogeneous update.
+
+use crate::{Stencil, Tap};
+
+impl Stencil {
+    /// The 5-point Laplacian cross (paper Fig. 1, left).
+    ///
+    /// Jacobi update: `u' = (uN + uS + uE + uW + h²·f) / 4`.
+    pub fn five_point() -> Stencil {
+        Stencil::new(
+            "5-point",
+            vec![Tap::unit(-1, 0), Tap::unit(1, 0), Tap::unit(0, -1), Tap::unit(0, 1)],
+            1.0,
+            4.0,
+        )
+    }
+
+    /// The 9-point "Mehrstellen" box (paper Fig. 1, right).
+    ///
+    /// Jacobi update: `u' = (4·(uN+uS+uE+uW) + (uNE+uNW+uSE+uSW) + 6h²·f) / 20`.
+    pub fn nine_point_box() -> Stencil {
+        Stencil::new(
+            "9-point box",
+            vec![
+                Tap::new(-1, 0, 4.0),
+                Tap::new(1, 0, 4.0),
+                Tap::new(0, -1, 4.0),
+                Tap::new(0, 1, 4.0),
+                Tap::unit(-1, -1),
+                Tap::unit(-1, 1),
+                Tap::unit(1, -1),
+                Tap::unit(1, 1),
+            ],
+            6.0,
+            20.0,
+        )
+    }
+
+    /// The 9-point star: fourth-order central differences on each axis
+    /// (paper Fig. 3, left — the stencil that needs **two** perimeters).
+    ///
+    /// From `-u'' ≈ (-u₋₂ + 16u₋₁ - 30u₀ + 16u₁ - u₂)/(12h²)` per axis:
+    /// `u' = (16·(uN+uS+uE+uW) - (uNN+uSS+uEE+uWW) + 12h²·f) / 60`.
+    pub fn nine_point_star() -> Stencil {
+        Stencil::new(
+            "9-point star",
+            vec![
+                Tap::new(-1, 0, 16.0),
+                Tap::new(1, 0, 16.0),
+                Tap::new(0, -1, 16.0),
+                Tap::new(0, 1, 16.0),
+                Tap::new(-2, 0, -1.0),
+                Tap::new(2, 0, -1.0),
+                Tap::new(0, -2, -1.0),
+                Tap::new(0, 2, -1.0),
+            ],
+            12.0,
+            60.0,
+        )
+    }
+
+    /// The 13-point star: reach-2 cross plus the four unit diagonals
+    /// (paper Fig. 3, right).
+    ///
+    /// `u' = (16·cross₁ - cross₂ + 4·diag₁ + 20h²·f) / 76`. The RHS scale
+    /// is fixed by consistency: `Σ cᵢ·dxᵢ² / 2 = (2·16 − 8 + 4·4)/2 = 20`.
+    pub fn thirteen_point_star() -> Stencil {
+        Stencil::new(
+            "13-point star",
+            vec![
+                Tap::new(-1, 0, 16.0),
+                Tap::new(1, 0, 16.0),
+                Tap::new(0, -1, 16.0),
+                Tap::new(0, 1, 16.0),
+                Tap::new(-2, 0, -1.0),
+                Tap::new(2, 0, -1.0),
+                Tap::new(0, -2, -1.0),
+                Tap::new(0, 2, -1.0),
+                Tap::new(-1, -1, 4.0),
+                Tap::new(-1, 1, 4.0),
+                Tap::new(1, -1, 4.0),
+                Tap::new(1, 1, 4.0),
+            ],
+            20.0,
+            76.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The homogeneous update (f = 0) applied to a constant field must return
+    /// that constant: Σ coeff == divisor. This is the consistency condition
+    /// that makes Jacobi a fixed-point iteration for the Laplace equation.
+    #[test]
+    fn constants_are_fixed_points() {
+        for s in Stencil::catalog() {
+            let sum: f64 = s.taps().iter().map(|t| t.coeff).sum();
+            assert!(
+                (sum - s.divisor()).abs() < 1e-12,
+                "{}: tap sum {} != divisor {}",
+                s.name(),
+                sum,
+                s.divisor()
+            );
+        }
+    }
+
+    /// Taps must be symmetric under negation (centred differences).
+    #[test]
+    fn taps_are_centrally_symmetric() {
+        for s in Stencil::catalog() {
+            for t in s.taps() {
+                let mirror = s
+                    .taps()
+                    .iter()
+                    .find(|u| u.offset.dy == -t.offset.dy && u.offset.dx == -t.offset.dx)
+                    .unwrap_or_else(|| panic!("{}: no mirror for {:?}", s.name(), t.offset));
+                assert_eq!(mirror.coeff, t.coeff, "{}: asymmetric coeff", s.name());
+            }
+        }
+    }
+
+    /// Taps must be symmetric under swapping axes (isotropic operators).
+    #[test]
+    fn taps_are_axis_symmetric() {
+        for s in Stencil::catalog() {
+            for t in s.taps() {
+                let swapped = s
+                    .taps()
+                    .iter()
+                    .find(|u| u.offset.dy == t.offset.dx && u.offset.dx == t.offset.dy)
+                    .unwrap_or_else(|| panic!("{}: no axis-swap for {:?}", s.name(), t.offset));
+                assert_eq!(swapped.coeff, t.coeff, "{}: anisotropic coeff", s.name());
+            }
+        }
+    }
+
+    /// Second-order consistency with −∇²: the Jacobi fixed point satisfies
+    /// `(div·u − Σc·u_nb)/(rs·h²) ≈ −∇²u`, which requires
+    /// `rs = Σ cᵢ·dxᵢ²/2` (and the same for dy by symmetry).
+    #[test]
+    fn rhs_scale_matches_taylor_consistency() {
+        for s in Stencil::catalog() {
+            let sum_dx2: f64 =
+                s.taps().iter().map(|t| t.coeff * (t.offset.dx * t.offset.dx) as f64).sum();
+            let sum_dy2: f64 =
+                s.taps().iter().map(|t| t.coeff * (t.offset.dy * t.offset.dy) as f64).sum();
+            assert_eq!(sum_dx2, sum_dy2, "{}", s.name());
+            assert!(
+                (s.rhs_scale() - sum_dx2 / 2.0).abs() < 1e-12,
+                "{}: rhs_scale {} vs consistency {}",
+                s.name(),
+                s.rhs_scale(),
+                sum_dx2 / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn rhs_scales_are_positive() {
+        for s in Stencil::catalog() {
+            assert!(s.rhs_scale() > 0.0, "{}", s.name());
+            assert!(s.divisor() > 0.0, "{}", s.name());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Grid offsets and stencil taps.
+
+/// A relative grid position: `dy` rows down, `dx` columns right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Offset {
+    /// Row displacement (positive = towards larger row index).
+    pub dy: i32,
+    /// Column displacement (positive = towards larger column index).
+    pub dx: i32,
+}
+
+impl Offset {
+    /// Builds an offset.
+    pub const fn new(dy: i32, dx: i32) -> Self {
+        Self { dy, dx }
+    }
+
+    /// Chebyshev (L∞) distance from the centre.
+    pub fn chebyshev(&self) -> usize {
+        self.dy.unsigned_abs().max(self.dx.unsigned_abs()) as usize
+    }
+
+    /// Manhattan (L1) distance from the centre.
+    pub fn manhattan(&self) -> usize {
+        (self.dy.unsigned_abs() + self.dx.unsigned_abs()) as usize
+    }
+
+    /// Whether this offset lies on a grid axis.
+    pub fn on_axis(&self) -> bool {
+        self.dy == 0 || self.dx == 0
+    }
+}
+
+/// One stencil tap: an offset and the coefficient multiplying the value read
+/// there in the Jacobi update numerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tap {
+    /// Where the tap reads, relative to the point being updated.
+    pub offset: Offset,
+    /// Coefficient in the update numerator.
+    pub coeff: f64,
+}
+
+impl Tap {
+    /// Builds a tap.
+    pub const fn new(dy: i32, dx: i32, coeff: f64) -> Self {
+        Self { offset: Offset::new(dy, dx), coeff }
+    }
+
+    /// Builds a unit-coefficient tap.
+    pub const fn unit(dy: i32, dx: i32) -> Self {
+        Self::new(dy, dx, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_and_manhattan() {
+        let o = Offset::new(-2, 1);
+        assert_eq!(o.chebyshev(), 2);
+        assert_eq!(o.manhattan(), 3);
+        assert!(!o.on_axis());
+        assert!(Offset::new(0, 3).on_axis());
+        assert!(Offset::new(-1, 0).on_axis());
+    }
+
+    #[test]
+    fn tap_constructors() {
+        let t = Tap::unit(1, 0);
+        assert_eq!(t.coeff, 1.0);
+        assert_eq!(t.offset, Offset::new(1, 0));
+        let w = Tap::new(0, -2, -1.0);
+        assert_eq!(w.coeff, -1.0);
+        assert_eq!(w.offset.chebyshev(), 2);
+    }
+}

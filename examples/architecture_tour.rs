@@ -1,0 +1,44 @@
+//! Tour of the four architecture classes: optimal speedup as the problem
+//! grows, with the machine allowed to grow alongside it — the paper's
+//! Table I, live.
+//!
+//! ```sh
+//! cargo run --example architecture_tour
+//! ```
+
+use parspeed::model::table1;
+use parspeed::prelude::*;
+
+fn main() {
+    let machine = MachineParams::paper_defaults();
+    let stencil = Stencil::five_point();
+
+    println!("Optimal speedup by architecture ({} stencil, square partitions)\n", stencil.name());
+    println!("{:>6} {:>14} {:>14} {:>14} {:>14}", "n", "hypercube", "sync bus", "async bus", "banyan");
+    for n in [128usize, 256, 512, 1024, 2048, 4096] {
+        let w = Workload::new(n, &stencil, PartitionShape::Square);
+        println!(
+            "{:>6} {:>14.0} {:>14.1} {:>14.1} {:>14.0}",
+            n,
+            table1::hypercube_speedup(&machine, &w),
+            table1::sync_bus_speedup(&machine, &w),
+            table1::async_bus_speedup(&machine, &w),
+            table1::switching_speedup(&machine, &w),
+        );
+    }
+
+    println!("\nScaling exponents (d log speedup / d log n²):");
+    let sides = vec![256usize, 512, 1024, 2048, 4096];
+    let w = Workload::new(2, &stencil, PartitionShape::Square);
+    for (name, f) in [
+        ("hypercube", table1::hypercube_speedup as fn(&MachineParams, &Workload) -> f64),
+        ("sync bus", table1::sync_bus_speedup),
+        ("async bus", table1::async_bus_speedup),
+        ("banyan", table1::switching_speedup),
+    ] {
+        let e = table1::fit_scaling_exponent(&sides, |n| f(&machine, &w.scaled_to(n)));
+        println!("  {name:<10} {e:.3}");
+    }
+    println!("\nPaper: hypercube Θ(n²); banyan Θ(n²/log n); buses Θ((n²)^⅓) —");
+    println!("\"bus networks are unsuited for large numerical problems\".");
+}

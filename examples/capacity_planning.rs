@@ -1,0 +1,56 @@
+//! Capacity planning with the model: given a machine, how many processors
+//! should each job use, and which jobs can fill the machine at all?
+//!
+//! ```sh
+//! cargo run --example capacity_planning
+//! ```
+
+use parspeed::model::minsize::{min_grid_side, BusVariant};
+use parspeed::prelude::*;
+
+fn main() {
+    let machine = MachineParams::paper_defaults();
+    let bus = SyncBus::new(&machine);
+    let n_procs = 24usize;
+
+    println!("Machine: {n_procs}-processor synchronous bus (b = {:.1} µs/word, c = 0)\n", machine.bus.b * 1e6);
+
+    // Allocation advice across a job mix.
+    println!("{:>6} {:>14} {:>10} {:>10} {:>10} {:>8}",
+        "n", "stencil", "shape", "procs", "speedup", "full?");
+    for stencil in [Stencil::five_point(), Stencil::nine_point_box()] {
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            for n in [128usize, 256, 512, 1024] {
+                let w = Workload::new(n, &stencil, shape);
+                let opt = bus.optimize(&w, ProcessorBudget::Limited(n_procs));
+                println!(
+                    "{:>6} {:>14} {:>10} {:>10} {:>10.1} {:>8}",
+                    n,
+                    stencil.name(),
+                    shape.name(),
+                    opt.processors,
+                    opt.speedup,
+                    if opt.used_all { "yes" } else { "no" }
+                );
+            }
+        }
+    }
+
+    // Fig-7 style thresholds for this machine.
+    println!("\nSmallest grid side that gainfully uses all {n_procs} processors:");
+    for v in [BusVariant::SyncStrip, BusVariant::AsyncStrip, BusVariant::SyncSquare] {
+        let n5 = min_grid_side(&machine, 6.0, 1.0, n_procs, v);
+        let n9 = min_grid_side(&machine, 12.0, 1.0, n_procs, v);
+        println!("  {:<22} 5-point: n ≥ {:>6.0}   9-point: n ≥ {:>6.0}", v.label(), n5, n9);
+    }
+
+    // What would an upgrade buy at the optimum?
+    let w = Workload::new(1024, &Stencil::five_point(), PartitionShape::Square);
+    let faster_bus = parspeed::model::leverage::bus_speedup(
+        &machine, &w, ProcessorBudget::Limited(n_procs), 2.0);
+    let faster_fp = parspeed::model::leverage::flop_speedup(
+        &machine, &w, ProcessorBudget::Limited(n_procs), 2.0);
+    println!("\nUpgrades at n = 1024 (squares): bus×2 → {:.0}% of cycle, flop×2 → {:.0}%",
+        100.0 * faster_bus.factor(), 100.0 * faster_fp.factor());
+    println!("Communication speed is the better lever (paper §6.1).");
+}

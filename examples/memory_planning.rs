@@ -1,0 +1,50 @@
+//! Processor allocation under per-processor memory limits (§3/§4).
+//!
+//! ```sh
+//! cargo run --example memory_planning
+//! ```
+//!
+//! The paper's §4 observation: when the whole grid would ideally sit on
+//! one processor (or a few), memory can forbid it — the allocation is then
+//! forced to spread. This example plans a 512×512 solve on machines with
+//! shrinking per-node memories and shows the optimizer negotiating the
+//! floor, until the problem stops fitting altogether.
+
+use parspeed::model::optimize_constrained;
+use parspeed::prelude::*;
+
+fn main() {
+    let machine = MachineParams::paper_defaults();
+    let bus = SyncBus::new(&machine);
+    let w = Workload::new(512, &Stencil::five_point(), PartitionShape::Square);
+    let budget = ProcessorBudget::Limited(64);
+
+    let free = bus.optimize(&w, budget);
+    println!("512×512 on a 64-processor synchronous bus, unconstrained:");
+    println!("  optimal processors: {} (speedup {:.1})\n", free.processors, free.speedup);
+
+    println!("{:>16}  {:>10}  {:>9}  {:>12}", "words/processor", "processors", "speedup", "note");
+    for words in [2_000_000.0, 200_000.0, 50_000.0, 20_000.0, 9_000.0, 2_000.0] {
+        match optimize_constrained(&bus, &w, budget, Some(MemoryBudget::words(words))) {
+            Ok(opt) => {
+                let forced = opt.processors > free.processors;
+                println!(
+                    "{words:>16.0}  {:>10}  {:>9.1}  {:>12}",
+                    opt.processors,
+                    opt.speedup,
+                    if forced { "memory-forced" } else { "unconstrained" }
+                );
+            }
+            Err(e) => {
+                println!("{words:>16.0}  {:>10}  {:>9}  {:>12}", "—", "—", "does not fit");
+                println!("\n{e}");
+                break;
+            }
+        }
+    }
+
+    println!("\nThe floor only binds once a partition (two buffered copies, halo,");
+    println!("forcing) overflows a node; past the machine's processor count there");
+    println!("is nothing left to spread to and the plan is infeasible — buy more");
+    println!("memory or more processors.");
+}

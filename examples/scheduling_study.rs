@@ -1,0 +1,63 @@
+//! The paper's §8 future work, carried out: can "clever scheduling to
+//! access communication resources" blunt bus contention?
+//!
+//! ```sh
+//! cargo run --example scheduling_study
+//! ```
+//!
+//! Three machines race on the same problem: the unscheduled synchronous
+//! bus (§6.1), the same bus driven by a batch-staggering slot schedule
+//! (our §8 construction), and the asynchronous posted-write machine
+//! (§6.2). The schedule recovers the async hardware's entire constant
+//! factor — and none of them escape the Θ((n²)^⅓) exponent.
+
+use parspeed::arch::{AsyncBusSim, IterationSpec, ScheduledBusSim, SyncBusSim};
+use parspeed::grid::StripDecomposition;
+use parspeed::prelude::*;
+
+fn main() {
+    let machine = MachineParams::paper_defaults();
+    let sync = SyncBus::new(&machine);
+    let sched = ScheduledBus::new(&machine);
+    let async_ = AsyncBus::new(&machine);
+
+    println!("Optimal cycle times, strips, processors unbounded (c = 0):\n");
+    println!("{:>6}  {:>12}  {:>12}  {:>12}  {:>10}", "n", "sync", "scheduled", "async", "sync/sched");
+    for n in [256usize, 512, 1024, 2048, 4096] {
+        let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
+        let t_sync = sync.optimal_cycle_unbounded(&w);
+        let a = sched.closed_form_optimal_area(&w).expect("scheduled optimum");
+        let t_sched = sched.cycle_time(&w, a);
+        let t_async = async_.cycle_time(&w, async_.optimal_area(&w));
+        println!(
+            "{n:>6}  {:>10.2} ms  {:>10.2} ms  {:>10.2} ms  {:>10.4}",
+            t_sync * 1e3,
+            t_sched * 1e3,
+            t_async * 1e3,
+            t_sync / t_sched
+        );
+    }
+    println!("\nThe gain approaches √2 ≈ 1.4142 — exactly the asynchronous bus's");
+    println!("advantage (§6.2), bought with a slot table instead of hardware.\n");
+
+    // Event-level confirmation on a real decomposition.
+    let n = 256usize;
+    println!("Event-level simulation, n={n}, 5-point strips:\n");
+    println!("{:>4}  {:>14}  {:>14}  {:>14}", "P", "sync (PS)", "staggered", "async hw");
+    for p in [8usize, 16, 32, 64] {
+        let d = StripDecomposition::new(n, p);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let t_ps = SyncBusSim::new(&machine).simulate(&spec).cycle_time;
+        let t_st = ScheduledBusSim::new(&machine).simulate(&spec).cycle_time;
+        let t_as = AsyncBusSim::new(&machine).simulate(&spec).cycle_time;
+        println!(
+            "{p:>4}  {:>11.3} ms  {:>11.3} ms  {:>11.3} ms",
+            t_ps * 1e3,
+            t_st * 1e3,
+            t_as * 1e3
+        );
+    }
+    println!("\nScheduling removes idle waiting, not bus work: total contention is");
+    println!("conserved, so Table I's exponents stand. The paper's conjecture was");
+    println!("right — and this is exactly how much it was worth.");
+}

@@ -1,0 +1,85 @@
+//! Watch one iteration run on each simulated machine, next to the closed
+//! form that abstracts it.
+//!
+//! ```sh
+//! cargo run --example simulate_iteration
+//! ```
+
+use parspeed::arch::{
+    AsyncBusSim, BanyanSim, IterationSpec, ModuleAssignment, NeighborExchangeSim, SyncBusSim,
+};
+use parspeed::model::{ArchModel, AsyncBus, Banyan, Hypercube, SyncBus};
+use parspeed::prelude::*;
+
+fn main() {
+    let m = MachineParams::paper_defaults();
+    let n = 128usize;
+    let p = 16usize;
+    let stencil = Stencil::five_point();
+
+    let strips = StripDecomposition::new(n, p);
+    let rect = RectDecomposition::new(n, 4, 4);
+    let w_strip = Workload::new(n, &stencil, PartitionShape::Strip);
+    let w_square = Workload::new(n, &stencil, PartitionShape::Square);
+    let area = w_strip.points() / p as f64;
+
+    println!("One Jacobi iteration, n = {n}, P = {p}\n");
+    println!("{:<22} {:>12} {:>12} {:>10}", "machine", "model (µs)", "sim (µs)", "dev.");
+
+    let spec_s = IterationSpec::new(&strips, &stencil);
+    let spec_q = IterationSpec::new(&rect, &stencil);
+    let us = 1e6;
+
+    let rows: Vec<(&str, f64, f64)> = vec![
+        (
+            "hypercube / strips",
+            Hypercube::new(&m).cycle_time(&w_strip, area),
+            NeighborExchangeSim::hypercube(&m).simulate(&spec_s).cycle_time,
+        ),
+        (
+            "hypercube / squares",
+            Hypercube::new(&m).cycle_time(&w_square, area),
+            NeighborExchangeSim::hypercube(&m).simulate(&spec_q).cycle_time,
+        ),
+        (
+            "sync bus / strips",
+            SyncBus::new(&m).cycle_time(&w_strip, area),
+            SyncBusSim::new(&m).simulate(&spec_s).cycle_time,
+        ),
+        (
+            "async bus / strips",
+            AsyncBus::new(&m).cycle_time(&w_strip, area),
+            AsyncBusSim::new(&m).simulate(&spec_s).cycle_time,
+        ),
+        (
+            "banyan / strips",
+            Banyan::new(&m).cycle_time(&w_strip, area),
+            BanyanSim::new(&m).simulate(&spec_s).cycle.cycle_time,
+        ),
+    ];
+    for (name, model, sim) in rows {
+        println!(
+            "{:<22} {:>12.1} {:>12.1} {:>9.1}%",
+            name,
+            model * us,
+            sim * us,
+            100.0 * (sim - model).abs() / model
+        );
+    }
+
+    // The banyan contention certificate.
+    let good = BanyanSim::new(&m).simulate(&spec_s);
+    let bad = BanyanSim::new(&m)
+        .with_assignment(ModuleAssignment::Adversarial)
+        .simulate(&spec_s);
+    println!(
+        "\nbanyan switch waiting: dedicated modules {:.1} µs, adversarial {:.1} µs",
+        good.contention_wait * us,
+        bad.contention_wait * us
+    );
+    println!("(zero waiting certifies the paper's §7 conflict-free assumption)");
+    println!(
+        "\nDeviations are the model's documented idealizations: domain-edge\n\
+         partitions move less data than the all-interior closed forms charge."
+    );
+}

@@ -1,0 +1,139 @@
+//! Cross-crate integration: the analytic model, the event simulators, and
+//! the real parallel executor must tell one consistent story.
+
+use parspeed::arch::{IterationSpec, NeighborExchangeSim, SyncBusSim};
+use parspeed::exec::{CheckPolicy, PartitionedJacobi};
+use parspeed::model::{ArchModel, Hypercube, SyncBus};
+use parspeed::prelude::*;
+use parspeed::solver::Manufactured;
+
+/// The executor must agree with the sequential solver bit-for-bit for
+/// every decomposition shape and stencil, because Jacobi updates read only
+/// previous-iteration values.
+#[test]
+fn executor_matches_sequential_for_all_shapes_and_stencils() {
+    let n = 24usize;
+    let problem = PoissonProblem::manufactured(n, Manufactured::SinSin);
+    let stencils = [Stencil::five_point(), Stencil::nine_point_box(), Stencil::nine_point_star()];
+    for stencil in &stencils {
+        let seq = {
+            let solver = parspeed::solver::JacobiSolver {
+                tol: 0.0,
+                max_iters: 30,
+                ..Default::default()
+            };
+            solver.solve(&problem, stencil).0
+        };
+        let decomps: Vec<Box<dyn parspeed::grid::Decomposition>> = vec![
+            Box::new(StripDecomposition::new(n, 3)),
+            Box::new(StripDecomposition::new(n, 8)),
+            Box::new(RectDecomposition::new(n, 2, 3)),
+            Box::new(RectDecomposition::new(n, 4, 4)),
+        ];
+        for d in &decomps {
+            let mut exec = PartitionedJacobi::new(&problem, stencil, d.as_ref());
+            for _ in 0..30 {
+                exec.iterate(false);
+            }
+            let par = exec.solution();
+            assert_eq!(
+                par.max_abs_diff(&seq),
+                0.0,
+                "{} with {} partitions drifted from sequential",
+                stencil.name(),
+                d.count()
+            );
+        }
+    }
+}
+
+/// The model's optimal processor count must match the argmin of the
+/// *simulated* cycle times on the synchronous bus.
+#[test]
+fn model_optimum_matches_simulated_optimum_on_the_bus() {
+    let m = MachineParams::paper_defaults();
+    let n = 96usize;
+    let stencil = Stencil::five_point();
+    let w = Workload::new(n, &stencil, PartitionShape::Strip);
+    let cap = 48usize;
+
+    let sim = SyncBusSim::new(&m);
+    let mut best_p = 1;
+    let mut best_t = f64::INFINITY;
+    for p in 1..=cap {
+        let d = StripDecomposition::new(n, p);
+        let spec = IterationSpec::new(&d, &stencil);
+        let t = sim.simulate(&spec).cycle_time;
+        if t < best_t {
+            best_t = t;
+            best_p = p;
+        }
+    }
+    let model_opt = SyncBus::new(&m).optimize(&w, ProcessorBudget::Limited(cap));
+    let rel = (model_opt.processors as f64 - best_p as f64).abs() / best_p as f64;
+    assert!(
+        rel <= 0.35,
+        "model says P = {}, simulation says P = {best_p}",
+        model_opt.processors
+    );
+    // And the achieved times are close.
+    assert!((model_opt.cycle_time - best_t).abs() / best_t < 0.35);
+}
+
+/// Hypercube monotonicity carries from the algebra to the event level.
+#[test]
+fn simulated_hypercube_cycle_decreases_with_processors() {
+    let m = MachineParams::paper_defaults();
+    let n = 128usize;
+    let sim = NeighborExchangeSim::hypercube(&m);
+    let mut prev = f64::INFINITY;
+    for p in [2usize, 4, 8, 16, 32] {
+        let d = StripDecomposition::new(n, p);
+        let spec = IterationSpec::new(&d, &Stencil::five_point());
+        let t = sim.simulate(&spec).cycle_time;
+        assert!(t < prev, "cycle went up at P = {p}");
+        prev = t;
+    }
+    // Consistent with the model's extremal-allocation conclusion.
+    let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
+    let opt = Hypercube::new(&m).optimize(&w, ProcessorBudget::Limited(32));
+    assert_eq!(opt.processors, 32);
+}
+
+/// A full solve through the whole stack: partitioned execution, scheduled
+/// convergence checks, discretization-accurate answer.
+#[test]
+fn full_stack_poisson_solve() {
+    let n = 48usize;
+    let problem = PoissonProblem::manufactured(n, Manufactured::Bubble);
+    let stencil = Stencil::five_point();
+    let d = RectDecomposition::near_square(n, 4).unwrap();
+    let mut exec = PartitionedJacobi::new(&problem, &stencil, &d);
+    let run = exec.solve(1e-9, 300_000, CheckPolicy::geometric());
+    assert!(run.converged, "no convergence in {} iterations", run.iterations);
+    let err = exec.solution().max_abs_diff(&problem.exact_solution().unwrap());
+    assert!(err < 2e-3, "error {err}");
+    // Lazy checking really was lazy.
+    assert!(run.checks * 10 < run.iterations);
+}
+
+/// The working-rectangle machinery plugs into the executor: take the
+/// analytically optimal area, materialize the nearest working rectangle
+/// decomposition, and solve on it.
+#[test]
+fn working_rectangle_decomposition_solves() {
+    let m = MachineParams::paper_defaults();
+    let n = 64usize;
+    let stencil = Stencil::five_point();
+    let w = Workload::new(n, &stencil, PartitionShape::Square);
+    let bus = SyncBus::new(&m);
+    let a_star = bus.closed_form_optimal_area(&w).unwrap();
+    let rects = WorkingRectangles::new(n);
+    let d = rects.decomposition_for(a_star.round() as usize).expect("working rectangle exists");
+    let problem = PoissonProblem::manufactured(n, Manufactured::SinSin);
+    let mut exec = PartitionedJacobi::new(&problem, &stencil, &d);
+    let run = exec.solve(1e-8, 300_000, CheckPolicy::Every(16));
+    assert!(run.converged);
+    let err = exec.solution().max_abs_diff(&problem.exact_solution().unwrap());
+    assert!(err < 5e-3, "error {err}");
+}

