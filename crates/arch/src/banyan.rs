@@ -105,7 +105,7 @@ impl BanyanSim {
         let mut wait_total = 0.0f64;
         let mut finish = vec![0.0f64; p];
 
-        for i in 0..p {
+        for (i, fin) in finish.iter_mut().enumerate() {
             let module = module_of(self.assignment, i, p);
             let words = spec.plan.words_into(i);
             let mut t = Time::ZERO;
@@ -123,10 +123,10 @@ impl BanyanSim {
                 }
                 // Return trip: modelled as an uncontended pipeline of the
                 // same depth (replies use the mirror network).
-                when = when + self.w * stages as f64;
+                when += self.w * stages as f64;
                 t = when; // serial reads: next word issues on return
             }
-            finish[i] = t.as_secs() + spec.compute_time(i, self.tfp);
+            *fin = t.as_secs() + spec.compute_time(i, self.tfp);
         }
         BanyanReport {
             cycle: CycleReport::from_finishes(finish, spec.max_compute(self.tfp)),

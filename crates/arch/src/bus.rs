@@ -43,9 +43,7 @@ fn read_completions(spec: &IterationSpec, bus: &BusParams) -> Vec<f64> {
         .map(|i| PsArrival { at: 0.0, work: spec.plan.words_into(i) as f64 * bus.b })
         .collect();
     let ps = processor_sharing(&arrivals);
-    (0..p)
-        .map(|i| ps[i] + spec.plan.words_into(i) as f64 * bus.c)
-        .collect()
+    (0..p).map(|i| ps[i] + spec.plan.words_into(i) as f64 * bus.c).collect()
 }
 
 impl SyncBusSim {
@@ -117,8 +115,7 @@ impl AsyncBusSim {
                 let i = job;
                 let read_done = t + spec.plan.words_into(i) as f64 * self.bus.c;
                 // Boundary ring first; the batch is posted when it exists.
-                let post_at =
-                    read_done + spec.e_flops * spec.plan.words_from(i) as f64 * self.tfp;
+                let post_at = read_done + spec.e_flops * spec.plan.words_from(i) as f64 * self.tfp;
                 q.offer(post_at, spec.plan.words_from(i) as f64 * self.bus.b);
                 write_owner.push(i);
                 finish[i] = read_done + spec.compute_time(i, self.tfp);
@@ -242,9 +239,7 @@ mod tests {
         let spec = IterationSpec::new(&d, &Stencil::five_point());
         let r = AsyncBusSim::new(&m).simulate(&spec);
         let reads = read_completions(&spec, &m.bus);
-        let expect = (0..2)
-            .map(|i| reads[i] + spec.compute_time(i, m.tfp))
-            .fold(0.0, f64::max);
+        let expect = (0..2).map(|i| reads[i] + spec.compute_time(i, m.tfp)).fold(0.0, f64::max);
         assert!((r.cycle_time - expect).abs() / expect < 1e-9);
     }
 
@@ -257,9 +252,8 @@ mod tests {
         let spec = IterationSpec::new(&d, &Stencil::five_point());
         let r = AsyncBusSim::new(&m).simulate(&spec);
         let reads = read_completions(&spec, &m.bus);
-        let compute_only = (0..128)
-            .map(|i| reads[i] + spec.compute_time(i, m.tfp))
-            .fold(0.0, f64::max);
+        let compute_only =
+            (0..128).map(|i| reads[i] + spec.compute_time(i, m.tfp)).fold(0.0, f64::max);
         assert!(r.cycle_time > compute_only * 1.2, "backlog should dominate");
     }
 
@@ -331,12 +325,8 @@ mod tests {
                 SyncBusSim::new(&m).simulate(&spec).cycle_time
             })
             .collect();
-        let min_at = cycles
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
+        let min_at =
+            cycles.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
         assert!(min_at < cycles.len() - 1, "no interior optimum found: {cycles:?}");
         assert!(cycles.last().unwrap() > &cycles[min_at]);
     }

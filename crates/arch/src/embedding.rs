@@ -59,7 +59,7 @@ impl HypercubeEmbedding {
     /// Smallest cube dimension holding `p` nodes.
     fn dims_for(p: usize) -> u32 {
         assert!(p > 0, "empty embedding");
-        (usize::BITS - (p - 1).leading_zeros()).max(0)
+        usize::BITS - (p - 1).leading_zeros()
     }
 
     /// Builds an embedding from explicit labels (must be distinct and fit
@@ -165,12 +165,8 @@ impl HypercubeEmbedding {
 
     /// The distinct communicating pairs of `spec`, `(min, max)`-ordered.
     fn pairs(&self, spec: &IterationSpec) -> Vec<(usize, usize)> {
-        let mut v: Vec<(usize, usize)> = spec
-            .plan
-            .copies()
-            .iter()
-            .map(|c| (c.src.min(c.dst), c.src.max(c.dst)))
-            .collect();
+        let mut v: Vec<(usize, usize)> =
+            spec.plan.copies().iter().map(|c| (c.src.min(c.dst), c.src.max(c.dst))).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -208,7 +204,7 @@ mod tests {
     fn grid_embedding_axis_neighbours_are_adjacent() {
         for (pr, pc) in [(2usize, 2usize), (3, 4), (4, 4), (5, 3), (8, 8)] {
             let n = 48usize;
-            if n % pc != 0 {
+            if !n.is_multiple_of(pc) {
                 continue;
             }
             let emb = HypercubeEmbedding::grid(pr, pc);

@@ -28,14 +28,13 @@ impl IterationSpec {
     }
 
     /// Builds a spec with an explicit `E(S)`.
-    pub fn with_flops<D: Decomposition + ?Sized>(decomp: &D, stencil: &Stencil, e_flops: f64) -> Self {
+    pub fn with_flops<D: Decomposition + ?Sized>(
+        decomp: &D,
+        stencil: &Stencil,
+        e_flops: f64,
+    ) -> Self {
         assert!(e_flops > 0.0);
-        Self {
-            n: decomp.domain(),
-            regions: decomp.regions(),
-            plan: plan(decomp, stencil),
-            e_flops,
-        }
+        Self { n: decomp.domain(), regions: decomp.regions(), plan: plan(decomp, stencil), e_flops }
     }
 
     /// Number of processors.
@@ -51,9 +50,7 @@ impl IterationSpec {
     /// The longest per-processor compute time — the floor any simulated
     /// cycle must respect.
     pub fn max_compute(&self, tfp: f64) -> f64 {
-        (0..self.processors())
-            .map(|i| self.compute_time(i, tfp))
-            .fold(0.0, f64::max)
+        (0..self.processors()).map(|i| self.compute_time(i, tfp)).fold(0.0, f64::max)
     }
 }
 

@@ -192,8 +192,8 @@ impl Mesh2dSim {
         // A node's port opens when its compute finishes; transit and
         // receive traffic arriving earlier queues behind that.
         let mut compute_done = vec![0.0f64; ports];
-        for i in 0..p {
-            let node = node_of(coords[i]);
+        for (i, &coord) in coords.iter().enumerate() {
+            let node = node_of(coord);
             compute_done[node] = spec.compute_time(i, self.tfp);
             for &mi in &outgoing[node] {
                 world.queues[node].push_back(mi);
@@ -208,8 +208,8 @@ impl Mesh2dSim {
                 unreachable!("message queued at an unoccupied node");
             }
         }
-        for node in 0..ports {
-            if compute_done[node] == 0.0 {
+        for (node, &done) in compute_done.iter().enumerate() {
+            if done == 0.0 {
                 world.busy[node] = false; // transit-only port, free at t=0
             }
         }

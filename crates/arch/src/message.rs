@@ -31,10 +31,7 @@ pub fn merge_messages(plan: &HaloPlan) -> Vec<Message> {
     for c in plan.copies() {
         *merged.entry((c.src, c.dst)).or_insert(0) += c.words();
     }
-    merged
-        .into_iter()
-        .map(|((src, dst), words)| Message { src, dst, words })
-        .collect()
+    merged.into_iter().map(|((src, dst), words)| Message { src, dst, words }).collect()
 }
 
 #[cfg(test)]

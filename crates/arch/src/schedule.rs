@@ -139,10 +139,7 @@ impl ScheduledBusSim {
 /// Equal per-word interleaving across `P` concurrent requesters is
 /// processor sharing, so this is by construction the synchronous bus of
 /// §6.1; it exists so the equivalence is executable rather than asserted.
-pub fn word_round_robin(
-    m: &parspeed_core::MachineParams,
-    spec: &IterationSpec,
-) -> CycleReport {
+pub fn word_round_robin(m: &parspeed_core::MachineParams, spec: &IterationSpec) -> CycleReport {
     crate::SyncBusSim::new(m).simulate(spec)
 }
 
@@ -151,7 +148,7 @@ mod tests {
     use super::*;
     use crate::{AsyncBusSim, SyncBusSim};
     use parspeed_core::{ArchModel, MachineParams, ScheduledBus, Workload};
-    use parspeed_grid::{Decomposition, RectDecomposition, StripDecomposition};
+    use parspeed_grid::{RectDecomposition, StripDecomposition};
     use parspeed_stencil::{PartitionShape, Stencil};
 
     fn machine() -> MachineParams {
@@ -244,8 +241,9 @@ mod tests {
         let spec = IterationSpec::new(&d, &Stencil::five_point());
         for order in [SlotOrder::Index, SlotOrder::LargestFirst, SlotOrder::SmallestFirst] {
             let r = ScheduledBusSim::with_order(&m, order).simulate(&spec);
-            let total_words: usize =
-                (0..spec.processors()).map(|i| spec.plan.words_into(i) + spec.plan.words_from(i)).sum();
+            let total_words: usize = (0..spec.processors())
+                .map(|i| spec.plan.words_into(i) + spec.plan.words_from(i))
+                .sum();
             let bus_floor = total_words as f64 * m.bus.b;
             let chain_floor = (0..spec.processors())
                 .map(|i| {

@@ -61,12 +61,17 @@ fn strip_decomp(n: usize, p: usize) -> Option<Box<dyn Decomposition>> {
 fn square_decomp(n: usize, p: usize) -> Option<Box<dyn Decomposition>> {
     // Perfect q×q block grids only, to match the model's square idealization.
     let q = (p as f64).sqrt().round() as usize;
-    (q * q == p && n % q == 0)
+    (q * q == p && n.is_multiple_of(q))
         .then(|| Box::new(RectDecomposition::new(n, q, q)) as Box<dyn Decomposition>)
 }
 
 /// Builds the full validation table for grid side `n` over `procs`.
-pub fn validate_all(m: &MachineParams, n: usize, stencil: &Stencil, procs: &[usize]) -> Vec<ValidationRow> {
+pub fn validate_all(
+    m: &MachineParams,
+    n: usize,
+    stencil: &Stencil,
+    procs: &[usize],
+) -> Vec<ValidationRow> {
     let mut rows = Vec::new();
     for shape in [PartitionShape::Strip, PartitionShape::Square] {
         let w = Workload::new(n, stencil, shape);

@@ -50,10 +50,9 @@ fn bench_scheduled_sim(c: &mut Criterion) {
         let sim = SyncBusSim::new(&m);
         b.iter(|| black_box(sim.simulate(&spec).cycle_time))
     });
-    for (name, order) in [
-        ("staggered_512x64", SlotOrder::Index),
-        ("largest_first_512x64", SlotOrder::LargestFirst),
-    ] {
+    for (name, order) in
+        [("staggered_512x64", SlotOrder::Index), ("largest_first_512x64", SlotOrder::LargestFirst)]
+    {
         let sim = ScheduledBusSim::with_order(&m, order);
         g.bench_function(name, |b| b.iter(|| black_box(sim.simulate(&spec).cycle_time)));
     }

@@ -1,0 +1,93 @@
+//! Engine throughput: a 10k-query sweep-shaped batch with heavy
+//! duplication through the naive sequential per-query loop vs. the
+//! batched engine (dedup + cache + rayon sharding), plus the steady-state
+//! warm-cache path. The acceptance bar for this workload is engine ≥ 4×
+//! naive at equal (bit-identical) answers; in practice dedup alone buys
+//! the batch far more.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use parspeed_engine::{
+    eval_naive, ArchKind, Engine, MachineSpec, Query, ShapeKey, StencilSpec, WorkloadSpec,
+};
+use std::hint::black_box;
+
+const BATCH: usize = 10_000;
+
+/// 10k-atom batch cycling over 400 unique optimizer queries — the shape
+/// of sweep traffic hitting a capacity-planning service.
+fn duplicated_batch() -> Vec<Query> {
+    let stencils = [StencilSpec::FivePoint, StencilSpec::NinePointBox];
+    let shapes = [ShapeKey::Strip, ShapeKey::Square];
+    let sizes = [256usize, 512, 1024, 2048, 4096];
+    let budgets = [Some(8), Some(16), Some(32), Some(64), None];
+    let archs = [ArchKind::SyncBus, ArchKind::AsyncBus, ArchKind::Hypercube, ArchKind::Banyan];
+    let mut unique = Vec::new();
+    for arch in archs {
+        for stencil in stencils {
+            for shape in shapes {
+                for n in sizes {
+                    for procs in budgets {
+                        unique.push(Query::Optimize {
+                            arch,
+                            machine: MachineSpec::default(),
+                            workload: WorkloadSpec { n, stencil, shape },
+                            procs,
+                            memory_words: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    (0..BATCH).map(|i| unique[i % unique.len()].clone()).collect()
+}
+
+fn bench_engine_vs_naive(c: &mut Criterion) {
+    let batch = duplicated_batch();
+
+    // Headline comparison, printed before the per-path timings: one
+    // measured naive pass vs one cold engine pass, with the identity of
+    // the answers checked on the spot.
+    let t0 = std::time::Instant::now();
+    let naive = eval_naive(&batch);
+    let naive_secs = t0.elapsed().as_secs_f64();
+    let engine = Engine::builder().build();
+    let t1 = std::time::Instant::now();
+    let out = engine.run_batch(&batch);
+    let engine_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(out.responses, naive, "engine must be bit-identical to the naive loop");
+    println!(
+        "engine_throughput: {} queries ({} unique, {:.0}× dedup) — naive {:.2} ms, \
+         engine cold {:.2} ms → {:.1}× ; telemetry: {}",
+        BATCH,
+        out.telemetry.unique,
+        out.telemetry.dedup_factor(),
+        naive_secs * 1e3,
+        engine_secs * 1e3,
+        naive_secs / engine_secs,
+        out.telemetry,
+    );
+
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.throughput(Throughput::Elements(BATCH as u64));
+
+    g.bench_function("naive_sequential_loop", |b| b.iter(|| eval_naive(black_box(&batch))));
+    g.bench_function("engine_cold_cache", |b| {
+        // A fresh engine per iteration: measures plan + dedup + parallel
+        // evaluation with no carried-over cache.
+        b.iter(|| Engine::builder().build().run_batch(black_box(&batch)))
+    });
+    let warm = Engine::builder().build();
+    warm.run_batch(&batch);
+    g.bench_function("engine_warm_cache", |b| {
+        // Steady-state serving: every unique key is already cached.
+        b.iter(|| warm.run_batch(black_box(&batch)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_vs_naive);
+criterion_main!(benches);

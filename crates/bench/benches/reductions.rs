@@ -15,16 +15,12 @@ fn bench_norms(c: &mut Criterion) {
         let a = Grid2D::from_fn(n, n, 1, |r, c| ((r * 13 + c * 7) % 101) as f64 * 0.01);
         let b = Grid2D::from_fn(n, n, 1, |r, c| ((r * 13 + c * 7) % 101) as f64 * 0.01 + 1e-9);
         g.throughput(Throughput::Elements((n * n) as u64));
-        g.bench_function(BenchmarkId::new("linf_seq", n), |bch| {
-            bch.iter(|| linf(black_box(&a)))
-        });
+        g.bench_function(BenchmarkId::new("linf_seq", n), |bch| bch.iter(|| linf(black_box(&a))));
         g.bench_function(BenchmarkId::new("linf_par", n), |bch| {
             bch.iter(|| linf_par(black_box(&a)))
         });
         g.bench_function(BenchmarkId::new("l2_seq", n), |bch| bch.iter(|| l2(black_box(&a))));
-        g.bench_function(BenchmarkId::new("l2_par", n), |bch| {
-            bch.iter(|| l2_par(black_box(&a)))
-        });
+        g.bench_function(BenchmarkId::new("l2_par", n), |bch| bch.iter(|| l2_par(black_box(&a))));
         g.bench_function(BenchmarkId::new("linf_diff_par", n), |bch| {
             bch.iter(|| linf_diff_par(black_box(&a), black_box(&b)))
         });

@@ -40,13 +40,17 @@ fn tolerance_ablation(quick: bool) -> String {
 
     let mut t = Table::new(
         format!("Working-rectangle tolerance ablation (n={n}, A* = {a_star:.0})"),
-        &["tolerance", "areas kept", "median area err", "max area err", "worst squareness", "worst cycle penalty"],
+        &[
+            "tolerance",
+            "areas kept",
+            "median area err",
+            "max area err",
+            "worst squareness",
+            "worst cycle penalty",
+        ],
     );
-    let tolerances: &[f64] = if quick {
-        &[0.0, 0.05, 0.20]
-    } else {
-        &[0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50]
-    };
+    let tolerances: &[f64] =
+        if quick { &[0.0, 0.05, 0.20] } else { &[0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50] };
     // Cycle time of a materialized rectangle charged its TRUE perimeter
     // (the model charges a square's `4√A·k` words one way; a rectangle of
     // the same area moves `perimeter·k`).
@@ -75,8 +79,7 @@ fn tolerance_ablation(quick: bool) -> String {
         errs.sort_by(f64::total_cmp);
         let median = errs.get(errs.len() / 2).copied().unwrap_or(f64::NAN);
         let max = errs.last().copied().unwrap_or(f64::NAN);
-        let worst_sq =
-            cat.all().iter().map(|r| r.squareness()).fold(0.0, f64::max);
+        let worst_sq = cat.all().iter().map(|r| r.squareness()).fold(0.0, f64::max);
         t.row(vec![
             format!("{:.0}%", tol * 100.0),
             cat.all().len().to_string(),
@@ -102,12 +105,10 @@ fn tolerance_ablation(quick: bool) -> String {
 fn speedup_contours(quick: bool) -> String {
     let m = MachineParams::paper_defaults();
     let bus = SyncBus::new(&m);
-    let ns: Vec<usize> = if quick {
-        vec![64, 256, 1024]
-    } else {
-        vec![32, 64, 128, 256, 512, 1024, 2048, 4096]
-    };
-    let procs: Vec<usize> = if quick { vec![4, 16, 64] } else { vec![2, 4, 8, 16, 32, 64, 128, 256] };
+    let ns: Vec<usize> =
+        if quick { vec![64, 256, 1024] } else { vec![32, 64, 128, 256, 512, 1024, 2048, 4096] };
+    let procs: Vec<usize> =
+        if quick { vec![4, 16, 64] } else { vec![2, 4, 8, 16, 32, 64, 128, 256] };
 
     let headers: Vec<String> =
         std::iter::once("N \\ n".to_string()).chain(ns.iter().map(|n| n.to_string())).collect();

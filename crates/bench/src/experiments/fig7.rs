@@ -8,7 +8,9 @@
 //! against the integer optimizer.
 
 use crate::report::{ascii_chart, Series, Table};
-use parspeed_core::minsize::{min_grid_side, min_grid_side_verified, min_problem_size_log2, BusVariant};
+use parspeed_core::minsize::{
+    min_grid_side, min_grid_side_verified, min_problem_size_log2, BusVariant,
+};
 use parspeed_core::MachineParams;
 use parspeed_stencil::{PartitionShape, Stencil};
 
@@ -16,8 +18,7 @@ use parspeed_stencil::{PartitionShape, Stencil};
 pub fn run(quick: bool) -> String {
     let m = MachineParams::paper_defaults();
     let mut out = String::new();
-    let variants =
-        [BusVariant::SyncStrip, BusVariant::AsyncStrip, BusVariant::SyncSquare];
+    let variants = [BusVariant::SyncStrip, BusVariant::AsyncStrip, BusVariant::SyncSquare];
     let markers = ['a', 'b', 'c'];
 
     for stencil in [Stencil::five_point(), Stencil::nine_point_box()] {
@@ -53,10 +54,8 @@ pub fn run(quick: bool) -> String {
                 format!("{:.2}", vals[2]),
             ]);
         }
-        let _ = table.write_csv(&format!(
-            "e3_fig7_{}.csv",
-            stencil.name().replace(' ', "_").replace('-', "_")
-        ));
+        let _ =
+            table.write_csv(&format!("e3_fig7_{}.csv", stencil.name().replace([' ', '-'], "_")));
         out.push_str(&table.render());
         out.push_str(&ascii_chart(
             &format!("Fig 7 ({}) — log₂(n²) vs N", stencil.name()),

@@ -28,13 +28,17 @@ pub fn run(_quick: bool) -> String {
                 "(d) speedup strips",
             ],
         );
-        let mut s_procs_sq = Series { label: "(a) processors, squares".into(), marker: 'a', points: vec![] };
-        let mut s_procs_st = Series { label: "(b) processors, strips".into(), marker: 'b', points: vec![] };
-        let mut s_sp_sq = Series { label: "(c) speedup, squares".into(), marker: 'c', points: vec![] };
-        let mut s_sp_st = Series { label: "(d) speedup, strips".into(), marker: 'd', points: vec![] };
+        let mut s_procs_sq =
+            Series { label: "(a) processors, squares".into(), marker: 'a', points: vec![] };
+        let mut s_procs_st =
+            Series { label: "(b) processors, strips".into(), marker: 'b', points: vec![] };
+        let mut s_sp_sq =
+            Series { label: "(c) speedup, squares".into(), marker: 'c', points: vec![] };
+        let mut s_sp_st =
+            Series { label: "(d) speedup, strips".into(), marker: 'd', points: vec![] };
 
         for log2_n2 in (12..=20).step_by(1) {
-            let n = (2f64.powi(log2_n2) as f64).sqrt().round() as usize;
+            let n = 2f64.powi(log2_n2).sqrt().round() as usize;
             let wq = Workload::new(n, &stencil, PartitionShape::Square);
             let ws = Workload::new(n, &stencil, PartitionShape::Strip);
             let oq = bus.optimize(&wq, ProcessorBudget::Unlimited);
@@ -53,10 +57,8 @@ pub fn run(_quick: bool) -> String {
                 format!("{:.2}", os.speedup),
             ]);
         }
-        let _ = table.write_csv(&format!(
-            "e4_fig8_{}.csv",
-            stencil.name().replace(' ', "_").replace('-', "_")
-        ));
+        let _ =
+            table.write_csv(&format!("e4_fig8_{}.csv", stencil.name().replace([' ', '-'], "_")));
         out.push_str(&table.render());
         out.push_str(&ascii_chart(
             &format!("Fig 8 ({})", stencil.name()),

@@ -17,15 +17,12 @@ pub fn run(quick: bool) -> String {
     let mut out = String::new();
 
     let n = 128usize;
-    let mut t = Table::new(
-        format!("CG iteration time vs processors (n = {n})"),
-        &["P", "t(P)", "note"],
-    );
+    let mut t =
+        Table::new(format!("CG iteration time vs processors (n = {n})"), &["P", "t(P)", "note"]);
     let p_star = fem.optimal_processors(n, 1 << 20);
     let mut pts = Vec::new();
-    let ps: Vec<usize> = [1, 4, 16, 64, 256, p_star, 4 * p_star, 16 * p_star, 64 * p_star]
-        .into_iter()
-        .collect();
+    let ps: Vec<usize> =
+        [1, 4, 16, 64, 256, p_star, 4 * p_star, 16 * p_star, 64 * p_star].into_iter().collect();
     let mut sorted = ps.clone();
     sorted.sort_unstable();
     sorted.dedup();

@@ -22,7 +22,15 @@ pub fn run(quick: bool) -> String {
 
     let mut t = Table::new(
         "Optimal speedup, processors unbounded (5-point)",
-        &["n", "shape", "sync", "async", "ratio (paper √2 / 1.5)", "full overlap", "extra (paper √2 / 1.26)"],
+        &[
+            "n",
+            "shape",
+            "sync",
+            "async",
+            "ratio (paper √2 / 1.5)",
+            "full overlap",
+            "extra (paper √2 / 1.26)",
+        ],
     );
     for &n in if quick { &[256usize, 1024][..] } else { &[256usize, 512, 1024, 2048][..] } {
         for shape in [PartitionShape::Strip, PartitionShape::Square] {

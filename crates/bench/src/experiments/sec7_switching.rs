@@ -39,7 +39,8 @@ pub fn run(quick: bool) -> String {
 
     // Growing machine: Θ(n²/log n).
     let growing = Banyan::new(&m);
-    let sides: Vec<usize> = if quick { vec![256, 1024, 4096] } else { vec![256, 512, 1024, 2048, 4096, 8192] };
+    let sides: Vec<usize> =
+        if quick { vec![256, 1024, 4096] } else { vec![256, 512, 1024, 2048, 4096, 8192] };
     let mut t2 = Table::new(
         "Machine grows with the problem (1 point per processor)",
         &["n", "speedup", "speedup·log₂(n)/n²  (≈ constant)"],
@@ -73,8 +74,16 @@ pub fn run(quick: bool) -> String {
         "Word-level butterfly simulation (n = 64, 16 strips)",
         &["module assignment", "cycle time", "total switch waiting"],
     );
-    t3.row(vec!["dedicated (paper's assumption)".into(), secs(good.cycle.cycle_time), secs(good.contention_wait)]);
-    t3.row(vec!["adversarial (all → module 0)".into(), secs(bad.cycle.cycle_time), secs(bad.contention_wait)]);
+    t3.row(vec![
+        "dedicated (paper's assumption)".into(),
+        secs(good.cycle.cycle_time),
+        secs(good.contention_wait),
+    ]);
+    t3.row(vec![
+        "adversarial (all → module 0)".into(),
+        secs(bad.cycle.cycle_time),
+        secs(bad.contention_wait),
+    ]);
     let _ = t3.write_csv("e12_switching_contention.csv");
     out.push_str(&t3.render());
     out.push_str(

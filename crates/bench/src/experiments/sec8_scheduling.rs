@@ -27,7 +27,15 @@ pub fn run(quick: bool) -> String {
     // Optimal cycle times: scheduled-sync vs sync vs async hardware.
     let mut t = Table::new(
         "Optimal cycle time, processors unbounded (5-point, c = 0)",
-        &["n", "shape", "sync bus", "scheduled bus", "async bus", "sched/async", "sync/sched (√2 | 1.5)"],
+        &[
+            "n",
+            "shape",
+            "sync bus",
+            "scheduled bus",
+            "async bus",
+            "sched/async",
+            "sync/sched (√2 | 1.5)",
+        ],
     );
     for &n in if quick { &[512usize, 2048][..] } else { &[256usize, 512, 1024, 2048, 4096][..] } {
         for shape in [PartitionShape::Strip, PartitionShape::Square] {
@@ -59,7 +67,14 @@ pub fn run(quick: bool) -> String {
     let n = 256usize;
     let mut t2 = Table::new(
         format!("Event-level cycle times, n={n} strips (5-point)"),
-        &["P", "PS (unscheduled)", "word round-robin", "staggered", "largest-first", "async hardware"],
+        &[
+            "P",
+            "PS (unscheduled)",
+            "word round-robin",
+            "staggered",
+            "largest-first",
+            "async hardware",
+        ],
     );
     let ps = if quick { vec![8usize, 32, 128] } else { vec![4usize, 8, 16, 32, 64, 128, 256] };
     for &p in &ps {
@@ -68,16 +83,10 @@ pub fn run(quick: bool) -> String {
         let t_ps = SyncBusSim::new(&m).simulate(&spec).cycle_time;
         let t_rr = parspeed_arch::word_round_robin(&m, &spec).cycle_time;
         let t_st = ScheduledBusSim::new(&m).simulate(&spec).cycle_time;
-        let t_lf = ScheduledBusSim::with_order(&m, SlotOrder::LargestFirst).simulate(&spec).cycle_time;
+        let t_lf =
+            ScheduledBusSim::with_order(&m, SlotOrder::LargestFirst).simulate(&spec).cycle_time;
         let t_as = AsyncBusSim::new(&m).simulate(&spec).cycle_time;
-        t2.row(vec![
-            p.to_string(),
-            secs(t_ps),
-            secs(t_rr),
-            secs(t_st),
-            secs(t_lf),
-            secs(t_as),
-        ]);
+        t2.row(vec![p.to_string(), secs(t_ps), secs(t_rr), secs(t_st), secs(t_lf), secs(t_as)]);
     }
     let _ = t2.write_csv("e15_scheduling_sim.csv");
     out.push_str(&t2.render());

@@ -41,22 +41,34 @@ pub fn run(quick: bool) -> String {
     );
     fits.row(vec![
         "hypercube".into(),
-        format!("{:.4}", fit_scaling_exponent(&fit_sides, |n| hypercube_speedup(&m, &w.scaled_to(n)))),
+        format!(
+            "{:.4}",
+            fit_scaling_exponent(&fit_sides, |n| hypercube_speedup(&m, &w.scaled_to(n)))
+        ),
         "1 (linear in n²)".into(),
     ]);
     fits.row(vec![
         "synchronous bus".into(),
-        format!("{:.4}", fit_scaling_exponent(&fit_sides, |n| sync_bus_speedup(&m, &w.scaled_to(n)))),
+        format!(
+            "{:.4}",
+            fit_scaling_exponent(&fit_sides, |n| sync_bus_speedup(&m, &w.scaled_to(n)))
+        ),
         "1/3".into(),
     ]);
     fits.row(vec![
         "asynchronous bus".into(),
-        format!("{:.4}", fit_scaling_exponent(&fit_sides, |n| async_bus_speedup(&m, &w.scaled_to(n)))),
+        format!(
+            "{:.4}",
+            fit_scaling_exponent(&fit_sides, |n| async_bus_speedup(&m, &w.scaled_to(n)))
+        ),
         "1/3 (constant ×1.5 better)".into(),
     ]);
     fits.row(vec![
         "switching network".into(),
-        format!("{:.4}", fit_scaling_exponent(&fit_sides, |n| switching_speedup(&m, &w.scaled_to(n)))),
+        format!(
+            "{:.4}",
+            fit_scaling_exponent(&fit_sides, |n| switching_speedup(&m, &w.scaled_to(n)))
+        ),
         "just under 1: n²/log n".into(),
     ]);
     out.push_str(&fits.render());

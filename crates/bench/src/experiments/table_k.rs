@@ -8,7 +8,16 @@ use parspeed_stencil::{PartitionShape, Stencil};
 pub fn run(_quick: bool) -> String {
     let mut t = Table::new(
         "k(Partition, Stencil) — paper §3",
-        &["stencil", "taps", "reach", "diag?", "k(strip)", "k(square)", "E natural", "E calibrated"],
+        &[
+            "stencil",
+            "taps",
+            "reach",
+            "diag?",
+            "k(strip)",
+            "k(square)",
+            "E natural",
+            "E calibrated",
+        ],
     );
     for s in Stencil::catalog() {
         t.row(vec![

@@ -8,8 +8,7 @@ use parspeed_stencil::Stencil;
 /// Regenerates the validation table.
 pub fn run(quick: bool) -> String {
     let m = MachineParams::paper_defaults();
-    let (n, procs): (usize, &[usize]) =
-        if quick { (64, &[4, 16]) } else { (128, &[4, 16, 64]) };
+    let (n, procs): (usize, &[usize]) = if quick { (64, &[4, 16]) } else { (128, &[4, 16, 64]) };
     let rows = validate_all(&m, n, &Stencil::five_point(), procs);
 
     let mut t = Table::new(

@@ -34,7 +34,8 @@ pub fn run(quick: bool) -> String {
         format!("Measured cycle time vs threads (n = {n}, 5-point, host has {cores} cores)"),
         &["threads", "strips s/iter", "strips speedup", "squares s/iter", "squares speedup"],
     );
-    let strips = measure_scaling(&problem, &stencil, PartitionShape::Strip, &counts, iters, repeats);
+    let strips =
+        measure_scaling(&problem, &stencil, PartitionShape::Strip, &counts, iters, repeats);
     let squares =
         measure_scaling(&problem, &stencil, PartitionShape::Square, &counts, iters, repeats);
     for (s, q) in strips.iter().zip(&squares) {

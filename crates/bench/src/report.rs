@@ -76,7 +76,8 @@ impl Table {
                 c.to_string()
             }
         };
-        let _ = writeln!(s, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(s, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(s, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
@@ -205,7 +206,8 @@ mod tests {
     #[test]
     fn chart_handles_empty_and_flat() {
         assert!(ascii_chart("none", &[], 20, 5).contains("no data"));
-        let flat = Series { label: "flat".into(), marker: 'o', points: vec![(1.0, 2.0), (2.0, 2.0)] };
+        let flat =
+            Series { label: "flat".into(), marker: 'o', points: vec![(1.0, 2.0), (2.0, 2.0)] };
         let c = ascii_chart("flat", &[flat], 20, 5);
         assert!(c.contains('o'));
     }

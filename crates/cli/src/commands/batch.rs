@@ -1,0 +1,133 @@
+//! `parspeed batch` — run a JSONL request batch through the query engine.
+
+use crate::args::{err, Args, CliError};
+use parspeed_engine::{jsonl, Engine};
+use std::io::Read as _;
+
+pub const KEYS: &[&str] = &["input", "cache", "shards", "threads"];
+pub const SWITCHES: &[&str] = &["stats"];
+
+/// Usage shown by `parspeed help batch`.
+pub const USAGE: &str =
+    "parspeed batch [--input FILE] [--cache N] [--shards N] [--threads N] [--stats]
+
+Reads one JSON request per line from --input (default: stdin, also `-`),
+evaluates the whole batch through the parspeed-engine pipeline
+(plan → dedup → cache → parallel execute), and writes one JSON response
+per line in input order. --stats appends a final telemetry record.
+
+Request ops: optimize, minsize, isoeff, leverage, sweep — see
+crates/engine/src/README.md for the full schema. Lines that fail to parse
+produce an {\"ok\":false,...} response in their slot; they never abort the
+rest of the batch.
+
+  --cache N     cached results kept across the run (default 65536)
+  --shards N    cache shards (default 16)
+  --threads N   worker threads; 0 = machine default (default 0)";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let input = args.str_or("input", "-");
+    let text = if input == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| err(format!("cannot read stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(input).map_err(|e| err(format!("cannot read `{input}`: {e}")))?
+    };
+
+    let engine = Engine::builder()
+        .cache_capacity(args.usize_or("cache", 65_536)?)
+        .cache_shards(args.usize_or("shards", 16)?)
+        .threads(args.usize_or("threads", 0)?)
+        .build();
+
+    Ok(run_lines(&engine, &text, args.switch("stats")))
+}
+
+/// Evaluates the JSONL payload and renders the JSONL reply (separated from
+/// [`run`] so tests can drive it without touching stdin or files).
+pub fn run_lines(engine: &Engine, text: &str, stats: bool) -> String {
+    // Parse every line first; parse failures keep their slot so responses
+    // line up with requests.
+    let lines: Vec<&str> = text.lines().map(str::trim).filter(|l| !l.is_empty()).collect();
+    let mut parsed = Vec::with_capacity(lines.len());
+    for line in &lines {
+        parsed.push(jsonl::parse_query(line));
+    }
+    let queries: Vec<parspeed_engine::Query> =
+        parsed.iter().filter_map(|p| p.as_ref().ok().cloned()).collect();
+    let out = engine.run_batch(&queries);
+
+    let mut rendered = Vec::with_capacity(lines.len() + 1);
+    let mut responses = out.responses.iter();
+    for p in &parsed {
+        match p {
+            Ok(query) => {
+                let response = responses.next().expect("one response per parsed query");
+                rendered.push(jsonl::render_response(query, response));
+            }
+            Err(msg) => rendered.push(jsonl::render_parse_error(msg)),
+        }
+    }
+    if stats {
+        rendered.push(jsonl::render_telemetry(&out.telemetry));
+    }
+    rendered.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(text: &str, stats: bool) -> Vec<String> {
+        let engine = Engine::builder().build();
+        run_lines(&engine, text, stats).lines().map(String::from).collect()
+    }
+
+    #[test]
+    fn responses_line_up_with_requests() {
+        let text = r#"
+            {"op":"optimize","arch":"sync-bus","n":256,"stencil":"5pt","shape":"square","procs":64}
+            this is not json
+            {"op":"minsize","variant":"sync-square","e":6.0,"k":1.0,"procs":14}
+        "#;
+        let out = lines(text, false);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].contains("\"op\":\"optimize\"") && out[0].contains("\"ok\":true"));
+        assert!(out[0].contains("\"processors\":14"), "{}", out[0]);
+        assert!(out[1].contains("\"ok\":false"));
+        assert!(out[2].contains("\"op\":\"minsize\"") && out[2].contains("\"n_side\""));
+    }
+
+    #[test]
+    fn stats_line_reports_dedup() {
+        let q = r#"{"op":"optimize","arch":"sync-bus","n":128,"stencil":"5pt","shape":"square"}"#;
+        let text = format!("{q}\n{q}\n{q}\n");
+        let out = lines(&text, true);
+        assert_eq!(out.len(), 4);
+        let stats = &out[3];
+        assert!(stats.contains("\"op\":\"telemetry\""));
+        assert!(stats.contains("\"atoms\":3"));
+        assert!(stats.contains("\"unique\":1"));
+    }
+
+    #[test]
+    fn sweep_points_stream_inline() {
+        let text = r#"{"op":"sweep","arch":["sync-bus"],"stencil":["5pt"],"shape":["square"],
+            "procs":[64],"n_from":64,"n_to":256}"#
+            .replace('\n', " ");
+        let out = lines(&text, false);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("\"points\":["));
+        assert_eq!(out[0].matches("\"arch\":\"sync-bus\"").count(), 3); // 64, 128, 256
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert_eq!(lines("", false).len(), 0);
+        assert_eq!(lines("\n\n", true).len(), 1); // telemetry only
+    }
+}

@@ -5,7 +5,8 @@ use crate::select;
 use parspeed_bench::report::Table;
 use parspeed_core::{ProcessorBudget, Workload};
 
-pub const KEYS: &[&str] = &["n", "stencil", "shape", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const KEYS: &[&str] =
+    &["n", "stencil", "shape", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
 pub const SWITCHES: &[&str] = &["flex32"];
 
 /// Usage shown by `parspeed help compare`.
@@ -56,7 +57,14 @@ mod tests {
         let toks: Vec<String> = ["--n", "128"].iter().map(|t| t.to_string()).collect();
         let args = Args::parse(&toks, KEYS, SWITCHES).unwrap();
         let out = run(&args).unwrap();
-        for name in ["hypercube", "mesh", "synchronous bus", "asynchronous bus", "scheduled bus", "switching network"] {
+        for name in [
+            "hypercube",
+            "mesh",
+            "synchronous bus",
+            "asynchronous bus",
+            "scheduled bus",
+            "switching network",
+        ] {
             assert!(out.contains(name), "missing {name}: {out}");
         }
     }

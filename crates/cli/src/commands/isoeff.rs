@@ -8,7 +8,8 @@ use parspeed_bench::report::Table;
 use parspeed_core::isoefficiency::{isoefficiency_exponent, min_grid_for_efficiency};
 use parspeed_core::Workload;
 
-pub const KEYS: &[&str] = &["stencil", "shape", "efficiency", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const KEYS: &[&str] =
+    &["stencil", "shape", "efficiency", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
 pub const SWITCHES: &[&str] = &["flex32"];
 
 /// Usage shown by `parspeed help isoeff`.
@@ -31,7 +32,7 @@ pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
         return Err(CliError(format!("--efficiency must be in (0, 1); got {efficiency}")));
     }
     let procs = args.usize_list_or("procs", &[8, 16, 32, 64])?;
-    if procs.len() < 2 || procs.iter().any(|&p| p == 0) {
+    if procs.len() < 2 || procs.contains(&0) {
         return Err(CliError("--procs needs at least two positive counts".into()));
     }
     let template = Workload::new(2, &stencil, shape);

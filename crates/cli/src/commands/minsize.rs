@@ -61,10 +61,8 @@ mod tests {
         // §6.1: 256² with 5-point squares should use 1–14 processors, so
         // the minimal grid for 14 must be ≈ 256.
         let out = run(&parse(&["--procs", "14"])).unwrap();
-        let sync_square = out
-            .lines()
-            .find(|l| l.contains("synchronous") && l.contains("square"))
-            .unwrap();
+        let sync_square =
+            out.lines().find(|l| l.contains("synchronous") && l.contains("square")).unwrap();
         let min_n: f64 = sync_square.split_whitespace().rev().nth(1).unwrap().parse().unwrap();
         assert!((min_n - 256.0).abs() / 256.0 < 0.05, "{sync_square}");
     }

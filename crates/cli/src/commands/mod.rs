@@ -2,6 +2,7 @@
 
 use crate::args::{err, Args, CliError};
 
+pub mod batch;
 pub mod compare;
 pub mod experiment;
 pub mod isoeff;
@@ -21,6 +22,7 @@ USAGE: parspeed <command> [flags]
 
 COMMANDS:
   optimize    optimal processor count and speedup for one instance
+  batch       evaluate a JSONL request batch through the query engine
   compare     every architecture side by side
   sweep       optimal speedup as the problem grows
   isoeff      isoefficiency: problem growth needed to hold efficiency
@@ -48,6 +50,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             let topic = rest.first().map(String::as_str).unwrap_or("");
             Ok(match topic {
                 "optimize" => optimize::USAGE.into(),
+                "batch" => batch::USAGE.into(),
                 "compare" => compare::USAGE.into(),
                 "sweep" => sweep::USAGE.into(),
                 "isoeff" => isoeff::USAGE.into(),
@@ -79,6 +82,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             let (arch, tokens) = split_arch(rest)?;
             let args = Args::parse(&tokens, isoeff::KEYS, isoeff::SWITCHES)?;
             isoeff::run(&arch, &args)
+        }
+        "batch" => {
+            let args = Args::parse(rest, batch::KEYS, batch::SWITCHES)?;
+            batch::run(&args)
         }
         "compare" => {
             let args = Args::parse(rest, compare::KEYS, compare::SWITCHES)?;

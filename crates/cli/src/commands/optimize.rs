@@ -6,7 +6,8 @@ use crate::select;
 use parspeed_bench::report::Table;
 use parspeed_core::{MemoryBudget, ProcessorBudget, Workload};
 
-pub const KEYS: &[&str] = &["n", "stencil", "shape", "procs", "memory", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const KEYS: &[&str] =
+    &["n", "stencil", "shape", "procs", "memory", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
 pub const SWITCHES: &[&str] = &["flex32"];
 
 /// Usage shown by `parspeed help optimize`.
@@ -49,7 +50,11 @@ pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
     if let Some(mem) = memory {
         t.row(vec![
             "largest partition memory (words)".into(),
-            format!("{:.0} of {:.0}", MemoryBudget::partition_words(&w, opt.processors), mem.words_per_processor),
+            format!(
+                "{:.0} of {:.0}",
+                MemoryBudget::partition_words(&w, opt.processors),
+                mem.words_per_processor
+            ),
         ]);
     }
     Ok(t.render())
@@ -74,8 +79,7 @@ mod tests {
 
     #[test]
     fn memory_floor_shows_in_output() {
-        let out =
-            run("sync-bus", &parse(&["--procs", "64", "--memory", "20000"])).unwrap();
+        let out = run("sync-bus", &parse(&["--procs", "64", "--memory", "20000"])).unwrap();
         assert!(out.contains("partition memory"), "{out}");
     }
 

@@ -11,7 +11,8 @@ use parspeed_core::Workload;
 use parspeed_grid::{Decomposition, RectDecomposition, StripDecomposition};
 use parspeed_stencil::PartitionShape;
 
-pub const KEYS: &[&str] = &["n", "stencil", "shape", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const KEYS: &[&str] =
+    &["n", "stencil", "shape", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
 pub const SWITCHES: &[&str] = &["flex32"];
 
 /// Usage shown by `parspeed help simulate`.
@@ -75,10 +76,7 @@ pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
         format!("{:.1}%", 100.0 * (report.cycle_time - predicted).abs() / predicted),
     ]);
     t.row(vec!["longest pure compute".into(), format!("{:.3e} s", report.max_compute)]);
-    t.row(vec![
-        "communication fraction".into(),
-        format!("{:.1}%", 100.0 * report.comm_fraction()),
-    ]);
+    t.row(vec!["communication fraction".into(), format!("{:.1}%", 100.0 * report.comm_fraction())]);
     t.row(vec![
         "simulated speedup".into(),
         format!("{:.2}", model.seq_time(&w) / report.cycle_time),
@@ -107,13 +105,8 @@ mod tests {
     fn hypercube_strips_track_the_model_closely() {
         let out = run("hypercube", &parse(&["--n", "256", "--procs", "8"])).unwrap();
         let diff_line = out.lines().find(|l| l.contains("relative difference")).unwrap();
-        let pct: f64 = diff_line
-            .split_whitespace()
-            .last()
-            .unwrap()
-            .trim_end_matches('%')
-            .parse()
-            .unwrap();
+        let pct: f64 =
+            diff_line.split_whitespace().last().unwrap().trim_end_matches('%').parse().unwrap();
         assert!(pct < 5.0, "{out}");
     }
 

@@ -53,8 +53,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             (u, s, "point Jacobi".into())
         }
         "sor" => {
-            let (u, s) = SorSolver { max_iters, ..SorSolver::optimal(n, tol) }
-                .solve(&problem, &stencil);
+            let (u, s) =
+                SorSolver { max_iters, ..SorSolver::optimal(n, tol) }.solve(&problem, &stencil);
             (u, s, "SOR (optimal ω)".into())
         }
         "rbsor" => {
@@ -64,7 +64,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         }
         "cg" => {
             let (u, s, stats) = CgSolver { tol, max_iters }.solve(&problem);
-            let label = format!("conjugate gradient ({} global reductions)", stats.global_reductions);
+            let label =
+                format!("conjugate gradient ({} global reductions)", stats.global_reductions);
             (u, s, label)
         }
         "multigrid" => {

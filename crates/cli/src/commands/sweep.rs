@@ -1,12 +1,20 @@
 //! `parspeed sweep` — optimal speedup and processor count as the problem
 //! grows (the paper's central question).
+//!
+//! The sweep is planned and evaluated by `parspeed-engine`: the CLI builds
+//! one [`Query::Sweep`] macro-query, the engine expands, dedups, and fans
+//! the grid across its thread pool, and this command renders the points.
+//! Engine responses are bit-identical to the direct model calls this
+//! command used to make, so the rendered table is unchanged.
 
 use crate::args::{Args, CliError};
 use crate::select;
 use parspeed_bench::report::Table;
-use parspeed_core::{ProcessorBudget, Workload};
+use parspeed_engine::{EvalValue, Query, Response};
 
-pub const KEYS: &[&str] = &["stencil", "shape", "procs", "n-from", "n-to", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
+pub const KEYS: &[&str] = &[
+    "stencil", "shape", "procs", "n-from", "n-to", "tfp", "b", "c", "alpha", "beta", "packet", "w",
+];
 pub const SWITCHES: &[&str] = &["flex32"];
 
 /// Usage shown by `parspeed help sweep`.
@@ -21,41 +29,58 @@ the problem (Table I) or is fixed at --procs (speedup → N, §6.1).";
 pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
     let m = select::machine(args)?;
     let model = select::arch_model(arch, &m)?;
+    let arch_kind = select::arch_kind(arch)?;
+    let machine_spec = select::machine_spec(args)?;
     let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
+    let stencil_spec = select::stencil_spec(args.str_or("stencil", "5pt"))?;
     let shape = select::shape(args.str_or("shape", "square"))?;
+    let shape_key = select::shape_key(args.str_or("shape", "square"))?;
     let n_from = args.usize_or("n-from", 64)?;
     let n_to = args.usize_or("n-to", 4096)?;
     if n_from == 0 || n_to < n_from {
         return Err(CliError(format!("bad sweep range {n_from}..{n_to}")));
     }
-    let budget = match args.usize_opt("procs")? {
-        Some(p) => ProcessorBudget::Limited(p),
-        None => ProcessorBudget::Unlimited,
+    let budget = args.usize_opt("procs")?;
+
+    let query = Query::Sweep {
+        archs: vec![arch_kind],
+        machine: machine_spec,
+        stencils: vec![stencil_spec],
+        shapes: vec![shape_key],
+        budgets: vec![budget],
+        n_from,
+        n_to,
+    };
+    let out = crate::engine().run_batch(std::slice::from_ref(&query));
+    let points = match &out.responses[0] {
+        Response::Sweep(points) => points,
+        Response::Invalid(msg) => return Err(CliError(msg.clone())),
+        Response::Single(_) => unreachable!("sweep queries produce sweep responses"),
     };
 
     let mut t = Table::new(
         format!("{} scaling sweep · {} · {}", model.name(), stencil.name(), shape.name()),
         &["n", "log2(n²)", "processors", "speedup", "efficiency", "speedup ratio"],
     );
-    let mut n = n_from;
     let mut prev: Option<f64> = None;
-    while n <= n_to {
-        let w = Workload::new(n, &stencil, shape);
-        let opt = parspeed_core::optimize_constrained(model.as_ref(), &w, budget, None)
-            .expect("no memory budget");
+    for (label, outcome) in points {
+        let opt = match outcome {
+            Ok(EvalValue::Optimum { processors, speedup, efficiency, .. }) => {
+                (*processors, *speedup, *efficiency)
+            }
+            Ok(other) => unreachable!("sweep points are optimizer runs, got {other:?}"),
+            Err(msg) => return Err(CliError(msg.clone())),
+        };
+        let (processors, speedup, efficiency) = opt;
         t.row(vec![
-            n.to_string(),
-            format!("{:.0}", 2.0 * (n as f64).log2()),
-            opt.processors.to_string(),
-            format!("{:.2}", opt.speedup),
-            format!("{:.1}%", opt.efficiency * 100.0),
-            prev.map_or("—".into(), |p| format!("{:.3}", opt.speedup / p)),
+            label.n.to_string(),
+            format!("{:.0}", 2.0 * (label.n as f64).log2()),
+            processors.to_string(),
+            format!("{speedup:.2}"),
+            format!("{:.1}%", efficiency * 100.0),
+            prev.map_or("—".into(), |p| format!("{:.3}", speedup / p)),
         ]);
-        prev = Some(opt.speedup);
-        if n > n_to / 2 {
-            break;
-        }
-        n *= 2;
+        prev = Some(speedup);
     }
     Ok(t.render())
 }
@@ -78,7 +103,8 @@ mod tests {
 
     #[test]
     fn fixed_machine_speedup_approaches_n() {
-        let out = run("hypercube", &parse(&["--procs", "16", "--n-from", "256", "--n-to", "8192"])).unwrap();
+        let out = run("hypercube", &parse(&["--procs", "16", "--n-from", "256", "--n-to", "8192"]))
+            .unwrap();
         assert!(out.contains("16  "), "{out}");
         let last = out.lines().last().unwrap();
         assert!(last.contains("15.") || last.contains("16.0"), "{last}");
@@ -87,5 +113,28 @@ mod tests {
     #[test]
     fn bad_range_is_an_error() {
         assert!(run("hypercube", &parse(&["--n-from", "512", "--n-to", "256"])).is_err());
+    }
+
+    #[test]
+    fn engine_sweep_matches_direct_model_calls_exactly() {
+        use parspeed_core::{optimize_constrained, ProcessorBudget, Workload};
+        use parspeed_stencil::{PartitionShape, Stencil};
+        let args = parse(&["--n-from", "64", "--n-to", "1024", "--procs", "32"]);
+        let out = run("async-bus", &args).unwrap();
+        let m = parspeed_core::MachineParams::paper_defaults();
+        let model = crate::select::arch_model("async-bus", &m).unwrap();
+        let mut n = 64usize;
+        while n <= 1024 {
+            let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Square);
+            let direct =
+                optimize_constrained(model.as_ref(), &w, ProcessorBudget::Limited(32), None)
+                    .unwrap();
+            let row = out
+                .lines()
+                .find(|l| l.trim_start().starts_with(&format!("{n} ")))
+                .unwrap_or_else(|| panic!("no row for n={n} in {out}"));
+            assert!(row.contains(&format!("{:.2}", direct.speedup)), "n={n}: {row}");
+            n *= 2;
+        }
     }
 }

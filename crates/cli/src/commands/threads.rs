@@ -54,11 +54,10 @@ mod tests {
 
     #[test]
     fn small_measurement_runs() {
-        let toks: Vec<String> =
-            ["--n", "64", "--threads", "1,2", "--iters", "2", "--repeats", "1"]
-                .iter()
-                .map(|t| t.to_string())
-                .collect();
+        let toks: Vec<String> = ["--n", "64", "--threads", "1,2", "--iters", "2", "--repeats", "1"]
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
         let args = Args::parse(&toks, KEYS, SWITCHES).unwrap();
         let out = run(&args).unwrap();
         assert!(out.contains("threads"), "{out}");

@@ -6,6 +6,16 @@ mod args;
 mod commands;
 mod select;
 
+use std::sync::OnceLock;
+
+/// The process-wide query engine: commands that evaluate model queries
+/// share one result cache, so repeated work within a process (or a test
+/// run) short-circuits.
+fn engine() -> &'static parspeed_engine::Engine {
+    static ENGINE: OnceLock<parspeed_engine::Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| parspeed_engine::Engine::builder().build())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&argv) {

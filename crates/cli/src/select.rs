@@ -2,54 +2,59 @@
 //! parameter overrides shared by every subcommand.
 
 use crate::args::{err, Args, CliError};
-use parspeed_core::{
-    ArchModel, AsyncBus, Banyan, Hypercube, MachineParams, Mesh, ScheduledBus, SyncBus,
-};
+use parspeed_core::{ArchModel, MachineParams};
 use parspeed_stencil::{PartitionShape, Stencil};
 
-/// Stencil by CLI name.
+/// Stencil by CLI name (delegates to the engine's table; parsed specs are
+/// always catalog stencils, so the expect cannot fire).
 pub fn stencil(name: &str) -> Result<Stencil, CliError> {
-    match name {
-        "5pt" | "5-point" => Ok(Stencil::five_point()),
-        "9pt-box" | "9-point-box" => Ok(Stencil::nine_point_box()),
-        "9pt-star" | "9-point-star" => Ok(Stencil::nine_point_star()),
-        "13pt" | "13-point-star" => Ok(Stencil::thirteen_point_star()),
-        other => Err(err(format!(
-            "unknown stencil `{other}`; one of: 5pt, 9pt-box, 9pt-star, 13pt"
-        ))),
-    }
+    Ok(stencil_spec(name)?.to_stencil().expect("parsed specs are catalog stencils"))
 }
 
-/// Partition shape by CLI name.
+/// Partition shape by CLI name (delegates to the engine's table).
 pub fn shape(name: &str) -> Result<PartitionShape, CliError> {
-    match name {
-        "strip" | "strips" => Ok(PartitionShape::Strip),
-        "square" | "squares" => Ok(PartitionShape::Square),
-        other => Err(err(format!("unknown shape `{other}`; one of: strip, square"))),
-    }
+    shape_key(name).map(parspeed_engine::ShapeKey::to_shape)
 }
 
 /// The architecture names every subcommand accepts.
 pub const ARCHITECTURES: &[&str] =
     &["hypercube", "mesh", "sync-bus", "async-bus", "scheduled-bus", "banyan"];
 
-/// Analytic model by CLI name.
+/// Analytic model by CLI name. The name→model table lives in
+/// [`parspeed_engine::ArchKind`]; this is the only resolver, so CLI and
+/// engine can never accept different alias sets.
 pub fn arch_model(name: &str, m: &MachineParams) -> Result<Box<dyn ArchModel>, CliError> {
-    Ok(match name {
-        "hypercube" => Box::new(Hypercube::new(m)),
-        // `mesh2d` is the XY-routed simulator; its analytic counterpart is
-        // the same nearest-neighbour model.
-        "mesh" | "mesh2d" => Box::new(Mesh::new(m)),
-        "sync-bus" => Box::new(SyncBus::new(m)),
-        "async-bus" => Box::new(AsyncBus::new(m)),
-        "scheduled-bus" => Box::new(ScheduledBus::new(m)),
-        "banyan" => Box::new(Banyan::new(m)),
-        other => {
-            return Err(err(format!(
-                "unknown architecture `{other}`; one of: {}",
-                ARCHITECTURES.join(", ")
-            )))
-        }
+    Ok(arch_kind(name)?.model(m))
+}
+
+/// Engine-level architecture kind by CLI name.
+pub fn arch_kind(name: &str) -> Result<parspeed_engine::ArchKind, CliError> {
+    parspeed_engine::ArchKind::parse(name).map_err(err)
+}
+
+/// Engine-level stencil spec by CLI name.
+pub fn stencil_spec(name: &str) -> Result<parspeed_engine::StencilSpec, CliError> {
+    parspeed_engine::StencilSpec::parse(name).map_err(err)
+}
+
+/// Engine-level shape by CLI name.
+pub fn shape_key(name: &str) -> Result<parspeed_engine::ShapeKey, CliError> {
+    parspeed_engine::ShapeKey::parse(name).map_err(err)
+}
+
+/// Builds an engine [`MachineSpec`](parspeed_engine::MachineSpec) from the
+/// same machine flags as [`machine`]; the spec resolves to bit-identical
+/// [`MachineParams`].
+pub fn machine_spec(args: &Args) -> Result<parspeed_engine::MachineSpec, CliError> {
+    Ok(parspeed_engine::MachineSpec {
+        flex32: args.switch("flex32"),
+        tfp: args.f64_opt("tfp")?,
+        b: args.f64_opt("b")?,
+        c: args.f64_opt("c")?,
+        alpha: args.f64_opt("alpha")?,
+        beta: args.f64_opt("beta")?,
+        packet: args.usize_opt("packet")?,
+        w: args.f64_opt("w")?,
     })
 }
 
@@ -130,8 +135,7 @@ mod tests {
 
     #[test]
     fn flex32_regime_applies_before_overrides() {
-        let args =
-            Args::parse(&["--flex32".into()], MACHINE_KEYS, &["flex32"]).unwrap();
+        let args = Args::parse(&["--flex32".into()], MACHINE_KEYS, &["flex32"]).unwrap();
         let m = machine(&args).unwrap();
         assert!((m.bus.c / m.bus.b - 1000.0).abs() < 1e-9);
     }

@@ -62,12 +62,7 @@ impl SyncBus {
     /// The paper's §6.1 cubic: optimal square side for general `c`.
     pub fn optimal_square_side(&self, w: &Workload) -> f64 {
         roots::optimal_square_side(
-            w.e_flops,
-            self.tfp,
-            w.k as f64,
-            self.bus.c,
-            self.bus.b,
-            w.n as f64,
+            w.e_flops, self.tfp, w.k as f64, self.bus.c, self.bus.b, w.n as f64,
         )
     }
 
@@ -176,9 +171,7 @@ mod tests {
         let w = wl(64, PartitionShape::Strip);
         let a = 512.0;
         let n = 64.0f64;
-        let expect = 6.0 * a * m.tfp
-            + 4.0 * n.powi(3) * m.bus.b * 1.0 / a
-            + 4.0 * n * 2.0e-6 * 1.0;
+        let expect = 6.0 * a * m.tfp + 4.0 * n.powi(3) * m.bus.b * 1.0 / a + 4.0 * n * 2.0e-6 * 1.0;
         assert!((bus.cycle_time(&w, a) - expect).abs() / expect < 1e-12);
     }
 

@@ -89,7 +89,14 @@ impl ConvergenceModel {
     /// within a checking period: the expected overshoot is `(period−1)/2`
     /// wasted iterations, and `iters/period + 1` checks run before the
     /// detecting one.
-    pub fn total_time(&self, iters_needed: usize, cycle: f64, area: f64, p: usize, period: usize) -> f64 {
+    pub fn total_time(
+        &self,
+        iters_needed: usize,
+        cycle: f64,
+        area: f64,
+        p: usize,
+        period: usize,
+    ) -> f64 {
         assert!(period >= 1);
         let d = period as f64;
         let checks = iters_needed as f64 / d + 1.0;
@@ -103,15 +110,27 @@ impl ConvergenceModel {
     pub fn optimal_period(&self, iters_needed: usize, cycle: f64, area: f64, p: usize) -> usize {
         (1..=iters_needed.max(1))
             .min_by(|&a, &b| {
-                self.total_time(iters_needed, cycle, area, p, a)
-                    .total_cmp(&self.total_time(iters_needed, cycle, area, p, b))
+                self.total_time(iters_needed, cycle, area, p, a).total_cmp(&self.total_time(
+                    iters_needed,
+                    cycle,
+                    area,
+                    p,
+                    b,
+                ))
             })
             .expect("nonempty range")
     }
 
     /// Fractional overhead of checking every `period` iterations relative
     /// to a check-free solve of `iters_needed` iterations.
-    pub fn overhead_fraction(&self, iters_needed: usize, cycle: f64, area: f64, p: usize, period: usize) -> f64 {
+    pub fn overhead_fraction(
+        &self,
+        iters_needed: usize,
+        cycle: f64,
+        area: f64,
+        p: usize,
+        period: usize,
+    ) -> f64 {
         let base = iters_needed as f64 * cycle;
         (self.total_time(iters_needed, cycle, area, p, period) - base) / base
     }

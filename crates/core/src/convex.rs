@@ -57,7 +57,13 @@ pub fn golden_min(mut lo: f64, mut hi: f64, f: impl Fn(f64) -> f64) -> (f64, f64
 /// values strictly decrease then strictly increase (either phase may be
 /// empty). Tolerates flat steps within `tol`. Used by tests to certify the
 /// paper's convexity claims numerically.
-pub fn is_unimodal_sampled(lo: f64, hi: f64, samples: usize, tol: f64, f: impl Fn(f64) -> f64) -> bool {
+pub fn is_unimodal_sampled(
+    lo: f64,
+    hi: f64,
+    samples: usize,
+    tol: f64,
+    f: impl Fn(f64) -> f64,
+) -> bool {
     assert!(samples >= 2);
     let xs: Vec<f64> =
         (0..samples).map(|i| lo + (hi - lo) * i as f64 / (samples - 1) as f64).collect();

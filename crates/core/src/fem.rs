@@ -60,9 +60,7 @@ impl FemModel {
     /// Exact integer optimum by scanning `1..=cap`.
     pub fn optimal_processors(&self, n: usize, cap: usize) -> usize {
         (1..=cap.max(1))
-            .min_by(|&a, &b| {
-                self.iteration_time(n, a).total_cmp(&self.iteration_time(n, b))
-            })
+            .min_by(|&a, &b| self.iteration_time(n, a).total_cmp(&self.iteration_time(n, b)))
             .expect("cap ≥ 1")
     }
 

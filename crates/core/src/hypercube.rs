@@ -29,11 +29,7 @@ pub struct Hypercube {
 /// Shared message-cost arithmetic for neighbour-exchange machines
 /// (hypercube and mesh have identical per-iteration cost structure; they
 /// differ only in embedding constraints and auxiliary hardware).
-pub(crate) fn neighbour_exchange_time(
-    p: &HypercubeParams,
-    w: &Workload,
-    area: f64,
-) -> f64 {
+pub(crate) fn neighbour_exchange_time(p: &HypercubeParams, w: &Workload, area: f64) -> f64 {
     let msg = |words: f64| (words / p.packet_words as f64).ceil() * p.alpha + p.beta;
     match w.shape {
         // Interior strip: two neighbours, send + receive each.

@@ -158,7 +158,8 @@ mod tests {
         // ⇒ W ∝ N. Packet rounding and β add a small upward bias.
         let m = fast_machine();
         let cube = Hypercube::new(&m);
-        let e = isoefficiency_exponent(&cube, &wl(PartitionShape::Square), &[16, 64, 256, 1024], 0.5);
+        let e =
+            isoefficiency_exponent(&cube, &wl(PartitionShape::Square), &[16, 64, 256, 1024], 0.5);
         assert!(e > 0.85 && e < 1.35, "exponent {e}");
     }
 
@@ -190,7 +191,8 @@ mod tests {
         // W ∝ N·log N: exponent slightly above 1 on a finite sweep.
         let m = fast_machine();
         let net = Banyan::new(&m);
-        let e = isoefficiency_exponent(&net, &wl(PartitionShape::Square), &[16, 64, 256, 1024], 0.5);
+        let e =
+            isoefficiency_exponent(&net, &wl(PartitionShape::Square), &[16, 64, 256, 1024], 0.5);
         assert!(e > 1.0 && e < 1.45, "exponent {e}");
     }
 
@@ -205,12 +207,24 @@ mod tests {
             &[16, 64, 256],
             0.5,
         );
-        let ban =
-            isoefficiency_exponent(&Banyan::new(&m), &wl(PartitionShape::Square), &[16, 64, 256], 0.5);
-        let busq =
-            isoefficiency_exponent(&SyncBus::new(&m), &wl(PartitionShape::Square), &[16, 64, 256], 0.5);
-        let bust =
-            isoefficiency_exponent(&SyncBus::new(&m), &wl(PartitionShape::Strip), &[16, 64, 256], 0.5);
+        let ban = isoefficiency_exponent(
+            &Banyan::new(&m),
+            &wl(PartitionShape::Square),
+            &[16, 64, 256],
+            0.5,
+        );
+        let busq = isoefficiency_exponent(
+            &SyncBus::new(&m),
+            &wl(PartitionShape::Square),
+            &[16, 64, 256],
+            0.5,
+        );
+        let bust = isoefficiency_exponent(
+            &SyncBus::new(&m),
+            &wl(PartitionShape::Strip),
+            &[16, 64, 256],
+            0.5,
+        );
         assert!(cube < ban + 0.2, "cube {cube} vs banyan {ban}");
         assert!(ban < busq, "banyan {ban} vs bus squares {busq}");
         assert!(busq < bust, "bus squares {busq} vs strips {bust}");

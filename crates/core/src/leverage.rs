@@ -35,7 +35,12 @@ fn optimal_cycle(m: &MachineParams, w: &Workload, budget: ProcessorBudget) -> f6
 }
 
 /// Re-optimized effect of multiplying the bus speed by `factor`.
-pub fn bus_speedup(m: &MachineParams, w: &Workload, budget: ProcessorBudget, factor: f64) -> LeverageReport {
+pub fn bus_speedup(
+    m: &MachineParams,
+    w: &Workload,
+    budget: ProcessorBudget,
+    factor: f64,
+) -> LeverageReport {
     LeverageReport {
         baseline: optimal_cycle(m, w, budget),
         upgraded: optimal_cycle(&m.with_bus_speedup(factor), w, budget),
@@ -43,7 +48,12 @@ pub fn bus_speedup(m: &MachineParams, w: &Workload, budget: ProcessorBudget, fac
 }
 
 /// Re-optimized effect of multiplying the floating-point speed by `factor`.
-pub fn flop_speedup(m: &MachineParams, w: &Workload, budget: ProcessorBudget, factor: f64) -> LeverageReport {
+pub fn flop_speedup(
+    m: &MachineParams,
+    w: &Workload,
+    budget: ProcessorBudget,
+    factor: f64,
+) -> LeverageReport {
     LeverageReport {
         baseline: optimal_cycle(m, w, budget),
         upgraded: optimal_cycle(&m.with_flop_speedup(factor), w, budget),
@@ -52,7 +62,12 @@ pub fn flop_speedup(m: &MachineParams, w: &Workload, budget: ProcessorBudget, fa
 
 /// Re-optimized effect of scaling the fixed per-word overhead `c` by
 /// `factor` (e.g. `0.5` halves it).
-pub fn overhead_scaling(m: &MachineParams, w: &Workload, budget: ProcessorBudget, factor: f64) -> LeverageReport {
+pub fn overhead_scaling(
+    m: &MachineParams,
+    w: &Workload,
+    budget: ProcessorBudget,
+    factor: f64,
+) -> LeverageReport {
     LeverageReport {
         baseline: optimal_cycle(m, w, budget),
         upgraded: optimal_cycle(&m.with_bus_overhead(m.bus.c * factor), w, budget),

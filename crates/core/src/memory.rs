@@ -171,9 +171,7 @@ mod tests {
         let bus = SyncBus::new(&m);
         let w = wl(256, PartitionShape::Square);
         let budget = MemoryBudget::words(MemoryBudget::partition_words(&w, 32));
-        let opt = bus
-            .optimize_constrained(&w, ProcessorBudget::Limited(64), Some(budget))
-            .unwrap();
+        let opt = bus.optimize_constrained(&w, ProcessorBudget::Limited(64), Some(budget)).unwrap();
         assert!(opt.processors >= 32, "memory floor violated: {}", opt.processors);
         // Unconstrained, it would have chosen ~14.
         let free = bus.optimize(&w, ProcessorBudget::Limited(64));
@@ -192,9 +190,8 @@ mod tests {
         let free = cube.optimize(&w, ProcessorBudget::Limited(16));
         assert_eq!(free.processors, 1);
         let budget = MemoryBudget::words(MemoryBudget::partition_words(&w, 2));
-        let constrained = cube
-            .optimize_constrained(&w, ProcessorBudget::Limited(16), Some(budget))
-            .unwrap();
+        let constrained =
+            cube.optimize_constrained(&w, ProcessorBudget::Limited(16), Some(budget)).unwrap();
         assert!(constrained.processors >= 2);
     }
 

@@ -37,7 +37,12 @@ pub enum BusVariant {
 impl BusVariant {
     /// All variants, Fig. 7 order first.
     pub fn all() -> [BusVariant; 4] {
-        [BusVariant::SyncStrip, BusVariant::AsyncStrip, BusVariant::SyncSquare, BusVariant::AsyncSquare]
+        [
+            BusVariant::SyncStrip,
+            BusVariant::AsyncStrip,
+            BusVariant::SyncSquare,
+            BusVariant::AsyncSquare,
+        ]
     }
 
     /// Display label.
@@ -74,7 +79,13 @@ pub fn min_grid_side(m: &MachineParams, e: f64, k: f64, n_procs: usize, v: BusVa
 }
 
 /// Fig. 7's ordinate: `log₂(n_min²)`.
-pub fn min_problem_size_log2(m: &MachineParams, e: f64, k: f64, n_procs: usize, v: BusVariant) -> f64 {
+pub fn min_problem_size_log2(
+    m: &MachineParams,
+    e: f64,
+    k: f64,
+    n_procs: usize,
+    v: BusVariant,
+) -> f64 {
     let n = min_grid_side(m, e, k, n_procs, v);
     (n * n).log2()
 }

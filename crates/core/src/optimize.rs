@@ -48,7 +48,11 @@ pub fn assigned_area(w: &Workload, p: usize) -> f64 {
 
 /// Finds the optimal integer processor count for `w` on `model` under
 /// `budget`. See module docs for the procedure.
-pub fn optimize<M: ArchModel + ?Sized>(model: &M, w: &Workload, budget: ProcessorBudget) -> Optimum {
+pub fn optimize<M: ArchModel + ?Sized>(
+    model: &M,
+    w: &Workload,
+    budget: ProcessorBudget,
+) -> Optimum {
     optimize_floored(model, w, budget, 1)
 }
 

@@ -31,11 +31,7 @@ pub fn positive_cubic_root(a3: f64, a2: f64, a0: f64) -> f64 {
         }
         let d = dp(x);
         let newton = if d > 0.0 { x - fx / d } else { f64::NAN };
-        x = if newton.is_finite() && newton > lo && newton < hi {
-            newton
-        } else {
-            0.5 * (lo + hi)
-        };
+        x = if newton.is_finite() && newton > lo && newton < hi { newton } else { 0.5 * (lo + hi) };
         if (hi - lo) <= 1e-14 * hi.max(1e-300) {
             break;
         }

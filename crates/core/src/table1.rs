@@ -90,10 +90,8 @@ pub fn rows(m: &MachineParams, n: usize, stencil: &Stencil) -> Vec<Table1Row> {
 /// grid sides: the empirical scaling exponent of an architecture.
 pub fn fit_scaling_exponent(sides: &[usize], speedup_at: impl Fn(usize) -> f64) -> f64 {
     assert!(sides.len() >= 2, "need at least two sizes to fit a slope");
-    let pts: Vec<(f64, f64)> = sides
-        .iter()
-        .map(|&n| (((n * n) as f64).ln(), speedup_at(n).ln()))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        sides.iter().map(|&n| (((n * n) as f64).ln(), speedup_at(n).ln())).collect();
     let mx = pts.iter().map(|p| p.0).sum::<f64>() / pts.len() as f64;
     let my = pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
     let num: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();

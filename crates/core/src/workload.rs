@@ -28,13 +28,7 @@ impl Workload {
     pub fn new(n: usize, stencil: &Stencil, shape: PartitionShape) -> Self {
         assert!(n > 0, "empty grid");
         let e = stencil.calibrated_e().unwrap_or_else(|| stencil.flops_per_point());
-        Self {
-            n,
-            shape,
-            e_flops: e,
-            k: stencil.perimeters(shape),
-            stencil_name: stencil.name(),
-        }
+        Self { n, shape, e_flops: e, k: stencil.perimeters(shape), stencil_name: stencil.name() }
     }
 
     /// Builds a workload with explicit constants.

@@ -3,9 +3,7 @@
 
 use parspeed_core::convex::{golden_min, is_unimodal_sampled};
 use parspeed_core::minsize::{min_grid_side, BusVariant};
-use parspeed_core::{
-    ArchModel, AsyncBus, BusParams, MachineParams, SyncBus, Workload,
-};
+use parspeed_core::{ArchModel, AsyncBus, BusParams, MachineParams, SyncBus, Workload};
 use parspeed_stencil::{PartitionShape, Stencil};
 use proptest::prelude::*;
 

@@ -52,10 +52,7 @@ pub fn processor_sharing(arrivals: &[PsArrival]) -> Vec<f64> {
             None
         } else {
             let m = active.len() as f64;
-            active
-                .iter()
-                .map(|&i| (i, now + remaining[i] * m))
-                .min_by(|a, b| a.1.total_cmp(&b.1))
+            active.iter().map(|&i| (i, now + remaining[i] * m)).min_by(|a, b| a.1.total_cmp(&b.1))
         };
         match (t_arr, t_done) {
             (None, None) => break,
@@ -121,8 +118,7 @@ mod tests {
         // P batches of W words arriving together finish at W·P — the
         // paper's b·P per word.
         for p in [2usize, 4, 16] {
-            let arr: Vec<PsArrival> =
-                (0..p).map(|_| PsArrival { at: 0.0, work: 2.0 }).collect();
+            let arr: Vec<PsArrival> = (0..p).map(|_| PsArrival { at: 0.0, work: 2.0 }).collect();
             let c = processor_sharing(&arr);
             for &t in &c {
                 assert!((t - 2.0 * p as f64).abs() < 1e-9, "P={p}: {t}");
@@ -180,10 +176,7 @@ mod tests {
     #[test]
     fn input_order_is_preserved_in_output() {
         // Results are positional regardless of arrival order.
-        let a = vec![
-            PsArrival { at: 2.0, work: 1.0 },
-            PsArrival { at: 0.0, work: 1.0 },
-        ];
+        let a = vec![PsArrival { at: 2.0, work: 1.0 }, PsArrival { at: 0.0, work: 1.0 }];
         let c = processor_sharing(&a);
         assert!(c[1] < c[0]);
     }

@@ -1,0 +1,297 @@
+//! Sharded LRU result cache.
+//!
+//! Keys are canonical [`EvalKey`]s, so the cache can only ever serve a hit
+//! for a bit-identical evaluation — caching is invisible in the responses
+//! by construction and the tests assert it. Sharding (hash-partitioned
+//! mutexes) keeps the executor's worker threads from serializing on one
+//! lock; recency is tracked per shard with a lazily-invalidated queue, so
+//! `get`/`insert` stay amortized O(1).
+
+use crate::fxhash::{FxBuildHasher, FxHasher};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic cache counters (atomics: workers record hits concurrently).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time copy of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values stored.
+    pub insertions: u64,
+    /// Values displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Hits per lookup, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, Entry<V>, FxBuildHasher>,
+    /// Recency queue of `(stamp, key)`; stale stamps are skipped on pop.
+    order: VecDeque<(u64, K)>,
+    tick: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    stamp: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn new() -> Self {
+        Shard { map: HashMap::default(), order: VecDeque::new(), tick: 0 }
+    }
+
+    fn touch(&mut self, key: &K) -> u64 {
+        self.tick += 1;
+        self.order.push_back((self.tick, key.clone()));
+        self.tick
+    }
+
+    /// Drops stale recency records once the queue far outgrows the live
+    /// set. Hits and inserts both append records, so both must trim — a
+    /// hit-only steady state (the warm serving case) would otherwise grow
+    /// the queue forever. Callers invoke this only *after* syncing the
+    /// touched key's map stamp: retaining earlier would discard the
+    /// current operation's own record and leave its key unevictable.
+    fn trim(&mut self) {
+        if self.order.len() > 8 * (self.map.len() + 8) {
+            let map = &self.map;
+            self.order.retain(|(stamp, key)| map.get(key).is_some_and(|e| e.stamp == *stamp));
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let stamp = if self.map.contains_key(key) { self.touch(key) } else { 0 };
+        let entry = self.map.get_mut(key)?;
+        entry.stamp = stamp;
+        let value = entry.value.clone();
+        self.trim();
+        Some(value)
+    }
+
+    fn insert(&mut self, key: K, value: V, capacity: usize) -> u64 {
+        let stamp = self.touch(&key);
+        self.map.insert(key, Entry { value, stamp });
+        let mut evicted = 0u64;
+        while self.map.len() > capacity {
+            let Some((stamp, key)) = self.order.pop_front() else { break };
+            let live = self.map.get(&key).is_some_and(|e| e.stamp == stamp);
+            if live {
+                self.map.remove(&key);
+                evicted += 1;
+            }
+        }
+        self.trim();
+        evicted
+    }
+}
+
+/// A sharded least-recently-used map from canonical keys to results.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    capacity_per_shard: usize,
+    stats: CacheStats,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// Builds a cache with `capacity` total entries spread over `shards`
+    /// hash-partitioned shards (both floored at 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity_per_shard = (capacity.max(1)).div_ceil(shards);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            capacity_per_shard,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        // Shard on the high bits: the shard maps consume the same hash, and
+        // sharing the low bits would concentrate each shard's keys in a few
+        // buckets.
+        &self.shards[(h.finish() >> 48) as usize % self.shards.len()]
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let out = self.shard_of(key).lock().expect("cache shard poisoned").get(key);
+        match &out {
+            Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    /// Stores `value` under `key`, evicting least-recently-used entries of
+    /// the same shard if the shard is over capacity.
+    pub fn insert(&self, key: K, value: V) {
+        let evicted = self.shard_of(&key).lock().expect("cache shard poisoned").insert(
+            key,
+            value,
+            self.capacity_per_shard,
+        );
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            insertions: self.stats.insertions.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_the_stored_value() {
+        let c: ShardedLru<u64, String> = ShardedLru::new(16, 4);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one".into());
+        assert_eq!(c.get(&1).as_deref(), Some("one"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        // Single shard so the recency order is global.
+        let c: ShardedLru<u64, u64> = ShardedLru::new(2, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // 1 is now most recent
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.len(), 2);
+        assert!(c.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_not_duplicates() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(4, 1);
+        for _ in 0..100 {
+            c.insert(7, 7);
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&7), Some(7));
+    }
+
+    #[test]
+    fn heavy_reuse_keeps_queue_bounded() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(8, 1);
+        for i in 0..10_000u64 {
+            c.insert(i % 8, i);
+            let _ = c.get(&(i % 8));
+        }
+        let shard = c.shards[0].lock().unwrap();
+        assert!(shard.order.len() <= 8 * (shard.map.len() + 8) + 8);
+    }
+
+    #[test]
+    fn trim_never_orphans_the_key_being_touched() {
+        // Regression: a trim running mid-operation (before the map stamp
+        // is synced) used to drop the current key's own recency record,
+        // making it unevictable and instantly evicting every later insert.
+        let c: ShardedLru<u64, u64> = ShardedLru::new(1, 1);
+        c.insert(0, 0);
+        for _ in 0..200 {
+            let _ = c.get(&0); // grow the queue to the trim threshold
+        }
+        for k in 1..50u64 {
+            c.insert(k, k * 10);
+            assert_eq!(c.get(&k), Some(k * 10), "fresh insert of {k} was evicted immediately");
+        }
+        assert_eq!(c.len(), 1, "capacity-1 shard must hold exactly one entry");
+    }
+
+    #[test]
+    fn hit_only_steady_state_keeps_queue_bounded() {
+        // The warm serving case: populate once, then only hits.
+        let c: ShardedLru<u64, u64> = ShardedLru::new(64, 1);
+        for k in 0..8u64 {
+            c.insert(k, k);
+        }
+        for i in 0..100_000u64 {
+            assert_eq!(c.get(&(i % 8)), Some(i % 8));
+        }
+        let shard = c.shards[0].lock().unwrap();
+        assert!(
+            shard.order.len() <= 8 * (shard.map.len() + 8) + 8,
+            "recency queue leaked: {} entries for {} live keys",
+            shard.order.len(),
+            shard.map.len()
+        );
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_counted() {
+        let c: std::sync::Arc<ShardedLru<u64, u64>> = std::sync::Arc::new(ShardedLru::new(1024, 8));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        let k = (t * 1000 + i) % 256;
+                        if c.get(&k).is_none() {
+                            c.insert(k, k * 2);
+                        }
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 4000);
+        for k in 0..256u64 {
+            if let Some(v) = c.get(&k) {
+                assert_eq!(v, k * 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The executor: evaluates unique keys, fanning misses out across a
+//! rayon-style thread pool.
+//!
+//! [`evaluate`] is the single source of truth for what a key *means*: it
+//! reconstructs the exact `parspeed-core` call a direct caller would make
+//! and forwards the result untouched, which is what the bit-identity tests
+//! pin down. Everything above it (sharding, caching) only moves results
+//! around.
+
+use crate::request::{EvalKey, EvalOutcome, EvalValue, Lever};
+use parspeed_core::isoefficiency::min_grid_for_efficiency;
+use parspeed_core::minsize::{min_grid_side, min_problem_size_log2};
+use parspeed_core::{leverage, optimize_constrained, MemoryBudget, Workload};
+use rayon::prelude::*;
+use rayon::ThreadPool;
+
+/// Evaluates one canonical key through `parspeed-core`.
+pub fn evaluate(key: &EvalKey) -> EvalOutcome {
+    match *key {
+        EvalKey::Optimize { arch, machine, n, shape, e, k, budget, memory_words } => {
+            let m = machine.to_params();
+            let model = arch.model(&m);
+            let w = Workload::with_constants(n, shape.to_shape(), e.get(), k);
+            let memory = memory_words.map(|words| MemoryBudget::words(words as f64));
+            match optimize_constrained(model.as_ref(), &w, budget.to_budget(), memory) {
+                Ok(opt) => Ok(EvalValue::Optimum {
+                    processors: opt.processors,
+                    area: opt.area,
+                    cycle_time: opt.cycle_time,
+                    speedup: opt.speedup,
+                    efficiency: opt.efficiency,
+                    used_all: opt.used_all,
+                }),
+                Err(infeasible) => Err(infeasible.to_string()),
+            }
+        }
+        EvalKey::MinSize { variant, machine, e, k, procs } => {
+            let m = machine.to_params();
+            let v = variant.to_variant();
+            Ok(EvalValue::MinSize {
+                n_side: min_grid_side(&m, e.get(), k.get(), procs, v),
+                log2_points: min_problem_size_log2(&m, e.get(), k.get(), procs, v),
+            })
+        }
+        EvalKey::Isoefficiency { arch, machine, shape, e, k, procs, efficiency } => {
+            let m = machine.to_params();
+            let model = arch.model(&m);
+            // The template's own grid side is irrelevant: the search scales
+            // it; only shape and the stencil constants carry through.
+            let template = Workload::with_constants(2, shape.to_shape(), e.get(), k);
+            Ok(EvalValue::Isoefficiency {
+                n: min_grid_for_efficiency(model.as_ref(), &template, procs, efficiency.get()),
+            })
+        }
+        EvalKey::Leverage { machine, n, shape, e, k, budget, lever, factor } => {
+            let m = machine.to_params();
+            let w = Workload::with_constants(n, shape.to_shape(), e.get(), k);
+            let b = budget.to_budget();
+            let report = match lever {
+                Lever::Bus => leverage::bus_speedup(&m, &w, b, factor.get()),
+                Lever::Flop => leverage::flop_speedup(&m, &w, b, factor.get()),
+                Lever::Overhead => leverage::overhead_scaling(&m, &w, b, factor.get()),
+            };
+            Ok(EvalValue::Leverage {
+                baseline: report.baseline,
+                upgraded: report.upgraded,
+                factor: report.factor(),
+            })
+        }
+    }
+}
+
+/// Evaluates `keys` in parallel, returning outcomes in input order.
+///
+/// `pool` is the caller's long-lived worker pool ([`crate::Engine`] builds
+/// one at construction so the per-batch hot path never pays pool setup);
+/// `None` uses the machine-default parallelism. Single-key batches skip
+/// the pool entirely.
+pub fn evaluate_all(keys: &[EvalKey], pool: Option<&ThreadPool>) -> Vec<EvalOutcome> {
+    if keys.len() <= 1 {
+        return keys.iter().map(evaluate).collect();
+    }
+    let run = || keys.par_iter().map(evaluate).collect();
+    match pool {
+        Some(pool) => pool.install(run),
+        None => run(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ArchKind, BudgetKey, F64Key, MachineKey, ShapeKey};
+    use parspeed_core::{ArchModel, MachineParams, ProcessorBudget, SyncBus};
+
+    fn key_256_square_64() -> EvalKey {
+        EvalKey::Optimize {
+            arch: ArchKind::SyncBus,
+            machine: MachineKey::new(&MachineParams::paper_defaults()),
+            n: 256,
+            shape: ShapeKey::Square,
+            e: F64Key::new(6.0),
+            k: 1,
+            budget: BudgetKey::Limited(64),
+            memory_words: None,
+        }
+    }
+
+    #[test]
+    fn optimize_matches_direct_core_call_bit_for_bit() {
+        let m = MachineParams::paper_defaults();
+        let w = Workload::with_constants(256, ShapeKey::Square.to_shape(), 6.0, 1);
+        let direct = SyncBus::new(&m).optimize(&w, ProcessorBudget::Limited(64));
+        match evaluate(&key_256_square_64()).unwrap() {
+            EvalValue::Optimum { processors, area, cycle_time, speedup, efficiency, used_all } => {
+                assert_eq!(processors, direct.processors);
+                assert_eq!(area.to_bits(), direct.area.to_bits());
+                assert_eq!(cycle_time.to_bits(), direct.cycle_time.to_bits());
+                assert_eq!(speedup.to_bits(), direct.speedup.to_bits());
+                assert_eq!(efficiency.to_bits(), direct.efficiency.to_bits());
+                assert_eq!(used_all, direct.used_all);
+            }
+            other => panic!("expected optimum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_memory_becomes_an_error_outcome() {
+        let key = EvalKey::Optimize {
+            arch: ArchKind::SyncBus,
+            machine: MachineKey::new(&MachineParams::paper_defaults()),
+            n: 1024,
+            shape: ShapeKey::Square,
+            e: F64Key::new(6.0),
+            k: 1,
+            budget: BudgetKey::Limited(4),
+            memory_words: Some(8), // 1024²/4 words needed per processor
+        };
+        let out = evaluate(&key);
+        assert!(matches!(&out, Err(msg) if msg.contains("does not fit")));
+    }
+
+    #[test]
+    fn parallel_and_sequential_evaluation_agree_exactly() {
+        let keys: Vec<EvalKey> = (0..40)
+            .map(|i| EvalKey::Optimize {
+                arch: ArchKind::all()[i % 6],
+                machine: MachineKey::new(&MachineParams::paper_defaults()),
+                n: 64 << (i % 4),
+                shape: if i % 2 == 0 { ShapeKey::Square } else { ShapeKey::Strip },
+                e: F64Key::new(6.0),
+                k: 1,
+                budget: BudgetKey::Limited(1 + i),
+                memory_words: None,
+            })
+            .collect();
+        let seq: Vec<EvalOutcome> = keys.iter().map(evaluate).collect();
+        let single = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let four = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(seq, evaluate_all(&keys, Some(&single)));
+        assert_eq!(seq, evaluate_all(&keys, Some(&four)));
+        assert_eq!(seq, evaluate_all(&keys, None));
+    }
+}

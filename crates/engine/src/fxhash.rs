@@ -1,0 +1,104 @@
+//! A fast, deterministic hasher for canonical keys (the Firefox `FxHash`
+//! multiply-rotate scheme).
+//!
+//! The planner hashes every atom of every batch and the cache hashes every
+//! probe; with the std SipHash this is the single largest cost of planning
+//! a 10⁴-atom batch. Keys are canonical bit patterns — not attacker
+//! controlled — so a non-cryptographic hash is appropriate. Determinism
+//! also keeps first-occurrence iteration orders reproducible run to run.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` plugging [`FxHasher`] into std collections.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&(1u64, 2u64)), hash_of(&(2u64, 1u64)));
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 4][..]));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential keys must not collide in the low bits (shard index).
+        let mut shards = [0usize; 16];
+        for i in 0..4096u64 {
+            shards[(hash_of(&i) as usize) % 16] += 1;
+        }
+        for (i, &count) in shards.iter().enumerate() {
+            assert!(count > 64, "shard {i} starved: {count}");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! `parspeed-engine` — a batched, cached, parallel query engine over the
+//! analytic models of `parspeed-core`.
+//!
+//! The paper answers point queries — optimal processor count, minimum
+//! gainful problem size, speedup — for one (architecture, workload) pair
+//! at a time. At serving scale the unit of work is a *batch* of thousands
+//! of such queries, most of them near-duplicates. This crate turns the
+//! models into a serving-shaped subsystem via a three-stage pipeline:
+//!
+//! 1. **Planner** ([`plan`]) — expands macro-queries (grid sweeps) into
+//!    atomic evaluations, canonicalizes each into an [`EvalKey`] (floats
+//!    keyed by bit pattern; presets, named stencils, and equivalent
+//!    explicit constants collapse together), and dedups the batch;
+//! 2. **Cache** ([`cache`]) — a sharded LRU from canonical keys to
+//!    outcomes with hit/miss/eviction counters, so repeated traffic
+//!    short-circuits across batches;
+//! 3. **Executor** ([`exec`]) — shards the remaining unique keys across a
+//!    rayon thread pool and evaluates them through `parspeed-core`.
+//!
+//! Responses are **bit-identical** to direct `parspeed-core` calls —
+//! canonicalization never rounds, the cache stores exact outcomes, and the
+//! tests pin this down — and every batch returns [`BatchTelemetry`]
+//! (wall time, queries/s, dedup factor, cache hit rate).
+//!
+//! ```
+//! use parspeed_engine::{Engine, Query, ArchKind, MachineSpec, StencilSpec, ShapeKey, WorkloadSpec};
+//!
+//! let engine = Engine::builder().build();
+//! let q = Query::Optimize {
+//!     arch: ArchKind::SyncBus,
+//!     machine: MachineSpec::default(),
+//!     workload: WorkloadSpec { n: 256, stencil: StencilSpec::FivePoint, shape: ShapeKey::Square },
+//!     procs: Some(64),
+//!     memory_words: None,
+//! };
+//! // 1000 copies of the same query: one evaluation, 1000 answers.
+//! let out = engine.run_batch(&vec![q; 1000]);
+//! assert_eq!(out.telemetry.unique, 1);
+//! assert_eq!(out.responses.len(), 1000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod exec;
+pub mod fxhash;
+pub mod jsonl;
+pub mod plan;
+pub mod request;
+pub mod telemetry;
+
+pub use cache::CacheStatsSnapshot;
+pub use plan::{Plan, PointLabel, Slot};
+pub use request::{
+    ArchKind, EvalKey, EvalOutcome, EvalValue, Lever, MachineSpec, MinSizeVariant, Query, ShapeKey,
+    StencilSpec, WorkloadSpec,
+};
+pub use telemetry::{BatchTelemetry, EngineReport};
+
+use cache::ShardedLru;
+use std::time::Instant;
+
+/// One response, in the input order of the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// An atomic query's outcome.
+    Single(EvalOutcome),
+    /// A sweep's outcomes, one per expanded point, in grid order.
+    Sweep(Vec<(PointLabel, EvalOutcome)>),
+    /// The query was malformed; nothing was evaluated for it.
+    Invalid(String),
+}
+
+impl Response {
+    /// The single outcome, if this is an atomic response.
+    pub fn single(&self) -> Option<&EvalOutcome> {
+        match self {
+            Response::Single(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The sweep points, if this is a sweep response.
+    pub fn sweep(&self) -> Option<&[(PointLabel, EvalOutcome)]> {
+        match self {
+            Response::Sweep(points) => Some(points),
+            _ => None,
+        }
+    }
+}
+
+/// A batch's responses plus its telemetry.
+#[derive(Debug, Clone)]
+pub struct BatchOutput {
+    /// One response per input query, in input order.
+    pub responses: Vec<Response>,
+    /// What the pipeline did.
+    pub telemetry: BatchTelemetry,
+}
+
+/// Configuration for an [`Engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineBuilder {
+    cache_capacity: usize,
+    cache_shards: usize,
+    threads: usize,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self { cache_capacity: 65_536, cache_shards: 16, threads: 0 }
+    }
+}
+
+impl EngineBuilder {
+    /// Total cached outcomes kept across batches (default 65 536).
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// Number of cache shards (default 16).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
+        self
+    }
+
+    /// Executor worker threads; 0 (default) uses the machine parallelism,
+    /// 1 runs strictly sequentially.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builds the engine. A fixed thread count builds the worker pool
+    /// here, once — the per-batch path only borrows it.
+    pub fn build(self) -> Engine {
+        let pool = (self.threads > 0).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("engine thread pool")
+        });
+        Engine {
+            cache: ShardedLru::new(self.cache_capacity, self.cache_shards),
+            threads: self.threads,
+            pool,
+        }
+    }
+}
+
+/// The query engine: owns the result cache; stateless otherwise. Batches
+/// may be submitted from multiple threads (`&self`).
+pub struct Engine {
+    cache: ShardedLru<EvalKey, EvalOutcome>,
+    threads: usize,
+    pool: Option<rayon::ThreadPool>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::builder().build()
+    }
+}
+
+impl Engine {
+    /// Starts a configuration builder.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Runs one batch through plan → cache → execute → assemble.
+    pub fn run_batch(&self, queries: &[Query]) -> BatchOutput {
+        let t0 = Instant::now();
+        let plan = Plan::build(queries);
+
+        // Cache probe: split unique keys into hits and misses.
+        let mut outcomes: Vec<Option<EvalOutcome>> = Vec::with_capacity(plan.unique.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, key) in plan.unique.iter().enumerate() {
+            let cached = self.cache.get(key);
+            if cached.is_none() {
+                miss_idx.push(i);
+            }
+            outcomes.push(cached);
+        }
+        let cache_hits = plan.unique.len() - miss_idx.len();
+
+        // Evaluate the misses in parallel, in deterministic key order.
+        let miss_keys: Vec<EvalKey> = miss_idx.iter().map(|&i| plan.unique[i]).collect();
+        let fresh = exec::evaluate_all(&miss_keys, self.pool.as_ref());
+        for (&i, outcome) in miss_idx.iter().zip(fresh) {
+            self.cache.insert(plan.unique[i], outcome.clone());
+            outcomes[i] = Some(outcome);
+        }
+
+        // Assemble responses in input order.
+        let resolve =
+            |i: usize| -> EvalOutcome { outcomes[i].clone().expect("every unique key resolved") };
+        let responses: Vec<Response> = plan
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                Slot::Single(i) => Response::Single(resolve(*i)),
+                Slot::Sweep(points) => Response::Sweep(
+                    points.iter().map(|(label, i)| (label.clone(), resolve(*i))).collect(),
+                ),
+                Slot::Invalid(msg) => Response::Invalid(msg.clone()),
+            })
+            .collect();
+
+        BatchOutput {
+            responses,
+            telemetry: BatchTelemetry {
+                queries: queries.len(),
+                atoms: plan.atoms,
+                unique: plan.unique.len(),
+                cache_hits,
+                evaluated: miss_idx.len(),
+                threads: self.threads,
+                wall_seconds: t0.elapsed().as_secs_f64(),
+            },
+        }
+    }
+
+    /// Cumulative cache counters.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        self.cache.stats()
+    }
+
+    /// Live cached outcomes.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// The naive baseline the engine is benchmarked against: evaluates every
+/// atom of every query sequentially, with no dedup, no cache, and no
+/// thread pool — exactly what a caller looping over `parspeed-core`
+/// point calls would do.
+pub fn eval_naive(queries: &[Query]) -> Vec<Response> {
+    queries
+        .iter()
+        .map(|q| {
+            let plan = Plan::build(std::slice::from_ref(q));
+            match &plan.slots[0] {
+                Slot::Single(i) => Response::Single(exec::evaluate(&plan.unique[*i])),
+                Slot::Sweep(points) => Response::Sweep(
+                    points
+                        .iter()
+                        .map(|(label, i)| (label.clone(), exec::evaluate(&plan.unique[*i])))
+                        .collect(),
+                ),
+                Slot::Invalid(msg) => Response::Invalid(msg.clone()),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: usize, procs: Option<usize>) -> Query {
+        Query::Optimize {
+            arch: ArchKind::SyncBus,
+            machine: MachineSpec::default(),
+            workload: WorkloadSpec { n, stencil: StencilSpec::FivePoint, shape: ShapeKey::Square },
+            procs,
+            memory_words: None,
+        }
+    }
+
+    #[test]
+    fn batch_matches_naive_exactly() {
+        let batch: Vec<Query> = (1..=50).map(|i| q(32 + 7 * i, Some(i))).collect();
+        let engine = Engine::builder().build();
+        let fast = engine.run_batch(&batch);
+        let slow = eval_naive(&batch);
+        assert_eq!(fast.responses, slow);
+    }
+
+    #[test]
+    fn duplicates_cost_one_evaluation() {
+        let engine = Engine::builder().build();
+        let out = engine.run_batch(&vec![q(256, Some(64)); 500]);
+        assert_eq!(out.telemetry.atoms, 500);
+        assert_eq!(out.telemetry.unique, 1);
+        assert_eq!(out.telemetry.evaluated, 1);
+        assert!((out.telemetry.dedup_factor() - 500.0).abs() < 1e-12);
+        let first = out.responses[0].clone();
+        assert!(out.responses.iter().all(|r| *r == first));
+    }
+
+    #[test]
+    fn cache_carries_across_batches_without_changing_answers() {
+        let engine = Engine::builder().build();
+        let batch: Vec<Query> = (1..=30).map(|i| q(64 * i, None)).collect();
+        let cold = engine.run_batch(&batch);
+        assert_eq!(cold.telemetry.cache_hits, 0);
+        assert_eq!(cold.telemetry.evaluated, 30);
+        let warm = engine.run_batch(&batch);
+        assert_eq!(warm.telemetry.cache_hits, 30);
+        assert_eq!(warm.telemetry.evaluated, 0);
+        assert_eq!(cold.responses, warm.responses);
+    }
+
+    #[test]
+    fn invalid_queries_answer_in_place_without_poisoning_the_batch() {
+        let engine = Engine::builder().build();
+        let out = engine.run_batch(&[q(128, None), q(0, None), q(256, None)]);
+        assert!(matches!(out.responses[0], Response::Single(Ok(_))));
+        assert!(matches!(&out.responses[1], Response::Invalid(m) if m.contains("positive")));
+        assert!(matches!(out.responses[2], Response::Single(Ok(_))));
+        assert_eq!(out.telemetry.atoms, 2);
+    }
+
+    #[test]
+    fn tiny_cache_still_answers_correctly() {
+        let engine = Engine::builder().cache_capacity(2).cache_shards(1).build();
+        let batch: Vec<Query> = (1..=20).map(|i| q(32 * i, None)).collect();
+        let a = engine.run_batch(&batch);
+        let b = engine.run_batch(&batch);
+        assert_eq!(a.responses, b.responses);
+        assert!(engine.cache_len() <= 2);
+        assert!(engine.cache_stats().evictions > 0);
+    }
+
+    #[test]
+    fn sequential_engine_matches_parallel_engine() {
+        let batch: Vec<Query> = (1..=40).map(|i| q(48 * i, Some(i * 2))).collect();
+        let seq = Engine::builder().threads(1).build().run_batch(&batch);
+        let par = Engine::builder().threads(4).build().run_batch(&batch);
+        assert_eq!(seq.responses, par.responses);
+    }
+}

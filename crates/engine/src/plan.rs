@@ -1,0 +1,354 @@
+//! The planner: expands macro-queries, canonicalizes every atom into an
+//! [`EvalKey`], and dedups the batch into the unique evaluation set.
+//!
+//! Planning is pure and sequential — it touches no cache and spawns no
+//! threads — so the mapping from a batch to its unique keys is trivially
+//! deterministic. The executor and cache only ever see unique keys; the
+//! plan remembers which response slot each input query's atoms land in.
+
+use crate::fxhash::FxBuildHasher;
+use crate::request::{
+    ArchKind, BudgetKey, EvalKey, F64Key, MachineKey, Query, ShapeKey, StencilSpec,
+};
+use std::collections::HashMap;
+
+/// Presentation labels for one expanded sweep point (everything the key
+/// deliberately forgets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointLabel {
+    /// Architecture name.
+    pub arch: &'static str,
+    /// Grid side.
+    pub n: usize,
+    /// Stencil display name.
+    pub stencil: String,
+    /// Shape name.
+    pub shape: &'static str,
+    /// Budget display (`∞` for unlimited).
+    pub budget: String,
+}
+
+/// How one input query's response is assembled from unique-key results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Slot {
+    /// A single atomic query: index into the unique-key set.
+    Single(usize),
+    /// A sweep: one `(label, unique index)` pair per expanded point, in
+    /// deterministic grid order.
+    Sweep(Vec<(PointLabel, usize)>),
+    /// The query could not be planned (bad spec); carries the message.
+    Invalid(String),
+}
+
+/// A planned batch: the deduplicated evaluation set plus the response
+/// assembly map.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Unique evaluation keys, in first-occurrence order.
+    pub unique: Vec<EvalKey>,
+    /// One slot per input query, in input order.
+    pub slots: Vec<Slot>,
+    /// Number of atoms before deduplication (sweep points count
+    /// individually; invalid queries count zero).
+    pub atoms: usize,
+}
+
+impl Plan {
+    /// Plans a batch.
+    pub fn build(queries: &[Query]) -> Plan {
+        let mut unique: Vec<EvalKey> = Vec::new();
+        let mut index: HashMap<EvalKey, usize, FxBuildHasher> = HashMap::default();
+        let mut atoms = 0usize;
+        let mut intern = |key: EvalKey| -> usize {
+            *index.entry(key).or_insert_with(|| {
+                unique.push(key);
+                unique.len() - 1
+            })
+        };
+
+        let mut slots = Vec::with_capacity(queries.len());
+        for q in queries {
+            let slot = match plan_query(q) {
+                Err(msg) => Slot::Invalid(msg),
+                Ok(Planned::Single(key)) => {
+                    atoms += 1;
+                    Slot::Single(intern(key))
+                }
+                Ok(Planned::Sweep(points)) => {
+                    atoms += points.len();
+                    Slot::Sweep(
+                        points.into_iter().map(|(label, key)| (label, intern(key))).collect(),
+                    )
+                }
+            };
+            slots.push(slot);
+        }
+        Plan { unique, slots, atoms }
+    }
+
+    /// Dedup factor: atoms per unique evaluation (1.0 when nothing
+    /// repeats; 0 atoms give 1.0 by convention).
+    pub fn dedup_factor(&self) -> f64 {
+        if self.unique.is_empty() {
+            1.0
+        } else {
+            self.atoms as f64 / self.unique.len() as f64
+        }
+    }
+}
+
+enum Planned {
+    Single(EvalKey),
+    Sweep(Vec<(PointLabel, EvalKey)>),
+}
+
+fn budget_key(procs: Option<usize>) -> BudgetKey {
+    match procs {
+        Some(p) => BudgetKey::Limited(p),
+        None => BudgetKey::Unlimited,
+    }
+}
+
+fn optimize_key(
+    arch: ArchKind,
+    machine: MachineKey,
+    n: usize,
+    stencil: StencilSpec,
+    shape: ShapeKey,
+    procs: Option<usize>,
+    memory_words: Option<usize>,
+) -> Result<EvalKey, String> {
+    if n == 0 {
+        return Err("grid side must be positive".into());
+    }
+    let (e, k) = stencil.constants(shape.to_shape());
+    if !(e.is_finite() && e > 0.0) {
+        return Err(format!("E(S) must be positive and finite, got {e}"));
+    }
+    Ok(EvalKey::Optimize {
+        arch,
+        machine,
+        n,
+        shape,
+        e: F64Key::new(e),
+        k,
+        budget: budget_key(procs),
+        memory_words,
+    })
+}
+
+fn plan_query(q: &Query) -> Result<Planned, String> {
+    match q {
+        Query::Optimize { arch, machine, workload, procs, memory_words } => {
+            Ok(Planned::Single(optimize_key(
+                *arch,
+                machine.to_key(),
+                workload.n,
+                workload.stencil,
+                workload.shape,
+                *procs,
+                *memory_words,
+            )?))
+        }
+        Query::MinSize { variant, machine, e, k, procs } => {
+            if *procs == 0 {
+                return Err("minsize needs at least one processor".into());
+            }
+            if !(e.is_finite() && *e > 0.0) {
+                return Err(format!("E(S) must be positive and finite, got {e}"));
+            }
+            Ok(Planned::Single(EvalKey::MinSize {
+                variant: *variant,
+                machine: machine.to_key(),
+                e: F64Key::new(*e),
+                k: F64Key::new(*k),
+                procs: *procs,
+            }))
+        }
+        Query::Isoefficiency { arch, machine, stencil, shape, procs, efficiency } => {
+            if !(*efficiency > 0.0 && *efficiency < 1.0) {
+                return Err(format!("efficiency must be in (0, 1), got {efficiency}"));
+            }
+            if *procs == 0 {
+                return Err("isoefficiency needs at least one processor".into());
+            }
+            let (e, k) = stencil.constants(shape.to_shape());
+            Ok(Planned::Single(EvalKey::Isoefficiency {
+                arch: *arch,
+                machine: machine.to_key(),
+                shape: *shape,
+                e: F64Key::new(e),
+                k,
+                procs: *procs,
+                efficiency: F64Key::new(*efficiency),
+            }))
+        }
+        Query::Leverage { machine, workload, procs, lever, factor } => {
+            if !(factor.is_finite() && *factor > 0.0) {
+                return Err(format!("lever factor must be positive and finite, got {factor}"));
+            }
+            if workload.n == 0 {
+                return Err("grid side must be positive".into());
+            }
+            let (e, k) = workload.stencil.constants(workload.shape.to_shape());
+            Ok(Planned::Single(EvalKey::Leverage {
+                machine: machine.to_key(),
+                n: workload.n,
+                shape: workload.shape,
+                e: F64Key::new(e),
+                k,
+                budget: budget_key(*procs),
+                lever: *lever,
+                factor: F64Key::new(*factor),
+            }))
+        }
+        Query::Sweep { archs, machine, stencils, shapes, budgets, n_from, n_to } => {
+            if *n_from == 0 || n_to < n_from {
+                return Err(format!("bad sweep range {n_from}..{n_to}"));
+            }
+            if archs.is_empty() || stencils.is_empty() || shapes.is_empty() || budgets.is_empty() {
+                return Err("sweep grid has an empty axis".into());
+            }
+            let mkey = machine.to_key();
+            let mut points = Vec::new();
+            // Grid order: arch, stencil, shape, budget, then the doubling
+            // grid sides — the same order the CLI sweep prints.
+            for arch in archs {
+                for stencil in stencils {
+                    for shape in shapes {
+                        for procs in budgets {
+                            let mut n = *n_from;
+                            loop {
+                                let key =
+                                    optimize_key(*arch, mkey, n, *stencil, *shape, *procs, None)?;
+                                points.push((
+                                    PointLabel {
+                                        arch: arch.name(),
+                                        n,
+                                        stencil: stencil.name(),
+                                        shape: shape.name(),
+                                        budget: budget_key(*procs).label(),
+                                    },
+                                    key,
+                                ));
+                                if n > *n_to / 2 {
+                                    break;
+                                }
+                                n *= 2;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Planned::Sweep(points))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{MachineSpec, WorkloadSpec};
+
+    fn opt(n: usize, procs: Option<usize>) -> Query {
+        Query::Optimize {
+            arch: ArchKind::SyncBus,
+            machine: MachineSpec::default(),
+            workload: WorkloadSpec { n, stencil: StencilSpec::FivePoint, shape: ShapeKey::Square },
+            procs,
+            memory_words: None,
+        }
+    }
+
+    #[test]
+    fn duplicate_queries_collapse() {
+        let batch: Vec<Query> = (0..100).map(|_| opt(256, Some(64))).collect();
+        let plan = Plan::build(&batch);
+        assert_eq!(plan.unique.len(), 1);
+        assert_eq!(plan.atoms, 100);
+        assert!((plan.dedup_factor() - 100.0).abs() < 1e-12);
+        for s in &plan.slots {
+            assert_eq!(s, &Slot::Single(0));
+        }
+    }
+
+    #[test]
+    fn named_and_custom_stencils_dedup_together() {
+        let (e, k) = StencilSpec::FivePoint.constants(ShapeKey::Square.to_shape());
+        let custom = Query::Optimize {
+            arch: ArchKind::SyncBus,
+            machine: MachineSpec::default(),
+            workload: WorkloadSpec {
+                n: 256,
+                stencil: StencilSpec::Custom { e, k },
+                shape: ShapeKey::Square,
+            },
+            procs: Some(64),
+            memory_words: None,
+        };
+        let plan = Plan::build(&[opt(256, Some(64)), custom]);
+        assert_eq!(plan.unique.len(), 1, "same numbers must share a key");
+    }
+
+    #[test]
+    fn sweep_expands_with_doubling_sides() {
+        let q = Query::Sweep {
+            archs: vec![ArchKind::SyncBus],
+            machine: MachineSpec::default(),
+            stencils: vec![StencilSpec::FivePoint],
+            shapes: vec![ShapeKey::Square],
+            budgets: vec![None],
+            n_from: 64,
+            n_to: 512,
+        };
+        let plan = Plan::build(&[q]);
+        match &plan.slots[0] {
+            Slot::Sweep(points) => {
+                let ns: Vec<usize> = points.iter().map(|(l, _)| l.n).collect();
+                assert_eq!(ns, vec![64, 128, 256, 512]);
+            }
+            other => panic!("expected sweep slot, got {other:?}"),
+        }
+        assert_eq!(plan.unique.len(), 4);
+    }
+
+    #[test]
+    fn sweeps_and_singles_share_the_unique_set() {
+        let sweep = Query::Sweep {
+            archs: vec![ArchKind::SyncBus],
+            machine: MachineSpec::default(),
+            stencils: vec![StencilSpec::FivePoint],
+            shapes: vec![ShapeKey::Square],
+            budgets: vec![Some(64)],
+            n_from: 256,
+            n_to: 256,
+        };
+        let plan = Plan::build(&[sweep, opt(256, Some(64))]);
+        assert_eq!(plan.unique.len(), 1);
+        assert_eq!(plan.atoms, 2);
+    }
+
+    #[test]
+    fn invalid_queries_keep_their_slot() {
+        let bad = opt(0, None);
+        let plan = Plan::build(&[bad, opt(64, None)]);
+        assert!(matches!(plan.slots[0], Slot::Invalid(_)));
+        assert!(matches!(plan.slots[1], Slot::Single(0)));
+        assert_eq!(plan.atoms, 1);
+    }
+
+    #[test]
+    fn bad_sweep_axes_are_reported() {
+        let q = Query::Sweep {
+            archs: vec![],
+            machine: MachineSpec::default(),
+            stencils: vec![StencilSpec::FivePoint],
+            shapes: vec![ShapeKey::Square],
+            budgets: vec![None],
+            n_from: 64,
+            n_to: 128,
+        };
+        let plan = Plan::build(&[q]);
+        assert!(matches!(&plan.slots[0], Slot::Invalid(m) if m.contains("empty axis")));
+    }
+}

@@ -1,0 +1,794 @@
+//! Query and response types: what callers submit in a batch, the canonical
+//! evaluation keys the planner dedups on, and the values that come back.
+//!
+//! The canonical form is the load-bearing idea. Two requests that *mean*
+//! the same evaluation — a named stencil vs. its explicit `(E, k)`
+//! constants, a machine preset vs. the same numbers spelled out, a budget
+//! larger than the shape admits — collapse onto one [`EvalKey`], so the
+//! executor computes each distinct point exactly once and the cache is
+//! maximally effective. Floats are keyed by their IEEE-754 bit patterns:
+//! canonicalization never rounds or rescales, which is what keeps engine
+//! responses bit-identical to direct `parspeed-core` calls.
+
+use parspeed_core::minsize::BusVariant;
+use parspeed_core::{
+    ArchModel, AsyncBus, Banyan, BusParams, Hypercube, HypercubeParams, MachineParams, Mesh,
+    ProcessorBudget, ScheduledBus, SwitchParams, SyncBus, Workload,
+};
+use parspeed_stencil::{PartitionShape, Stencil};
+
+/// An `f64` keyed by its exact bit pattern (hashable, totally equatable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct F64Key(u64);
+
+impl F64Key {
+    /// Keys a float by its bits.
+    pub fn new(x: f64) -> Self {
+        Self(x.to_bits())
+    }
+
+    /// Recovers the exact float.
+    pub fn get(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+/// The architecture classes the engine can evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Message-passing hypercube (§4).
+    Hypercube,
+    /// Nearest-neighbour mesh (§4–5).
+    Mesh,
+    /// Synchronous shared bus (§6).
+    SyncBus,
+    /// Asynchronous shared bus (§6.2).
+    AsyncBus,
+    /// The §8 batch-staggered bus scheduler.
+    ScheduledBus,
+    /// Banyan switching network (§7).
+    Banyan,
+}
+
+impl ArchKind {
+    /// Every architecture, in the paper's presentation order.
+    pub fn all() -> [ArchKind; 6] {
+        [
+            ArchKind::Hypercube,
+            ArchKind::Mesh,
+            ArchKind::SyncBus,
+            ArchKind::AsyncBus,
+            ArchKind::ScheduledBus,
+            ArchKind::Banyan,
+        ]
+    }
+
+    /// The CLI/JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchKind::Hypercube => "hypercube",
+            ArchKind::Mesh => "mesh",
+            ArchKind::SyncBus => "sync-bus",
+            ArchKind::AsyncBus => "async-bus",
+            ArchKind::ScheduledBus => "scheduled-bus",
+            ArchKind::Banyan => "banyan",
+        }
+    }
+
+    /// Parses the CLI/JSONL name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "hypercube" => ArchKind::Hypercube,
+            "mesh" | "mesh2d" => ArchKind::Mesh,
+            "sync-bus" => ArchKind::SyncBus,
+            "async-bus" => ArchKind::AsyncBus,
+            "scheduled-bus" => ArchKind::ScheduledBus,
+            "banyan" => ArchKind::Banyan,
+            other => {
+                return Err(format!(
+                    "unknown architecture `{other}`; one of: hypercube, mesh, sync-bus, \
+                     async-bus, scheduled-bus, banyan"
+                ))
+            }
+        })
+    }
+
+    /// Builds the analytic model for this architecture.
+    pub fn model(self, m: &MachineParams) -> Box<dyn ArchModel> {
+        match self {
+            ArchKind::Hypercube => Box::new(Hypercube::new(m)),
+            ArchKind::Mesh => Box::new(Mesh::new(m)),
+            ArchKind::SyncBus => Box::new(SyncBus::new(m)),
+            ArchKind::AsyncBus => Box::new(AsyncBus::new(m)),
+            ArchKind::ScheduledBus => Box::new(ScheduledBus::new(m)),
+            ArchKind::Banyan => Box::new(Banyan::new(m)),
+        }
+    }
+}
+
+/// A stencil, by catalog name or explicit model constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StencilSpec {
+    /// Classic 5-point Laplacian cross.
+    FivePoint,
+    /// Mehrstellen 3×3 box.
+    NinePointBox,
+    /// Fourth-order star with arms of reach 2.
+    NinePointStar,
+    /// Reach-2 star plus unit diagonals.
+    ThirteenPoint,
+    /// Explicit `(E(S), k(P,S))` constants for what-if analyses.
+    Custom {
+        /// Flops per point update.
+        e: f64,
+        /// Perimeters communicated per iteration.
+        k: usize,
+    },
+}
+
+impl StencilSpec {
+    /// The CLI/JSONL name (custom stencils render their constants).
+    pub fn name(self) -> String {
+        match self {
+            StencilSpec::FivePoint => "5pt".into(),
+            StencilSpec::NinePointBox => "9pt-box".into(),
+            StencilSpec::NinePointStar => "9pt-star".into(),
+            StencilSpec::ThirteenPoint => "13pt".into(),
+            StencilSpec::Custom { e, k } => format!("custom(e={e},k={k})"),
+        }
+    }
+
+    /// Parses a catalog name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "5pt" | "5-point" => StencilSpec::FivePoint,
+            "9pt-box" | "9-point-box" => StencilSpec::NinePointBox,
+            "9pt-star" | "9-point-star" => StencilSpec::NinePointStar,
+            "13pt" | "13-point-star" => StencilSpec::ThirteenPoint,
+            other => {
+                return Err(format!(
+                    "unknown stencil `{other}`; one of: 5pt, 9pt-box, 9pt-star, 13pt"
+                ))
+            }
+        })
+    }
+
+    /// The canonical `(E(S), k(P,S))` constants for this spec under
+    /// `shape` — exactly the constants [`Workload::new`] would derive.
+    ///
+    /// The named-stencil table is derived from the catalog once and
+    /// memoized: the planner calls this for every atom of every batch, and
+    /// rebuilding tap lists 10⁴ times per batch is measurable.
+    pub fn constants(self, shape: PartitionShape) -> (f64, usize) {
+        use std::sync::OnceLock;
+        static NAMED: OnceLock<[[(f64, usize); 2]; 4]> = OnceLock::new();
+        let idx = match self {
+            StencilSpec::Custom { e, k } => return (e, k),
+            StencilSpec::FivePoint => 0,
+            StencilSpec::NinePointBox => 1,
+            StencilSpec::NinePointStar => 2,
+            StencilSpec::ThirteenPoint => 3,
+        };
+        let table = NAMED.get_or_init(|| {
+            let specs = [
+                StencilSpec::FivePoint,
+                StencilSpec::NinePointBox,
+                StencilSpec::NinePointStar,
+                StencilSpec::ThirteenPoint,
+            ];
+            specs.map(|spec| {
+                let s = spec.to_stencil().expect("named spec");
+                let e = s.calibrated_e().unwrap_or_else(|| s.flops_per_point());
+                [
+                    (e, s.perimeters(PartitionShape::Strip)),
+                    (e, s.perimeters(PartitionShape::Square)),
+                ]
+            })
+        });
+        let shape_idx = match shape {
+            PartitionShape::Strip => 0,
+            PartitionShape::Square => 1,
+        };
+        table[idx][shape_idx]
+    }
+
+    /// The catalog [`Stencil`] a named spec denotes (`None` for
+    /// [`StencilSpec::Custom`], which has no tap geometry).
+    pub fn to_stencil(self) -> Option<Stencil> {
+        Some(match self {
+            StencilSpec::FivePoint => Stencil::five_point(),
+            StencilSpec::NinePointBox => Stencil::nine_point_box(),
+            StencilSpec::NinePointStar => Stencil::nine_point_star(),
+            StencilSpec::ThirteenPoint => Stencil::thirteen_point_star(),
+            StencilSpec::Custom { .. } => return None,
+        })
+    }
+}
+
+/// A machine description: a preset plus optional overrides, mirroring the
+/// CLI's machine flags.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MachineSpec {
+    /// Start from the FLEX/32 overhead regime instead of the `c = 0`
+    /// idealization.
+    pub flex32: bool,
+    /// Seconds per flop override.
+    pub tfp: Option<f64>,
+    /// Bus cycle override.
+    pub b: Option<f64>,
+    /// Bus per-word overhead override.
+    pub c: Option<f64>,
+    /// Message per-packet cost override (hypercube and mesh).
+    pub alpha: Option<f64>,
+    /// Message startup override (hypercube and mesh).
+    pub beta: Option<f64>,
+    /// Packet capacity override (hypercube and mesh).
+    pub packet: Option<usize>,
+    /// Switch stage traversal override.
+    pub w: Option<f64>,
+}
+
+impl MachineSpec {
+    /// True when no override is set (the spec is exactly a preset).
+    fn is_bare_preset(&self) -> bool {
+        self.tfp.is_none()
+            && self.b.is_none()
+            && self.c.is_none()
+            && self.alpha.is_none()
+            && self.beta.is_none()
+            && self.packet.is_none()
+            && self.w.is_none()
+    }
+
+    /// The canonical key this spec resolves to. Bare presets — the bulk of
+    /// real traffic — are memoized; the planner calls this per atom.
+    pub fn to_key(&self) -> MachineKey {
+        use std::sync::OnceLock;
+        static PRESETS: OnceLock<[MachineKey; 2]> = OnceLock::new();
+        if self.is_bare_preset() {
+            let presets = PRESETS.get_or_init(|| {
+                [
+                    MachineKey::new(&MachineParams::paper_defaults()),
+                    MachineKey::new(&MachineParams::flex32_defaults()),
+                ]
+            });
+            presets[self.flex32 as usize]
+        } else {
+            MachineKey::new(&self.resolve())
+        }
+    }
+
+    /// Resolves the spec into concrete machine parameters.
+    pub fn resolve(&self) -> MachineParams {
+        let mut m = if self.flex32 {
+            MachineParams::flex32_defaults()
+        } else {
+            MachineParams::paper_defaults()
+        };
+        if let Some(tfp) = self.tfp {
+            m.tfp = tfp;
+        }
+        if let Some(b) = self.b {
+            m.bus.b = b;
+        }
+        if let Some(c) = self.c {
+            m.bus.c = c;
+        }
+        if let Some(alpha) = self.alpha {
+            m.hypercube.alpha = alpha;
+            m.mesh.alpha = alpha;
+        }
+        if let Some(beta) = self.beta {
+            m.hypercube.beta = beta;
+            m.mesh.beta = beta;
+        }
+        if let Some(packet) = self.packet {
+            m.hypercube.packet_words = packet;
+            m.mesh.packet_words = packet;
+        }
+        if let Some(w) = self.w {
+            m.switch.w = w;
+        }
+        m
+    }
+}
+
+/// The canonical (bit-exact, hashable) form of [`MachineParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MachineKey {
+    tfp: F64Key,
+    bus_b: F64Key,
+    bus_c: F64Key,
+    hc_alpha: F64Key,
+    hc_beta: F64Key,
+    hc_packet: usize,
+    mesh_alpha: F64Key,
+    mesh_beta: F64Key,
+    mesh_packet: usize,
+    switch_w: F64Key,
+}
+
+impl MachineKey {
+    /// Canonicalizes resolved machine parameters.
+    pub fn new(m: &MachineParams) -> Self {
+        Self {
+            tfp: F64Key::new(m.tfp),
+            bus_b: F64Key::new(m.bus.b),
+            bus_c: F64Key::new(m.bus.c),
+            hc_alpha: F64Key::new(m.hypercube.alpha),
+            hc_beta: F64Key::new(m.hypercube.beta),
+            hc_packet: m.hypercube.packet_words,
+            mesh_alpha: F64Key::new(m.mesh.alpha),
+            mesh_beta: F64Key::new(m.mesh.beta),
+            mesh_packet: m.mesh.packet_words,
+            switch_w: F64Key::new(m.switch.w),
+        }
+    }
+
+    /// Recovers the exact machine parameters (bit-identical round trip).
+    pub fn to_params(self) -> MachineParams {
+        MachineParams {
+            tfp: self.tfp.get(),
+            bus: BusParams { b: self.bus_b.get(), c: self.bus_c.get() },
+            hypercube: HypercubeParams {
+                alpha: self.hc_alpha.get(),
+                beta: self.hc_beta.get(),
+                packet_words: self.hc_packet,
+            },
+            mesh: HypercubeParams {
+                alpha: self.mesh_alpha.get(),
+                beta: self.mesh_beta.get(),
+                packet_words: self.mesh_packet,
+            },
+            switch: SwitchParams { w: self.switch_w.get() },
+        }
+    }
+}
+
+/// Partition shape in canonical form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShapeKey {
+    /// Full-width row strips.
+    Strip,
+    /// Squares / working rectangles.
+    Square,
+}
+
+impl ShapeKey {
+    /// The corresponding model shape.
+    pub fn to_shape(self) -> PartitionShape {
+        match self {
+            ShapeKey::Strip => PartitionShape::Strip,
+            ShapeKey::Square => PartitionShape::Square,
+        }
+    }
+
+    /// Canonicalizes a model shape.
+    pub fn from_shape(s: PartitionShape) -> Self {
+        match s {
+            PartitionShape::Strip => ShapeKey::Strip,
+            PartitionShape::Square => ShapeKey::Square,
+        }
+    }
+
+    /// The CLI/JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeKey::Strip => "strip",
+            ShapeKey::Square => "square",
+        }
+    }
+
+    /// Parses the CLI/JSONL name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "strip" | "strips" => ShapeKey::Strip,
+            "square" | "squares" => ShapeKey::Square,
+            other => return Err(format!("unknown shape `{other}`; one of: strip, square")),
+        })
+    }
+}
+
+/// Processor budget in canonical form (`Limited(0)` is normalized to
+/// `Limited(1)` by [`ProcessorBudget::cap`], so it is kept as given —
+/// the core model decides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetKey {
+    /// At most `N` processors.
+    Limited(usize),
+    /// Machine grows with the problem.
+    Unlimited,
+}
+
+impl BudgetKey {
+    /// The corresponding model budget.
+    pub fn to_budget(self) -> ProcessorBudget {
+        match self {
+            BudgetKey::Limited(n) => ProcessorBudget::Limited(n),
+            BudgetKey::Unlimited => ProcessorBudget::Unlimited,
+        }
+    }
+
+    /// Display form (`∞` for unlimited).
+    pub fn label(self) -> String {
+        match self {
+            BudgetKey::Limited(n) => n.to_string(),
+            BudgetKey::Unlimited => "∞".into(),
+        }
+    }
+}
+
+/// The bus variants of the Fig. 7 minimum-problem-size analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MinSizeVariant {
+    /// Synchronous bus, strip partitions.
+    SyncStrip,
+    /// Asynchronous bus, strip partitions.
+    AsyncStrip,
+    /// Synchronous bus, square partitions.
+    SyncSquare,
+    /// Asynchronous bus, square partitions.
+    AsyncSquare,
+}
+
+impl MinSizeVariant {
+    /// The corresponding core variant.
+    pub fn to_variant(self) -> BusVariant {
+        match self {
+            MinSizeVariant::SyncStrip => BusVariant::SyncStrip,
+            MinSizeVariant::AsyncStrip => BusVariant::AsyncStrip,
+            MinSizeVariant::SyncSquare => BusVariant::SyncSquare,
+            MinSizeVariant::AsyncSquare => BusVariant::AsyncSquare,
+        }
+    }
+
+    /// The CLI/JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MinSizeVariant::SyncStrip => "sync-strip",
+            MinSizeVariant::AsyncStrip => "async-strip",
+            MinSizeVariant::SyncSquare => "sync-square",
+            MinSizeVariant::AsyncSquare => "async-square",
+        }
+    }
+
+    /// Parses the CLI/JSONL name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "sync-strip" => MinSizeVariant::SyncStrip,
+            "async-strip" => MinSizeVariant::AsyncStrip,
+            "sync-square" => MinSizeVariant::SyncSquare,
+            "async-square" => MinSizeVariant::AsyncSquare,
+            other => {
+                return Err(format!(
+                    "unknown minsize variant `{other}`; one of: sync-strip, async-strip, \
+                     sync-square, async-square"
+                ))
+            }
+        })
+    }
+}
+
+/// Which hardware lever a leverage query pulls (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lever {
+    /// Multiply the bus speed.
+    Bus,
+    /// Multiply the floating-point speed.
+    Flop,
+    /// Scale the fixed per-word overhead `c`.
+    Overhead,
+}
+
+impl Lever {
+    /// The CLI/JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lever::Bus => "bus",
+            Lever::Flop => "flop",
+            Lever::Overhead => "overhead",
+        }
+    }
+
+    /// Parses the CLI/JSONL name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "bus" => Lever::Bus,
+            "flop" => Lever::Flop,
+            "overhead" | "c" => Lever::Overhead,
+            other => return Err(format!("unknown lever `{other}`; one of: bus, flop, overhead")),
+        })
+    }
+}
+
+/// A problem instance spec: grid side, stencil, shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Grid side `n`.
+    pub n: usize,
+    /// Stencil (named or custom constants).
+    pub stencil: StencilSpec,
+    /// Partition shape.
+    pub shape: ShapeKey,
+}
+
+impl WorkloadSpec {
+    /// Builds the exact [`Workload`] this spec denotes.
+    pub fn to_workload(&self) -> Result<Workload, String> {
+        if self.n == 0 {
+            return Err("grid side must be positive".into());
+        }
+        let shape = self.shape.to_shape();
+        let (e, k) = self.stencil.constants(shape);
+        if !(e.is_finite() && e > 0.0) {
+            return Err(format!("E(S) must be positive and finite, got {e}"));
+        }
+        Ok(Workload::with_constants(self.n, shape, e, k))
+    }
+}
+
+/// One query in a batch. `Sweep` is a macro-query the planner expands into
+/// many `Optimize` evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Optimal processor count and speedup for one instance.
+    Optimize {
+        /// Architecture to optimize on.
+        arch: ArchKind,
+        /// Machine description.
+        machine: MachineSpec,
+        /// Problem instance.
+        workload: WorkloadSpec,
+        /// Processor budget (`None` = unlimited).
+        procs: Option<usize>,
+        /// Optional per-processor memory budget in words.
+        memory_words: Option<usize>,
+    },
+    /// Closed-form smallest grid gainfully using all `procs` processors.
+    MinSize {
+        /// Bus variant.
+        variant: MinSizeVariant,
+        /// Machine description.
+        machine: MachineSpec,
+        /// `E(S)` constant.
+        e: f64,
+        /// `k(P,S)` constant.
+        k: f64,
+        /// Full machine size.
+        procs: usize,
+    },
+    /// Smallest grid reaching a target efficiency on `procs` processors.
+    Isoefficiency {
+        /// Architecture.
+        arch: ArchKind,
+        /// Machine description.
+        machine: MachineSpec,
+        /// Stencil (supplies `E`, `k`).
+        stencil: StencilSpec,
+        /// Partition shape.
+        shape: ShapeKey,
+        /// Processor count held fixed.
+        procs: usize,
+        /// Target efficiency in `(0, 1)`.
+        efficiency: f64,
+    },
+    /// What a hardware upgrade buys at the re-optimized partitioning
+    /// (synchronous bus, as in the paper's §6.1).
+    Leverage {
+        /// Machine description.
+        machine: MachineSpec,
+        /// Problem instance.
+        workload: WorkloadSpec,
+        /// Processor budget (`None` = unlimited).
+        procs: Option<usize>,
+        /// Which constant improves.
+        lever: Lever,
+        /// Improvement factor (speed multiplier; scale factor for
+        /// [`Lever::Overhead`]).
+        factor: f64,
+    },
+    /// A grid of `Optimize` queries: every combination of architecture,
+    /// stencil, shape, and budget, with the grid side doubling from
+    /// `n_from` to `n_to`.
+    Sweep {
+        /// Architectures.
+        archs: Vec<ArchKind>,
+        /// Machine description (shared by the whole sweep).
+        machine: MachineSpec,
+        /// Stencils.
+        stencils: Vec<StencilSpec>,
+        /// Shapes.
+        shapes: Vec<ShapeKey>,
+        /// Budgets (`None` = unlimited).
+        budgets: Vec<Option<usize>>,
+        /// First grid side.
+        n_from: usize,
+        /// Last grid side (inclusive; sides double from `n_from`).
+        n_to: usize,
+    },
+}
+
+/// The canonical, deduplicated form of one atomic evaluation. Everything
+/// the evaluator needs is in the key; everything presentational (names,
+/// labels) is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvalKey {
+    /// One optimizer run.
+    Optimize {
+        /// Architecture.
+        arch: ArchKind,
+        /// Canonical machine.
+        machine: MachineKey,
+        /// Grid side.
+        n: usize,
+        /// Shape.
+        shape: ShapeKey,
+        /// `E(S)` bits.
+        e: F64Key,
+        /// `k(P,S)`.
+        k: usize,
+        /// Budget.
+        budget: BudgetKey,
+        /// Optional memory budget (words per processor).
+        memory_words: Option<usize>,
+    },
+    /// One closed-form minimum-size evaluation.
+    MinSize {
+        /// Bus variant.
+        variant: MinSizeVariant,
+        /// Canonical machine.
+        machine: MachineKey,
+        /// `E(S)` bits.
+        e: F64Key,
+        /// `k` bits (continuous in the closed form).
+        k: F64Key,
+        /// Machine size.
+        procs: usize,
+    },
+    /// One isoefficiency threshold search.
+    Isoefficiency {
+        /// Architecture.
+        arch: ArchKind,
+        /// Canonical machine.
+        machine: MachineKey,
+        /// Shape.
+        shape: ShapeKey,
+        /// `E(S)` bits.
+        e: F64Key,
+        /// `k(P,S)`.
+        k: usize,
+        /// Processor count.
+        procs: usize,
+        /// Target efficiency bits.
+        efficiency: F64Key,
+    },
+    /// One leverage what-if.
+    Leverage {
+        /// Canonical machine.
+        machine: MachineKey,
+        /// Grid side.
+        n: usize,
+        /// Shape.
+        shape: ShapeKey,
+        /// `E(S)` bits.
+        e: F64Key,
+        /// `k(P,S)`.
+        k: usize,
+        /// Budget.
+        budget: BudgetKey,
+        /// Lever pulled.
+        lever: Lever,
+        /// Factor bits.
+        factor: F64Key,
+    },
+}
+
+/// The successful result of one atomic evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EvalValue {
+    /// Result of an optimizer run (mirrors `parspeed_core::Optimum`).
+    Optimum {
+        /// Optimal processor count.
+        processors: usize,
+        /// Largest partition area at the optimum.
+        area: f64,
+        /// Per-iteration cycle time.
+        cycle_time: f64,
+        /// Speedup over one processor.
+        speedup: f64,
+        /// Speedup / processors.
+        efficiency: f64,
+        /// Whether every available processor is used.
+        used_all: bool,
+    },
+    /// Result of a closed-form minimum-size evaluation.
+    MinSize {
+        /// Continuous minimal grid side.
+        n_side: f64,
+        /// Fig. 7 ordinate `log₂(n²)`.
+        log2_points: f64,
+    },
+    /// Result of an isoefficiency threshold search.
+    Isoefficiency {
+        /// Smallest integer grid side reaching the target.
+        n: usize,
+    },
+    /// Result of a leverage what-if.
+    Leverage {
+        /// Optimal cycle time before the upgrade.
+        baseline: f64,
+        /// Optimal cycle time after (re-optimized).
+        upgraded: f64,
+        /// `upgraded / baseline`.
+        factor: f64,
+    },
+}
+
+/// The outcome of one atomic evaluation: a value, or a model-level error
+/// (e.g. memory-infeasible). Errors are cached like values — they are
+/// deterministic properties of the key.
+pub type EvalOutcome = Result<EvalValue, String>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_key_round_trips_bit_exactly() {
+        for m in [MachineParams::paper_defaults(), MachineParams::flex32_defaults()] {
+            let back = MachineKey::new(&m).to_params();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn named_stencil_constants_match_workload_new() {
+        for spec in [
+            StencilSpec::FivePoint,
+            StencilSpec::NinePointBox,
+            StencilSpec::NinePointStar,
+            StencilSpec::ThirteenPoint,
+        ] {
+            let s = spec.to_stencil().unwrap();
+            for shape in [PartitionShape::Strip, PartitionShape::Square] {
+                let direct = Workload::new(64, &s, shape);
+                let (e, k) = spec.constants(shape);
+                assert_eq!(direct.e_flops, e, "{spec:?} {shape:?}");
+                assert_eq!(direct.k, k, "{spec:?} {shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn specs_resolving_to_same_numbers_share_a_key() {
+        let named =
+            WorkloadSpec { n: 128, stencil: StencilSpec::FivePoint, shape: ShapeKey::Square };
+        let (e, k) = StencilSpec::FivePoint.constants(PartitionShape::Square);
+        let custom =
+            WorkloadSpec { n: 128, stencil: StencilSpec::Custom { e, k }, shape: ShapeKey::Square };
+        let wa = named.to_workload().unwrap();
+        let wb = custom.to_workload().unwrap();
+        assert_eq!(wa.e_flops, wb.e_flops);
+        assert_eq!(wa.k, wb.k);
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for a in ArchKind::all() {
+            assert_eq!(ArchKind::parse(a.name()).unwrap(), a);
+        }
+        for v in [
+            MinSizeVariant::SyncStrip,
+            MinSizeVariant::AsyncStrip,
+            MinSizeVariant::SyncSquare,
+            MinSizeVariant::AsyncSquare,
+        ] {
+            assert_eq!(MinSizeVariant::parse(v.name()).unwrap(), v);
+        }
+        for l in [Lever::Bus, Lever::Flop, Lever::Overhead] {
+            assert_eq!(Lever::parse(l.name()).unwrap(), l);
+        }
+        assert!(ArchKind::parse("torus").is_err());
+        assert!(ShapeKey::parse("hexagon").is_err());
+    }
+}

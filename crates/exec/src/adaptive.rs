@@ -80,8 +80,7 @@ impl CheckScheduler for AdaptiveChecker {
 
     fn next_after(&mut self, checked_at: usize, diff: f64, tol: f64) -> usize {
         assert!(self.safety > 0.0 && self.safety <= 1.0, "safety must be in (0, 1]");
-        let fallback = checked_at
-            + (checked_at / 2).clamp(self.min_interval, self.max_interval);
+        let fallback = checked_at + (checked_at / 2).clamp(self.min_interval, self.max_interval);
         let next = match self.last {
             Some((k_prev, d_prev))
                 if diff > 0.0 && d_prev > diff && checked_at > k_prev && tol > 0.0 =>
@@ -146,10 +145,7 @@ mod tests {
     fn adaptive_beats_geometric_policy_checks() {
         let (a_checks, ..) = drive(AdaptiveChecker::default(), 0.9995, 1.0, 1e-8);
         let (g_checks, ..) = drive(CheckPolicy::geometric(), 0.9995, 1.0, 1e-8);
-        assert!(
-            a_checks * 5 <= g_checks,
-            "adaptive {a_checks} vs geometric {g_checks} checks"
-        );
+        assert!(a_checks * 5 <= g_checks, "adaptive {a_checks} vs geometric {g_checks} checks");
     }
 
     #[test]

@@ -28,9 +28,15 @@ pub struct MeasuredPoint {
 
 /// Builds the decomposition for `p` partitions of the given shape
 /// (strips, or the most-square legal rectangle grid for squares).
-pub fn decompose(n: usize, p: usize, shape: PartitionShape) -> Box<dyn Decomposition + Send + Sync> {
+pub fn decompose(
+    n: usize,
+    p: usize,
+    shape: PartitionShape,
+) -> Box<dyn Decomposition + Send + Sync> {
     match shape {
-        PartitionShape::Strip => Box::new(StripDecomposition::new(n, p.min(n))) as Box<dyn Decomposition + Send + Sync>,
+        PartitionShape::Strip => {
+            Box::new(StripDecomposition::new(n, p.min(n))) as Box<dyn Decomposition + Send + Sync>
+        }
         PartitionShape::Square => Box::new(
             RectDecomposition::near_square(n, p)
                 .unwrap_or_else(|| RectDecomposition::new(n, p.min(n), 1)),
@@ -110,8 +116,7 @@ mod tests {
     #[test]
     fn scaling_sweep_has_normalized_baseline() {
         let p = PoissonProblem::laplace(64, 0.0);
-        let pts =
-            measure_scaling(&p, &Stencil::five_point(), PartitionShape::Strip, &[1, 2], 3, 1);
+        let pts = measure_scaling(&p, &Stencil::five_point(), PartitionShape::Strip, &[1, 2], 3, 1);
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].speedup, 1.0);
         assert!(pts[1].speedup > 0.0);

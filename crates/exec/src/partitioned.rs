@@ -193,23 +193,20 @@ impl PartitionedJacobi {
         while self.iterations - start < max_iters {
             let k = self.iterations - start + 1; // iteration number being run
             let check_now = k >= next_check || k == max_iters;
-            match self.iterate(check_now) {
-                Some(d) => {
-                    checks += 1;
-                    diff = d;
-                    if diff < tol {
-                        return SolveRun {
-                            converged: true,
-                            iterations: self.iterations - start,
-                            checks,
-                            final_diff: diff,
-                        };
-                    }
-                    if k >= next_check {
-                        next_check = scheduler.next_after(k, diff, tol);
-                    }
+            if let Some(d) = self.iterate(check_now) {
+                checks += 1;
+                diff = d;
+                if diff < tol {
+                    return SolveRun {
+                        converged: true,
+                        iterations: self.iterations - start,
+                        checks,
+                        final_diff: diff,
+                    };
                 }
-                None => {}
+                if k >= next_check {
+                    next_check = scheduler.next_after(k, diff, tol);
+                }
             }
         }
         SolveRun { converged: false, iterations: self.iterations - start, checks, final_diff: diff }

@@ -109,11 +109,8 @@ mod tests {
 
     #[test]
     fn accepts_exact_tiling() {
-        let regions = vec![
-            Region::new(0, 2, 0, 4),
-            Region::new(2, 4, 0, 2),
-            Region::new(2, 4, 2, 4),
-        ];
+        let regions =
+            vec![Region::new(0, 2, 0, 4), Region::new(2, 4, 0, 2), Region::new(2, 4, 2, 4)];
         verify_exact_cover(4, &regions).unwrap();
     }
 

@@ -30,7 +30,12 @@ impl Grid2D {
 
     /// Creates a grid whose *interior* is initialized from `f(row, col)`;
     /// the halo stays zero.
-    pub fn from_fn(rows: usize, cols: usize, halo: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        halo: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
         let mut g = Self::new(rows, cols, halo);
         for r in 0..rows {
             for c in 0..cols {
@@ -149,7 +154,13 @@ impl Grid2D {
     /// Copies the values of `src_region` in `src` (interior coordinates of
     /// `src`) into this grid, placing the top-left of the region at padded
     /// offset `(dst_r, dst_c)` of `self`. Used for halo exchange.
-    pub fn copy_region_from(&mut self, src: &Grid2D, src_region: Region, dst_r: isize, dst_c: isize) {
+    pub fn copy_region_from(
+        &mut self,
+        src: &Grid2D,
+        src_region: Region,
+        dst_r: isize,
+        dst_c: isize,
+    ) {
         for (i, r) in (src_region.r0..src_region.r1).enumerate() {
             for (j, c) in (src_region.c0..src_region.c1).enumerate() {
                 let v = src.get(r, c);

@@ -98,17 +98,41 @@ fn needed_rects(region: &Region, n: usize, stencil: &Stencil) -> Vec<Region> {
     };
     // Above / below.
     if kr > 0 {
-        push(&mut v, Region { r0: region.r0.saturating_sub(kr), r1: region.r0, c0: region.c0, c1: region.c1 });
-        push(&mut v, Region { r0: region.r1, r1: (region.r1 + kr).min(n), c0: region.c0, c1: region.c1 });
+        push(
+            &mut v,
+            Region {
+                r0: region.r0.saturating_sub(kr),
+                r1: region.r0,
+                c0: region.c0,
+                c1: region.c1,
+            },
+        );
+        push(
+            &mut v,
+            Region { r0: region.r1, r1: (region.r1 + kr).min(n), c0: region.c0, c1: region.c1 },
+        );
     }
     // Left / right.
     if kc > 0 {
-        push(&mut v, Region { r0: region.r0, r1: region.r1, c0: region.c0.saturating_sub(kc), c1: region.c0 });
-        push(&mut v, Region { r0: region.r0, r1: region.r1, c0: region.c1, c1: (region.c1 + kc).min(n) });
+        push(
+            &mut v,
+            Region {
+                r0: region.r0,
+                r1: region.r1,
+                c0: region.c0.saturating_sub(kc),
+                c1: region.c0,
+            },
+        );
+        push(
+            &mut v,
+            Region { r0: region.r0, r1: region.r1, c0: region.c1, c1: (region.c1 + kc).min(n) },
+        );
     }
     if stencil.has_diagonal() && kr > 0 && kc > 0 {
-        let rows = [(region.r0.saturating_sub(kr), region.r0), (region.r1, (region.r1 + kr).min(n))];
-        let cols = [(region.c0.saturating_sub(kc), region.c0), (region.c1, (region.c1 + kc).min(n))];
+        let rows =
+            [(region.r0.saturating_sub(kr), region.r0), (region.r1, (region.r1 + kr).min(n))];
+        let cols =
+            [(region.c0.saturating_sub(kc), region.c0), (region.c1, (region.c1 + kc).min(n))];
         for (r0, r1) in rows {
             for (c0, c1) in cols {
                 push(&mut v, Region { r0, r1, c0, c1 });

@@ -26,7 +26,10 @@ impl RectDecomposition {
     /// Panics unless `1 ≤ pr ≤ n` and `pc` divides `n` (the paper's
     /// legality condition).
     pub fn new(n: usize, pr: usize, pc: usize) -> Self {
-        assert!(pc >= 1 && n % pc == 0, "column count {pc} must divide n={n} (legal rectangles)");
+        assert!(
+            pc >= 1 && n.is_multiple_of(pc),
+            "column count {pc} must divide n={n} (legal rectangles)"
+        );
         let strips = StripDecomposition::new(n, pr);
         Self { n, pr, pc, strips }
     }
@@ -39,7 +42,7 @@ impl RectDecomposition {
     pub fn near_square(n: usize, p: usize) -> Option<Self> {
         let mut best: Option<(usize, Self)> = None;
         for pc in 1..=p.min(n) {
-            if p % pc != 0 || n % pc != 0 {
+            if !p.is_multiple_of(pc) || !n.is_multiple_of(pc) {
                 continue;
             }
             let pr = p / pc;

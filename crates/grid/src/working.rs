@@ -80,7 +80,7 @@ impl WorkingRectangles {
             })
             .collect();
         // Widths: divisors of n.
-        let widths: Vec<usize> = (1..=n).filter(|w| n % w == 0).collect();
+        let widths: Vec<usize> = (1..=n).filter(|w| n.is_multiple_of(*w)).collect();
 
         // Per area, the minimum-perimeter legal rectangle.
         let mut best: std::collections::BTreeMap<usize, WorkingRect> =

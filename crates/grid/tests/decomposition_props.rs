@@ -1,7 +1,9 @@
 //! Property tests for decompositions and halo plans.
 
 use parspeed_grid::cover::verify_exact_cover;
-use parspeed_grid::{halo, Decomposition, RectDecomposition, StripDecomposition, WorkingRectangles};
+use parspeed_grid::{
+    halo, Decomposition, RectDecomposition, StripDecomposition, WorkingRectangles,
+};
 use parspeed_stencil::Stencil;
 use proptest::prelude::*;
 

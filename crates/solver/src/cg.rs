@@ -184,7 +184,12 @@ mod tests {
         let p = PoissonProblem::manufactured(n, Manufactured::SinSin);
         let (_, cg, _) = CgSolver::default().solve(&p);
         let (_, jac) = JacobiSolver::with_tol(1e-8).solve(&p, &Stencil::five_point());
-        assert!(cg.iterations * 10 < jac.iterations, "CG {} vs Jacobi {}", cg.iterations, jac.iterations);
+        assert!(
+            cg.iterations * 10 < jac.iterations,
+            "CG {} vs Jacobi {}",
+            cg.iterations,
+            jac.iterations
+        );
     }
 
     #[test]

@@ -183,12 +183,7 @@ mod tests {
         let (u, status) = solver.solve(&p, &Stencil::five_point());
         assert!(status.converged);
         // Damping slows convergence but lands on the same fixed point.
-        let res = residual_max(
-            &Stencil::five_point(),
-            &u,
-            p.forcing(),
-            p.h() * p.h(),
-        );
+        let res = residual_max(&Stencil::five_point(), &u, p.forcing(), p.h() * p.h());
         assert!(res < 1e-5, "residual {res}");
     }
 

@@ -237,7 +237,12 @@ mod tests {
         let p = PoissonProblem::manufactured(31, Manufactured::SinSin);
         let (_, mg) = MultigridSolver::default().solve(&p);
         let (_, jac) = JacobiSolver::with_tol(1e-9).solve(&p, &Stencil::five_point());
-        assert!(jac.iterations > 100 * mg.iterations, "MG {} vs Jacobi {}", mg.iterations, jac.iterations);
+        assert!(
+            jac.iterations > 100 * mg.iterations,
+            "MG {} vs Jacobi {}",
+            mg.iterations,
+            jac.iterations
+        );
     }
 
     #[test]

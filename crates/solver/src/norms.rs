@@ -44,10 +44,7 @@ pub fn linf_par(g: &Grid2D) -> f64 {
 
 /// Rayon L2 norm (row sums sequential, row-combine parallel).
 pub fn l2_par(g: &Grid2D) -> f64 {
-    interior_rows(g)
-        .map(|row| row.iter().map(|v| v * v).sum::<f64>())
-        .sum::<f64>()
-        .sqrt()
+    interior_rows(g).map(|row| row.iter().map(|v| v * v).sum::<f64>()).sum::<f64>().sqrt()
 }
 
 /// Rayon max-norm of the interior difference of two same-shape grids.
@@ -55,9 +52,7 @@ pub fn linf_diff_par(a: &Grid2D, b: &Grid2D) -> f64 {
     assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
     interior_rows(a)
         .zip(interior_rows(b))
-        .map(|(ra, rb)| {
-            ra.iter().zip(rb).fold(0.0f64, |acc, (x, y)| acc.max((x - y).abs()))
-        })
+        .map(|(ra, rb)| ra.iter().zip(rb).fold(0.0f64, |acc, (x, y)| acc.max((x - y).abs())))
         .reduce(|| 0.0, f64::max)
 }
 

@@ -52,7 +52,14 @@ impl RedBlackSolver {
 
     /// One colour half-sweep: compute into `scratch`, scatter back into
     /// `u`. Returns the max update difference of the half-sweep.
-    fn half_sweep(&self, u: &mut Grid2D, scratch: &mut Grid2D, f: &Grid2D, h2: f64, color: usize) -> f64 {
+    fn half_sweep(
+        &self,
+        u: &mut Grid2D,
+        scratch: &mut Grid2D,
+        f: &Grid2D,
+        h2: f64,
+        color: usize,
+    ) -> f64 {
         let n = u.rows();
         let halo = u.halo();
         let stride = u.stride();
@@ -77,28 +84,29 @@ impl RedBlackSolver {
             }
             worst
         };
-        let diff = if self.parallel {
-            scratch
-                .as_mut_slice()
-                .par_chunks_mut(stride)
-                .enumerate()
-                .map(|(pr, row)| {
-                    if pr < halo || pr >= halo + n {
-                        0.0
-                    } else {
-                        compute_row(pr - halo, row, u)
+        let diff =
+            if self.parallel {
+                scratch
+                    .as_mut_slice()
+                    .par_chunks_mut(stride)
+                    .enumerate()
+                    .map(|(pr, row)| {
+                        if pr < halo || pr >= halo + n {
+                            0.0
+                        } else {
+                            compute_row(pr - halo, row, u)
+                        }
+                    })
+                    .reduce(|| 0.0f64, f64::max)
+            } else {
+                let mut worst = 0.0f64;
+                for (pr, row) in scratch.as_mut_slice().chunks_mut(stride).enumerate() {
+                    if pr >= halo && pr < halo + n {
+                        worst = worst.max(compute_row(pr - halo, row, u));
                     }
-                })
-                .reduce(|| 0.0f64, f64::max)
-        } else {
-            let mut worst = 0.0f64;
-            for (pr, row) in scratch.as_mut_slice().chunks_mut(stride).enumerate() {
-                if pr >= halo && pr < halo + n {
-                    worst = worst.max(compute_row(pr - halo, row, u));
                 }
-            }
-            worst
-        };
+                worst
+            };
 
         // Phase 2: scatter colour-χ cells back into u (reads scratch).
         let scatter_row = |pr: usize, row: &mut [f64], scratch: &Grid2D| {

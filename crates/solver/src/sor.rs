@@ -52,8 +52,8 @@ impl SorSolver {
                     let (ri, ci) = (r as isize, c as isize);
                     let mut acc = 0.0;
                     for t in stencil.taps() {
-                        acc += t.coeff
-                            * u.get_h(ri + t.offset.dy as isize, ci + t.offset.dx as isize);
+                        acc +=
+                            t.coeff * u.get_h(ri + t.offset.dy as isize, ci + t.offset.dx as isize);
                     }
                     let jacobi = (acc + rs_h2 * f.get(r, c)) * inv;
                     let old = u.get(r, c);

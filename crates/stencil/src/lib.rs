@@ -113,11 +113,7 @@ impl Stencil {
     ///
     /// This is the half-width of the halo a partition must hold.
     pub fn reach(&self) -> usize {
-        self.taps
-            .iter()
-            .map(|t| t.offset.chebyshev())
-            .max()
-            .expect("stencil has at least one tap")
+        self.taps.iter().map(|t| t.offset.chebyshev()).max().expect("stencil has at least one tap")
     }
 
     /// Maximum `|dy|` over taps: rows of halo needed above/below a partition.

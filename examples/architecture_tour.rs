@@ -14,7 +14,10 @@ fn main() {
     let stencil = Stencil::five_point();
 
     println!("Optimal speedup by architecture ({} stencil, square partitions)\n", stencil.name());
-    println!("{:>6} {:>14} {:>14} {:>14} {:>14}", "n", "hypercube", "sync bus", "async bus", "banyan");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "n", "hypercube", "sync bus", "async bus", "banyan"
+    );
     for n in [128usize, 256, 512, 1024, 2048, 4096] {
         let w = Workload::new(n, &stencil, PartitionShape::Square);
         println!(

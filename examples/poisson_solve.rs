@@ -27,26 +27,45 @@ fn main() {
     let u = exec.solution();
     let err = u.max_abs_diff(&exact);
     println!("partitioned Jacobi (8 strips):");
-    println!("  converged  : {} in {} iterations ({} checks)", run.converged, run.iterations, run.checks);
+    println!(
+        "  converged  : {} in {} iterations ({} checks)",
+        run.converged, run.iterations, run.checks
+    );
     println!("  wall time  : {wall:.2?}");
     println!("  max error  : {err:.3e} (discretization-limited)");
 
     // Sequential reference — must agree bit for bit on the iterate path,
     // and to the same limit here.
     let (u_seq, st) = JacobiSolver::with_tol(1e-9).solve(&problem, &stencil);
-    println!("\nsequential Jacobi: {} iterations, max |par − seq| = {:.1e}",
-        st.iterations, u.max_abs_diff(&u_seq));
+    println!(
+        "\nsequential Jacobi: {} iterations, max |par − seq| = {:.1e}",
+        st.iterations,
+        u.max_abs_diff(&u_seq)
+    );
 
     // Faster solvers on the same problem.
     let (u_rb, st_rb) = RedBlackSolver::optimal(n, 1e-9).solve(&problem);
-    println!("red-black SOR   : {} iterations, error {:.3e}",
-        st_rb.iterations, u_rb.max_abs_diff(&exact));
+    println!(
+        "red-black SOR   : {} iterations, error {:.3e}",
+        st_rb.iterations,
+        u_rb.max_abs_diff(&exact)
+    );
     let (u_cg, st_cg, stats) = CgSolver::default().solve(&problem);
-    println!("conjugate grad. : {} iterations ({} global reductions), error {:.3e}",
-        st_cg.iterations, stats.global_reductions, u_cg.max_abs_diff(&exact));
+    println!(
+        "conjugate grad. : {} iterations ({} global reductions), error {:.3e}",
+        st_cg.iterations,
+        stats.global_reductions,
+        u_cg.max_abs_diff(&exact)
+    );
 
-    println!("\nresidual L∞ of the parallel solution: {:.3e}",
-        parspeed::solver::apply::residual_max(&stencil, &u_seq, problem.forcing(),
-            problem.h() * problem.h()));
+    println!(
+        "\nresidual L∞ of the parallel solution: {:.3e}",
+        parspeed::solver::apply::residual_max(
+            &stencil,
+            &u_seq,
+            problem.forcing(),
+            problem.h() * problem.h()
+        )
+    );
     println!("L2 of exact solution (sanity): {:.4}", norms::l2(&exact));
 }

@@ -24,7 +24,11 @@ fn main() {
     println!("  optimal processors : {}", opt.processors);
     println!("  partition area     : {:.0} points", opt.area);
     println!("  cycle time         : {:.3} ms", opt.cycle_time * 1e3);
-    println!("  speedup            : {:.1}×  (efficiency {:.0}%)", opt.speedup, 100.0 * opt.efficiency);
+    println!(
+        "  speedup            : {:.1}×  (efficiency {:.0}%)",
+        opt.speedup,
+        100.0 * opt.efficiency
+    );
 
     // On a hypercube the optimum is extremal — use everything you have.
     let cube = Hypercube::new(&machine);

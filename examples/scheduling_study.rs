@@ -22,7 +22,10 @@ fn main() {
     let async_ = AsyncBus::new(&machine);
 
     println!("Optimal cycle times, strips, processors unbounded (c = 0):\n");
-    println!("{:>6}  {:>12}  {:>12}  {:>12}  {:>10}", "n", "sync", "scheduled", "async", "sync/sched");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>12}  {:>10}",
+        "n", "sync", "scheduled", "async", "sync/sched"
+    );
     for n in [256usize, 512, 1024, 2048, 4096] {
         let w = Workload::new(n, &Stencil::five_point(), PartitionShape::Strip);
         let t_sync = sync.optimal_cycle_unbounded(&w);

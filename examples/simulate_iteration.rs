@@ -69,9 +69,7 @@ fn main() {
 
     // The banyan contention certificate.
     let good = BanyanSim::new(&m).simulate(&spec_s);
-    let bad = BanyanSim::new(&m)
-        .with_assignment(ModuleAssignment::Adversarial)
-        .simulate(&spec_s);
+    let bad = BanyanSim::new(&m).with_assignment(ModuleAssignment::Adversarial).simulate(&spec_s);
     println!(
         "\nbanyan switch waiting: dedicated modules {:.1} µs, adversarial {:.1} µs",
         good.contention_wait * us,

@@ -15,7 +15,10 @@
 //!   (hypercube, mesh, synchronous/asynchronous bus, banyan network),
 //! * [`solver`] — real numerical solvers (Jacobi, SOR, red-black, CG),
 //! * [`exec`] — shared-memory partitioned parallel runtime (rayon) used to
-//!   validate the model on the host machine.
+//!   validate the model on the host machine,
+//! * [`engine`] — batched, cached, parallel query engine over the models:
+//!   dedups and fans a batch of thousands of scenario queries across a
+//!   thread pool, bit-identical to direct model calls.
 //!
 //! A command-line interface to all of it ships as the `parspeed` binary
 //! (crate `parspeed-cli`), and `parspeed-bench` regenerates every table
@@ -41,6 +44,7 @@
 pub use parspeed_arch as arch;
 pub use parspeed_core as model;
 pub use parspeed_desim as desim;
+pub use parspeed_engine as engine;
 pub use parspeed_exec as exec;
 pub use parspeed_grid as grid;
 pub use parspeed_solver as solver;
@@ -52,6 +56,10 @@ pub mod prelude {
         ArchModel, AsyncBus, Banyan, BusParams, Hypercube, HypercubeParams, Infeasible,
         MachineParams, MemoryBudget, Mesh, Optimum, ProcessorBudget, ScheduledBus, SwitchParams,
         SyncBus, Workload,
+    };
+    pub use parspeed_engine::{
+        ArchKind, BatchTelemetry, Engine, EngineBuilder, MachineSpec, Query, Response, ShapeKey,
+        StencilSpec, WorkloadSpec,
     };
     pub use parspeed_grid::{Grid2D, RectDecomposition, StripDecomposition, WorkingRectangles};
     pub use parspeed_solver::{JacobiSolver, PoissonProblem, SolveStatus};

@@ -17,11 +17,8 @@ fn executor_matches_sequential_for_all_shapes_and_stencils() {
     let stencils = [Stencil::five_point(), Stencil::nine_point_box(), Stencil::nine_point_star()];
     for stencil in &stencils {
         let seq = {
-            let solver = parspeed::solver::JacobiSolver {
-                tol: 0.0,
-                max_iters: 30,
-                ..Default::default()
-            };
+            let solver =
+                parspeed::solver::JacobiSolver { tol: 0.0, max_iters: 30, ..Default::default() };
             solver.solve(&problem, stencil).0
         };
         let decomps: Vec<Box<dyn parspeed::grid::Decomposition>> = vec![
@@ -71,11 +68,7 @@ fn model_optimum_matches_simulated_optimum_on_the_bus() {
     }
     let model_opt = SyncBus::new(&m).optimize(&w, ProcessorBudget::Limited(cap));
     let rel = (model_opt.processors as f64 - best_p as f64).abs() / best_p as f64;
-    assert!(
-        rel <= 0.35,
-        "model says P = {}, simulation says P = {best_p}",
-        model_opt.processors
-    );
+    assert!(rel <= 0.35, "model says P = {}, simulation says P = {best_p}", model_opt.processors);
     // And the achieved times are close.
     assert!((model_opt.cycle_time - best_t).abs() / best_t < 0.35);
 }

@@ -129,7 +129,11 @@ fn contention_costs_the_exponent() {
     let sides = vec![512usize, 1024, 2048, 4096];
     let bus = SyncBus::new(&machine);
     let strip_exp = table1::fit_scaling_exponent(&sides, |n| {
-        bus.optimal_speedup_unbounded(&Workload::new(n, &Stencil::five_point(), PartitionShape::Strip))
+        bus.optimal_speedup_unbounded(&Workload::new(
+            n,
+            &Stencil::five_point(),
+            PartitionShape::Strip,
+        ))
     });
     assert!((strip_exp - 0.25).abs() < 0.01, "strip exponent {strip_exp}");
 }

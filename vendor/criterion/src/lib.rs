@@ -1,0 +1,322 @@
+//! A minimal, dependency-free stand-in for
+//! [criterion](https://docs.rs/criterion) exposing the subset of its API
+//! this workspace uses (the build environment has no access to crates.io).
+//!
+//! Measurement model: each benchmark closure is warmed up for
+//! `warm_up_time`, then timed over batches until `measurement_time`
+//! elapses or `sample_size` batches complete, whichever comes first. The
+//! reported statistic is the minimum per-iteration time across batches
+//! (the standard noise-resistant estimator); mean and max are printed
+//! beside it. There are no HTML reports, statistical regressions, or
+//! saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    /// Builds from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Best observed per-iteration seconds, captured by the harness.
+    best: f64,
+    mean: f64,
+    batches: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` under the configured warm-up/measurement schedule.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up budget elapses, growing the batch
+        // size geometrically to find one that is measurable (≥ ~100 µs).
+        let mut batch: u64 = 1;
+        let warm_until = Instant::now() + self.cfg.warm_up_time;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt < Duration::from_micros(100) {
+                batch = batch.saturating_mul(2);
+            }
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        // Measurement.
+        let mut best = f64::INFINITY;
+        let mut total = 0.0f64;
+        let mut iters = 0u64;
+        let mut batches = 0u64;
+        let stop_at = Instant::now() + self.cfg.measurement_time;
+        while batches < self.cfg.sample_size as u64 && Instant::now() < stop_at {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            best = best.min(dt / batch as f64);
+            total += dt;
+            iters += batch;
+            batches += 1;
+        }
+        if batches == 0 {
+            // Budget exhausted during warm-up: take one measured batch so a
+            // result is always reported.
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            best = dt / batch as f64;
+            total = dt;
+            iters = batch;
+            batches = 1;
+        }
+        self.best = best;
+        self.mean = total / iters as f64;
+        self.batches = batches;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            throughput: None,
+        }
+    }
+}
+
+fn fmt_secs(t: f64) -> String {
+    if t >= 1.0 {
+        format!("{t:.3} s")
+    } else if t >= 1e-3 {
+        format!("{:.3} ms", t * 1e3)
+    } else if t >= 1e-6 {
+        format!("{:.3} µs", t * 1e6)
+    } else {
+        format!("{:.1} ns", t * 1e9)
+    }
+}
+
+fn run_one(full_id: &str, cfg: &Config, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { cfg, best: f64::INFINITY, mean: 0.0, batches: 0 };
+    f(&mut b);
+    let mut line = format!(
+        "{full_id:<48} best {:>12}  mean {:>12}  ({} samples)",
+        fmt_secs(b.best),
+        fmt_secs(b.mean),
+        b.batches
+    );
+    if let Some(tp) = cfg.throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if b.best > 0.0 {
+            line.push_str(&format!("  {:.3e} {unit}/s", count as f64 / b.best));
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, &self.cfg, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, &self.cfg, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing else to do).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().to_string(), &self.cfg, &mut f);
+        self
+    }
+
+    /// Opens a named group with its own measurement settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let cfg = self.cfg.clone();
+        BenchmarkGroup { name: name.into(), cfg, _criterion: self }
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_times() {
+        let cfg = Config {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(5),
+            throughput: None,
+        };
+        let mut b = Bencher { cfg: &cfg, best: f64::INFINITY, mean: 0.0, batches: 0 };
+        b.iter(|| std::hint::black_box(3u64.pow(7)));
+        assert!(b.best.is_finite() && b.best > 0.0);
+        assert!(b.mean >= 0.0);
+        assert!(b.batches >= 1);
+    }
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2))
+            .throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

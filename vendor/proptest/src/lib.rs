@@ -1,0 +1,341 @@
+//! A minimal, dependency-free stand-in for
+//! [proptest](https://docs.rs/proptest) exposing the subset of its API this
+//! workspace uses (the build environment has no access to crates.io).
+//!
+//! Differences from the real crate, by design:
+//!
+//! * cases are drawn from a deterministic per-test RNG (seeded from the
+//!   test name), so every run replays the identical case list — there is
+//!   no persistence file and no `PROPTEST_CASES` environment variable;
+//! * there is no shrinking: a failing case reports its index and values
+//!   via the assertion message only;
+//! * the strategy combinators are limited to what the workspace uses:
+//!   numeric ranges, tuples, `prop::collection::vec`, and `prop_map`.
+//!
+//! The macro surface (`proptest!`, `prop_assert!`, `prop_assert_eq!`) is
+//! source-compatible with the real crate for the tests in this repository.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Range;
+
+/// A failed property case (carried by `prop_assert!` early returns).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Deterministic test RNG (xorshift64*), seeded from the test name.
+pub mod test_runner {
+    /// The per-test random number generator.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from an arbitrary tag (the test name).
+        pub fn deterministic(tag: &str) -> Self {
+            // FNV-1a over the tag, never zero.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in tag.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: h | 1 }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            // xorshift64* (Vigna): passes the statistical tests that matter
+            // for drawing test cases.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer draw in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty range");
+            // Multiply-shift bounded draw; the bias is far below anything a
+            // test-case sampler can observe.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator. The single required method draws one value from the
+/// deterministic RNG.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { base: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct MapStrategy<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for MapStrategy<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// The `prop::` namespace (only `collection::vec` is provided).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Anything usable as a vector-length specification.
+        pub trait IntoSizeRange {
+            /// Lower (inclusive) and upper (exclusive) length bounds.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (self.start, self.end)
+            }
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self + 1)
+            }
+        }
+
+        /// The strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// Generates vectors whose length is drawn from `size` and whose
+        /// elements are drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            assert!(min < max, "empty size range");
+            VecStrategy { elem, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.max - self.min) as u64;
+                let len = self.min + rng.below(span.max(1)) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Number of cases each property runs (the real crate defaults to 256;
+/// 64 keeps the suite fast while exercising the space).
+pub const CASES: u32 = 64;
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// expands to a `#[test]` that replays [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..$crate::CASES {
+                let ($($arg,)*) = ($( $crate::Strategy::generate(&($strat), &mut rng), )*);
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("property `{}` failed at case {}/{}: {}",
+                        stringify!($name), case + 1, $crate::CASES, e);
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not the
+/// process) so the harness can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a), stringify!($b), lhs, rhs,
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($a), stringify!($b), lhs, rhs, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Glob-import mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_tag() {
+        let mut a = crate::test_runner::TestRng::deterministic("tag");
+        let mut b = crate::test_runner::TestRng::deterministic("tag");
+        let mut c = crate::test_runner::TestRng::deterministic("other");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = crate::Strategy::generate(&(0.5f64..2.5), &mut rng);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    proptest! {
+        fn vec_lengths_in_range(v in prop::collection::vec(0.0f64..1.0, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x), "out of range: {x}");
+            }
+        }
+
+        fn tuples_and_map_compose(
+            pair in (1usize..10, 0.0f64..1.0),
+            scaled in (1u32..5).prop_map(|x| x * 100),
+        ) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 10);
+            prop_assert!((100..500).contains(&scaled));
+            prop_assert_eq!(scaled % 100, 0);
+        }
+    }
+}

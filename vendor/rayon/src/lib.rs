@@ -1,0 +1,428 @@
+//! A minimal, dependency-free stand-in for [rayon](https://docs.rs/rayon)
+//! exposing exactly the subset of its API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim instead of the real crate. It is *not* a toy that
+//! falls back to sequential execution: parallel pipelines fan work out
+//! across OS threads (`std::thread::scope`), honouring the thread count of
+//! the innermost [`ThreadPool::install`] scope, so thread-scaling
+//! measurements remain meaningful. The execution model is simpler than
+//! rayon's work stealing — each terminal operation splits its items into
+//! contiguous slabs, one per worker — which is well suited to the regular,
+//! balanced loops this workspace runs.
+//!
+//! Supported surface:
+//!
+//! * [`prelude`] — `par_iter`, `par_iter_mut`, `par_chunks`,
+//!   `par_chunks_mut`, `into_par_iter` on slices and vectors;
+//! * adapters `map`, `enumerate`, `skip`, `take`, `zip`; terminals
+//!   `reduce`, `sum`, `for_each`, `collect`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] with per-scope thread
+//!   counts;
+//! * [`current_num_threads`].
+//!
+//! Semantics match rayon where it matters for this workspace: item order is
+//! preserved by `collect`, `map` is applied in worker threads, and
+//! `reduce` combines per-item results with a caller-supplied associative
+//! operator (the workspace only uses order-insensitive operators such as
+//! `f64::max` and `+`).
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]; 0 means
+    /// "use the machine default".
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel operations currently target.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    if installed > 0 {
+        installed
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Builder for a [`ThreadPool`] with a fixed thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (infallible here,
+/// kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the machine-default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A logical thread pool: parallel operations run inside
+/// [`ThreadPool::install`] target this pool's thread count. Threads are
+/// spawned per terminal operation (scoped), not kept resident.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// operations it performs.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(self.num_threads));
+        let out = op();
+        INSTALLED_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    /// The pool's configured thread count (0 = machine default).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// Applies `f` to every item on a scoped worker fleet, preserving order.
+fn parallel_map<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let workers = current_num_threads().max(1);
+    let len = items.len();
+    if workers <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slab = len.div_ceil(workers);
+    let mut slabs: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > slab {
+        let tail = rest.split_off(slab);
+        slabs.push(std::mem::replace(&mut rest, tail));
+    }
+    if !rest.is_empty() {
+        slabs.push(rest);
+    }
+    let f = &f;
+    let mut out: Vec<U> = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = slabs
+            .into_iter()
+            .map(|slab| scope.spawn(move || slab.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// A parallel pipeline. The one required method, [`drive`](Self::drive),
+/// evaluates all pending stages (in worker threads where a `map` is
+/// pending) and returns the items in order.
+pub trait ParallelIterator: Sized {
+    /// The item type this pipeline yields.
+    type Item: Send;
+
+    /// Evaluates the pipeline and returns all items in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` (applied in worker threads).
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pairs this pipeline's items with `other`'s, element by element.
+    fn zip<Q: ParallelIterator>(self, other: Q) -> Par<(Self::Item, Q::Item)> {
+        let a = self.drive();
+        let b = other.drive();
+        Par { items: a.into_iter().zip(b).collect() }
+    }
+
+    /// Combines all items with `op`, starting from `identity`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.drive().into_iter().fold(identity(), op)
+    }
+
+    /// Sums all items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+
+    /// Runs `f` on every item (in worker threads).
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let _ = self.map(f).drive();
+    }
+
+    /// Collects all items, preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Marker refinement for pipelines with a known length and stable order
+/// (every pipeline in this shim qualifies).
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+/// A pipeline source holding already-realized items (slice chunks, item
+/// references); producing these is cheap, the compute happens in `map`.
+pub struct Par<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> Par<T> {
+    /// Skips the first `n` items.
+    pub fn skip(mut self, n: usize) -> Par<T> {
+        if n > 0 {
+            self.items.drain(..n.min(self.items.len()));
+        }
+        self
+    }
+
+    /// Keeps only the first `n` items.
+    pub fn take(mut self, n: usize) -> Par<T> {
+        self.items.truncate(n);
+        self
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> Par<(usize, T)> {
+        Par { items: self.items.into_iter().enumerate().collect() }
+    }
+}
+
+impl<T: Send> ParallelIterator for Par<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for Par<T> {}
+
+/// A pending `map` stage over a base pipeline.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, U> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> U + Sync,
+    U: Send,
+{
+    type Item = U;
+
+    fn drive(self) -> Vec<U> {
+        parallel_map(self.base.drive(), self.f)
+    }
+}
+
+impl<P, F, U> IndexedParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> U + Sync,
+    U: Send,
+{
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel pipeline over `chunk_size`-sized sub-slices (last may be
+    /// shorter).
+    fn par_chunks(&self, chunk_size: usize) -> Par<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Par { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel pipeline over mutable `chunk_size`-sized sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Par { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// `par_iter` on shared collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The reference item type.
+    type Item: Send + 'a;
+    /// Parallel pipeline over `&self`'s items.
+    fn par_iter(&'a self) -> Par<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Par<&'a T> {
+        Par { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Par<&'a T> {
+        Par { items: self.iter().collect() }
+    }
+}
+
+/// `par_iter_mut` on exclusive collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The mutable reference item type.
+    type Item: Send + 'a;
+    /// Parallel pipeline over `&mut self`'s items.
+    fn par_iter_mut(&'a mut self) -> Par<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Par<&'a mut T> {
+        Par { items: self.iter_mut().collect() }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> Par<&'a mut T> {
+        Par { items: self.iter_mut().collect() }
+    }
+}
+
+/// `into_par_iter` on owning collections.
+pub trait IntoParallelIterator {
+    /// The owned item type.
+    type Item: Send;
+    /// Consumes `self` into a parallel pipeline.
+    fn into_par_iter(self) -> Par<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> Par<T> {
+        Par { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> Par<usize> {
+        Par { items: self.collect() }
+    }
+}
+
+/// Glob-import of the traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_runs_on_worker_threads() {
+        let v: Vec<usize> = (0..64).collect();
+        let main_id = std::thread::current().id();
+        let ids: Vec<bool> = v.par_iter().map(|_| std::thread::current().id() != main_id).collect();
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+            assert!(ids.iter().any(|&off_main| off_main), "no work left the main thread");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_mutates_in_place() {
+        let mut v = vec![1i64; 100];
+        v.as_mut_slice().par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as i64;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[99], 14);
+    }
+
+    #[test]
+    fn reduce_and_sum_agree_with_sequential() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s: f64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 5050.0);
+        let m = v.par_iter().map(|&x| x).reduce(|| 0.0, f64::max);
+        assert_eq!(m, 100.0);
+    }
+
+    #[test]
+    fn skip_take_zip() {
+        let a = vec![1, 2, 3, 4, 5];
+        let b = vec![10, 20, 30];
+        let pairs: Vec<(i32, i32)> = a
+            .as_slice()
+            .par_chunks(1)
+            .skip(1)
+            .take(3)
+            .map(|c| c[0])
+            .zip(b.into_par_iter())
+            .map(|p| p)
+            .collect();
+        assert_eq!(pairs, vec![(2, 10), (3, 20), (4, 30)]);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(nested.install(current_num_threads), 2));
+    }
+}
