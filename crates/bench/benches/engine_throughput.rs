@@ -1,49 +1,20 @@
-//! Engine throughput: a 10k-query sweep-shaped batch with heavy
-//! duplication through the naive sequential per-query loop vs. the
-//! batched engine (dedup + cache + rayon sharding), plus the steady-state
-//! warm-cache path. The acceptance bar for this workload is engine ≥ 4×
-//! naive at equal (bit-identical) answers; in practice dedup alone buys
-//! the batch far more.
+//! Engine throughput: a 10k-query mixed-kind batch with heavy duplication
+//! through the naive sequential per-query loop vs. the batched engine
+//! (dedup + cache + rayon sharding), plus the steady-state warm-cache
+//! path. Since the service redesign the batch mixes every cacheable query
+//! kind — optimizer points plus `table1`, `compare`, `minsize`, `isoeff`,
+//! `leverage`, `simulate`, and `solve`. The acceptance bar for this
+//! workload is engine ≥ 4× naive at equal (bit-identical) answers; in
+//! practice dedup alone buys the batch far more.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use parspeed_engine::{
-    eval_naive, ArchKind, Engine, MachineSpec, Query, ShapeKey, StencilSpec, WorkloadSpec,
-};
+use parspeed_engine::{eval_naive, Engine};
 use std::hint::black_box;
 
 const BATCH: usize = 10_000;
 
-/// 10k-atom batch cycling over 400 unique optimizer queries — the shape
-/// of sweep traffic hitting a capacity-planning service.
-fn duplicated_batch() -> Vec<Query> {
-    let stencils = [StencilSpec::FivePoint, StencilSpec::NinePointBox];
-    let shapes = [ShapeKey::Strip, ShapeKey::Square];
-    let sizes = [256usize, 512, 1024, 2048, 4096];
-    let budgets = [Some(8), Some(16), Some(32), Some(64), None];
-    let archs = [ArchKind::SyncBus, ArchKind::AsyncBus, ArchKind::Hypercube, ArchKind::Banyan];
-    let mut unique = Vec::new();
-    for arch in archs {
-        for stencil in stencils {
-            for shape in shapes {
-                for n in sizes {
-                    for procs in budgets {
-                        unique.push(Query::Optimize {
-                            arch,
-                            machine: MachineSpec::default(),
-                            workload: WorkloadSpec { n, stencil, shape },
-                            procs,
-                            memory_words: None,
-                        });
-                    }
-                }
-            }
-        }
-    }
-    (0..BATCH).map(|i| unique[i % unique.len()].clone()).collect()
-}
-
 fn bench_engine_vs_naive(c: &mut Criterion) {
-    let batch = duplicated_batch();
+    let batch = parspeed_engine::workloads::mixed_batch(BATCH);
 
     // Headline comparison, printed before the per-path timings: one
     // measured naive pass vs one cold engine pass, with the identity of

@@ -1,5 +1,5 @@
 //! E7 — §4: convergence-checking cost and scheduling (after Saltz, Naik &
-//! Nicol [13]).
+//! Nicol \[13\]).
 //!
 //! Model side: naive per-iteration checking on a large hypercube costs
 //! more than the iteration itself; the optimal period makes it

@@ -1,9 +1,14 @@
 //! `parspeed compare` — every architecture side by side on one instance.
+//!
+//! One [`Query::Compare`](parspeed_engine::Query::Compare) macro-query:
+//! the engine expands it into six optimizer atoms that dedup against any
+//! other optimize traffic in the process.
 
 use crate::args::{Args, CliError};
+use crate::commands::eval_points;
 use crate::select;
 use parspeed_bench::report::Table;
-use parspeed_core::{ProcessorBudget, Workload};
+use parspeed_engine::{EvalValue, Request};
 
 pub const KEYS: &[&str] =
     &["n", "stencil", "shape", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
@@ -21,28 +26,39 @@ instance instead of asymptotically.";
 pub fn run(args: &Args) -> Result<String, CliError> {
     let m = select::machine(args)?;
     let n = args.usize_or("n", 256)?;
-    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
-    let shape = select::shape(args.str_or("shape", "square"))?;
-    let w = Workload::new(n, &stencil, shape);
-    let budget = match args.usize_opt("procs")? {
-        Some(p) => ProcessorBudget::Limited(p),
-        None => ProcessorBudget::Unlimited,
-    };
+    let stencil_spec = select::stencil_spec(args.str_or("stencil", "5pt"))?;
+    let stencil = stencil_spec.to_stencil().expect("CLI stencil names are catalog stencils");
+    let shape_key = select::shape_key(args.str_or("shape", "square"))?;
+    let shape = shape_key.to_shape();
+
+    let mut builder = Request::compare(n)
+        .machine(select::machine_spec(args)?)
+        .stencil(stencil_spec)
+        .shape(shape_key);
+    if let Some(p) = args.usize_opt("procs")? {
+        builder = builder.procs(p);
+    }
+    let points = eval_points(builder.query())?;
 
     let mut t = Table::new(
         format!("All architectures · n={n} · {} · {}", stencil.name(), shape.name()),
         &["architecture", "processors", "cycle time", "speedup", "efficiency"],
     );
-    for name in select::ARCHITECTURES {
-        let model = select::arch_model(name, &m)?;
-        let opt = parspeed_core::optimize_constrained(model.as_ref(), &w, budget, None)
-            .expect("no memory budget, cannot be infeasible");
+    for (label, outcome) in &points {
+        // Display names come from the models (the labels carry the short
+        // wire names).
+        let model = select::arch_model(label.arch, &m)?;
+        let EvalValue::Optimum { processors, cycle_time, speedup, efficiency, .. } =
+            outcome.as_ref().expect("no memory budget, cannot be infeasible")
+        else {
+            unreachable!("compare points are optimizer runs")
+        };
         t.row(vec![
             model.name().into(),
-            opt.processors.to_string(),
-            format!("{:.3e} s", opt.cycle_time),
-            format!("{:.2}", opt.speedup),
-            format!("{:.1}%", opt.efficiency * 100.0),
+            processors.to_string(),
+            format!("{cycle_time:.3e} s"),
+            format!("{speedup:.2}"),
+            format!("{:.1}%", efficiency * 100.0),
         ]);
     }
     Ok(t.render())

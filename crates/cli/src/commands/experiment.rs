@@ -1,7 +1,16 @@
 //! `parspeed experiment` — regenerate the paper's tables and figures.
+//!
+//! Routed through the engine as an effect query. The experiment harness
+//! (`parspeed-bench`) sits *above* the engine in the dependency graph, so
+//! the engine cannot call it directly; instead [`runner`] is registered on
+//! the process-wide engine at construction (dependency inversion), and
+//! `Query::Experiment` requests — from this command or from a JSONL batch —
+//! are served through it.
 
-use crate::args::{err, Args, CliError};
+use crate::args::{Args, CliError};
+use crate::commands::eval_single;
 use parspeed_bench::experiments;
+use parspeed_engine::{EvalValue, Request};
 
 pub const KEYS: &[&str] = &["id"];
 pub const SWITCHES: &[&str] = &["quick"];
@@ -14,11 +23,10 @@ k-table, e2 = Fig 6, e3 = Fig 7, e4 = Fig 8, e5 = Table I, e6–e12 the
 per-section analyses, e13/e14 validation, e15 scheduling, e16 embeddings)
 or all of them. --quick trims the sweeps.";
 
-/// Runs the subcommand.
-pub fn run(args: &Args) -> Result<String, CliError> {
-    let quick = args.switch("quick");
-    let id = args.str_or("id", "all").to_lowercase();
-    Ok(match id.as_str() {
+/// The experiment runner registered on the process-wide engine: maps an
+/// id to its `parspeed-bench` harness.
+pub fn runner(id: &str, quick: bool) -> Result<String, String> {
+    Ok(match id {
         "all" => experiments::run_all(quick),
         "e1" => experiments::table_k::run(quick),
         "e2" => experiments::fig6::run(quick),
@@ -36,8 +44,18 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "e14" => experiments::validate_threads::run(quick),
         "e15" => experiments::sec8_scheduling::run(quick),
         "e16" => experiments::sec4_embedding::run(quick),
-        other => return Err(err(format!("unknown experiment `{other}`; e1..e16 or all"))),
+        other => return Err(format!("unknown experiment `{other}`; e1..e16 or all")),
     })
+}
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let quick = args.switch("quick");
+    let id = args.str_or("id", "all").to_lowercase();
+    let EvalValue::Report(text) = eval_single(Request::experiment(id).quick(quick).query())? else {
+        unreachable!("experiment queries produce reports")
+    };
+    Ok(text)
 }
 
 #[cfg(test)]

@@ -1,12 +1,17 @@
 //! `parspeed isoeff` — isoefficiency: how fast must the problem grow to
 //! keep the machine efficient? (The modern framing of the paper's
 //! fixed-N results.)
+//!
+//! One engine query per processor count — threshold searches dedup and
+//! cache like any other traffic — and the exponent is fitted locally from
+//! the returned thresholds with the same least-squares the core applies.
 
 use crate::args::{Args, CliError};
+use crate::commands::service_call;
 use crate::select;
 use parspeed_bench::report::Table;
-use parspeed_core::isoefficiency::{isoefficiency_exponent, min_grid_for_efficiency};
-use parspeed_core::Workload;
+use parspeed_core::isoefficiency::fit_work_exponent;
+use parspeed_engine::{EvalValue, Query, Request, Response};
 
 pub const KEYS: &[&str] =
     &["stencil", "shape", "efficiency", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
@@ -35,8 +40,24 @@ pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
     if procs.len() < 2 || procs.contains(&0) {
         return Err(CliError("--procs needs at least two positive counts".into()));
     }
-    let template = Workload::new(2, &stencil, shape);
 
+    let query = |p: usize| -> Query {
+        Request::isoeff(select::arch_kind(arch).expect("validated above"), p, efficiency)
+            .machine(select::machine_spec(args).expect("validated above"))
+            .stencil(select::stencil_spec(args.str_or("stencil", "5pt")).expect("validated above"))
+            .shape(select::shape_key(args.str_or("shape", "square")).expect("validated above"))
+            .query()
+    };
+    let responses = service_call(procs.iter().map(|&p| query(p)).collect())?;
+    let mut thresholds = Vec::with_capacity(procs.len());
+    for (&p, response) in procs.iter().zip(responses) {
+        let n = match response {
+            Response::Single(Ok(EvalValue::Isoefficiency { n })) => n,
+            Response::Single(Err(e)) | Response::Invalid(e) => return Err(CliError(e.to_string())),
+            other => unreachable!("isoeff queries produce isoefficiency values, got {other:?}"),
+        };
+        thresholds.push((p, n));
+    }
     let mut t = Table::new(
         format!(
             "Isoefficiency · {} · {} · {} · target {:.0}%",
@@ -47,8 +68,7 @@ pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
         ),
         &["N", "min n", "work n²", "points/processor"],
     );
-    for &p in &procs {
-        let n = min_grid_for_efficiency(model.as_ref(), &template, p, efficiency);
+    for &(p, n) in &thresholds {
         t.row(vec![
             p.to_string(),
             n.to_string(),
@@ -56,7 +76,7 @@ pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
             format!("{:.0}", (n * n) as f64 / p as f64),
         ]);
     }
-    let exponent = isoefficiency_exponent(model.as_ref(), &template, &procs, efficiency);
+    let exponent = fit_work_exponent(&thresholds);
     let mut out = t.render();
     out.push_str(&format!(
         "Fitted isoefficiency exponent: {exponent:.2} (W ∝ N^{exponent:.2}; lower = more scalable).\n"
@@ -82,6 +102,22 @@ mod tests {
             .and_then(|l| l.split_whitespace().nth(3).map(|s| s.parse().unwrap()))
             .unwrap();
         assert!((exp - 3.0).abs() < 0.2, "{out}");
+    }
+
+    #[test]
+    fn exponent_matches_the_unbatched_core_fit() {
+        use parspeed_core::isoefficiency::isoefficiency_exponent;
+        use parspeed_core::Workload;
+        let out = run("sync-bus", &parse(&["--procs", "8,16,32,64"])).unwrap();
+        let m = parspeed_core::MachineParams::paper_defaults();
+        let model = select::arch_model("sync-bus", &m).unwrap();
+        let template = Workload::new(
+            2,
+            &parspeed_stencil::Stencil::five_point(),
+            parspeed_stencil::PartitionShape::Square,
+        );
+        let direct = isoefficiency_exponent(model.as_ref(), &template, &[8, 16, 32, 64], 0.5);
+        assert!(out.contains(&format!("{direct:.2}")), "{out}");
     }
 
     #[test]

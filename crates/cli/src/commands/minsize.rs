@@ -1,10 +1,14 @@
 //! `parspeed minsize` — the smallest grid that gainfully uses all N
 //! processors (Fig. 7's question, for arbitrary N).
+//!
+//! One engine query per bus variant, submitted as a single batch so the
+//! closed-form evaluations dedup and cache with the rest of the process.
 
 use crate::args::{Args, CliError};
+use crate::commands::service_call;
 use crate::select;
 use parspeed_bench::report::Table;
-use parspeed_core::minsize::{min_grid_side, BusVariant};
+use parspeed_engine::{EvalValue, MinSizeVariant, Request, Response};
 use parspeed_stencil::PartitionShape;
 
 pub const KEYS: &[&str] = &["stencil", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
@@ -17,23 +21,45 @@ The smallest grid side n whose optimal bus allocation uses all --procs
 processors, for each bus variant and partition shape (Fig. 7). Below that
 size, buying more processors buys nothing.";
 
+/// The variants in Fig. 7 presentation order (matching
+/// `BusVariant::all()`).
+const VARIANTS: [MinSizeVariant; 4] = [
+    MinSizeVariant::SyncStrip,
+    MinSizeVariant::AsyncStrip,
+    MinSizeVariant::SyncSquare,
+    MinSizeVariant::AsyncSquare,
+];
+
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
-    let m = select::machine(args)?;
     let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
     let n_procs = args.usize_or("procs", 16)?;
     if n_procs < 2 {
         return Err(CliError("--procs must be at least 2".into()));
     }
+    let machine_spec = select::machine_spec(args)?;
     let e = stencil.calibrated_e().unwrap_or_else(|| stencil.flops_per_point());
+
+    let queries = VARIANTS
+        .iter()
+        .map(|&mv| {
+            let k = stencil.perimeters(mv.to_variant().shape()) as f64;
+            Request::minsize(mv, n_procs).machine(machine_spec).e(e).k(k).query()
+        })
+        .collect();
+    let responses = service_call(queries)?;
 
     let mut t = Table::new(
         format!("Minimal grid using all {n_procs} processors · {}", stencil.name()),
         &["bus variant", "shape", "min n", "min log2(n²)"],
     );
-    for v in BusVariant::all() {
-        let k = stencil.perimeters(v.shape()) as f64;
-        let side = min_grid_side(&m, e, k, n_procs, v);
+    for (mv, response) in VARIANTS.iter().zip(responses) {
+        let side = match response {
+            Response::Single(Ok(EvalValue::MinSize { n_side, .. })) => n_side,
+            Response::Single(Err(e)) | Response::Invalid(e) => return Err(CliError(e.to_string())),
+            other => unreachable!("minsize queries produce minsize values, got {other:?}"),
+        };
+        let v = mv.to_variant();
         t.row(vec![
             v.label().into(),
             match v.shape() {

@@ -1,10 +1,16 @@
 //! `parspeed optimize` — the paper's headline question for one instance:
 //! how many processors, and what speedup?
+//!
+//! Routed through the engine's service surface: the command builds one
+//! [`Request`], so repeated optimizes in a process share the result cache
+//! and answers stay bit-identical to direct model calls.
 
 use crate::args::{Args, CliError};
+use crate::commands::eval_single;
 use crate::select;
 use parspeed_bench::report::Table;
-use parspeed_core::{MemoryBudget, ProcessorBudget, Workload};
+use parspeed_core::{MemoryBudget, Workload};
+use parspeed_engine::{EvalValue, Request};
 
 pub const KEYS: &[&str] =
     &["n", "stencil", "shape", "procs", "memory", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
@@ -25,34 +31,45 @@ pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
     let m = select::machine(args)?;
     let model = select::arch_model(arch, &m)?;
     let n = args.usize_or("n", 256)?;
-    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
-    let shape = select::shape(args.str_or("shape", "square"))?;
-    let w = Workload::new(n, &stencil, shape);
-    let budget = match args.usize_opt("procs")? {
-        Some(p) => ProcessorBudget::Limited(p),
-        None => ProcessorBudget::Unlimited,
-    };
+    let stencil_spec = select::stencil_spec(args.str_or("stencil", "5pt"))?;
+    let stencil = stencil_spec.to_stencil().expect("CLI stencil names are catalog stencils");
+    let shape_key = select::shape_key(args.str_or("shape", "square"))?;
+    let shape = shape_key.to_shape();
     let memory = args.f64_opt("memory")?.map(MemoryBudget::words);
 
-    let opt = parspeed_core::optimize_constrained(model.as_ref(), &w, budget, memory)
-        .map_err(|e| CliError(e.to_string()))?;
+    let mut builder = Request::optimize(select::arch_kind(arch)?, n)
+        .machine(select::machine_spec(args)?)
+        .stencil(stencil_spec)
+        .shape(shape_key);
+    if let Some(p) = args.usize_opt("procs")? {
+        builder = builder.procs(p);
+    }
+    if let Some(mem) = memory {
+        builder = builder.memory_words(mem.words_per_processor);
+    }
+    let EvalValue::Optimum { processors, area, cycle_time, speedup, efficiency, used_all } =
+        eval_single(builder.query())?
+    else {
+        unreachable!("optimize queries produce optimum values")
+    };
 
     let mut t = Table::new(
         format!("{} · n={n} · {} · {}", model.name(), stencil.name(), shape.name()),
         &["quantity", "value"],
     );
-    t.row(vec!["optimal processors".into(), opt.processors.to_string()]);
-    t.row(vec!["largest partition (points)".into(), format!("{:.0}", opt.area)]);
-    t.row(vec!["cycle time".into(), format!("{:.3e} s", opt.cycle_time)]);
-    t.row(vec!["speedup".into(), format!("{:.2}", opt.speedup)]);
-    t.row(vec!["efficiency".into(), format!("{:.1}%", opt.efficiency * 100.0)]);
-    t.row(vec!["uses every processor".into(), if opt.used_all { "yes" } else { "no" }.into()]);
+    t.row(vec!["optimal processors".into(), processors.to_string()]);
+    t.row(vec!["largest partition (points)".into(), format!("{area:.0}")]);
+    t.row(vec!["cycle time".into(), format!("{cycle_time:.3e} s")]);
+    t.row(vec!["speedup".into(), format!("{speedup:.2}")]);
+    t.row(vec!["efficiency".into(), format!("{:.1}%", efficiency * 100.0)]);
+    t.row(vec!["uses every processor".into(), if used_all { "yes" } else { "no" }.into()]);
     if let Some(mem) = memory {
+        let w = Workload::new(n, &stencil, shape);
         t.row(vec![
             "largest partition memory (words)".into(),
             format!(
                 "{:.0} of {:.0}",
-                MemoryBudget::partition_words(&w, opt.processors),
+                MemoryBudget::partition_words(&w, processors),
                 mem.words_per_processor
             ),
         ]);

@@ -1,15 +1,12 @@
-//! `parspeed simulate` — one event-level iteration beside the closed form.
+//! `parspeed simulate` — one event-level iteration beside the closed form,
+//! served through the engine: simulations are deterministic, so they
+//! canonicalize, dedup, and cache exactly like analytic queries.
 
 use crate::args::{Args, CliError};
+use crate::commands::eval_single;
 use crate::select;
-use parspeed_arch::{
-    AsyncBusSim, BanyanSim, IterationSpec, Mesh2dSim, NeighborExchangeSim, ScheduledBusSim,
-    SyncBusSim,
-};
 use parspeed_bench::report::Table;
-use parspeed_core::Workload;
-use parspeed_grid::{Decomposition, RectDecomposition, StripDecomposition};
-use parspeed_stencil::PartitionShape;
+use parspeed_engine::{EvalValue, Request, SimArchKind};
 
 pub const KEYS: &[&str] =
     &["n", "stencil", "shape", "procs", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
@@ -30,57 +27,37 @@ pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
     let m = select::machine(args)?;
     let n = args.usize_or("n", 256)?;
     let p = args.usize_or("procs", 16)?;
-    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
-    let shape = select::shape(args.str_or("shape", "strip"))?;
+    let stencil_spec = select::stencil_spec(args.str_or("stencil", "5pt"))?;
+    let stencil = stencil_spec.to_stencil().expect("CLI stencil names are catalog stencils");
+    let shape_key = select::shape_key(args.str_or("shape", "strip"))?;
+    let shape = shape_key.to_shape();
     let model = select::arch_model(arch, &m)?;
+    let sim_arch = SimArchKind::parse(arch).map_err(CliError)?;
 
-    let decomp: Box<dyn Decomposition> = match shape {
-        PartitionShape::Strip => {
-            if p > n {
-                return Err(CliError(format!("{p} strips need a grid of at least {p} rows")));
-            }
-            Box::new(StripDecomposition::new(n, p))
-        }
-        PartitionShape::Square => RectDecomposition::near_square(n, p)
-            .map(|d| Box::new(d) as Box<dyn Decomposition>)
-            .ok_or_else(|| {
-                CliError(format!(
-                    "no near-square decomposition of a {n}×{n} grid into {p} blocks; \
-                     try a processor count with a factor dividing {n}"
-                ))
-            })?,
-    };
-    let spec = IterationSpec::new(decomp.as_ref(), &stencil);
-
-    let report = match arch {
-        "hypercube" => NeighborExchangeSim::hypercube(&m).simulate(&spec),
-        "mesh" => NeighborExchangeSim::mesh(&m).simulate(&spec),
-        "mesh2d" => Mesh2dSim::new(&m).simulate(&spec).cycle,
-        "sync-bus" => SyncBusSim::new(&m).simulate(&spec),
-        "async-bus" => AsyncBusSim::new(&m).simulate(&spec),
-        "scheduled-bus" => ScheduledBusSim::new(&m).simulate(&spec),
-        "banyan" => BanyanSim::new(&m).simulate(&spec).cycle,
-        other => return Err(CliError(format!("no simulator for `{other}`"))),
+    let query = Request::simulate(sim_arch, n, p)
+        .machine(select::machine_spec(args)?)
+        .stencil(stencil_spec)
+        .shape(shape_key)
+        .query();
+    let EvalValue::Simulate { cycle_time, max_compute, comm_fraction, predicted, seq_time } =
+        eval_single(query)?
+    else {
+        unreachable!("simulate queries produce simulate values")
     };
 
-    let w = Workload::new(n, &stencil, shape);
-    let predicted = model.cycle_time(&w, w.points() / p as f64);
     let mut t = Table::new(
         format!("{} · n={n} · P={p} · {} · {}", model.name(), stencil.name(), shape.name()),
         &["quantity", "value"],
     );
-    t.row(vec!["simulated cycle time".into(), format!("{:.3e} s", report.cycle_time)]);
-    t.row(vec!["model cycle time".into(), format!("{:.3e} s", predicted)]);
+    t.row(vec!["simulated cycle time".into(), format!("{cycle_time:.3e} s")]);
+    t.row(vec!["model cycle time".into(), format!("{predicted:.3e} s")]);
     t.row(vec![
         "relative difference".into(),
-        format!("{:.1}%", 100.0 * (report.cycle_time - predicted).abs() / predicted),
+        format!("{:.1}%", 100.0 * (cycle_time - predicted).abs() / predicted),
     ]);
-    t.row(vec!["longest pure compute".into(), format!("{:.3e} s", report.max_compute)]);
-    t.row(vec!["communication fraction".into(), format!("{:.1}%", 100.0 * report.comm_fraction())]);
-    t.row(vec![
-        "simulated speedup".into(),
-        format!("{:.2}", model.seq_time(&w) / report.cycle_time),
-    ]);
+    t.row(vec!["longest pure compute".into(), format!("{max_compute:.3e} s")]);
+    t.row(vec!["communication fraction".into(), format!("{:.1}%", 100.0 * comm_fraction)]);
+    t.row(vec!["simulated speedup".into(), format!("{:.2}", seq_time / cycle_time)]);
     Ok(t.render())
 }
 

@@ -1,15 +1,13 @@
 //! `parspeed solve` — actually solve a Poisson problem with the numerical
-//! substrate (sequential solvers or the rayon-partitioned executor).
+//! substrate, served through the engine: solves are deterministic (the
+//! partitioned executor is bit-identical to sequential Jacobi), so
+//! repeated solves dedup and cache like any other query.
 
 use crate::args::{Args, CliError};
+use crate::commands::eval_single;
 use crate::select;
 use parspeed_bench::report::Table;
-use parspeed_exec::{CheckPolicy, PartitionedJacobi};
-use parspeed_grid::StripDecomposition;
-use parspeed_solver::{
-    CgSolver, JacobiSolver, Manufactured, MultigridSolver, PoissonProblem, RedBlackSolver,
-    SolveStatus, SorSolver,
-};
+use parspeed_engine::{EvalValue, Request, SolverKind};
 
 pub const KEYS: &[&str] = &["n", "solver", "tol", "stencil", "partitions", "max-iters"];
 pub const SWITCHES: &[&str] = &[];
@@ -23,86 +21,44 @@ iterations, convergence, and the exact-solution error. `parallel` runs the
 rayon-partitioned Jacobi executor with --partitions strips (bit-identical
 to sequential Jacobi); `multigrid` needs n = 2^k − 1.";
 
-fn error_vs_exact(problem: &PoissonProblem, u: &parspeed_grid::Grid2D) -> f64 {
-    let exact = Manufactured::SinSin;
-    let h = problem.h();
-    let mut worst = 0.0f64;
-    for r in 0..problem.n() {
-        for c in 0..problem.n() {
-            let x = (c as f64 + 1.0) * h;
-            let y = (r as f64 + 1.0) * h;
-            worst = worst.max((u.get(r, c) - exact.u(x, y)).abs());
-        }
-    }
-    worst
-}
-
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let n = args.usize_or("n", 63)?;
     let tol = args.f64_or("tol", 1e-8)?;
     let max_iters = args.usize_or("max-iters", 200_000)?;
-    let solver_name = args.str_or("solver", "jacobi");
-    let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
-    let problem = PoissonProblem::manufactured(n, Manufactured::SinSin);
+    let solver = SolverKind::parse(args.str_or("solver", "jacobi")).map_err(CliError)?;
+    let parts = args.usize_or("partitions", 4)?.clamp(1, n.max(1));
 
-    let (u, status, label): (parspeed_grid::Grid2D, SolveStatus, String) = match solver_name {
-        "jacobi" => {
-            let (u, s) =
-                JacobiSolver { tol, max_iters, ..Default::default() }.solve(&problem, &stencil);
-            (u, s, "point Jacobi".into())
-        }
-        "sor" => {
-            let (u, s) =
-                SorSolver { max_iters, ..SorSolver::optimal(n, tol) }.solve(&problem, &stencil);
-            (u, s, "SOR (optimal ω)".into())
-        }
-        "rbsor" => {
-            let (u, s) =
-                RedBlackSolver { max_iters, ..RedBlackSolver::optimal(n, tol) }.solve(&problem);
-            (u, s, "red-black SOR".into())
-        }
-        "cg" => {
-            let (u, s, stats) = CgSolver { tol, max_iters }.solve(&problem);
-            let label =
-                format!("conjugate gradient ({} global reductions)", stats.global_reductions);
-            (u, s, label)
-        }
-        "multigrid" => {
-            if !parspeed_solver::multigrid_valid_side(n) {
-                return Err(CliError(format!(
-                    "multigrid needs n = 2^k − 1 (e.g. 63, 127, 255); got {n}"
-                )));
-            }
-            let (u, s) =
-                MultigridSolver { tol, max_cycles: max_iters.min(1000), ..Default::default() }
-                    .solve(&problem);
-            (u, s, "geometric multigrid V-cycles".into())
-        }
-        "parallel" => {
-            let parts = args.usize_or("partitions", 4)?.clamp(1, n);
-            let d = StripDecomposition::new(n, parts);
-            let mut exec = PartitionedJacobi::new(&problem, &stencil, &d);
-            let run = exec.solve(tol, max_iters, CheckPolicy::geometric());
-            let status = SolveStatus {
-                converged: run.converged,
-                iterations: run.iterations,
-                final_diff: run.final_diff,
-            };
-            (exec.solution(), status, format!("partitioned Jacobi ({parts} strips, rayon)"))
-        }
-        other => {
-            return Err(CliError(format!(
-                "unknown solver `{other}`; one of: jacobi, sor, rbsor, cg, multigrid, parallel"
-            )))
-        }
+    let query = Request::solve(n)
+        .solver(solver)
+        .tol(tol)
+        .stencil(select::stencil_spec(args.str_or("stencil", "5pt"))?)
+        .partitions(parts)
+        .max_iters(max_iters)
+        .query();
+    let EvalValue::Solve { converged, iterations, final_diff, max_error, global_reductions } =
+        eval_single(query)?
+    else {
+        unreachable!("solve queries produce solve values")
+    };
+
+    let label = match solver {
+        SolverKind::Jacobi => "point Jacobi".to_string(),
+        SolverKind::Sor => "SOR (optimal ω)".to_string(),
+        SolverKind::RedBlack => "red-black SOR".to_string(),
+        SolverKind::Cg => format!(
+            "conjugate gradient ({} global reductions)",
+            global_reductions.expect("cg reports reductions")
+        ),
+        SolverKind::Multigrid => "geometric multigrid V-cycles".to_string(),
+        SolverKind::Parallel => format!("partitioned Jacobi ({parts} strips, rayon)"),
     };
 
     let mut t = Table::new(format!("{label} · n={n} · tol={tol:.0e}"), &["quantity", "value"]);
-    t.row(vec!["converged".into(), if status.converged { "yes" } else { "no" }.into()]);
-    t.row(vec!["iterations".into(), status.iterations.to_string()]);
-    t.row(vec!["final update diff".into(), format!("{:.3e}", status.final_diff)]);
-    t.row(vec!["max error vs exact".into(), format!("{:.3e}", error_vs_exact(&problem, &u))]);
+    t.row(vec!["converged".into(), if converged { "yes" } else { "no" }.into()]);
+    t.row(vec!["iterations".into(), iterations.to_string()]);
+    t.row(vec!["final update diff".into(), format!("{final_diff:.3e}")]);
+    t.row(vec!["max error vs exact".into(), format!("{max_error:.3e}")]);
     Ok(t.render())
 }
 

@@ -1,61 +1,79 @@
 //! `parspeed sweep` — optimal speedup and processor count as the problem
 //! grows (the paper's central question).
 //!
-//! The sweep is planned and evaluated by `parspeed-engine`: the CLI builds
-//! one [`Query::Sweep`] macro-query, the engine expands, dedups, and fans
-//! the grid across its thread pool, and this command renders the points.
-//! Engine responses are bit-identical to the direct model calls this
-//! command used to make, so the rendered table is unchanged.
+//! The sweep is one [`Query::Sweep`](parspeed_engine::Query::Sweep)
+//! macro-query through the service surface: the engine expands, dedups,
+//! and fans the grid across its thread pool, and this command renders the
+//! points. Engine responses are bit-identical to the direct model calls
+//! this command used to make, so the rendered table is unchanged.
 
 use crate::args::{Args, CliError};
+use crate::commands::eval_points;
 use crate::select;
 use parspeed_bench::report::Table;
-use parspeed_engine::{EvalValue, Query, Response};
+use parspeed_engine::{EvalValue, Query, Request, Response, Service as _};
 
 pub const KEYS: &[&str] = &[
-    "stencil", "shape", "procs", "n-from", "n-to", "tfp", "b", "c", "alpha", "beta", "packet", "w",
+    "stencil",
+    "shape",
+    "procs",
+    "n-from",
+    "n-to",
+    "cache-capacity",
+    "tfp",
+    "b",
+    "c",
+    "alpha",
+    "beta",
+    "packet",
+    "w",
 ];
 pub const SWITCHES: &[&str] = &["flex32"];
 
 /// Usage shown by `parspeed help sweep`.
 pub const USAGE: &str = "parspeed sweep --arch <name> [--n-from 64] [--n-to 4096] [--stencil 5pt]
-    [--shape square] [--procs N] [machine overrides]
+    [--shape square] [--procs N] [--cache-capacity N] [machine overrides]
 
 Doubles the grid side from --n-from to --n-to and reports the optimal
 allocation at each size: how speedup scales when the machine grows with
-the problem (Table I) or is fixed at --procs (speedup → N, §6.1).";
+the problem (Table I) or is fixed at --procs (speedup → N, §6.1).
+--cache-capacity runs the sweep on a dedicated engine with that many
+cached results instead of the shared process-wide cache.";
 
 /// Runs the subcommand.
 pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
     let m = select::machine(args)?;
     let model = select::arch_model(arch, &m)?;
-    let arch_kind = select::arch_kind(arch)?;
-    let machine_spec = select::machine_spec(args)?;
     let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
-    let stencil_spec = select::stencil_spec(args.str_or("stencil", "5pt"))?;
     let shape = select::shape(args.str_or("shape", "square"))?;
-    let shape_key = select::shape_key(args.str_or("shape", "square"))?;
     let n_from = args.usize_or("n-from", 64)?;
     let n_to = args.usize_or("n-to", 4096)?;
     if n_from == 0 || n_to < n_from {
         return Err(CliError(format!("bad sweep range {n_from}..{n_to}")));
     }
-    let budget = args.usize_opt("procs")?;
 
-    let query = Query::Sweep {
-        archs: vec![arch_kind],
-        machine: machine_spec,
-        stencils: vec![stencil_spec],
-        shapes: vec![shape_key],
-        budgets: vec![budget],
-        n_from,
-        n_to,
-    };
-    let out = crate::engine().run_batch(std::slice::from_ref(&query));
-    let points = match &out.responses[0] {
-        Response::Sweep(points) => points,
-        Response::Invalid(msg) => return Err(CliError(msg.clone())),
-        Response::Single(_) => unreachable!("sweep queries produce sweep responses"),
+    let query: Query = Request::sweep(n_from, n_to)
+        .archs(vec![select::arch_kind(arch)?])
+        .machine(select::machine_spec(args)?)
+        .stencils(vec![select::stencil_spec(args.str_or("stencil", "5pt"))?])
+        .shapes(vec![select::shape_key(args.str_or("shape", "square"))?])
+        .budgets(vec![args.usize_opt("procs")?])
+        .query();
+
+    // --cache-capacity isolates this sweep on a dedicated engine; the
+    // default path shares the process-wide cache with every other command.
+    let points = match args.usize_opt("cache-capacity")? {
+        None => eval_points(query)?,
+        Some(capacity) => {
+            let engine = parspeed_engine::Engine::builder().cache_capacity(capacity).build();
+            let reply =
+                engine.call(&Request::single(query)).map_err(|e| CliError(e.to_string()))?;
+            match reply.responses.into_iter().next().expect("one response") {
+                Response::Sweep(points) => points,
+                Response::Invalid(e) => return Err(CliError(e.to_string())),
+                Response::Single(_) => unreachable!("sweep queries produce sweep responses"),
+            }
+        }
     };
 
     let mut t = Table::new(
@@ -63,13 +81,13 @@ pub fn run(arch: &str, args: &Args) -> Result<String, CliError> {
         &["n", "log2(n²)", "processors", "speedup", "efficiency", "speedup ratio"],
     );
     let mut prev: Option<f64> = None;
-    for (label, outcome) in points {
+    for (label, outcome) in &points {
         let opt = match outcome {
             Ok(EvalValue::Optimum { processors, speedup, efficiency, .. }) => {
                 (*processors, *speedup, *efficiency)
             }
             Ok(other) => unreachable!("sweep points are optimizer runs, got {other:?}"),
-            Err(msg) => return Err(CliError(msg.clone())),
+            Err(e) => return Err(CliError(e.to_string())),
         };
         let (processors, speedup, efficiency) = opt;
         t.row(vec![
@@ -113,6 +131,15 @@ mod tests {
     #[test]
     fn bad_range_is_an_error() {
         assert!(run("hypercube", &parse(&["--n-from", "512", "--n-to", "256"])).is_err());
+    }
+
+    #[test]
+    fn dedicated_cache_capacity_matches_shared_engine_output() {
+        let shared = run("sync-bus", &parse(&["--n-from", "64", "--n-to", "512"])).unwrap();
+        let dedicated =
+            run("sync-bus", &parse(&["--n-from", "64", "--n-to", "512", "--cache-capacity", "4"]))
+                .unwrap();
+        assert_eq!(shared, dedicated);
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! `parspeed table1` — the paper's closing Table I at a chosen grid size.
+//! `parspeed table1` — the paper's closing Table I at a chosen grid size,
+//! served through the engine (one cacheable evaluation for all four rows).
 
 use crate::args::{Args, CliError};
+use crate::commands::eval_single;
 use crate::select;
 use parspeed_bench::report::Table;
-use parspeed_core::table1;
+use parspeed_engine::{EvalValue, Request};
 
 pub const KEYS: &[&str] = &["n", "stencil", "tfp", "b", "c", "alpha", "beta", "packet", "w"];
 pub const SWITCHES: &[&str] = &["flex32"];
@@ -16,14 +18,21 @@ per processor where appropriate) at the chosen grid size.";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
-    let m = select::machine(args)?;
     let n = args.usize_or("n", 1024)?;
     let stencil = select::stencil(args.str_or("stencil", "5pt"))?;
+    let query = Request::table1(n)
+        .machine(select::machine_spec(args)?)
+        .stencil(select::stencil_spec(args.str_or("stencil", "5pt"))?)
+        .query();
+    let EvalValue::Table1 { rows } = eval_single(query)? else {
+        unreachable!("table1 queries produce table1 values")
+    };
+
     let mut t = Table::new(
         format!("Table I · n={n} · {}", stencil.name()),
         &["architecture", "optimal speedup", "formula"],
     );
-    for row in table1::rows(&m, n, &stencil) {
+    for row in rows {
         t.row(vec![
             row.architecture.into(),
             format!("{:.1}", row.optimal_speedup),

@@ -1,11 +1,15 @@
 //! `parspeed threads` — measure the real rayon-partitioned executor on the
 //! host CPU (the workspace's stand-in for the paper's machine-room runs).
+//!
+//! Routed through the engine as an *effect* query: never deduplicated or
+//! cached (it is a wall-clock measurement), and executed after the
+//! engine's parallel phase so timings see a quiet machine.
 
 use crate::args::{Args, CliError};
+use crate::commands::eval_single;
 use crate::select;
 use parspeed_bench::report::Table;
-use parspeed_exec::measure::measure_scaling;
-use parspeed_solver::PoissonProblem;
+use parspeed_engine::{EvalValue, Request};
 
 pub const KEYS: &[&str] = &["n", "stencil", "shape", "threads", "iters", "repeats"];
 pub const SWITCHES: &[&str] = &[];
@@ -30,8 +34,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let iters = args.usize_or("iters", 20)?.max(1);
     let repeats = args.usize_or("repeats", 3)?.max(1);
 
-    let problem = PoissonProblem::laplace(n, 0.0);
-    let points = measure_scaling(&problem, &stencil, shape, &threads, iters, repeats);
+    let query = Request::threads(n)
+        .stencil(select::stencil_spec(args.str_or("stencil", "5pt"))?)
+        .shape(select::shape_key(args.str_or("shape", "strip"))?)
+        .threads(threads)
+        .iters(iters)
+        .repeats(repeats)
+        .query();
+    let EvalValue::Threads { points } = eval_single(query)? else {
+        unreachable!("threads queries produce measurement values")
+    };
 
     let mut t = Table::new(
         format!("Measured partitioned Jacobi · n={n} · {} · {}", stencil.name(), shape.name()),

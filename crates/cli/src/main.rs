@@ -8,12 +8,16 @@ mod select;
 
 use std::sync::OnceLock;
 
-/// The process-wide query engine: commands that evaluate model queries
-/// share one result cache, so repeated work within a process (or a test
-/// run) short-circuits.
+/// The process-wide query engine, the service surface every command talks
+/// to: commands share one result cache, so repeated work within a process
+/// (or a test run) short-circuits. The experiment harness is registered
+/// here so `Query::Experiment` requests route back through
+/// `parspeed-bench` (which depends on the engine, not vice versa).
 fn engine() -> &'static parspeed_engine::Engine {
     static ENGINE: OnceLock<parspeed_engine::Engine> = OnceLock::new();
-    ENGINE.get_or_init(|| parspeed_engine::Engine::builder().build())
+    ENGINE.get_or_init(|| {
+        parspeed_engine::Engine::builder().experiment_runner(commands::experiment::runner).build()
+    })
 }
 
 fn main() {

@@ -1,5 +1,5 @@
 //! Convergence-checking costs and scheduling (§4, after Saltz, Naik &
-//! Nicol [13]).
+//! Nicol \[13\]).
 //!
 //! A convergence check has two parts: a *local* pass comparing every
 //! updated point with its previous value (for small stencils this can be
@@ -85,7 +85,7 @@ impl ConvergenceModel {
     /// `period` iterations.
     ///
     /// The solver does not know `iters_needed` in advance (that is the
-    /// whole scheduling problem of [13]), so convergence falls uniformly
+    /// whole scheduling problem of \[13\]), so convergence falls uniformly
     /// within a checking period: the expected overshoot is `(period−1)/2`
     /// wasted iterations, and `iters/period + 1` checks run before the
     /// detecting one.

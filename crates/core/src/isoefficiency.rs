@@ -73,13 +73,26 @@ pub fn isoefficiency_exponent<M: ArchModel + ?Sized>(
     efficiency: f64,
 ) -> f64 {
     assert!(procs.len() >= 2);
-    let pts: Vec<(f64, f64)> = procs
+    let points: Vec<(usize, usize)> = procs
         .iter()
-        .map(|&p| {
-            let n = min_grid_for_efficiency(model, template, p, efficiency);
-            ((p as f64).ln(), ((n * n) as f64).ln())
-        })
+        .map(|&p| (p, min_grid_for_efficiency(model, template, p, efficiency)))
         .collect();
+    fit_work_exponent(&points)
+}
+
+/// Least-squares slope of `ln(n²)` against `ln N` over precomputed
+/// `(N, min n)` threshold points — the fit [`isoefficiency_exponent`]
+/// applies after computing the thresholds itself. Exposed so callers that
+/// already hold the thresholds (e.g. from a batched engine) fit the same
+/// exponent bit-for-bit.
+///
+/// # Panics
+///
+/// Panics on fewer than two points.
+pub fn fit_work_exponent(points: &[(usize, usize)]) -> f64 {
+    assert!(points.len() >= 2);
+    let pts: Vec<(f64, f64)> =
+        points.iter().map(|&(p, n)| ((p as f64).ln(), ((n * n) as f64).ln())).collect();
     let mx = pts.iter().map(|p| p.0).sum::<f64>() / pts.len() as f64;
     let my = pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
     let num: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();

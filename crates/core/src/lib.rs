@@ -62,7 +62,7 @@ pub use bus_sync::SyncBus;
 pub use hypercube::Hypercube;
 pub use memory::{Infeasible, MemoryBudget};
 pub use mesh::Mesh;
-pub use optimize::{assigned_area, optimize_constrained, Optimum};
+pub use optimize::{assigned_area, optimize, optimize_constrained, Optimum};
 pub use params::{BusParams, HypercubeParams, MachineParams, SwitchParams};
 pub use schedule::ScheduledBus;
 pub use workload::{ProcessorBudget, Workload};

@@ -1,6 +1,6 @@
 //! Sharded LRU result cache.
 //!
-//! Keys are canonical [`EvalKey`]s, so the cache can only ever serve a hit
+//! Keys are canonical [`EvalKey`](crate::EvalKey)s, so the cache can only ever serve a hit
 //! for a bit-identical evaluation — caching is invisible in the responses
 //! by construction and the tests assert it. Sharding (hash-partitioned
 //! mutexes) keeps the executor's worker threads from serializing on one

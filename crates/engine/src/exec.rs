@@ -1,27 +1,94 @@
 //! The executor: evaluates unique keys, fanning misses out across a
-//! rayon-style thread pool.
+//! rayon-style thread pool, and runs impure effects sequentially.
 //!
 //! [`evaluate`] is the single source of truth for what a key *means*: it
-//! reconstructs the exact `parspeed-core` call a direct caller would make
-//! and forwards the result untouched, which is what the bit-identity tests
-//! pin down. Everything above it (sharding, caching) only moves results
-//! around.
+//! reconstructs the exact call a direct caller would make — into
+//! `parspeed-core` for the analytic queries, `parspeed-arch` for
+//! event-level simulations, `parspeed-solver`/`parspeed-exec` for real
+//! solves — and forwards the result untouched, which is what the
+//! bit-identity tests pin down. Everything above it (sharding, caching)
+//! only moves results around.
+//!
+//! [`run_effect`] is the impure counterpart: wall-clock measurements and
+//! experiment regenerations execute here, one at a time, after the
+//! parallel phase, so timings are never polluted by concurrent model
+//! evaluations.
 
-use crate::request::{EvalKey, EvalOutcome, EvalValue, Lever};
+use crate::error::ParspeedError;
+use crate::request::{EffectKey, EvalKey, EvalOutcome, EvalValue, Lever, ShapeKey, SolverKind};
+use parspeed_arch::{
+    AsyncBusSim, BanyanSim, CycleReport, IterationSpec, Mesh2dSim, NeighborExchangeSim,
+    ScheduledBusSim, SyncBusSim,
+};
 use parspeed_core::isoefficiency::min_grid_for_efficiency;
 use parspeed_core::minsize::{min_grid_side, min_problem_size_log2};
-use parspeed_core::{leverage, optimize_constrained, MemoryBudget, Workload};
+use parspeed_core::{leverage, optimize_constrained, table1, MemoryBudget, Workload};
+use parspeed_exec::measure::measure_scaling;
+use parspeed_exec::{CheckPolicy, PartitionedJacobi};
+use parspeed_grid::{Decomposition, Grid2D, RectDecomposition, StripDecomposition};
+use parspeed_solver::{
+    CgSolver, JacobiSolver, Manufactured, MultigridSolver, PoissonProblem, RedBlackSolver,
+    SolveStatus, SorSolver,
+};
 use rayon::prelude::*;
 use rayon::ThreadPool;
 
-/// Evaluates one canonical key through `parspeed-core`.
+/// The hook through which [`Query::Experiment`](crate::Query::Experiment)
+/// requests are served. The experiment harness lives *above* this crate
+/// (it depends on the engine), so the engine takes the runner by
+/// dependency inversion: register one with
+/// [`EngineBuilder::experiment_runner`](crate::EngineBuilder::experiment_runner).
+pub type ExperimentRunner = fn(&str, bool) -> Result<String, String>;
+
+/// Builds the decomposition a simulate query runs on, or the error that
+/// makes it impossible. The single home of these validations and their
+/// messages: the planner calls this (discarding the decomposition) to
+/// reject impossible queries up front, and [`evaluate`] calls it again to
+/// run — the two can never drift.
+pub fn build_decomposition(
+    n: usize,
+    procs: usize,
+    shape: ShapeKey,
+) -> Result<Box<dyn Decomposition>, ParspeedError> {
+    match shape {
+        ShapeKey::Strip => {
+            if procs > n {
+                return Err(ParspeedError::invalid(format!(
+                    "{procs} strips need a grid of at least {procs} rows"
+                )));
+            }
+            Ok(Box::new(StripDecomposition::new(n, procs)))
+        }
+        ShapeKey::Square => RectDecomposition::near_square(n, procs)
+            .map(|d| Box::new(d) as Box<dyn Decomposition>)
+            .ok_or_else(|| {
+                ParspeedError::invalid(format!(
+                    "no near-square decomposition of a {n}×{n} grid into {procs} blocks; \
+                     try a processor count with a factor dividing {n}"
+                ))
+            }),
+    }
+}
+
+/// The validation a solve query must pass before it can run — shared by
+/// the planner and the evaluator so the message never forks.
+pub fn solve_plan_error(n: usize, solver: SolverKind) -> Option<ParspeedError> {
+    if solver == SolverKind::Multigrid && !parspeed_solver::multigrid_valid_side(n) {
+        return Some(ParspeedError::invalid(format!(
+            "multigrid needs n = 2^k − 1 (e.g. 63, 127, 255); got {n}"
+        )));
+    }
+    None
+}
+
+/// Evaluates one canonical key.
 pub fn evaluate(key: &EvalKey) -> EvalOutcome {
     match *key {
         EvalKey::Optimize { arch, machine, n, shape, e, k, budget, memory_words } => {
             let m = machine.to_params();
             let model = arch.model(&m);
             let w = Workload::with_constants(n, shape.to_shape(), e.get(), k);
-            let memory = memory_words.map(|words| MemoryBudget::words(words as f64));
+            let memory = memory_words.map(|words| MemoryBudget::words(words.get()));
             match optimize_constrained(model.as_ref(), &w, budget.to_budget(), memory) {
                 Ok(opt) => Ok(EvalValue::Optimum {
                     processors: opt.processors,
@@ -31,7 +98,7 @@ pub fn evaluate(key: &EvalKey) -> EvalOutcome {
                     efficiency: opt.efficiency,
                     used_all: opt.used_all,
                 }),
-                Err(infeasible) => Err(infeasible.to_string()),
+                Err(infeasible) => Err(infeasible.into()),
             }
         }
         EvalKey::MinSize { variant, machine, e, k, procs } => {
@@ -67,6 +134,136 @@ pub fn evaluate(key: &EvalKey) -> EvalOutcome {
                 factor: report.factor(),
             })
         }
+        EvalKey::Table1 { machine, n, stencil } => {
+            let m = machine.to_params();
+            Ok(EvalValue::Table1 { rows: table1::rows(&m, n, &stencil.to_stencil()) })
+        }
+        EvalKey::Simulate { arch, machine, n, shape, stencil, procs } => {
+            let m = machine.to_params();
+            let stencil = stencil.to_stencil();
+            let decomp = build_decomposition(n, procs, shape)?;
+            let spec = IterationSpec::new(decomp.as_ref(), &stencil);
+            use crate::request::SimArchKind::*;
+            let report: CycleReport = match arch {
+                Hypercube => NeighborExchangeSim::hypercube(&m).simulate(&spec),
+                Mesh => NeighborExchangeSim::mesh(&m).simulate(&spec),
+                Mesh2d => Mesh2dSim::new(&m).simulate(&spec).cycle,
+                SyncBus => SyncBusSim::new(&m).simulate(&spec),
+                AsyncBus => AsyncBusSim::new(&m).simulate(&spec),
+                ScheduledBus => ScheduledBusSim::new(&m).simulate(&spec),
+                Banyan => BanyanSim::new(&m).simulate(&spec).cycle,
+            };
+            let model = arch.model_kind().model(&m);
+            let w = Workload::new(n, &stencil, shape.to_shape());
+            Ok(EvalValue::Simulate {
+                cycle_time: report.cycle_time,
+                max_compute: report.max_compute,
+                comm_fraction: report.comm_fraction(),
+                predicted: model.cycle_time(&w, w.points() / procs as f64),
+                seq_time: model.seq_time(&w),
+            })
+        }
+        EvalKey::Solve { n, solver, tol, stencil, partitions, max_iters } => {
+            solve(n, solver, tol.get(), stencil.to_stencil(), partitions, max_iters)
+        }
+    }
+}
+
+fn solve(
+    n: usize,
+    solver: SolverKind,
+    tol: f64,
+    stencil: parspeed_stencil::Stencil,
+    partitions: usize,
+    max_iters: usize,
+) -> EvalOutcome {
+    let problem = PoissonProblem::manufactured(n, Manufactured::SinSin);
+    let mut global_reductions = None;
+    let (u, status): (Grid2D, SolveStatus) = match solver {
+        SolverKind::Jacobi => {
+            JacobiSolver { tol, max_iters, ..Default::default() }.solve(&problem, &stencil)
+        }
+        SolverKind::Sor => {
+            SorSolver { max_iters, ..SorSolver::optimal(n, tol) }.solve(&problem, &stencil)
+        }
+        SolverKind::RedBlack => {
+            RedBlackSolver { max_iters, ..RedBlackSolver::optimal(n, tol) }.solve(&problem)
+        }
+        SolverKind::Cg => {
+            let (u, s, stats) = CgSolver { tol, max_iters }.solve(&problem);
+            global_reductions = Some(stats.global_reductions);
+            (u, s)
+        }
+        SolverKind::Multigrid => {
+            if let Some(e) = solve_plan_error(n, solver) {
+                return Err(e);
+            }
+            MultigridSolver { tol, max_cycles: max_iters.min(1000), ..Default::default() }
+                .solve(&problem)
+        }
+        SolverKind::Parallel => {
+            let parts = partitions.clamp(1, n);
+            let d = StripDecomposition::new(n, parts);
+            let mut exec = PartitionedJacobi::new(&problem, &stencil, &d);
+            let run = exec.solve(tol, max_iters, CheckPolicy::geometric());
+            let status = SolveStatus {
+                converged: run.converged,
+                iterations: run.iterations,
+                final_diff: run.final_diff,
+            };
+            (exec.solution(), status)
+        }
+    };
+    Ok(EvalValue::Solve {
+        converged: status.converged,
+        iterations: status.iterations,
+        final_diff: status.final_diff,
+        max_error: error_vs_exact(&problem, &u),
+        global_reductions,
+    })
+}
+
+/// Max-norm error of a solution grid against the manufactured sin·sin
+/// exact solution (the solve queries' quality figure).
+fn error_vs_exact(problem: &PoissonProblem, u: &Grid2D) -> f64 {
+    let exact = Manufactured::SinSin;
+    let h = problem.h();
+    let mut worst = 0.0f64;
+    for r in 0..problem.n() {
+        for c in 0..problem.n() {
+            let x = (c as f64 + 1.0) * h;
+            let y = (r as f64 + 1.0) * h;
+            worst = worst.max((u.get(r, c) - exact.u(x, y)).abs());
+        }
+    }
+    worst
+}
+
+/// Runs one impure effect. `runner` serves experiment requests; without
+/// one they answer [`ParspeedError::Unsupported`].
+pub fn run_effect(effect: &EffectKey, runner: Option<ExperimentRunner>) -> EvalOutcome {
+    match effect {
+        EffectKey::Threads { n, stencil, shape, threads, iters, repeats } => {
+            let problem = PoissonProblem::laplace(*n, 0.0);
+            let points = measure_scaling(
+                &problem,
+                &stencil.to_stencil(),
+                shape.to_shape(),
+                threads,
+                *iters,
+                *repeats,
+            );
+            Ok(EvalValue::Threads { points })
+        }
+        EffectKey::Experiment { id, quick } => match runner {
+            None => {
+                Err(ParspeedError::unsupported("no experiment runner registered on this engine"))
+            }
+            Some(run) => match run(id, *quick) {
+                Ok(text) => Ok(EvalValue::Report(text)),
+                Err(msg) => Err(ParspeedError::invalid(msg)),
+            },
+        },
     }
 }
 
@@ -90,7 +287,9 @@ pub fn evaluate_all(keys: &[EvalKey], pool: Option<&ThreadPool>) -> Vec<EvalOutc
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{ArchKind, BudgetKey, F64Key, MachineKey, ShapeKey};
+    use crate::request::{
+        ArchKind, BudgetKey, F64Key, MachineKey, ShapeKey, SimArchKind, StencilKey,
+    };
     use parspeed_core::{ArchModel, MachineParams, ProcessorBudget, SyncBus};
 
     fn key_256_square_64() -> EvalKey {
@@ -134,10 +333,102 @@ mod tests {
             e: F64Key::new(6.0),
             k: 1,
             budget: BudgetKey::Limited(4),
-            memory_words: Some(8), // 1024²/4 words needed per processor
+            memory_words: Some(crate::request::F64Key::new(8.0)), // 1024²/4 words needed
         };
         let out = evaluate(&key);
-        assert!(matches!(&out, Err(msg) if msg.contains("does not fit")));
+        assert!(matches!(&out, Err(e) if e.to_string().contains("does not fit")));
+        assert!(matches!(&out, Err(e) if e.kind() == "infeasible"));
+    }
+
+    #[test]
+    fn table1_matches_direct_rows() {
+        let m = MachineParams::paper_defaults();
+        let key = EvalKey::Table1 {
+            machine: MachineKey::new(&m),
+            n: 1024,
+            stencil: StencilKey::FivePoint,
+        };
+        let direct = table1::rows(&m, 1024, &StencilKey::FivePoint.to_stencil());
+        match evaluate(&key).unwrap() {
+            EvalValue::Table1 { rows } => assert_eq!(rows, direct),
+            other => panic!("expected table1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simulate_matches_direct_simulator_run() {
+        let m = MachineParams::paper_defaults();
+        let key = EvalKey::Simulate {
+            arch: SimArchKind::SyncBus,
+            machine: MachineKey::new(&m),
+            n: 64,
+            shape: ShapeKey::Strip,
+            stencil: StencilKey::FivePoint,
+            procs: 4,
+        };
+        let stencil = StencilKey::FivePoint.to_stencil();
+        let decomp = StripDecomposition::new(64, 4);
+        let spec = IterationSpec::new(&decomp, &stencil);
+        let direct = SyncBusSim::new(&m).simulate(&spec);
+        match evaluate(&key).unwrap() {
+            EvalValue::Simulate { cycle_time, max_compute, comm_fraction, .. } => {
+                assert_eq!(cycle_time.to_bits(), direct.cycle_time.to_bits());
+                assert_eq!(max_compute.to_bits(), direct.max_compute.to_bits());
+                assert_eq!(comm_fraction.to_bits(), direct.comm_fraction().to_bits());
+            }
+            other => panic!("expected simulate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct_solver_run() {
+        let key = EvalKey::Solve {
+            n: 31,
+            solver: SolverKind::Cg,
+            tol: F64Key::new(1e-9),
+            stencil: StencilKey::FivePoint,
+            partitions: 0,
+            max_iters: 10_000,
+        };
+        let problem = PoissonProblem::manufactured(31, Manufactured::SinSin);
+        let (u, s, stats) = CgSolver { tol: 1e-9, max_iters: 10_000 }.solve(&problem);
+        match evaluate(&key).unwrap() {
+            EvalValue::Solve {
+                converged,
+                iterations,
+                final_diff,
+                max_error,
+                global_reductions,
+            } => {
+                assert_eq!(converged, s.converged);
+                assert_eq!(iterations, s.iterations);
+                assert_eq!(final_diff.to_bits(), s.final_diff.to_bits());
+                assert_eq!(max_error.to_bits(), error_vs_exact(&problem, &u).to_bits());
+                assert_eq!(global_reductions, Some(stats.global_reductions));
+            }
+            other => panic!("expected solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn experiment_effect_without_runner_is_unsupported() {
+        let out = run_effect(&EffectKey::Experiment { id: "e1".into(), quick: true }, None);
+        assert!(matches!(&out, Err(e) if e.kind() == "unsupported"));
+    }
+
+    #[test]
+    fn experiment_effect_routes_through_the_runner() {
+        fn runner(id: &str, quick: bool) -> Result<String, String> {
+            match id {
+                "e1" => Ok(format!("report quick={quick}")),
+                other => Err(format!("unknown experiment `{other}`")),
+            }
+        }
+        let ok = run_effect(&EffectKey::Experiment { id: "e1".into(), quick: true }, Some(runner));
+        assert_eq!(ok.unwrap(), EvalValue::Report("report quick=true".into()));
+        let err =
+            run_effect(&EffectKey::Experiment { id: "e99".into(), quick: false }, Some(runner));
+        assert!(matches!(&err, Err(e) if e.to_string().contains("e99")));
     }
 
     #[test]

@@ -1,17 +1,26 @@
-//! JSONL wire format for batch requests and responses.
+//! JSONL wire format for batch requests and responses — **wire v2**.
 //!
 //! One JSON object per line; the schema is documented in
-//! `crates/engine/src/README.md`. The environment has no serde, so this
-//! module carries a small, strict JSON reader/writer of its own. Floats
-//! are written with Rust's shortest-round-trip formatting and parsed with
-//! `str::parse::<f64>`, so a value survives a serialize → parse round trip
-//! bit-identically.
+//! `crates/engine/src/README.md`. Every request line may carry an explicit
+//! `"version"` field: 2 is current, 1 (the PR-1 era implicit schema) is
+//! accepted and answered in its legacy shape so old readers keep working,
+//! and anything else is a parse error. v2 responses lead with a
+//! `"version":2` field and error responses carry a machine-readable
+//! `"error_kind"`; error responses of either version carry the 1-based
+//! input line number in `"line"`.
+//!
+//! The environment has no serde, so this module carries a small, strict
+//! JSON reader/writer of its own. Floats are written with Rust's
+//! shortest-round-trip formatting and parsed with `str::parse::<f64>`, so
+//! a value survives a serialize → parse round trip bit-identically.
 
+use crate::error::ParspeedError;
 use crate::plan::PointLabel;
 use crate::request::{
     ArchKind, EvalOutcome, EvalValue, Lever, MachineSpec, MinSizeVariant, Query, ShapeKey,
-    StencilSpec, WorkloadSpec,
+    SimArchKind, SolverKind, StencilSpec, WorkloadSpec,
 };
+use crate::service::WIRE_VERSION;
 use crate::{BatchTelemetry, Response};
 use std::fmt::Write as _;
 
@@ -400,10 +409,11 @@ fn parse_procs(obj: &Json) -> Result<Option<usize>, String> {
 /// Rejects top-level fields the op does not define, so a typo'd optional
 /// field (e.g. `memory_word`) errors instead of silently changing the
 /// query's meaning — the same strictness `machine` objects already get.
+/// `version` is always allowed (every op is versioned).
 fn check_fields(obj: &Json, op: &str, allowed: &[&str]) -> Result<(), String> {
     let Json::Obj(fields) = obj else { return Err("request must be an object".into()) };
     for (key, _) in fields {
-        if key != "op" && !allowed.contains(&key.as_str()) {
+        if key != "op" && key != "version" && !allowed.contains(&key.as_str()) {
             return Err(format!(
                 "unknown field `{key}` for op `{op}`; allowed: {}",
                 allowed.join(", ")
@@ -413,75 +423,115 @@ fn check_fields(obj: &Json, op: &str, allowed: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses one request line into a [`Query`].
-pub fn parse_query(line: &str) -> Result<Query, String> {
-    let obj = parse(line)?;
-    let op = req_str(field(&obj, "op")?, "op")?;
+/// A request line parsed into a query plus the wire version it spoke
+/// (lines without a `version` field are v1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedLine {
+    /// The parsed query.
+    pub query: Query,
+    /// The line's declared wire version (1 when absent).
+    pub version: u32,
+}
+
+/// A request line that never became a [`Query`]: what went wrong plus the
+/// wire version the response should speak (1 when the line was not even
+/// valid JSON, so the renderer falls back to the legacy shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineError {
+    /// The wire version the line declared (1 when unknown).
+    pub version: u32,
+    /// The parse failure.
+    pub error: ParspeedError,
+}
+
+/// Parses one request line into a [`ParsedLine`]. The line is tokenized
+/// exactly once; its declared version is read first so even a line whose
+/// query is malformed gets a version-appropriate error response.
+pub fn parse_query(line: &str) -> Result<ParsedLine, LineError> {
+    let fail = |version, msg| LineError { version, error: ParspeedError::parse(msg) };
+    let obj = parse(line).map_err(|e| fail(1, e))?;
+    let version = version_of(&obj).map_err(|e| fail(1, e))?;
+    let query = query_of(&obj).map_err(|e| fail(version, e))?;
+    Ok(ParsedLine { query, version })
+}
+
+fn version_of(obj: &Json) -> Result<u32, String> {
+    match obj.get("version") {
+        None => Ok(1),
+        Some(v) => match v.as_usize() {
+            Some(1) => Ok(1),
+            Some(n) if n == WIRE_VERSION as usize => Ok(WIRE_VERSION),
+            _ => Err(format!(
+                "unsupported `version` {}; this reader speaks v{WIRE_VERSION} (v1 still accepted)",
+                v.render()
+            )),
+        },
+    }
+}
+
+fn query_of(obj: &Json) -> Result<Query, String> {
+    let op = req_str(field(obj, "op")?, "op")?;
     match op {
         "optimize" => {
             check_fields(
-                &obj,
+                obj,
                 op,
                 &["arch", "machine", "n", "stencil", "shape", "procs", "memory_words"],
             )?;
             Ok(Query::Optimize {
-                arch: ArchKind::parse(req_str(field(&obj, "arch")?, "arch")?)?,
+                arch: ArchKind::parse(req_str(field(obj, "arch")?, "arch")?)?,
                 machine: parse_machine(obj.get("machine"))?,
-                workload: parse_workload(&obj)?,
-                procs: parse_procs(&obj)?,
+                workload: parse_workload(obj)?,
+                procs: parse_procs(obj)?,
                 memory_words: match obj.get("memory_words") {
                     None | Some(Json::Null) => None,
-                    Some(v) => Some(req_usize(v, "memory_words")?),
+                    Some(v) => Some(req_f64(v, "memory_words")?),
                 },
             })
         }
         "minsize" => {
-            check_fields(&obj, op, &["variant", "machine", "e", "k", "procs"])?;
+            check_fields(obj, op, &["variant", "machine", "e", "k", "procs"])?;
             Ok(Query::MinSize {
-                variant: MinSizeVariant::parse(req_str(field(&obj, "variant")?, "variant")?)?,
+                variant: MinSizeVariant::parse(req_str(field(obj, "variant")?, "variant")?)?,
                 machine: parse_machine(obj.get("machine"))?,
-                e: req_f64(field(&obj, "e")?, "e")?,
-                k: req_f64(field(&obj, "k")?, "k")?,
-                procs: req_usize(field(&obj, "procs")?, "procs")?,
+                e: req_f64(field(obj, "e")?, "e")?,
+                k: req_f64(field(obj, "k")?, "k")?,
+                procs: req_usize(field(obj, "procs")?, "procs")?,
             })
         }
         "isoeff" => {
-            check_fields(
-                &obj,
-                op,
-                &["arch", "machine", "stencil", "shape", "procs", "efficiency"],
-            )?;
+            check_fields(obj, op, &["arch", "machine", "stencil", "shape", "procs", "efficiency"])?;
             Ok(Query::Isoefficiency {
-                arch: ArchKind::parse(req_str(field(&obj, "arch")?, "arch")?)?,
+                arch: ArchKind::parse(req_str(field(obj, "arch")?, "arch")?)?,
                 machine: parse_machine(obj.get("machine"))?,
-                stencil: parse_stencil(field(&obj, "stencil")?)?,
-                shape: ShapeKey::parse(req_str(field(&obj, "shape")?, "shape")?)?,
-                procs: req_usize(field(&obj, "procs")?, "procs")?,
-                efficiency: req_f64(field(&obj, "efficiency")?, "efficiency")?,
+                stencil: parse_stencil(field(obj, "stencil")?)?,
+                shape: ShapeKey::parse(req_str(field(obj, "shape")?, "shape")?)?,
+                procs: req_usize(field(obj, "procs")?, "procs")?,
+                efficiency: req_f64(field(obj, "efficiency")?, "efficiency")?,
             })
         }
         "leverage" => {
             check_fields(
-                &obj,
+                obj,
                 op,
                 &["machine", "n", "stencil", "shape", "procs", "lever", "factor"],
             )?;
             Ok(Query::Leverage {
                 machine: parse_machine(obj.get("machine"))?,
-                workload: parse_workload(&obj)?,
-                procs: parse_procs(&obj)?,
-                lever: Lever::parse(req_str(field(&obj, "lever")?, "lever")?)?,
-                factor: req_f64(field(&obj, "factor")?, "factor")?,
+                workload: parse_workload(obj)?,
+                procs: parse_procs(obj)?,
+                lever: Lever::parse(req_str(field(obj, "lever")?, "lever")?)?,
+                factor: req_f64(field(obj, "factor")?, "factor")?,
             })
         }
         "sweep" => {
             check_fields(
-                &obj,
+                obj,
                 op,
                 &["arch", "machine", "stencil", "shape", "procs", "n_from", "n_to"],
             )?;
             let str_list = |key: &str| -> Result<Vec<&str>, String> {
-                let v = field(&obj, key)?;
+                let v = field(obj, key)?;
                 let arr = v.as_arr().ok_or_else(|| format!("`{key}` must be an array of names"))?;
                 arr.iter().map(|e| req_str(e, key)).collect()
             };
@@ -500,7 +550,7 @@ pub fn parse_query(line: &str) -> Result<Query, String> {
                         .collect::<Result<Vec<_>, String>>()?
                 }
             };
-            let stencils = match field(&obj, "stencil")? {
+            let stencils = match field(obj, "stencil")? {
                 Json::Arr(items) => {
                     items.iter().map(parse_stencil).collect::<Result<Vec<_>, _>>()?
                 }
@@ -518,52 +568,213 @@ pub fn parse_query(line: &str) -> Result<Query, String> {
                     .map(ShapeKey::parse)
                     .collect::<Result<Vec<_>, _>>()?,
                 budgets,
-                n_from: req_usize(field(&obj, "n_from")?, "n_from")?,
-                n_to: req_usize(field(&obj, "n_to")?, "n_to")?,
+                n_from: req_usize(field(obj, "n_from")?, "n_from")?,
+                n_to: req_usize(field(obj, "n_to")?, "n_to")?,
             })
         }
-        other => {
-            Err(format!("unknown op `{other}`; one of: optimize, minsize, isoeff, leverage, sweep"))
+        "table1" => {
+            check_fields(obj, op, &["machine", "n", "stencil"])?;
+            Ok(Query::Table1 {
+                machine: parse_machine(obj.get("machine"))?,
+                n: req_usize(field(obj, "n")?, "n")?,
+                stencil: match obj.get("stencil") {
+                    None => StencilSpec::FivePoint,
+                    Some(v) => parse_stencil(v)?,
+                },
+            })
         }
+        "compare" => {
+            check_fields(obj, op, &["machine", "n", "stencil", "shape", "procs"])?;
+            Ok(Query::Compare {
+                machine: parse_machine(obj.get("machine"))?,
+                workload: parse_workload(obj)?,
+                procs: parse_procs(obj)?,
+            })
+        }
+        "simulate" => {
+            check_fields(obj, op, &["arch", "machine", "n", "stencil", "shape", "procs"])?;
+            Ok(Query::Simulate {
+                arch: SimArchKind::parse(req_str(field(obj, "arch")?, "arch")?)?,
+                machine: parse_machine(obj.get("machine"))?,
+                workload: parse_workload(obj)?,
+                procs: req_usize(field(obj, "procs")?, "procs")?,
+            })
+        }
+        "solve" => {
+            check_fields(obj, op, &["n", "solver", "tol", "stencil", "partitions", "max_iters"])?;
+            Ok(Query::Solve {
+                n: req_usize(field(obj, "n")?, "n")?,
+                solver: SolverKind::parse(req_str(field(obj, "solver")?, "solver")?)?,
+                tol: match obj.get("tol") {
+                    None => 1e-8,
+                    Some(v) => req_f64(v, "tol")?,
+                },
+                stencil: match obj.get("stencil") {
+                    None => StencilSpec::FivePoint,
+                    Some(v) => parse_stencil(v)?,
+                },
+                partitions: match obj.get("partitions") {
+                    None => 4,
+                    Some(v) => req_usize(v, "partitions")?,
+                },
+                max_iters: match obj.get("max_iters") {
+                    None => 200_000,
+                    Some(v) => req_usize(v, "max_iters")?,
+                },
+            })
+        }
+        "threads" => {
+            check_fields(obj, op, &["n", "stencil", "shape", "threads", "iters", "repeats"])?;
+            let threads = field(obj, "threads")?
+                .as_arr()
+                .ok_or("`threads` must be an array of positive counts")?
+                .iter()
+                .map(|v| req_usize(v, "threads"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Query::Threads {
+                n: req_usize(field(obj, "n")?, "n")?,
+                stencil: match obj.get("stencil") {
+                    None => StencilSpec::FivePoint,
+                    Some(v) => parse_stencil(v)?,
+                },
+                shape: match obj.get("shape") {
+                    None => ShapeKey::Strip,
+                    Some(v) => ShapeKey::parse(req_str(v, "shape")?)?,
+                },
+                threads,
+                iters: match obj.get("iters") {
+                    None => 20,
+                    Some(v) => req_usize(v, "iters")?,
+                },
+                repeats: match obj.get("repeats") {
+                    None => 3,
+                    Some(v) => req_usize(v, "repeats")?,
+                },
+            })
+        }
+        "experiment" => {
+            check_fields(obj, op, &["id", "quick"])?;
+            Ok(Query::Experiment {
+                id: req_str(field(obj, "id")?, "id")?.to_string(),
+                quick: match obj.get("quick") {
+                    None => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => return Err("`quick` must be a boolean".into()),
+                },
+            })
+        }
+        other => Err(format!(
+            "unknown op `{other}`; one of: optimize, minsize, isoeff, leverage, sweep, table1, \
+             compare, simulate, solve, threads, experiment"
+        )),
     }
 }
 
 fn value_fields(value: &EvalValue) -> Vec<(String, Json)> {
-    match *value {
+    match value {
         EvalValue::Optimum { processors, area, cycle_time, speedup, efficiency, used_all } => {
             vec![
-                ("processors".into(), Json::Num(processors as f64)),
-                ("area".into(), Json::Num(area)),
-                ("cycle_time".into(), Json::Num(cycle_time)),
-                ("speedup".into(), Json::Num(speedup)),
-                ("efficiency".into(), Json::Num(efficiency)),
-                ("used_all".into(), Json::Bool(used_all)),
+                ("processors".into(), Json::Num(*processors as f64)),
+                ("area".into(), Json::Num(*area)),
+                ("cycle_time".into(), Json::Num(*cycle_time)),
+                ("speedup".into(), Json::Num(*speedup)),
+                ("efficiency".into(), Json::Num(*efficiency)),
+                ("used_all".into(), Json::Bool(*used_all)),
             ]
         }
         EvalValue::MinSize { n_side, log2_points } => vec![
-            ("n_side".into(), Json::Num(n_side)),
-            ("log2_points".into(), Json::Num(log2_points)),
+            ("n_side".into(), Json::Num(*n_side)),
+            ("log2_points".into(), Json::Num(*log2_points)),
         ],
-        EvalValue::Isoefficiency { n } => vec![("n".into(), Json::Num(n as f64))],
+        EvalValue::Isoefficiency { n } => vec![("n".into(), Json::Num(*n as f64))],
         EvalValue::Leverage { baseline, upgraded, factor } => vec![
-            ("baseline".into(), Json::Num(baseline)),
-            ("upgraded".into(), Json::Num(upgraded)),
-            ("factor".into(), Json::Num(factor)),
+            ("baseline".into(), Json::Num(*baseline)),
+            ("upgraded".into(), Json::Num(*upgraded)),
+            ("factor".into(), Json::Num(*factor)),
         ],
+        EvalValue::Table1 { rows } => vec![(
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("architecture".into(), Json::Str(r.architecture.into())),
+                            ("optimal_speedup".into(), Json::Num(r.optimal_speedup)),
+                            ("formula".into(), Json::Str(r.formula.into())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )],
+        EvalValue::Simulate { cycle_time, max_compute, comm_fraction, predicted, seq_time } => {
+            vec![
+                ("cycle_time".into(), Json::Num(*cycle_time)),
+                ("max_compute".into(), Json::Num(*max_compute)),
+                ("comm_fraction".into(), Json::Num(*comm_fraction)),
+                ("predicted".into(), Json::Num(*predicted)),
+                ("seq_time".into(), Json::Num(*seq_time)),
+            ]
+        }
+        EvalValue::Solve { converged, iterations, final_diff, max_error, global_reductions } => {
+            let mut fields = vec![
+                ("converged".into(), Json::Bool(*converged)),
+                ("iterations".into(), Json::Num(*iterations as f64)),
+                ("final_diff".into(), Json::Num(*final_diff)),
+                ("max_error".into(), Json::Num(*max_error)),
+            ];
+            if let Some(r) = global_reductions {
+                fields.push(("global_reductions".into(), Json::Num(*r as f64)));
+            }
+            fields
+        }
+        EvalValue::Threads { points } => vec![(
+            "points".into(),
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("threads".into(), Json::Num(p.threads as f64)),
+                            ("secs_per_iter".into(), Json::Num(p.secs_per_iter)),
+                            ("speedup".into(), Json::Num(p.speedup)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )],
+        EvalValue::Report(text) => vec![("text".into(), Json::Str(text.clone()))],
     }
 }
 
-fn outcome_obj(op: &str, outcome: &EvalOutcome) -> Json {
-    let mut fields = vec![("op".into(), Json::Str(op.into()))];
+/// The leading fields of a response object: `version` first on wire v2,
+/// nothing extra on legacy v1.
+fn response_head(op: &str, version: u32) -> Vec<(String, Json)> {
+    let mut fields = Vec::new();
+    if version >= WIRE_VERSION {
+        fields.push(("version".into(), Json::Num(WIRE_VERSION as f64)));
+    }
+    fields.push(("op".into(), Json::Str(op.into())));
+    fields
+}
+
+fn error_fields(e: &ParspeedError, version: u32, line: usize) -> Vec<(String, Json)> {
+    let mut fields =
+        vec![("ok".into(), Json::Bool(false)), ("line".into(), Json::Num(line as f64))];
+    if version >= WIRE_VERSION {
+        fields.push(("error_kind".into(), Json::Str(e.kind().into())));
+    }
+    fields.push(("error".into(), Json::Str(e.to_string())));
+    fields
+}
+
+fn outcome_obj(op: &str, outcome: &EvalOutcome, version: u32, line: usize) -> Json {
+    let mut fields = response_head(op, version);
     match outcome {
         Ok(value) => {
             fields.push(("ok".into(), Json::Bool(true)));
             fields.extend(value_fields(value));
         }
-        Err(msg) => {
-            fields.push(("ok".into(), Json::Bool(false)));
-            fields.push(("error".into(), Json::Str(msg.clone())));
-        }
+        Err(e) => fields.extend(error_fields(e, version, line)),
     }
     Json::Obj(fields)
 }
@@ -581,51 +792,72 @@ fn point_obj(label: &PointLabel, outcome: &EvalOutcome) -> Json {
             fields.push(("ok".into(), Json::Bool(true)));
             fields.extend(value_fields(value));
         }
-        Err(msg) => {
+        Err(e) => {
             fields.push(("ok".into(), Json::Bool(false)));
-            fields.push(("error".into(), Json::Str(msg.clone())));
+            fields.push(("error".into(), Json::Str(e.to_string())));
         }
     }
     Json::Obj(fields)
 }
 
-/// Serializes one response line. `op` is the request's op name (used for
-/// atomic responses; sweeps know their own shape).
-pub fn render_response(query: &Query, response: &Response) -> String {
-    let op = match query {
+/// The wire op name of a query.
+pub fn op_name(query: &Query) -> &'static str {
+    match query {
         Query::Optimize { .. } => "optimize",
         Query::MinSize { .. } => "minsize",
         Query::Isoefficiency { .. } => "isoeff",
         Query::Leverage { .. } => "leverage",
         Query::Sweep { .. } => "sweep",
-    };
+        Query::Table1 { .. } => "table1",
+        Query::Compare { .. } => "compare",
+        Query::Simulate { .. } => "simulate",
+        Query::Solve { .. } => "solve",
+        Query::Threads { .. } => "threads",
+        Query::Experiment { .. } => "experiment",
+    }
+}
+
+/// Serializes one response line in the shape of the request's wire
+/// `version`; `line` is the 1-based input line number, carried on error
+/// responses.
+pub fn render_response(query: &Query, response: &Response, version: u32, line: usize) -> String {
+    let op = op_name(query);
     match response {
-        Response::Single(outcome) => outcome_obj(op, outcome).render(),
-        Response::Sweep(points) => Json::Obj(vec![
-            ("op".into(), Json::Str("sweep".into())),
-            ("ok".into(), Json::Bool(true)),
-            ("points".into(), Json::Arr(points.iter().map(|(l, o)| point_obj(l, o)).collect())),
-        ])
-        .render(),
-        Response::Invalid(msg) => Json::Obj(vec![
-            ("op".into(), Json::Str(op.into())),
-            ("ok".into(), Json::Bool(false)),
-            ("error".into(), Json::Str(msg.clone())),
-        ])
-        .render(),
+        Response::Single(outcome) => outcome_obj(op, outcome, version, line).render(),
+        Response::Sweep(points) => {
+            let mut fields = response_head(op, version);
+            fields.push(("ok".into(), Json::Bool(true)));
+            fields.push((
+                "points".into(),
+                Json::Arr(points.iter().map(|(l, o)| point_obj(l, o)).collect()),
+            ));
+            Json::Obj(fields).render()
+        }
+        Response::Invalid(e) => {
+            let mut fields = response_head(op, version);
+            fields.extend(error_fields(e, version, line));
+            Json::Obj(fields).render()
+        }
     }
 }
 
 /// Serializes a parse failure for one input line (the line never became a
-/// [`Query`]).
-pub fn render_parse_error(msg: &str) -> String {
-    Json::Obj(vec![("ok".into(), Json::Bool(false)), ("error".into(), Json::Str(msg.into()))])
-        .render()
+/// [`Query`]); `line` is the 1-based input line number. Lines that
+/// declared wire v2 get the v2 error shape (`version`, `error_kind`).
+pub fn render_parse_error(e: &LineError, line: usize) -> String {
+    let mut fields = Vec::new();
+    if e.version >= WIRE_VERSION {
+        fields.push(("version".into(), Json::Num(WIRE_VERSION as f64)));
+    }
+    fields.extend(error_fields(&e.error, e.version, line));
+    Json::Obj(fields).render()
 }
 
-/// Serializes batch telemetry as a trailing JSONL record.
+/// Serializes batch telemetry as a trailing JSONL record (always a
+/// wire-v2 record — it is new in this schema).
 pub fn render_telemetry(t: &BatchTelemetry) -> String {
     Json::Obj(vec![
+        ("version".into(), Json::Num(WIRE_VERSION as f64)),
         ("op".into(), Json::Str("telemetry".into())),
         ("queries".into(), Json::Num(t.queries as f64)),
         ("atoms".into(), Json::Num(t.atoms as f64)),
@@ -634,6 +866,7 @@ pub fn render_telemetry(t: &BatchTelemetry) -> String {
         ("cache_hits".into(), Json::Num(t.cache_hits as f64)),
         ("cache_hit_rate".into(), Json::Num(t.hit_rate())),
         ("evaluated".into(), Json::Num(t.evaluated as f64)),
+        ("effects".into(), Json::Num(t.effects as f64)),
         ("wall_seconds".into(), Json::Num(t.wall_seconds)),
         ("queries_per_second".into(), Json::Num(t.queries_per_second())),
     ])
@@ -682,11 +915,12 @@ mod tests {
 
     #[test]
     fn optimize_request_parses() {
-        let q = parse_query(
+        let parsed = parse_query(
             r#"{"op":"optimize","arch":"sync-bus","n":256,"stencil":"5pt","shape":"square","procs":64}"#,
         )
         .unwrap();
-        match q {
+        assert_eq!(parsed.version, 1, "no version field means legacy v1");
+        match parsed.query {
             Query::Optimize { arch, workload, procs, .. } => {
                 assert_eq!(arch, ArchKind::SyncBus);
                 assert_eq!(workload.n, 256);
@@ -698,13 +932,13 @@ mod tests {
 
     #[test]
     fn sweep_request_with_machine_overrides_parses() {
-        let q = parse_query(
+        let parsed = parse_query(
             r#"{"op":"sweep","arch":["sync-bus","hypercube"],"stencil":["5pt",{"e":8.5,"k":2}],
                 "shape":["square","strip"],"procs":[16,0],"n_from":64,"n_to":512,
                 "machine":{"preset":"flex32","b":2e-6}}"#,
         )
         .unwrap();
-        match q {
+        match parsed.query {
             Query::Sweep { archs, stencils, shapes, budgets, machine, .. } => {
                 assert_eq!(archs.len(), 2);
                 assert_eq!(stencils.len(), 2);
@@ -739,13 +973,17 @@ mod tests {
         let e = parse_query(
             r#"{"op":"optimize","arch":"sync-bus","n":64,"stencil":"5pt","shape":"square","memory_word":8}"#,
         )
-        .unwrap_err();
+        .unwrap_err()
+        .error
+        .to_string();
         assert!(e.contains("memory_word"), "{e}");
         assert!(e.contains("memory_words"), "should name the allowed fields: {e}");
         let e2 = parse_query(
             r#"{"op":"minsize","variant":"sync-strip","e":6.0,"k":1.0,"procs":8,"bogus":1}"#,
         )
-        .unwrap_err();
+        .unwrap_err()
+        .error
+        .to_string();
         assert!(e2.contains("bogus"), "{e2}");
     }
 
@@ -757,6 +995,44 @@ mod tests {
         )
         .is_err());
         assert!(parse_query(r#"{"op":"optimize","n":1,"stencil":"5pt","shape":"square"}"#).is_err());
+    }
+
+    #[test]
+    fn versions_are_read_and_bounded() {
+        let v2 = parse_query(r#"{"op":"table1","version":2,"n":512,"stencil":"5pt"}"#).unwrap();
+        assert_eq!(v2.version, 2);
+        assert!(matches!(v2.query, Query::Table1 { n: 512, .. }));
+        let err = parse_query(r#"{"op":"table1","version":7,"n":512}"#).unwrap_err();
+        assert!(err.error.to_string().contains("version"), "{err:?}");
+        assert_eq!(err.error.kind(), "parse");
+        // A v2 line whose *query* is malformed still answers in v2 shape.
+        let err = parse_query(r#"{"op":"frobnicate","version":2}"#).unwrap_err();
+        assert_eq!(err.version, 2);
+        let rendered = render_parse_error(&err, 9);
+        let back = parse(&rendered).unwrap();
+        assert_eq!(back.get("version").unwrap().as_usize(), Some(2));
+        assert_eq!(back.get("error_kind").unwrap().as_str(), Some("parse"));
+        assert_eq!(back.get("line").unwrap().as_usize(), Some(9));
+    }
+
+    #[test]
+    fn new_ops_parse() {
+        let q = parse_query(r#"{"op":"compare","n":128,"stencil":"5pt","shape":"square"}"#)
+            .unwrap()
+            .query;
+        assert!(matches!(q, Query::Compare { .. }));
+        let q = parse_query(
+            r#"{"op":"simulate","arch":"mesh2d","n":64,"stencil":"5pt","shape":"strip","procs":4}"#,
+        )
+        .unwrap()
+        .query;
+        assert!(matches!(q, Query::Simulate { arch: SimArchKind::Mesh2d, procs: 4, .. }));
+        let q = parse_query(r#"{"op":"solve","n":31,"solver":"cg","tol":1e-9}"#).unwrap().query;
+        assert!(matches!(q, Query::Solve { solver: SolverKind::Cg, n: 31, .. }));
+        let q = parse_query(r#"{"op":"threads","n":64,"threads":[1,2]}"#).unwrap().query;
+        assert!(matches!(q, Query::Threads { ref threads, .. } if threads == &[1, 2]));
+        let q = parse_query(r#"{"op":"experiment","id":"e1","quick":true}"#).unwrap().query;
+        assert!(matches!(q, Query::Experiment { quick: true, .. }));
     }
 
     #[test]
@@ -773,12 +1049,38 @@ mod tests {
             r#"{"op":"optimize","arch":"sync-bus","n":256,"stencil":"5pt","shape":"square"}"#,
         )
         .unwrap();
-        let line = render_response(&q, &Response::Single(Ok(value)));
+        let line = render_response(&q.query, &Response::Single(Ok(value)), q.version, 1);
         let back = parse(&line).unwrap();
+        assert_eq!(back.get("version"), None, "v1 requests get v1-shaped responses");
         assert_eq!(back.get("op").unwrap().as_str(), Some("optimize"));
         assert_eq!(back.get("ok").unwrap(), &Json::Bool(true));
         assert_eq!(back.get("processors").unwrap().as_usize(), Some(14));
         let area = back.get("area").unwrap().as_f64().unwrap();
         assert_eq!(area.to_bits(), 4681.142857142857f64.to_bits());
+    }
+
+    #[test]
+    fn v2_responses_carry_version_and_error_kind() {
+        let q = parse_query(
+            r#"{"op":"optimize","version":2,"arch":"sync-bus","n":256,"stencil":"5pt","shape":"square"}"#,
+        )
+        .unwrap();
+        let ok = render_response(
+            &q.query,
+            &Response::Single(Ok(EvalValue::Isoefficiency { n: 7 })),
+            q.version,
+            3,
+        );
+        assert!(ok.starts_with(r#"{"version":2,"#), "{ok}");
+        let err = render_response(
+            &q.query,
+            &Response::Invalid(ParspeedError::invalid("grid side must be positive")),
+            q.version,
+            3,
+        );
+        let back = parse(&err).unwrap();
+        assert_eq!(back.get("version").unwrap().as_usize(), Some(2));
+        assert_eq!(back.get("line").unwrap().as_usize(), Some(3));
+        assert_eq!(back.get("error_kind").unwrap().as_str(), Some("invalid_request"));
     }
 }

@@ -1,26 +1,38 @@
-//! `parspeed-engine` — a batched, cached, parallel query engine over the
-//! analytic models of `parspeed-core`.
+//! `parspeed-engine` — the versioned service surface of the workspace: a
+//! batched, cached, parallel query engine over the models, simulators,
+//! and solvers of the Nicol & Willard reproduction.
 //!
 //! The paper answers point queries — optimal processor count, minimum
 //! gainful problem size, speedup — for one (architecture, workload) pair
 //! at a time. At serving scale the unit of work is a *batch* of thousands
 //! of such queries, most of them near-duplicates. This crate turns the
-//! models into a serving-shaped subsystem via a three-stage pipeline:
+//! whole workspace into one serving-shaped subsystem:
 //!
-//! 1. **Planner** ([`plan`]) — expands macro-queries (grid sweeps) into
-//!    atomic evaluations, canonicalizes each into an [`EvalKey`] (floats
-//!    keyed by bit pattern; presets, named stencils, and equivalent
-//!    explicit constants collapse together), and dedups the batch;
-//! 2. **Cache** ([`cache`]) — a sharded LRU from canonical keys to
+//! 1. **Service** ([`service`]) — the public surface: a wire-versioned
+//!    [`Request`] envelope of [`Query`]s, builder-style constructors
+//!    (`Request::optimize(arch, n).procs(64).build()`), and the
+//!    [`Service`] trait [`Engine`] implements;
+//! 2. **Planner** ([`plan`]) — expands macro-queries (grid sweeps,
+//!    all-architecture compares) into atomic evaluations, canonicalizes
+//!    each into an [`EvalKey`] (floats keyed by bit pattern; presets,
+//!    named stencils, and equivalent explicit constants collapse
+//!    together), and dedups the batch;
+//! 3. **Cache** ([`cache`]) — a sharded LRU from canonical keys to
 //!    outcomes with hit/miss/eviction counters, so repeated traffic
 //!    short-circuits across batches;
-//! 3. **Executor** ([`exec`]) — shards the remaining unique keys across a
-//!    rayon thread pool and evaluates them through `parspeed-core`.
+//! 4. **Executor** ([`exec`]) — shards the remaining unique keys across a
+//!    rayon thread pool and evaluates them: analytic queries through
+//!    `parspeed-core`, event-level simulations through `parspeed-arch`,
+//!    real solves through `parspeed-solver`/`parspeed-exec`. Impure
+//!    queries (wall-clock measurements, experiment regenerations) run
+//!    sequentially after the parallel phase and are never cached.
 //!
-//! Responses are **bit-identical** to direct `parspeed-core` calls —
-//! canonicalization never rounds, the cache stores exact outcomes, and the
-//! tests pin this down — and every batch returns [`BatchTelemetry`]
-//! (wall time, queries/s, dedup factor, cache hit rate).
+//! Failures speak one language, [`ParspeedError`] ([`error`]), at every
+//! layer. Responses are **bit-identical** to direct calls into the
+//! underlying crates — canonicalization never rounds, the cache stores
+//! exact outcomes, and the tests pin this down — and every batch returns
+//! [`BatchTelemetry`] (wall time, queries/s, dedup factor, cache hit
+//! rate).
 //!
 //! ```
 //! use parspeed_engine::{Engine, Query, ArchKind, MachineSpec, StencilSpec, ShapeKey, WorkloadSpec};
@@ -43,19 +55,25 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod error;
 pub mod exec;
 pub mod fxhash;
 pub mod jsonl;
 pub mod plan;
 pub mod request;
+pub mod service;
 pub mod telemetry;
+pub mod workloads;
 
 pub use cache::CacheStatsSnapshot;
+pub use error::ParspeedError;
+pub use exec::ExperimentRunner;
 pub use plan::{Plan, PointLabel, Slot};
 pub use request::{
-    ArchKind, EvalKey, EvalOutcome, EvalValue, Lever, MachineSpec, MinSizeVariant, Query, ShapeKey,
-    StencilSpec, WorkloadSpec,
+    ArchKind, EffectKey, EvalKey, EvalOutcome, EvalValue, Lever, MachineSpec, MinSizeVariant,
+    Query, ShapeKey, SimArchKind, SolverKind, StencilKey, StencilSpec, WorkloadSpec,
 };
+pub use service::{Request, Service, ServiceReply, MIN_WIRE_VERSION, WIRE_VERSION};
 pub use telemetry::{BatchTelemetry, EngineReport};
 
 use cache::ShardedLru;
@@ -66,10 +84,11 @@ use std::time::Instant;
 pub enum Response {
     /// An atomic query's outcome.
     Single(EvalOutcome),
-    /// A sweep's outcomes, one per expanded point, in grid order.
+    /// A macro-query's outcomes (sweep points or compared architectures),
+    /// one per expanded point, in deterministic grid order.
     Sweep(Vec<(PointLabel, EvalOutcome)>),
     /// The query was malformed; nothing was evaluated for it.
-    Invalid(String),
+    Invalid(ParspeedError),
 }
 
 impl Response {
@@ -81,7 +100,7 @@ impl Response {
         }
     }
 
-    /// The sweep points, if this is a sweep response.
+    /// The expanded points, if this is a macro-query response.
     pub fn sweep(&self) -> Option<&[(PointLabel, EvalOutcome)]> {
         match self {
             Response::Sweep(points) => Some(points),
@@ -105,16 +124,28 @@ pub struct EngineBuilder {
     cache_capacity: usize,
     cache_shards: usize,
     threads: usize,
+    experiment_runner: Option<ExperimentRunner>,
 }
 
 impl Default for EngineBuilder {
     fn default() -> Self {
-        Self { cache_capacity: 65_536, cache_shards: 16, threads: 0 }
+        Self {
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_shards: 16,
+            threads: 0,
+            experiment_runner: None,
+        }
     }
 }
 
+/// The default result-cache capacity, in cached outcomes
+/// (see [`EngineBuilder::cache_capacity`]).
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
+
 impl EngineBuilder {
-    /// Total cached outcomes kept across batches (default 65 536).
+    /// Total cached outcomes kept across batches. Defaults to
+    /// [`DEFAULT_CACHE_CAPACITY`] (65 536 entries) — the CLI exposes this
+    /// as `--cache-capacity` on `parspeed batch` and `parspeed sweep`.
     pub fn cache_capacity(mut self, entries: usize) -> Self {
         self.cache_capacity = entries;
         self
@@ -133,6 +164,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Registers the hook that serves [`Query::Experiment`] requests (the
+    /// experiment harness lives above this crate). Without one, experiment
+    /// queries answer [`ParspeedError::Unsupported`].
+    pub fn experiment_runner(mut self, runner: ExperimentRunner) -> Self {
+        self.experiment_runner = Some(runner);
+        self
+    }
+
     /// Builds the engine. A fixed thread count builds the worker pool
     /// here, once — the per-batch path only borrows it.
     pub fn build(self) -> Engine {
@@ -146,16 +185,19 @@ impl EngineBuilder {
             cache: ShardedLru::new(self.cache_capacity, self.cache_shards),
             threads: self.threads,
             pool,
+            experiment_runner: self.experiment_runner,
         }
     }
 }
 
 /// The query engine: owns the result cache; stateless otherwise. Batches
-/// may be submitted from multiple threads (`&self`).
+/// may be submitted from multiple threads (`&self`). Implements
+/// [`Service`], which is how callers should reach it.
 pub struct Engine {
     cache: ShardedLru<EvalKey, EvalOutcome>,
     threads: usize,
     pool: Option<rayon::ThreadPool>,
+    experiment_runner: Option<ExperimentRunner>,
 }
 
 impl Default for Engine {
@@ -165,12 +207,16 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Starts a configuration builder.
+    /// Starts a configuration builder. Defaults: a result cache of
+    /// [`DEFAULT_CACHE_CAPACITY`] (65 536) outcomes across 16 shards,
+    /// machine-default executor parallelism, and no experiment runner.
     pub fn builder() -> EngineBuilder {
         EngineBuilder::default()
     }
 
-    /// Runs one batch through plan → cache → execute → assemble.
+    /// Runs one batch through plan → cache → execute → assemble. Impure
+    /// effect queries (thread measurements, experiments) execute
+    /// sequentially after the parallel phase.
     pub fn run_batch(&self, queries: &[Query]) -> BatchOutput {
         let t0 = Instant::now();
         let plan = Plan::build(queries);
@@ -195,6 +241,14 @@ impl Engine {
             outcomes[i] = Some(outcome);
         }
 
+        // Effects run after the parallel phase, one at a time, so
+        // wall-clock measurements see a quiet machine.
+        let effect_outcomes: Vec<EvalOutcome> = plan
+            .effects
+            .iter()
+            .map(|effect| exec::run_effect(effect, self.experiment_runner))
+            .collect();
+
         // Assemble responses in input order.
         let resolve =
             |i: usize| -> EvalOutcome { outcomes[i].clone().expect("every unique key resolved") };
@@ -206,7 +260,8 @@ impl Engine {
                 Slot::Sweep(points) => Response::Sweep(
                     points.iter().map(|(label, i)| (label.clone(), resolve(*i))).collect(),
                 ),
-                Slot::Invalid(msg) => Response::Invalid(msg.clone()),
+                Slot::Effect(i) => Response::Single(effect_outcomes[*i].clone()),
+                Slot::Invalid(e) => Response::Invalid(e.clone()),
             })
             .collect();
 
@@ -218,6 +273,7 @@ impl Engine {
                 unique: plan.unique.len(),
                 cache_hits,
                 evaluated: miss_idx.len(),
+                effects: plan.effects.len(),
                 threads: self.threads,
                 wall_seconds: t0.elapsed().as_secs_f64(),
             },
@@ -237,8 +293,10 @@ impl Engine {
 
 /// The naive baseline the engine is benchmarked against: evaluates every
 /// atom of every query sequentially, with no dedup, no cache, and no
-/// thread pool — exactly what a caller looping over `parspeed-core`
-/// point calls would do.
+/// thread pool — exactly what a caller looping over direct point calls
+/// would do. Effect queries run with no experiment runner (register one
+/// through [`EngineBuilder::experiment_runner`] and use the engine for
+/// those).
 pub fn eval_naive(queries: &[Query]) -> Vec<Response> {
     queries
         .iter()
@@ -252,7 +310,8 @@ pub fn eval_naive(queries: &[Query]) -> Vec<Response> {
                         .map(|(label, i)| (label.clone(), exec::evaluate(&plan.unique[*i])))
                         .collect(),
                 ),
-                Slot::Invalid(msg) => Response::Invalid(msg.clone()),
+                Slot::Effect(i) => Response::Single(exec::run_effect(&plan.effects[*i], None)),
+                Slot::Invalid(e) => Response::Invalid(e.clone()),
             }
         })
         .collect()
@@ -311,7 +370,9 @@ mod tests {
         let engine = Engine::builder().build();
         let out = engine.run_batch(&[q(128, None), q(0, None), q(256, None)]);
         assert!(matches!(out.responses[0], Response::Single(Ok(_))));
-        assert!(matches!(&out.responses[1], Response::Invalid(m) if m.contains("positive")));
+        assert!(
+            matches!(&out.responses[1], Response::Invalid(e) if e.to_string().contains("positive"))
+        );
         assert!(matches!(out.responses[2], Response::Single(Ok(_))));
         assert_eq!(out.telemetry.atoms, 2);
     }
@@ -333,5 +394,27 @@ mod tests {
         let seq = Engine::builder().threads(1).build().run_batch(&batch);
         let par = Engine::builder().threads(4).build().run_batch(&batch);
         assert_eq!(seq.responses, par.responses);
+    }
+
+    #[test]
+    fn effect_queries_execute_and_count_in_telemetry() {
+        let engine = Engine::builder().build();
+        let out = engine.run_batch(&[
+            q(128, None),
+            Query::Threads {
+                n: 32,
+                stencil: StencilSpec::FivePoint,
+                shape: ShapeKey::Strip,
+                threads: vec![1],
+                iters: 1,
+                repeats: 1,
+            },
+        ]);
+        assert_eq!(out.telemetry.effects, 1);
+        assert_eq!(out.telemetry.atoms, 1);
+        assert!(matches!(
+            &out.responses[1],
+            Response::Single(Ok(EvalValue::Threads { points })) if points.len() == 1
+        ));
     }
 }

@@ -5,15 +5,21 @@
 //! threads — so the mapping from a batch to its unique keys is trivially
 //! deterministic. The executor and cache only ever see unique keys; the
 //! plan remembers which response slot each input query's atoms land in.
+//!
+//! Impure queries (wall-clock measurements, experiment regenerations)
+//! plan into [`EffectKey`]s instead: one per query, never deduplicated,
+//! never cached.
 
+use crate::error::ParspeedError;
 use crate::fxhash::FxBuildHasher;
 use crate::request::{
-    ArchKind, BudgetKey, EvalKey, F64Key, MachineKey, Query, ShapeKey, StencilSpec,
+    ArchKind, BudgetKey, EffectKey, EvalKey, F64Key, MachineKey, Query, ShapeKey, SolverKind,
+    StencilKey, StencilSpec,
 };
 use std::collections::HashMap;
 
-/// Presentation labels for one expanded sweep point (everything the key
-/// deliberately forgets).
+/// Presentation labels for one expanded point of a macro-query (everything
+/// the key deliberately forgets).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointLabel {
     /// Architecture name.
@@ -33,23 +39,27 @@ pub struct PointLabel {
 pub enum Slot {
     /// A single atomic query: index into the unique-key set.
     Single(usize),
-    /// A sweep: one `(label, unique index)` pair per expanded point, in
-    /// deterministic grid order.
+    /// A macro-query (sweep or compare): one `(label, unique index)` pair
+    /// per expanded point, in deterministic grid order.
     Sweep(Vec<(PointLabel, usize)>),
-    /// The query could not be planned (bad spec); carries the message.
-    Invalid(String),
+    /// An impure query: index into the plan's effect list.
+    Effect(usize),
+    /// The query could not be planned (bad spec); carries the error.
+    Invalid(ParspeedError),
 }
 
-/// A planned batch: the deduplicated evaluation set plus the response
-/// assembly map.
+/// A planned batch: the deduplicated evaluation set, the effect list, and
+/// the response assembly map.
 #[derive(Debug, Clone)]
 pub struct Plan {
     /// Unique evaluation keys, in first-occurrence order.
     pub unique: Vec<EvalKey>,
+    /// Impure effects, one per effect query, in input order.
+    pub effects: Vec<EffectKey>,
     /// One slot per input query, in input order.
     pub slots: Vec<Slot>,
-    /// Number of atoms before deduplication (sweep points count
-    /// individually; invalid queries count zero).
+    /// Number of pure atoms before deduplication (macro points count
+    /// individually; effects and invalid queries count zero).
     pub atoms: usize,
 }
 
@@ -57,6 +67,7 @@ impl Plan {
     /// Plans a batch.
     pub fn build(queries: &[Query]) -> Plan {
         let mut unique: Vec<EvalKey> = Vec::new();
+        let mut effects: Vec<EffectKey> = Vec::new();
         let mut index: HashMap<EvalKey, usize, FxBuildHasher> = HashMap::default();
         let mut atoms = 0usize;
         let mut intern = |key: EvalKey| -> usize {
@@ -69,21 +80,25 @@ impl Plan {
         let mut slots = Vec::with_capacity(queries.len());
         for q in queries {
             let slot = match plan_query(q) {
-                Err(msg) => Slot::Invalid(msg),
+                Err(e) => Slot::Invalid(e),
                 Ok(Planned::Single(key)) => {
                     atoms += 1;
                     Slot::Single(intern(key))
                 }
-                Ok(Planned::Sweep(points)) => {
+                Ok(Planned::Multi(points)) => {
                     atoms += points.len();
                     Slot::Sweep(
                         points.into_iter().map(|(label, key)| (label, intern(key))).collect(),
                     )
                 }
+                Ok(Planned::Effect(effect)) => {
+                    effects.push(effect);
+                    Slot::Effect(effects.len() - 1)
+                }
             };
             slots.push(slot);
         }
-        Plan { unique, slots, atoms }
+        Plan { unique, effects, slots, atoms }
     }
 
     /// Dedup factor: atoms per unique evaluation (1.0 when nothing
@@ -99,7 +114,8 @@ impl Plan {
 
 enum Planned {
     Single(EvalKey),
-    Sweep(Vec<(PointLabel, EvalKey)>),
+    Multi(Vec<(PointLabel, EvalKey)>),
+    Effect(EffectKey),
 }
 
 fn budget_key(procs: Option<usize>) -> BudgetKey {
@@ -116,14 +132,21 @@ fn optimize_key(
     stencil: StencilSpec,
     shape: ShapeKey,
     procs: Option<usize>,
-    memory_words: Option<usize>,
-) -> Result<EvalKey, String> {
+    memory_words: Option<f64>,
+) -> Result<EvalKey, ParspeedError> {
     if n == 0 {
-        return Err("grid side must be positive".into());
+        return Err(ParspeedError::invalid("grid side must be positive"));
     }
     let (e, k) = stencil.constants(shape.to_shape());
     if !(e.is_finite() && e > 0.0) {
-        return Err(format!("E(S) must be positive and finite, got {e}"));
+        return Err(ParspeedError::invalid(format!("E(S) must be positive and finite, got {e}")));
+    }
+    if let Some(words) = memory_words {
+        if !(words.is_finite() && words > 0.0) {
+            return Err(ParspeedError::invalid(format!(
+                "memory budget must be positive and finite, got {words}"
+            )));
+        }
     }
     Ok(EvalKey::Optimize {
         arch,
@@ -133,11 +156,11 @@ fn optimize_key(
         e: F64Key::new(e),
         k,
         budget: budget_key(procs),
-        memory_words,
+        memory_words: memory_words.map(F64Key::new),
     })
 }
 
-fn plan_query(q: &Query) -> Result<Planned, String> {
+fn plan_query(q: &Query) -> Result<Planned, ParspeedError> {
     match q {
         Query::Optimize { arch, machine, workload, procs, memory_words } => {
             Ok(Planned::Single(optimize_key(
@@ -152,10 +175,12 @@ fn plan_query(q: &Query) -> Result<Planned, String> {
         }
         Query::MinSize { variant, machine, e, k, procs } => {
             if *procs == 0 {
-                return Err("minsize needs at least one processor".into());
+                return Err(ParspeedError::invalid("minsize needs at least one processor"));
             }
             if !(e.is_finite() && *e > 0.0) {
-                return Err(format!("E(S) must be positive and finite, got {e}"));
+                return Err(ParspeedError::invalid(format!(
+                    "E(S) must be positive and finite, got {e}"
+                )));
             }
             Ok(Planned::Single(EvalKey::MinSize {
                 variant: *variant,
@@ -167,10 +192,12 @@ fn plan_query(q: &Query) -> Result<Planned, String> {
         }
         Query::Isoefficiency { arch, machine, stencil, shape, procs, efficiency } => {
             if !(*efficiency > 0.0 && *efficiency < 1.0) {
-                return Err(format!("efficiency must be in (0, 1), got {efficiency}"));
+                return Err(ParspeedError::invalid(format!(
+                    "efficiency must be in (0, 1), got {efficiency}"
+                )));
             }
             if *procs == 0 {
-                return Err("isoefficiency needs at least one processor".into());
+                return Err(ParspeedError::invalid("isoefficiency needs at least one processor"));
             }
             let (e, k) = stencil.constants(shape.to_shape());
             Ok(Planned::Single(EvalKey::Isoefficiency {
@@ -185,10 +212,12 @@ fn plan_query(q: &Query) -> Result<Planned, String> {
         }
         Query::Leverage { machine, workload, procs, lever, factor } => {
             if !(factor.is_finite() && *factor > 0.0) {
-                return Err(format!("lever factor must be positive and finite, got {factor}"));
+                return Err(ParspeedError::invalid(format!(
+                    "lever factor must be positive and finite, got {factor}"
+                )));
             }
             if workload.n == 0 {
-                return Err("grid side must be positive".into());
+                return Err(ParspeedError::invalid("grid side must be positive"));
             }
             let (e, k) = workload.stencil.constants(workload.shape.to_shape());
             Ok(Planned::Single(EvalKey::Leverage {
@@ -202,12 +231,119 @@ fn plan_query(q: &Query) -> Result<Planned, String> {
                 factor: F64Key::new(*factor),
             }))
         }
+        Query::Table1 { machine, n, stencil } => {
+            if *n == 0 {
+                return Err(ParspeedError::invalid("grid side must be positive"));
+            }
+            Ok(Planned::Single(EvalKey::Table1 {
+                machine: machine.to_key(),
+                n: *n,
+                stencil: StencilKey::from_spec(*stencil)?,
+            }))
+        }
+        Query::Compare { machine, workload, procs } => {
+            let mkey = machine.to_key();
+            let mut points = Vec::with_capacity(6);
+            for arch in ArchKind::all() {
+                let key = optimize_key(
+                    arch,
+                    mkey,
+                    workload.n,
+                    workload.stencil,
+                    workload.shape,
+                    *procs,
+                    None,
+                )?;
+                points.push((
+                    PointLabel {
+                        arch: arch.name(),
+                        n: workload.n,
+                        stencil: workload.stencil.name(),
+                        shape: workload.shape.name(),
+                        budget: budget_key(*procs).label(),
+                    },
+                    key,
+                ));
+            }
+            Ok(Planned::Multi(points))
+        }
+        Query::Simulate { arch, machine, workload, procs } => {
+            if workload.n == 0 {
+                return Err(ParspeedError::invalid("grid side must be positive"));
+            }
+            if *procs == 0 {
+                return Err(ParspeedError::invalid("simulate needs at least one processor"));
+            }
+            let stencil = StencilKey::from_spec(workload.stencil)?;
+            let (n, p) = (workload.n, *procs);
+            // Same validation (and messages) the evaluator applies.
+            crate::exec::build_decomposition(n, p, workload.shape)?;
+            Ok(Planned::Single(EvalKey::Simulate {
+                arch: *arch,
+                machine: machine.to_key(),
+                n,
+                shape: workload.shape,
+                stencil,
+                procs: p,
+            }))
+        }
+        Query::Solve { n, solver, tol, stencil, partitions, max_iters } => {
+            if *n == 0 {
+                return Err(ParspeedError::invalid("grid side must be positive"));
+            }
+            if !(tol.is_finite() && *tol > 0.0) {
+                return Err(ParspeedError::invalid(format!(
+                    "tolerance must be positive and finite, got {tol}"
+                )));
+            }
+            if let Some(e) = crate::exec::solve_plan_error(*n, *solver) {
+                return Err(e);
+            }
+            // Canonicalize away whatever this solver ignores, so
+            // equivalent runs share a key (and a cache line).
+            let stencil = if solver.uses_stencil() {
+                StencilKey::from_spec(*stencil)?
+            } else {
+                StencilKey::FivePoint
+            };
+            let partitions = match solver {
+                SolverKind::Parallel => (*partitions).clamp(1, *n),
+                _ => 0,
+            };
+            Ok(Planned::Single(EvalKey::Solve {
+                n: *n,
+                solver: *solver,
+                tol: F64Key::new(*tol),
+                stencil,
+                partitions,
+                max_iters: *max_iters,
+            }))
+        }
+        Query::Threads { n, stencil, shape, threads, iters, repeats } => {
+            if *n == 0 {
+                return Err(ParspeedError::invalid("grid side must be positive"));
+            }
+            if threads.is_empty() || threads.contains(&0) {
+                return Err(ParspeedError::invalid("threads needs a list of positive counts"));
+            }
+            Ok(Planned::Effect(EffectKey::Threads {
+                n: *n,
+                stencil: StencilKey::from_spec(*stencil)?,
+                shape: *shape,
+                threads: threads.clone(),
+                iters: (*iters).max(1),
+                repeats: (*repeats).max(1),
+            }))
+        }
+        Query::Experiment { id, quick } => {
+            Ok(Planned::Effect(EffectKey::Experiment { id: id.clone(), quick: *quick }))
+        }
         Query::Sweep { archs, machine, stencils, shapes, budgets, n_from, n_to } => {
             if *n_from == 0 || n_to < n_from {
-                return Err(format!("bad sweep range {n_from}..{n_to}"));
+                return Err(ParspeedError::invalid(format!("bad sweep range {n_from}..{n_to}")));
             }
             if archs.is_empty() || stencils.is_empty() || shapes.is_empty() || budgets.is_empty() {
-                return Err("sweep grid has an empty axis".into());
+                return Err(ParspeedError::invalid("sweep grid has an empty axis"));
             }
             let mkey = machine.to_key();
             let mut points = Vec::new();
@@ -240,7 +376,7 @@ fn plan_query(q: &Query) -> Result<Planned, String> {
                     }
                 }
             }
-            Ok(Planned::Sweep(points))
+            Ok(Planned::Multi(points))
         }
     }
 }
@@ -248,7 +384,7 @@ fn plan_query(q: &Query) -> Result<Planned, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{MachineSpec, WorkloadSpec};
+    use crate::request::{MachineSpec, SimArchKind, WorkloadSpec};
 
     fn opt(n: usize, procs: Option<usize>) -> Query {
         Query::Optimize {
@@ -329,6 +465,80 @@ mod tests {
     }
 
     #[test]
+    fn compare_expands_to_all_six_architectures_and_dedups_with_optimize() {
+        let compare = Query::Compare {
+            machine: MachineSpec::default(),
+            workload: WorkloadSpec {
+                n: 256,
+                stencil: StencilSpec::FivePoint,
+                shape: ShapeKey::Square,
+            },
+            procs: Some(64),
+        };
+        let plan = Plan::build(&[compare, opt(256, Some(64))]);
+        match &plan.slots[0] {
+            Slot::Sweep(points) => {
+                let archs: Vec<&str> = points.iter().map(|(l, _)| l.arch).collect();
+                assert_eq!(
+                    archs,
+                    vec!["hypercube", "mesh", "sync-bus", "async-bus", "scheduled-bus", "banyan"]
+                );
+            }
+            other => panic!("expected multi slot, got {other:?}"),
+        }
+        // The sync-bus point of the compare and the plain optimize share a key.
+        assert_eq!(plan.unique.len(), 6);
+        assert_eq!(plan.atoms, 7);
+    }
+
+    #[test]
+    fn solve_canonicalization_dedups_ignored_fields() {
+        let solve = |stencil, partitions| Query::Solve {
+            n: 31,
+            solver: SolverKind::Cg,
+            tol: 1e-8,
+            stencil,
+            partitions,
+            max_iters: 1000,
+        };
+        // CG ignores both the stencil and the partition count.
+        let plan =
+            Plan::build(&[solve(StencilSpec::FivePoint, 4), solve(StencilSpec::NinePointBox, 9)]);
+        assert_eq!(plan.unique.len(), 1);
+    }
+
+    #[test]
+    fn effects_are_never_deduplicated() {
+        let q = Query::Threads {
+            n: 64,
+            stencil: StencilSpec::FivePoint,
+            shape: ShapeKey::Strip,
+            threads: vec![1, 2],
+            iters: 1,
+            repeats: 1,
+        };
+        let plan = Plan::build(&[q.clone(), q]);
+        assert_eq!(plan.effects.len(), 2, "measurements must run once per request");
+        assert_eq!(plan.slots, vec![Slot::Effect(0), Slot::Effect(1)]);
+        assert_eq!(plan.atoms, 0);
+    }
+
+    #[test]
+    fn simulate_rejects_impossible_decompositions_at_plan_time() {
+        let sim = |n, procs, shape| Query::Simulate {
+            arch: SimArchKind::SyncBus,
+            machine: MachineSpec::default(),
+            workload: WorkloadSpec { n, stencil: StencilSpec::FivePoint, shape },
+            procs,
+        };
+        let plan = Plan::build(&[sim(8, 16, ShapeKey::Strip), sim(8, 97, ShapeKey::Square)]);
+        assert!(matches!(&plan.slots[0], Slot::Invalid(e) if e.to_string().contains("strips")));
+        assert!(
+            matches!(&plan.slots[1], Slot::Invalid(e) if e.to_string().contains("near-square"))
+        );
+    }
+
+    #[test]
     fn invalid_queries_keep_their_slot() {
         let bad = opt(0, None);
         let plan = Plan::build(&[bad, opt(64, None)]);
@@ -349,6 +559,6 @@ mod tests {
             n_to: 128,
         };
         let plan = Plan::build(&[q]);
-        assert!(matches!(&plan.slots[0], Slot::Invalid(m) if m.contains("empty axis")));
+        assert!(matches!(&plan.slots[0], Slot::Invalid(e) if e.to_string().contains("empty axis")));
     }
 }

@@ -10,11 +10,14 @@
 //! canonicalization never rounds or rescales, which is what keeps engine
 //! responses bit-identical to direct `parspeed-core` calls.
 
+use crate::error::ParspeedError;
 use parspeed_core::minsize::BusVariant;
+use parspeed_core::table1::Table1Row;
 use parspeed_core::{
     ArchModel, AsyncBus, Banyan, BusParams, Hypercube, HypercubeParams, MachineParams, Mesh,
     ProcessorBudget, ScheduledBus, SwitchParams, SyncBus, Workload,
 };
+use parspeed_exec::measure::MeasuredPoint;
 use parspeed_stencil::{PartitionShape, Stencil};
 
 /// An `f64` keyed by its exact bit pattern (hashable, totally equatable).
@@ -202,6 +205,196 @@ impl StencilSpec {
             StencilSpec::ThirteenPoint => Stencil::thirteen_point_star(),
             StencilSpec::Custom { .. } => return None,
         })
+    }
+}
+
+/// A *catalog* stencil in canonical (hashable) form: the stencils with tap
+/// geometry, which the simulators and solvers require. [`StencilSpec`]
+/// additionally admits bare `(E, k)` constants; queries that need real tap
+/// lists canonicalize through here and reject custom constants at plan
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StencilKey {
+    /// Classic 5-point Laplacian cross.
+    FivePoint,
+    /// Mehrstellen 3×3 box.
+    NinePointBox,
+    /// Fourth-order star with arms of reach 2.
+    NinePointStar,
+    /// Reach-2 star plus unit diagonals.
+    ThirteenPoint,
+}
+
+impl StencilKey {
+    /// Canonicalizes a spec, rejecting custom constants (which have no tap
+    /// geometry to simulate or solve with).
+    pub fn from_spec(spec: StencilSpec) -> Result<Self, ParspeedError> {
+        Ok(match spec {
+            StencilSpec::FivePoint => StencilKey::FivePoint,
+            StencilSpec::NinePointBox => StencilKey::NinePointBox,
+            StencilSpec::NinePointStar => StencilKey::NinePointStar,
+            StencilSpec::ThirteenPoint => StencilKey::ThirteenPoint,
+            StencilSpec::Custom { .. } => {
+                return Err(ParspeedError::invalid(
+                    "this query needs a catalog stencil (5pt, 9pt-box, 9pt-star, 13pt); \
+                     custom (e, k) constants have no tap geometry",
+                ))
+            }
+        })
+    }
+
+    /// The catalog stencil this key denotes.
+    pub fn to_stencil(self) -> Stencil {
+        match self {
+            StencilKey::FivePoint => Stencil::five_point(),
+            StencilKey::NinePointBox => Stencil::nine_point_box(),
+            StencilKey::NinePointStar => Stencil::nine_point_star(),
+            StencilKey::ThirteenPoint => Stencil::thirteen_point_star(),
+        }
+    }
+
+    /// The equivalent spec.
+    pub fn to_spec(self) -> StencilSpec {
+        match self {
+            StencilKey::FivePoint => StencilSpec::FivePoint,
+            StencilKey::NinePointBox => StencilSpec::NinePointBox,
+            StencilKey::NinePointStar => StencilSpec::NinePointStar,
+            StencilKey::ThirteenPoint => StencilSpec::ThirteenPoint,
+        }
+    }
+
+    /// The CLI/JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StencilKey::FivePoint => "5pt",
+            StencilKey::NinePointBox => "9pt-box",
+            StencilKey::NinePointStar => "9pt-star",
+            StencilKey::ThirteenPoint => "13pt",
+        }
+    }
+}
+
+/// The machines the event-level simulator can run: the six model
+/// architectures plus the XY-routed store-and-forward mesh, which has no
+/// closed form of its own (it is compared against the [`ArchKind::Mesh`]
+/// model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimArchKind {
+    /// Message-passing hypercube.
+    Hypercube,
+    /// Nearest-neighbour mesh (model-matched exchange simulator).
+    Mesh,
+    /// XY-routed store-and-forward mesh (corner traffic pays real transit).
+    Mesh2d,
+    /// Synchronous shared bus.
+    SyncBus,
+    /// Asynchronous shared bus.
+    AsyncBus,
+    /// The §8 batch-staggered bus scheduler.
+    ScheduledBus,
+    /// Banyan switching network.
+    Banyan,
+}
+
+impl SimArchKind {
+    /// The analytic model this simulator is compared against (`Mesh2d`
+    /// compares against the mesh model, as the CLI always has).
+    pub fn model_kind(self) -> ArchKind {
+        match self {
+            SimArchKind::Hypercube => ArchKind::Hypercube,
+            SimArchKind::Mesh | SimArchKind::Mesh2d => ArchKind::Mesh,
+            SimArchKind::SyncBus => ArchKind::SyncBus,
+            SimArchKind::AsyncBus => ArchKind::AsyncBus,
+            SimArchKind::ScheduledBus => ArchKind::ScheduledBus,
+            SimArchKind::Banyan => ArchKind::Banyan,
+        }
+    }
+
+    /// The CLI/JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimArchKind::Hypercube => "hypercube",
+            SimArchKind::Mesh => "mesh",
+            SimArchKind::Mesh2d => "mesh2d",
+            SimArchKind::SyncBus => "sync-bus",
+            SimArchKind::AsyncBus => "async-bus",
+            SimArchKind::ScheduledBus => "scheduled-bus",
+            SimArchKind::Banyan => "banyan",
+        }
+    }
+
+    /// Parses the CLI/JSONL name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "hypercube" => SimArchKind::Hypercube,
+            "mesh" => SimArchKind::Mesh,
+            "mesh2d" => SimArchKind::Mesh2d,
+            "sync-bus" => SimArchKind::SyncBus,
+            "async-bus" => SimArchKind::AsyncBus,
+            "scheduled-bus" => SimArchKind::ScheduledBus,
+            "banyan" => SimArchKind::Banyan,
+            other => {
+                return Err(format!(
+                    "unknown simulator architecture `{other}`; one of: hypercube, mesh, mesh2d, \
+                     sync-bus, async-bus, scheduled-bus, banyan"
+                ))
+            }
+        })
+    }
+}
+
+/// The numerical solvers a [`Query::Solve`] can pick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Point Jacobi.
+    Jacobi,
+    /// SOR at the optimal relaxation factor.
+    Sor,
+    /// Red-black SOR.
+    RedBlack,
+    /// Conjugate gradient.
+    Cg,
+    /// Geometric multigrid V-cycles (needs `n = 2^k − 1`).
+    Multigrid,
+    /// Rayon-partitioned Jacobi (bit-identical to sequential Jacobi).
+    Parallel,
+}
+
+impl SolverKind {
+    /// The CLI/JSONL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Jacobi => "jacobi",
+            SolverKind::Sor => "sor",
+            SolverKind::RedBlack => "rbsor",
+            SolverKind::Cg => "cg",
+            SolverKind::Multigrid => "multigrid",
+            SolverKind::Parallel => "parallel",
+        }
+    }
+
+    /// Parses the CLI/JSONL name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "jacobi" => SolverKind::Jacobi,
+            "sor" => SolverKind::Sor,
+            "rbsor" => SolverKind::RedBlack,
+            "cg" => SolverKind::Cg,
+            "multigrid" => SolverKind::Multigrid,
+            "parallel" => SolverKind::Parallel,
+            other => {
+                return Err(format!(
+                    "unknown solver `{other}`; one of: jacobi, sor, rbsor, cg, multigrid, parallel"
+                ))
+            }
+        })
+    }
+
+    /// Whether the solver's iteration reads the stencil's tap list (the
+    /// others fix their own 5-point operator, so the stencil field is
+    /// canonicalized away and identical runs dedup).
+    pub fn uses_stencil(self) -> bool {
+        matches!(self, SolverKind::Jacobi | SolverKind::Sor | SolverKind::Parallel)
     }
 }
 
@@ -541,8 +734,9 @@ pub enum Query {
         workload: WorkloadSpec,
         /// Processor budget (`None` = unlimited).
         procs: Option<usize>,
-        /// Optional per-processor memory budget in words.
-        memory_words: Option<usize>,
+        /// Optional per-processor memory budget in words (fractional
+        /// budgets are legal — the model is continuous).
+        memory_words: Option<f64>,
     },
     /// Closed-form smallest grid gainfully using all `procs` processors.
     MinSize {
@@ -587,6 +781,83 @@ pub enum Query {
         /// [`Lever::Overhead`]).
         factor: f64,
     },
+    /// The paper's closing Table I evaluated at one grid size: the four
+    /// closed-form optimal-speedup rows.
+    Table1 {
+        /// Machine description.
+        machine: MachineSpec,
+        /// Grid side.
+        n: usize,
+        /// Stencil (catalog only — the formulas need tap geometry).
+        stencil: StencilSpec,
+    },
+    /// Every architecture optimized side by side on one instance — a
+    /// macro-query the planner expands into six `Optimize` evaluations, so
+    /// compares dedup against plain optimize traffic.
+    Compare {
+        /// Machine description.
+        machine: MachineSpec,
+        /// Problem instance.
+        workload: WorkloadSpec,
+        /// Processor budget (`None` = unlimited).
+        procs: Option<usize>,
+    },
+    /// One event-level iteration on a simulated machine, beside the
+    /// analytic model's prediction.
+    Simulate {
+        /// Machine class to simulate.
+        arch: SimArchKind,
+        /// Machine description.
+        machine: MachineSpec,
+        /// Problem instance (catalog stencil only).
+        workload: WorkloadSpec,
+        /// Processor count (exact, not a budget).
+        procs: usize,
+    },
+    /// Actually solve the manufactured sin·sin Poisson problem with a real
+    /// numerical solver.
+    Solve {
+        /// Grid side.
+        n: usize,
+        /// Which solver.
+        solver: SolverKind,
+        /// Convergence tolerance.
+        tol: f64,
+        /// Stencil for the solvers that read one (catalog only).
+        stencil: StencilSpec,
+        /// Strip count for [`SolverKind::Parallel`] (ignored otherwise).
+        partitions: usize,
+        /// Iteration cap.
+        max_iters: usize,
+    },
+    /// Time the real rayon-partitioned executor across thread counts. A
+    /// wall-clock *measurement*, not a pure evaluation: it is never deduped
+    /// or cached, and runs after the parallel phase so timings are not
+    /// polluted by concurrent model evaluations.
+    Threads {
+        /// Grid side.
+        n: usize,
+        /// Stencil (catalog only).
+        stencil: StencilSpec,
+        /// Partition shape.
+        shape: ShapeKey,
+        /// Thread counts to measure.
+        threads: Vec<usize>,
+        /// Timed iterations per measurement.
+        iters: usize,
+        /// Repetitions (best-of).
+        repeats: usize,
+    },
+    /// Regenerate a reproduction experiment through the runner registered
+    /// at engine construction (dependency-inverted: the experiment harness
+    /// sits above this crate). Uncached — some experiments measure wall
+    /// time.
+    Experiment {
+        /// Experiment id (`e1`..`e16` or `all`).
+        id: String,
+        /// Trim the sweeps.
+        quick: bool,
+    },
     /// A grid of `Optimize` queries: every combination of architecture,
     /// stencil, shape, and budget, with the grid side doubling from
     /// `n_from` to `n_to`.
@@ -629,8 +900,8 @@ pub enum EvalKey {
         k: usize,
         /// Budget.
         budget: BudgetKey,
-        /// Optional memory budget (words per processor).
-        memory_words: Option<usize>,
+        /// Optional memory budget bits (words per processor).
+        memory_words: Option<F64Key>,
     },
     /// One closed-form minimum-size evaluation.
     MinSize {
@@ -681,10 +952,84 @@ pub enum EvalKey {
         /// Factor bits.
         factor: F64Key,
     },
+    /// One Table-I evaluation (all four rows).
+    Table1 {
+        /// Canonical machine.
+        machine: MachineKey,
+        /// Grid side.
+        n: usize,
+        /// Catalog stencil.
+        stencil: StencilKey,
+    },
+    /// One event-level iteration simulation.
+    Simulate {
+        /// Machine class.
+        arch: SimArchKind,
+        /// Canonical machine.
+        machine: MachineKey,
+        /// Grid side.
+        n: usize,
+        /// Shape.
+        shape: ShapeKey,
+        /// Catalog stencil.
+        stencil: StencilKey,
+        /// Processor count.
+        procs: usize,
+    },
+    /// One numerical solve. Deterministic (the partitioned executor is
+    /// bit-identical to sequential Jacobi), hence cacheable like any other
+    /// evaluation. `partitions` is canonicalized to 0 for solvers that
+    /// ignore it and `stencil` to the 5-point for solvers that fix their
+    /// own operator, so equivalent runs share a key.
+    Solve {
+        /// Grid side.
+        n: usize,
+        /// Which solver.
+        solver: SolverKind,
+        /// Tolerance bits.
+        tol: F64Key,
+        /// Catalog stencil.
+        stencil: StencilKey,
+        /// Strip count (0 unless the solver partitions).
+        partitions: usize,
+        /// Iteration cap.
+        max_iters: usize,
+    },
+}
+
+/// The canonical form of one *impure* request — a measurement or an
+/// externally-run report. Effects are planned alongside pure atoms but are
+/// never deduplicated, never cached, and always execute sequentially after
+/// the parallel phase (so wall-clock measurements are not polluted by
+/// concurrent model evaluations).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EffectKey {
+    /// One thread-scaling measurement of the partitioned executor.
+    Threads {
+        /// Grid side.
+        n: usize,
+        /// Catalog stencil.
+        stencil: StencilKey,
+        /// Shape.
+        shape: ShapeKey,
+        /// Thread counts.
+        threads: Vec<usize>,
+        /// Timed iterations per point.
+        iters: usize,
+        /// Best-of repetitions.
+        repeats: usize,
+    },
+    /// One experiment regeneration via the registered runner.
+    Experiment {
+        /// Experiment id.
+        id: String,
+        /// Trimmed sweeps.
+        quick: bool,
+    },
 }
 
 /// The successful result of one atomic evaluation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EvalValue {
     /// Result of an optimizer run (mirrors `parspeed_core::Optimum`).
     Optimum {
@@ -722,12 +1067,52 @@ pub enum EvalValue {
         /// `upgraded / baseline`.
         factor: f64,
     },
+    /// Result of a Table-I evaluation: the four closed-form rows, paper
+    /// order, names and formulas included.
+    Table1 {
+        /// The evaluated rows.
+        rows: Vec<Table1Row>,
+    },
+    /// Result of one simulated iteration, with the model's predictions
+    /// alongside (so renderers need no model access).
+    Simulate {
+        /// Simulated cycle time (seconds).
+        cycle_time: f64,
+        /// Longest pure-compute span in the cycle.
+        max_compute: f64,
+        /// Fraction of the cycle that is not pure compute.
+        comm_fraction: f64,
+        /// The analytic model's predicted cycle time at this allocation.
+        predicted: f64,
+        /// The model's sequential time for the whole instance.
+        seq_time: f64,
+    },
+    /// Result of a numerical solve.
+    Solve {
+        /// Whether the tolerance was reached within the iteration cap.
+        converged: bool,
+        /// Iterations (or V-cycles) taken.
+        iterations: usize,
+        /// Final successive-update difference.
+        final_diff: f64,
+        /// Max-norm error against the manufactured exact solution.
+        max_error: f64,
+        /// Global reductions performed (CG only).
+        global_reductions: Option<usize>,
+    },
+    /// Result of a thread-scaling measurement.
+    Threads {
+        /// One point per measured thread count, input order.
+        points: Vec<MeasuredPoint>,
+    },
+    /// A textual report from the registered experiment runner.
+    Report(String),
 }
 
 /// The outcome of one atomic evaluation: a value, or a model-level error
 /// (e.g. memory-infeasible). Errors are cached like values — they are
 /// deterministic properties of the key.
-pub type EvalOutcome = Result<EvalValue, String>;
+pub type EvalOutcome = Result<EvalValue, ParspeedError>;
 
 #[cfg(test)]
 mod tests {
@@ -788,7 +1173,45 @@ mod tests {
         for l in [Lever::Bus, Lever::Flop, Lever::Overhead] {
             assert_eq!(Lever::parse(l.name()).unwrap(), l);
         }
+        for a in [
+            SimArchKind::Hypercube,
+            SimArchKind::Mesh,
+            SimArchKind::Mesh2d,
+            SimArchKind::SyncBus,
+            SimArchKind::AsyncBus,
+            SimArchKind::ScheduledBus,
+            SimArchKind::Banyan,
+        ] {
+            assert_eq!(SimArchKind::parse(a.name()).unwrap(), a);
+        }
+        for s in [
+            SolverKind::Jacobi,
+            SolverKind::Sor,
+            SolverKind::RedBlack,
+            SolverKind::Cg,
+            SolverKind::Multigrid,
+            SolverKind::Parallel,
+        ] {
+            assert_eq!(SolverKind::parse(s.name()).unwrap(), s);
+        }
         assert!(ArchKind::parse("torus").is_err());
         assert!(ShapeKey::parse("hexagon").is_err());
+        assert!(SimArchKind::parse("torus").is_err());
+        assert!(SolverKind::parse("adi").is_err());
+    }
+
+    #[test]
+    fn stencil_keys_round_trip_and_reject_custom() {
+        for key in [
+            StencilKey::FivePoint,
+            StencilKey::NinePointBox,
+            StencilKey::NinePointStar,
+            StencilKey::ThirteenPoint,
+        ] {
+            assert_eq!(StencilKey::from_spec(key.to_spec()).unwrap(), key);
+            assert_eq!(key.to_spec().name(), key.name());
+        }
+        let err = StencilKey::from_spec(StencilSpec::Custom { e: 6.0, k: 1 }).unwrap_err();
+        assert!(err.to_string().contains("catalog stencil"), "{err}");
     }
 }

@@ -16,6 +16,9 @@ pub struct BatchTelemetry {
     pub cache_hits: usize,
     /// Unique keys actually evaluated this batch.
     pub evaluated: usize,
+    /// Impure effects (measurements, experiment runs) executed this
+    /// batch — never deduplicated or cached.
+    pub effects: usize,
     /// Worker threads targeted by the executor (0 = machine default).
     pub threads: usize,
     /// Wall-clock seconds for the whole batch.
@@ -90,6 +93,7 @@ mod tests {
             unique: 25,
             cache_hits: 5,
             evaluated: 20,
+            effects: 0,
             threads: 4,
             wall_seconds: 0.05,
         }
@@ -111,6 +115,7 @@ mod tests {
             unique: 0,
             cache_hits: 0,
             evaluated: 0,
+            effects: 0,
             threads: 0,
             wall_seconds: 0.0,
         };

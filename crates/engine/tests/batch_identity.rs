@@ -233,13 +233,15 @@ fn sweep_points_match_point_queries() {
     }
 }
 
-/// The acceptance-criterion workload: a 10k-query sweep-shaped batch with
-/// heavy duplication must run at least 4× faster through the engine
+/// The acceptance-criterion workload: a 10k-query **mixed-kind** batch
+/// (optimize, minsize, isoeff, leverage, table1, compare, simulate, solve
+/// — the old and the new service query variants together) with heavy
+/// duplication must run at least 4× faster through the engine
 /// (dedup + cache + parallel sharding) than the naive sequential
 /// per-query loop, with bit-identical responses.
 #[test]
 fn ten_thousand_query_batch_beats_naive_by_4x() {
-    let batch = duplicated_batch(10_000);
+    let batch = parspeed_engine::workloads::mixed_batch(10_000);
 
     // Sibling tests in this binary run on other threads and fight for
     // cores; minimum-of-N on both sides keeps the ratio about the code,
@@ -270,33 +272,4 @@ fn ten_thousand_query_batch_beats_naive_by_4x() {
         speedup >= 4.0,
         "engine {engine_secs:.4}s vs naive {naive_secs:.4}s — only {speedup:.1}×"
     );
-}
-
-/// 10k-atom batch cycling over a few hundred unique queries (the shape of
-/// sweep traffic hitting a capacity-planning service).
-fn duplicated_batch(len: usize) -> Vec<Query> {
-    let stencils = [StencilSpec::FivePoint, StencilSpec::NinePointBox];
-    let shapes = [ShapeKey::Strip, ShapeKey::Square];
-    let sizes = [256usize, 512, 1024, 2048, 4096];
-    let budgets = [Some(8), Some(16), Some(32), Some(64), None];
-    let archs = [ArchKind::SyncBus, ArchKind::AsyncBus, ArchKind::Hypercube, ArchKind::Banyan];
-    let mut unique = Vec::new();
-    for arch in archs {
-        for stencil in stencils {
-            for shape in shapes {
-                for n in sizes {
-                    for procs in budgets {
-                        unique.push(Query::Optimize {
-                            arch,
-                            machine: MachineSpec::default(),
-                            workload: WorkloadSpec { n, stencil, shape },
-                            procs,
-                            memory_words: None,
-                        });
-                    }
-                }
-            }
-        }
-    }
-    (0..len).map(|i| unique[i % unique.len()].clone()).collect()
 }

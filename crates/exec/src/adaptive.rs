@@ -1,17 +1,17 @@
 //! Adaptive convergence-check scheduling (§4, the mechanism of Saltz,
-//! Naik & Nicol [13]).
+//! Naik & Nicol \[13\]).
 //!
 //! Stationary iterations decay geometrically once the dominant mode takes
 //! over: `diff_k ≈ C·ρ^k`. Two observed checks `(k₁, d₁)`, `(k₂, d₂)` give
 //! the rate estimate `ρ̂ = (d₂/d₁)^{1/(k₂−k₁)}` and hence a *predicted*
 //! convergence iteration `k* = k₂ + ln(tol/d₂)/ln ρ̂`. The adaptive
 //! scheduler jumps a safety fraction of the way to `k*` instead of probing
-//! blindly, which is how [13] reduced the "extremely high" checking cost
+//! blindly, which is how \[13\] reduced the "extremely high" checking cost
 //! to "an insignificant amount": almost all checks land where convergence
 //! actually happens.
 //!
 //! [`CheckScheduler`] is the feedback-driven interface;
-//! [`CheckPolicy`](crate::CheckPolicy) implements it by ignoring the
+//! [`CheckPolicy`] implements it by ignoring the
 //! feedback, and [`AdaptiveChecker`] implements the rate estimator.
 
 use crate::CheckPolicy;
@@ -37,7 +37,7 @@ impl CheckScheduler for CheckPolicy {
     }
 }
 
-/// The rate-estimating scheduler of [13].
+/// The rate-estimating scheduler of \[13\].
 #[derive(Debug, Clone, Copy)]
 pub struct AdaptiveChecker {
     /// First check iteration (skips the pre-asymptotic transient).

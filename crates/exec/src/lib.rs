@@ -11,8 +11,8 @@
 //!   sequential solver, since Jacobi updates read only previous-iteration
 //!   values;
 //! * [`CheckPolicy`] — fixed convergence-check schedules (§4, after Saltz,
-//!   Naik & Nicol [13]);
-//! * [`AdaptiveChecker`] — the rate-estimating schedule of [13] itself:
+//!   Naik & Nicol \[13\]);
+//! * [`AdaptiveChecker`] — the rate-estimating schedule of \[13\] itself:
 //!   observed differences predict the convergence iteration and checks
 //!   cluster there;
 //! * [`measure`] — wall-clock cycle-time measurement across thread counts,

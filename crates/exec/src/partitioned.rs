@@ -178,7 +178,7 @@ impl PartitionedJacobi {
 
     /// [`PartitionedJacobi::solve`] under any [`CheckScheduler`] —
     /// including the rate-estimating [`AdaptiveChecker`](crate::AdaptiveChecker)
-    /// of §4's reference [13], which feeds observed differences back into
+    /// of §4's reference \[13\], which feeds observed differences back into
     /// the schedule.
     pub fn solve_scheduled(
         &mut self,

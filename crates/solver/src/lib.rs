@@ -16,8 +16,8 @@
 //!   ordering (rayon row-parallel within each colour);
 //! * [`CgSolver`] — conjugate gradients on the 5-point operator, whose
 //!   global inner products are the §5 Adams–Crockett communication pattern;
-//! * [`MultigridSolver`] — geometric V-cycle multigrid (the MGR[v]-class
-//!   method of the paper's related work, ref [7]);
+//! * [`MultigridSolver`] — geometric V-cycle multigrid (the MGR\[v\]-class
+//!   method of the paper's related work, ref \[7\]);
 //! * [`Manufactured`] — analytic solutions for verification;
 //! * [`norms`] — sequential and rayon-parallel reductions.
 

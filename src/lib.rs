@@ -16,13 +16,15 @@
 //! * [`solver`] — real numerical solvers (Jacobi, SOR, red-black, CG),
 //! * [`exec`] — shared-memory partitioned parallel runtime (rayon) used to
 //!   validate the model on the host machine,
-//! * [`engine`] — batched, cached, parallel query engine over the models:
-//!   dedups and fans a batch of thousands of scenario queries across a
-//!   thread pool, bit-identical to direct model calls.
+//! * [`engine`] — the versioned service surface: a batched, cached,
+//!   parallel query engine covering every capability (analytic queries,
+//!   event-level simulations, real solves, measurements), bit-identical
+//!   to direct calls into the crates above.
 //!
 //! A command-line interface to all of it ships as the `parspeed` binary
-//! (crate `parspeed-cli`), and `parspeed-bench` regenerates every table
-//! and figure in the paper (see `EXPERIMENTS.md`).
+//! (crate `parspeed-cli`) — every one of its commands routes through the
+//! engine's `Service` — and `parspeed-bench` regenerates every table and
+//! figure in the paper (see `EXPERIMENTS.md`).
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,24 @@
 //! let opt = SyncBus::new(&machine).optimize(&w, ProcessorBudget::Unlimited);
 //! assert!((13..=15).contains(&opt.processors));
 //! assert!(opt.speedup > 1.0);
+//! ```
+//!
+//! The same question through the service surface — planned, deduplicated,
+//! and cached, with builder-style request construction:
+//!
+//! ```
+//! use parspeed::prelude::*;
+//!
+//! let engine = Engine::builder().build();
+//! let reply = engine
+//!     .call(&Request::optimize(ArchKind::SyncBus, 256).procs(64).build())
+//!     .unwrap();
+//! match &reply.responses[0] {
+//!     Response::Single(Ok(EvalValue::Optimum { processors, .. })) => {
+//!         assert_eq!(*processors, 14);
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -58,8 +78,9 @@ pub mod prelude {
         SyncBus, Workload,
     };
     pub use parspeed_engine::{
-        ArchKind, BatchTelemetry, Engine, EngineBuilder, MachineSpec, Query, Response, ShapeKey,
-        StencilSpec, WorkloadSpec,
+        ArchKind, BatchTelemetry, Engine, EngineBuilder, EvalOutcome, EvalValue, MachineSpec,
+        ParspeedError, Query, Request, Response, Service, ServiceReply, ShapeKey, SimArchKind,
+        SolverKind, StencilSpec, WorkloadSpec, WIRE_VERSION,
     };
     pub use parspeed_grid::{Grid2D, RectDecomposition, StripDecomposition, WorkingRectangles};
     pub use parspeed_solver::{JacobiSolver, PoissonProblem, SolveStatus};

@@ -192,7 +192,7 @@ pub mod prop {
             }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`](vec()).
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             elem: S,
