@@ -51,8 +51,57 @@ fn bench_partitioned_iteration(c: &mut Criterion) {
         let mut exec = PartitionedJacobi::new(&p, &s, &d);
         g.bench_function("strips8_n256_with_check", |b| b.iter(|| exec.iterate(true)));
     }
+    // Reach-2 star with diagonals: the widest halo the catalogue needs —
+    // per-region sweeps route through the fused 13-point kernel.
+    {
+        let s13 = Stencil::thirteen_point_star();
+        let d = StripDecomposition::new(n, 8);
+        let mut exec = PartitionedJacobi::new(&p, &s13, &d);
+        g.bench_function("strips8_n256_13pt", |b| b.iter(|| exec.iterate(false)));
+    }
     g.finish();
 }
 
-criterion_group!(benches, bench_plan_construction, bench_partitioned_iteration);
+/// The per-partition region sweep itself: fused dispatch vs the generic
+/// tap loop on a strip-shaped region with an executor-style offset.
+fn bench_region_sweep(c: &mut Criterion) {
+    use parspeed_grid::{Grid2D, Region};
+    use parspeed_solver::apply::{jacobi_sweep_region, jacobi_sweep_region_generic};
+    let mut g = c.benchmark_group("region_sweep");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(600));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let n = 256usize;
+    let rows = n / 8; // one of 8 strips
+    for stencil in [Stencil::nine_point_star(), Stencil::thirteen_point_star()] {
+        let halo = stencil.reach();
+        let region = Region::new(3 * rows, 4 * rows, 0, n);
+        let mut src = Grid2D::from_fn(rows, n, halo, |r, c| ((r * 31 + c * 17) % 97) as f64);
+        src.fill_halo(0.25);
+        let mut dst = Grid2D::new(rows, n, halo);
+        let f = Grid2D::from_fn(n, n, 0, |r, c| ((r + c) % 5) as f64);
+        let offset = (region.r0, region.c0);
+        g.bench_function(BenchmarkId::new("fused", stencil.name()), |b| {
+            b.iter(|| {
+                jacobi_sweep_region(&stencil, black_box(&src), &mut dst, &f, 1e-4, &region, offset)
+            })
+        });
+        g.bench_function(BenchmarkId::new("generic", stencil.name()), |b| {
+            b.iter(|| {
+                jacobi_sweep_region_generic(
+                    &stencil,
+                    black_box(&src),
+                    &mut dst,
+                    &f,
+                    1e-4,
+                    &region,
+                    offset,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan_construction, bench_partitioned_iteration, bench_region_sweep);
 criterion_main!(benches);

@@ -1,9 +1,15 @@
-//! Stencil sweep kernels: fused 5-point fast path vs the generic
-//! tap-driven sweep, and the wider catalogue stencils.
+//! Stencil sweep kernels: generic tap-driven vs fused row-slice vs rayon
+//! row-parallel, for all four catalogue stencils.
+//!
+//! The acceptance bar for PR 3 lives here: at n = 1024 the fused 9-point
+//! and 13-point sweeps must be ≥ 3× the generic tap kernel single-thread
+//! (`perf_snapshot` records the same comparison into `BENCH_PR3.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use parspeed_grid::Grid2D;
-use parspeed_solver::apply::{jacobi_sweep, jacobi_sweep_5pt};
+use parspeed_grid::{Grid2D, Region};
+use parspeed_solver::apply::{
+    jacobi_sweep, jacobi_sweep_5pt, jacobi_sweep_par, jacobi_sweep_region_generic,
+};
 use parspeed_stencil::Stencil;
 use std::hint::black_box;
 
@@ -16,31 +22,45 @@ fn setup(n: usize, halo: usize) -> (Grid2D, Grid2D, Grid2D) {
 }
 
 fn bench_kernels(c: &mut Criterion) {
-    let n = 256usize;
-    let mut g = c.benchmark_group("jacobi_sweep");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_millis(600));
-    g.warm_up_time(std::time::Duration::from_millis(200));
-    g.throughput(Throughput::Elements((n * n) as u64));
+    for n in [256usize, 1024] {
+        let mut g = c.benchmark_group(format!("jacobi_sweep_n{n}"));
+        g.sample_size(10);
+        g.measurement_time(std::time::Duration::from_millis(600));
+        g.warm_up_time(std::time::Duration::from_millis(200));
+        g.throughput(Throughput::Elements((n * n) as u64));
 
-    let (src, mut dst, f) = setup(n, 1);
-    g.bench_function(BenchmarkId::new("5pt_fused", n), |b| {
-        b.iter(|| jacobi_sweep_5pt(black_box(&src), &mut dst, &f, 1e-4))
-    });
-    let five = Stencil::five_point();
-    g.bench_function(BenchmarkId::new("5pt_generic", n), |b| {
-        b.iter(|| jacobi_sweep(&five, black_box(&src), &mut dst, &f, 1e-4))
-    });
-    let nine = Stencil::nine_point_box();
-    g.bench_function(BenchmarkId::new("9pt_box_generic", n), |b| {
-        b.iter(|| jacobi_sweep(&nine, black_box(&src), &mut dst, &f, 1e-4))
-    });
-    let (src2, mut dst2, f2) = setup(n, 2);
-    let star = Stencil::nine_point_star();
-    g.bench_function(BenchmarkId::new("9pt_star_generic", n), |b| {
-        b.iter(|| jacobi_sweep(&star, black_box(&src2), &mut dst2, &f2, 1e-4))
-    });
-    g.finish();
+        for stencil in Stencil::catalog() {
+            let halo = stencil.reach();
+            let (src, mut dst, f) = setup(n, halo);
+            let region = Region::new(0, n, 0, n);
+            g.bench_function(BenchmarkId::new("generic", stencil.name()), |b| {
+                b.iter(|| {
+                    jacobi_sweep_region_generic(
+                        &stencil,
+                        black_box(&src),
+                        &mut dst,
+                        &f,
+                        1e-4,
+                        &region,
+                        (0, 0),
+                    )
+                })
+            });
+            g.bench_function(BenchmarkId::new("fused", stencil.name()), |b| {
+                b.iter(|| jacobi_sweep(&stencil, black_box(&src), &mut dst, &f, 1e-4))
+            });
+            g.bench_function(BenchmarkId::new("parallel", stencil.name()), |b| {
+                b.iter(|| jacobi_sweep_par(&stencil, black_box(&src), &mut dst, &f, 1e-4))
+            });
+        }
+
+        // The statically-typed 5-point fast path, for reference.
+        let (src, mut dst, f) = setup(n, 1);
+        g.bench_function(BenchmarkId::new("fused_static", "5-point"), |b| {
+            b.iter(|| jacobi_sweep_5pt(black_box(&src), &mut dst, &f, 1e-4))
+        });
+        g.finish();
+    }
 }
 
 criterion_group!(benches, bench_kernels);

@@ -1,0 +1,205 @@
+//! Machine-readable kernel-throughput snapshot → `BENCH_PR3.json`.
+//!
+//! Measures, for each catalogue stencil, the full-interior Jacobi sweep in
+//! three configurations — generic tap-driven, fused row-slice, and fused
+//! rayon row-parallel — and writes the numbers as JSON so the repo carries
+//! a perf trajectory across PRs. Throughput is reported in million point
+//! updates per second (`mpts`) and derived MFLOP/s (`mpts ×`
+//! [`Stencil::flops_per_point`]).
+//!
+//! ```text
+//! cargo run --release -p parspeed-bench --bin perf_snapshot            # n=1024 → BENCH_PR3.json
+//! cargo run --release -p parspeed-bench --bin perf_snapshot -- --quick --check --out target/smoke.json
+//! ```
+//!
+//! `--quick` shrinks the grid and measurement time (the CI smoke
+//! configuration); `--check` re-parses the written JSON and fails unless
+//! every fused kernel is at least as fast as the generic sweep and
+//! bit-identical to it; `--out PATH` overrides the output path.
+
+use parspeed_engine::jsonl::{self, Json};
+use parspeed_grid::{Grid2D, Region};
+use parspeed_solver::apply::{jacobi_sweep, jacobi_sweep_par, jacobi_sweep_region_generic};
+use parspeed_stencil::Stencil;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Config {
+    n: usize,
+    min_time: f64,
+    trials: usize,
+    check: bool,
+    out: String,
+}
+
+struct Row {
+    stencil: &'static str,
+    taps: usize,
+    flops_per_point: f64,
+    generic_mpts: f64,
+    fused_mpts: f64,
+    par_mpts: f64,
+}
+
+fn parse_args() -> Config {
+    let mut cfg =
+        Config { n: 1024, min_time: 0.25, trials: 3, check: false, out: "BENCH_PR3.json".into() };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                cfg.n = 256;
+                cfg.min_time = 0.04;
+                cfg.trials = 2;
+            }
+            "--check" => cfg.check = true,
+            "--out" => cfg.out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (expected --quick, --check, --out PATH)"),
+        }
+    }
+    cfg
+}
+
+fn setup(n: usize, halo: usize) -> (Grid2D, Grid2D) {
+    let mut src = Grid2D::from_fn(n, n, halo, |r, c| ((r * 31 + c * 17) % 97) as f64 * 0.01);
+    src.fill_halo(0.5);
+    let f = Grid2D::from_fn(n, n, 0, |r, c| ((r + c) % 5) as f64);
+    (src, f)
+}
+
+/// Best observed sweep rate (million point updates per second) over
+/// `trials` timed windows of at least `min_time` seconds each.
+fn measure(cfg: &Config, mut sweep: impl FnMut()) -> f64 {
+    sweep(); // warm up caches and the rayon pool
+    let points = (cfg.n * cfg.n) as f64;
+    let mut best = 0.0f64;
+    for _ in 0..cfg.trials {
+        let mut reps = 0u64;
+        let start = Instant::now();
+        loop {
+            sweep();
+            reps += 1;
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= cfg.min_time {
+                best = best.max(points * reps as f64 / elapsed / 1e6);
+                break;
+            }
+        }
+    }
+    best
+}
+
+fn snapshot(cfg: &Config) -> (Vec<Row>, bool) {
+    let mut rows = Vec::new();
+    let mut identical = true;
+    for s in Stencil::catalog() {
+        let halo = s.reach();
+        let (src, f) = setup(cfg.n, halo);
+        let mut dst = Grid2D::new(cfg.n, cfg.n, halo);
+        let h2 = 1e-4;
+        let region = Region::new(0, cfg.n, 0, cfg.n);
+
+        let mut generic_out = Grid2D::new(cfg.n, cfg.n, halo);
+        jacobi_sweep_region_generic(&s, &src, &mut generic_out, &f, h2, &region, (0, 0));
+        let mut fused_out = Grid2D::new(cfg.n, cfg.n, halo);
+        jacobi_sweep(&s, &src, &mut fused_out, &f, h2);
+        if fused_out.max_abs_diff(&generic_out) != 0.0 {
+            eprintln!("BIT-IDENTITY VIOLATION: {} fused differs from generic", s.name());
+            identical = false;
+        }
+
+        let generic_mpts = measure(cfg, || {
+            jacobi_sweep_region_generic(&s, black_box(&src), &mut dst, &f, h2, &region, (0, 0))
+        });
+        let fused_mpts = measure(cfg, || jacobi_sweep(&s, black_box(&src), &mut dst, &f, h2));
+        let par_mpts = measure(cfg, || jacobi_sweep_par(&s, black_box(&src), &mut dst, &f, h2));
+
+        rows.push(Row {
+            stencil: s.name(),
+            taps: s.tap_count(),
+            flops_per_point: s.flops_per_point(),
+            generic_mpts,
+            fused_mpts,
+            par_mpts,
+        });
+    }
+    (rows, identical)
+}
+
+fn to_json(cfg: &Config, rows: &[Row], identical: bool) -> Json {
+    let kernels = rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("stencil".into(), Json::Str(r.stencil.into())),
+                ("taps".into(), Json::Num(r.taps as f64)),
+                ("flops_per_point".into(), Json::Num(r.flops_per_point)),
+                ("generic_mpts".into(), Json::Num(round3(r.generic_mpts))),
+                ("fused_mpts".into(), Json::Num(round3(r.fused_mpts))),
+                ("parallel_mpts".into(), Json::Num(round3(r.par_mpts))),
+                ("fused_speedup".into(), Json::Num(round3(r.fused_mpts / r.generic_mpts))),
+                ("fused_mflops".into(), Json::Num(round3(r.fused_mpts * r.flops_per_point))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("parspeed-perf-snapshot/v1".into())),
+        ("pr".into(), Json::Num(3.0)),
+        ("bench".into(), Json::Str("full-interior Jacobi sweep".into())),
+        ("n".into(), Json::Num(cfg.n as f64)),
+        ("threads".into(), Json::Num(rayon::current_num_threads() as f64)),
+        ("bit_identical".into(), Json::Bool(identical)),
+        ("kernels".into(), Json::Arr(kernels)),
+    ])
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn main() {
+    let cfg = parse_args();
+    let (rows, identical) = snapshot(&cfg);
+    // A drifted kernel must never produce a committable snapshot, with or
+    // without --check: fail after writing (the file records the evidence).
+    let json = to_json(&cfg, &rows, identical);
+    let text = json.render();
+    if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&cfg.out, &text).expect("write snapshot");
+
+    println!("kernel throughput at n={} ({} thread(s)):", cfg.n, rayon::current_num_threads());
+    println!(
+        "  {:<16}{:>14}{:>12}{:>12}{:>10}{:>14}",
+        "stencil", "generic Mp/s", "fused Mp/s", "par Mp/s", "fused×", "fused MFLOP/s"
+    );
+    for r in &rows {
+        println!(
+            "  {:<16}{:>14.1}{:>12.1}{:>12.1}{:>10.2}{:>14.0}",
+            r.stencil,
+            r.generic_mpts,
+            r.fused_mpts,
+            r.par_mpts,
+            r.fused_mpts / r.generic_mpts,
+            r.fused_mpts * r.flops_per_point
+        );
+    }
+    println!("wrote {}", cfg.out);
+    assert!(identical, "fused kernels must be bit-identical to generic (snapshot records details)");
+
+    if cfg.check {
+        let reparsed = jsonl::parse(&std::fs::read_to_string(&cfg.out).expect("re-read snapshot"))
+            .expect("snapshot JSON must re-parse");
+        let kernels = reparsed.get("kernels").and_then(Json::as_arr).expect("kernels array");
+        assert_eq!(kernels.len(), rows.len(), "snapshot lost kernels");
+        for k in kernels {
+            let name = k.get("stencil").and_then(Json::as_str).expect("stencil name");
+            let speedup = k.get("fused_speedup").and_then(Json::as_f64).expect("fused_speedup");
+            assert!(speedup >= 1.0, "{name}: fused slower than generic ({speedup:.3}×)");
+        }
+        println!("check passed: JSON round-trips, fused ≥ generic on all stencils");
+    }
+}

@@ -6,12 +6,45 @@
 //! mutexes) keeps the executor's worker threads from serializing on one
 //! lock; recency is tracked per shard with a lazily-invalidated queue, so
 //! `get`/`insert` stay amortized O(1).
+//!
+//! Each operation hashes its key with [`FxHasher`] exactly **once**: the
+//! high bits pick the shard and the full value doubles as the bucket key
+//! of the shard's map (which uses an identity hasher), instead of the
+//! key being hashed a second time by the inner `HashMap`. Hash collisions
+//! are handled by the buckets comparing full keys.
 
-use crate::fxhash::{FxBuildHasher, FxHasher};
+use crate::fxhash::FxHasher;
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Pass-through hasher for keys that already *are* an `FxHasher` output;
+/// used by the shard maps so a cached hash is never re-hashed.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher only accepts u64 keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type IdentityBuild = BuildHasherDefault<IdentityHasher>;
+
+fn fx_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
 
 /// Monotonic cache counters (atomics: workers record hits concurrently).
 #[derive(Debug, Default)]
@@ -48,26 +81,37 @@ impl CacheStatsSnapshot {
 }
 
 struct Shard<K, V> {
-    map: HashMap<K, Entry<V>, FxBuildHasher>,
-    /// Recency queue of `(stamp, key)`; stale stamps are skipped on pop.
-    order: VecDeque<(u64, K)>,
+    /// Buckets keyed by the caller-supplied `FxHasher` value (identity
+    /// hasher: the value is used as-is). A bucket holds every live entry
+    /// whose key hashes to that value — almost always exactly one.
+    map: HashMap<u64, Vec<Entry<K, V>>, IdentityBuild>,
+    /// Live entries across all buckets.
+    len: usize,
+    /// Recency queue of `(stamp, hash, key)`; stale stamps are skipped on
+    /// pop.
+    order: VecDeque<(u64, u64, K)>,
     tick: u64,
 }
 
-struct Entry<V> {
+struct Entry<K, V> {
+    key: K,
     value: V,
     stamp: u64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
     fn new() -> Self {
-        Shard { map: HashMap::default(), order: VecDeque::new(), tick: 0 }
+        Shard { map: HashMap::default(), len: 0, order: VecDeque::new(), tick: 0 }
     }
 
-    fn touch(&mut self, key: &K) -> u64 {
+    fn touch(&mut self, hash: u64, key: &K) -> u64 {
         self.tick += 1;
-        self.order.push_back((self.tick, key.clone()));
+        self.order.push_back((self.tick, hash, key.clone()));
         self.tick
+    }
+
+    fn entry_is_live(&self, hash: u64, key: &K, stamp: u64) -> bool {
+        self.map.get(&hash).is_some_and(|b| b.iter().any(|e| e.stamp == stamp && &e.key == key))
     }
 
     /// Drops stale recency records once the queue far outgrows the live
@@ -77,30 +121,51 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
     /// touched key's map stamp: retaining earlier would discard the
     /// current operation's own record and leave its key unevictable.
     fn trim(&mut self) {
-        if self.order.len() > 8 * (self.map.len() + 8) {
+        if self.order.len() > 8 * (self.len + 8) {
             let map = &self.map;
-            self.order.retain(|(stamp, key)| map.get(key).is_some_and(|e| e.stamp == *stamp));
+            self.order.retain(|(stamp, hash, key)| {
+                map.get(hash).is_some_and(|b| b.iter().any(|e| e.stamp == *stamp && &e.key == key))
+            });
         }
     }
 
-    fn get(&mut self, key: &K) -> Option<V> {
-        let stamp = if self.map.contains_key(key) { self.touch(key) } else { 0 };
-        let entry = self.map.get_mut(key)?;
+    fn get(&mut self, hash: u64, key: &K) -> Option<V> {
+        let hit = self.map.get(&hash).is_some_and(|bucket| bucket.iter().any(|e| &e.key == key));
+        if !hit {
+            return None;
+        }
+        let stamp = self.touch(hash, key);
+        let bucket = self.map.get_mut(&hash)?;
+        let entry = bucket.iter_mut().find(|e| &e.key == key)?;
         entry.stamp = stamp;
         let value = entry.value.clone();
         self.trim();
         Some(value)
     }
 
-    fn insert(&mut self, key: K, value: V, capacity: usize) -> u64 {
-        let stamp = self.touch(&key);
-        self.map.insert(key, Entry { value, stamp });
+    fn insert(&mut self, hash: u64, key: K, value: V, capacity: usize) -> u64 {
+        let stamp = self.touch(hash, &key);
+        let bucket = self.map.entry(hash).or_default();
+        match bucket.iter_mut().find(|e| e.key == key) {
+            Some(entry) => {
+                entry.value = value;
+                entry.stamp = stamp;
+            }
+            None => {
+                bucket.push(Entry { key, value, stamp });
+                self.len += 1;
+            }
+        }
         let mut evicted = 0u64;
-        while self.map.len() > capacity {
-            let Some((stamp, key)) = self.order.pop_front() else { break };
-            let live = self.map.get(&key).is_some_and(|e| e.stamp == stamp);
-            if live {
-                self.map.remove(&key);
+        while self.len > capacity {
+            let Some((stamp, hash, key)) = self.order.pop_front() else { break };
+            if self.entry_is_live(hash, &key, stamp) {
+                let bucket = self.map.get_mut(&hash).expect("live entry has a bucket");
+                bucket.retain(|e| e.key != key);
+                if bucket.is_empty() {
+                    self.map.remove(&hash);
+                }
+                self.len -= 1;
                 evicted += 1;
             }
         }
@@ -129,18 +194,18 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         }
     }
 
-    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
-        let mut h = FxHasher::default();
-        key.hash(&mut h);
-        // Shard on the high bits: the shard maps consume the same hash, and
-        // sharing the low bits would concentrate each shard's keys in a few
-        // buckets.
-        &self.shards[(h.finish() >> 48) as usize % self.shards.len()]
+    /// Shard pick from an already-computed hash: the high bits, so the
+    /// inner buckets (which consume the same hash from the low bits up)
+    /// stay well spread within a shard.
+    fn shard_of(&self, hash: u64) -> &Mutex<Shard<K, V>> {
+        &self.shards[(hash >> 48) as usize % self.shards.len()]
     }
 
-    /// Looks `key` up, refreshing its recency on a hit.
+    /// Looks `key` up, refreshing its recency on a hit. The key is hashed
+    /// once; the value picks the shard *and* serves as the bucket key.
     pub fn get(&self, key: &K) -> Option<V> {
-        let out = self.shard_of(key).lock().expect("cache shard poisoned").get(key);
+        let hash = fx_hash(key);
+        let out = self.shard_of(hash).lock().expect("cache shard poisoned").get(hash, key);
         match &out {
             Some(_) => self.stats.hits.fetch_add(1, Ordering::Relaxed),
             None => self.stats.misses.fetch_add(1, Ordering::Relaxed),
@@ -151,7 +216,9 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// Stores `value` under `key`, evicting least-recently-used entries of
     /// the same shard if the shard is over capacity.
     pub fn insert(&self, key: K, value: V) {
-        let evicted = self.shard_of(&key).lock().expect("cache shard poisoned").insert(
+        let hash = fx_hash(&key);
+        let evicted = self.shard_of(hash).lock().expect("cache shard poisoned").insert(
+            hash,
             key,
             value,
             self.capacity_per_shard,
@@ -164,7 +231,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
 
     /// Number of live entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len).sum()
     }
 
     /// True when no entry is cached.
@@ -231,7 +298,26 @@ mod tests {
             let _ = c.get(&(i % 8));
         }
         let shard = c.shards[0].lock().unwrap();
-        assert!(shard.order.len() <= 8 * (shard.map.len() + 8) + 8);
+        assert!(shard.order.len() <= 8 * (shard.len + 8) + 8);
+    }
+
+    #[test]
+    fn colliding_hashes_share_a_bucket_but_not_entries() {
+        // Two distinct keys forced onto the same hash value: the bucket
+        // must keep both and evict them independently.
+        let mut shard: Shard<u64, u64> = Shard::new();
+        shard.insert(42, 1, 10, 8);
+        shard.insert(42, 2, 20, 8);
+        assert_eq!(shard.len, 2);
+        assert_eq!(shard.map.len(), 1, "same hash ⇒ one bucket");
+        assert_eq!(shard.get(42, &1), Some(10));
+        assert_eq!(shard.get(42, &2), Some(20));
+        assert_eq!(shard.get(42, &3), None);
+        // Over-capacity eviction removes the least recent of the two.
+        shard.insert(7, 3, 30, 2);
+        assert_eq!(shard.len, 2);
+        assert_eq!(shard.get(42, &1), None, "LRU colliding entry evicted");
+        assert_eq!(shard.get(42, &2), Some(20));
     }
 
     #[test]
@@ -263,10 +349,10 @@ mod tests {
         }
         let shard = c.shards[0].lock().unwrap();
         assert!(
-            shard.order.len() <= 8 * (shard.map.len() + 8) + 8,
+            shard.order.len() <= 8 * (shard.len + 8) + 8,
             "recency queue leaked: {} entries for {} live keys",
             shard.order.len(),
-            shard.map.len()
+            shard.len
         );
     }
 

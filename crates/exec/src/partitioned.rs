@@ -14,7 +14,9 @@
 //! Because a Jacobi update reads only previous-iteration values, the
 //! result is bit-for-bit identical to the sequential whole-grid sweep —
 //! which the tests assert, making this executor a machine-checked
-//! refinement of `parspeed-solver`.
+//! refinement of `parspeed-solver`. Each per-region sweep goes through
+//! [`jacobi_sweep_region`]'s kernel dispatch, so partitions of catalogue
+//! stencils run the fused row-slice kernels.
 
 use crate::adaptive::CheckScheduler;
 use crate::CheckPolicy;
@@ -109,7 +111,8 @@ impl PartitionedJacobi {
     /// Runs one iteration. Returns the global max update difference when
     /// `compute_diff` is set (the local convergence check of §4).
     pub fn iterate(&mut self, compute_diff: bool) -> Option<f64> {
-        // Phase 1: publish halo rectangles from the owners' current grids.
+        // Phase 1: publish halo rectangles from the owners' current grids
+        // (whole row segments at a time — no per-point indexing).
         let parts = &self.parts;
         let published: Vec<Vec<f64>> = self
             .copies
@@ -117,10 +120,11 @@ impl PartitionedJacobi {
             .map(|c| {
                 let src = &parts[c.src];
                 let mut buf = Vec::with_capacity(c.src_region.area());
+                let lc0 = c.src_region.c0 - src.region.c0;
+                let lc1 = c.src_region.c1 - src.region.c0;
                 for gr in c.src_region.r0..c.src_region.r1 {
-                    for gc in c.src_region.c0..c.src_region.c1 {
-                        buf.push(src.u.get(gr - src.region.r0, gc - src.region.c0));
-                    }
+                    let row = src.u.interior_row(gr - src.region.r0);
+                    buf.extend_from_slice(&row[lc0..lc1]);
                 }
                 buf
             })
@@ -141,14 +145,15 @@ impl PartitionedJacobi {
                 for &ci in &incoming[i] {
                     let c = &copies[ci];
                     let buf = &published[ci];
-                    let mut idx = 0;
-                    for gr in c.src_region.r0..c.src_region.r1 {
-                        for gc in c.src_region.c0..c.src_region.c1 {
-                            let lr = gr as isize - part.region.r0 as isize;
-                            let lc = gc as isize - part.region.c0 as isize;
-                            part.u.set_h(lr, lc, buf[idx]);
-                            idx += 1;
-                        }
+                    // Install each published rectangle row-wise into the
+                    // halo: one bounds-checked slice copy per row.
+                    let w = c.src_region.c1 - c.src_region.c0;
+                    let halo = part.u.halo() as isize;
+                    let j0 = (c.src_region.c0 as isize - part.region.c0 as isize + halo) as usize;
+                    for (i_row, gr) in (c.src_region.r0..c.src_region.r1).enumerate() {
+                        let lr = gr as isize - part.region.r0 as isize;
+                        let row = part.u.padded_row_mut(lr);
+                        row[j0..j0 + w].copy_from_slice(&buf[i_row * w..(i_row + 1) * w]);
                     }
                 }
                 jacobi_sweep_region(

@@ -126,6 +126,45 @@ impl Grid2D {
         &self.data[start..start + self.stride()]
     }
 
+    /// A padded row (halo columns included) at signed row offset, mutably.
+    pub fn padded_row_mut(&mut self, r: isize) -> &mut [f64] {
+        let start = self.idx_h(r, -(self.halo as isize));
+        let stride = self.stride();
+        &mut self.data[start..start + stride]
+    }
+
+    /// The interior cells of row `r` (halo columns excluded).
+    pub fn interior_row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        let start = (r + self.halo) * self.stride() + self.halo;
+        &self.data[start..start + self.cols]
+    }
+
+    /// The interior cells of row `r` (halo columns excluded), mutably.
+    pub fn interior_row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        let start = (r + self.halo) * self.stride() + self.halo;
+        let cols = self.cols;
+        &mut self.data[start..start + cols]
+    }
+
+    /// Splits the padded storage around interior row `r`: returns
+    /// `(above, row, below)` where `row` is the padded row `r` (mutable),
+    /// `above` is everything before it and `below` everything after, both
+    /// immutable. `above` ends with the `halo` padded rows directly above
+    /// `r` (each [`stride`](Grid2D::stride) long, nearest last) and `below`
+    /// starts with the ones directly beneath — the slices an in-place
+    /// Gauss-Seidel row kernel needs without aliasing the row being
+    /// written.
+    pub fn split_row_mut(&mut self, r: usize) -> (&[f64], &mut [f64], &[f64]) {
+        debug_assert!(r < self.rows);
+        let stride = self.stride();
+        let start = (r + self.halo) * stride;
+        let (above, rest) = self.data.split_at_mut(start);
+        let (row, below) = rest.split_at_mut(stride);
+        (above, row, below)
+    }
+
     /// Fills the interior with a constant.
     pub fn fill(&mut self, v: f64) {
         for r in 0..self.rows {
@@ -250,6 +289,38 @@ mod tests {
         assert_eq!(row.len(), 6);
         assert_eq!(row[0], 3.0); // left halo
         assert_eq!(row[1], 5.0); // interior (0,0)
+    }
+
+    #[test]
+    fn row_accessors_agree_with_point_accessors() {
+        let mut g = Grid2D::from_fn(3, 4, 2, |r, c| (r * 10 + c) as f64);
+        g.fill_halo(-1.0);
+        assert_eq!(g.interior_row(1), &[10.0, 11.0, 12.0, 13.0]);
+        let padded = g.padded_row(1).to_vec();
+        assert_eq!(padded.len(), g.stride());
+        assert_eq!(&padded[2..6], g.interior_row(1));
+        assert_eq!(padded[0], -1.0);
+        g.interior_row_mut(1)[2] = 99.0;
+        assert_eq!(g.get(1, 2), 99.0);
+        g.padded_row_mut(-2)[0] = 7.0;
+        assert_eq!(g.get_h(-2, -2), 7.0);
+    }
+
+    #[test]
+    fn split_row_mut_partitions_the_padding() {
+        let mut g = Grid2D::from_fn(3, 3, 1, |r, c| (r * 3 + c) as f64);
+        g.fill_halo(5.0);
+        let stride = g.stride();
+        let (above, row, below) = g.split_row_mut(1);
+        assert_eq!(above.len(), 2 * stride); // top halo row + interior row 0
+        assert_eq!(row.len(), stride);
+        assert_eq!(below.len(), 2 * stride); // interior row 2 + bottom halo
+        let row_above = &above[above.len() - stride..];
+        assert_eq!(row_above[1], 0.0); // interior (0,0)
+        assert_eq!(row[1], 3.0); // interior (1,0)
+        assert_eq!(below[1], 6.0); // interior (2,0)
+        row[1] = -9.0;
+        assert_eq!(g.get(1, 0), -9.0);
     }
 
     #[test]

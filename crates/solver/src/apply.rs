@@ -6,13 +6,30 @@
 //! u'(r,c) = ( Σ_taps coeff·u(r+dy, c+dx) + rhs_scale·h²·f(r,c) ) / divisor
 //! ```
 //!
-//! [`jacobi_sweep`] is the generic tap-driven kernel; [`jacobi_sweep_5pt`]
-//! is a fused fast path that performs the identical arithmetic in the
-//! identical order (so results are bit-for-bit equal). Both read `src`
-//! (including its halo) and write `dst`'s interior.
+//! [`jacobi_sweep`] and [`jacobi_sweep_region`] dispatch on
+//! [`Stencil::kernel_kind`]: the four catalogue stencils run hand-fused
+//! kernels that read whole padded row slices with hoisted halo/offset
+//! arithmetic and a column-tiled traversal, while any other stencil falls
+//! back to the generic tap-driven loop
+//! ([`jacobi_sweep_region_generic`]). The fused kernels perform the
+//! identical arithmetic in the identical order, so results are bit-for-bit
+//! equal to the generic path — the property every equivalence test in this
+//! workspace leans on. [`jacobi_sweep_par`] runs the same sweep
+//! row-parallel under rayon (Jacobi reads only `src`, so parallelism
+//! cannot change results either).
+//!
+//! [`sor_sweep`] is the in-place lexicographic relaxation sweep
+//! (Gauss-Seidel/SOR) under the same dispatch.
 
 use parspeed_grid::{Grid2D, Region};
-use parspeed_stencil::Stencil;
+use parspeed_stencil::{KernelKind, Stencil};
+use rayon::prelude::*;
+
+/// Column-tile width of the fused traversal. A tile bounds the reuse
+/// distance between the padded source rows two consecutive output rows
+/// share, keeping them L1-resident even when a full row (8·`n` bytes) no
+/// longer fits.
+const COL_TILE: usize = 512;
 
 /// Generic Jacobi sweep over the whole interior of `src` into `dst`.
 pub fn jacobi_sweep(stencil: &Stencil, src: &Grid2D, dst: &mut Grid2D, f: &Grid2D, h2: f64) {
@@ -20,11 +37,57 @@ pub fn jacobi_sweep(stencil: &Stencil, src: &Grid2D, dst: &mut Grid2D, f: &Grid2
     jacobi_sweep_region(stencil, src, dst, f, h2, &region, (0, 0));
 }
 
-/// Generic Jacobi sweep over `region` (coordinates of `f`/the global
-/// problem); `offset = (row0, col0)` maps global coordinates to `src`/`dst`
-/// local interior coordinates (`local = global − offset`). Used by the
-/// partitioned executor where each partition owns a local grid.
+/// Rayon row-parallel full-interior sweep; bit-identical to
+/// [`jacobi_sweep`] (each worker writes disjoint `dst` rows computed from
+/// the immutable `src`).
+pub fn jacobi_sweep_par(stencil: &Stencil, src: &Grid2D, dst: &mut Grid2D, f: &Grid2D, h2: f64) {
+    let region = Region::new(0, src.rows(), 0, src.cols());
+    let rs_h2 = stencil.rhs_scale() * h2;
+    let inv = 1.0 / stencil.divisor();
+    let kind = fusable(stencil, src, dst, f, &region, (0, 0));
+    let (rows, cols) = (src.rows(), src.cols());
+    let (dst_halo, stride) = (dst.halo(), dst.stride());
+    dst.as_mut_slice().par_chunks_mut(stride).enumerate().for_each(|(pr, row)| {
+        if pr < dst_halo || pr >= dst_halo + rows {
+            return;
+        }
+        let r = pr - dst_halo;
+        let out = &mut row[dst_halo..dst_halo + cols];
+        match kind {
+            Some(kind) => {
+                let frow = &f.padded_row(r as isize)[f.halo()..f.halo() + cols];
+                fused_row(kind, src, r as isize, src.halo(), frow, out, rs_h2, inv);
+            }
+            None => generic_row(stencil, src, r as isize, 0, r, 0..cols, f, rs_h2, inv, out),
+        }
+    });
+}
+
+/// Jacobi sweep over `region` (coordinates of `f`/the global problem);
+/// `offset = (row0, col0)` maps global coordinates to `src`/`dst` local
+/// interior coordinates (`local = global − offset`). Used by the
+/// partitioned executor where each partition owns a local grid. Routes to
+/// a fused kernel when [`Stencil::kernel_kind`] identifies one and the
+/// region geometry permits, falling back to
+/// [`jacobi_sweep_region_generic`].
 pub fn jacobi_sweep_region(
+    stencil: &Stencil,
+    src: &Grid2D,
+    dst: &mut Grid2D,
+    f: &Grid2D,
+    h2: f64,
+    region: &Region,
+    offset: (usize, usize),
+) {
+    match fusable(stencil, src, dst, f, region, offset) {
+        Some(kind) => fused_sweep_region(kind, stencil, src, dst, f, h2, region, offset),
+        None => jacobi_sweep_region_generic(stencil, src, dst, f, h2, region, offset),
+    }
+}
+
+/// The tap-interpreting fallback sweep — public so benches and identity
+/// tests can compare the fused kernels against it directly.
+pub fn jacobi_sweep_region_generic(
     stencil: &Stencil,
     src: &Grid2D,
     dst: &mut Grid2D,
@@ -35,12 +98,12 @@ pub fn jacobi_sweep_region(
 ) {
     let rs_h2 = stencil.rhs_scale() * h2;
     let inv = 1.0 / stencil.divisor();
-    let taps = stencil.taps();
+    let lc0 = region.c0 as isize - offset.1 as isize;
     for gr in region.r0..region.r1 {
-        for gc in region.c0..region.c1 {
-            let (lr, lc) = ((gr - offset.0) as isize, (gc - offset.1) as isize);
+        let lr = gr as isize - offset.0 as isize;
+        for (lc, gc) in (lc0..).zip(region.c0..region.c1) {
             let mut acc = 0.0;
-            for t in taps {
+            for t in stencil.taps() {
                 acc += t.coeff * src.get_h(lr + t.offset.dy as isize, lc + t.offset.dx as isize);
             }
             acc += rs_h2 * f.get(gr, gc);
@@ -49,24 +112,68 @@ pub fn jacobi_sweep_region(
     }
 }
 
-/// Fused 5-point fast path; bit-identical to [`jacobi_sweep`] with
-/// [`Stencil::five_point`].
+/// Fused 5-point fast path over the full interior; bit-identical to
+/// [`jacobi_sweep`] with [`Stencil::five_point`]. Kept for callers that
+/// know their stencil statically; everything else should go through the
+/// dispatching [`jacobi_sweep`].
 pub fn jacobi_sweep_5pt(src: &Grid2D, dst: &mut Grid2D, f: &Grid2D, h2: f64) {
-    let rows = src.rows();
-    let cols = src.cols();
+    let (rows, cols) = (src.rows(), src.cols());
+    // rhs_scale = 1 and divisor = 4 exactly as the generic path computes.
+    let (rs_h2, inv) = (h2, 0.25);
     for r in 0..rows {
-        let ri = r as isize;
-        for c in 0..cols {
-            let ci = c as isize;
-            // Same tap order as the catalogue: N, S, W, E.
-            let mut acc = src.get_h(ri - 1, ci);
-            acc += src.get_h(ri + 1, ci);
-            acc += src.get_h(ri, ci - 1);
-            acc += src.get_h(ri, ci + 1);
-            acc += h2 * f.get(r, c);
-            dst.set(r, c, acc * 0.25);
+        let frow = &f.padded_row(r as isize)[f.halo()..f.halo() + cols];
+        let bd = dst.halo();
+        let out = &mut dst.padded_row_mut(r as isize)[bd..bd + cols];
+        fused_row(KernelKind::FivePoint, src, r as isize, src.halo(), frow, out, rs_h2, inv);
+    }
+}
+
+/// In-place lexicographic relaxation sweep (Gauss-Seidel for `omega = 1`,
+/// SOR otherwise) over the full interior of `u`; returns the max-norm
+/// update difference of the sweep. Dispatches to fused row kernels for the
+/// catalogue stencils; the arithmetic (and therefore the iterate sequence)
+/// is identical to the tap-driven loop either way.
+pub fn sor_sweep(stencil: &Stencil, u: &mut Grid2D, f: &Grid2D, h2: f64, omega: f64) -> f64 {
+    let rs_h2 = stencil.rhs_scale() * h2;
+    let inv = 1.0 / stencil.divisor();
+    let n_rows = u.rows();
+    let cols = u.cols();
+    let full = Region::new(0, n_rows, 0, cols);
+    // In-place update: `u` is both source and destination.
+    let kind = fusable(stencil, u, u, f, &full, (0, 0));
+    let mut worst = 0.0f64;
+    match kind {
+        Some(kind) => {
+            let halo = u.halo();
+            let stride = u.stride();
+            for r in 0..n_rows {
+                let frow = &f.padded_row(r as isize)[f.halo()..f.halo() + cols];
+                let (above, mid, below) = u.split_row_mut(r);
+                worst = worst.max(sor_row_fused(
+                    kind, above, mid, below, stride, halo, cols, frow, rs_h2, inv, omega,
+                ));
+            }
+        }
+        None => {
+            for r in 0..n_rows {
+                let ri = r as isize;
+                for c in 0..cols {
+                    let ci = c as isize;
+                    let mut acc = 0.0;
+                    for t in stencil.taps() {
+                        acc +=
+                            t.coeff * u.get_h(ri + t.offset.dy as isize, ci + t.offset.dx as isize);
+                    }
+                    let jacobi = (acc + rs_h2 * f.get(r, c)) * inv;
+                    let old = u.get(r, c);
+                    let new = old + omega * (jacobi - old);
+                    worst = worst.max((new - old).abs());
+                    u.set(r, c, new);
+                }
+            }
         }
     }
+    worst
 }
 
 /// Max-norm of the discrete residual `(div·u − Σ c·u_nb)/(rs·h²) − f`,
@@ -88,6 +195,286 @@ pub fn residual_max(stencil: &Stencil, u: &Grid2D, f: &Grid2D, h2: f64) -> f64 {
     worst
 }
 
+/// Whether the fused kernel for `stencil` may sweep `region`: a kernel
+/// must exist, the halos must hold the stencil's reach, and the region's
+/// local image must lie inside the interiors of `src`/`dst` (the generic
+/// path can legally write halo cells; the fused path slices interior
+/// rows).
+fn fusable(
+    stencil: &Stencil,
+    src: &Grid2D,
+    dst: &Grid2D,
+    f: &Grid2D,
+    region: &Region,
+    offset: (usize, usize),
+) -> Option<KernelKind> {
+    let kind = stencil.kernel_kind()?;
+    let k = stencil.reach();
+    let in_local = |g: &Grid2D| {
+        region.r0 >= offset.0
+            && region.c0 >= offset.1
+            && region.r1 - offset.0 <= g.rows()
+            && region.c1 - offset.1 <= g.cols()
+    };
+    let ok = src.halo() >= k
+        && region.r1 >= region.r0
+        && region.c1 >= region.c0
+        && in_local(src)
+        && in_local(dst)
+        && region.r1 <= f.rows()
+        && region.c1 <= f.cols();
+    ok.then_some(kind)
+}
+
+/// Column-tiled fused sweep over a region.
+#[allow(clippy::too_many_arguments)]
+fn fused_sweep_region(
+    kind: KernelKind,
+    stencil: &Stencil,
+    src: &Grid2D,
+    dst: &mut Grid2D,
+    f: &Grid2D,
+    h2: f64,
+    region: &Region,
+    offset: (usize, usize),
+) {
+    let rs_h2 = stencil.rhs_scale() * h2;
+    let inv = 1.0 / stencil.divisor();
+    let mut tc0 = region.c0;
+    while tc0 < region.c1 {
+        let tc1 = (tc0 + COL_TILE).min(region.c1);
+        let w = tc1 - tc0;
+        for gr in region.r0..region.r1 {
+            let lr = (gr - offset.0) as isize;
+            let b = (tc0 - offset.1) + src.halo();
+            let fb = tc0 + f.halo();
+            let frow = &f.padded_row(gr as isize)[fb..fb + w];
+            let bd = (tc0 - offset.1) + dst.halo();
+            let out = &mut dst.padded_row_mut(lr)[bd..bd + w];
+            fused_row(kind, src, lr, b, frow, out, rs_h2, inv);
+        }
+        tc0 = tc1;
+    }
+}
+
+/// One generic (tap-driven) output row written into a padded `dst` row
+/// slice — the fallback of the parallel sweep.
+#[allow(clippy::too_many_arguments)]
+fn generic_row(
+    stencil: &Stencil,
+    src: &Grid2D,
+    lr: isize,
+    lc_start: isize,
+    gr: usize,
+    gc: std::ops::Range<usize>,
+    f: &Grid2D,
+    rs_h2: f64,
+    inv: f64,
+    out: &mut [f64],
+) {
+    for (lc, (o, gc)) in (lc_start..).zip(out.iter_mut().zip(gc)) {
+        let mut acc = 0.0;
+        for t in stencil.taps() {
+            acc += t.coeff * src.get_h(lr + t.offset.dy as isize, lc + t.offset.dx as isize);
+        }
+        acc += rs_h2 * f.get(gr, gc);
+        *o = acc * inv;
+    }
+}
+
+/// One fused output row: `out[i]` is the update of local point
+/// `(lr, b - src.halo() + i)`; `b` is the padded column of the first
+/// output point; `frow` holds the matching forcing values. Tap order
+/// matches the catalogue exactly (bit-identity with the generic path).
+#[allow(clippy::too_many_arguments)]
+fn fused_row(
+    kind: KernelKind,
+    src: &Grid2D,
+    lr: isize,
+    b: usize,
+    frow: &[f64],
+    out: &mut [f64],
+    rs_h2: f64,
+    inv: f64,
+) {
+    let w = out.len();
+    debug_assert_eq!(frow.len(), w);
+    match kind {
+        KernelKind::FivePoint => {
+            let up = &src.padded_row(lr - 1)[b..b + w];
+            let mid = &src.padded_row(lr)[b - 1..b + w + 1];
+            let down = &src.padded_row(lr + 1)[b..b + w];
+            for i in 0..w {
+                // Tap order N, S, W, E (unit coefficients).
+                let mut acc = up[i];
+                acc += down[i];
+                acc += mid[i];
+                acc += mid[i + 2];
+                acc += rs_h2 * frow[i];
+                out[i] = acc * inv;
+            }
+        }
+        KernelKind::NinePointBox => {
+            let up = &src.padded_row(lr - 1)[b - 1..b + w + 1];
+            let mid = &src.padded_row(lr)[b - 1..b + w + 1];
+            let down = &src.padded_row(lr + 1)[b - 1..b + w + 1];
+            for i in 0..w {
+                // Tap order N, S, W, E, NW, NE, SW, SE.
+                let mut acc = 4.0 * up[i + 1];
+                acc += 4.0 * down[i + 1];
+                acc += 4.0 * mid[i];
+                acc += 4.0 * mid[i + 2];
+                acc += up[i];
+                acc += up[i + 2];
+                acc += down[i];
+                acc += down[i + 2];
+                acc += rs_h2 * frow[i];
+                out[i] = acc * inv;
+            }
+        }
+        KernelKind::NinePointStar => {
+            let up2 = &src.padded_row(lr - 2)[b..b + w];
+            let up1 = &src.padded_row(lr - 1)[b..b + w];
+            let mid = &src.padded_row(lr)[b - 2..b + w + 2];
+            let down1 = &src.padded_row(lr + 1)[b..b + w];
+            let down2 = &src.padded_row(lr + 2)[b..b + w];
+            for i in 0..w {
+                // Tap order N, S, W, E, NN, SS, WW, EE; the −1 coefficients
+                // negate exactly, so `acc -= x` ≡ `acc += -1.0·x`.
+                let mut acc = 16.0 * up1[i];
+                acc += 16.0 * down1[i];
+                acc += 16.0 * mid[i + 1];
+                acc += 16.0 * mid[i + 3];
+                acc -= up2[i];
+                acc -= down2[i];
+                acc -= mid[i];
+                acc -= mid[i + 4];
+                acc += rs_h2 * frow[i];
+                out[i] = acc * inv;
+            }
+        }
+        KernelKind::ThirteenPointStar => {
+            let up2 = &src.padded_row(lr - 2)[b..b + w];
+            let up1 = &src.padded_row(lr - 1)[b - 1..b + w + 1];
+            let mid = &src.padded_row(lr)[b - 2..b + w + 2];
+            let down1 = &src.padded_row(lr + 1)[b - 1..b + w + 1];
+            let down2 = &src.padded_row(lr + 2)[b..b + w];
+            for i in 0..w {
+                // Tap order N, S, W, E, NN, SS, WW, EE, NW, NE, SW, SE.
+                let mut acc = 16.0 * up1[i + 1];
+                acc += 16.0 * down1[i + 1];
+                acc += 16.0 * mid[i + 1];
+                acc += 16.0 * mid[i + 3];
+                acc -= up2[i];
+                acc -= down2[i];
+                acc -= mid[i];
+                acc -= mid[i + 4];
+                acc += 4.0 * up1[i];
+                acc += 4.0 * up1[i + 2];
+                acc += 4.0 * down1[i];
+                acc += 4.0 * down1[i + 2];
+                acc += rs_h2 * frow[i];
+                out[i] = acc * inv;
+            }
+        }
+    }
+}
+
+/// One fused in-place relaxation row. `above`/`mid`/`below` come from
+/// [`Grid2D::split_row_mut`]; west reads within `mid` see values already
+/// relaxed this sweep, exactly like the tap-driven in-place loop. Returns
+/// the row's max update difference.
+#[allow(clippy::too_many_arguments)]
+fn sor_row_fused(
+    kind: KernelKind,
+    above: &[f64],
+    mid: &mut [f64],
+    below: &[f64],
+    stride: usize,
+    halo: usize,
+    cols: usize,
+    frow: &[f64],
+    rs_h2: f64,
+    inv: f64,
+    omega: f64,
+) -> f64 {
+    let row_above = |k: usize| &above[above.len() - k * stride..above.len() - (k - 1) * stride];
+    let row_below = |k: usize| &below[(k - 1) * stride..k * stride];
+    let mut worst = 0.0f64;
+    let mut relax = |j: usize, acc: f64, fi: usize, mid: &mut [f64]| {
+        let jacobi = (acc + rs_h2 * frow[fi]) * inv;
+        let old = mid[j];
+        let new = old + omega * (jacobi - old);
+        worst = worst.max((new - old).abs());
+        mid[j] = new;
+    };
+    match kind {
+        KernelKind::FivePoint => {
+            let (up, down) = (row_above(1), row_below(1));
+            for i in 0..cols {
+                let j = i + halo;
+                let mut acc = up[j];
+                acc += down[j];
+                acc += mid[j - 1];
+                acc += mid[j + 1];
+                relax(j, acc, i, mid);
+            }
+        }
+        KernelKind::NinePointBox => {
+            let (up, down) = (row_above(1), row_below(1));
+            for i in 0..cols {
+                let j = i + halo;
+                let mut acc = 4.0 * up[j];
+                acc += 4.0 * down[j];
+                acc += 4.0 * mid[j - 1];
+                acc += 4.0 * mid[j + 1];
+                acc += up[j - 1];
+                acc += up[j + 1];
+                acc += down[j - 1];
+                acc += down[j + 1];
+                relax(j, acc, i, mid);
+            }
+        }
+        KernelKind::NinePointStar => {
+            let (up1, down1) = (row_above(1), row_below(1));
+            let (up2, down2) = (row_above(2), row_below(2));
+            for i in 0..cols {
+                let j = i + halo;
+                let mut acc = 16.0 * up1[j];
+                acc += 16.0 * down1[j];
+                acc += 16.0 * mid[j - 1];
+                acc += 16.0 * mid[j + 1];
+                acc -= up2[j];
+                acc -= down2[j];
+                acc -= mid[j - 2];
+                acc -= mid[j + 2];
+                relax(j, acc, i, mid);
+            }
+        }
+        KernelKind::ThirteenPointStar => {
+            let (up1, down1) = (row_above(1), row_below(1));
+            let (up2, down2) = (row_above(2), row_below(2));
+            for i in 0..cols {
+                let j = i + halo;
+                let mut acc = 16.0 * up1[j];
+                acc += 16.0 * down1[j];
+                acc += 16.0 * mid[j - 1];
+                acc += 16.0 * mid[j + 1];
+                acc -= up2[j];
+                acc -= down2[j];
+                acc -= mid[j - 2];
+                acc -= mid[j + 2];
+                acc += 4.0 * up1[j - 1];
+                acc += 4.0 * up1[j + 1];
+                acc += 4.0 * down1[j - 1];
+                acc += 4.0 * down1[j + 1];
+                relax(j, acc, i, mid);
+            }
+        }
+    }
+    worst
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +486,13 @@ mod tests {
         let dst = Grid2D::new(n, n, halo);
         let f = Grid2D::new(n, n, 0);
         (src, dst, f)
+    }
+
+    fn patterned(n: usize, halo: usize) -> (Grid2D, Grid2D) {
+        let mut src = Grid2D::from_fn(n, n, halo, |r, c| ((r * 31 + c * 17) % 7) as f64 * 0.37);
+        src.fill_halo(1.25);
+        let f = Grid2D::from_fn(n, n, 0, |r, c| (r as f64 - c as f64) * 0.11);
+        (src, f)
     }
 
     #[test]
@@ -116,21 +510,72 @@ mod tests {
     }
 
     #[test]
+    fn fused_is_bit_identical_to_generic_for_all_stencils() {
+        for s in Stencil::catalog() {
+            assert!(s.kernel_kind().is_some(), "{} must have a fused kernel", s.name());
+            for n in [1usize, 2, 3, 8, 17] {
+                let halo = s.reach();
+                let (src, f) = patterned(n, halo);
+                let region = Region::new(0, n, 0, n);
+                let mut fused = Grid2D::new(n, n, halo);
+                let mut generic = Grid2D::new(n, n, halo);
+                jacobi_sweep(&s, &src, &mut fused, &f, 0.004);
+                jacobi_sweep_region_generic(&s, &src, &mut generic, &f, 0.004, &region, (0, 0));
+                assert_eq!(
+                    fused.max_abs_diff(&generic),
+                    0.0,
+                    "{} fused differs from generic at n={n}",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        for s in Stencil::catalog() {
+            let n = 19;
+            let halo = s.reach();
+            let (src, f) = patterned(n, halo);
+            let mut seq = Grid2D::new(n, n, halo);
+            let mut par = Grid2D::new(n, n, halo);
+            jacobi_sweep(&s, &src, &mut seq, &f, 0.004);
+            jacobi_sweep_par(&s, &src, &mut par, &f, 0.004);
+            assert_eq!(seq.max_abs_diff(&par), 0.0, "{}", s.name());
+        }
+    }
+
+    #[test]
     fn fast_path_is_bit_identical_to_generic() {
         let n = 8;
         let s = Stencil::five_point();
-        let mut src = Grid2D::from_fn(n, n, 1, |r, c| ((r * 31 + c * 17) % 7) as f64 * 0.37);
-        src.fill_halo(1.25);
-        let f = Grid2D::from_fn(n, n, 0, |r, c| (r as f64 - c as f64) * 0.11);
+        let (src, f) = patterned(n, 1);
+        let region = Region::new(0, n, 0, n);
         let mut a = Grid2D::new(n, n, 1);
         let mut b = Grid2D::new(n, n, 1);
-        jacobi_sweep(&s, &src, &mut a, &f, 0.004);
+        jacobi_sweep_region_generic(&s, &src, &mut a, &f, 0.004, &region, (0, 0));
         jacobi_sweep_5pt(&src, &mut b, &f, 0.004);
         for r in 0..n {
             for c in 0..n {
                 assert_eq!(a.get(r, c), b.get(r, c), "mismatch at ({r},{c})");
             }
         }
+    }
+
+    #[test]
+    fn tiling_covers_regions_wider_than_one_tile() {
+        // n > COL_TILE exercises the tile seam; compare against generic.
+        let n = COL_TILE + 37;
+        let s = Stencil::nine_point_box();
+        let mut src = Grid2D::from_fn(3, n, 1, |r, c| ((r * 13 + c * 7) % 11) as f64);
+        src.fill_halo(0.5);
+        let f = Grid2D::from_fn(3, n, 0, |r, c| ((r + c) % 3) as f64);
+        let region = Region::new(0, 3, 0, n);
+        let mut fused = Grid2D::new(3, n, 1);
+        let mut generic = Grid2D::new(3, n, 1);
+        jacobi_sweep_region(&s, &src, &mut fused, &f, 0.01, &region, (0, 0));
+        jacobi_sweep_region_generic(&s, &src, &mut generic, &f, 0.01, &region, (0, 0));
+        assert_eq!(fused.max_abs_diff(&generic), 0.0);
     }
 
     #[test]
@@ -161,6 +606,74 @@ mod tests {
         for r in 0..2 {
             for c in 0..4 {
                 assert!((local_dst.get(r, c) - 2.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn offset_region_fused_matches_generic() {
+        // The partitioned-executor shape: local grid = region, offset maps
+        // global to local, forcing is global.
+        for s in Stencil::catalog() {
+            let halo = s.reach();
+            let n = 9;
+            let region = Region::new(3, 7, 0, n);
+            let mut local_src = Grid2D::from_fn(region.rows(), region.cols(), halo, |r, c| {
+                ((r * 5 + c) % 4) as f64
+            });
+            local_src.fill_halo(0.75);
+            let f = Grid2D::from_fn(n, n, 0, |r, c| ((r * c) % 3) as f64);
+            let offset = (region.r0, region.c0);
+            let mut fused = Grid2D::new(region.rows(), region.cols(), halo);
+            let mut generic = Grid2D::new(region.rows(), region.cols(), halo);
+            jacobi_sweep_region(&s, &local_src, &mut fused, &f, 0.01, &region, offset);
+            jacobi_sweep_region_generic(&s, &local_src, &mut generic, &f, 0.01, &region, offset);
+            assert_eq!(fused.max_abs_diff(&generic), 0.0, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn custom_stencil_falls_back_to_generic() {
+        use parspeed_stencil::Tap;
+        let s = Stencil::new("pair", vec![Tap::unit(0, -1), Tap::unit(0, 1)], 1.0, 2.0);
+        assert!(s.kernel_kind().is_none());
+        let (src, mut dst, f) = constant_setup(5, 2.0, 1);
+        jacobi_sweep(&s, &src, &mut dst, &f, 0.01);
+        assert!((dst.get(2, 2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sor_sweep_fused_matches_tap_driven_iterates() {
+        // Run the fused in-place sweep and an explicitly tap-driven copy of
+        // the same recurrence; the iterates must agree bitwise.
+        for s in Stencil::catalog() {
+            let n = 7;
+            let halo = s.reach();
+            let (mut u_fused, f) = patterned(n, halo);
+            let mut u_ref = u_fused.clone();
+            let (h2, omega) = (0.01, 0.9);
+            let rs_h2 = s.rhs_scale() * h2;
+            let inv = 1.0 / s.divisor();
+            for _ in 0..3 {
+                let d = sor_sweep(&s, &mut u_fused, &f, h2, omega);
+                let mut worst = 0.0f64;
+                for r in 0..n {
+                    for c in 0..n {
+                        let (ri, ci) = (r as isize, c as isize);
+                        let mut acc = 0.0;
+                        for t in s.taps() {
+                            acc += t.coeff
+                                * u_ref.get_h(ri + t.offset.dy as isize, ci + t.offset.dx as isize);
+                        }
+                        let jacobi = (acc + rs_h2 * f.get(r, c)) * inv;
+                        let old = u_ref.get(r, c);
+                        let new = old + omega * (jacobi - old);
+                        worst = worst.max((new - old).abs());
+                        u_ref.set(r, c, new);
+                    }
+                }
+                assert_eq!(u_fused.max_abs_diff(&u_ref), 0.0, "{}", s.name());
+                assert_eq!(d, worst, "{}", s.name());
             }
         }
     }

@@ -1,11 +1,18 @@
 //! Point Jacobi and weighted Jacobi — the algorithm the paper models.
 
-use crate::apply::{jacobi_sweep, jacobi_sweep_5pt};
+use crate::apply::{jacobi_sweep, jacobi_sweep_par};
 use crate::{PoissonProblem, SolveStatus};
 use parspeed_grid::Grid2D;
 use parspeed_stencil::Stencil;
 
 /// Point-Jacobi solver with periodic convergence checking.
+///
+/// Sweeps dispatch through [`crate::apply::jacobi_sweep`]: the catalogue
+/// stencils run fused row-slice kernels, everything else the generic
+/// tap-driven loop, with bit-identical results either way. Setting
+/// [`parallel`](JacobiSolver::parallel) runs each sweep row-parallel under
+/// rayon (the same switch [`crate::RedBlackSolver`] exposes); Jacobi reads
+/// only the previous iterate, so this cannot change results either.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JacobiSolver {
     /// Convergence tolerance on the max-norm update difference.
@@ -16,11 +23,13 @@ pub struct JacobiSolver {
     pub check_period: usize,
     /// Damping factor: `1.0` is plain Jacobi; `(0,1)` under-relaxes.
     pub omega: f64,
+    /// Run each sweep row-parallel with rayon.
+    pub parallel: bool,
 }
 
 impl Default for JacobiSolver {
     fn default() -> Self {
-        Self { tol: 1e-8, max_iters: 200_000, check_period: 1, omega: 1.0 }
+        Self { tol: 1e-8, max_iters: 200_000, check_period: 1, omega: 1.0, parallel: false }
     }
 }
 
@@ -30,6 +39,12 @@ impl JacobiSolver {
         Self { tol, ..Self::default() }
     }
 
+    /// The same solver with rayon row-parallel sweeps.
+    pub fn parallel(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+
     /// Solves `problem` with `stencil`; returns the solution grid (halo =
     /// stencil reach) and the solve status.
     pub fn solve(&self, problem: &PoissonProblem, stencil: &Stencil) -> (Grid2D, SolveStatus) {
@@ -37,7 +52,6 @@ impl JacobiSolver {
         assert!(self.omega > 0.0 && self.omega <= 1.0, "need 0 < ω ≤ 1");
         let halo = stencil.reach();
         let h2 = problem.h() * problem.h();
-        let is_5pt = stencil.name() == "5-point" && self.omega == 1.0;
         let mut u = problem.initial_grid(halo);
         let mut next = problem.initial_grid(halo);
         let f = problem.forcing();
@@ -45,17 +59,18 @@ impl JacobiSolver {
         let mut iterations = 0;
         let mut diff = f64::INFINITY;
         while iterations < self.max_iters {
-            if is_5pt {
-                jacobi_sweep_5pt(&u, &mut next, f, h2);
+            if self.parallel {
+                jacobi_sweep_par(stencil, &u, &mut next, f, h2);
             } else {
                 jacobi_sweep(stencil, &u, &mut next, f, h2);
-                if self.omega != 1.0 {
-                    for r in 0..u.rows() {
-                        for c in 0..u.cols() {
-                            let blended =
-                                self.omega * next.get(r, c) + (1.0 - self.omega) * u.get(r, c);
-                            next.set(r, c, blended);
-                        }
+            }
+            if self.omega != 1.0 {
+                // Row-slice blend (same per-point arithmetic, no idx()
+                // recomputation per cell).
+                for r in 0..u.rows() {
+                    let urow = u.interior_row(r);
+                    for (nv, &uv) in next.interior_row_mut(r).iter_mut().zip(urow) {
+                        *nv = self.omega * *nv + (1.0 - self.omega) * uv;
                     }
                 }
             }
@@ -195,6 +210,18 @@ mod tests {
         assert!(!status.converged);
         assert_eq!(status.iterations, 10);
         assert!(status.final_diff > 1e-12);
+    }
+
+    #[test]
+    fn parallel_solve_is_bit_identical_to_sequential() {
+        for s in [Stencil::five_point(), Stencil::thirteen_point_star()] {
+            let p = PoissonProblem::manufactured(14, Manufactured::SinSin);
+            let solver = JacobiSolver { omega: 0.8, tol: 1e-9, ..Default::default() };
+            let (u_seq, s_seq) = solver.solve(&p, &s);
+            let (u_par, s_par) = solver.parallel().solve(&p, &s);
+            assert_eq!(s_seq.iterations, s_par.iterations, "{}", s.name());
+            assert_eq!(u_seq.max_abs_diff(&u_par), 0.0, "{}", s.name());
+        }
     }
 
     #[test]

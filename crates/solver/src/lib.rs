@@ -6,8 +6,11 @@
 //!
 //! * [`PoissonProblem`] — `-∇²u = f` on the unit square, Dirichlet
 //!   boundary, discretized on the paper's `n×n` interior grid;
-//! * [`apply`] — stencil sweep kernels (generic tap-driven plus a fused
-//!   5-point fast path) and discrete residuals;
+//! * [`apply`] — stencil sweep kernels: fused row-slice kernels for all
+//!   four catalogue stencils (dispatched via
+//!   [`parspeed_stencil::Stencil::kernel_kind`], bit-identical to the
+//!   generic tap-driven fallback), sequential and rayon row-parallel full
+//!   sweeps, in-place SOR sweeps, and discrete residuals;
 //! * [`JacobiSolver`] — point / weighted Jacobi with periodic convergence
 //!   checks (the algorithm the paper models);
 //! * [`SorSolver`] — Gauss-Seidel and SOR with the optimal relaxation

@@ -44,20 +44,26 @@ pub fn valid_side(n: usize) -> bool {
 }
 
 /// One red-black Gauss-Seidel sweep (both colours) for `-∇²u = f` with
-/// spacing `h`; `u` has halo 1 holding boundary data.
+/// spacing `h`; `u` has halo 1 holding boundary data. In-place row-slice
+/// kernel: the neighbouring padded rows are split out once per row
+/// ([`Grid2D::split_row_mut`]), the column loop strides the colour with no
+/// per-point index arithmetic; same N, S, W, E + h²·f order as the
+/// tap-driven form.
 fn rb_sweep(u: &mut Grid2D, f: &Grid2D, h2: f64) {
     let n = u.rows();
+    let halo = u.halo();
+    let stride = u.stride();
     for color in 0..2usize {
         for r in 0..n {
+            let frow = f.interior_row(r);
+            let (above, mid, below) = u.split_row_mut(r);
+            let up = &above[above.len() - stride..];
+            let down = &below[..stride];
             let mut c = (r + color) % 2;
             while c < n {
-                let (ri, ci) = (r as isize, c as isize);
-                let acc = u.get_h(ri - 1, ci)
-                    + u.get_h(ri + 1, ci)
-                    + u.get_h(ri, ci - 1)
-                    + u.get_h(ri, ci + 1)
-                    + h2 * f.get(r, c);
-                u.set(r, c, acc * 0.25);
+                let j = c + halo;
+                let acc = up[j] + down[j] + mid[j - 1] + mid[j + 1] + h2 * frow[c];
+                mid[j] = acc * 0.25;
                 c += 2;
             }
         }
@@ -67,15 +73,19 @@ fn rb_sweep(u: &mut Grid2D, f: &Grid2D, h2: f64) {
 /// Residual `r = f − A·u` with `A = (4u − Σnb)/h²` (halo included in u).
 fn residual(u: &Grid2D, f: &Grid2D, h2: f64, out: &mut Grid2D) {
     let n = u.rows();
+    let halo = u.halo();
     for r in 0..n {
+        let ri = r as isize;
+        let up = u.padded_row(ri - 1);
+        let mid = u.padded_row(ri);
+        let down = u.padded_row(ri + 1);
+        let frow = f.interior_row(r);
+        let orow = out.interior_row_mut(r);
         for c in 0..n {
-            let (ri, ci) = (r as isize, c as isize);
-            let nb = u.get_h(ri - 1, ci)
-                + u.get_h(ri + 1, ci)
-                + u.get_h(ri, ci - 1)
-                + u.get_h(ri, ci + 1);
-            let au = (4.0 * u.get(r, c) - nb) / h2;
-            out.set(r, c, f.get(r, c) - au);
+            let j = c + halo;
+            let nb = up[j] + down[j] + mid[j - 1] + mid[j + 1];
+            let au = (4.0 * mid[j] - nb) / h2;
+            orow[c] = frow[c] - au;
         }
     }
 }

@@ -66,20 +66,24 @@ impl RedBlackSolver {
         let omega = self.omega;
 
         // Phase 1: new colour-χ values into scratch (reads u immutably).
+        // Row-slice indexing instead of per-point `get_h`: the three padded
+        // source rows are hoisted out of the column loop, with the same
+        // N, S, W, E + h²·f arithmetic order as before (bit-identical).
         let compute_row = |r: usize, row_out: &mut [f64], u: &Grid2D| -> f64 {
             let mut worst = 0.0f64;
-            let (ri, mut c) = (r as isize, (r + color) % 2);
+            let ri = r as isize;
+            let up = u.padded_row(ri - 1);
+            let mid = u.padded_row(ri);
+            let down = u.padded_row(ri + 1);
+            let frow = f.interior_row(r);
+            let mut c = (r + color) % 2;
             while c < n {
-                let ci = c as isize;
-                let acc = u.get_h(ri - 1, ci)
-                    + u.get_h(ri + 1, ci)
-                    + u.get_h(ri, ci - 1)
-                    + u.get_h(ri, ci + 1)
-                    + h2 * f.get(r, c);
-                let old = u.get(r, c);
+                let j = c + halo;
+                let acc = up[j] + down[j] + mid[j - 1] + mid[j + 1] + h2 * frow[c];
+                let old = mid[j];
                 let new = old + omega * (acc * 0.25 - old);
                 worst = worst.max((new - old).abs());
-                row_out[c + halo] = new;
+                row_out[j] = new;
                 c += 2;
             }
             worst

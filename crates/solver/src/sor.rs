@@ -1,5 +1,6 @@
 //! Gauss-Seidel and successive over-relaxation (lexicographic ordering).
 
+use crate::apply::sor_sweep;
 use crate::{PoissonProblem, SolveStatus};
 use parspeed_grid::Grid2D;
 use parspeed_stencil::Stencil;
@@ -7,6 +8,9 @@ use parspeed_stencil::Stencil;
 /// SOR solver (`omega = 1` is Gauss-Seidel) with periodic convergence
 /// checks. Sequential by construction — the lexicographic ordering the
 /// paper contrasts with the parallelizable Jacobi and red-black sweeps.
+/// Each sweep runs through [`sor_sweep`], which dispatches the catalogue
+/// stencils to fused row-slice kernels (bit-identical to the tap-driven
+/// loop).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SorSolver {
     /// Convergence tolerance on the max-norm update difference.
@@ -37,31 +41,13 @@ impl SorSolver {
         assert!(self.omega > 0.0 && self.omega < 2.0, "SOR needs 0 < ω < 2");
         let halo = stencil.reach();
         let h2 = problem.h() * problem.h();
-        let rs_h2 = stencil.rhs_scale() * h2;
-        let inv = 1.0 / stencil.divisor();
         let mut u = problem.initial_grid(halo);
         let f = problem.forcing();
-        let n = problem.n();
 
         let mut iterations = 0;
         let mut diff = f64::INFINITY;
         while iterations < self.max_iters {
-            let mut sweep_diff = 0.0f64;
-            for r in 0..n {
-                for c in 0..n {
-                    let (ri, ci) = (r as isize, c as isize);
-                    let mut acc = 0.0;
-                    for t in stencil.taps() {
-                        acc +=
-                            t.coeff * u.get_h(ri + t.offset.dy as isize, ci + t.offset.dx as isize);
-                    }
-                    let jacobi = (acc + rs_h2 * f.get(r, c)) * inv;
-                    let old = u.get(r, c);
-                    let new = old + self.omega * (jacobi - old);
-                    sweep_diff = sweep_diff.max((new - old).abs());
-                    u.set(r, c, new);
-                }
-            }
+            let sweep_diff = sor_sweep(stencil, &mut u, f, h2, self.omega);
             iterations += 1;
             if iterations % self.check_period == 0 {
                 diff = sweep_diff;

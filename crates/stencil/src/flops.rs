@@ -11,6 +11,27 @@
 //!    experiments, calibrated so the paper's §6.1 quantitative anchors hold
 //!    (see `DESIGN.md` §3): `E(5-point) = 6`, `E(9-point box) = 12`,
 //!    `E(9-point star) = 11`, `E(13-point star) = 14`.
+//!
+//! # Measured MFLOP/s vs calibrated `E(S)`
+//!
+//! Neither source of `E(S)` claims to predict wall-clock cost on a modern
+//! host: the fused row-slice kernels in `parspeed-solver` deliver several
+//! GFLOP/s (natural accounting) single-thread, and their *relative* cost
+//! across stencils differs from both the natural counts and the
+//! calibrated constants because memory traffic, not arithmetic, bounds
+//! the sweep. The repo therefore carries a measured snapshot,
+//! `BENCH_PR3.json` at the workspace root — throughput in Mpoints/s and
+//! MFLOP/s (`Mpoints/s × flops_per_point`) for the generic, fused, and
+//! row-parallel sweeps of each catalogue stencil. Regenerate it after any
+//! kernel change with
+//!
+//! ```text
+//! cargo run --release -p parspeed-bench --bin perf_snapshot
+//! ```
+//!
+//! (`--quick --check` is the CI smoke configuration: smaller grid, and it
+//! fails if the fused kernels regress below the generic sweep or drift
+//! from bit-identity).
 
 use crate::Stencil;
 

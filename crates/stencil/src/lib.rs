@@ -34,10 +34,12 @@
 
 mod catalog;
 mod flops;
+mod kernel;
 mod offsets;
 mod perimeter;
 
 pub use flops::FlopCount;
+pub use kernel::KernelKind;
 pub use offsets::{Offset, Tap};
 pub use perimeter::PartitionShape;
 
