@@ -1,6 +1,7 @@
 //! Halo-plan construction and full partitioned iterations: strips vs
 //! near-square blocks — the communication-volume contrast the paper is
-//! about, on real memory.
+//! about, on real memory — plus depth-k communication-avoiding blocks
+//! (one deep exchange funding a block of local sub-iterations).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parspeed_exec::PartitionedJacobi;
@@ -62,6 +63,47 @@ fn bench_partitioned_iteration(c: &mut Criterion) {
     g.finish();
 }
 
+/// Communication-avoiding blocks: `depth` iterations on one exchange vs
+/// the same iterations as classic one-exchange-per-iteration rounds —
+/// the per-iteration overhead knob of the paper's speedup model, measured
+/// on real memory. Each bench advances the same iterate count, so
+/// throughput differences are purely exchange amortization vs redundant
+/// ghost arithmetic.
+fn bench_deep_halo_blocks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deep_halo_block");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    let n = 256usize;
+    let p = PoissonProblem::laplace(n, 0.0);
+    let s = Stencil::five_point();
+    for depth in [1usize, 2, 4, 8] {
+        let d = StripDecomposition::new(n, 8);
+        let mut exec = PartitionedJacobi::with_depth(&p, &s, &d, depth);
+        g.bench_function(BenchmarkId::new("strips8_n256_4iters", format!("depth{depth}")), |b| {
+            b.iter(|| {
+                // Always advance 4 iterations: depth-1 pays 4 exchanges,
+                // depth-4+ pays one.
+                let mut left = 4usize;
+                while left > 0 {
+                    let block = left.min(depth);
+                    exec.iterate_block(block, false);
+                    left -= block;
+                }
+            })
+        });
+    }
+    // The 13-point star doubles the reach (4-row-deep ghost frames at
+    // depth 2): the worst-case redundant-arithmetic trade.
+    {
+        let s13 = Stencil::thirteen_point_star();
+        let d = StripDecomposition::new(n, 8);
+        let mut exec = PartitionedJacobi::with_depth(&p, &s13, &d, 2);
+        g.bench_function("strips8_n256_13pt_depth2", |b| b.iter(|| exec.iterate_block(2, false)));
+    }
+    g.finish();
+}
+
 /// The per-partition region sweep itself: fused dispatch vs the generic
 /// tap loop on a strip-shaped region with an executor-style offset.
 fn bench_region_sweep(c: &mut Criterion) {
@@ -103,5 +145,11 @@ fn bench_region_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_plan_construction, bench_partitioned_iteration, bench_region_sweep);
+criterion_group!(
+    benches,
+    bench_plan_construction,
+    bench_partitioned_iteration,
+    bench_deep_halo_blocks,
+    bench_region_sweep
+);
 criterion_main!(benches);

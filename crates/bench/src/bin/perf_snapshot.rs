@@ -1,31 +1,46 @@
-//! Machine-readable kernel-throughput snapshot → `BENCH_PR3.json`.
+//! Machine-readable performance snapshot → `BENCH_PR4.json`.
 //!
-//! Measures, for each catalogue stencil, the full-interior Jacobi sweep in
-//! three configurations — generic tap-driven, fused row-slice, and fused
-//! rayon row-parallel — and writes the numbers as JSON so the repo carries
-//! a perf trajectory across PRs. Throughput is reported in million point
-//! updates per second (`mpts`) and derived MFLOP/s (`mpts ×`
-//! [`Stencil::flops_per_point`]).
+//! Three sections, each a paper-relevant hot path:
+//!
+//! * **kernels** (PR 3): for each catalogue stencil, the full-interior
+//!   Jacobi sweep — generic tap-driven vs fused row-slice vs fused rayon
+//!   row-parallel — in million point updates per second (`mpts`) and
+//!   derived MFLOP/s;
+//! * **solver_loop** (PR 4): the end-to-end weighted-Jacobi iteration at
+//!   n = 1024, single thread — the historical three-pass loop (sweep,
+//!   ω-blend, convergence-diff, each streaming the whole grid) against
+//!   the fused single-pass loop, and against the temporally tiled
+//!   block-of-k loop under a sparse (geometric) check schedule;
+//! * **deep_halo** (PR 4): the partitioned executor at equal iterates —
+//!   exchange rounds with depth-1 halos vs depth-4 halos (one exchange
+//!   funding a block of local sub-iterations), the paper's per-iteration
+//!   communication-overhead knob.
 //!
 //! ```text
-//! cargo run --release -p parspeed-bench --bin perf_snapshot            # n=1024 → BENCH_PR3.json
+//! cargo run --release -p parspeed-bench --bin perf_snapshot            # n=1024 → BENCH_PR4.json
 //! cargo run --release -p parspeed-bench --bin perf_snapshot -- --quick --check --out target/smoke.json
 //! ```
 //!
-//! `--quick` shrinks the grid and measurement time (the CI smoke
+//! `--quick` shrinks the grids and measurement time (the CI smoke
 //! configuration); `--check` re-parses the written JSON and fails unless
-//! every fused kernel is at least as fast as the generic sweep and
-//! bit-identical to it; `--out PATH` overrides the output path.
+//! every fused kernel is at least as fast as the generic sweep, the fused
+//! solver loop beats the three-pass loop, deep halos at least halve the
+//! exchange count, and everything is bit-identical; `--out PATH`
+//! overrides the output path.
 
 use parspeed_engine::jsonl::{self, Json};
-use parspeed_grid::{Grid2D, Region};
+use parspeed_exec::PartitionedJacobi;
+use parspeed_grid::{Grid2D, Region, StripDecomposition};
 use parspeed_solver::apply::{jacobi_sweep, jacobi_sweep_par, jacobi_sweep_region_generic};
+use parspeed_solver::{CheckPolicy, JacobiSolver, PoissonProblem};
 use parspeed_stencil::Stencil;
 use std::hint::black_box;
 use std::time::Instant;
 
 struct Config {
     n: usize,
+    solve_iters: usize,
+    halo_n: usize,
     min_time: f64,
     trials: usize,
     check: bool,
@@ -42,13 +57,22 @@ struct Row {
 }
 
 fn parse_args() -> Config {
-    let mut cfg =
-        Config { n: 1024, min_time: 0.25, trials: 3, check: false, out: "BENCH_PR3.json".into() };
+    let mut cfg = Config {
+        n: 1024,
+        solve_iters: 60,
+        halo_n: 256,
+        min_time: 0.25,
+        trials: 3,
+        check: false,
+        out: "BENCH_PR4.json".into(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => {
                 cfg.n = 256;
+                cfg.solve_iters = 24;
+                cfg.halo_n = 96;
                 cfg.min_time = 0.04;
                 cfg.trials = 2;
             }
@@ -126,7 +150,157 @@ fn snapshot(cfg: &Config) -> (Vec<Row>, bool) {
     (rows, identical)
 }
 
-fn to_json(cfg: &Config, rows: &[Row], identical: bool) -> Json {
+struct SolverLoop {
+    omega: f64,
+    three_pass_mpts: f64,
+    fused_mpts: f64,
+    temporal_three_pass_mpts: f64,
+    temporal_mpts: f64,
+    identical: bool,
+}
+
+/// The historical weighted-Jacobi loop: one whole-grid sweep, a separate
+/// whole-grid ω-blend pass, and a separate whole-grid max-diff pass at
+/// every scheduled check — exactly what `JacobiSolver::solve` did before
+/// the passes were fused.
+fn three_pass_iterates(
+    p: &PoissonProblem,
+    s: &Stencil,
+    omega: f64,
+    iters: usize,
+    check: CheckPolicy,
+) -> Grid2D {
+    let halo = s.reach();
+    let h2 = p.h() * p.h();
+    let mut u = p.initial_grid(halo);
+    let mut next = p.initial_grid(halo);
+    let f = p.forcing();
+    let mut next_check = check.first_check();
+    let mut diff = f64::INFINITY;
+    for it in 1..=iters {
+        jacobi_sweep(s, &u, &mut next, f, h2);
+        if omega != 1.0 {
+            for r in 0..u.rows() {
+                let urow = u.interior_row(r).to_vec();
+                for (nv, &uv) in next.interior_row_mut(r).iter_mut().zip(&urow) {
+                    *nv = omega * *nv + (1.0 - omega) * uv;
+                }
+            }
+        }
+        if it >= next_check.min(iters) {
+            diff = u.max_abs_diff(&next);
+            while next_check <= it {
+                next_check = check.next_check(next_check);
+            }
+        }
+        u.swap(&mut next);
+    }
+    black_box(diff);
+    u
+}
+
+/// Best observed iteration rate (million point updates per second) of a
+/// closure running `iters` whole-grid iterations.
+fn measure_solve(cfg: &Config, iters: usize, mut run: impl FnMut()) -> f64 {
+    run(); // warm up
+    let points = (cfg.n * cfg.n * iters) as f64;
+    let mut best = 0.0f64;
+    for _ in 0..cfg.trials {
+        let start = Instant::now();
+        run();
+        best = best.max(points / start.elapsed().as_secs_f64() / 1e6);
+    }
+    best
+}
+
+/// End-to-end solver-loop measurement: pass fusion under an every-
+/// iteration schedule, temporal tiling under the sparse geometric one.
+fn snapshot_solver_loop(cfg: &Config) -> SolverLoop {
+    let omega = 0.8;
+    let s = Stencil::five_point();
+    let p = PoissonProblem::laplace(cfg.n, 1.0);
+    let iters = cfg.solve_iters;
+    let solver =
+        |check| JacobiSolver { tol: 0.0, max_iters: iters, check, omega, ..Default::default() };
+
+    // Bit-identity first: the fused/tiled solves must reproduce the
+    // three-pass loop exactly under both schedules.
+    let mut identical = true;
+    for check in [CheckPolicy::Every(1), CheckPolicy::geometric()] {
+        let reference = three_pass_iterates(&p, &s, omega, iters, check);
+        let (u, status) = solver(check).solve(&p, &s);
+        if status.iterations != iters || u.max_abs_diff(&reference) != 0.0 {
+            eprintln!("BIT-IDENTITY VIOLATION: fused solver loop differs under {check:?}");
+            identical = false;
+        }
+    }
+
+    let three_pass_mpts = measure_solve(cfg, iters, || {
+        black_box(three_pass_iterates(&p, &s, omega, iters, CheckPolicy::Every(1)));
+    });
+    let fused_mpts = measure_solve(cfg, iters, || {
+        black_box(solver(CheckPolicy::Every(1)).solve(&p, &s));
+    });
+    let temporal_three_pass_mpts = measure_solve(cfg, iters, || {
+        black_box(three_pass_iterates(&p, &s, omega, iters, CheckPolicy::geometric()));
+    });
+    let temporal_mpts = measure_solve(cfg, iters, || {
+        black_box(solver(CheckPolicy::geometric()).solve(&p, &s));
+    });
+    SolverLoop {
+        omega,
+        three_pass_mpts,
+        fused_mpts,
+        temporal_three_pass_mpts,
+        temporal_mpts,
+        identical,
+    }
+}
+
+struct DeepHalo {
+    strips: usize,
+    depth: usize,
+    iterations: usize,
+    check_period: usize,
+    exchanges_depth1: usize,
+    exchanges_deep: usize,
+    identical: bool,
+}
+
+/// Exchange-round counts at equal iterates: depth-1 vs deep halos under
+/// the same check schedule (the counts are deterministic; wall time is
+/// covered by the criterion benches).
+fn snapshot_deep_halo(cfg: &Config) -> DeepHalo {
+    let (strips, depth, check_period) = (8usize, 4usize, 8usize);
+    let iterations = 64usize;
+    let s = Stencil::five_point();
+    let p = PoissonProblem::laplace(cfg.halo_n, 1.0);
+    let policy = CheckPolicy::Every(check_period);
+    let decomp = StripDecomposition::new(cfg.halo_n, strips);
+    let mut shallow = PartitionedJacobi::new(&p, &s, &decomp);
+    let mut deep = PartitionedJacobi::with_depth(&p, &s, &decomp, depth);
+    // tol = 0 never converges: both run exactly `iterations` iterations
+    // under the same schedule.
+    shallow.solve(0.0, iterations, policy);
+    deep.solve(0.0, iterations, policy);
+    let identical = shallow.solution().max_abs_diff(&deep.solution()) == 0.0
+        && shallow.iterations() == iterations
+        && deep.iterations() == iterations;
+    if !identical {
+        eprintln!("BIT-IDENTITY VIOLATION: deep-halo run differs from depth-1");
+    }
+    DeepHalo {
+        strips,
+        depth,
+        iterations,
+        check_period,
+        exchanges_depth1: shallow.exchanges(),
+        exchanges_deep: deep.exchanges(),
+        identical,
+    }
+}
+
+fn to_json(cfg: &Config, rows: &[Row], identical: bool, lp: &SolverLoop, dh: &DeepHalo) -> Json {
     let kernels = rows
         .iter()
         .map(|r| {
@@ -142,14 +316,45 @@ fn to_json(cfg: &Config, rows: &[Row], identical: bool) -> Json {
             ])
         })
         .collect();
+    let solver_loop = Json::Obj(vec![
+        ("n".into(), Json::Num(cfg.n as f64)),
+        ("iters".into(), Json::Num(cfg.solve_iters as f64)),
+        ("omega".into(), Json::Num(lp.omega)),
+        ("three_pass_mpts".into(), Json::Num(round3(lp.three_pass_mpts))),
+        ("fused_mpts".into(), Json::Num(round3(lp.fused_mpts))),
+        ("fused_speedup".into(), Json::Num(round3(lp.fused_mpts / lp.three_pass_mpts))),
+        ("temporal_three_pass_mpts".into(), Json::Num(round3(lp.temporal_three_pass_mpts))),
+        ("temporal_mpts".into(), Json::Num(round3(lp.temporal_mpts))),
+        (
+            "temporal_speedup".into(),
+            Json::Num(round3(lp.temporal_mpts / lp.temporal_three_pass_mpts)),
+        ),
+        ("bit_identical".into(), Json::Bool(lp.identical)),
+    ]);
+    let deep_halo = Json::Obj(vec![
+        ("n".into(), Json::Num(cfg.halo_n as f64)),
+        ("strips".into(), Json::Num(dh.strips as f64)),
+        ("depth".into(), Json::Num(dh.depth as f64)),
+        ("iterations".into(), Json::Num(dh.iterations as f64)),
+        ("check_period".into(), Json::Num(dh.check_period as f64)),
+        ("exchanges_depth1".into(), Json::Num(dh.exchanges_depth1 as f64)),
+        ("exchanges_deep".into(), Json::Num(dh.exchanges_deep as f64)),
+        (
+            "exchange_ratio".into(),
+            Json::Num(round3(dh.exchanges_depth1 as f64 / dh.exchanges_deep as f64)),
+        ),
+        ("bit_identical".into(), Json::Bool(dh.identical)),
+    ]);
     Json::Obj(vec![
-        ("schema".into(), Json::Str("parspeed-perf-snapshot/v1".into())),
-        ("pr".into(), Json::Num(3.0)),
-        ("bench".into(), Json::Str("full-interior Jacobi sweep".into())),
+        ("schema".into(), Json::Str("parspeed-perf-snapshot/v2".into())),
+        ("pr".into(), Json::Num(4.0)),
+        ("bench".into(), Json::Str("Jacobi kernels, fused solver loop, deep halos".into())),
         ("n".into(), Json::Num(cfg.n as f64)),
         ("threads".into(), Json::Num(rayon::current_num_threads() as f64)),
         ("bit_identical".into(), Json::Bool(identical)),
         ("kernels".into(), Json::Arr(kernels)),
+        ("solver_loop".into(), solver_loop),
+        ("deep_halo".into(), deep_halo),
     ])
 }
 
@@ -160,9 +365,11 @@ fn round3(x: f64) -> f64 {
 fn main() {
     let cfg = parse_args();
     let (rows, identical) = snapshot(&cfg);
+    let lp = snapshot_solver_loop(&cfg);
+    let dh = snapshot_deep_halo(&cfg);
     // A drifted kernel must never produce a committable snapshot, with or
     // without --check: fail after writing (the file records the evidence).
-    let json = to_json(&cfg, &rows, identical);
+    let json = to_json(&cfg, &rows, identical, &lp, &dh);
     let text = json.render();
     if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
         if !dir.as_os_str().is_empty() {
@@ -187,8 +394,38 @@ fn main() {
             r.fused_mpts * r.flops_per_point
         );
     }
+    println!(
+        "solver loop at n={} (ω={}, single thread, {} iterations):",
+        cfg.n, lp.omega, cfg.solve_iters
+    );
+    println!(
+        "  every-iteration checks: three-pass {:.1} Mp/s → fused {:.1} Mp/s ({:.2}×)",
+        lp.three_pass_mpts,
+        lp.fused_mpts,
+        lp.fused_mpts / lp.three_pass_mpts
+    );
+    println!(
+        "  geometric checks:       three-pass {:.1} Mp/s → temporal-tiled {:.1} Mp/s ({:.2}×)",
+        lp.temporal_three_pass_mpts,
+        lp.temporal_mpts,
+        lp.temporal_mpts / lp.temporal_three_pass_mpts
+    );
+    println!(
+        "deep halos at n={} ({} strips, check every {}): {} exchanges at depth 1 vs {} at \
+         depth {} ({:.2}× fewer) over {} iterations",
+        cfg.halo_n,
+        dh.strips,
+        dh.check_period,
+        dh.exchanges_depth1,
+        dh.exchanges_deep,
+        dh.depth,
+        dh.exchanges_depth1 as f64 / dh.exchanges_deep as f64,
+        dh.iterations
+    );
     println!("wrote {}", cfg.out);
     assert!(identical, "fused kernels must be bit-identical to generic (snapshot records details)");
+    assert!(lp.identical, "fused solver loop must be bit-identical to the three-pass loop");
+    assert!(dh.identical, "deep-halo executor must be bit-identical to depth-1");
 
     if cfg.check {
         let reparsed = jsonl::parse(&std::fs::read_to_string(&cfg.out).expect("re-read snapshot"))
@@ -200,6 +437,22 @@ fn main() {
             let speedup = k.get("fused_speedup").and_then(Json::as_f64).expect("fused_speedup");
             assert!(speedup >= 1.0, "{name}: fused slower than generic ({speedup:.3}×)");
         }
-        println!("check passed: JSON round-trips, fused ≥ generic on all stencils");
+        let sl = reparsed.get("solver_loop").expect("solver_loop section");
+        let fused_x = sl.get("fused_speedup").and_then(Json::as_f64).expect("fused_speedup");
+        // 1.1 is the noisy-CI floor; the committed full-size snapshot
+        // records the ≥1.5× pass-fusion result.
+        assert!(fused_x >= 1.1, "pass fusion regressed: {fused_x:.3}× over the three-pass loop");
+        let dhj = reparsed.get("deep_halo").expect("deep_halo section");
+        let ratio = dhj.get("exchange_ratio").and_then(Json::as_f64).expect("exchange_ratio");
+        assert!(ratio >= 2.0, "deep halos must at least halve exchanges, got {ratio:.3}×");
+        for (section, ok) in
+            [("solver_loop", sl.get("bit_identical")), ("deep_halo", dhj.get("bit_identical"))]
+        {
+            assert_eq!(ok, Some(&Json::Bool(true)), "{section} lost bit-identity");
+        }
+        println!(
+            "check passed: JSON round-trips, fused ≥ generic on all stencils, fused loop \
+             {fused_x:.2}× ≥ 1.1×, deep halos {ratio:.2}× ≥ 2× fewer exchanges"
+        );
     }
 }

@@ -90,6 +90,11 @@ impl Args {
         }
     }
 
+    /// Optional string value (`None` when the flag was not given).
+    pub fn str_opt(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
     /// Optional `usize` value.
     pub fn usize_opt(&self, name: &str) -> Result<Option<usize>, CliError> {
         self.values

@@ -15,7 +15,9 @@
 //! evaluations.
 
 use crate::error::ParspeedError;
-use crate::request::{EffectKey, EvalKey, EvalOutcome, EvalValue, Lever, ShapeKey, SolverKind};
+use crate::request::{
+    CheckKey, EffectKey, EvalKey, EvalOutcome, EvalValue, Lever, ShapeKey, SolverKind,
+};
 use parspeed_arch::{
     AsyncBusSim, BanyanSim, CycleReport, IterationSpec, Mesh2dSim, NeighborExchangeSim,
     ScheduledBusSim, SyncBusSim,
@@ -24,7 +26,7 @@ use parspeed_core::isoefficiency::min_grid_for_efficiency;
 use parspeed_core::minsize::{min_grid_side, min_problem_size_log2};
 use parspeed_core::{leverage, optimize_constrained, table1, MemoryBudget, Workload};
 use parspeed_exec::measure::measure_scaling;
-use parspeed_exec::{CheckPolicy, PartitionedJacobi};
+use parspeed_exec::PartitionedJacobi;
 use parspeed_grid::{Decomposition, Grid2D, RectDecomposition, StripDecomposition};
 use parspeed_solver::{
     CgSolver, JacobiSolver, Manufactured, MultigridSolver, PoissonProblem, RedBlackSolver,
@@ -32,6 +34,13 @@ use parspeed_solver::{
 };
 use rayon::prelude::*;
 use rayon::ThreadPool;
+
+/// Halo depth for `solver=parallel` runs: one exchange funds up to this
+/// many local sub-iterations. Results and check schedules are identical
+/// at any depth (the executor is bit-identical to sequential Jacobi);
+/// deeper halos trade redundant ghost arithmetic for fewer exchange
+/// rounds, with diminishing returns past a handful of sub-iterations.
+const DEEP_HALO_DEPTH: usize = 4;
 
 /// The hook through which [`Query::Experiment`](crate::Query::Experiment)
 /// requests are served. The experiment harness lives *above* this crate
@@ -163,12 +172,13 @@ pub fn evaluate(key: &EvalKey) -> EvalOutcome {
                 seq_time: model.seq_time(&w),
             })
         }
-        EvalKey::Solve { n, solver, tol, stencil, partitions, max_iters } => {
-            solve(n, solver, tol.get(), stencil.to_stencil(), partitions, max_iters)
+        EvalKey::Solve { n, solver, tol, stencil, partitions, max_iters, check } => {
+            solve(n, solver, tol.get(), stencil.to_stencil(), partitions, max_iters, check)
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve(
     n: usize,
     solver: SolverKind,
@@ -176,16 +186,18 @@ fn solve(
     stencil: parspeed_stencil::Stencil,
     partitions: usize,
     max_iters: usize,
+    check: Option<CheckKey>,
 ) -> EvalOutcome {
     let problem = PoissonProblem::manufactured(n, Manufactured::SinSin);
     let mut global_reductions = None;
+    // An unset policy runs the solver's historical default schedule.
+    let policy =
+        check.map(CheckKey::to_policy).unwrap_or_else(|| solver.default_check().to_policy());
     let (u, status): (Grid2D, SolveStatus) = match solver {
-        SolverKind::Jacobi => {
-            JacobiSolver { tol, max_iters, ..Default::default() }.solve(&problem, &stencil)
-        }
-        SolverKind::Sor => {
-            SorSolver { max_iters, ..SorSolver::optimal(n, tol) }.solve(&problem, &stencil)
-        }
+        SolverKind::Jacobi => JacobiSolver { tol, max_iters, check: policy, ..Default::default() }
+            .solve(&problem, &stencil),
+        SolverKind::Sor => SorSolver { max_iters, check: policy, ..SorSolver::optimal(n, tol) }
+            .solve(&problem, &stencil),
         SolverKind::RedBlack => {
             RedBlackSolver { max_iters, ..RedBlackSolver::optimal(n, tol) }.solve(&problem)
         }
@@ -204,8 +216,15 @@ fn solve(
         SolverKind::Parallel => {
             let parts = partitions.clamp(1, n);
             let d = StripDecomposition::new(n, parts);
-            let mut exec = PartitionedJacobi::new(&problem, &stencil, &d);
-            let run = exec.solve(tol, max_iters, CheckPolicy::geometric());
+            // Deep halos: one exchange funds up to a block of local
+            // sub-iterations (identical iterates and check schedule, ~depth×
+            // fewer exchange rounds). Blocks never outrun the next check,
+            // so cap the depth by the policy's first gap — an every:1
+            // schedule gets the classic depth-1 executor rather than
+            // paying for ghost frames it can never amortize.
+            let depth = DEEP_HALO_DEPTH.min(policy.first_check()).max(1);
+            let mut exec = PartitionedJacobi::with_depth(&problem, &stencil, &d, depth);
+            let run = exec.solve(tol, max_iters, policy);
             let status = SolveStatus {
                 converged: run.converged,
                 iterations: run.iterations,
@@ -389,6 +408,7 @@ mod tests {
             stencil: StencilKey::FivePoint,
             partitions: 0,
             max_iters: 10_000,
+            check: None,
         };
         let problem = PoissonProblem::manufactured(31, Manufactured::SinSin);
         let (u, s, stats) = CgSolver { tol: 1e-9, max_iters: 10_000 }.solve(&problem);

@@ -17,8 +17,8 @@
 use crate::error::ParspeedError;
 use crate::plan::PointLabel;
 use crate::request::{
-    ArchKind, EvalOutcome, EvalValue, Lever, MachineSpec, MinSizeVariant, Query, ShapeKey,
-    SimArchKind, SolverKind, StencilSpec, WorkloadSpec,
+    ArchKind, CheckSpec, EvalOutcome, EvalValue, Lever, MachineSpec, MinSizeVariant, Query,
+    ShapeKey, SimArchKind, SolverKind, StencilSpec, WorkloadSpec,
 };
 use crate::service::WIRE_VERSION;
 use crate::{BatchTelemetry, Response};
@@ -601,7 +601,11 @@ fn query_of(obj: &Json) -> Result<Query, String> {
             })
         }
         "solve" => {
-            check_fields(obj, op, &["n", "solver", "tol", "stencil", "partitions", "max_iters"])?;
+            check_fields(
+                obj,
+                op,
+                &["n", "solver", "tol", "stencil", "partitions", "max_iters", "check_policy"],
+            )?;
             Ok(Query::Solve {
                 n: req_usize(field(obj, "n")?, "n")?,
                 solver: SolverKind::parse(req_str(field(obj, "solver")?, "solver")?)?,
@@ -620,6 +624,11 @@ fn query_of(obj: &Json) -> Result<Query, String> {
                 max_iters: match obj.get("max_iters") {
                     None => 200_000,
                     Some(v) => req_usize(v, "max_iters")?,
+                },
+                // Absent = the solver's historical default schedule.
+                check: match obj.get("check_policy") {
+                    None => None,
+                    Some(v) => Some(CheckSpec::parse(req_str(v, "check_policy")?)?),
                 },
             })
         }
@@ -1028,7 +1037,20 @@ mod tests {
         .query;
         assert!(matches!(q, Query::Simulate { arch: SimArchKind::Mesh2d, procs: 4, .. }));
         let q = parse_query(r#"{"op":"solve","n":31,"solver":"cg","tol":1e-9}"#).unwrap().query;
-        assert!(matches!(q, Query::Solve { solver: SolverKind::Cg, n: 31, .. }));
+        assert!(matches!(q, Query::Solve { solver: SolverKind::Cg, n: 31, check: None, .. }));
+        let q = parse_query(r#"{"op":"solve","n":31,"solver":"jacobi","check_policy":"every:32"}"#)
+            .unwrap()
+            .query;
+        assert!(matches!(q, Query::Solve { check: Some(CheckSpec::Every(32)), .. }));
+        let q =
+            parse_query(r#"{"op":"solve","n":31,"solver":"parallel","check_policy":"geometric"}"#)
+                .unwrap()
+                .query;
+        assert!(matches!(q, Query::Solve { check: Some(c), .. } if c == CheckSpec::geometric()));
+        let err =
+            parse_query(r#"{"op":"solve","n":31,"solver":"jacobi","check_policy":"fibonacci"}"#)
+                .unwrap_err();
+        assert!(err.error.to_string().contains("check policy"), "{:?}", err.error);
         let q = parse_query(r#"{"op":"threads","n":64,"threads":[1,2]}"#).unwrap().query;
         assert!(matches!(q, Query::Threads { ref threads, .. } if threads == &[1, 2]));
         let q = parse_query(r#"{"op":"experiment","id":"e1","quick":true}"#).unwrap().query;

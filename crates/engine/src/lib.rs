@@ -70,8 +70,9 @@ pub use error::ParspeedError;
 pub use exec::ExperimentRunner;
 pub use plan::{Plan, PointLabel, Slot};
 pub use request::{
-    ArchKind, EffectKey, EvalKey, EvalOutcome, EvalValue, Lever, MachineSpec, MinSizeVariant,
-    Query, ShapeKey, SimArchKind, SolverKind, StencilKey, StencilSpec, WorkloadSpec,
+    ArchKind, CheckKey, CheckSpec, EffectKey, EvalKey, EvalOutcome, EvalValue, Lever, MachineSpec,
+    MinSizeVariant, Query, ShapeKey, SimArchKind, SolverKind, StencilKey, StencilSpec,
+    WorkloadSpec,
 };
 pub use service::{Request, Service, ServiceReply, MIN_WIRE_VERSION, WIRE_VERSION};
 pub use telemetry::{BatchTelemetry, EngineReport};

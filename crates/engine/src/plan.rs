@@ -13,8 +13,8 @@
 use crate::error::ParspeedError;
 use crate::fxhash::FxBuildHasher;
 use crate::request::{
-    ArchKind, BudgetKey, EffectKey, EvalKey, F64Key, MachineKey, Query, ShapeKey, SolverKind,
-    StencilKey, StencilSpec,
+    ArchKind, BudgetKey, CheckKey, CheckSpec, EffectKey, EvalKey, F64Key, MachineKey, Query,
+    ShapeKey, SolverKind, StencilKey, StencilSpec,
 };
 use std::collections::HashMap;
 
@@ -287,7 +287,7 @@ fn plan_query(q: &Query) -> Result<Planned, ParspeedError> {
                 procs: p,
             }))
         }
-        Query::Solve { n, solver, tol, stencil, partitions, max_iters } => {
+        Query::Solve { n, solver, tol, stencil, partitions, max_iters, check } => {
             if *n == 0 {
                 return Err(ParspeedError::invalid("grid side must be positive"));
             }
@@ -295,6 +295,26 @@ fn plan_query(q: &Query) -> Result<Planned, ParspeedError> {
                 return Err(ParspeedError::invalid(format!(
                     "tolerance must be positive and finite, got {tol}"
                 )));
+            }
+            if let Some(spec) = check {
+                match spec {
+                    CheckSpec::Every(0) => {
+                        return Err(ParspeedError::invalid("check period must be ≥ 1"))
+                    }
+                    CheckSpec::Geometric { factor, max_interval, .. } => {
+                        if !(factor.is_finite() && *factor > 1.0) {
+                            return Err(ParspeedError::invalid(format!(
+                                "geometric check factor must exceed 1, got {factor}"
+                            )));
+                        }
+                        if *max_interval == 0 {
+                            return Err(ParspeedError::invalid(
+                                "geometric check max_interval must be ≥ 1",
+                            ));
+                        }
+                    }
+                    CheckSpec::Every(_) => {}
+                }
             }
             if let Some(e) = crate::exec::solve_plan_error(*n, *solver) {
                 return Err(e);
@@ -310,6 +330,15 @@ fn plan_query(q: &Query) -> Result<Planned, ParspeedError> {
                 SolverKind::Parallel => (*partitions).clamp(1, *n),
                 _ => 0,
             };
+            // An explicitly spelled-out default collapses onto the unset
+            // form, and solvers that check every iteration by construction
+            // ignore the policy entirely.
+            let check = match check {
+                Some(spec) if solver.uses_check_policy() && *spec != solver.default_check() => {
+                    Some(CheckKey::from_spec(*spec))
+                }
+                _ => None,
+            };
             Ok(Planned::Single(EvalKey::Solve {
                 n: *n,
                 solver: *solver,
@@ -317,6 +346,7 @@ fn plan_query(q: &Query) -> Result<Planned, ParspeedError> {
                 stencil,
                 partitions,
                 max_iters: *max_iters,
+                check,
             }))
         }
         Query::Threads { n, stencil, shape, threads, iters, repeats } => {
@@ -500,10 +530,44 @@ mod tests {
             stencil,
             partitions,
             max_iters: 1000,
+            check: None,
         };
         // CG ignores both the stencil and the partition count.
         let plan =
             Plan::build(&[solve(StencilSpec::FivePoint, 4), solve(StencilSpec::NinePointBox, 9)]);
+        assert_eq!(plan.unique.len(), 1);
+    }
+
+    #[test]
+    fn check_policy_canonicalization_dedups_defaults() {
+        let solve = |solver, check| Query::Solve {
+            n: 15,
+            solver,
+            tol: 1e-6,
+            stencil: StencilSpec::FivePoint,
+            partitions: 4,
+            max_iters: 1000,
+            check,
+        };
+        // Spelling out a solver's own default collapses onto unset.
+        let plan = Plan::build(&[
+            solve(SolverKind::Jacobi, None),
+            solve(SolverKind::Jacobi, Some(CheckSpec::Every(1))),
+            solve(SolverKind::Parallel, None),
+            solve(SolverKind::Parallel, Some(CheckSpec::geometric())),
+        ]);
+        assert_eq!(plan.unique.len(), 2);
+        // A non-default policy is a distinct evaluation…
+        let plan = Plan::build(&[
+            solve(SolverKind::Jacobi, None),
+            solve(SolverKind::Jacobi, Some(CheckSpec::Every(32))),
+        ]);
+        assert_eq!(plan.unique.len(), 2);
+        // …except for solvers that ignore the policy entirely.
+        let plan = Plan::build(&[
+            solve(SolverKind::Cg, None),
+            solve(SolverKind::Cg, Some(CheckSpec::Every(32))),
+        ]);
         assert_eq!(plan.unique.len(), 1);
     }
 

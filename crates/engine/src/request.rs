@@ -343,6 +343,136 @@ impl SimArchKind {
     }
 }
 
+/// A convergence-check schedule in wire form — when the solver checks the
+/// max-norm update difference against its tolerance (§4's scheduling
+/// knob, [`parspeed_solver::CheckPolicy`] on the wire). The gap between
+/// checks is also the block budget the communication-avoiding loops
+/// spend: temporal tiling in the sequential solvers, deep-halo
+/// sub-iteration blocks in the partitioned one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckSpec {
+    /// Check at iterations `d, 2d, 3d, …`.
+    Every(usize),
+    /// Check at `start`, then grow the gap geometrically by `factor` up
+    /// to `max_interval`.
+    Geometric {
+        /// First check iteration.
+        start: usize,
+        /// Gap growth factor (> 1).
+        factor: f64,
+        /// Largest allowed gap between checks.
+        max_interval: usize,
+    },
+}
+
+impl CheckSpec {
+    /// The default geometric schedule (first check at 8, ×1.5 growth,
+    /// gaps capped at 256) — what `solver=parallel` uses when no policy
+    /// is given.
+    pub fn geometric() -> Self {
+        CheckSpec::Geometric { start: 8, factor: 1.5, max_interval: 256 }
+    }
+
+    /// The CLI/JSONL name: `every:N`, or `geometric:start,factor,max`.
+    pub fn name(self) -> String {
+        match self {
+            CheckSpec::Every(d) => format!("every:{d}"),
+            CheckSpec::Geometric { start, factor, max_interval } => {
+                format!("geometric:{start},{factor},{max_interval}")
+            }
+        }
+    }
+
+    /// Parses the CLI/JSONL name: `every` (= `every:1`), `every:N`,
+    /// `geometric` (the default schedule), or
+    /// `geometric:start,factor,max_interval`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let err = || {
+            format!(
+                "unknown check policy `{s}`; one of: every, every:N, geometric, \
+                 geometric:start,factor,max_interval"
+            )
+        };
+        let (head, args) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        match (head, args) {
+            ("every", None) => Ok(CheckSpec::Every(1)),
+            ("every", Some(a)) => {
+                let d: usize = a.trim().parse().map_err(|_| err())?;
+                Ok(CheckSpec::Every(d))
+            }
+            ("geometric", None) => Ok(CheckSpec::geometric()),
+            ("geometric", Some(a)) => {
+                let parts: Vec<&str> = a.split(',').map(str::trim).collect();
+                if parts.len() != 3 {
+                    return Err(err());
+                }
+                Ok(CheckSpec::Geometric {
+                    start: parts[0].parse().map_err(|_| err())?,
+                    factor: parts[1].parse().map_err(|_| err())?,
+                    max_interval: parts[2].parse().map_err(|_| err())?,
+                })
+            }
+            _ => Err(err()),
+        }
+    }
+
+    /// The solver-side policy this spec denotes.
+    pub fn to_policy(self) -> parspeed_solver::CheckPolicy {
+        match self {
+            CheckSpec::Every(d) => parspeed_solver::CheckPolicy::Every(d),
+            CheckSpec::Geometric { start, factor, max_interval } => {
+                parspeed_solver::CheckPolicy::Geometric { start, factor, max_interval }
+            }
+        }
+    }
+}
+
+/// The canonical (bit-exact, hashable) form of a [`CheckSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKey {
+    /// Check at iterations `d, 2d, 3d, …`.
+    Every(usize),
+    /// Geometric gap growth.
+    Geometric {
+        /// First check iteration.
+        start: usize,
+        /// Factor bits.
+        factor: F64Key,
+        /// Gap cap.
+        max_interval: usize,
+    },
+}
+
+impl CheckKey {
+    /// Canonicalizes a spec.
+    pub fn from_spec(spec: CheckSpec) -> Self {
+        match spec {
+            CheckSpec::Every(d) => CheckKey::Every(d),
+            CheckSpec::Geometric { start, factor, max_interval } => {
+                CheckKey::Geometric { start, factor: F64Key::new(factor), max_interval }
+            }
+        }
+    }
+
+    /// The equivalent spec (bit-identical round trip).
+    pub fn to_spec(self) -> CheckSpec {
+        match self {
+            CheckKey::Every(d) => CheckSpec::Every(d),
+            CheckKey::Geometric { start, factor, max_interval } => {
+                CheckSpec::Geometric { start, factor: factor.get(), max_interval }
+            }
+        }
+    }
+
+    /// The solver-side policy this key denotes.
+    pub fn to_policy(self) -> parspeed_solver::CheckPolicy {
+        self.to_spec().to_policy()
+    }
+}
+
 /// The numerical solvers a [`Query::Solve`] can pick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SolverKind {
@@ -395,6 +525,24 @@ impl SolverKind {
     /// canonicalized away and identical runs dedup).
     pub fn uses_stencil(self) -> bool {
         matches!(self, SolverKind::Jacobi | SolverKind::Sor | SolverKind::Parallel)
+    }
+
+    /// Whether the solver schedules convergence checks with a
+    /// [`CheckSpec`] (the others check every iteration by construction,
+    /// so the policy field is canonicalized away and identical runs
+    /// dedup).
+    pub fn uses_check_policy(self) -> bool {
+        matches!(self, SolverKind::Jacobi | SolverKind::Sor | SolverKind::Parallel)
+    }
+
+    /// The check schedule this solver runs when the request leaves the
+    /// policy unset — the pre-`check_policy` wire behaviour, kept so
+    /// legacy v2 requests answer identically.
+    pub fn default_check(self) -> CheckSpec {
+        match self {
+            SolverKind::Parallel => CheckSpec::geometric(),
+            _ => CheckSpec::Every(1),
+        }
     }
 }
 
@@ -829,6 +977,10 @@ pub enum Query {
         partitions: usize,
         /// Iteration cap.
         max_iters: usize,
+        /// Convergence-check schedule for the solvers that take one
+        /// (`None` = the solver's historical default: `every:1`, or
+        /// `geometric` for the parallel executor).
+        check: Option<CheckSpec>,
     },
     /// Time the real rayon-partitioned executor across thread counts. A
     /// wall-clock *measurement*, not a pure evaluation: it is never deduped
@@ -994,6 +1146,9 @@ pub enum EvalKey {
         partitions: usize,
         /// Iteration cap.
         max_iters: usize,
+        /// Canonical check schedule (`None` = the solver's default, and
+        /// for solvers that ignore the policy).
+        check: Option<CheckKey>,
     },
 }
 
@@ -1198,6 +1353,39 @@ mod tests {
         assert!(ShapeKey::parse("hexagon").is_err());
         assert!(SimArchKind::parse("torus").is_err());
         assert!(SolverKind::parse("adi").is_err());
+    }
+
+    #[test]
+    fn check_specs_parse_and_round_trip() {
+        for spec in [
+            CheckSpec::Every(25),
+            CheckSpec::geometric(),
+            CheckSpec::Geometric { start: 4, factor: 2.0, max_interval: 64 },
+        ] {
+            assert_eq!(CheckSpec::parse(&spec.name()).unwrap(), spec);
+            assert_eq!(CheckKey::from_spec(spec).to_spec(), spec);
+        }
+        assert_eq!(CheckSpec::parse("every").unwrap(), CheckSpec::Every(1));
+        assert_eq!(CheckSpec::parse("geometric").unwrap(), CheckSpec::geometric());
+        assert_eq!(
+            CheckSpec::parse("geometric: 8, 1.5, 256").unwrap(),
+            CheckSpec::geometric(),
+            "whitespace is tolerated"
+        );
+        assert!(CheckSpec::parse("fibonacci").is_err());
+        assert!(CheckSpec::parse("geometric:1,2").is_err());
+        assert!(CheckSpec::parse("every:x").is_err());
+    }
+
+    #[test]
+    fn default_check_matches_the_historical_solver_behaviour() {
+        assert_eq!(SolverKind::Jacobi.default_check(), CheckSpec::Every(1));
+        assert_eq!(SolverKind::Sor.default_check(), CheckSpec::Every(1));
+        assert_eq!(SolverKind::Parallel.default_check(), CheckSpec::geometric());
+        assert!(SolverKind::Jacobi.uses_check_policy());
+        assert!(!SolverKind::Cg.uses_check_policy());
+        assert!(!SolverKind::Multigrid.uses_check_policy());
+        assert!(!SolverKind::RedBlack.uses_check_policy());
     }
 
     #[test]

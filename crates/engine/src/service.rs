@@ -36,8 +36,8 @@
 
 use crate::error::ParspeedError;
 use crate::request::{
-    ArchKind, Lever, MachineSpec, MinSizeVariant, Query, ShapeKey, SimArchKind, SolverKind,
-    StencilSpec, WorkloadSpec,
+    ArchKind, CheckSpec, Lever, MachineSpec, MinSizeVariant, Query, ShapeKey, SimArchKind,
+    SolverKind, StencilSpec, WorkloadSpec,
 };
 use crate::telemetry::BatchTelemetry;
 use crate::{Engine, Response};
@@ -156,6 +156,7 @@ impl Request {
             stencil: StencilSpec::FivePoint,
             partitions: 4,
             max_iters: 200_000,
+            check: None,
         }
     }
 
@@ -462,6 +463,7 @@ pub struct SolveBuilder {
     stencil: StencilSpec,
     partitions: usize,
     max_iters: usize,
+    check: Option<CheckSpec>,
 }
 
 impl SolveBuilder {
@@ -476,6 +478,18 @@ impl SolveBuilder {
     setter!(/// Iteration cap. Default 200 000.
         max_iters: usize);
 
+    /// Convergence-check schedule (wire field `check_policy`). Default:
+    /// unset, i.e. the solver's historical behaviour — `every:1` for the
+    /// sequential solvers, `geometric` for the parallel executor. Sparse
+    /// schedules also widen the communication-avoiding blocks: temporal
+    /// tiling in the sequential Jacobi path, deep-halo sub-iteration
+    /// blocks in the partitioned one. Spelling out a solver's own default
+    /// is canonicalized back to unset, so both forms share a cache line.
+    pub fn check_policy(mut self, check: CheckSpec) -> Self {
+        self.check = Some(check);
+        self
+    }
+
     /// The built query.
     pub fn query(self) -> Query {
         Query::Solve {
@@ -485,6 +499,7 @@ impl SolveBuilder {
             stencil: self.stencil,
             partitions: self.partitions,
             max_iters: self.max_iters,
+            check: self.check,
         }
     }
 

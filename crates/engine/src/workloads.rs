@@ -95,6 +95,7 @@ pub fn mixed_batch(len: usize) -> Vec<Query> {
             stencil: StencilSpec::FivePoint,
             partitions: 4,
             max_iters: 10_000,
+            check: None,
         });
     }
     (0..len).map(|i| unique[i % unique.len()].clone()).collect()

@@ -38,6 +38,7 @@ fn pool() -> Vec<Query> {
             stencil: StencilSpec::FivePoint,
             partitions: 4,
             max_iters: 10_000,
+            check: None,
         },
         Query::Optimize {
             arch: ArchKind::SyncBus,

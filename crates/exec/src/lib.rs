@@ -9,9 +9,13 @@
 //!
 //! * [`PartitionedJacobi`] — the partitioned executor; bit-identical to the
 //!   sequential solver, since Jacobi updates read only previous-iteration
-//!   values;
+//!   values. Built [`PartitionedJacobi::with_depth`], it exchanges a deep
+//!   halo once and runs a whole block of local sub-iterations before the
+//!   next exchange — the communication-avoiding schedule that divides halo
+//!   traffic per iteration by the block size;
 //! * [`CheckPolicy`] — fixed convergence-check schedules (§4, after Saltz,
-//!   Naik & Nicol \[13\]);
+//!   Naik & Nicol \[13\]), re-exported from `parspeed-solver`, which owns
+//!   the type so the sequential solvers schedule with it too;
 //! * [`AdaptiveChecker`] — the rate-estimating schedule of \[13\] itself:
 //!   observed differences predict the convergence iteration and checks
 //!   cluster there;
@@ -22,10 +26,9 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
-mod convergence;
 pub mod measure;
 mod partitioned;
 
 pub use adaptive::{AdaptiveChecker, CheckScheduler};
-pub use convergence::CheckPolicy;
+pub use parspeed_solver::CheckPolicy;
 pub use partitioned::{PartitionedJacobi, SolveRun};

@@ -1,0 +1,199 @@
+//! Temporal tiling: trapezoidal band traversal for block-of-k sweeps.
+//!
+//! A Jacobi-style out-of-place iteration advanced `k` steps touches every
+//! grid point `k` times; the naive loop streams the whole grid through the
+//! cache once per step. [`BandSchedule`] reorders the *same* point updates
+//! so that a band of rows is advanced through all `k` iteration levels
+//! while it is cache-resident — the classic trapezoid / time-skewing
+//! traversal. Because each level-`j` row update still reads exactly the
+//! level-`j−1` values the plain loop would read, executing the schedule is
+//! bit-identical to running `k` whole-grid sweeps; only the memory-access
+//! order changes.
+//!
+//! The schedule works with the double-buffered storage the solvers already
+//! own: level parity picks the buffer (even levels live where level 0
+//! does, odd levels in the other buffer). The safety argument is a pair of
+//! frontier invariants maintained by construction:
+//!
+//! * **read**: level `j` row `r` is emitted only once level `j−1` has
+//!   passed row `r + reach` (or finished entirely, so rows past the edge
+//!   are boundary halo);
+//! * **overwrite**: writing level `j` row `r` destroys the level `j−2`
+//!   value of that row (same parity); that value is dead because every
+//!   level `j−1` row that reads it (rows ≤ `r + reach`) has already been
+//!   emitted — the same bound as the read invariant.
+
+use std::ops::Range;
+
+/// One step of a temporal-tiled traversal: advance iteration level
+/// `level` (1-based; level 0 is the initial state) over interior rows
+/// `rows`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BandStep {
+    /// Iteration level being produced (`1..=k`).
+    pub level: usize,
+    /// Interior rows advanced to `level` by this step.
+    pub rows: Range<usize>,
+}
+
+/// A trapezoidal band traversal advancing `rows` interior rows through
+/// `k` iteration levels of a stencil with the given row reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandSchedule {
+    rows: usize,
+    k: usize,
+    reach: usize,
+    band_rows: usize,
+}
+
+impl BandSchedule {
+    /// Builds a schedule for `rows` interior rows, `k ≥ 1` iteration
+    /// levels, a stencil of row reach `reach`, advancing the leading level
+    /// `band_rows ≥ 1` rows per round.
+    pub fn new(rows: usize, k: usize, reach: usize, band_rows: usize) -> Self {
+        assert!(k >= 1, "need at least one iteration level");
+        assert!(band_rows >= 1, "bands must advance");
+        Self { rows, k, reach, band_rows }
+    }
+
+    /// A band size that keeps the working set (the band plus the trailing
+    /// skew of `k·reach` rows, in both buffers) around `budget_bytes` —
+    /// small enough to stay cache-resident, never smaller than one row.
+    pub fn band_rows_for_budget(
+        row_bytes: usize,
+        k: usize,
+        reach: usize,
+        budget_bytes: usize,
+    ) -> usize {
+        let skew = 2 * (k * reach + 1) * row_bytes.max(1);
+        (budget_bytes.saturating_sub(skew) / (2 * row_bytes.max(1))).max(1)
+    }
+
+    /// The traversal: every `(level, row)` pair in `1..=k × 0..rows`
+    /// exactly once, in an order satisfying the read and overwrite
+    /// invariants above.
+    pub fn steps(&self) -> Vec<BandStep> {
+        let (n, k, reach) = (self.rows, self.k, self.reach);
+        let mut steps = Vec::new();
+        if n == 0 {
+            return steps;
+        }
+        // frontier[j] = interior rows of level j already emitted;
+        // frontier[0] is the initial state, complete by definition.
+        let mut frontier = vec![0usize; k + 1];
+        frontier[0] = n;
+        while frontier[k] < n {
+            for j in 1..=k {
+                let prev = frontier[j - 1];
+                // Level j may run `reach` rows behind level j−1 — or catch
+                // up entirely once level j−1 is finished (rows past the
+                // interior edge are fixed boundary halo, not level data).
+                let limit = if j == 1 {
+                    (frontier[1] + self.band_rows).min(n)
+                } else if prev == n {
+                    n
+                } else {
+                    prev.saturating_sub(reach)
+                };
+                if limit > frontier[j] {
+                    steps.push(BandStep { level: j, rows: frontier[j]..limit });
+                    frontier[j] = limit;
+                }
+            }
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays a schedule, asserting both frontier invariants and exact
+    /// coverage.
+    fn validate(rows: usize, k: usize, reach: usize, band: usize) {
+        let s = BandSchedule::new(rows, k, reach, band);
+        let mut frontier = vec![0usize; k + 1];
+        frontier[0] = rows;
+        for step in s.steps() {
+            let j = step.level;
+            assert!(j >= 1 && j <= k, "level {j} out of range");
+            assert_eq!(step.rows.start, frontier[j], "level {j} skipped rows");
+            assert!(!step.rows.is_empty(), "empty step at level {j}");
+            // Read invariant: the rows this step reads at level j−1 exist.
+            let last = step.rows.end - 1;
+            assert!(
+                frontier[j - 1] == rows || frontier[j - 1] > last + reach,
+                "level {j} row {last} reads unemitted level {} rows",
+                j - 1
+            );
+            // Overwrite invariant: level j−2 values destroyed here are dead.
+            if j >= 2 {
+                assert!(
+                    frontier[j - 1] == rows || frontier[j - 1] > last + reach,
+                    "level {j} row {last} overwrites live level {} data",
+                    j - 2
+                );
+            }
+            frontier[j] = step.rows.end;
+        }
+        for (j, &f) in frontier.iter().enumerate() {
+            assert_eq!(f, rows, "level {j} incomplete");
+        }
+    }
+
+    #[test]
+    fn covers_and_respects_dependencies() {
+        for rows in [1usize, 2, 3, 5, 17, 64] {
+            for k in [1usize, 2, 3, 5] {
+                for reach in [1usize, 2] {
+                    for band in [1usize, 4, 16] {
+                        validate(rows, k, reach, band);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_bands_smaller_than_the_skew_still_finish() {
+        // rows ≤ reach·k: the trapezoid never opens; levels run to
+        // completion one after another.
+        validate(2, 4, 1, 1);
+        validate(3, 3, 2, 2);
+        validate(1, 6, 2, 8);
+    }
+
+    #[test]
+    fn k_equals_one_is_a_plain_banded_sweep() {
+        let s = BandSchedule::new(10, 1, 1, 4);
+        let steps = s.steps();
+        assert_eq!(steps.len(), 3);
+        assert!(steps.iter().all(|s| s.level == 1));
+        assert_eq!(steps[0].rows, 0..4);
+        assert_eq!(steps[2].rows, 8..10);
+    }
+
+    #[test]
+    fn deeper_levels_trail_by_reach() {
+        let steps = BandSchedule::new(32, 2, 2, 8).steps();
+        // After the first round: level 1 at 8, level 2 at 6.
+        assert_eq!(steps[0], BandStep { level: 1, rows: 0..8 });
+        assert_eq!(steps[1], BandStep { level: 2, rows: 0..6 });
+    }
+
+    #[test]
+    fn budget_band_sizing_is_sane() {
+        let b = BandSchedule::band_rows_for_budget(8 * 1024, 4, 2, 256 * 1024);
+        assert!(b >= 1);
+        assert!(2 * b * 8 * 1024 <= 256 * 1024);
+        // Tiny budgets degrade to one row, never zero.
+        assert_eq!(BandSchedule::band_rows_for_budget(1 << 20, 8, 2, 1024), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration level")]
+    fn rejects_zero_levels() {
+        let _ = BandSchedule::new(8, 0, 1, 4);
+    }
+}

@@ -84,12 +84,10 @@ impl HaloPlan {
     }
 }
 
-/// Computes the needed halo rectangles of `region`: the four axis slabs of
-/// the stencil's row/column reach, plus the four corner blocks when the
-/// stencil has diagonal taps. All clamped to the domain.
-fn needed_rects(region: &Region, n: usize, stencil: &Stencil) -> Vec<Region> {
-    let kr = stencil.reach_rows();
-    let kc = stencil.reach_cols();
+/// Computes the needed halo rectangles of `region`: the four axis slabs
+/// of depth `kr`/`kc` rows/columns, plus the four corner blocks when
+/// `corners` is set. All clamped to the domain.
+fn needed_rects(region: &Region, n: usize, kr: usize, kc: usize, corners: bool) -> Vec<Region> {
     let mut v = Vec::with_capacity(8);
     let push = |v: &mut Vec<Region>, r: Region| {
         if !r.is_empty() {
@@ -128,7 +126,7 @@ fn needed_rects(region: &Region, n: usize, stencil: &Stencil) -> Vec<Region> {
             Region { r0: region.r0, r1: region.r1, c0: region.c1, c1: (region.c1 + kc).min(n) },
         );
     }
-    if stencil.has_diagonal() && kr > 0 && kc > 0 {
+    if corners && kr > 0 && kc > 0 {
         let rows =
             [(region.r0.saturating_sub(kr), region.r0), (region.r1, (region.r1 + kr).min(n))];
         let cols =
@@ -142,13 +140,36 @@ fn needed_rects(region: &Region, n: usize, stencil: &Stencil) -> Vec<Region> {
     v
 }
 
-/// Builds the exchange plan for `decomp` under `stencil`.
+/// Builds the exchange plan for `decomp` under `stencil`: the classic
+/// once-per-iteration exchange of exactly the stencil's reach.
 pub fn plan<D: Decomposition + ?Sized>(decomp: &D, stencil: &Stencil) -> HaloPlan {
+    plan_deep(decomp, stencil, 1)
+}
+
+/// Builds a **deep** exchange plan: the halo slabs are `depth` times the
+/// stencil's reach, enough ghost data for `depth` local sub-iterations
+/// between exchanges (the communication-avoiding schedule — halo traffic
+/// per iteration drops by ~`depth` at the cost of a `depth·reach`-wide
+/// ghost frame).
+///
+/// For `depth = 1` this is exactly [`plan`]. For `depth > 1` the corner
+/// blocks are always included, even for cross-shaped stencils: a local
+/// sub-iteration computes ghost points whose *own* neighbourhoods reach
+/// diagonally into corner data after two or more steps.
+pub fn plan_deep<D: Decomposition + ?Sized>(
+    decomp: &D,
+    stencil: &Stencil,
+    depth: usize,
+) -> HaloPlan {
+    assert!(depth >= 1, "halo depth must be at least 1");
     let n = decomp.domain();
+    let kr = depth * stencil.reach_rows();
+    let kc = depth * stencil.reach_cols();
+    let corners = stencil.has_diagonal() || depth > 1;
     let regions = decomp.regions();
     let mut copies = Vec::new();
     for (dst, dst_region) in regions.iter().enumerate() {
-        for need in needed_rects(dst_region, n, stencil) {
+        for need in needed_rects(dst_region, n, kr, kc, corners) {
             for (src, src_region) in regions.iter().enumerate() {
                 if src == dst {
                     continue;
@@ -257,6 +278,54 @@ mod tests {
         let by_src: usize = (0..d.count()).map(|i| p.words_from(i)).sum();
         assert_eq!(by_dst, p.total_words());
         assert_eq!(by_src, p.total_words());
+    }
+
+    #[test]
+    fn deep_plan_depth_one_equals_the_classic_plan() {
+        for s in Stencil::catalog() {
+            let d = RectDecomposition::new(24, 3, 4);
+            let a = plan(&d, &s);
+            let b = plan_deep(&d, &s, 1);
+            assert_eq!(a.copies(), b.copies(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn deep_plan_widens_slabs_and_always_has_corners() {
+        let d = RectDecomposition::new(24, 3, 3);
+        let centre = 4;
+        let s = Stencil::five_point();
+        // Depth 3 × reach 1: 3-row slabs, and corners appear even for the
+        // cross stencil (ghost sub-iterations reach diagonally).
+        let deep = plan_deep(&d, &s, 3);
+        assert_eq!(deep.partners(centre), vec![0, 1, 2, 3, 5, 6, 7, 8]);
+        // Axis slabs: 3 rows × 8 cols (or 8 × 3), corners 3 × 3.
+        assert_eq!(deep.words_into(centre), 4 * 3 * 8 + 4 * 9);
+        // Word volume: one depth-3 exchange moves the same slab data as
+        // three depth-1 exchanges plus the corner blocks (16 diagonal
+        // adjacencies × 3×3 words) — the savings are in exchange *rounds*,
+        // the paper's per-iteration overhead term, not raw words.
+        let shallow = plan(&d, &s);
+        assert_eq!(deep.total_words(), 3 * shallow.total_words() + 16 * 9);
+    }
+
+    #[test]
+    fn deep_slabs_clamp_to_the_domain_and_span_thin_owners() {
+        // Strips of height 4 with depth 2 × reach 2 = 4-row slabs: the
+        // needed slab is exactly one neighbour strip; at depth 3 it spans
+        // two.
+        let d = StripDecomposition::new(16, 4);
+        let s = Stencil::nine_point_star();
+        let p2 = plan_deep(&d, &s, 2);
+        assert_eq!(p2.partners(0), vec![1]);
+        let p3 = plan_deep(&d, &s, 3);
+        assert_eq!(p3.partners(0), vec![1, 2]);
+        // Depth larger than the domain: everything clamps, plan stays
+        // well-formed and total volume is bounded by the domain size.
+        let huge = plan_deep(&d, &s, 64);
+        for c in huge.copies() {
+            assert!(c.src_region.r1 <= 16 && c.src_region.c1 <= 16);
+        }
     }
 
     #[test]

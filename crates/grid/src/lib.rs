@@ -16,11 +16,16 @@
 //!   area, the minimum-perimeter legal rectangle, retained only if its
 //!   perimeter is within 5% of the perimeter of the true square (Fig. 6),
 //! * [`halo`] — exact halo-exchange plans for a decomposition and stencil,
+//!   including the deep (depth-`k`) plans of the communication-avoiding
+//!   executor,
+//! * [`band`] — trapezoidal band traversals for temporal tiling
+//!   (block-of-k sweeps over cache-resident row bands),
 //! * [`cover`] — exact-cover verification used by tests and debug builds.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod band;
 pub mod cover;
 mod geometry;
 mod grid2d;
@@ -29,6 +34,7 @@ mod rect;
 mod strip;
 mod working;
 
+pub use band::{BandSchedule, BandStep};
 pub use geometry::{BoundaryWords, Region};
 pub use grid2d::Grid2D;
 pub use rect::RectDecomposition;

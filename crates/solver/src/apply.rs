@@ -18,8 +18,17 @@
 //! row-parallel under rayon (Jacobi reads only `src`, so parallelism
 //! cannot change results either).
 //!
+//! [`jacobi_sweep_blend`] (and its `_region`/`_par` variants) additionally
+//! fuses the ω-blend and the max-norm update reduction into the same pass
+//! — the three formerly separate full-grid passes of a weighted-Jacobi
+//! iteration (sweep, blend, convergence diff) become one, and the `_region`
+//! variant is the kernel the temporal-tiling band traversal
+//! ([`parspeed_grid::BandSchedule`]) drives.
+//!
 //! [`sor_sweep`] is the in-place lexicographic relaxation sweep
-//! (Gauss-Seidel/SOR) under the same dispatch.
+//! (Gauss-Seidel/SOR) under the same dispatch; its per-point relaxation
+//! and running max-difference go through the crate-internal `relax_update`
+//! helper, the fused convergence reduction the red-black solver shares.
 
 use parspeed_grid::{Grid2D, Region};
 use parspeed_stencil::{KernelKind, Stencil};
@@ -112,6 +121,173 @@ pub fn jacobi_sweep_region_generic(
     }
 }
 
+/// Fused sweep + ω-blend + optional max-norm update reduction in a single
+/// pass over the full interior: computes the Jacobi update of `src` into
+/// `dst`, blends `dst = ω·dst + (1−ω)·src` when `ω ≠ 1`, and — when
+/// `compute_diff` — returns `max |src − dst|`, all while each row is hot
+/// in cache. Bit-identical to [`jacobi_sweep`] followed by a separate
+/// blend pass and a separate `max_abs_diff` pass (the blend arithmetic and
+/// the per-point differences are unchanged; a max-fold is
+/// order-independent). Returns `0.0` when `compute_diff` is false.
+pub fn jacobi_sweep_blend(
+    stencil: &Stencil,
+    src: &Grid2D,
+    dst: &mut Grid2D,
+    f: &Grid2D,
+    h2: f64,
+    omega: f64,
+    compute_diff: bool,
+) -> f64 {
+    let region = Region::new(0, src.rows(), 0, src.cols());
+    jacobi_sweep_blend_region(stencil, src, dst, f, h2, &region, (0, 0), omega, compute_diff)
+}
+
+/// [`jacobi_sweep_blend`] over one region (the temporal-tiling band
+/// steps). The region's local image must lie inside the interiors of
+/// `src`/`dst`. Fused kernels serve the catalogue stencils, the
+/// tap-driven row loop everything else; blend and reduction run on the
+/// still-cache-resident output row either way.
+#[allow(clippy::too_many_arguments)]
+pub fn jacobi_sweep_blend_region(
+    stencil: &Stencil,
+    src: &Grid2D,
+    dst: &mut Grid2D,
+    f: &Grid2D,
+    h2: f64,
+    region: &Region,
+    offset: (usize, usize),
+    omega: f64,
+    compute_diff: bool,
+) -> f64 {
+    let rs_h2 = stencil.rhs_scale() * h2;
+    let inv = 1.0 / stencil.divisor();
+    let kind = fusable(stencil, src, dst, f, region, offset);
+    let mut worst = 0.0f64;
+    let mut tc0 = region.c0;
+    while tc0 < region.c1 {
+        let tc1 = (tc0 + COL_TILE).min(region.c1);
+        let w = tc1 - tc0;
+        let lc0 = tc0 as isize - offset.1 as isize;
+        debug_assert!(lc0 >= 0 && region.r0 >= offset.0, "blend regions are interior");
+        let b = (lc0 + src.halo() as isize) as usize;
+        let bd = (lc0 + dst.halo() as isize) as usize;
+        let fb = tc0 + f.halo();
+        for gr in region.r0..region.r1 {
+            let lr = gr as isize - offset.0 as isize;
+            let frow = &f.padded_row(gr as isize)[fb..fb + w];
+            let out = &mut dst.padded_row_mut(lr)[bd..bd + w];
+            match kind {
+                Some(kind) => fused_row(kind, src, lr, b, frow, out, rs_h2, inv),
+                None => generic_row(stencil, src, lr, lc0, gr, tc0..tc1, f, rs_h2, inv, out),
+            }
+            let prev = &src.padded_row(lr)[b..b + w];
+            worst = worst.max(blend_diff_row(out, prev, omega, compute_diff));
+        }
+        tc0 = tc1;
+    }
+    worst
+}
+
+/// Rayon row-parallel [`jacobi_sweep_blend`]; bit-identical to it (each
+/// worker writes disjoint `dst` rows from the immutable `src`, and the
+/// max-norm reduction is order-independent).
+pub fn jacobi_sweep_blend_par(
+    stencil: &Stencil,
+    src: &Grid2D,
+    dst: &mut Grid2D,
+    f: &Grid2D,
+    h2: f64,
+    omega: f64,
+    compute_diff: bool,
+) -> f64 {
+    let region = Region::new(0, src.rows(), 0, src.cols());
+    let rs_h2 = stencil.rhs_scale() * h2;
+    let inv = 1.0 / stencil.divisor();
+    let kind = fusable(stencil, src, dst, f, &region, (0, 0));
+    let (rows, cols) = (src.rows(), src.cols());
+    let (dst_halo, stride) = (dst.halo(), dst.stride());
+    dst.as_mut_slice()
+        .par_chunks_mut(stride)
+        .enumerate()
+        .map(|(pr, row)| {
+            if pr < dst_halo || pr >= dst_halo + rows {
+                return 0.0;
+            }
+            let r = pr - dst_halo;
+            let lr = r as isize;
+            let out = &mut row[dst_halo..dst_halo + cols];
+            match kind {
+                Some(kind) => {
+                    let frow = &f.padded_row(lr)[f.halo()..f.halo() + cols];
+                    fused_row(kind, src, lr, src.halo(), frow, out, rs_h2, inv);
+                }
+                None => generic_row(stencil, src, lr, 0, r, 0..cols, f, rs_h2, inv, out),
+            }
+            let prev = &src.padded_row(lr)[src.halo()..src.halo() + cols];
+            blend_diff_row(out, prev, omega, compute_diff)
+        })
+        .reduce(|| 0.0f64, f64::max)
+}
+
+/// ω-blend of a freshly computed output row against the previous iterate
+/// and the row's contribution to the max-norm update difference — the
+/// per-row tail of every fused Jacobi kernel. The arithmetic is exactly
+/// the historical two-pass form: `out = ω·out + (1−ω)·prev`, then
+/// `max |prev − out|`.
+#[inline]
+fn blend_diff_row(out: &mut [f64], prev: &[f64], omega: f64, compute_diff: bool) -> f64 {
+    debug_assert_eq!(out.len(), prev.len());
+    // Lane-split reduction: a single running max is a serial dependency
+    // chain (one `maxsd` per element, latency-bound); independent partial
+    // maxima pipeline/vectorize. Max over a set is order-independent, so
+    // the result is bit-identical to the sequential fold. When blending
+    // too, blend and reduce in one traversal of the (L1-resident) row.
+    const LANES: usize = 8;
+    match (omega != 1.0, compute_diff) {
+        (true, false) => {
+            for (o, &p) in out.iter_mut().zip(prev) {
+                *o = omega * *o + (1.0 - omega) * p;
+            }
+            0.0
+        }
+        (false, false) => 0.0,
+        (blend, true) => {
+            let mut lanes = [0.0f64; LANES];
+            let mut o_it = out.chunks_exact_mut(LANES);
+            let mut p_it = prev.chunks_exact(LANES);
+            for (oc, pc) in (&mut o_it).zip(&mut p_it) {
+                for i in 0..LANES {
+                    if blend {
+                        oc[i] = omega * oc[i] + (1.0 - omega) * pc[i];
+                    }
+                    lanes[i] = lanes[i].max((pc[i] - oc[i]).abs());
+                }
+            }
+            let mut worst = 0.0f64;
+            for (o, &p) in o_it.into_remainder().iter_mut().zip(p_it.remainder()) {
+                if blend {
+                    *o = omega * *o + (1.0 - omega) * p;
+                }
+                worst = worst.max((p - *o).abs());
+            }
+            for l in lanes {
+                worst = worst.max(l);
+            }
+            worst
+        }
+    }
+}
+
+/// Relaxed in-place point update plus the running max-difference fold —
+/// the fused convergence reduction every in-place sweep (SOR here,
+/// red-black in `redblack.rs`) shares instead of a separate diff pass.
+#[inline]
+pub(crate) fn relax_update(old: f64, jacobi: f64, omega: f64, worst: &mut f64) -> f64 {
+    let new = old + omega * (jacobi - old);
+    *worst = worst.max((new - old).abs());
+    new
+}
+
 /// Fused 5-point fast path over the full interior; bit-identical to
 /// [`jacobi_sweep`] with [`Stencil::five_point`]. Kept for callers that
 /// know their stencil statically; everything else should go through the
@@ -166,8 +342,7 @@ pub fn sor_sweep(stencil: &Stencil, u: &mut Grid2D, f: &Grid2D, h2: f64, omega: 
                     }
                     let jacobi = (acc + rs_h2 * f.get(r, c)) * inv;
                     let old = u.get(r, c);
-                    let new = old + omega * (jacobi - old);
-                    worst = worst.max((new - old).abs());
+                    let new = relax_update(old, jacobi, omega, &mut worst);
                     u.set(r, c, new);
                 }
             }
@@ -196,10 +371,14 @@ pub fn residual_max(stencil: &Stencil, u: &Grid2D, f: &Grid2D, h2: f64) -> f64 {
 }
 
 /// Whether the fused kernel for `stencil` may sweep `region`: a kernel
-/// must exist, the halos must hold the stencil's reach, and the region's
-/// local image must lie inside the interiors of `src`/`dst` (the generic
-/// path can legally write halo cells; the fused path slices interior
-/// rows).
+/// must exist and the region's local image must stay `reach` away from
+/// the edge of the *padded* extents of `src` and `dst`, so every padded
+/// row slice the kernel takes is in bounds. A region confined to the
+/// interiors of grids with halo ≥ reach always qualifies; so do the
+/// halo-overlapping expanded regions the deep-halo executor sweeps, as
+/// long as the halo is at least one reach wider than the overlap. (The
+/// generic path can additionally write the outermost halo ring, which
+/// the fused path cannot slice.)
 fn fusable(
     stencil: &Stencil,
     src: &Grid2D,
@@ -209,18 +388,22 @@ fn fusable(
     offset: (usize, usize),
 ) -> Option<KernelKind> {
     let kind = stencil.kernel_kind()?;
-    let k = stencil.reach();
-    let in_local = |g: &Grid2D| {
-        region.r0 >= offset.0
-            && region.c0 >= offset.1
-            && region.r1 - offset.0 <= g.rows()
-            && region.c1 - offset.1 <= g.cols()
+    let k = stencil.reach() as isize;
+    let lr0 = region.r0 as isize - offset.0 as isize;
+    let lr1 = region.r1 as isize - offset.0 as isize;
+    let lc0 = region.c0 as isize - offset.1 as isize;
+    let lc1 = region.c1 as isize - offset.1 as isize;
+    let margin_ok = |g: &Grid2D| {
+        let h = g.halo() as isize;
+        lr0 >= k - h
+            && lr1 <= g.rows() as isize + h - k
+            && lc0 >= k - h
+            && lc1 <= g.cols() as isize + h - k
     };
-    let ok = src.halo() >= k
-        && region.r1 >= region.r0
-        && region.c1 >= region.c0
-        && in_local(src)
-        && in_local(dst)
+    let ok = lr1 >= lr0
+        && lc1 >= lc0
+        && margin_ok(src)
+        && margin_ok(dst)
         && region.r1 <= f.rows()
         && region.c1 <= f.cols();
     ok.then_some(kind)
@@ -244,12 +427,16 @@ fn fused_sweep_region(
     while tc0 < region.c1 {
         let tc1 = (tc0 + COL_TILE).min(region.c1);
         let w = tc1 - tc0;
+        // Local column of the tile start can be negative (deep-halo
+        // expanded regions); `fusable` guarantees the padded offsets are
+        // non-negative and the slices in bounds.
+        let lc0 = tc0 as isize - offset.1 as isize;
+        let b = (lc0 + src.halo() as isize) as usize;
+        let bd = (lc0 + dst.halo() as isize) as usize;
+        let fb = tc0 + f.halo();
         for gr in region.r0..region.r1 {
-            let lr = (gr - offset.0) as isize;
-            let b = (tc0 - offset.1) + src.halo();
-            let fb = tc0 + f.halo();
+            let lr = gr as isize - offset.0 as isize;
             let frow = &f.padded_row(gr as isize)[fb..fb + w];
-            let bd = (tc0 - offset.1) + dst.halo();
             let out = &mut dst.padded_row_mut(lr)[bd..bd + w];
             fused_row(kind, src, lr, b, frow, out, rs_h2, inv);
         }
@@ -403,10 +590,7 @@ fn sor_row_fused(
     let mut worst = 0.0f64;
     let mut relax = |j: usize, acc: f64, fi: usize, mid: &mut [f64]| {
         let jacobi = (acc + rs_h2 * frow[fi]) * inv;
-        let old = mid[j];
-        let new = old + omega * (jacobi - old);
-        worst = worst.max((new - old).abs());
-        mid[j] = new;
+        mid[j] = relax_update(mid[j], jacobi, omega, &mut worst);
     };
     match kind {
         KernelKind::FivePoint => {
@@ -630,6 +814,52 @@ mod tests {
             jacobi_sweep_region_generic(&s, &local_src, &mut generic, &f, 0.01, &region, offset);
             assert_eq!(fused.max_abs_diff(&generic), 0.0, "{}", s.name());
         }
+    }
+
+    #[test]
+    fn blend_fusion_matches_the_three_pass_reference() {
+        use parspeed_stencil::Tap;
+        let mut stencils = Stencil::catalog().to_vec();
+        // A non-catalogue stencil exercises the generic fallback path.
+        stencils.push(Stencil::new("pair", vec![Tap::unit(0, -1), Tap::unit(0, 1)], 1.0, 2.0));
+        for s in &stencils {
+            for omega in [1.0, 0.8] {
+                let n = 9;
+                let halo = s.reach();
+                let (src, f) = patterned(n, halo);
+                let mut fused = Grid2D::new(n, n, halo);
+                let d_fused = jacobi_sweep_blend(s, &src, &mut fused, &f, 0.004, omega, true);
+                // Reference: the historical three separate passes.
+                let mut reference = Grid2D::new(n, n, halo);
+                jacobi_sweep(s, &src, &mut reference, &f, 0.004);
+                if omega != 1.0 {
+                    for r in 0..n {
+                        let srow = src.interior_row(r).to_vec();
+                        for (nv, &uv) in reference.interior_row_mut(r).iter_mut().zip(&srow) {
+                            *nv = omega * *nv + (1.0 - omega) * uv;
+                        }
+                    }
+                }
+                assert_eq!(fused.max_abs_diff(&reference), 0.0, "{} ω={omega}", s.name());
+                assert_eq!(d_fused, src.max_abs_diff(&reference), "{} ω={omega}", s.name());
+                let mut par = Grid2D::new(n, n, halo);
+                let d_par = jacobi_sweep_blend_par(s, &src, &mut par, &f, 0.004, omega, true);
+                assert_eq!(par.max_abs_diff(&fused), 0.0, "{} ω={omega}", s.name());
+                assert_eq!(d_par, d_fused, "{} ω={omega}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn blend_without_diff_reports_zero_but_updates() {
+        let s = Stencil::five_point();
+        let (src, f) = patterned(6, 1);
+        let mut a = Grid2D::new(6, 6, 1);
+        let mut b = Grid2D::new(6, 6, 1);
+        let d = jacobi_sweep_blend(&s, &src, &mut a, &f, 0.004, 0.9, false);
+        assert_eq!(d, 0.0);
+        jacobi_sweep_blend(&s, &src, &mut b, &f, 0.004, 0.9, true);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! Checking convergence costs a local pass plus a global combine, so a
 //! production solver checks *periodically*, accepting a bounded overshoot.
 //! [`CheckPolicy`] generates the check schedule; `parspeed-core::
-//! convergence` prices it, and `PartitionedJacobi::solve` executes it.
+//! convergence` prices it, and both the sequential solvers here and
+//! `parspeed-exec`'s `PartitionedJacobi` execute it. The gap until the
+//! next check is also the budget the communication-avoiding loops spend:
+//! block-of-k temporal tiling and deep-halo sub-iteration blocks size `k`
+//! from the active policy's gap, so no iterate between checks is wasted.
 
 /// When to perform convergence checks.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +47,13 @@ impl CheckPolicy {
 
     /// Given the iteration of the previous check, the iteration of the
     /// next one (strictly increasing).
+    ///
+    /// For [`CheckPolicy::Geometric`] the growth rule is
+    /// `next = last + clamp(⌈last·(factor − 1)⌉, 1, max_interval)` (with
+    /// `last` floored at `start`): while the cap is not binding this is
+    /// `next ≈ last·factor`, i.e. check *iterations* grow geometrically,
+    /// and once `last·(factor − 1)` exceeds `max_interval` the schedule
+    /// becomes arithmetic with gap `max_interval`.
     pub fn next_check(&self, last: usize) -> usize {
         match self {
             CheckPolicy::Every(d) => last + d.max(&1),
@@ -88,7 +99,9 @@ mod tests {
     fn geometric_grows_then_caps() {
         let p = CheckPolicy::Geometric { start: 10, factor: 2.0, max_interval: 50 };
         let s = p.schedule(400);
-        // Intervals: 10, 20, 40, 50, 50, ...
+        // Checks at 10, 20, 40, 80, 130, 180, …: iterations double
+        // (factor 2) until the gap hits the 50-iteration cap at 80, after
+        // which the schedule is arithmetic — gaps 10, 20, 40, 50, 50, ….
         assert_eq!(&s[..5], &[10, 20, 40, 80, 130]);
         for w in s.windows(2) {
             assert!(w[1] > w[0]);

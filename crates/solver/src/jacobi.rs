@@ -1,26 +1,48 @@
 //! Point Jacobi and weighted Jacobi — the algorithm the paper models.
 
-use crate::apply::{jacobi_sweep, jacobi_sweep_par};
-use crate::{PoissonProblem, SolveStatus};
-use parspeed_grid::Grid2D;
+use crate::apply::{jacobi_sweep_blend, jacobi_sweep_blend_par, jacobi_sweep_blend_region};
+use crate::{CheckPolicy, PoissonProblem, SolveStatus};
+use parspeed_grid::{BandSchedule, Grid2D, Region};
 use parspeed_stencil::Stencil;
 
-/// Point-Jacobi solver with periodic convergence checking.
+/// Deepest block of iterations run between convergence checks as one
+/// temporally tiled unit. Deeper blocks amortize more traversal overhead
+/// but widen the trapezoid's trailing skew (`block · reach` rows), with
+/// quickly diminishing returns once the sweep is compute-bound.
+const MAX_TEMPORAL_BLOCK: usize = 8;
+
+/// Cache budget (bytes) the temporal tiling aims to keep resident: the
+/// advancing band of both buffers plus the trailing skew. Sized for a
+/// typical per-core L2.
+const TEMPORAL_CACHE_BUDGET: usize = 1 << 20;
+
+/// Point-Jacobi solver with scheduled convergence checking.
 ///
-/// Sweeps dispatch through [`crate::apply::jacobi_sweep`]: the catalogue
-/// stencils run fused row-slice kernels, everything else the generic
-/// tap-driven loop, with bit-identical results either way. Setting
-/// [`parallel`](JacobiSolver::parallel) runs each sweep row-parallel under
-/// rayon (the same switch [`crate::RedBlackSolver`] exposes); Jacobi reads
-/// only the previous iterate, so this cannot change results either.
+/// Every iteration runs as **one** fused pass through
+/// [`crate::apply::jacobi_sweep_blend`]: the sweep, the ω-blend, and the
+/// max-norm update reduction that used to be three separate full-grid
+/// passes. Between scheduled checks the sequential path additionally
+/// temporal-tiles: blocks of up to `MAX_TEMPORAL_BLOCK` iterations
+/// (never past the next check, so no iterate is wasted) advance a
+/// cache-resident row band through all block levels via
+/// [`parspeed_grid::BandSchedule`]. Jacobi is out-of-place, so neither
+/// fusion nor the band traversal changes the order any point *evaluates*
+/// in — iterates are bit-identical to the plain one-sweep-at-a-time loop,
+/// which the property tests assert.
+///
+/// Setting [`parallel`](JacobiSolver::parallel) runs each sweep
+/// row-parallel under rayon (the same switch [`crate::RedBlackSolver`]
+/// exposes); Jacobi reads only the previous iterate, so this cannot change
+/// results either.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JacobiSolver {
     /// Convergence tolerance on the max-norm update difference.
     pub tol: f64,
     /// Iteration cap.
     pub max_iters: usize,
-    /// Check convergence every this many iterations (§4's scheduling knob).
-    pub check_period: usize,
+    /// When to check convergence (§4's scheduling knob). The gap until
+    /// the next check is also the temporal-tiling budget.
+    pub check: CheckPolicy,
     /// Damping factor: `1.0` is plain Jacobi; `(0,1)` under-relaxes.
     pub omega: f64,
     /// Run each sweep row-parallel with rayon.
@@ -29,7 +51,13 @@ pub struct JacobiSolver {
 
 impl Default for JacobiSolver {
     fn default() -> Self {
-        Self { tol: 1e-8, max_iters: 200_000, check_period: 1, omega: 1.0, parallel: false }
+        Self {
+            tol: 1e-8,
+            max_iters: 200_000,
+            check: CheckPolicy::Every(1),
+            omega: 1.0,
+            parallel: false,
+        }
     }
 }
 
@@ -48,7 +76,6 @@ impl JacobiSolver {
     /// Solves `problem` with `stencil`; returns the solution grid (halo =
     /// stencil reach) and the solve status.
     pub fn solve(&self, problem: &PoissonProblem, stencil: &Stencil) -> (Grid2D, SolveStatus) {
-        assert!(self.check_period >= 1);
         assert!(self.omega > 0.0 && self.omega <= 1.0, "need 0 < ω ≤ 1");
         let halo = stencil.reach();
         let h2 = problem.h() * problem.h();
@@ -58,33 +85,84 @@ impl JacobiSolver {
 
         let mut iterations = 0;
         let mut diff = f64::INFINITY;
+        let mut next_check = self.check.first_check();
         while iterations < self.max_iters {
-            if self.parallel {
-                jacobi_sweep_par(stencil, &u, &mut next, f, h2);
-            } else {
-                jacobi_sweep(stencil, &u, &mut next, f, h2);
-            }
-            if self.omega != 1.0 {
-                // Row-slice blend (same per-point arithmetic, no idx()
-                // recomputation per cell).
-                for r in 0..u.rows() {
-                    let urow = u.interior_row(r);
-                    for (nv, &uv) in next.interior_row_mut(r).iter_mut().zip(urow) {
-                        *nv = self.omega * *nv + (1.0 - self.omega) * uv;
-                    }
+            // Run to the next scheduled check (or the cap, whichever is
+            // first) in blocks; only the block ending on a check pays for
+            // the reduction.
+            let target = next_check.min(self.max_iters).max(iterations + 1);
+            let block = (target - iterations).min(MAX_TEMPORAL_BLOCK);
+            let at_check = iterations + block == target;
+            let d = self.advance(stencil, &mut u, &mut next, f, h2, block, at_check);
+            iterations += block;
+            if at_check {
+                diff = d;
+                if diff < self.tol {
+                    return (u, SolveStatus { converged: true, iterations, final_diff: diff });
                 }
-            }
-            iterations += 1;
-            let check_now = iterations % self.check_period == 0 || iterations == self.max_iters;
-            if check_now {
-                diff = u.max_abs_diff(&next);
-            }
-            u.swap(&mut next);
-            if check_now && diff < self.tol {
-                return (u, SolveStatus { converged: true, iterations, final_diff: diff });
+                while next_check <= iterations {
+                    next_check = self.check.next_check(next_check);
+                }
             }
         }
         (u, SolveStatus { converged: false, iterations, final_diff: diff })
+    }
+
+    /// Advances `block ≥ 1` iterations, leaving the newest iterate in `u`.
+    /// Returns the max-norm update difference of the *last* iteration when
+    /// `compute_diff` is set (`0.0` otherwise).
+    #[allow(clippy::too_many_arguments)]
+    fn advance(
+        &self,
+        stencil: &Stencil,
+        u: &mut Grid2D,
+        next: &mut Grid2D,
+        f: &Grid2D,
+        h2: f64,
+        block: usize,
+        compute_diff: bool,
+    ) -> f64 {
+        if self.parallel || block == 1 {
+            // Full fused sweeps, one iteration at a time (the rayon path
+            // already streams rows across cores; skewing it would serialize
+            // the band).
+            let mut d = 0.0;
+            for j in 1..=block {
+                let cd = compute_diff && j == block;
+                d = if self.parallel {
+                    jacobi_sweep_blend_par(stencil, u, next, f, h2, self.omega, cd)
+                } else {
+                    jacobi_sweep_blend(stencil, u, next, f, h2, self.omega, cd)
+                };
+                u.swap(next);
+            }
+            return d;
+        }
+        // Temporal tiling: drive the trapezoidal band schedule; level
+        // parity picks the buffer (level 0 = `u`), so each step is an
+        // ordinary out-of-place region sweep.
+        let (rows, cols) = (u.rows(), u.cols());
+        let reach = stencil.reach();
+        let band =
+            BandSchedule::band_rows_for_budget(u.stride() * 8, block, reach, TEMPORAL_CACHE_BUDGET)
+                .clamp(1, rows.max(1));
+        let mut d = 0.0f64;
+        for step in BandSchedule::new(rows, block, reach, band).steps() {
+            let cd = compute_diff && step.level == block;
+            let region = Region::new(step.rows.start, step.rows.end, 0, cols);
+            let worst = if step.level % 2 == 1 {
+                jacobi_sweep_blend_region(stencil, u, next, f, h2, &region, (0, 0), self.omega, cd)
+            } else {
+                jacobi_sweep_blend_region(stencil, next, u, f, h2, &region, (0, 0), self.omega, cd)
+            };
+            if cd {
+                d = d.max(worst);
+            }
+        }
+        if block % 2 == 1 {
+            u.swap(next);
+        }
+        d
     }
 }
 
@@ -181,14 +259,81 @@ mod tests {
     fn check_period_changes_iteration_count_only_slightly() {
         let n = 12;
         let p = PoissonProblem::manufactured(n, Manufactured::Bubble);
-        let base = JacobiSolver { check_period: 1, tol: 1e-9, ..Default::default() };
-        let lazy = JacobiSolver { check_period: 25, tol: 1e-9, ..Default::default() };
+        let base = JacobiSolver { check: CheckPolicy::Every(1), tol: 1e-9, ..Default::default() };
+        let lazy = JacobiSolver { check: CheckPolicy::Every(25), tol: 1e-9, ..Default::default() };
         let (_, s1) = base.solve(&p, &Stencil::five_point());
         let (_, s25) = lazy.solve(&p, &Stencil::five_point());
         assert!(s1.converged && s25.converged);
         assert!(s25.iterations >= s1.iterations);
         assert!(s25.iterations <= s1.iterations + 25, "{} vs {}", s25.iterations, s1.iterations);
         assert_eq!(s25.iterations % 25, 0);
+    }
+
+    #[test]
+    fn geometric_policy_converges_with_bounded_overshoot() {
+        let n = 16;
+        let p = PoissonProblem::manufactured(n, Manufactured::SinSin);
+        let eager = JacobiSolver { tol: 1e-9, ..Default::default() };
+        let lazy =
+            JacobiSolver { check: CheckPolicy::geometric(), tol: 1e-9, ..Default::default() };
+        let (_, se) = eager.solve(&p, &Stencil::five_point());
+        let (_, sl) = lazy.solve(&p, &Stencil::five_point());
+        assert!(se.converged && sl.converged);
+        assert!(sl.iterations >= se.iterations);
+        // Geometric gaps are capped at 256: bounded overshoot.
+        assert!(sl.iterations <= se.iterations + 256, "{} vs {}", sl.iterations, se.iterations);
+        // The lazy schedule must land on schedule points.
+        assert!(CheckPolicy::geometric().schedule(sl.iterations).contains(&sl.iterations));
+    }
+
+    /// The plain historical loop: one whole-grid sweep, a separate blend
+    /// pass, swap — the k=1 reference the block-of-k loop must match
+    /// bitwise.
+    fn reference_iterates(p: &PoissonProblem, s: &Stencil, omega: f64, iters: usize) -> Grid2D {
+        use crate::apply::jacobi_sweep;
+        let halo = s.reach();
+        let h2 = p.h() * p.h();
+        let mut u = p.initial_grid(halo);
+        let mut next = p.initial_grid(halo);
+        let f = p.forcing();
+        for _ in 0..iters {
+            jacobi_sweep(s, &u, &mut next, f, h2);
+            if omega != 1.0 {
+                for r in 0..u.rows() {
+                    let urow = u.interior_row(r).to_vec();
+                    for (nv, &uv) in next.interior_row_mut(r).iter_mut().zip(&urow) {
+                        *nv = omega * *nv + (1.0 - omega) * uv;
+                    }
+                }
+            }
+            u.swap(&mut next);
+        }
+        u
+    }
+
+    #[test]
+    fn block_of_k_iterates_match_the_plain_loop_bitwise() {
+        // tol = 0 never converges, so exactly `max_iters` iterations run —
+        // lazy policies trigger temporal-tiled blocks of every size up to
+        // the cap, including a truncated final block.
+        let p = PoissonProblem::manufactured(14, Manufactured::SinSin);
+        for s in [Stencil::five_point(), Stencil::thirteen_point_star()] {
+            for check in [CheckPolicy::Every(1), CheckPolicy::Every(7), CheckPolicy::geometric()] {
+                for omega in [1.0, 0.8] {
+                    let solver = JacobiSolver {
+                        tol: 0.0,
+                        max_iters: 23,
+                        check,
+                        omega,
+                        ..Default::default()
+                    };
+                    let (u, status) = solver.solve(&p, &s);
+                    assert_eq!(status.iterations, 23);
+                    let reference = reference_iterates(&p, &s, omega, 23);
+                    assert_eq!(u.max_abs_diff(&reference), 0.0, "{} {check:?} ω={omega}", s.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,8 +11,12 @@
 //!   [`parspeed_stencil::Stencil::kernel_kind`], bit-identical to the
 //!   generic tap-driven fallback), sequential and rayon row-parallel full
 //!   sweeps, in-place SOR sweeps, and discrete residuals;
-//! * [`JacobiSolver`] — point / weighted Jacobi with periodic convergence
-//!   checks (the algorithm the paper models);
+//! * [`JacobiSolver`] — point / weighted Jacobi (the algorithm the paper
+//!   models), with [`CheckPolicy`]-scheduled convergence checks, the
+//!   ω-blend and max-norm update diff fused into the sweep, and block-of-k
+//!   temporal tiling between checks;
+//! * [`CheckPolicy`] — fixed convergence-check schedules (§4, after Saltz,
+//!   Naik & Nicol \[13\]), shared with `parspeed-exec`;
 //! * [`SorSolver`] — Gauss-Seidel and SOR with the optimal relaxation
 //!   factor;
 //! * [`RedBlackSolver`] — red-black Gauss-Seidel/SOR, the parallelizable
@@ -29,6 +33,7 @@
 
 pub mod apply;
 mod cg;
+mod convergence;
 mod jacobi;
 mod manufactured;
 mod multigrid;
@@ -38,6 +43,7 @@ mod redblack;
 mod sor;
 
 pub use cg::{CgSolver, CgStats};
+pub use convergence::CheckPolicy;
 pub use jacobi::JacobiSolver;
 pub use manufactured::Manufactured;
 pub use multigrid::{valid_side as multigrid_valid_side, MultigridSolver};

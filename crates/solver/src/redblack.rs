@@ -13,6 +13,7 @@
 //! colour-χ cells, this is bit-identical to the in-place sequential
 //! red-black sweep.
 
+use crate::apply::relax_update;
 use crate::{PoissonProblem, SolveStatus};
 use parspeed_grid::Grid2D;
 use rayon::prelude::*;
@@ -80,10 +81,10 @@ impl RedBlackSolver {
             while c < n {
                 let j = c + halo;
                 let acc = up[j] + down[j] + mid[j - 1] + mid[j + 1] + h2 * frow[c];
-                let old = mid[j];
-                let new = old + omega * (acc * 0.25 - old);
-                worst = worst.max((new - old).abs());
-                row_out[j] = new;
+                // Same fused relax-and-reduce core as the lexicographic
+                // sweeps: the convergence diff folds into the half-sweep,
+                // never a separate `max_abs_diff` pass.
+                row_out[j] = relax_update(mid[j], acc * 0.25, omega, &mut worst);
                 c += 2;
             }
             worst

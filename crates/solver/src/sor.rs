@@ -1,16 +1,18 @@
 //! Gauss-Seidel and successive over-relaxation (lexicographic ordering).
 
 use crate::apply::sor_sweep;
-use crate::{PoissonProblem, SolveStatus};
+use crate::{CheckPolicy, PoissonProblem, SolveStatus};
 use parspeed_grid::Grid2D;
 use parspeed_stencil::Stencil;
 
-/// SOR solver (`omega = 1` is Gauss-Seidel) with periodic convergence
+/// SOR solver (`omega = 1` is Gauss-Seidel) with scheduled convergence
 /// checks. Sequential by construction — the lexicographic ordering the
 /// paper contrasts with the parallelizable Jacobi and red-black sweeps.
 /// Each sweep runs through [`sor_sweep`], which dispatches the catalogue
 /// stencils to fused row-slice kernels (bit-identical to the tap-driven
-/// loop).
+/// loop) and folds the max-norm update difference into the relaxation
+/// itself — there is no separate diff pass to schedule away; the
+/// [`CheckPolicy`] governs only how often the fold is *consulted*.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SorSolver {
     /// Convergence tolerance on the max-norm update difference.
@@ -19,21 +21,21 @@ pub struct SorSolver {
     pub max_iters: usize,
     /// Relaxation factor in `(0, 2)`.
     pub omega: f64,
-    /// Check convergence every this many sweeps.
-    pub check_period: usize,
+    /// When to check convergence.
+    pub check: CheckPolicy,
 }
 
 impl SorSolver {
     /// Gauss-Seidel (`ω = 1`).
     pub fn gauss_seidel(tol: f64) -> Self {
-        Self { tol, max_iters: 200_000, omega: 1.0, check_period: 1 }
+        Self { tol, max_iters: 200_000, omega: 1.0, check: CheckPolicy::Every(1) }
     }
 
     /// SOR with the asymptotically optimal factor for the 5-point Laplacian
     /// on an `n×n` grid: `ω* = 2 / (1 + sin(π·h))`, `h = 1/(n+1)`.
     pub fn optimal(n: usize, tol: f64) -> Self {
         let h = std::f64::consts::PI / (n as f64 + 1.0);
-        Self { tol, max_iters: 200_000, omega: 2.0 / (1.0 + h.sin()), check_period: 1 }
+        Self { tol, max_iters: 200_000, omega: 2.0 / (1.0 + h.sin()), check: CheckPolicy::Every(1) }
     }
 
     /// Solves `problem` with `stencil` by in-place relaxation sweeps.
@@ -46,13 +48,17 @@ impl SorSolver {
 
         let mut iterations = 0;
         let mut diff = f64::INFINITY;
+        let mut next_check = self.check.first_check();
         while iterations < self.max_iters {
             let sweep_diff = sor_sweep(stencil, &mut u, f, h2, self.omega);
             iterations += 1;
-            if iterations % self.check_period == 0 {
+            if iterations >= next_check.min(self.max_iters) {
                 diff = sweep_diff;
                 if diff < self.tol {
                     return (u, SolveStatus { converged: true, iterations, final_diff: diff });
+                }
+                while next_check <= iterations {
+                    next_check = self.check.next_check(next_check);
                 }
             }
         }
