@@ -12,6 +12,7 @@ pub mod experiment;
 pub mod isoeff;
 pub mod minsize;
 pub mod optimize;
+pub mod serve;
 pub mod simulate;
 pub mod solve;
 pub mod sweep;
@@ -27,6 +28,7 @@ USAGE: parspeed <command> [flags]
 COMMANDS:
   optimize    optimal processor count and speedup for one instance
   batch       evaluate a JSONL request batch through the query engine
+  serve       serve JSONL batches over TCP with cross-client micro-batching
   compare     every architecture side by side
   sweep       optimal speedup as the problem grows
   isoeff      isoefficiency: problem growth needed to hold efficiency
@@ -83,6 +85,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
             Ok(match topic {
                 "optimize" => optimize::USAGE.into(),
                 "batch" => batch::USAGE.into(),
+                "serve" => serve::USAGE.into(),
                 "compare" => compare::USAGE.into(),
                 "sweep" => sweep::USAGE.into(),
                 "isoeff" => isoeff::USAGE.into(),
@@ -118,6 +121,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "batch" => {
             let args = Args::parse(rest, batch::KEYS, batch::SWITCHES)?;
             batch::run(&args)
+        }
+        "serve" => {
+            let args = Args::parse(rest, serve::KEYS, serve::SWITCHES)?;
+            serve::run(&args)
         }
         "compare" => {
             let args = Args::parse(rest, compare::KEYS, compare::SWITCHES)?;

@@ -1,0 +1,97 @@
+//! `parspeed serve` — the concurrent serving frontend: many TCP clients,
+//! wire-v2 JSONL framing, cross-client micro-batching into the engine.
+
+use crate::args::{err, Args, CliError};
+use parspeed_engine::Engine;
+use parspeed_server::{Server, ServerConfig};
+use std::io::{BufRead as _, Write as _};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub const KEYS: &[&str] = &[
+    "addr",
+    "window-us",
+    "max-batch",
+    "workers",
+    "queue-depth",
+    "cache-capacity",
+    "shards",
+    "threads",
+];
+pub const SWITCHES: &[&str] = &["stats"];
+
+/// Usage shown by `parspeed help serve`.
+pub const USAGE: &str = "parspeed serve [--addr HOST:PORT] [--window-us N] [--max-batch N]
+               [--workers N] [--queue-depth N] [--cache-capacity N]
+               [--shards N] [--threads N] [--stats]
+
+Serves the wire-v2 JSONL request schema of `parspeed batch` over TCP to
+many simultaneous clients: one JSON request per line in, one JSON
+response per non-empty line out, in per-connection order. In-flight
+requests from all connections are coalesced by a micro-batching window
+into single engine batches, so dedup and the result cache amortize
+across clients. `{\"op\":\"stats\"}` answers a live telemetry snapshot.
+
+Prints `listening on HOST:PORT` (so `--addr 127.0.0.1:0` works), then
+serves until stdin reaches EOF (Ctrl-D), drains — every accepted request
+is answered before connections close — and exits. Requests refused by
+admission control (full submission queue, draining server) are answered
+in their own reply slot with \"error_kind\":\"overloaded\", never by
+disconnecting the client.
+
+  --addr HOST:PORT     listen address (default 127.0.0.1:0)
+  --window-us N        micro-batch window in microseconds: how long the
+                       first request of a quiet period waits for company
+                       (default 200; 0 = dispatch immediately)
+  --max-batch N        requests per engine batch; reaching it fires the
+                       batch before the window closes (default 512)
+  --workers N          batcher worker threads (default 2)
+  --queue-depth N      submission-queue bound; beyond it requests answer
+                       the overloaded error (default 4096)
+  --cache-capacity N   engine result cache size (default 65536)
+  --shards N           cache shards (default 16)
+  --threads N          engine executor threads; 0 = machine default
+  --stats              print the final telemetry snapshot after draining";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let config = ServerConfig {
+        window: Duration::from_micros(args.usize_or("window-us", 200)? as u64),
+        max_batch: args.usize_or("max-batch", 512)?,
+        workers: args.usize_or("workers", 2)?,
+        queue_depth: args.usize_or("queue-depth", 4096)?,
+    };
+    for (flag, value) in [
+        ("max-batch", config.max_batch),
+        ("workers", config.workers),
+        ("queue-depth", config.queue_depth),
+    ] {
+        if value == 0 {
+            return Err(err(format!("flag `--{flag}` must be at least 1")));
+        }
+    }
+    let engine = Engine::builder()
+        .cache_capacity(args.usize_or("cache-capacity", parspeed_engine::DEFAULT_CACHE_CAPACITY)?)
+        .cache_shards(args.usize_or("shards", 16)?)
+        .threads(args.usize_or("threads", 0)?)
+        .experiment_runner(crate::commands::experiment::runner)
+        .build();
+    let mut server = Server::start(Arc::new(engine), config);
+    let addr = args.str_or("addr", "127.0.0.1:0");
+    let local = server.listen(addr).map_err(|e| err(format!("cannot bind `{addr}`: {e}")))?;
+
+    // Announce the bound address immediately (stdout may be a pipe).
+    println!("listening on {local}");
+    println!("serving; close stdin (Ctrl-D) to drain and exit");
+    std::io::stdout().flush().map_err(|e| err(format!("cannot flush stdout: {e}")))?;
+
+    // Serve until the operator closes stdin; everything interesting
+    // happens on the server's own threads.
+    for line in std::io::stdin().lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+    let stats = server.shutdown();
+    Ok(if args.switch("stats") { format!("drained; {stats}") } else { "drained".to_string() })
+}

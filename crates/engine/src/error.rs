@@ -5,7 +5,7 @@
 //! and JSONL reader returned bare `String`s, and the CLI wrapped whatever
 //! it caught in its own error type. [`ParspeedError`] replaces all of
 //! those at the service boundary: every error a [`Request`](crate::Request)
-//! can produce is one of five kinds, each kind has a stable wire name
+//! can produce is one of six kinds, each kind has a stable wire name
 //! ([`ParspeedError::kind`]), and the human-readable message is preserved
 //! verbatim so rerouting a caller through the service never changes what
 //! they see.
@@ -33,6 +33,13 @@ pub enum ParspeedError {
     /// The request is understood but this engine cannot serve it (wire
     /// version from the future, no experiment runner registered).
     Unsupported(String),
+    /// A concurrent frontend refused admission: its bounded submission
+    /// queue was full (or it was draining for shutdown) when the request
+    /// arrived. The request was *not* evaluated; retrying later is safe.
+    /// Never produced by [`Engine`](crate::Engine) itself — this is the
+    /// serving layer's documented overload answer, delivered in the
+    /// request's own reply slot rather than by disconnecting the client.
+    Overloaded(String),
     /// An invariant broke inside the engine. Should never happen; kept in
     /// the taxonomy so nothing maps to a panic.
     Internal(String),
@@ -59,6 +66,11 @@ impl ParspeedError {
         ParspeedError::Unsupported(msg.into())
     }
 
+    /// Admission-control rejection by a concurrent frontend.
+    pub fn overloaded(msg: impl Into<String>) -> Self {
+        ParspeedError::Overloaded(msg.into())
+    }
+
     /// The stable wire name of this error's kind (the JSONL `error_kind`
     /// field of wire v2).
     pub fn kind(&self) -> &'static str {
@@ -67,6 +79,7 @@ impl ParspeedError {
             ParspeedError::InvalidRequest(_) => "invalid_request",
             ParspeedError::Infeasible(_) => "infeasible",
             ParspeedError::Unsupported(_) => "unsupported",
+            ParspeedError::Overloaded(_) => "overloaded",
             ParspeedError::Internal(_) => "internal",
         }
     }
@@ -78,6 +91,7 @@ impl ParspeedError {
             | ParspeedError::InvalidRequest(m)
             | ParspeedError::Infeasible(m)
             | ParspeedError::Unsupported(m)
+            | ParspeedError::Overloaded(m)
             | ParspeedError::Internal(m) => m,
         }
     }
@@ -125,6 +139,7 @@ mod tests {
             ParspeedError::invalid("x"),
             ParspeedError::infeasible("x"),
             ParspeedError::unsupported("x"),
+            ParspeedError::overloaded("x"),
             ParspeedError::Internal("x".into()),
         ]
         .iter()
@@ -132,7 +147,7 @@ mod tests {
         .collect();
         assert_eq!(
             kinds,
-            vec!["parse", "invalid_request", "infeasible", "unsupported", "internal"]
+            vec!["parse", "invalid_request", "infeasible", "unsupported", "overloaded", "internal"]
         );
     }
 }

@@ -450,8 +450,17 @@ pub struct LineError {
 pub fn parse_query(line: &str) -> Result<ParsedLine, LineError> {
     let fail = |version, msg| LineError { version, error: ParspeedError::parse(msg) };
     let obj = parse(line).map_err(|e| fail(1, e))?;
-    let version = version_of(&obj).map_err(|e| fail(1, e))?;
-    let query = query_of(&obj).map_err(|e| fail(version, e))?;
+    parse_query_value(&obj)
+}
+
+/// [`parse_query`] for an already-tokenized request object — for readers
+/// that must inspect the raw JSON first (the streaming server peeks at
+/// the op to intercept serving-only requests) without paying a second
+/// tokenization pass.
+pub fn parse_query_value(obj: &Json) -> Result<ParsedLine, LineError> {
+    let fail = |version, msg| LineError { version, error: ParspeedError::parse(msg) };
+    let version = version_of(obj).map_err(|e| fail(1, e))?;
+    let query = query_of(obj).map_err(|e| fail(version, e))?;
     Ok(ParsedLine { query, version })
 }
 

@@ -74,7 +74,10 @@ pub use request::{
     MinSizeVariant, Query, ShapeKey, SimArchKind, SolverKind, StencilKey, StencilSpec,
     WorkloadSpec,
 };
-pub use service::{Request, Service, ServiceReply, MIN_WIRE_VERSION, WIRE_VERSION};
+pub use service::{
+    Request, Service, ServiceReply, SlotAddr, TaggedReply, TaggedRequest, MIN_WIRE_VERSION,
+    WIRE_VERSION,
+};
 pub use telemetry::{BatchTelemetry, EngineReport};
 
 use cache::ShardedLru;

@@ -616,6 +616,50 @@ pub struct ServiceReply {
     pub telemetry: BatchTelemetry,
 }
 
+/// The slot address of one query inside a multi-client batch: which
+/// client submitted it and where it sits in that client's submission
+/// order. Concurrent frontends (the `parspeed-server` micro-batcher) tag
+/// every query with one of these before coalescing traffic from many
+/// connections into a single engine batch, so each reply can be routed
+/// back to exactly the slot that asked for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotAddr {
+    /// The submitting client/connection, by frontend-assigned id.
+    pub client: u64,
+    /// The query's 0-based sequence number within that client's stream.
+    pub seq: u64,
+}
+
+/// A batch of pre-tagged queries from (potentially) many clients — the
+/// input shape of [`Service::call_tagged`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedRequest {
+    /// Envelope schema version (see [`WIRE_VERSION`]).
+    pub version: u32,
+    /// The tagged queries, answered in order.
+    pub queries: Vec<(SlotAddr, Query)>,
+}
+
+impl TaggedRequest {
+    /// A current-version tagged batch.
+    pub fn new(queries: Vec<(SlotAddr, Query)>) -> Self {
+        TaggedRequest { version: WIRE_VERSION, queries }
+    }
+}
+
+/// A service's answer to a [`TaggedRequest`]: slot-addressed replies in
+/// request order plus the batch telemetry.
+#[derive(Debug, Clone)]
+pub struct TaggedReply {
+    /// One `(slot, response)` pair per tagged query, in request order —
+    /// each response carries the exact tag its query arrived with.
+    pub replies: Vec<(SlotAddr, Response)>,
+    /// Present when the request used a deprecated (but accepted) version.
+    pub deprecation: Option<String>,
+    /// What the pipeline did for the whole coalesced batch.
+    pub telemetry: BatchTelemetry,
+}
+
 /// Anything that can answer a [`Request`]. [`Engine`] is the canonical
 /// implementation; wrap it to add authentication, rate limiting, remoting —
 /// the envelope stays the same.
@@ -625,6 +669,22 @@ pub trait Service {
     /// come back as [`Response::Invalid`] or error outcomes in their own
     /// slots.
     fn call(&self, request: &Request) -> Result<ServiceReply, ParspeedError>;
+
+    /// Answers a pre-tagged multi-client batch with slot-addressed
+    /// replies. This is the entry point concurrent frontends funnel
+    /// coalesced cross-client traffic through: the queries run as *one*
+    /// batch (so dedup and the result cache amortize across clients), and
+    /// every response comes back paired with the [`SlotAddr`] its query
+    /// arrived with, in request order. The default implementation
+    /// delegates to [`Service::call`], so every service gets slot
+    /// addressing for free.
+    fn call_tagged(&self, request: &TaggedRequest) -> Result<TaggedReply, ParspeedError> {
+        let queries: Vec<Query> = request.queries.iter().map(|(_, q)| q.clone()).collect();
+        let reply = self.call(&Request { version: request.version, queries })?;
+        debug_assert_eq!(reply.responses.len(), request.queries.len());
+        let replies = request.queries.iter().map(|(slot, _)| *slot).zip(reply.responses).collect();
+        Ok(TaggedReply { replies, deprecation: reply.deprecation, telemetry: reply.telemetry })
+    }
 }
 
 impl Service for Engine {
@@ -711,6 +771,40 @@ mod tests {
         let err = engine.call(&req).unwrap_err();
         assert_eq!(err.kind(), "unsupported");
         assert!(err.to_string().contains("version 3"));
+    }
+
+    #[test]
+    fn tagged_batches_return_slot_addressed_replies() {
+        let engine = Engine::builder().build();
+        // Interleaved clients with non-monotonic tags: each reply must
+        // carry its own tag and answer its own query, in request order.
+        let tagged: Vec<(SlotAddr, Query)> = vec![
+            (SlotAddr { client: 2, seq: 0 }, Request::optimize(ArchKind::SyncBus, 256).query()),
+            (SlotAddr { client: 0, seq: 7 }, Request::table1(512).query()),
+            (SlotAddr { client: 2, seq: 1 }, Request::optimize(ArchKind::SyncBus, 256).query()),
+            (SlotAddr { client: 1, seq: 3 }, Request::compare(128).query()),
+        ];
+        let reply = engine.call_tagged(&TaggedRequest::new(tagged.clone())).unwrap();
+        assert_eq!(reply.replies.len(), 4);
+        for ((slot, _), (got_slot, _)) in tagged.iter().zip(&reply.replies) {
+            assert_eq!(slot, got_slot);
+        }
+        // The two duplicated optimize slots coalesced onto one evaluation
+        // and answer identically.
+        assert_eq!(reply.replies[0].1, reply.replies[2].1);
+        assert_eq!(reply.telemetry.unique, reply.telemetry.atoms - 1);
+        assert!(reply.deprecation.is_none());
+    }
+
+    #[test]
+    fn tagged_batches_respect_the_version_gate() {
+        let engine = Engine::builder().build();
+        let mut req = TaggedRequest::new(vec![(
+            SlotAddr { client: 0, seq: 0 },
+            Request::table1(256).query(),
+        )]);
+        req.version = 3;
+        assert_eq!(engine.call_tagged(&req).unwrap_err().kind(), "unsupported");
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! The cross-client micro-batcher: a bounded submission queue with a
+//! time/size window, drained by worker threads into single
+//! [`Service::call_tagged`] batches.
+//!
+//! The window trades latency for problem size, exactly the paper's
+//! optimal-speedup tradeoff applied to the serving layer: the first
+//! request to arrive at an empty queue opens a window of
+//! [`ServerConfig::window`]; until it closes, further requests from *any*
+//! connection join the same pending set; the batch fires when the window
+//! expires, when [`ServerConfig::max_batch`] requests are pending, or
+//! immediately once the server is draining. One engine batch then pays
+//! the planning/dedup/cache coordination cost once for everyone.
+//!
+//! Admission control is a hard bound on the pending set
+//! ([`ServerConfig::queue_depth`]): a request arriving at a full queue is
+//! answered in its own reply slot with an
+//! [`overloaded`](parspeed_engine::ParspeedError::Overloaded) error — the
+//! connection is never stalled or dropped, and nothing is ever admitted
+//! that cannot be replied to. Draining behaves the same way: accepted
+//! requests are all flushed, late ones get the overload answer.
+
+use crate::conn::{ConnShared, Delivery};
+use crate::stats::Counters;
+use crate::ServerConfig;
+use parspeed_engine::{jsonl, ParspeedError, Query, Response, Service, SlotAddr, TaggedRequest};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One admitted (or about-to-be-refused) request on its way to the
+/// engine: the query plus everything needed to route and render its
+/// reply.
+pub(crate) struct Job {
+    /// The submitting connection.
+    pub conn: Arc<ConnShared>,
+    /// Connection-local sequence number (reply slot address).
+    pub seq: u64,
+    /// The parsed query.
+    pub query: Query,
+    /// The wire version the request line spoke (rendering shape).
+    pub version: u32,
+    /// 1-based input line number on the connection (error slots).
+    pub line_no: usize,
+    /// Render the reply to a JSONL line (TCP) instead of keeping it
+    /// typed (in-process clients).
+    pub render: bool,
+}
+
+#[derive(Default)]
+struct SubmissionQueue {
+    jobs: VecDeque<Job>,
+    /// When the currently open window closes; `Some` iff jobs is
+    /// non-empty.
+    deadline: Option<Instant>,
+    draining: bool,
+}
+
+/// Everything the workers, submitters, and frontends share.
+pub(crate) struct Shared {
+    pub service: Arc<dyn Service + Send + Sync>,
+    pub cfg: ServerConfig,
+    pub counters: Counters,
+    queue: Mutex<SubmissionQueue>,
+    cv: Condvar,
+}
+
+impl Shared {
+    pub fn new(service: Arc<dyn Service + Send + Sync>, cfg: ServerConfig) -> Self {
+        Shared {
+            service,
+            cfg,
+            counters: Counters::default(),
+            queue: Mutex::new(SubmissionQueue::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Admission control: queue the job, or answer its slot with an
+    /// `overloaded` error on a full queue / draining server. Never
+    /// blocks beyond the queue lock and never disconnects anyone.
+    pub fn submit(&self, job: Job) {
+        self.counters.add(&self.counters.submitted, 1);
+        let mut q = self.queue.lock().unwrap();
+        let refusal = if q.draining {
+            Some("server is draining for shutdown; request refused (not evaluated)".to_string())
+        } else if q.jobs.len() >= self.cfg.queue_depth {
+            Some(format!(
+                "server overloaded: submission queue is full ({} pending); \
+                 request refused (not evaluated), retry later",
+                q.jobs.len()
+            ))
+        } else {
+            None
+        };
+        match refusal {
+            None => {
+                if q.jobs.is_empty() {
+                    q.deadline = Some(Instant::now() + self.cfg.window);
+                }
+                q.jobs.push_back(job);
+                self.counters.raise(&self.counters.queue_high_watermark, q.jobs.len() as u64);
+                self.cv.notify_one();
+            }
+            Some(msg) => {
+                drop(q);
+                deliver_overload(&job, msg, &self.counters);
+            }
+        }
+    }
+
+    /// Current submission-queue depth (telemetry).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.lock().unwrap().jobs.len()
+    }
+
+    /// Whether the server is draining for shutdown.
+    pub fn is_draining(&self) -> bool {
+        self.queue.lock().unwrap().draining
+    }
+
+    /// Starts the drain: no further admissions; pending batches fire
+    /// immediately; workers exit once the queue is empty.
+    pub fn drain(&self) {
+        self.queue.lock().unwrap().draining = true;
+        self.cv.notify_all();
+    }
+
+    /// One worker thread: collect a window's batch, execute, route.
+    pub fn worker_loop(&self) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if q.jobs.is_empty() {
+                        if q.draining {
+                            return;
+                        }
+                        q = self.cv.wait(q).unwrap();
+                        continue;
+                    }
+                    let now = Instant::now();
+                    let deadline = q.deadline.expect("deadline set while jobs pending");
+                    if q.draining || q.jobs.len() >= self.cfg.max_batch || now >= deadline {
+                        let take = q.jobs.len().min(self.cfg.max_batch);
+                        let batch: Vec<Job> = q.jobs.drain(..take).collect();
+                        // Leftovers beyond max_batch already waited a full
+                        // window — let the next batch fire immediately.
+                        q.deadline = (!q.jobs.is_empty()).then_some(now);
+                        if !q.jobs.is_empty() {
+                            self.cv.notify_one();
+                        }
+                        break batch;
+                    }
+                    (q, _) = self.cv.wait_timeout(q, deadline - now).unwrap();
+                }
+            };
+            self.execute(batch);
+        }
+    }
+
+    /// Runs one coalesced batch through the service and routes every
+    /// reply to its slot.
+    fn execute(&self, jobs: Vec<Job>) {
+        let c = &self.counters;
+        c.add(&c.batches, 1);
+        c.add(&c.batched_requests, jobs.len() as u64);
+        c.raise(&c.max_batch_fill, jobs.len() as u64);
+        let clients: HashSet<u64> = jobs.iter().map(|j| j.conn.id).collect();
+
+        let tagged: Vec<(SlotAddr, Query)> = jobs
+            .iter()
+            .map(|j| (SlotAddr { client: j.conn.id, seq: j.seq }, j.query.clone()))
+            .collect();
+        match self.service.call_tagged(&TaggedRequest::new(tagged)) {
+            Ok(reply) => {
+                c.add(&c.atoms, reply.telemetry.atoms as u64);
+                c.add(&c.unique, reply.telemetry.unique as u64);
+                c.add(&c.cache_hits, reply.telemetry.cache_hits as u64);
+                if clients.len() > 1 {
+                    c.add(&c.cross_client_batches, 1);
+                    c.add(
+                        &c.cross_client_dedup_hits,
+                        (reply.telemetry.atoms - reply.telemetry.unique) as u64,
+                    );
+                }
+                debug_assert_eq!(reply.replies.len(), jobs.len());
+                for (job, (slot, response)) in jobs.iter().zip(reply.replies) {
+                    debug_assert_eq!(slot, SlotAddr { client: job.conn.id, seq: job.seq });
+                    deliver(job, response);
+                }
+                c.add(&c.completed, jobs.len() as u64);
+            }
+            Err(e) => {
+                // Envelope-level failure (cannot happen for the versions
+                // this server speaks, but every admitted job still gets
+                // a reply in its slot).
+                for job in &jobs {
+                    deliver(job, Response::Invalid(e.clone()));
+                }
+                c.add(&c.completed, jobs.len() as u64);
+            }
+        }
+    }
+}
+
+/// Routes one response to its job's slot, rendering for TCP connections.
+pub(crate) fn deliver(job: &Job, response: Response) {
+    let delivery = if job.render {
+        Delivery::Line(jsonl::render_response(&job.query, &response, job.version, job.line_no))
+    } else {
+        Delivery::Typed(response)
+    };
+    job.conn.route(job.seq, delivery);
+}
+
+/// Answers a refused job's slot with the documented `overloaded` error.
+pub(crate) fn deliver_overload(job: &Job, msg: String, counters: &Counters) {
+    counters.add(&counters.overloaded, 1);
+    deliver(job, Response::Invalid(ParspeedError::overloaded(msg)));
+}

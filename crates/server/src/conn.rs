@@ -1,0 +1,195 @@
+//! Per-connection state: sequence allocation and ordered reply routing.
+//!
+//! Batches complete in whatever order the workers finish them, and a
+//! single batch answers slots from many connections at once — but every
+//! connection must see its replies in its own submission order. Each
+//! connection therefore owns a [`Router`]: a reorder buffer keyed by the
+//! connection-local sequence number. Workers [`route`](ConnShared::route)
+//! replies as they finish; the router *releases* them strictly in
+//! sequence order, and the consumer (a TCP writer thread, or an
+//! in-process [`Client`](crate::Client) calling `recv`) pops from the
+//! released queue. A reply for seq 3 is held until 0, 1, and 2 have been
+//! released, so cross-batch completion races can never reorder — or
+//! cross-wire — a connection's reply stream.
+
+use parspeed_engine::Response;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One reply on its way back to a connection: typed for in-process
+/// clients, a pre-rendered JSONL line for TCP connections.
+#[derive(Debug)]
+pub(crate) enum Delivery {
+    /// A typed response (in-process clients).
+    Typed(Response),
+    /// A rendered JSONL response line, newline excluded (TCP).
+    Line(String),
+}
+
+#[derive(Debug, Default)]
+struct Router {
+    /// Sequence numbers handed out so far (next seq to allocate).
+    allocated: u64,
+    /// The next sequence number eligible for release.
+    next_emit: u64,
+    /// Out-of-order replies waiting for their predecessors.
+    pending: BTreeMap<u64, Delivery>,
+    /// In-order replies ready for the consumer, oldest first.
+    released: VecDeque<(u64, Delivery)>,
+    /// No further sequence numbers will be allocated (reader hit EOF or
+    /// the server is tearing the connection down).
+    eof: bool,
+}
+
+/// The state one connection shares between its submitter, the batcher
+/// workers, and its reply consumer.
+#[derive(Debug)]
+pub(crate) struct ConnShared {
+    /// Frontend-assigned connection id (the [`SlotAddr::client`]
+    /// half of every tag this connection submits).
+    ///
+    /// [`SlotAddr::client`]: parspeed_engine::SlotAddr
+    pub id: u64,
+    state: Mutex<Router>,
+    cv: Condvar,
+}
+
+impl ConnShared {
+    pub fn new(id: u64) -> Self {
+        ConnShared { id, state: Mutex::new(Router::default()), cv: Condvar::new() }
+    }
+
+    /// Hands out the next connection-local sequence number.
+    pub fn alloc_seq(&self) -> u64 {
+        let mut r = self.state.lock().unwrap();
+        let seq = r.allocated;
+        r.allocated += 1;
+        seq
+    }
+
+    /// Delivers the reply for `seq`, releasing it (and any successors it
+    /// unblocks) once every earlier sequence number has been released.
+    pub fn route(&self, seq: u64, delivery: Delivery) {
+        let mut r = self.state.lock().unwrap();
+        debug_assert!(seq >= r.next_emit, "seq {seq} routed twice");
+        r.pending.insert(seq, delivery);
+        loop {
+            let emit = r.next_emit;
+            let Some(d) = r.pending.remove(&emit) else { break };
+            r.released.push_back((emit, d));
+            r.next_emit += 1;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Whether nothing is outstanding: no released reply waiting and
+    /// every allocated sequence number already consumed. Used by the
+    /// in-process client to turn a would-be-forever wait into a panic.
+    pub fn idle(&self) -> bool {
+        let r = self.state.lock().unwrap();
+        r.released.is_empty() && r.next_emit == r.allocated
+    }
+
+    /// Marks the connection as done allocating (reader EOF / teardown).
+    pub fn mark_eof(&self) {
+        self.state.lock().unwrap().eof = true;
+        self.cv.notify_all();
+    }
+
+    /// Pops the next in-order reply, blocking until one is released.
+    /// Returns `None` once the connection hit EOF and every allocated
+    /// sequence number has been released and consumed — the writer's
+    /// signal that the stream is fully flushed.
+    pub fn next_released(&self) -> Option<(u64, Delivery)> {
+        let mut r = self.state.lock().unwrap();
+        loop {
+            if let Some(out) = r.released.pop_front() {
+                return Some(out);
+            }
+            if r.eof && r.next_emit == r.allocated {
+                return None;
+            }
+            r = self.cv.wait(r).unwrap();
+        }
+    }
+
+    /// [`next_released`](Self::next_released) with a deadline; `None`
+    /// means flushed-and-done *or* timed out.
+    pub fn next_released_timeout(&self, timeout: Duration) -> Option<(u64, Delivery)> {
+        let deadline = Instant::now() + timeout;
+        let mut r = self.state.lock().unwrap();
+        loop {
+            if let Some(out) = r.released.pop_front() {
+                return Some(out);
+            }
+            if r.eof && r.next_emit == r.allocated {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            (r, _) = self.cv.wait_timeout(r, deadline - now).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_engine::ParspeedError;
+
+    fn typed(marker: &str) -> Delivery {
+        Delivery::Typed(Response::Invalid(ParspeedError::invalid(marker)))
+    }
+
+    fn marker_of(d: &Delivery) -> String {
+        match d {
+            Delivery::Typed(Response::Invalid(e)) => e.to_string(),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_routes_release_in_sequence_order() {
+        let conn = ConnShared::new(0);
+        for _ in 0..3 {
+            conn.alloc_seq();
+        }
+        conn.route(2, typed("c"));
+        conn.route(0, typed("a"));
+        // seq 1 still missing: only seq 0 may be released.
+        let (seq, d) = conn.next_released_timeout(Duration::from_millis(10)).unwrap();
+        assert_eq!((seq, marker_of(&d).as_str()), (0, "a"));
+        assert!(conn.next_released_timeout(Duration::from_millis(10)).is_none());
+        conn.route(1, typed("b"));
+        let (seq, d) = conn.next_released().unwrap();
+        assert_eq!((seq, marker_of(&d).as_str()), (1, "b"));
+        let (seq, d) = conn.next_released().unwrap();
+        assert_eq!((seq, marker_of(&d).as_str()), (2, "c"));
+    }
+
+    #[test]
+    fn eof_with_everything_flushed_ends_the_stream() {
+        let conn = ConnShared::new(0);
+        let seq = conn.alloc_seq();
+        conn.route(seq, typed("only"));
+        conn.mark_eof();
+        assert!(conn.next_released().is_some());
+        assert!(conn.next_released().is_none());
+    }
+
+    #[test]
+    fn eof_still_waits_for_outstanding_replies() {
+        let conn = ConnShared::new(0);
+        conn.alloc_seq();
+        conn.mark_eof();
+        // Allocated but unrouted: the stream is not flushed yet.
+        assert!(conn.next_released_timeout(Duration::from_millis(10)).is_none());
+        conn.route(0, typed("late"));
+        assert!(conn.next_released().is_some());
+        assert!(conn.next_released().is_none());
+    }
+}

@@ -1,0 +1,391 @@
+//! `parspeed-server` — the concurrent serving layer: a multi-threaded
+//! frontend over the engine's [`Service`] surface that accepts many
+//! simultaneous clients and funnels their requests through a
+//! **cross-client micro-batcher**.
+//!
+//! Everything below the service boundary already amortizes coordination
+//! cost *within* one batch: the engine plans, dedups, caches, and
+//! executes a batch's queries as one unit. But a serving workload does
+//! not arrive as one batch — it arrives as thousands of small requests
+//! from independent connections, and dispatching each alone pays the
+//! whole per-batch overhead for a problem of size 1. That is the paper's
+//! core tradeoff (per-iteration overhead vs problem size) at the serving
+//! layer, and the fix is the same: **aggregate work before paying the
+//! coordination cost**. The micro-batcher holds the first request of a
+//! quiet period for a short window ([`ServerConfig::window`]) and
+//! coalesces everything that arrives meanwhile — from *all* connections
+//! — into one engine batch, so dedup and the sharded result cache
+//! amortize across users, not just within a file.
+//!
+//! The layer guarantees, in order of importance:
+//!
+//! * **per-connection ordered replies** — each connection sees exactly
+//!   one reply per request, in its own submission order, however batches
+//!   complete (a reorder router holds early replies back);
+//! * **no cross-client leakage** — every query is tagged with a
+//!   [`SlotAddr`](parspeed_engine::SlotAddr) and the engine's
+//!   slot-addressed batch entry point returns each reply under its tag;
+//! * **overload is an answer, not a disconnect** — a bounded submission
+//!   queue refuses excess requests with the documented `overloaded`
+//!   error kind in the request's own reply slot;
+//! * **graceful drain** — shutdown stops admission, flushes every
+//!   accepted request's reply, then tears connections down.
+//!
+//! Frontends: raw TCP with wire-v2 JSONL framing ([`Server::listen`] —
+//! the same schema as `parspeed batch`, streamed), and an in-process
+//! [`Client`] handle ([`Server::client`]) that tests and embedders drive
+//! with typed [`Query`]s. The CLI exposes the whole thing as
+//! `parspeed serve`.
+//!
+//! ```
+//! use parspeed_engine::{ArchKind, Engine, EvalValue, Request, Response};
+//! use parspeed_server::{Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let server = Server::start(Arc::new(Engine::default()), ServerConfig::default());
+//! let client = server.client();
+//! let response = client.call(Request::optimize(ArchKind::SyncBus, 256).procs(64).query());
+//! match response {
+//!     Response::Single(Ok(EvalValue::Optimum { processors, .. })) => {
+//!         assert_eq!(processors, 14); // the paper's §6.1 anchor
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod batcher;
+mod conn;
+mod net;
+mod stats;
+
+pub use stats::ServerStats;
+
+use batcher::{Job, Shared};
+use conn::{ConnShared, Delivery};
+use parspeed_engine::{Query, Response, Service, WIRE_VERSION};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Micro-batching knobs. The defaults suit tests and light serving;
+/// `parspeed serve` exposes every field as a flag.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// How long the first request of a quiet period waits for company
+    /// before its batch fires (`--window-us`). Zero fires immediately
+    /// with whatever is queued at pop time.
+    pub window: Duration,
+    /// Most requests coalesced into one engine batch (`--max-batch`);
+    /// reaching it fires the batch before the window closes.
+    pub max_batch: usize,
+    /// Batcher worker threads (`--workers`). Each executes whole
+    /// batches; more workers overlap independent windows.
+    pub workers: usize,
+    /// Bound on the submission queue (`--queue-depth`); requests
+    /// arriving beyond it are answered with the `overloaded` error.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            window: Duration::from_micros(200),
+            max_batch: 512,
+            workers: 2,
+            queue_depth: 4096,
+        }
+    }
+}
+
+struct IoState {
+    /// Reader/writer threads of accepted connections.
+    conn_threads: Vec<JoinHandle<()>>,
+    /// One stream clone per accepted connection, for drain teardown.
+    streams: Vec<TcpStream>,
+    /// Next connection id (TCP and in-process clients share the space).
+    next_conn_id: u64,
+}
+
+/// The running server: batcher workers plus any frontends attached to
+/// them. Dropping it without [`shutdown`](Server::shutdown) leaks the
+/// worker threads for the rest of the process — call `shutdown`.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    acceptors: Vec<JoinHandle<()>>,
+    io: Arc<Mutex<IoState>>,
+}
+
+impl Server {
+    /// Starts the batcher workers over `service` (usually
+    /// `Arc<Engine>`) and returns the handle frontends attach to.
+    pub fn start(service: Arc<dyn Service + Send + Sync>, config: ServerConfig) -> Server {
+        assert!(config.workers >= 1, "server needs at least one worker");
+        assert!(config.max_batch >= 1, "max_batch must be positive");
+        assert!(config.queue_depth >= 1, "queue_depth must be positive");
+        let shared = Arc::new(Shared::new(service, config));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("parspeed-batch-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn batcher worker")
+            })
+            .collect();
+        Server {
+            shared,
+            workers,
+            acceptors: Vec::new(),
+            io: Arc::new(Mutex::new(IoState {
+                conn_threads: Vec::new(),
+                streams: Vec::new(),
+                next_conn_id: 0,
+            })),
+        }
+    }
+
+    fn new_conn(&self) -> Arc<ConnShared> {
+        alloc_conn(&self.shared, &mut self.io.lock().unwrap())
+    }
+
+    /// Opens an in-process connection: a typed client whose requests go
+    /// through the same admission control, micro-batcher, and ordered
+    /// reply routing as TCP traffic.
+    pub fn client(&self) -> Client {
+        Client { conn: self.new_conn(), shared: Arc::clone(&self.shared) }
+    }
+
+    /// Binds `addr` and starts accepting wire-v2 JSONL connections on a
+    /// background thread. Returns the bound address (so `:0` works).
+    pub fn listen(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Non-blocking accept so the thread can notice the drain flag.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::clone(&self.shared);
+        let io_state = Arc::clone(&self.io);
+        let acceptor = std::thread::Builder::new()
+            .name("parspeed-accept".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if let Err(e) = spawn_conn(stream, &shared, &io_state) {
+                            eprintln!("note: dropping connection: {e}");
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if shared.is_draining() {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn acceptor");
+        self.acceptors.push(acceptor);
+        Ok(local)
+    }
+
+    /// A live telemetry snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.counters.snapshot(self.shared.queue_depth(), self.shared.is_draining())
+    }
+
+    /// Graceful drain: stops admitting (late requests get the
+    /// `overloaded` answer), flushes a reply for every accepted request,
+    /// tears down connections, joins every thread, and returns the final
+    /// telemetry. In-process [`Client`]s stay usable for `recv`; their
+    /// further submissions are refused with the overload answer.
+    pub fn shutdown(self) -> ServerStats {
+        self.shared.drain();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        // Acceptors notice the drain flag on their next poll.
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
+        }
+        // No new connections can appear now; unblock the readers of the
+        // live ones (EOF), which lets the writers flush and exit.
+        let (streams, conn_threads) = {
+            let mut io = self.io.lock().unwrap();
+            (std::mem::take(&mut io.streams), std::mem::take(&mut io.conn_threads))
+        };
+        for stream in &streams {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for thread in conn_threads {
+            let _ = thread.join();
+        }
+        self.shared.counters.snapshot(self.shared.queue_depth(), true)
+    }
+}
+
+/// Allocates a connection id (TCP and in-process clients share the
+/// space) and counts the connection. The one place both frontends go
+/// through, so the id scheme and counter can never diverge.
+fn alloc_conn(shared: &Shared, io: &mut IoState) -> Arc<ConnShared> {
+    let id = io.next_conn_id;
+    io.next_conn_id += 1;
+    shared.counters.add(&shared.counters.connections, 1);
+    Arc::new(ConnShared::new(id))
+}
+
+/// Registers an accepted stream and spawns its reader/writer pair.
+fn spawn_conn(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    io_state: &Arc<Mutex<IoState>>,
+) -> io::Result<()> {
+    let reader_stream = stream.try_clone()?;
+    let teardown_clone = stream.try_clone()?;
+    let mut io = io_state.lock().unwrap();
+    let conn = alloc_conn(shared, &mut io);
+    let id = conn.id;
+
+    let reader_conn = Arc::clone(&conn);
+    let reader_shared = Arc::clone(shared);
+    let reader = std::thread::Builder::new()
+        .name(format!("parspeed-read-{id}"))
+        .spawn(move || net::reader_loop(reader_stream, reader_conn, reader_shared))?;
+    let writer_conn = Arc::clone(&conn);
+    let writer = std::thread::Builder::new()
+        .name(format!("parspeed-write-{id}"))
+        .spawn(move || net::writer_loop(stream, writer_conn))?;
+
+    io.streams.push(teardown_clone);
+    io.conn_threads.push(reader);
+    io.conn_threads.push(writer);
+    Ok(())
+}
+
+/// An in-process connection: typed queries in, typed responses out,
+/// with the exact semantics of a TCP connection — admission control,
+/// cross-client batching, and per-connection ordered replies.
+pub struct Client {
+    conn: Arc<ConnShared>,
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Submits one query, returning its connection-local sequence
+    /// number. Never blocks on the batcher: a refused request (full
+    /// queue, draining server) is answered with the `overloaded` error
+    /// in its reply slot like any other reply.
+    pub fn submit(&self, query: Query) -> u64 {
+        let seq = self.conn.alloc_seq();
+        self.shared.submit(Job {
+            conn: Arc::clone(&self.conn),
+            seq,
+            query,
+            version: WIRE_VERSION,
+            line_no: seq as usize + 1,
+            render: false,
+        });
+        seq
+    }
+
+    /// Receives the next reply in submission order, blocking until it
+    /// is released. Panics if called with no outstanding submission
+    /// (there would be nothing to wait for). The check is a snapshot —
+    /// with the usual one-thread-per-client pattern it is exact.
+    pub fn recv(&self) -> (u64, Response) {
+        assert!(!self.conn.idle(), "recv with no outstanding submission");
+        match self.conn.next_released() {
+            Some((seq, Delivery::Typed(response))) => (seq, response),
+            Some((_, Delivery::Line(_))) => unreachable!("rendered delivery on a typed client"),
+            None => unreachable!("in-process connections never reach EOF"),
+        }
+    }
+
+    /// [`recv`](Self::recv) with a deadline; `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(u64, Response)> {
+        match self.conn.next_released_timeout(timeout)? {
+            (seq, Delivery::Typed(response)) => Some((seq, response)),
+            (_, Delivery::Line(_)) => unreachable!("rendered delivery on a typed client"),
+        }
+    }
+
+    /// Submit one query and wait for its reply.
+    pub fn call(&self, query: Query) -> Response {
+        let seq = self.submit(query);
+        let (got, response) = self.recv();
+        assert_eq!(got, seq, "per-connection ordering violated");
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_engine::{ArchKind, Engine, EvalValue, Request};
+
+    fn optimize(n: usize) -> Query {
+        Request::optimize(ArchKind::SyncBus, n).procs(64).query()
+    }
+
+    #[test]
+    fn one_client_round_trip_and_shutdown_stats() {
+        let server = Server::start(Arc::new(Engine::default()), ServerConfig::default());
+        let client = server.client();
+        match client.call(optimize(256)) {
+            Response::Single(Ok(EvalValue::Optimum { processors, .. })) => {
+                assert_eq!(processors, 14)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.overloaded, 0);
+        assert_eq!(stats.connections, 1);
+        assert!(stats.draining);
+    }
+
+    #[test]
+    fn pipelined_submissions_coalesce_into_fewer_batches() {
+        let server = Server::start(
+            Arc::new(Engine::default()),
+            ServerConfig { window: Duration::from_millis(20), ..ServerConfig::default() },
+        );
+        let client = server.client();
+        let seqs: Vec<u64> = (0..50).map(|_| client.submit(optimize(256))).collect();
+        let mut replies = Vec::new();
+        for _ in &seqs {
+            replies.push(client.recv());
+        }
+        // In order, and all identical (one duplicated query).
+        for (i, (seq, _)) in replies.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+        }
+        assert!(replies.iter().all(|(_, r)| r == &replies[0].1));
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 50);
+        assert!(stats.batches < 50, "window never coalesced: {stats}");
+        assert!(stats.avg_batch_fill() > 1.0);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_get_the_overload_answer() {
+        let server = Server::start(Arc::new(Engine::default()), ServerConfig::default());
+        let client = server.client();
+        client.call(optimize(128));
+        server.shutdown();
+        match client.call(optimize(256)) {
+            Response::Invalid(e) => {
+                assert_eq!(e.kind(), "overloaded");
+                assert!(e.to_string().contains("draining"), "{e}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! The TCP frontend: JSONL framing over `std::net`, one reader and one
+//! writer thread per connection.
+//!
+//! The wire is exactly `parspeed batch`'s wire-v2 JSONL (see
+//! `crates/engine/src/README.md`), streamed instead of slurped: one JSON
+//! request object per line in, one JSON response object per non-empty
+//! input line out, in input order. The same compatibility rules apply —
+//! v2 lines answer in v2 shape, v1-versioned (or unversioned) lines are
+//! accepted, counted, and answered in the legacy v1 shape, with one
+//! deprecation note logged per connection at close, matching file mode's
+//! stderr note. A line that fails to parse answers
+//! `{"ok":false,"line":N,...}` in its own slot and poisons nothing: not
+//! the connection (later lines still answer) and not the batcher (other
+//! clients' in-flight requests never see it).
+//!
+//! One extra op exists only on the serving wire: `{"op":"stats"}`
+//! answers the server's [`ServerStats`](crate::ServerStats) snapshot as
+//! a wire-v2 record without entering the batcher.
+
+use crate::batcher::{Job, Shared};
+use crate::conn::{ConnShared, Delivery};
+use parspeed_engine::{jsonl, WIRE_VERSION};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+
+/// Drives one connection's read half: parse lines, admit queries, route
+/// parse failures and stats snapshots straight to the reply stream.
+pub(crate) fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, shared: Arc<Shared>) {
+    let mut v1_lines = 0u64;
+    let mut line_no = 0usize;
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        line_no += 1;
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let seq = conn.alloc_seq();
+        // One tokenization per line: the serving-only `stats` op is
+        // intercepted from the parsed value (the engine's reader does not
+        // know it), everything else becomes a query from the same value.
+        let parsed = match jsonl::parse(text) {
+            Ok(v) if v.get("op").and_then(jsonl::Json::as_str) == Some("stats") => {
+                let stats = shared.counters.snapshot(shared.queue_depth(), shared.is_draining());
+                conn.route(seq, Delivery::Line(stats.to_json().render()));
+                continue;
+            }
+            Ok(v) => jsonl::parse_query_value(&v),
+            Err(e) => Err(jsonl::LineError {
+                version: 1,
+                error: parspeed_engine::ParspeedError::parse(e),
+            }),
+        };
+        match parsed {
+            Ok(parsed) => {
+                if parsed.version < WIRE_VERSION {
+                    v1_lines += 1;
+                    shared.counters.add(&shared.counters.v1_lines, 1);
+                }
+                shared.submit(Job {
+                    conn: Arc::clone(&conn),
+                    seq,
+                    query: parsed.query,
+                    version: parsed.version,
+                    line_no,
+                    render: true,
+                });
+            }
+            Err(e) => conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no))),
+        }
+    }
+    if v1_lines > 0 {
+        // The same deprecation note `parspeed batch` prints in file mode.
+        eprintln!(
+            "note: connection {} sent {v1_lines} request line(s) using deprecated wire v1; \
+             add \"version\":2 (see crates/engine/src/README.md)",
+            conn.id
+        );
+    }
+    conn.mark_eof();
+}
+
+/// Drives one connection's write half: emit released replies in
+/// sequence order until the stream is flushed-and-done.
+pub(crate) fn writer_loop(stream: TcpStream, conn: Arc<ConnShared>) {
+    let mut out = BufWriter::new(&stream);
+    while let Some((_seq, delivery)) = conn.next_released() {
+        let line = match delivery {
+            Delivery::Line(line) => line,
+            // TCP jobs are always submitted with `render: true`.
+            Delivery::Typed(_) => unreachable!("typed delivery on a TCP connection"),
+        };
+        if out.write_all(line.as_bytes()).is_err()
+            || out.write_all(b"\n").is_err()
+            || out.flush().is_err()
+        {
+            // The peer stopped reading: shut the *read* half too so the
+            // reader sees EOF and stops admitting requests whose replies
+            // nobody will ever consume.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}

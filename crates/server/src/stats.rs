@@ -1,0 +1,199 @@
+//! Server telemetry: lock-free counters updated on the hot paths, read as
+//! one consistent-enough [`ServerStats`] snapshot (counters are
+//! individually atomic; a snapshot taken mid-batch may be one batch
+//! ahead on some fields — fine for telemetry, asserted exactly only
+//! after [`Server::shutdown`](crate::Server::shutdown)).
+
+use parspeed_engine::jsonl::Json;
+use parspeed_engine::WIRE_VERSION;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The live counters (crate-internal; snapshot through [`ServerStats`]).
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub connections: AtomicU64,
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub overloaded: AtomicU64,
+    pub batches: AtomicU64,
+    pub batched_requests: AtomicU64,
+    pub max_batch_fill: AtomicU64,
+    pub queue_high_watermark: AtomicU64,
+    pub cross_client_batches: AtomicU64,
+    pub cross_client_dedup_hits: AtomicU64,
+    pub atoms: AtomicU64,
+    pub unique: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub v1_lines: AtomicU64,
+}
+
+impl Counters {
+    pub fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn raise(&self, counter: &AtomicU64, candidate: u64) {
+        counter.fetch_max(candidate, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, queue_depth: usize, draining: bool) -> ServerStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServerStats {
+            connections: get(&self.connections),
+            submitted: get(&self.submitted),
+            completed: get(&self.completed),
+            overloaded: get(&self.overloaded),
+            queue_depth,
+            queue_high_watermark: get(&self.queue_high_watermark),
+            batches: get(&self.batches),
+            batched_requests: get(&self.batched_requests),
+            max_batch_fill: get(&self.max_batch_fill),
+            cross_client_batches: get(&self.cross_client_batches),
+            cross_client_dedup_hits: get(&self.cross_client_dedup_hits),
+            atoms: get(&self.atoms),
+            unique: get(&self.unique),
+            cache_hits: get(&self.cache_hits),
+            v1_lines: get(&self.v1_lines),
+            draining,
+        }
+    }
+}
+
+/// A point-in-time view of what the server has done: admission, batching
+/// window occupancy, and how much work cross-client coalescing saved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (TCP) plus in-process clients handed out.
+    pub connections: u64,
+    /// Requests that reached admission control (accepted or not).
+    pub submitted: u64,
+    /// Requests answered by the engine (each in its own reply slot).
+    pub completed: u64,
+    /// Requests refused admission — answered with an `overloaded` error
+    /// in their reply slot, never by disconnecting the client.
+    pub overloaded: u64,
+    /// Requests sitting in the submission queue right now.
+    pub queue_depth: usize,
+    /// The deepest the submission queue has ever been.
+    pub queue_high_watermark: u64,
+    /// Engine batches executed.
+    pub batches: u64,
+    /// Requests carried by those batches (window occupancy numerator).
+    pub batched_requests: u64,
+    /// Largest single batch executed.
+    pub max_batch_fill: u64,
+    /// Batches that coalesced requests from more than one connection.
+    pub cross_client_batches: u64,
+    /// Atoms deduplicated away inside cross-client batches — work that
+    /// per-connection batching could never have shared.
+    pub cross_client_dedup_hits: u64,
+    /// Atomic evaluations planned across all batches (before dedup).
+    pub atoms: u64,
+    /// Unique evaluation keys after dedup.
+    pub unique: u64,
+    /// Unique keys served from the engine's result cache.
+    pub cache_hits: u64,
+    /// Request lines that spoke deprecated wire v1.
+    pub v1_lines: u64,
+    /// Whether the server is draining for shutdown.
+    pub draining: bool,
+}
+
+impl ServerStats {
+    /// Mean requests per executed batch (window occupancy).
+    pub fn avg_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// The stats as one wire-v2 JSONL record (the reply to the `stats`
+    /// op; like the batch-mode telemetry record, it is new in v2 and
+    /// always rendered in v2 shape).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::Num(WIRE_VERSION as f64)),
+            ("op".into(), Json::Str("stats".into())),
+            ("connections".into(), Json::Num(self.connections as f64)),
+            ("submitted".into(), Json::Num(self.submitted as f64)),
+            ("completed".into(), Json::Num(self.completed as f64)),
+            ("overloaded".into(), Json::Num(self.overloaded as f64)),
+            ("queue_depth".into(), Json::Num(self.queue_depth as f64)),
+            ("queue_high_watermark".into(), Json::Num(self.queue_high_watermark as f64)),
+            ("batches".into(), Json::Num(self.batches as f64)),
+            ("batched_requests".into(), Json::Num(self.batched_requests as f64)),
+            ("avg_batch_fill".into(), Json::Num(self.avg_batch_fill())),
+            ("max_batch_fill".into(), Json::Num(self.max_batch_fill as f64)),
+            ("cross_client_batches".into(), Json::Num(self.cross_client_batches as f64)),
+            ("cross_client_dedup_hits".into(), Json::Num(self.cross_client_dedup_hits as f64)),
+            ("atoms".into(), Json::Num(self.atoms as f64)),
+            ("unique".into(), Json::Num(self.unique as f64)),
+            ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+            ("v1_lines".into(), Json::Num(self.v1_lines as f64)),
+            ("draining".into(), Json::Bool(self.draining)),
+        ])
+    }
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} connection(s), {} submitted → {} completed + {} overloaded; \
+             {} batch(es) carrying {} request(s) ({:.1} avg fill, {} max); \
+             {} cross-client batch(es) saved {} duplicate evaluation(s); \
+             {} atoms → {} unique, {} cache hits; {} v1 line(s)",
+            self.connections,
+            self.submitted,
+            self.completed,
+            self.overloaded,
+            self.batches,
+            self.batched_requests,
+            self.avg_batch_fill(),
+            self.max_batch_fill,
+            self.cross_client_batches,
+            self.cross_client_dedup_hits,
+            self.atoms,
+            self.unique,
+            self.cache_hits,
+            self.v1_lines,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_json_round_trip() {
+        let c = Counters::default();
+        c.add(&c.submitted, 7);
+        c.add(&c.completed, 5);
+        c.add(&c.overloaded, 2);
+        c.add(&c.batches, 2);
+        c.add(&c.batched_requests, 5);
+        c.raise(&c.max_batch_fill, 3);
+        let s = c.snapshot(1, false);
+        assert_eq!(s.submitted, 7);
+        assert!((s.avg_batch_fill() - 2.5).abs() < 1e-12);
+        let rendered = s.to_json().render();
+        let back = parspeed_engine::jsonl::parse(&rendered).unwrap();
+        assert_eq!(back.get("op").unwrap().as_str(), Some("stats"));
+        assert_eq!(back.get("version").unwrap().as_usize(), Some(2));
+        assert_eq!(back.get("overloaded").unwrap().as_usize(), Some(2));
+        assert_eq!(back.get("avg_batch_fill").unwrap().as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn display_names_the_load_bearing_numbers() {
+        let s = Counters::default().snapshot(0, true);
+        let text = s.to_string();
+        assert!(text.contains("0 submitted"));
+        assert!(text.contains("overloaded"));
+        assert!(text.contains("cross-client"));
+    }
+}

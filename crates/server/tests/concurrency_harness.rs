@@ -1,0 +1,176 @@
+//! Deterministic concurrency harness: a scripted multi-client driver.
+//!
+//! Each script is derived from a seed (client count, barrier-staged
+//! submission waves, per-wave request counts, query parameters), so a
+//! failure replays exactly. Every query is parameterized uniquely per
+//! `(client, tag)` slot, and the expected answer for each slot is
+//! computed serially on a reference engine up front — so the assertions
+//! pin all three serving guarantees at once:
+//!
+//! * **complete** — every client receives exactly one reply per request;
+//! * **per-connection ordered** — replies arrive in submission order
+//!   (sequence numbers 0, 1, 2, … with no gap and no swap);
+//! * **no cross-client slot leakage** — the reply in slot `(client,
+//!   seq)` answers *that* slot's query; any routing mix-up surfaces as a
+//!   value mismatch because no two slots share a query.
+
+use parspeed_engine::{ArchKind, Engine, Query, Request, Response};
+use parspeed_server::{Server, ServerConfig};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Deterministic script randomness (splitmix-style LCG).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// The query for one `(client, tag)` slot. The grid side is unique per
+/// slot (tags stay below 101), so two different slots can never share an
+/// answer — a leaked or swapped reply is always a visible mismatch.
+fn query_for(client: usize, tag: usize) -> Query {
+    assert!(tag < 101);
+    Request::optimize(ArchKind::SyncBus, 64 + (client * 101 + tag)).procs(32).query()
+}
+
+/// Runs one scripted schedule and checks every reply against the serial
+/// reference.
+fn run_script(seed: u64) {
+    let mut lcg = Lcg(seed);
+    let clients = 2 + lcg.below(4) as usize; // 2..=5
+    let waves = 1 + lcg.below(3) as usize; // 1..=3
+    let counts: Vec<Vec<usize>> =
+        (0..clients).map(|_| (0..waves).map(|_| lcg.below(5) as usize).collect()).collect();
+
+    // Serial reference: every slot's query through a plain engine batch.
+    let mut slot_queries: Vec<(usize, usize)> = Vec::new();
+    for (c, per_wave) in counts.iter().enumerate() {
+        let total: usize = per_wave.iter().sum();
+        for tag in 0..total {
+            slot_queries.push((c, tag));
+        }
+    }
+    let reference_engine = Engine::default();
+    let queries: Vec<Query> = slot_queries.iter().map(|&(c, t)| query_for(c, t)).collect();
+    let expected = reference_engine.run_batch(&queries).responses;
+    let expect_for = |client: usize, tag: usize| -> &Response {
+        let idx = slot_queries.iter().position(|&s| s == (client, tag)).unwrap();
+        &expected[idx]
+    };
+
+    let server = Server::start(
+        Arc::new(Engine::default()),
+        ServerConfig {
+            window: Duration::from_micros(300),
+            max_batch: 64,
+            workers: 2,
+            queue_depth: 4096,
+        },
+    );
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let client = server.client();
+            let barrier = Arc::clone(&barrier);
+            let per_wave = counts[c].clone();
+            std::thread::spawn(move || {
+                let mut tag = 0usize;
+                for &count in &per_wave {
+                    // Barrier-staged: every client enters the wave
+                    // together, so waves interleave across connections.
+                    barrier.wait();
+                    for _ in 0..count {
+                        let seq = client.submit(query_for(c, tag));
+                        assert_eq!(seq, tag as u64, "client {c}: seq allocation out of order");
+                        tag += 1;
+                    }
+                }
+                let replies: Vec<(u64, Response)> = (0..tag).map(|_| client.recv()).collect();
+                (c, replies)
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (c, replies) = handle.join().expect("client thread");
+        let total: usize = counts[c].iter().sum();
+        assert_eq!(replies.len(), total, "client {c}: incomplete replies (seed {seed})");
+        for (i, (seq, response)) in replies.iter().enumerate() {
+            assert_eq!(*seq, i as u64, "client {c}: replies out of order (seed {seed})");
+            assert_eq!(
+                response,
+                expect_for(c, i),
+                "client {c} slot {i}: wrong answer — cross-client leakage (seed {seed})"
+            );
+        }
+    }
+    let stats = server.shutdown();
+    let total: u64 = counts.iter().flatten().map(|&n| n as u64).sum();
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.overloaded, 0);
+}
+
+#[test]
+fn scripted_interleavings_stay_ordered_and_leak_free() {
+    for seed in 0..12 {
+        run_script(seed);
+    }
+}
+
+/// High-contention path: many clients hammering a *shared* duplicated
+/// pool inside one generous window, so the batcher provably coalesces
+/// across connections and the dedup savings show up in the stats.
+#[test]
+fn shared_traffic_coalesces_across_clients() {
+    let server = Server::start(
+        Arc::new(Engine::default()),
+        ServerConfig {
+            window: Duration::from_millis(200),
+            max_batch: 4096,
+            workers: 2,
+            queue_depth: 4096,
+        },
+    );
+    let clients = 8usize;
+    let per_client = 50usize;
+    let barrier = Arc::new(Barrier::new(clients));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let client = server.client();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Every client cycles the same 5 queries: all duplication
+                // here is cross-client by construction once batched.
+                for i in 0..per_client {
+                    client.submit(query_for(0, i % 5));
+                }
+                let replies: Vec<(u64, Response)> =
+                    (0..per_client).map(|_| client.recv()).collect();
+                (c, replies)
+            })
+        })
+        .collect();
+    let reference =
+        Engine::default().run_batch(&(0..5).map(|i| query_for(0, i)).collect::<Vec<_>>());
+    for handle in handles {
+        let (c, replies) = handle.join().expect("client thread");
+        for (i, (seq, response)) in replies.iter().enumerate() {
+            assert_eq!(*seq, i as u64, "client {c} out of order");
+            assert_eq!(response, &reference.responses[i % 5], "client {c} slot {i}");
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, (clients * per_client) as u64);
+    assert!(stats.cross_client_batches >= 1, "a 200ms window never coalesced two clients: {stats}");
+    assert!(stats.cross_client_dedup_hits > 0, "cross-client duplicates never deduped: {stats}");
+}

@@ -1,0 +1,150 @@
+//! Wire robustness over real TCP: malformed JSONL mid-stream answers an
+//! error slot on *that* connection only and never poisons the batcher or
+//! other clients; v1-versioned lines get the same deprecation path as
+//! file mode (accepted, answered in legacy shape, counted); the
+//! serving-only `stats` op answers a live telemetry snapshot.
+
+use parspeed_engine::jsonl;
+use parspeed_engine::Engine;
+use parspeed_server::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_tcp_server() -> (Server, SocketAddr) {
+    let mut server = Server::start(
+        Arc::new(Engine::default()),
+        ServerConfig {
+            window: Duration::from_micros(300),
+            max_batch: 64,
+            workers: 2,
+            queue_depth: 4096,
+        },
+    );
+    let addr = server.listen(("127.0.0.1", 0)).expect("bind");
+    (server, addr)
+}
+
+/// Writes `lines`, half-closes, and reads every reply line until the
+/// server closes its side — i.e. the full, ordered reply stream.
+fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    for line in lines {
+        stream.write_all(line.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write");
+    }
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    BufReader::new(stream).lines().map(|l| l.expect("read")).collect()
+}
+
+const GOOD_V2: &str = r#"{"op":"table1","version":2,"n":64,"stencil":"5pt"}"#;
+const GOOD_V1: &str = r#"{"op":"minsize","variant":"sync-square","e":6.0,"k":1.0,"procs":14}"#;
+
+#[test]
+fn malformed_line_mid_stream_poisons_nothing() {
+    let (server, addr) = start_tcp_server();
+
+    // Client A interleaves garbage between good lines; client B sends
+    // only good lines, concurrently.
+    let a = std::thread::spawn(move || {
+        roundtrip(
+            addr,
+            &[GOOD_V2, "this is not json", GOOD_V2, r#"{"op":"frobnicate","version":2}"#, GOOD_V2],
+        )
+    });
+    let b = std::thread::spawn(move || roundtrip(addr, &[GOOD_V2; 5]));
+    let a = a.join().unwrap();
+    let b = b.join().unwrap();
+
+    assert_eq!(a.len(), 5, "connection A lost replies: {a:?}");
+    for (i, line) in a.iter().enumerate() {
+        let v = jsonl::parse(line).expect("reply is JSON");
+        match i {
+            1 => {
+                // Raw garbage: not JSON at all → legacy-shaped parse error
+                // carrying this connection's 1-based line number.
+                assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(false)), "{line}");
+                assert_eq!(v.get("line").unwrap().as_usize(), Some(2), "{line}");
+            }
+            3 => {
+                // Well-formed JSON, unknown op, declared v2 → v2 error
+                // shape with the machine-readable kind.
+                assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(false)), "{line}");
+                assert_eq!(v.get("error_kind").unwrap().as_str(), Some("parse"), "{line}");
+                assert_eq!(v.get("line").unwrap().as_usize(), Some(4), "{line}");
+            }
+            _ => {
+                assert_eq!(
+                    v.get("ok"),
+                    Some(&jsonl::Json::Bool(true)),
+                    "slot {i} poisoned: {line}"
+                );
+                assert_eq!(v.get("op").unwrap().as_str(), Some("table1"));
+            }
+        }
+    }
+    assert_eq!(b.len(), 5, "connection B lost replies: {b:?}");
+    for line in &b {
+        let v = jsonl::parse(line).expect("reply is JSON");
+        assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(true)), "connection B poisoned: {line}");
+    }
+
+    let stats = server.shutdown();
+    // 8 good queries answered; A's two bad lines answered outside the
+    // batcher and never counted as admitted work.
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.submitted, 8);
+}
+
+#[test]
+fn v1_lines_over_tcp_get_the_file_mode_deprecation_path() {
+    let (server, addr) = start_tcp_server();
+    let replies = roundtrip(addr, &[GOOD_V1, GOOD_V2, GOOD_V1]);
+    assert_eq!(replies.len(), 3);
+
+    // v1 requests answer in the legacy v1 shape: no version field, no
+    // error_kind machinery — exactly what `parspeed batch` renders.
+    for line in [&replies[0], &replies[2]] {
+        let v = jsonl::parse(line).unwrap();
+        assert_eq!(v.get("version"), None, "v1 reply grew a version field: {line}");
+        assert_eq!(v.get("op").unwrap().as_str(), Some("minsize"));
+        assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(true)));
+    }
+    // The v2 line on the same connection still answers in v2 shape.
+    let v = jsonl::parse(&replies[1]).unwrap();
+    assert_eq!(v.get("version").unwrap().as_usize(), Some(2));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.v1_lines, 2, "deprecated lines not counted: {stats}");
+}
+
+#[test]
+fn stats_op_answers_a_live_snapshot_without_entering_the_batcher() {
+    let (server, addr) = start_tcp_server();
+    let replies = roundtrip(addr, &[GOOD_V2, r#"{"op":"stats"}"#]);
+    assert_eq!(replies.len(), 2);
+    let v = jsonl::parse(&replies[1]).unwrap();
+    assert_eq!(v.get("op").unwrap().as_str(), Some("stats"));
+    assert_eq!(v.get("version").unwrap().as_usize(), Some(2));
+    // The stats line reflects this connection's own earlier request.
+    assert_eq!(v.get("submitted").unwrap().as_usize(), Some(1));
+    assert_eq!(v.get("connections").unwrap().as_usize(), Some(1));
+    assert!(v.get("avg_batch_fill").unwrap().as_f64().is_some());
+    assert_eq!(v.get("draining"), Some(&jsonl::Json::Bool(false)));
+    server.shutdown();
+}
+
+#[test]
+fn unsupported_future_version_answers_in_its_slot_only() {
+    let (server, addr) = start_tcp_server();
+    let replies =
+        roundtrip(addr, &[r#"{"op":"table1","version":7,"n":64,"stencil":"5pt"}"#, GOOD_V2]);
+    assert_eq!(replies.len(), 2);
+    let v = jsonl::parse(&replies[0]).unwrap();
+    assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(false)));
+    assert!(replies[0].contains("version"), "{}", replies[0]);
+    let v = jsonl::parse(&replies[1]).unwrap();
+    assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(true)));
+    server.shutdown();
+}
