@@ -2,7 +2,9 @@
 
 use crate::args::{err, Args, CliError};
 use parspeed_engine::{jsonl, Engine};
+use parspeed_obs::{render_exposition, StageSet, StageSummary};
 use std::io::Read as _;
+use std::sync::Arc;
 
 pub const KEYS: &[&str] = &["input", "cache", "cache-capacity", "shards", "threads"];
 pub const SWITCHES: &[&str] = &["stats"];
@@ -14,7 +16,10 @@ pub const USAGE: &str =
 Reads one JSON request per line from --input (default: stdin, also `-`),
 evaluates the whole batch through the parspeed-engine pipeline
 (plan → dedup → cache → parallel execute), and writes one JSON response
-per line in input order. --stats appends a final telemetry record.
+per line in input order. --stats appends a final telemetry record to
+stdout and prints the per-stage latency breakdown (plan, dedup, cache,
+exec — the same text exposition `parspeed serve --metrics-human`
+renders) on stderr.
 
 Request ops: optimize, minsize, isoeff, leverage, sweep, table1, compare,
 simulate, solve, threads — see crates/engine/src/README.md for the full
@@ -55,7 +60,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         .experiment_runner(crate::commands::experiment::runner)
         .build();
 
+    // With --stats, also attribute engine time per stage; the recorder
+    // costs nothing when absent, so plain runs stay uninstrumented.
+    let stages = args.switch("stats").then(|| Arc::new(StageSet::new()));
+    if let Some(stages) = &stages {
+        engine.set_recorder(Some(Arc::clone(stages) as _));
+    }
     let reply = run_lines(&engine, &text, args.switch("stats"));
+    if let Some(stages) = &stages {
+        eprint!("{}", render_stage_breakdown(stages));
+    }
     if reply.v1_lines > 0 {
         eprintln!(
             "note: {} request line(s) used deprecated wire v1; add \"version\":2 \
@@ -119,6 +133,15 @@ pub fn run_lines(engine: &Engine, text: &str, stats: bool) -> BatchReply {
         rendered.push(jsonl::render_telemetry(&out.telemetry));
     }
     BatchReply { stdout: rendered.join("\n"), v1_lines }
+}
+
+/// The per-stage breakdown of a `--stats` run, in the same text
+/// exposition the serving layer's `--metrics-human` uses (file mode has
+/// no serving stages, so only the engine's show up).
+fn render_stage_breakdown(stages: &StageSet) -> String {
+    let summaries: Vec<(&str, StageSummary)> =
+        stages.summaries().iter().map(|&(stage, summary)| (stage.name(), summary)).collect();
+    render_exposition(&summaries)
 }
 
 #[cfg(test)]
@@ -201,6 +224,26 @@ mod tests {
         assert!(out[0].contains("\"rows\":[") && out[0].contains("hypercube"), "{}", out[0]);
         assert_eq!(out[1].matches("\"ok\":true").count(), 7, "compare + 6 points: {}", out[1]);
         assert!(out[2].contains("\"converged\":true"), "{}", out[2]);
+    }
+
+    #[test]
+    fn stats_stage_breakdown_shows_engine_stages_only() {
+        let engine = Engine::builder().build();
+        let stages = Arc::new(StageSet::new());
+        engine.set_recorder(Some(Arc::clone(&stages) as _));
+        let q = r#"{"op":"optimize","arch":"sync-bus","n":128,"stencil":"5pt","shape":"square"}"#;
+        run_lines(&engine, q, true);
+        let text = render_stage_breakdown(&stages);
+        for stage in ["plan", "dedup", "cache", "exec"] {
+            assert!(
+                text.contains(&format!("stage=\"{stage}\",quantile=\"0.5\"")),
+                "missing {stage}: {text}"
+            );
+        }
+        // File mode never touches the serving stages; the shared
+        // renderer skips empty histograms rather than printing zeros.
+        assert!(!text.contains("stage=\"queue\""), "{text}");
+        assert!(!text.contains("stage=\"route\""), "{text}");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! `parspeed metrics` — probe a running `parspeed serve` for its
+//! observability snapshot over the wire.
+
+use crate::args::{err, Args, CliError};
+use parspeed_engine::jsonl;
+use parspeed_server::MetricsSnapshot;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::{Shutdown, TcpStream};
+
+pub const KEYS: &[&str] = &["addr"];
+pub const SWITCHES: &[&str] = &["human", "trace"];
+
+/// Usage shown by `parspeed help metrics`.
+pub const USAGE: &str = "parspeed metrics --addr HOST:PORT [--human] [--trace]
+
+Connects to a running `parspeed serve`, sends the serving-only
+`{\"op\":\"metrics\"}` request, and prints the reply: the server's
+counters (everything `{\"op\":\"stats\"}` reports, plus engine time and
+the dedup factor) and one latency-histogram summary per pipeline stage
+(queue, window, plan, dedup, cache, exec, route) with p50/p90/p99/p999.
+
+  --addr HOST:PORT  the serve address (printed at startup as
+                    `listening on HOST:PORT`)
+  --human           render the Prometheus-style text exposition instead
+                    of the raw wire JSON (byte-identical to what
+                    `parspeed serve --metrics-human` prints on drain)
+  --trace           send `{\"op\":\"trace\"}` instead: the last N request
+                    traces kept by a server running with --trace N";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let Some(addr) = args.str_opt("addr") else {
+        return Err(err("flag `--addr HOST:PORT` is required; try `parspeed help metrics`"));
+    };
+    let op = if args.switch("trace") { r#"{"op":"trace"}"# } else { r#"{"op":"metrics"}"# };
+    let line = probe(addr, op)?;
+    if args.switch("human") && !args.switch("trace") {
+        let v =
+            jsonl::parse(&line).map_err(|e| err(format!("server reply is not valid JSON: {e}")))?;
+        return MetricsSnapshot::render_human_wire(&v)
+            .map(|text| text.trim_end().to_string())
+            .ok_or_else(|| err(format!("server reply is not a metrics record: {line}")));
+    }
+    Ok(line)
+}
+
+/// One request line in, one reply line out.
+fn probe(addr: &str, request: &str) -> Result<String, CliError> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| err(format!("cannot connect to `{addr}`: {e}")))?;
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| stream.shutdown(Shutdown::Write))
+        .map_err(|e| err(format!("cannot send request: {e}")))?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| err(format!("cannot read reply: {e}")))?;
+    if reply.trim().is_empty() {
+        return Err(err(format!("`{addr}` closed the connection without replying")));
+    }
+    Ok(reply.trim_end().to_string())
+}

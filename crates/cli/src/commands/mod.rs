@@ -10,6 +10,7 @@ pub mod batch;
 pub mod compare;
 pub mod experiment;
 pub mod isoeff;
+pub mod metrics;
 pub mod minsize;
 pub mod optimize;
 pub mod serve;
@@ -29,6 +30,7 @@ COMMANDS:
   optimize    optimal processor count and speedup for one instance
   batch       evaluate a JSONL request batch through the query engine
   serve       serve JSONL batches over TCP with cross-client micro-batching
+  metrics     probe a running serve for per-stage latency histograms
   compare     every architecture side by side
   sweep       optimal speedup as the problem grows
   isoeff      isoefficiency: problem growth needed to hold efficiency
@@ -86,6 +88,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 "optimize" => optimize::USAGE.into(),
                 "batch" => batch::USAGE.into(),
                 "serve" => serve::USAGE.into(),
+                "metrics" => metrics::USAGE.into(),
                 "compare" => compare::USAGE.into(),
                 "sweep" => sweep::USAGE.into(),
                 "isoeff" => isoeff::USAGE.into(),
@@ -125,6 +128,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "serve" => {
             let args = Args::parse(rest, serve::KEYS, serve::SWITCHES)?;
             serve::run(&args)
+        }
+        "metrics" => {
+            let args = Args::parse(rest, metrics::KEYS, metrics::SWITCHES)?;
+            metrics::run(&args)
         }
         "compare" => {
             let args = Args::parse(rest, compare::KEYS, compare::SWITCHES)?;

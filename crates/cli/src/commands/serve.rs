@@ -17,20 +17,25 @@ pub const KEYS: &[&str] = &[
     "cache-capacity",
     "shards",
     "threads",
+    "trace",
 ];
-pub const SWITCHES: &[&str] = &["stats"];
+pub const SWITCHES: &[&str] = &["stats", "metrics-human", "no-observe"];
 
 /// Usage shown by `parspeed help serve`.
 pub const USAGE: &str = "parspeed serve [--addr HOST:PORT] [--window-us N] [--max-batch N]
                [--workers N] [--queue-depth N] [--cache-capacity N]
-               [--shards N] [--threads N] [--stats]
+               [--shards N] [--threads N] [--trace N] [--stats]
+               [--metrics-human] [--no-observe]
 
 Serves the wire-v2 JSONL request schema of `parspeed batch` over TCP to
 many simultaneous clients: one JSON request per line in, one JSON
 response per non-empty line out, in per-connection order. In-flight
 requests from all connections are coalesced by a micro-batching window
 into single engine batches, so dedup and the result cache amortize
-across clients. `{\"op\":\"stats\"}` answers a live telemetry snapshot.
+across clients. Serving-only ops: `{\"op\":\"stats\"}` answers a live
+telemetry snapshot, `{\"op\":\"metrics\"}` adds per-stage latency
+histograms (see `parspeed help metrics`), `{\"op\":\"trace\"}` answers
+the recent-request trace ring.
 
 Prints `listening on HOST:PORT` (so `--addr 127.0.0.1:0` works), then
 serves until stdin reaches EOF (Ctrl-D), drains — every accepted request
@@ -51,7 +56,14 @@ disconnecting the client.
   --cache-capacity N   engine result cache size (default 65536)
   --shards N           cache shards (default 16)
   --threads N          engine executor threads; 0 = machine default
-  --stats              print the final telemetry snapshot after draining";
+  --trace N            keep the last N request traces (default 0 = off);
+                       served by `{\"op\":\"trace\"}` and flushed as
+                       JSONL to stderr on drain
+  --stats              print the final telemetry snapshot after draining
+  --metrics-human      print the final per-stage latency histograms as a
+                       Prometheus-style text exposition after draining
+  --no-observe         disable stage-latency recording and tracing
+                       (counters and the stats op stay on)";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -60,7 +72,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         max_batch: args.usize_or("max-batch", 512)?,
         workers: args.usize_or("workers", 2)?,
         queue_depth: args.usize_or("queue-depth", 4096)?,
+        observe: !args.switch("no-observe"),
+        trace: args.usize_or("trace", 0)?,
     };
+    if args.switch("metrics-human") && !config.observe {
+        return Err(err("--metrics-human needs stage recording; drop --no-observe"));
+    }
     for (flag, value) in [
         ("max-batch", config.max_batch),
         ("workers", config.workers),
@@ -92,6 +109,22 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             break;
         }
     }
+    // The obs handle outlives shutdown; grab it first so the final
+    // histograms and the trace ring survive the drain.
+    let obs = server.observability();
     let stats = server.shutdown();
-    Ok(if args.switch("stats") { format!("drained; {stats}") } else { "drained".to_string() })
+    if obs.trace_capacity() > 0 {
+        // Flush the trace ring as JSONL on stderr, oldest first, so a
+        // piped stdout stays pure reply lines.
+        for event in obs.trace_events() {
+            eprintln!("{}", event.to_jsonl());
+        }
+    }
+    let mut out = if args.switch("stats") { format!("drained; {stats}") } else { "drained".into() };
+    if args.switch("metrics-human") {
+        let snapshot = parspeed_server::MetricsSnapshot { stats, stages: obs.stage_summaries() };
+        out.push('\n');
+        out.push_str(snapshot.render_human().trim_end());
+    }
+    Ok(out)
 }

@@ -1,0 +1,150 @@
+//! End-to-end observability: spawn the real `parspeed serve`, drive 100
+//! requests over a real socket, and check that `parspeed metrics` (the
+//! wire `metrics`/`trace` ops) reports populated per-stage histograms,
+//! that `--metrics-human` renders the exposition on drain, and that the
+//! trace ring flushes as JSONL. This is the CI metrics smoke.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::process::{Command, Stdio};
+
+const STAGES: [&str; 7] = ["queue", "window", "plan", "dedup", "cache", "exec", "route"];
+
+fn spawn_serve(
+    extra: &[&str],
+) -> (std::process::Child, BufReader<std::process::ChildStdout>, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_parspeed"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--window-us", "200"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn parspeed serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read announce line");
+    let addr: SocketAddr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line {line:?}"))
+        .parse()
+        .expect("bound address");
+    line.clear();
+    stdout.read_line(&mut line).expect("read info line");
+    (child, stdout, addr)
+}
+
+fn run_metrics_cli(addr: SocketAddr, extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_parspeed"))
+        .args(["metrics", "--addr", &addr.to_string()])
+        .args(extra)
+        .output()
+        .expect("spawn parspeed metrics");
+    assert!(out.status.success(), "parspeed metrics failed: {:?}", out);
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+#[test]
+fn metrics_smoke_100_requests_populate_every_stage() {
+    let (mut child, mut stdout, addr) =
+        spawn_serve(&["--metrics-human", "--trace", "8", "--stats"]);
+
+    // Drive 100 requests — mixed ops, enough duplicates for cache hits —
+    // and wait for every reply so all stages have definitely recorded.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    for i in 0..100 {
+        let line = match i % 3 {
+            0 => format!(
+                r#"{{"op":"optimize","version":2,"arch":"sync-bus","n":{},"stencil":"5pt","shape":"square","procs":64}}"#,
+                128 + (i % 7) * 64
+            ),
+            1 => format!(
+                r#"{{"op":"table1","version":2,"n":{},"stencil":"5pt"}}"#,
+                64 + (i % 5) * 64
+            ),
+            _ => r#"{"op":"solve","version":2,"n":15,"solver":"cg","tol":1e-6}"#.to_string(),
+        };
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+    }
+    stream.shutdown(Shutdown::Write).unwrap();
+    let replies: Vec<String> =
+        BufReader::new(stream).lines().map(|l| l.expect("reply line")).collect();
+    assert_eq!(replies.len(), 100, "lost replies");
+    assert!(replies.iter().all(|r| r.contains("\"ok\":true")), "a request failed");
+
+    // The metrics subcommand sees populated histograms for every stage.
+    let raw = run_metrics_cli(addr, &[]);
+    assert!(raw.starts_with("{\"version\":2,\"op\":\"metrics\""), "{raw}");
+    for stage in STAGES {
+        assert!(raw.contains(&format!("\"{stage}\":{{\"count\":")), "missing stage {stage}: {raw}");
+        let count_field = format!("\"{stage}\":{{\"count\":0,");
+        assert!(!raw.contains(&count_field), "stage {stage} is empty: {raw}");
+    }
+    for field in
+        ["\"p50_ns\":", "\"p99_ns\":", "\"p999_ns\":", "\"engine_seconds\":", "\"dedup_factor\":"]
+    {
+        assert!(raw.contains(field), "missing {field}: {raw}");
+    }
+
+    // --human renders the shared exposition from the same wire record.
+    let human = run_metrics_cli(addr, &["--human"]);
+    assert!(human.contains("parspeed_completed 100"), "{human}");
+    for stage in STAGES {
+        assert!(
+            human.contains(&format!(
+                "parspeed_stage_latency_ns{{stage=\"{stage}\",quantile=\"0.99\"}}"
+            )),
+            "missing {stage} quantiles: {human}"
+        );
+    }
+
+    // --trace answers the ring: capacity 8, kept 8, events carry slots.
+    let trace = run_metrics_cli(addr, &["--trace"]);
+    assert!(trace.contains("\"op\":\"trace\"") && trace.contains("\"capacity\":8"), "{trace}");
+    assert!(trace.contains("\"kept\":8"), "{trace}");
+    assert!(trace.contains("\"queue_ns\":") && trace.contains("\"batch\":"), "{trace}");
+
+    // Drain: stdout gets the stats line plus the human exposition;
+    // stderr gets the 8 trace events as JSONL.
+    drop(child.stdin.take());
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("read final output");
+    assert!(rest.contains("drained;"), "{rest}");
+    assert!(rest.contains("parspeed_stage_latency_ns{stage=\"exec\",quantile=\"0.5\"}"), "{rest}");
+    let mut stderr_text = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut stderr_text).expect("read stderr");
+    let trace_lines: Vec<&str> =
+        stderr_text.lines().filter(|l| l.starts_with("{\"op\":\"trace\"")).collect();
+    assert_eq!(trace_lines.len(), 8, "trace ring not flushed on drain: {stderr_text}");
+    let status = child.wait().expect("child exit");
+    assert!(status.success(), "{status:?}");
+}
+
+#[test]
+fn no_observe_serves_empty_histograms() {
+    let (mut child, mut stdout, addr) = spawn_serve(&["--no-observe"]);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            b"{\"op\":\"table1\",\"version\":2,\"n\":64,\"stencil\":\"5pt\"}\n{\"op\":\"metrics\"}\n",
+        )
+        .unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let replies: Vec<String> =
+        BufReader::new(stream).lines().map(|l| l.expect("reply line")).collect();
+    assert_eq!(replies.len(), 2);
+    assert!(replies[1].contains("\"op\":\"metrics\""), "{}", replies[1]);
+    for stage in STAGES {
+        assert!(
+            replies[1].contains(&format!("\"{stage}\":{{\"count\":0,")),
+            "stage {stage} recorded despite --no-observe: {}",
+            replies[1]
+        );
+    }
+    drop(child.stdin.take());
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("read final output");
+    assert!(child.wait().expect("child exit").success());
+}

@@ -68,7 +68,8 @@ pub mod workloads;
 pub use cache::CacheStatsSnapshot;
 pub use error::ParspeedError;
 pub use exec::ExperimentRunner;
-pub use plan::{Plan, PointLabel, Slot};
+pub use parspeed_obs::{Recorder, Stage};
+pub use plan::{Plan, PlanTiming, PointLabel, Slot};
 pub use request::{
     ArchKind, CheckKey, CheckSpec, EffectKey, EvalKey, EvalOutcome, EvalValue, Lever, MachineSpec,
     MinSizeVariant, Query, ShapeKey, SimArchKind, SolverKind, StencilKey, StencilSpec,
@@ -81,6 +82,7 @@ pub use service::{
 pub use telemetry::{BatchTelemetry, EngineReport};
 
 use cache::ShardedLru;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// One response, in the input order of the batch.
@@ -190,6 +192,7 @@ impl EngineBuilder {
             threads: self.threads,
             pool,
             experiment_runner: self.experiment_runner,
+            recorder: RwLock::new(None),
         }
     }
 }
@@ -202,6 +205,11 @@ pub struct Engine {
     threads: usize,
     pool: Option<rayon::ThreadPool>,
     experiment_runner: Option<ExperimentRunner>,
+    /// Per-stage latency recorder, installed by a serving layer (or any
+    /// embedder) through [`Service::install_recorder`]. `None` — the
+    /// default — skips every clock read in [`run_batch`](Engine::run_batch),
+    /// so the library path costs nothing when observability is off.
+    recorder: RwLock<Option<Arc<dyn Recorder>>>,
 }
 
 impl Default for Engine {
@@ -221,11 +229,28 @@ impl Engine {
     /// Runs one batch through plan → cache → execute → assemble. Impure
     /// effect queries (thread measurements, experiments) execute
     /// sequentially after the parallel phase.
+    ///
+    /// With a [`Recorder`] installed (see [`Service::install_recorder`])
+    /// the phases report per-stage wall time: `plan` (expansion +
+    /// canonicalization), `dedup` (interning), `cache` (probes +
+    /// insertions), and `exec` (parallel evaluation + sequential
+    /// effects). Without one, no clocks beyond the single telemetry
+    /// timestamp are read.
     pub fn run_batch(&self, queries: &[Query]) -> BatchOutput {
+        let recorder = self.recorder.read().unwrap().clone();
         let t0 = Instant::now();
-        let plan = Plan::build(queries);
+        let plan = match &recorder {
+            None => Plan::build(queries),
+            Some(rec) => {
+                let (plan, timing) = Plan::build_timed(queries);
+                rec.record(Stage::Plan, timing.plan_nanos);
+                rec.record(Stage::Dedup, timing.dedup_nanos);
+                plan
+            }
+        };
 
         // Cache probe: split unique keys into hits and misses.
+        let t_cache = recorder.as_ref().map(|_| Instant::now());
         let mut outcomes: Vec<Option<EvalOutcome>> = Vec::with_capacity(plan.unique.len());
         let mut miss_idx: Vec<usize> = Vec::new();
         for (i, key) in plan.unique.iter().enumerate() {
@@ -236,22 +261,34 @@ impl Engine {
             outcomes.push(cached);
         }
         let cache_hits = plan.unique.len() - miss_idx.len();
+        let mut cache_nanos = t_cache.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
         // Evaluate the misses in parallel, in deterministic key order.
+        let t_exec = recorder.as_ref().map(|_| Instant::now());
         let miss_keys: Vec<EvalKey> = miss_idx.iter().map(|&i| plan.unique[i]).collect();
         let fresh = exec::evaluate_all(&miss_keys, self.pool.as_ref());
+        let mut exec_nanos = t_exec.map_or(0, |t| t.elapsed().as_nanos() as u64);
+
+        let t_insert = recorder.as_ref().map(|_| Instant::now());
         for (&i, outcome) in miss_idx.iter().zip(fresh) {
             self.cache.insert(plan.unique[i], outcome.clone());
             outcomes[i] = Some(outcome);
         }
+        cache_nanos += t_insert.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
         // Effects run after the parallel phase, one at a time, so
         // wall-clock measurements see a quiet machine.
+        let t_effects = recorder.as_ref().map(|_| Instant::now());
         let effect_outcomes: Vec<EvalOutcome> = plan
             .effects
             .iter()
             .map(|effect| exec::run_effect(effect, self.experiment_runner))
             .collect();
+        exec_nanos += t_effects.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        if let Some(rec) = &recorder {
+            rec.record(Stage::Cache, cache_nanos);
+            rec.record(Stage::Exec, exec_nanos);
+        }
 
         // Assemble responses in input order.
         let resolve =
@@ -282,6 +319,14 @@ impl Engine {
                 wall_seconds: t0.elapsed().as_secs_f64(),
             },
         }
+    }
+
+    /// Installs (or, with `None`, removes) the per-stage latency
+    /// recorder [`run_batch`](Engine::run_batch) reports through. Most
+    /// callers go through [`Service::install_recorder`]; this is the
+    /// typed entry point for embedders holding a concrete [`Engine`].
+    pub fn set_recorder(&self, recorder: Option<Arc<dyn Recorder>>) {
+        *self.recorder.write().unwrap() = recorder;
     }
 
     /// Cumulative cache counters.
@@ -398,6 +443,31 @@ mod tests {
         let seq = Engine::builder().threads(1).build().run_batch(&batch);
         let par = Engine::builder().threads(4).build().run_batch(&batch);
         assert_eq!(seq.responses, par.responses);
+    }
+
+    #[test]
+    fn installed_recorder_attributes_engine_stages_without_changing_answers() {
+        use parspeed_obs::StageSet;
+        let engine = Engine::builder().build();
+        let batch = vec![q(256, Some(64)); 100];
+        let bare = engine.run_batch(&batch);
+
+        let recorder = Arc::new(StageSet::new());
+        engine.set_recorder(Some(recorder.clone()));
+        let observed = engine.run_batch(&batch);
+        assert_eq!(bare.responses, observed.responses);
+        for stage in [Stage::Plan, Stage::Dedup, Stage::Cache, Stage::Exec] {
+            assert_eq!(recorder.snapshot(stage).count(), 1, "one sample per batch for {stage:?}");
+        }
+        // The serving-layer stages are not the engine's to report.
+        for stage in [Stage::Queue, Stage::Window, Stage::Route] {
+            assert_eq!(recorder.snapshot(stage).count(), 0, "{stage:?} belongs to the server");
+        }
+
+        // Uninstalling stops attribution cold.
+        engine.set_recorder(None);
+        engine.run_batch(&batch);
+        assert_eq!(recorder.snapshot(Stage::Plan).count(), 1);
     }
 
     #[test]

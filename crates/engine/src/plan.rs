@@ -66,6 +66,27 @@ pub struct Plan {
 impl Plan {
     /// Plans a batch.
     pub fn build(queries: &[Query]) -> Plan {
+        Self::assemble(queries.iter().map(plan_query).collect())
+    }
+
+    /// Plans a batch and attributes the two phases separately: the
+    /// *plan* phase (macro-query expansion + canonicalization, the
+    /// per-query work) and the *dedup* phase (interning atoms into the
+    /// unique evaluation set, the cross-query work). Used when a
+    /// recorder is installed; [`build`](Plan::build) stays the untimed
+    /// path so the library costs nothing by default.
+    pub fn build_timed(queries: &[Query]) -> (Plan, PlanTiming) {
+        let t0 = std::time::Instant::now();
+        let planned: Vec<Result<Planned, ParspeedError>> = queries.iter().map(plan_query).collect();
+        let plan_nanos = t0.elapsed().as_nanos() as u64;
+        let t1 = std::time::Instant::now();
+        let plan = Self::assemble(planned);
+        (plan, PlanTiming { plan_nanos, dedup_nanos: t1.elapsed().as_nanos() as u64 })
+    }
+
+    /// The dedup pass: interns every planned atom into the unique
+    /// evaluation set and lays out the response slots.
+    fn assemble(planned: Vec<Result<Planned, ParspeedError>>) -> Plan {
         let mut unique: Vec<EvalKey> = Vec::new();
         let mut effects: Vec<EffectKey> = Vec::new();
         let mut index: HashMap<EvalKey, usize, FxBuildHasher> = HashMap::default();
@@ -77,9 +98,9 @@ impl Plan {
             })
         };
 
-        let mut slots = Vec::with_capacity(queries.len());
-        for q in queries {
-            let slot = match plan_query(q) {
+        let mut slots = Vec::with_capacity(planned.len());
+        for q in planned {
+            let slot = match q {
                 Err(e) => Slot::Invalid(e),
                 Ok(Planned::Single(key)) => {
                     atoms += 1;
@@ -110,6 +131,16 @@ impl Plan {
             self.atoms as f64 / self.unique.len() as f64
         }
     }
+}
+
+/// Nanosecond attribution of the two planning phases (see
+/// [`Plan::build_timed`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanTiming {
+    /// Expansion + canonicalization time.
+    pub plan_nanos: u64,
+    /// Interning / slot-assembly time.
+    pub dedup_nanos: u64,
 }
 
 enum Planned {

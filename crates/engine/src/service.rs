@@ -41,6 +41,7 @@ use crate::request::{
 };
 use crate::telemetry::BatchTelemetry;
 use crate::{Engine, Response};
+use std::sync::Arc;
 
 /// The current wire/envelope schema version.
 pub const WIRE_VERSION: u32 = 2;
@@ -685,6 +686,14 @@ pub trait Service {
         let replies = request.queries.iter().map(|(slot, _)| *slot).zip(reply.responses).collect();
         Ok(TaggedReply { replies, deprecation: reply.deprecation, telemetry: reply.telemetry })
     }
+
+    /// Installs a per-stage latency [`Recorder`](crate::Recorder) —
+    /// how a serving layer asks the service to attribute
+    /// plan/dedup/cache/exec time without the engine depending on the
+    /// server. The default is a no-op (most services have nothing to
+    /// attribute); [`Engine`] stores the recorder and reports through
+    /// it on every subsequent batch.
+    fn install_recorder(&self, _recorder: Arc<dyn crate::Recorder>) {}
 }
 
 impl Service for Engine {
@@ -708,6 +717,10 @@ impl Service for Engine {
             responses: out.responses,
             telemetry: out.telemetry,
         })
+    }
+
+    fn install_recorder(&self, recorder: Arc<dyn crate::Recorder>) {
+        self.set_recorder(Some(recorder));
     }
 }
 

@@ -1,0 +1,62 @@
+//! The shared Prometheus-style text exposition for per-stage summaries.
+//!
+//! One formatter serves every human-facing surface — `parspeed serve
+//! --metrics-human`, `parspeed metrics --human`, and the stage
+//! breakdown `parspeed batch --stats` prints — so operators read the
+//! same lines whether they scraped a live server or ran a file batch.
+
+use crate::stage::StageSummary;
+
+/// Renders stage summaries in Prometheus text-exposition style: one
+/// `summary`-family metric, `parspeed_stage_latency_ns`, with a `stage`
+/// label, quantile series, and `_count`/`_sum`/`_max` companions.
+/// Stages with zero samples are skipped (Prometheus convention: absent,
+/// not zero). Deterministic for identical summaries.
+pub fn render_exposition(stages: &[(&str, StageSummary)]) -> String {
+    let mut out = String::from(
+        "# HELP parspeed_stage_latency_ns per-stage pipeline latency (log2-bucket histogram)\n\
+         # TYPE parspeed_stage_latency_ns summary\n",
+    );
+    for (name, s) in stages {
+        if s.count == 0 {
+            continue;
+        }
+        for (q, v) in
+            [("0.5", s.p50_ns), ("0.9", s.p90_ns), ("0.99", s.p99_ns), ("0.999", s.p999_ns)]
+        {
+            out.push_str(&format!(
+                "parspeed_stage_latency_ns{{stage=\"{name}\",quantile=\"{q}\"}} {v}\n"
+            ));
+        }
+        out.push_str(&format!("parspeed_stage_latency_ns_count{{stage=\"{name}\"}} {}\n", s.count));
+        out.push_str(&format!(
+            "parspeed_stage_latency_ns_sum{{stage=\"{name}\"}} {}\n",
+            s.total_ns
+        ));
+        out.push_str(&format!("parspeed_stage_latency_ns_max{{stage=\"{name}\"}} {}\n", s.max_ns));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_names_stages_and_skips_empty_ones() {
+        let busy = StageSummary {
+            count: 10,
+            total_ns: 1000,
+            max_ns: 200,
+            p50_ns: 100,
+            p90_ns: 150,
+            p99_ns: 200,
+            p999_ns: 200,
+        };
+        let text = render_exposition(&[("queue", busy), ("plan", StageSummary::default())]);
+        assert!(text.contains("# TYPE parspeed_stage_latency_ns summary"));
+        assert!(text.contains("{stage=\"queue\",quantile=\"0.999\"} 200"), "{text}");
+        assert!(text.contains("parspeed_stage_latency_ns_count{stage=\"queue\"} 10"), "{text}");
+        assert!(!text.contains("stage=\"plan\""), "empty stages are absent: {text}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Ring-buffered structured request traces.
+//!
+//! A [`TraceRing`] keeps the last N completed requests as structured
+//! [`TraceEvent`]s — enough to answer "what did the slow tail look
+//! like" without unbounded memory. Events carry monotonic timestamps
+//! relative to the owner's epoch (the server's start), the request's
+//! slot address, its query kind, the id of the coalesced batch that
+//! carried it, and whether that batch hit the result cache.
+//!
+//! The ring is a mutex around a `VecDeque`: pushes happen once per
+//! completed request (not per stage), so contention is negligible next
+//! to the batch execution that precedes each push.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One completed request's trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Submission timestamp, monotonic nanoseconds since the owner's
+    /// epoch (the server's start).
+    pub at_ns: u64,
+    /// Submitting connection id (the `client` half of the engine's slot
+    /// address).
+    pub client: u64,
+    /// Connection-local sequence number.
+    pub seq: u64,
+    /// Query kind (the wire `op` name).
+    pub op: &'static str,
+    /// Id of the coalesced engine batch that carried the request.
+    pub batch: u64,
+    /// Whether that batch was served at least partly from the result
+    /// cache (batch-level: dedup makes a strict per-request attribution
+    /// meaningless once requests share evaluations).
+    pub cache_hit: bool,
+    /// Time from submission to batch pop (the `queue` stage sample).
+    pub queue_ns: u64,
+    /// Wall time of the whole engine batch the request rode in.
+    pub batch_ns: u64,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSONL line (the drain-flush format; the
+    /// `{"op":"trace"}` wire reply embeds the same fields as objects).
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"op\":\"trace\",\"at_ns\":{},\"client\":{},\"seq\":{},\"query\":\"{}\",\
+             \"batch\":{},\"cache_hit\":{},\"queue_ns\":{},\"batch_ns\":{}}}",
+            self.at_ns,
+            self.client,
+            self.seq,
+            self.op,
+            self.batch,
+            self.cache_hit,
+            self.queue_ns,
+            self.batch_ns
+        )
+    }
+}
+
+/// A bounded ring of the most recent [`TraceEvent`]s. Capacity 0
+/// disables tracing entirely (pushes are no-ops beyond one branch).
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl TraceRing {
+    /// A ring keeping the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing { capacity, events: Mutex::new(VecDeque::with_capacity(capacity.min(4096))) }
+    }
+
+    /// The configured capacity (0 = tracing disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether pushes do anything.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Appends an event, evicting the oldest once full.
+    pub fn push(&self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.events.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The kept events, oldest first (non-destructive).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64) -> TraceEvent {
+        TraceEvent {
+            at_ns: 1000 + seq,
+            client: 1,
+            seq,
+            op: "optimize",
+            batch: 7,
+            cache_hit: seq.is_multiple_of(2),
+            queue_ns: 42,
+            batch_ns: 9001,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_n() {
+        let ring = TraceRing::new(3);
+        for seq in 0..10 {
+            ring.push(event(seq));
+        }
+        let kept: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_tracing() {
+        let ring = TraceRing::new(0);
+        assert!(!ring.enabled());
+        ring.push(event(0));
+        assert!(ring.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_rendering_carries_every_field() {
+        let line = event(4).to_jsonl();
+        assert!(line.starts_with("{\"op\":\"trace\""), "{line}");
+        for needle in
+            ["\"at_ns\":1004", "\"seq\":4", "\"query\":\"optimize\"", "\"cache_hit\":true"]
+        {
+            assert!(line.contains(needle), "{line} missing {needle}");
+        }
+    }
+}

@@ -20,9 +20,11 @@
 //! requests are all flushed, late ones get the overload answer.
 
 use crate::conn::{ConnShared, Delivery};
-use crate::stats::Counters;
+use crate::metrics::{ns_between, MetricsSnapshot, ServerObs};
+use crate::stats::{Counters, ServerStats};
 use crate::ServerConfig;
 use parspeed_engine::{jsonl, ParspeedError, Query, Response, Service, SlotAddr, TaggedRequest};
+use parspeed_obs::{Stage, TraceEvent};
 use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -45,6 +47,8 @@ pub(crate) struct Job {
     /// Render the reply to a JSONL line (TCP) instead of keeping it
     /// typed (in-process clients).
     pub render: bool,
+    /// When admission accepted the request (`queue` stage start).
+    pub submitted: Instant,
 }
 
 #[derive(Default)]
@@ -53,6 +57,9 @@ struct SubmissionQueue {
     /// When the currently open window closes; `Some` iff jobs is
     /// non-empty.
     deadline: Option<Instant>,
+    /// When the currently open window opened (`window` stage start);
+    /// `Some` iff jobs is non-empty.
+    opened: Option<Instant>,
     draining: bool,
 }
 
@@ -61,6 +68,9 @@ pub(crate) struct Shared {
     pub service: Arc<dyn Service + Send + Sync>,
     pub cfg: ServerConfig,
     pub counters: Counters,
+    /// Per-stage histograms, trace ring, batch ids. Shared with every
+    /// connection (route timing) and installed into the engine.
+    pub obs: Arc<ServerObs>,
     queue: Mutex<SubmissionQueue>,
     cv: Condvar,
 }
@@ -71,6 +81,7 @@ impl Shared {
             service,
             cfg,
             counters: Counters::default(),
+            obs: Arc::new(ServerObs::new(cfg.observe, cfg.trace)),
             queue: Mutex::new(SubmissionQueue::default()),
             cv: Condvar::new(),
         }
@@ -96,7 +107,9 @@ impl Shared {
         match refusal {
             None => {
                 if q.jobs.is_empty() {
-                    q.deadline = Some(Instant::now() + self.cfg.window);
+                    let now = Instant::now();
+                    q.deadline = Some(now + self.cfg.window);
+                    q.opened = Some(now);
                 }
                 q.jobs.push_back(job);
                 self.counters.raise(&self.counters.queue_high_watermark, q.jobs.len() as u64);
@@ -109,14 +122,26 @@ impl Shared {
         }
     }
 
-    /// Current submission-queue depth (telemetry).
-    pub fn queue_depth(&self) -> usize {
-        self.queue.lock().unwrap().jobs.len()
-    }
-
     /// Whether the server is draining for shutdown.
     pub fn is_draining(&self) -> bool {
         self.queue.lock().unwrap().draining
+    }
+
+    /// A consistent counter snapshot: `queue_depth` and `draining` are
+    /// read under one queue-lock acquisition (they can never disagree
+    /// with each other), then the counters under their own ordering
+    /// point (see [`Counters::snapshot`]).
+    pub fn stats(&self) -> ServerStats {
+        let (depth, draining) = {
+            let q = self.queue.lock().unwrap();
+            (q.jobs.len(), q.draining)
+        };
+        self.counters.snapshot(depth, draining)
+    }
+
+    /// The full observability snapshot (the `metrics` op).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot { stats: self.stats(), stages: self.obs.stage_summaries() }
     }
 
     /// Starts the drain: no further admissions; pending batches fire
@@ -129,7 +154,7 @@ impl Shared {
     /// One worker thread: collect a window's batch, execute, route.
     pub fn worker_loop(&self) {
         loop {
-            let batch = {
+            let (batch, opened, popped) = {
                 let mut q = self.queue.lock().unwrap();
                 loop {
                     if q.jobs.is_empty() {
@@ -144,28 +169,37 @@ impl Shared {
                     if q.draining || q.jobs.len() >= self.cfg.max_batch || now >= deadline {
                         let take = q.jobs.len().min(self.cfg.max_batch);
                         let batch: Vec<Job> = q.jobs.drain(..take).collect();
+                        let opened = q.opened.take().expect("opened set while jobs pending");
                         // Leftovers beyond max_batch already waited a full
                         // window — let the next batch fire immediately.
                         q.deadline = (!q.jobs.is_empty()).then_some(now);
+                        q.opened = (!q.jobs.is_empty()).then_some(now);
                         if !q.jobs.is_empty() {
                             self.cv.notify_one();
                         }
-                        break batch;
+                        break (batch, opened, now);
                     }
                     (q, _) = self.cv.wait_timeout(q, deadline - now).unwrap();
                 }
             };
-            self.execute(batch);
+            // `queue` is per request (submit → popped with its batch);
+            // `window` is per batch (window open → fire) and overlaps
+            // the tail of `queue` by construction — end-to-end
+            // accounting should sum `queue`, not both.
+            for job in &batch {
+                self.obs.record(Stage::Queue, ns_between(job.submitted, popped));
+            }
+            self.obs.record(Stage::Window, ns_between(opened, popped));
+            self.execute(batch, popped);
         }
     }
 
     /// Runs one coalesced batch through the service and routes every
-    /// reply to its slot.
-    fn execute(&self, jobs: Vec<Job>) {
+    /// reply to its slot. `popped` is when the batch left the queue
+    /// (the per-request `queue` stage end, used for trace events).
+    fn execute(&self, jobs: Vec<Job>, popped: Instant) {
         let c = &self.counters;
-        c.add(&c.batches, 1);
-        c.add(&c.batched_requests, jobs.len() as u64);
-        c.raise(&c.max_batch_fill, jobs.len() as u64);
+        let batch_id = self.obs.next_batch_id();
         let clients: HashSet<u64> = jobs.iter().map(|j| j.conn.id).collect();
 
         let tagged: Vec<(SlotAddr, Query)> = jobs
@@ -174,31 +208,65 @@ impl Shared {
             .collect();
         match self.service.call_tagged(&TaggedRequest::new(tagged)) {
             Ok(reply) => {
-                c.add(&c.atoms, reply.telemetry.atoms as u64);
-                c.add(&c.unique, reply.telemetry.unique as u64);
-                c.add(&c.cache_hits, reply.telemetry.cache_hits as u64);
-                if clients.len() > 1 {
-                    c.add(&c.cross_client_batches, 1);
-                    c.add(
-                        &c.cross_client_dedup_hits,
-                        (reply.telemetry.atoms - reply.telemetry.unique) as u64,
-                    );
+                let engine_nanos = (reply.telemetry.wall_seconds * 1e9) as u64;
+                {
+                    // Post the whole batch's counters as one unit: a
+                    // snapshot either sees all of this batch or none.
+                    let _group = c.batch_group();
+                    c.add(&c.batches, 1);
+                    c.add(&c.batched_requests, jobs.len() as u64);
+                    c.raise(&c.max_batch_fill, jobs.len() as u64);
+                    c.add(&c.atoms, reply.telemetry.atoms as u64);
+                    c.add(&c.unique, reply.telemetry.unique as u64);
+                    c.add(&c.cache_hits, reply.telemetry.cache_hits as u64);
+                    c.add(&c.engine_nanos, engine_nanos);
+                    if clients.len() > 1 {
+                        c.add(&c.cross_client_batches, 1);
+                        c.add(
+                            &c.cross_client_dedup_hits,
+                            (reply.telemetry.atoms - reply.telemetry.unique) as u64,
+                        );
+                    }
+                    c.add(&c.completed, jobs.len() as u64);
+                }
+                if self.obs.tracing() {
+                    // Cache-hit attribution is batch-level: after dedup
+                    // a cached key may have served many requests at
+                    // once, so per-request blame is not well defined.
+                    let cache_hit = reply.telemetry.cache_hits > 0;
+                    for job in &jobs {
+                        self.obs.trace_push(TraceEvent {
+                            at_ns: self.obs.ns_since_epoch(job.submitted),
+                            client: job.conn.id,
+                            seq: job.seq,
+                            op: jsonl::op_name(&job.query),
+                            batch: batch_id,
+                            cache_hit,
+                            queue_ns: ns_between(job.submitted, popped),
+                            batch_ns: engine_nanos,
+                        });
+                    }
                 }
                 debug_assert_eq!(reply.replies.len(), jobs.len());
                 for (job, (slot, response)) in jobs.iter().zip(reply.replies) {
                     debug_assert_eq!(slot, SlotAddr { client: job.conn.id, seq: job.seq });
                     deliver(job, response);
                 }
-                c.add(&c.completed, jobs.len() as u64);
             }
             Err(e) => {
                 // Envelope-level failure (cannot happen for the versions
                 // this server speaks, but every admitted job still gets
                 // a reply in its slot).
+                {
+                    let _group = c.batch_group();
+                    c.add(&c.batches, 1);
+                    c.add(&c.batched_requests, jobs.len() as u64);
+                    c.raise(&c.max_batch_fill, jobs.len() as u64);
+                    c.add(&c.completed, jobs.len() as u64);
+                }
                 for job in &jobs {
                     deliver(job, Response::Invalid(e.clone()));
                 }
-                c.add(&c.completed, jobs.len() as u64);
             }
         }
     }

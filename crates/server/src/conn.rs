@@ -12,10 +12,12 @@
 //! released, so cross-batch completion races can never reorder — or
 //! cross-wire — a connection's reply stream.
 
+use crate::metrics::{ns_between, ServerObs};
 use parspeed_engine::Response;
+use parspeed_obs::Stage;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// One reply on its way back to a connection: typed for in-process
@@ -34,8 +36,9 @@ struct Router {
     allocated: u64,
     /// The next sequence number eligible for release.
     next_emit: u64,
-    /// Out-of-order replies waiting for their predecessors.
-    pending: BTreeMap<u64, Delivery>,
+    /// Out-of-order replies waiting for their predecessors, each
+    /// stamped with when the worker produced it (`route` stage start).
+    pending: BTreeMap<u64, (Delivery, Instant)>,
     /// In-order replies ready for the consumer, oldest first.
     released: VecDeque<(u64, Delivery)>,
     /// No further sequence numbers will be allocated (reader hit EOF or
@@ -52,13 +55,21 @@ pub(crate) struct ConnShared {
     ///
     /// [`SlotAddr::client`]: parspeed_engine::SlotAddr
     pub id: u64,
+    /// Where `route`-stage latency (reply produced → released in order)
+    /// is recorded; `None` on bare test connections.
+    obs: Option<Arc<ServerObs>>,
     state: Mutex<Router>,
     cv: Condvar,
 }
 
 impl ConnShared {
     pub fn new(id: u64) -> Self {
-        ConnShared { id, state: Mutex::new(Router::default()), cv: Condvar::new() }
+        ConnShared { id, obs: None, state: Mutex::new(Router::default()), cv: Condvar::new() }
+    }
+
+    /// A connection wired to the server's observability state.
+    pub fn with_obs(id: u64, obs: Arc<ServerObs>) -> Self {
+        ConnShared { obs: Some(obs), ..Self::new(id) }
     }
 
     /// Hands out the next connection-local sequence number.
@@ -72,12 +83,18 @@ impl ConnShared {
     /// Delivers the reply for `seq`, releasing it (and any successors it
     /// unblocks) once every earlier sequence number has been released.
     pub fn route(&self, seq: u64, delivery: Delivery) {
+        let produced = Instant::now();
         let mut r = self.state.lock().unwrap();
         debug_assert!(seq >= r.next_emit, "seq {seq} routed twice");
-        r.pending.insert(seq, delivery);
+        r.pending.insert(seq, (delivery, produced));
         loop {
             let emit = r.next_emit;
-            let Some(d) = r.pending.remove(&emit) else { break };
+            let Some((d, produced)) = r.pending.remove(&emit) else { break };
+            // `route` = how long the reorder buffer held this reply
+            // back waiting for its predecessors (~0 when in order).
+            if let Some(obs) = &self.obs {
+                obs.record(Stage::Route, ns_between(produced, Instant::now()));
+            }
             r.released.push_back((emit, d));
             r.next_emit += 1;
         }

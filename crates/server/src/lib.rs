@@ -60,9 +60,11 @@
 
 mod batcher;
 mod conn;
+mod metrics;
 mod net;
 mod stats;
 
+pub use metrics::{MetricsSnapshot, ServerObs};
 pub use stats::ServerStats;
 
 use batcher::{Job, Shared};
@@ -72,7 +74,7 @@ use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Micro-batching knobs. The defaults suit tests and light serving;
 /// `parspeed serve` exposes every field as a flag.
@@ -91,6 +93,14 @@ pub struct ServerConfig {
     /// Bound on the submission queue (`--queue-depth`); requests
     /// arriving beyond it are answered with the `overloaded` error.
     pub queue_depth: usize,
+    /// Record per-stage latency histograms (the `metrics` op). On by
+    /// default — three relaxed atomic ops per sample, well under the
+    /// bench-gated 5% overhead budget (`parspeed serve --no-observe`
+    /// turns it off, which also disables tracing).
+    pub observe: bool,
+    /// Keep the last N request traces in a ring (`--trace N`, the
+    /// `trace` op). 0 — the default — disables tracing entirely.
+    pub trace: usize,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +110,8 @@ impl Default for ServerConfig {
             max_batch: 512,
             workers: 2,
             queue_depth: 4096,
+            observe: true,
+            trace: 0,
         }
     }
 }
@@ -131,6 +143,13 @@ impl Server {
         assert!(config.max_batch >= 1, "max_batch must be positive");
         assert!(config.queue_depth >= 1, "queue_depth must be positive");
         let shared = Arc::new(Shared::new(service, config));
+        if config.observe {
+            // The engine attributes plan/dedup/cache/exec time into the
+            // same stage set the server uses for queue/window/route —
+            // through the Service surface, so the engine never learns
+            // the server exists.
+            shared.service.install_recorder(shared.obs.clone());
+        }
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -197,7 +216,20 @@ impl Server {
 
     /// A live telemetry snapshot.
     pub fn stats(&self) -> ServerStats {
-        self.shared.counters.snapshot(self.shared.queue_depth(), self.shared.is_draining())
+        self.shared.stats()
+    }
+
+    /// A live observability snapshot: the counters plus one
+    /// latency-histogram summary per pipeline stage (the `metrics` op).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics()
+    }
+
+    /// The server's observability state. The handle stays valid after
+    /// [`shutdown`](Server::shutdown) — grab it first to render final
+    /// metrics or flush the trace ring after the drain.
+    pub fn observability(&self) -> Arc<ServerObs> {
+        Arc::clone(&self.shared.obs)
     }
 
     /// Graceful drain: stops admitting (late requests get the
@@ -226,7 +258,12 @@ impl Server {
         for thread in conn_threads {
             let _ = thread.join();
         }
-        self.shared.counters.snapshot(self.shared.queue_depth(), true)
+        // The engine may outlive this server; leave it reporting into a
+        // no-op sink rather than our now-final stage set.
+        if self.shared.cfg.observe {
+            self.shared.service.install_recorder(Arc::new(parspeed_obs::NoopRecorder));
+        }
+        self.shared.stats()
     }
 }
 
@@ -237,7 +274,7 @@ fn alloc_conn(shared: &Shared, io: &mut IoState) -> Arc<ConnShared> {
     let id = io.next_conn_id;
     io.next_conn_id += 1;
     shared.counters.add(&shared.counters.connections, 1);
-    Arc::new(ConnShared::new(id))
+    Arc::new(ConnShared::with_obs(id, Arc::clone(&shared.obs)))
 }
 
 /// Registers an accepted stream and spawns its reader/writer pair.
@@ -290,6 +327,7 @@ impl Client {
             version: WIRE_VERSION,
             line_no: seq as usize + 1,
             render: false,
+            submitted: Instant::now(),
         });
         seq
     }

@@ -13,12 +13,19 @@
 //! the connection (later lines still answer) and not the batcher (other
 //! clients' in-flight requests never see it).
 //!
-//! One extra op exists only on the serving wire: `{"op":"stats"}`
-//! answers the server's [`ServerStats`](crate::ServerStats) snapshot as
-//! a wire-v2 record without entering the batcher.
+//! Three extra ops exist only on the serving wire, all answered in the
+//! request's own reply slot without entering the batcher:
+//! `{"op":"stats"}` answers the server's
+//! [`ServerStats`](crate::ServerStats) snapshot (byte-frozen shape);
+//! `{"op":"metrics"}` answers the full
+//! [`MetricsSnapshot`](crate::MetricsSnapshot) — the same counters plus
+//! engine time, the dedup factor, and one latency-histogram summary per
+//! pipeline stage; `{"op":"trace"}` answers the ring of recent request
+//! traces (empty unless the server runs with `--trace N`).
 
 use crate::batcher::{Job, Shared};
 use crate::conn::{ConnShared, Delivery};
+use crate::metrics;
 use parspeed_engine::{jsonl, WIRE_VERSION};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream};
@@ -37,16 +44,29 @@ pub(crate) fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, shared: Arc<
             continue;
         }
         let seq = conn.alloc_seq();
-        // One tokenization per line: the serving-only `stats` op is
+        // One tokenization per line: the serving-only ops are
         // intercepted from the parsed value (the engine's reader does not
-        // know it), everything else becomes a query from the same value.
+        // know them), everything else becomes a query from the same value.
         let parsed = match jsonl::parse(text) {
-            Ok(v) if v.get("op").and_then(jsonl::Json::as_str) == Some("stats") => {
-                let stats = shared.counters.snapshot(shared.queue_depth(), shared.is_draining());
-                conn.route(seq, Delivery::Line(stats.to_json().render()));
-                continue;
-            }
-            Ok(v) => jsonl::parse_query_value(&v),
+            Ok(v) => match v.get("op").and_then(jsonl::Json::as_str) {
+                Some("stats") => {
+                    conn.route(seq, Delivery::Line(shared.stats().to_json().render()));
+                    continue;
+                }
+                Some("metrics") => {
+                    conn.route(seq, Delivery::Line(shared.metrics().to_json().render()));
+                    continue;
+                }
+                Some("trace") => {
+                    let reply = metrics::trace_to_json(
+                        &shared.obs.trace_events(),
+                        shared.obs.trace_capacity(),
+                    );
+                    conn.route(seq, Delivery::Line(reply.render()));
+                    continue;
+                }
+                _ => jsonl::parse_query_value(&v),
+            },
             Err(e) => Err(jsonl::LineError {
                 version: 1,
                 error: parspeed_engine::ParspeedError::parse(e),
@@ -65,6 +85,7 @@ pub(crate) fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, shared: Arc<
                     version: parsed.version,
                     line_no,
                     render: true,
+                    submitted: std::time::Instant::now(),
                 });
             }
             Err(e) => conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no))),

@@ -1,31 +1,60 @@
-//! Server telemetry: lock-free counters updated on the hot paths, read as
-//! one consistent-enough [`ServerStats`] snapshot (counters are
-//! individually atomic; a snapshot taken mid-batch may be one batch
-//! ahead on some fields — fine for telemetry, asserted exactly only
-//! after [`Server::shutdown`](crate::Server::shutdown)).
+//! Server telemetry counters and the [`ServerStats`] snapshot.
+//!
+//! Consistency model (exact, not hand-waved):
+//!
+//! * **Admission-path counters** — `connections`, `submitted`,
+//!   `overloaded`, `v1_lines`, `queue_high_watermark` — are relaxed
+//!   atomics bumped the moment the event happens. They may *lead* the
+//!   batch group below by whatever is in flight: a snapshot can show
+//!   `submitted > completed + overloaded + queue_depth` while requests
+//!   sit inside an executing batch.
+//! * **Batch-group counters** — `completed`, `batches`,
+//!   `batched_requests`, `max_batch_fill`, `cross_client_*`, `atoms`,
+//!   `unique`, `cache_hits`, `engine_nanos` — are updated together,
+//!   once per completed batch, under one ordering point
+//!   ([`Counters::batch_group`], a mutex whose release/acquire pairing
+//!   is the fence the snapshot takes). A snapshot therefore never
+//!   splits a batch: either all of a batch's contributions are visible
+//!   or none are, so invariants like `batched_requests ==` Σ batch
+//!   sizes and `completed ≤ batched_requests` hold on every read.
+//! * **`queue_depth` / `draining`** are read under the submission-queue
+//!   lock itself (one acquisition for both, see
+//!   [`Shared::stats`](crate::batcher::Shared::stats)) and are exact at
+//!   that instant.
+//!
+//! After [`Server::shutdown`](crate::Server::shutdown) everything has
+//! quiesced and every field is exact.
 
 use parspeed_engine::jsonl::Json;
 use parspeed_engine::WIRE_VERSION;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// The live counters (crate-internal; snapshot through [`ServerStats`]).
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
+    // Admission-path counters (may lead the batch group; see module docs).
     pub connections: AtomicU64,
     pub submitted: AtomicU64,
-    pub completed: AtomicU64,
     pub overloaded: AtomicU64,
+    pub queue_high_watermark: AtomicU64,
+    pub v1_lines: AtomicU64,
+    // Batch-group counters (updated together under `batch_sync`).
+    pub completed: AtomicU64,
     pub batches: AtomicU64,
     pub batched_requests: AtomicU64,
     pub max_batch_fill: AtomicU64,
-    pub queue_high_watermark: AtomicU64,
     pub cross_client_batches: AtomicU64,
     pub cross_client_dedup_hits: AtomicU64,
     pub atoms: AtomicU64,
     pub unique: AtomicU64,
     pub cache_hits: AtomicU64,
-    pub v1_lines: AtomicU64,
+    pub engine_nanos: AtomicU64,
+    /// The one ordering point for the batch group: workers hold it while
+    /// posting a completed batch's counters, [`snapshot`](Counters::snapshot)
+    /// holds it while reading them, so a snapshot never sees half a batch.
+    batch_sync: Mutex<()>,
 }
 
 impl Counters {
@@ -37,7 +66,19 @@ impl Counters {
         counter.fetch_max(candidate, Ordering::Relaxed);
     }
 
+    /// Enters the batch-group critical section (workers post a whole
+    /// batch's counters inside it; held for ~ten uncontended atomic adds
+    /// per *batch*, so it never shows up next to the engine call).
+    pub fn batch_group(&self) -> MutexGuard<'_, ()> {
+        self.batch_sync.lock().unwrap()
+    }
+
+    /// Snapshots every counter. Taking [`batch_group`](Counters::batch_group)
+    /// is the acquire side of the workers' release: the batch-group
+    /// fields are mutually consistent (see module docs for which other
+    /// fields may lead).
     pub fn snapshot(&self, queue_depth: usize, draining: bool) -> ServerStats {
+        let _sync = self.batch_group();
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ServerStats {
             connections: get(&self.connections),
@@ -54,6 +95,7 @@ impl Counters {
             atoms: get(&self.atoms),
             unique: get(&self.unique),
             cache_hits: get(&self.cache_hits),
+            engine_nanos: get(&self.engine_nanos),
             v1_lines: get(&self.v1_lines),
             draining,
         }
@@ -62,6 +104,7 @@ impl Counters {
 
 /// A point-in-time view of what the server has done: admission, batching
 /// window occupancy, and how much work cross-client coalescing saved.
+/// See the module docs for exactly which fields may lag which.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
     /// Connections accepted (TCP) plus in-process clients handed out.
@@ -94,6 +137,12 @@ pub struct ServerStats {
     pub unique: u64,
     /// Unique keys served from the engine's result cache.
     pub cache_hits: u64,
+    /// Engine-reported wall time summed across batches
+    /// ([`BatchTelemetry::wall_seconds`](parspeed_engine::BatchTelemetry::wall_seconds)
+    /// in nanoseconds — previously dropped on the floor by the server's
+    /// own accounting). On the wire this travels in the `metrics` op
+    /// only; the `stats` reply shape is frozen.
+    pub engine_nanos: u64,
     /// Request lines that spoke deprecated wire v1.
     pub v1_lines: u64,
     /// Whether the server is draining for shutdown.
@@ -110,13 +159,28 @@ impl ServerStats {
         }
     }
 
-    /// The stats as one wire-v2 JSONL record (the reply to the `stats`
-    /// op; like the batch-mode telemetry record, it is new in v2 and
-    /// always rendered in v2 shape).
-    pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("version".into(), Json::Num(WIRE_VERSION as f64)),
-            ("op".into(), Json::Str("stats".into())),
+    /// Total engine wall time, in seconds.
+    pub fn engine_seconds(&self) -> f64 {
+        self.engine_nanos as f64 / 1e9
+    }
+
+    /// Batch-weighted dedup factor: atoms per unique evaluation across
+    /// everything served (1.0 when nothing has run), the serving-layer
+    /// twin of [`BatchTelemetry::dedup_factor`](parspeed_engine::BatchTelemetry::dedup_factor).
+    pub fn dedup_factor(&self) -> f64 {
+        if self.unique == 0 {
+            1.0
+        } else {
+            self.atoms as f64 / self.unique as f64
+        }
+    }
+
+    /// The counter fields in wire order, *excluding* the version/op
+    /// envelope — shared by [`to_json`](ServerStats::to_json) (which
+    /// must stay byte-compatible, so it adds nothing) and the `metrics`
+    /// op (which appends the newer derived fields).
+    pub(crate) fn counter_fields(&self) -> Vec<(String, Json)> {
+        vec![
             ("connections".into(), Json::Num(self.connections as f64)),
             ("submitted".into(), Json::Num(self.submitted as f64)),
             ("completed".into(), Json::Num(self.completed as f64)),
@@ -134,7 +198,23 @@ impl ServerStats {
             ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
             ("v1_lines".into(), Json::Num(self.v1_lines as f64)),
             ("draining".into(), Json::Bool(self.draining)),
-        ])
+        ]
+    }
+
+    /// The stats as one wire-v2 JSONL record (the reply to the `stats`
+    /// op; like the batch-mode telemetry record, it is new in v2 and
+    /// always rendered in v2 shape). **Byte-compatible by contract**:
+    /// existing clients parse this reply positionally and by exact
+    /// field set, so it must never gain, lose, or reorder fields —
+    /// richer data (engine time, dedup factor, stage histograms) goes
+    /// out through `{"op":"metrics"}` instead.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("version".into(), Json::Num(WIRE_VERSION as f64)),
+            ("op".into(), Json::Str("stats".into())),
+        ];
+        fields.extend(self.counter_fields());
+        Json::Obj(fields)
     }
 }
 
@@ -145,7 +225,8 @@ impl fmt::Display for ServerStats {
             "{} connection(s), {} submitted → {} completed + {} overloaded; \
              {} batch(es) carrying {} request(s) ({:.1} avg fill, {} max); \
              {} cross-client batch(es) saved {} duplicate evaluation(s); \
-             {} atoms → {} unique, {} cache hits; {} v1 line(s)",
+             {} atoms → {} unique ({:.2}× dedup), {} cache hits; \
+             {:.3}s engine time; {} v1 line(s)",
             self.connections,
             self.submitted,
             self.completed,
@@ -158,7 +239,9 @@ impl fmt::Display for ServerStats {
             self.cross_client_dedup_hits,
             self.atoms,
             self.unique,
+            self.dedup_factor(),
             self.cache_hits,
+            self.engine_seconds(),
             self.v1_lines,
         )
     }
@@ -189,11 +272,59 @@ mod tests {
     }
 
     #[test]
+    fn stats_wire_shape_is_frozen() {
+        // The byte-compatibility contract: exactly these fields, in
+        // exactly this order, whatever else the server learns to
+        // measure. `engine_nanos` and friends must NOT appear.
+        let Json::Obj(fields) = Counters::default().snapshot(0, false).to_json() else {
+            panic!("stats renders an object")
+        };
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "version",
+                "op",
+                "connections",
+                "submitted",
+                "completed",
+                "overloaded",
+                "queue_depth",
+                "queue_high_watermark",
+                "batches",
+                "batched_requests",
+                "avg_batch_fill",
+                "max_batch_fill",
+                "cross_client_batches",
+                "cross_client_dedup_hits",
+                "atoms",
+                "unique",
+                "cache_hits",
+                "v1_lines",
+                "draining",
+            ]
+        );
+    }
+
+    #[test]
+    fn engine_time_and_dedup_factor_are_derived_not_wire() {
+        let c = Counters::default();
+        c.add(&c.atoms, 100);
+        c.add(&c.unique, 25);
+        c.add(&c.engine_nanos, 1_500_000_000);
+        let s = c.snapshot(0, false);
+        assert!((s.dedup_factor() - 4.0).abs() < 1e-12);
+        assert!((s.engine_seconds() - 1.5).abs() < 1e-12);
+        assert!(!s.to_json().render().contains("engine"), "stats wire stays frozen");
+    }
+
+    #[test]
     fn display_names_the_load_bearing_numbers() {
         let s = Counters::default().snapshot(0, true);
         let text = s.to_string();
         assert!(text.contains("0 submitted"));
         assert!(text.contains("overloaded"));
         assert!(text.contains("cross-client"));
+        assert!(text.contains("engine time"));
     }
 }

@@ -73,6 +73,7 @@ fn run_script(seed: u64) {
             max_batch: 64,
             workers: 2,
             queue_depth: 4096,
+            ..ServerConfig::default()
         },
     );
     let barrier = Arc::new(Barrier::new(clients));
@@ -138,6 +139,7 @@ fn shared_traffic_coalesces_across_clients() {
             max_batch: 4096,
             workers: 2,
             queue_depth: 4096,
+            ..ServerConfig::default()
         },
     );
     let clients = 8usize;

@@ -26,6 +26,7 @@ fn saturation_answers_overloaded_in_slot_and_drain_flushes() {
             max_batch: 64,
             workers: 1,
             queue_depth: 3,
+            ..ServerConfig::default()
         },
     );
     let client = server.client();
@@ -69,6 +70,7 @@ fn server_recovers_full_throughput_after_a_burst() {
             max_batch: 64,
             workers: 2,
             queue_depth: 2,
+            ..ServerConfig::default()
         },
     );
     let threads = 4usize;
@@ -134,6 +136,7 @@ fn drain_flushes_all_accepted_requests() {
             max_batch: 512,
             workers: 2,
             queue_depth: 4096,
+            ..ServerConfig::default()
         },
     );
     let clients: Vec<_> = (0..3).map(|_| server.client()).collect();

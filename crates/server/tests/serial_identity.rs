@@ -78,6 +78,7 @@ proptest! {
                 max_batch: 32,
                 workers: 3,
                 queue_depth: 4096,
+                ..ServerConfig::default()
             },
         );
         let barrier = Arc::new(Barrier::new(clients));

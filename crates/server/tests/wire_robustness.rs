@@ -20,6 +20,7 @@ fn start_tcp_server() -> (Server, SocketAddr) {
             max_batch: 64,
             workers: 2,
             queue_depth: 4096,
+            ..ServerConfig::default()
         },
     );
     let addr = server.listen(("127.0.0.1", 0)).expect("bind");
