@@ -1,6 +1,6 @@
-//! Machine-readable performance snapshot → `BENCH_PR6.json`.
+//! Machine-readable performance snapshot → `BENCH_PR7.json`.
 //!
-//! Five sections, each a paper-relevant hot path:
+//! Six sections, each a paper-relevant hot path:
 //!
 //! * **kernels** (PR 3): for each catalogue stencil, the full-interior
 //!   Jacobi sweep — generic tap-driven vs fused row-slice vs fused rayon
@@ -24,10 +24,21 @@
 //!   per-stage latency recording off vs on — the instrumentation
 //!   overhead (≤ 5% required at full size) — plus the per-stage p50s of
 //!   the observed run, the paper's `k(P,S)` overhead term measured
-//!   instead of modeled.
+//!   instead of modeled;
+//! * **sharding** (PR 7): the paper's optimal-`P` argument replayed on
+//!   the serving fleet — a duplicated workload over `D` distinct cache
+//!   keys against `C`-entry shard caches, swept across fleet sizes
+//!   through the consistent-hash router. Small fleets thrash (the
+//!   aggregate cache cannot hold the working set: the per-processor
+//!   memory constraint of §3), large fleets fragment the same traffic
+//!   into more, smaller micro-batches (per-batch coordination paid more
+//!   often: `k(P,S)` rising with `P` — Gunther's retrograde region), and
+//!   `parspeed route --predict`'s `Query::Optimize` pipeline must land
+//!   within ±1 of the empirically best fleet size (≥ 2× single-server
+//!   throughput at 4 shards required).
 //!
 //! ```text
-//! cargo run --release -p parspeed-bench --bin perf_snapshot            # n=1024 → BENCH_PR6.json
+//! cargo run --release -p parspeed-bench --bin perf_snapshot            # n=1024 → BENCH_PR7.json
 //! cargo run --release -p parspeed-bench --bin perf_snapshot -- --quick --check --out target/smoke.json
 //! ```
 //!
@@ -38,13 +49,17 @@
 //! halos at least halve the exchange count, the micro-batched server
 //! beats per-request dispatch (≥ 2× full-size, ≥ 1.3× under the noisy
 //! quick configuration), stage recording stays within its overhead
-//! budget with every stage histogram populated, and everything is
-//! bit-identical; `--out PATH` overrides the output path.
+//! budget with every stage histogram populated, the sharded fleet beats
+//! the single server (≥ 2× at 4 shards full-size, ≥ 1.3× quick) with
+//! the predicted fleet size within ±1 of the measured best, and
+//! everything is bit-identical; `--out PATH` overrides the output path.
 
 use parspeed_engine::jsonl::{self, Json};
 use parspeed_engine::{ArchKind, Engine, Query, Request, Response, SolverKind};
 use parspeed_exec::PartitionedJacobi;
 use parspeed_grid::{Grid2D, Region, StripDecomposition};
+use parspeed_router::predict::{predict, FleetModel, SweepPoint, WorkloadProfile};
+use parspeed_router::{Router, RouterConfig};
 use parspeed_server::{Server, ServerConfig};
 use parspeed_solver::apply::{jacobi_sweep, jacobi_sweep_par, jacobi_sweep_region_generic};
 use parspeed_solver::{CheckPolicy, JacobiSolver, PoissonProblem};
@@ -60,6 +75,14 @@ struct Config {
     min_time: f64,
     trials: usize,
     server_requests: usize,
+    /// Sharding section: requests, distinct cache keys, per-shard cache
+    /// capacity, fleet sizes to sweep, and the largest fleet `--predict`
+    /// may propose.
+    shard_requests: usize,
+    shard_distinct: usize,
+    shard_capacity: usize,
+    shard_sweep: &'static [usize],
+    shard_max: usize,
     quick: bool,
     check: bool,
     out: String,
@@ -82,9 +105,14 @@ fn parse_args() -> Config {
         min_time: 0.25,
         trials: 3,
         server_requests: 10_000,
+        shard_requests: 10_000,
+        shard_distinct: 144,
+        shard_capacity: 36,
+        shard_sweep: &[1, 2, 3, 4, 6, 8],
+        shard_max: 8,
         quick: false,
         check: false,
-        out: "BENCH_PR6.json".into(),
+        out: "BENCH_PR7.json".into(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -96,6 +124,11 @@ fn parse_args() -> Config {
                 cfg.min_time = 0.04;
                 cfg.trials = 2;
                 cfg.server_requests = 2_000;
+                cfg.shard_requests = 2_000;
+                cfg.shard_distinct = 64;
+                cfg.shard_capacity = 16;
+                cfg.shard_sweep = &[1, 2, 4];
+                cfg.shard_max = 4;
                 cfg.quick = true;
             }
             "--check" => cfg.check = true,
@@ -576,6 +609,252 @@ fn snapshot_observability(cfg: &Config) -> ObsBench {
     }
 }
 
+struct ShardingBench {
+    requests: usize,
+    clients: usize,
+    distinct: usize,
+    capacity: usize,
+    single_seconds: f64,
+    /// Best wall seconds per swept fleet size, in sweep order.
+    sweep: Vec<SweepPoint>,
+    memory_floor: usize,
+    predicted: usize,
+    empirical_best: usize,
+    model: Option<FleetModel>,
+    identical: bool,
+}
+
+impl ShardingBench {
+    /// Throughput of the 4-shard fleet over the single server with the
+    /// same per-node cache — the acceptance ratio.
+    fn speedup4(&self) -> f64 {
+        let t4 =
+            self.sweep.iter().find(|p| p.shards == 4).expect("sweep includes 4 shards").seconds;
+        self.single_seconds / t4
+    }
+}
+
+/// The sharding workload: `distinct` cache keys, a mix of point
+/// optimizations and real numerical solves, each distinct in its
+/// parameters, so a key evicted from a C-entry shard cache costs real
+/// model or solver work to recompute. Every query is a single atom, so
+/// cache entries count workload keys 1:1 and the per-shard capacity is
+/// exactly the paper's per-processor memory constraint. The solves
+/// carry the miss cost: an unreachable tolerance never converges, so
+/// each runs its exact `max_iters` budget — deterministic work,
+/// bit-identical replies.
+fn sharding_pool(distinct: usize) -> Vec<Query> {
+    (0..distinct)
+        .map(|i| match i % 4 {
+            0 => Request::optimize(ArchKind::SyncBus, 64 + i).procs(16 + (i % 48)).query(),
+            _ => {
+                Request::solve(31).solver(SolverKind::Jacobi).tol(1e-300).max_iters(200 + i).query()
+            }
+        })
+        .collect()
+}
+
+/// One in-process connection into either a single server or a routed
+/// fleet — the sweep drives both through the same closed-credit loop.
+trait FleetConn: Send + 'static {
+    fn submit_query(&self, q: Query);
+    fn recv_reply(&self) -> Response;
+}
+
+impl FleetConn for parspeed_server::Client {
+    fn submit_query(&self, q: Query) {
+        self.submit(q);
+    }
+    fn recv_reply(&self) -> Response {
+        self.recv().1
+    }
+}
+
+impl FleetConn for parspeed_router::RouterClient {
+    fn submit_query(&self, q: Query) {
+        self.submit(q);
+    }
+    fn recv_reply(&self) -> Response {
+        self.recv().1
+    }
+}
+
+/// Drives the duplicated workload through `conns` with a bounded credit
+/// window per client (submit up to `credit` ahead, then one new request
+/// per reply) and checks every reply against the serial reference.
+/// Bounded in-flight credit is what real clients do, and it is what
+/// makes the coordination cost visible: the fleet only ever holds
+/// `clients × credit` requests, so more shards means each micro-batch
+/// window closes over fewer requests and the per-batch cost is paid
+/// more often — `k(P,S)` rising with `P`.
+///
+/// Returns wall seconds and whether every reply matched the reference.
+fn drive_fleet<C: FleetConn>(
+    conns: Vec<C>,
+    shares: &[Vec<usize>],
+    pool: &[Query],
+    reference: &[Response],
+    credit: usize,
+) -> (f64, bool) {
+    let clients = conns.len();
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let handles: Vec<_> = conns
+        .into_iter()
+        .zip(shares)
+        .map(|(conn, share)| {
+            let share = share.clone();
+            let queries: Vec<Query> = share.iter().map(|&i| pool[i].clone()).collect();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut next = credit.min(queries.len());
+                for q in &queries[..next] {
+                    conn.submit_query(q.clone());
+                }
+                let mut replies = Vec::with_capacity(queries.len());
+                for _ in 0..queries.len() {
+                    replies.push(conn.recv_reply());
+                    if next < queries.len() {
+                        conn.submit_query(queries[next].clone());
+                        next += 1;
+                    }
+                }
+                (share, replies)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().expect("client")).collect();
+    let seconds = start.elapsed().as_secs_f64();
+    let mut identical = true;
+    for (share, replies) in &results {
+        for (&idx, reply) in share.iter().zip(replies) {
+            if reply != &reference[idx] {
+                eprintln!("BIT-IDENTITY VIOLATION: fleet reply for pool key {idx} differs");
+                identical = false;
+            }
+        }
+    }
+    (seconds, identical)
+}
+
+/// The paper's optimal-`P` experiment on the serving fleet: sweep the
+/// router across fleet sizes on a duplicated workload whose `D` distinct
+/// keys outsize one `C`-entry shard cache, measure the single-server
+/// baseline with the same per-node cache, then hand the measured sweep
+/// to `parspeed route --predict`'s pipeline and record where the
+/// optimizer lands against the empirically best fleet size.
+fn snapshot_sharding(cfg: &Config) -> ShardingBench {
+    let clients = 8usize;
+    let credit = 8usize;
+    let (requests, distinct, capacity) =
+        (cfg.shard_requests, cfg.shard_distinct, cfg.shard_capacity);
+    let pool = sharding_pool(distinct);
+    let reference = Engine::default().run_batch(&pool).responses;
+
+    // Every client draws its share from the pool by its own LCG stream:
+    // duplicated traffic in a smooth random order, so an over-capacity
+    // LRU misses at the textbook rate instead of thrashing cyclically.
+    let shares: Vec<Vec<usize>> = (0..clients)
+        .map(|c| {
+            let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1);
+            (0..requests / clients)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    ((state >> 33) % distinct as u64) as usize
+                })
+                .collect()
+        })
+        .collect();
+
+    // The per-node serving configuration, identical for the single
+    // server and every shard: the cache capacity is the paper's
+    // per-processor memory constraint.
+    let node_config = ServerConfig {
+        window: Duration::from_micros(50),
+        max_batch: 512,
+        workers: 2,
+        queue_depth: requests,
+        ..ServerConfig::default()
+    };
+    let node_engine =
+        || Arc::new(Engine::builder().cache_capacity(capacity).cache_shards(1).build());
+
+    let mut identical = true;
+    let mut single_seconds = f64::INFINITY;
+    for _ in 0..cfg.trials {
+        let server = Server::start(node_engine(), node_config);
+        let conns: Vec<_> = (0..clients).map(|_| server.client()).collect();
+        let (seconds, ok) = drive_fleet(conns, &shares, &pool, &reference, credit);
+        identical &= ok;
+        let stats = server.shutdown();
+        if stats.completed as usize != requests || stats.overloaded != 0 {
+            eprintln!("SHARDING BENCH ANOMALY (single server): {stats}");
+            identical = false;
+        }
+        single_seconds = single_seconds.min(seconds);
+    }
+
+    let mut sweep = Vec::new();
+    for &shards in cfg.shard_sweep {
+        let mut best = f64::INFINITY;
+        for _ in 0..cfg.trials {
+            // 256 ring points per shard keeps the key split close to
+            // even, so the cache-capacity knee lands where D/C says.
+            let router = Router::start_with(
+                RouterConfig { shards, replicas: 256, backend: node_config },
+                |_| node_engine(),
+            );
+            let conns: Vec<_> = (0..clients).map(|_| router.client()).collect();
+            let (seconds, ok) = drive_fleet(conns, &shares, &pool, &reference, credit);
+            identical &= ok;
+            let stats = router.shutdown();
+            let completed: u64 = stats.iter().map(|(_, s)| s.completed).sum();
+            let overloaded: u64 = stats.iter().map(|(_, s)| s.overloaded).sum();
+            if completed as usize != requests || overloaded != 0 {
+                eprintln!("SHARDING BENCH ANOMALY ({shards} shards): {completed} completed");
+                identical = false;
+            }
+            best = best.min(seconds);
+        }
+        sweep.push(SweepPoint { shards, seconds: best });
+    }
+
+    // The empirically best fleet size, with the optimizer's own
+    // tie-break: among fleet sizes within measurement noise (5%) of the
+    // fastest, the smallest wins — same time on fewer processors is
+    // higher efficiency, exactly how the engine breaks model ties.
+    let fastest = sweep.iter().map(|p| p.seconds).fold(f64::INFINITY, f64::min);
+    let empirical_best = sweep
+        .iter()
+        .filter(|p| p.seconds <= fastest * 1.05)
+        .map(|p| p.shards)
+        .min()
+        .expect("non-empty sweep");
+
+    let profile = WorkloadProfile { distinct_keys: distinct, shard_capacity: capacity };
+    let prediction =
+        predict(profile, &sweep, cfg.shard_max).expect("the swept workload is feasible");
+
+    ShardingBench {
+        requests,
+        clients,
+        distinct,
+        capacity,
+        single_seconds,
+        sweep,
+        memory_floor: prediction.memory_floor,
+        predicted: prediction.shards,
+        empirical_best,
+        model: prediction.model,
+        identical,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn to_json(
     cfg: &Config,
     rows: &[Row],
@@ -584,6 +863,7 @@ fn to_json(
     dh: &DeepHalo,
     sv: &ServerBench,
     ob: &ObsBench,
+    sh: &ShardingBench,
 ) -> Json {
     let kernels = rows
         .iter()
@@ -667,13 +947,51 @@ fn to_json(
             ),
         ),
     ]);
+    let sharding = Json::Obj(vec![
+        ("requests".into(), Json::Num(sh.requests as f64)),
+        ("clients".into(), Json::Num(sh.clients as f64)),
+        ("distinct_keys".into(), Json::Num(sh.distinct as f64)),
+        ("shard_capacity".into(), Json::Num(sh.capacity as f64)),
+        ("single_seconds".into(), Json::Num(round3(sh.single_seconds * 1e3) / 1e3)),
+        (
+            "sweep".into(),
+            Json::Arr(
+                sh.sweep
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("shards".into(), Json::Num(p.shards as f64)),
+                            ("seconds".into(), Json::Num(round3(p.seconds * 1e3) / 1e3)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("speedup_at_4_shards".into(), Json::Num(round3(sh.speedup4()))),
+        ("memory_floor".into(), Json::Num(sh.memory_floor as f64)),
+        ("predicted_shards".into(), Json::Num(sh.predicted as f64)),
+        ("empirical_best_shards".into(), Json::Num(sh.empirical_best as f64)),
+        (
+            "model".into(),
+            match &sh.model {
+                Some(m) => Json::Obj(vec![
+                    ("scatter".into(), Json::Num(round3(m.scatter * 1e3) / 1e3)),
+                    ("coordination".into(), Json::Num(round3(m.coordination * 1e3) / 1e3)),
+                    ("floor".into(), Json::Num(round3(m.floor * 1e3) / 1e3)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        ("bit_identical".into(), Json::Bool(sh.identical)),
+    ]);
     Json::Obj(vec![
-        ("schema".into(), Json::Str("parspeed-perf-snapshot/v4".into())),
-        ("pr".into(), Json::Num(6.0)),
+        ("schema".into(), Json::Str("parspeed-perf-snapshot/v5".into())),
+        ("pr".into(), Json::Num(7.0)),
         (
             "bench".into(),
             Json::Str(
-                "Jacobi kernels, fused solver loop, deep halos, serving layer, observability"
+                "Jacobi kernels, fused solver loop, deep halos, serving layer, observability, \
+                 sharded fleet"
                     .into(),
             ),
         ),
@@ -685,6 +1003,7 @@ fn to_json(
         ("deep_halo".into(), deep_halo),
         ("server".into(), server),
         ("observability".into(), observability),
+        ("sharding".into(), sharding),
     ])
 }
 
@@ -699,9 +1018,10 @@ fn main() {
     let dh = snapshot_deep_halo(&cfg);
     let sv = snapshot_server(&cfg);
     let ob = snapshot_observability(&cfg);
+    let sh = snapshot_sharding(&cfg);
     // A drifted kernel must never produce a committable snapshot, with or
     // without --check: fail after writing (the file records the evidence).
-    let json = to_json(&cfg, &rows, identical, &lp, &dh, &sv, &ob);
+    let json = to_json(&cfg, &rows, identical, &lp, &dh, &sv, &ob, &sh);
     let text = json.render();
     if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
         if !dir.as_os_str().is_empty() {
@@ -782,11 +1102,30 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    println!(
+        "sharding: {} requests over {} distinct keys vs {}-entry shard caches: \
+         single server {:.1} ms; sweep {}; 4 shards {:.2}× single; \
+         memory floor {}, predicted {} vs empirical best {}",
+        sh.requests,
+        sh.distinct,
+        sh.capacity,
+        sh.single_seconds * 1e3,
+        sh.sweep
+            .iter()
+            .map(|p| format!("P={} {:.1}ms", p.shards, p.seconds * 1e3))
+            .collect::<Vec<_>>()
+            .join(", "),
+        sh.speedup4(),
+        sh.memory_floor,
+        sh.predicted,
+        sh.empirical_best
+    );
     println!("wrote {}", cfg.out);
     assert!(identical, "fused kernels must be bit-identical to generic (snapshot records details)");
     assert!(lp.identical, "fused solver loop must be bit-identical to the three-pass loop");
     assert!(dh.identical, "deep-halo executor must be bit-identical to depth-1");
     assert!(sv.identical, "micro-batched replies must be bit-identical to serial dispatch");
+    assert!(sh.identical, "routed replies must be bit-identical to serial dispatch");
 
     if cfg.check {
         let reparsed = jsonl::parse(&std::fs::read_to_string(&cfg.out).expect("re-read snapshot"))
@@ -837,10 +1176,29 @@ fn main() {
                 .unwrap_or_else(|| panic!("stage {name} missing from snapshot"));
             assert!(count > 0.0, "stage {name} histogram is empty");
         }
+        let shj = reparsed.get("sharding").expect("sharding section");
+        let sh_x =
+            shj.get("speedup_at_4_shards").and_then(Json::as_f64).expect("speedup_at_4_shards");
+        // Same CI-noise split as the server section: the committed
+        // full-size snapshot records the ≥ 2× result.
+        let sh_floor = if cfg.quick { 1.3 } else { 2.0 };
+        assert!(
+            sh_x >= sh_floor,
+            "sharded fleet regressed: {sh_x:.3}× over the single server (≥ {sh_floor}×)"
+        );
+        let predicted =
+            shj.get("predicted_shards").and_then(Json::as_f64).expect("predicted_shards");
+        let best =
+            shj.get("empirical_best_shards").and_then(Json::as_f64).expect("empirical_best_shards");
+        assert!(
+            (predicted - best).abs() <= 1.0,
+            "the optimizer sized the fleet at {predicted} shards but the sweep's best is {best}"
+        );
         for (section, ok) in [
             ("solver_loop", sl.get("bit_identical")),
             ("deep_halo", dhj.get("bit_identical")),
             ("server", svj.get("bit_identical")),
+            ("sharding", shj.get("bit_identical")),
         ] {
             assert_eq!(ok, Some(&Json::Bool(true)), "{section} lost bit-identity");
         }
@@ -848,7 +1206,9 @@ fn main() {
             "check passed: JSON round-trips, fused ≥ generic on all stencils, fused loop \
              {fused_x:.2}× ≥ 1.1×, deep halos {ratio:.2}× ≥ 2× fewer exchanges, \
              micro-batched serving {sv_x:.2}× ≥ {sv_floor}× over per-request dispatch, \
-             stage recording {:+.1}% ≤ {:.0}% with every histogram populated",
+             stage recording {:+.1}% ≤ {:.0}% with every histogram populated, \
+             sharded fleet {sh_x:.2}× ≥ {sh_floor}× over one server with the predicted \
+             fleet size {predicted} within ±1 of the measured best {best}",
             overhead * 100.0,
             overhead_ceiling * 100.0
         );

@@ -1,17 +1,18 @@
 //! `parspeed metrics` — probe a running `parspeed serve` for its
-//! observability snapshot over the wire.
+//! observability snapshot over the wire, once or on an interval.
 
 use crate::args::{err, Args, CliError};
 use parspeed_engine::jsonl;
 use parspeed_server::MetricsSnapshot;
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
 
-pub const KEYS: &[&str] = &["addr"];
+pub const KEYS: &[&str] = &["addr", "interval"];
 pub const SWITCHES: &[&str] = &["human", "trace"];
 
 /// Usage shown by `parspeed help metrics`.
-pub const USAGE: &str = "parspeed metrics --addr HOST:PORT [--human] [--trace]
+pub const USAGE: &str = "parspeed metrics --addr HOST:PORT [--human] [--trace] [--interval SECS]
 
 Connects to a running `parspeed serve`, sends the serving-only
 `{\"op\":\"metrics\"}` request, and prints the reply: the server's
@@ -25,7 +26,12 @@ the dedup factor) and one latency-histogram summary per pipeline stage
                     of the raw wire JSON (byte-identical to what
                     `parspeed serve --metrics-human` prints on drain)
   --trace           send `{\"op\":\"trace\"}` instead: the last N request
-                    traces kept by a server running with --trace N";
+                    traces kept by a server running with --trace N
+  --interval SECS   keep watching: re-probe every SECS seconds until the
+                    server goes away. Plain mode streams one snapshot
+                    line (or exposition block with --human --trace off)
+                    per tick; --human redraws the terminal in place.
+                    Exits cleanly when the server drains.";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -33,15 +39,47 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         return Err(err("flag `--addr HOST:PORT` is required; try `parspeed help metrics`"));
     };
     let op = if args.switch("trace") { r#"{"op":"trace"}"# } else { r#"{"op":"metrics"}"# };
-    let line = probe(addr, op)?;
-    if args.switch("human") && !args.switch("trace") {
-        let v =
-            jsonl::parse(&line).map_err(|e| err(format!("server reply is not valid JSON: {e}")))?;
-        return MetricsSnapshot::render_human_wire(&v)
-            .map(|text| text.trim_end().to_string())
-            .ok_or_else(|| err(format!("server reply is not a metrics record: {line}")));
+    let human = args.switch("human") && !args.switch("trace");
+    match args.usize_opt("interval")? {
+        None => {
+            let line = probe(addr, op)?;
+            if human {
+                return render_human(&line);
+            }
+            Ok(line)
+        }
+        Some(0) => Err(err("flag `--interval` must be at least 1 second")),
+        Some(secs) => {
+            // First probe: a dead address is a hard error, like one-shot
+            // mode. After that the server going away ends the watch.
+            let mut line = probe(addr, op)?;
+            loop {
+                let text = if human { render_human(&line)? } else { line };
+                if human {
+                    // Redraw in place: clear, home, repaint.
+                    println!("\x1b[2J\x1b[H{text}");
+                } else {
+                    println!("{text}");
+                }
+                std::io::stdout().flush().map_err(|e| err(format!("cannot flush stdout: {e}")))?;
+                std::thread::sleep(Duration::from_secs(secs as u64));
+                line = match probe(addr, op) {
+                    Ok(line) => line,
+                    // The server drained between ticks: a clean end to
+                    // the watch, not an error.
+                    Err(_) => return Ok(format!("server at {addr} went away; watch ended")),
+                };
+            }
+        }
     }
-    Ok(line)
+}
+
+/// Renders one metrics wire line as the Prometheus-style exposition.
+fn render_human(line: &str) -> Result<String, CliError> {
+    let v = jsonl::parse(line).map_err(|e| err(format!("server reply is not valid JSON: {e}")))?;
+    MetricsSnapshot::render_human_wire(&v)
+        .map(|text| text.trim_end().to_string())
+        .ok_or_else(|| err(format!("server reply is not a metrics record: {line}")))
 }
 
 /// One request line in, one reply line out.

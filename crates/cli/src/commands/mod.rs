@@ -13,6 +13,7 @@ pub mod isoeff;
 pub mod metrics;
 pub mod minsize;
 pub mod optimize;
+pub mod route;
 pub mod serve;
 pub mod simulate;
 pub mod solve;
@@ -30,6 +31,7 @@ COMMANDS:
   optimize    optimal processor count and speedup for one instance
   batch       evaluate a JSONL request batch through the query engine
   serve       serve JSONL batches over TCP with cross-client micro-batching
+  route       front a sharded fleet of serves behind a consistent-hash ring
   metrics     probe a running serve for per-stage latency histograms
   compare     every architecture side by side
   sweep       optimal speedup as the problem grows
@@ -88,6 +90,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
                 "optimize" => optimize::USAGE.into(),
                 "batch" => batch::USAGE.into(),
                 "serve" => serve::USAGE.into(),
+                "route" => route::USAGE.into(),
                 "metrics" => metrics::USAGE.into(),
                 "compare" => compare::USAGE.into(),
                 "sweep" => sweep::USAGE.into(),
@@ -128,6 +131,10 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "serve" => {
             let args = Args::parse(rest, serve::KEYS, serve::SWITCHES)?;
             serve::run(&args)
+        }
+        "route" => {
+            let args = Args::parse(rest, route::KEYS, route::SWITCHES)?;
+            route::run(&args)
         }
         "metrics" => {
             let args = Args::parse(rest, metrics::KEYS, metrics::SWITCHES)?;
@@ -227,6 +234,41 @@ mod tests {
     #[test]
     fn unknown_command_is_an_error() {
         assert!(d(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn route_predict_sizes_the_fleet_from_a_sweep() {
+        let out = d(&[
+            "route",
+            "--predict",
+            "--distinct",
+            "144",
+            "--capacity",
+            "36",
+            "--max-shards",
+            "8",
+            "--sweep",
+            "4:10.5,6:9.2,8:9.6",
+        ])
+        .unwrap();
+        assert!(out.contains("predicted shards  6"), "{out}");
+        assert!(out.contains("memory floor      4"), "{out}");
+        assert!(out.contains("fitted curve"), "{out}");
+    }
+
+    #[test]
+    fn route_predict_without_a_sweep_answers_the_memory_floor() {
+        let out = d(&["route", "--predict", "--distinct", "144", "--capacity", "36"]).unwrap();
+        assert!(out.contains("predicted shards  4"), "{out}");
+        assert!(out.contains("the memory floor decides"), "{out}");
+    }
+
+    #[test]
+    fn route_predict_rejects_malformed_sweeps() {
+        let e =
+            d(&["route", "--predict", "--distinct", "64", "--capacity", "16", "--sweep", "4;1.0"])
+                .unwrap_err();
+        assert!(e.0.contains("shards:seconds"), "{}", e.0);
     }
 
     #[test]

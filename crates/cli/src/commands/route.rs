@@ -1,0 +1,193 @@
+//! `parspeed route` — the sharded serving tier: a consistent-hash
+//! router over a fleet of shard servers, plus the paper-driven fleet
+//! sizing (`--predict`).
+
+use crate::args::{err, Args, CliError};
+use parspeed_engine::Engine;
+use parspeed_router::predict::{predict, FleetModel, SweepPoint, WorkloadProfile};
+use parspeed_router::{Router, RouterConfig};
+use parspeed_server::ServerConfig;
+use std::io::{BufRead as _, Write as _};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub const KEYS: &[&str] = &[
+    "addr",
+    "shards",
+    "replicas",
+    "window-us",
+    "max-batch",
+    "workers",
+    "queue-depth",
+    "cache-capacity",
+    "threads",
+    "distinct",
+    "capacity",
+    "max-shards",
+    "sweep",
+];
+pub const SWITCHES: &[&str] = &["predict", "stats"];
+
+/// Usage shown by `parspeed help route`.
+pub const USAGE: &str = "parspeed route [--addr HOST:PORT] [--shards N] [--replicas N]
+               [--window-us N] [--max-batch N] [--workers N]
+               [--queue-depth N] [--cache-capacity N] [--threads N]
+               [--stats]
+       parspeed route --predict --distinct D --capacity C
+               [--max-shards N] [--sweep P:SECS,P:SECS,...]
+
+Serving mode: fronts N full shard servers (each its own engine and
+result cache) behind one wire-v2 JSONL address. Every request is routed
+by consistent-hashing its canonical cache key onto a hash ring, so
+duplicated traffic always lands on the same warm shard and the fleet's
+aggregate cache holds N times the keys. The wire is `parspeed serve`'s
+wire, with two router-level differences: `{\"op\":\"topology\"}` answers
+the live fleet (members, ring replicas, per-shard resident keys) and
+`{\"op\":\"stats\"}`/`metrics`/`trace` refuse with
+\"error_kind\":\"unsupported\" (per-shard state; probe a shard).
+`{\"op\":\"health\"}` answers with \"shard\":null — backends answer
+theirs with their shard id. Prints `routing on HOST:PORT`, serves until
+stdin reaches EOF (Ctrl-D), drains every in-flight reply, and exits.
+
+Predict mode (--predict): the paper sizes the fleet. A workload with D
+distinct cache keys over C-entry shard caches is the paper's bounded-
+memory allocation problem: the memory floor is ceil(D/C) shards, and a
+measured shard sweep fits the serving curve T(P) = W/P + gamma*P + beta
+onto the synchronous-bus strip machine, which `Query::Optimize`
+minimizes — quantization, memory floor, and infeasibility included.
+
+  --addr HOST:PORT     listen address (default 127.0.0.1:0)
+  --shards N           fleet size (default 4)
+  --replicas N         ring points per shard (default 64)
+  --window-us N        per-shard micro-batch window (default 200)
+  --max-batch N        per-shard batch bound (default 512)
+  --workers N          per-shard batcher workers (default 2)
+  --queue-depth N      per-shard submission-queue bound (default 4096)
+  --cache-capacity N   per-shard result-cache entries (default 65536)
+  --threads N          per-shard engine executor threads (0 = default)
+  --stats              print per-shard telemetry after draining
+  --predict            predict the optimal fleet size and exit
+  --distinct D         distinct cache keys the workload touches
+  --capacity C         result-cache entries one shard holds
+  --max-shards N       largest fleet to consider (default 16)
+  --sweep P:S,...      measured sweep, `shards:seconds` pairs; with
+                       fewer than three sizes the prediction degrades
+                       to the memory floor ceil(D/C)";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    if args.switch("predict") {
+        return run_predict(args);
+    }
+    let backend = ServerConfig {
+        window: Duration::from_micros(args.usize_or("window-us", 200)? as u64),
+        max_batch: args.usize_or("max-batch", 512)?,
+        workers: args.usize_or("workers", 2)?,
+        queue_depth: args.usize_or("queue-depth", 4096)?,
+        ..ServerConfig::default()
+    };
+    let config = RouterConfig {
+        shards: args.usize_or("shards", 4)?,
+        replicas: args.usize_or("replicas", 64)?,
+        backend,
+    };
+    for (flag, value) in [
+        ("shards", config.shards),
+        ("replicas", config.replicas),
+        ("max-batch", backend.max_batch),
+        ("workers", backend.workers),
+        ("queue-depth", backend.queue_depth),
+    ] {
+        if value == 0 {
+            return Err(err(format!("flag `--{flag}` must be at least 1")));
+        }
+    }
+    let cache_capacity =
+        args.usize_or("cache-capacity", parspeed_engine::DEFAULT_CACHE_CAPACITY)?;
+    let threads = args.usize_or("threads", 0)?;
+    let mut router = Router::start_with(config, |_shard| {
+        Arc::new(
+            Engine::builder()
+                .cache_capacity(cache_capacity)
+                .threads(threads)
+                .experiment_runner(crate::commands::experiment::runner)
+                .build(),
+        )
+    });
+    let addr = args.str_or("addr", "127.0.0.1:0");
+    let local = router.listen(addr).map_err(|e| err(format!("cannot bind `{addr}`: {e}")))?;
+
+    println!("routing on {local} ({} shards)", config.shards);
+    println!("serving; close stdin (Ctrl-D) to drain and exit");
+    std::io::stdout().flush().map_err(|e| err(format!("cannot flush stdout: {e}")))?;
+
+    for line in std::io::stdin().lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+    let stats = router.shutdown();
+    if args.switch("stats") {
+        let mut out = String::from("drained");
+        for (shard, s) in &stats {
+            out.push_str(&format!("\nshard {shard}: {s}"));
+        }
+        Ok(out)
+    } else {
+        Ok("drained".into())
+    }
+}
+
+/// `--predict`: profile + optional sweep → the optimizer's fleet size.
+fn run_predict(args: &Args) -> Result<String, CliError> {
+    let Some(distinct) = args.usize_opt("distinct")? else {
+        return Err(err("--predict needs `--distinct D`; try `parspeed help route`"));
+    };
+    let Some(capacity) = args.usize_opt("capacity")? else {
+        return Err(err("--predict needs `--capacity C`; try `parspeed help route`"));
+    };
+    if distinct == 0 || capacity == 0 {
+        return Err(err("--distinct and --capacity must be at least 1"));
+    }
+    let max_shards = args.usize_or("max-shards", 16)?;
+    let sweep = parse_sweep(args.str_opt("sweep").unwrap_or(""))?;
+    let profile = WorkloadProfile { distinct_keys: distinct, shard_capacity: capacity };
+    let p = predict(profile, &sweep, max_shards).map_err(|e| err(e.to_string()))?;
+    let mut out = format!(
+        "predicted shards  {}\nmemory floor      {} ({} distinct keys / {}-entry shard cache)\n\
+         model speedup     {:.2}x over one shard",
+        p.shards, p.memory_floor, distinct, capacity, p.speedup
+    );
+    match p.model {
+        Some(FleetModel { scatter, coordination, floor }) => out.push_str(&format!(
+            "\nfitted curve      T(P) = {scatter:.4}/P + {coordination:.4}*P + {floor:.4}  \
+             ({} sweep points)",
+            sweep.len()
+        )),
+        None => out.push_str(
+            "\nfitted curve      none (fewer than three feasible sweep sizes); \
+             the memory floor decides",
+        ),
+    }
+    Ok(out)
+}
+
+/// Parses `--sweep 4:12.3,6:10.1,8:11.0` into sweep points.
+fn parse_sweep(text: &str) -> Result<Vec<SweepPoint>, CliError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|pair| {
+            let bad = || err(format!("--sweep: `{pair}` is not `shards:seconds`"));
+            let (p, s) = pair.split_once(':').ok_or_else(bad)?;
+            let shards: usize = p.trim().parse().map_err(|_| bad())?;
+            let seconds: f64 = s.trim().parse().map_err(|_| bad())?;
+            if shards == 0 || !seconds.is_finite() || seconds <= 0.0 {
+                return Err(bad());
+            }
+            Ok(SweepPoint { shards, seconds })
+        })
+        .collect()
+}

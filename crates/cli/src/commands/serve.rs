@@ -74,6 +74,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         queue_depth: args.usize_or("queue-depth", 4096)?,
         observe: !args.switch("no-observe"),
         trace: args.usize_or("trace", 0)?,
+        shard: None,
     };
     if args.switch("metrics-human") && !config.observe {
         return Err(err("--metrics-human needs stage recording; drop --no-observe"));

@@ -68,8 +68,9 @@ pub mod workloads;
 pub use cache::CacheStatsSnapshot;
 pub use error::ParspeedError;
 pub use exec::ExperimentRunner;
+pub use fxhash::{FxBuildHasher, FxHasher};
 pub use parspeed_obs::{Recorder, Stage};
-pub use plan::{Plan, PlanTiming, PointLabel, Slot};
+pub use plan::{routing_hash, Plan, PlanTiming, PointLabel, Slot};
 pub use request::{
     ArchKind, CheckKey, CheckSpec, EffectKey, EvalKey, EvalOutcome, EvalValue, Lever, MachineSpec,
     MinSizeVariant, Query, ShapeKey, SimArchKind, SolverKind, StencilKey, StencilSpec,

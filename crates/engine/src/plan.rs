@@ -149,6 +149,34 @@ enum Planned {
     Effect(EffectKey),
 }
 
+/// The canonical 64-bit routing hash of a query: the engine's FxHash of
+/// whatever the query *evaluates* — its canonical [`EvalKey`] (atomic
+/// queries), the first expanded point's key (macro-queries, which route
+/// with their leading atom), the [`EffectKey`] (impure queries), or the
+/// planning error itself (unplannable queries, so malformed duplicates
+/// still agree on a destination).
+///
+/// Because the hash is taken *after* canonicalization, two spellings of
+/// the same evaluation — named vs. custom stencil, explicit vs. implicit
+/// defaults — hash identically, exactly like they share a cache line.
+/// A consistent-hash router keyed on this value therefore sends
+/// duplicate traffic from different clients to the same warm shard.
+/// The outputs are pinned by test and must stay stable across releases:
+/// ring placement depends on them.
+pub fn routing_hash(q: &Query) -> u64 {
+    use std::hash::BuildHasher as _;
+    let hasher = FxBuildHasher::default();
+    match plan_query(q) {
+        Ok(Planned::Single(key)) => hasher.hash_one(key),
+        Ok(Planned::Multi(points)) => match points.first() {
+            Some((_, key)) => hasher.hash_one(key),
+            None => 0,
+        },
+        Ok(Planned::Effect(effect)) => hasher.hash_one(&effect),
+        Err(e) => hasher.hash_one(&e),
+    }
+}
+
 fn budget_key(procs: Option<usize>) -> BudgetKey {
     match procs {
         Some(p) => BudgetKey::Limited(p),
@@ -640,6 +668,73 @@ mod tests {
         assert!(matches!(plan.slots[0], Slot::Invalid(_)));
         assert!(matches!(plan.slots[1], Slot::Single(0)));
         assert_eq!(plan.atoms, 1);
+    }
+
+    /// Ring placement depends on these exact values: a change here is a
+    /// wire-compatibility break (every key moves to a different shard and
+    /// a rolling router upgrade loses its cache affinity). Update only
+    /// with a conscious decision, never as a side effect.
+    #[test]
+    fn routing_hashes_are_pinned() {
+        use crate::routing_hash;
+        let pinned: &[(Query, u64)] = &[
+            (opt(256, Some(64)), 5_712_715_353_655_322_337),
+            (opt(256, None), 7_661_062_608_780_813_326),
+            (opt(64, Some(64)), 5_119_102_712_921_739_844),
+            (crate::Request::solve(31).solver(SolverKind::Cg).query(), 11_528_373_132_180_569_655),
+            (
+                crate::Request::minsize(crate::MinSizeVariant::SyncSquare, 14).query(),
+                4_027_797_555_404_432_814,
+            ),
+        ];
+        for (q, want) in pinned {
+            assert_eq!(
+                routing_hash(q),
+                *want,
+                "routing hash moved for {q:?} — this breaks ring placement"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_hash_ignores_presentation_differences() {
+        use crate::routing_hash;
+        // Named and custom stencils with the same constants share a cache
+        // line, so they must share a routing hash too.
+        let (e, k) = StencilSpec::FivePoint.constants(ShapeKey::Square.to_shape());
+        let custom = Query::Optimize {
+            arch: ArchKind::SyncBus,
+            machine: MachineSpec::default(),
+            workload: WorkloadSpec {
+                n: 256,
+                stencil: StencilSpec::Custom { e, k },
+                shape: ShapeKey::Square,
+            },
+            procs: Some(64),
+            memory_words: None,
+        };
+        assert_eq!(routing_hash(&opt(256, Some(64))), routing_hash(&custom));
+        // Distinct evaluations should (overwhelmingly) land apart.
+        assert_ne!(routing_hash(&opt(256, Some(64))), routing_hash(&opt(128, Some(64))));
+    }
+
+    #[test]
+    fn macro_queries_route_by_their_leading_atom() {
+        use crate::routing_hash;
+        // A one-point sweep routes where its only atom routes.
+        let sweep = Query::Sweep {
+            archs: vec![ArchKind::SyncBus],
+            machine: MachineSpec::default(),
+            stencils: vec![StencilSpec::FivePoint],
+            shapes: vec![ShapeKey::Square],
+            budgets: vec![Some(64)],
+            n_from: 256,
+            n_to: 256,
+        };
+        assert_eq!(routing_hash(&sweep), routing_hash(&opt(256, Some(64))));
+        // Invalid queries still hash deterministically (duplicates agree).
+        let bad = opt(0, None);
+        assert_eq!(routing_hash(&bad), routing_hash(&bad.clone()));
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub mod stage;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, ShardedHistogram, BUCKETS};
-pub use render::render_exposition;
+pub use render::{render_exposition, render_exposition_labeled};
 pub use stage::{NoopRecorder, Recorder, Stage, StageClock, StageSet, StageSummary};
 pub use trace::{TraceEvent, TraceRing};

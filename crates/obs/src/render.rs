@@ -13,6 +13,19 @@ use crate::stage::StageSummary;
 /// Stages with zero samples are skipped (Prometheus convention: absent,
 /// not zero). Deterministic for identical summaries.
 pub fn render_exposition(stages: &[(&str, StageSummary)]) -> String {
+    render_exposition_labeled(stages, &[])
+}
+
+/// [`render_exposition`] with extra constant labels appended to every
+/// series — how a sharded frontend attributes the same stage metric to
+/// each backend (`extra = [("shard", "2")]` yields
+/// `…{stage="route",shard="2",quantile="0.5"}`). Label values are
+/// emitted verbatim; callers pass plain identifiers, not user input.
+pub fn render_exposition_labeled(
+    stages: &[(&str, StageSummary)],
+    extra: &[(&str, &str)],
+) -> String {
+    let suffix: String = extra.iter().map(|(k, v)| format!(",{k}=\"{v}\"")).collect();
     let mut out = String::from(
         "# HELP parspeed_stage_latency_ns per-stage pipeline latency (log2-bucket histogram)\n\
          # TYPE parspeed_stage_latency_ns summary\n",
@@ -25,15 +38,21 @@ pub fn render_exposition(stages: &[(&str, StageSummary)]) -> String {
             [("0.5", s.p50_ns), ("0.9", s.p90_ns), ("0.99", s.p99_ns), ("0.999", s.p999_ns)]
         {
             out.push_str(&format!(
-                "parspeed_stage_latency_ns{{stage=\"{name}\",quantile=\"{q}\"}} {v}\n"
+                "parspeed_stage_latency_ns{{stage=\"{name}\"{suffix},quantile=\"{q}\"}} {v}\n"
             ));
         }
-        out.push_str(&format!("parspeed_stage_latency_ns_count{{stage=\"{name}\"}} {}\n", s.count));
         out.push_str(&format!(
-            "parspeed_stage_latency_ns_sum{{stage=\"{name}\"}} {}\n",
+            "parspeed_stage_latency_ns_count{{stage=\"{name}\"{suffix}}} {}\n",
+            s.count
+        ));
+        out.push_str(&format!(
+            "parspeed_stage_latency_ns_sum{{stage=\"{name}\"{suffix}}} {}\n",
             s.total_ns
         ));
-        out.push_str(&format!("parspeed_stage_latency_ns_max{{stage=\"{name}\"}} {}\n", s.max_ns));
+        out.push_str(&format!(
+            "parspeed_stage_latency_ns_max{{stage=\"{name}\"{suffix}}} {}\n",
+            s.max_ns
+        ));
     }
     out
 }
@@ -58,5 +77,29 @@ mod tests {
         assert!(text.contains("{stage=\"queue\",quantile=\"0.999\"} 200"), "{text}");
         assert!(text.contains("parspeed_stage_latency_ns_count{stage=\"queue\"} 10"), "{text}");
         assert!(!text.contains("stage=\"plan\""), "empty stages are absent: {text}");
+    }
+
+    #[test]
+    fn labeled_exposition_appends_constant_labels_to_every_series() {
+        let busy = StageSummary {
+            count: 3,
+            total_ns: 300,
+            max_ns: 150,
+            p50_ns: 100,
+            p90_ns: 120,
+            p99_ns: 150,
+            p999_ns: 150,
+        };
+        let text = render_exposition_labeled(&[("route", busy)], &[("shard", "2")]);
+        assert!(text.contains("{stage=\"route\",shard=\"2\",quantile=\"0.5\"} 100"), "{text}");
+        assert!(
+            text.contains("parspeed_stage_latency_ns_count{stage=\"route\",shard=\"2\"} 3"),
+            "{text}"
+        );
+        // No extra labels reproduces the plain exposition byte-for-byte.
+        assert_eq!(
+            render_exposition_labeled(&[("route", busy)], &[]),
+            render_exposition(&[("route", busy)])
+        );
     }
 }

@@ -1,0 +1,704 @@
+//! `parspeed-router` — the sharded serving tier: a consistent-hash
+//! scatter/gather frontend over a fleet of [`parspeed_server::Server`]
+//! backends, whose size the paper's own optimizer predicts.
+//!
+//! A single server already amortizes coordination cost across clients
+//! (the micro-batcher) and across duplicate work (the engine's dedup and
+//! result cache). What it cannot amortize is **capacity**: one backend
+//! holds one result cache, and a workload with more distinct hot keys
+//! than the cache holds thrashes — exactly the paper's per-processor
+//! memory constraint (§3–§4) surfacing at the serving layer. The fix is
+//! the paper's fix: partition the problem. The router owns `P` shard
+//! backends, each a full server + engine, and routes every request by
+//! consistent-hashing its **canonical cache key**
+//! ([`parspeed_engine::routing_hash`]) onto a hash ring
+//! ([`ring::HashRing`]). Duplicate traffic — however it is spelled —
+//! always lands on the same shard, so the fleet's aggregate cache keeps
+//! `P×` the keys warm and each shard's hit rate is what a dedicated
+//! machine would see.
+//!
+//! The serving guarantees are the server's, extended across the fleet:
+//!
+//! * **per-connection ordered replies** — gathered backend replies go
+//!   through the exact seq-keyed reorder machinery
+//!   ([`parspeed_server::ConnShared`]) a local server uses,
+//!   so scattering across shards never reorders a connection's stream;
+//! * **shard loss is an answer, not a disconnect** — killing a shard
+//!   rebalances the ring (only the lost shard's keys move) and answers
+//!   every in-flight request on it in its own reply slot with the
+//!   documented `overloaded` error; no connection is ever dropped;
+//! * **graceful drain** — router shutdown refuses new work in-slot,
+//!   flushes every in-flight reply, then drains each backend.
+//!
+//! The fleet is *self-sizing*: [`predict`] fits a measured shard sweep
+//! to the paper's execution-time shape and runs `Query::Optimize` over
+//! the fitted machine, so the same §5 machinery that sizes a processor
+//! fleet sizes this one. `parspeed route --predict` exposes it, and the
+//! serving-only `{"op":"topology"}` wire record reports the live fleet
+//! (members, ring replicas, per-shard resident keys) that feeds it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod predict;
+pub mod ring;
+
+use parspeed_engine::{jsonl, routing_hash, Engine, ParspeedError, Query, Response, WIRE_VERSION};
+use parspeed_server::{
+    health_to_json, Client, ConnShared, Delivery, Server, ServerConfig, ServerStats,
+};
+use ring::HashRing;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Fleet shape and per-backend configuration. `parspeed route` exposes
+/// every field as a flag.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Number of shard backends (`--shards`). The paper predicts this
+    /// number — see [`predict`].
+    pub shards: usize,
+    /// Virtual ring points per shard (`--replicas`); more points smooth
+    /// the key split across shards.
+    pub replicas: usize,
+    /// The configuration every shard's server runs with
+    /// ([`ServerConfig::shard`] is overridden per backend).
+    pub backend: ServerConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { shards: 4, replicas: 64, backend: ServerConfig::default() }
+    }
+}
+
+/// One scattered request waiting for its shard's reply: the origin
+/// reply slot plus everything needed to render into it.
+struct Pending {
+    conn: Arc<ConnShared>,
+    seq: u64,
+    query: Query,
+    version: u32,
+    line_no: usize,
+    render: bool,
+}
+
+/// Routes one response into its origin reply slot, rendering for TCP
+/// connections — the router-side twin of the batcher's `deliver`.
+fn deliver(p: &Pending, response: Response) {
+    let delivery = if p.render {
+        Delivery::Line(jsonl::render_response(&p.query, &response, p.version, p.line_no))
+    } else {
+        Delivery::Typed(response)
+    };
+    p.conn.route(p.seq, delivery);
+}
+
+fn deliver_refusal(p: &Pending, msg: String) {
+    deliver(p, Response::Invalid(ParspeedError::overloaded(msg)));
+}
+
+/// One shard's scatter lane: the in-process client into its server plus
+/// the FIFO of origin slots awaiting replies. The backend answers a
+/// connection's requests in submission order, so pushing and submitting
+/// under one lock keeps `inflight` aligned with the reply stream — the
+/// gather thread pops the front for each reply.
+struct Lane {
+    shard: usize,
+    client: Client,
+    inflight: Mutex<VecDeque<Pending>>,
+    /// Signals the gather thread (work arrived) and the drain loop
+    /// (lane emptied).
+    cv: Condvar,
+    /// The shard was killed: the ring no longer routes here, every
+    /// pending slot has been answered, late backend replies are noise.
+    lost: AtomicBool,
+}
+
+/// Everything the dispatchers, gather threads, and frontends share.
+struct Core {
+    cfg: RouterConfig,
+    ring: Mutex<HashRing>,
+    lanes: Vec<Arc<Lane>>,
+    engines: Vec<Arc<Engine>>,
+    servers: Mutex<Vec<Option<Server>>>,
+    epoch: Instant,
+    draining: AtomicBool,
+}
+
+impl Core {
+    /// Scatter: hash the query's canonical key onto the ring and hand it
+    /// to the owning lane. Every refusal is answered in the request's
+    /// own reply slot — dispatch never blocks beyond the lane lock and
+    /// never drops a slot.
+    fn dispatch(&self, pending: Pending) {
+        if self.draining.load(Ordering::SeqCst) {
+            deliver_refusal(
+                &pending,
+                "router is draining for shutdown; request refused (not evaluated)".into(),
+            );
+            return;
+        }
+        let hash = routing_hash(&pending.query);
+        loop {
+            let Some(shard) = self.ring.lock().unwrap().route(hash) else {
+                deliver_refusal(
+                    &pending,
+                    "no shard available: every backend was lost; \
+                     request refused (not evaluated)"
+                        .into(),
+                );
+                return;
+            };
+            let lane = &self.lanes[shard];
+            let mut q = lane.inflight.lock().unwrap();
+            if lane.lost.load(Ordering::SeqCst) {
+                // Lost between the ring lookup and the lane lock; the
+                // ring has already rebalanced — route again.
+                continue;
+            }
+            // Submit under the lane lock: the backend replies to this
+            // client in submission order, so the FIFO and the reply
+            // stream can never disagree.
+            lane.client.submit(pending.query.clone());
+            q.push_back(pending);
+            lane.cv.notify_all();
+            return;
+        }
+    }
+
+    /// The router's own `health` record: uptime and drain flag, shard
+    /// `null` (the router is the front, not a backend).
+    fn health(&self) -> jsonl::Json {
+        health_to_json(
+            self.epoch.elapsed().as_secs_f64(),
+            self.draining.load(Ordering::SeqCst),
+            None,
+        )
+    }
+
+    /// The serving-only `topology` record: the live fleet as the ring
+    /// sees it, plus each member's resident cache keys — the live
+    /// workload profile [`predict`] sizes fleets from.
+    fn topology(&self) -> jsonl::Json {
+        let (members, replicas) = {
+            let ring = self.ring.lock().unwrap();
+            (ring.members().to_vec(), ring.replicas())
+        };
+        let lost: Vec<jsonl::Json> = (0..self.cfg.shards)
+            .filter(|s| !members.contains(s))
+            .map(|s| jsonl::Json::Num(s as f64))
+            .collect();
+        let resident: Vec<jsonl::Json> =
+            members.iter().map(|&s| jsonl::Json::Num(self.engines[s].cache_len() as f64)).collect();
+        jsonl::Json::Obj(vec![
+            ("version".into(), jsonl::Json::Num(WIRE_VERSION as f64)),
+            ("op".into(), jsonl::Json::Str("topology".into())),
+            ("shards".into(), jsonl::Json::Num(members.len() as f64)),
+            ("replicas".into(), jsonl::Json::Num(replicas as f64)),
+            (
+                "members".into(),
+                jsonl::Json::Arr(members.iter().map(|&s| jsonl::Json::Num(s as f64)).collect()),
+            ),
+            ("lost".into(), jsonl::Json::Arr(lost)),
+            ("resident".into(), jsonl::Json::Arr(resident)),
+        ])
+    }
+
+    /// Gather: pump one lane's replies back into their origin slots, in
+    /// lane-FIFO order. Exits when the lane is lost, or when the router
+    /// is draining and nothing is in flight.
+    fn gather_loop(&self, lane: &Lane) {
+        loop {
+            // Park until something is in flight (or the lane is done).
+            {
+                let mut q = lane.inflight.lock().unwrap();
+                loop {
+                    if lane.lost.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if !q.is_empty() {
+                        break;
+                    }
+                    if self.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    q = lane.cv.wait_timeout(q, Duration::from_millis(50)).unwrap().0;
+                }
+            }
+            // Short poll, not a blocking recv: a kill can answer the
+            // pending slots out from under us, and the next park
+            // iteration must notice the lost flag.
+            let Some((_, response)) = lane.client.recv_timeout(Duration::from_millis(50)) else {
+                continue;
+            };
+            let popped = {
+                let mut q = lane.inflight.lock().unwrap();
+                if lane.lost.load(Ordering::SeqCst) {
+                    // The kill already answered every pending slot;
+                    // this reply (flushed by the backend's drain) has
+                    // no waiter.
+                    None
+                } else {
+                    Some(q.pop_front().expect("backend reply without a pending request"))
+                }
+            };
+            match popped {
+                Some(p) => {
+                    deliver(&p, response);
+                    lane.cv.notify_all();
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+struct RouterIo {
+    conn_threads: Vec<JoinHandle<()>>,
+    streams: Vec<TcpStream>,
+    next_conn_id: u64,
+}
+
+/// The running router: shard servers, gather threads, and any TCP
+/// frontends attached. Dropping it without [`shutdown`](Router::shutdown)
+/// leaks the fleet's threads — call `shutdown`.
+pub struct Router {
+    core: Arc<Core>,
+    gathers: Vec<JoinHandle<()>>,
+    acceptors: Vec<JoinHandle<()>>,
+    io: Arc<Mutex<RouterIo>>,
+}
+
+impl Router {
+    /// Starts a fleet of `config.shards` backends, each over its own
+    /// default [`Engine`].
+    pub fn start(config: RouterConfig) -> Router {
+        Self::start_with(config, |_| Arc::new(Engine::default()))
+    }
+
+    /// Starts the fleet with one engine per shard from `factory` —
+    /// benches and tests use this to pin per-shard cache capacity (the
+    /// paper's per-processor memory constraint).
+    pub fn start_with(config: RouterConfig, factory: impl Fn(usize) -> Arc<Engine>) -> Router {
+        assert!(config.shards >= 1, "router needs at least one shard");
+        let mut engines = Vec::with_capacity(config.shards);
+        let mut servers = Vec::with_capacity(config.shards);
+        let mut lanes = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let engine = factory(shard);
+            let server = Server::start(
+                engine.clone(),
+                ServerConfig { shard: Some(shard), ..config.backend },
+            );
+            let client = server.client();
+            engines.push(engine);
+            servers.push(Some(server));
+            lanes.push(Arc::new(Lane {
+                shard,
+                client,
+                inflight: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                lost: AtomicBool::new(false),
+            }));
+        }
+        let core = Arc::new(Core {
+            cfg: config,
+            ring: Mutex::new(HashRing::with_shards(config.shards, config.replicas)),
+            lanes,
+            engines,
+            servers: Mutex::new(servers),
+            epoch: Instant::now(),
+            draining: AtomicBool::new(false),
+        });
+        let gathers = core
+            .lanes
+            .iter()
+            .map(|lane| {
+                let core = Arc::clone(&core);
+                let lane = Arc::clone(lane);
+                std::thread::Builder::new()
+                    .name(format!("parspeed-gather-{}", lane.shard))
+                    .spawn(move || core.gather_loop(&lane))
+                    .expect("spawn gather thread")
+            })
+            .collect();
+        Router {
+            core,
+            gathers,
+            acceptors: Vec::new(),
+            io: Arc::new(Mutex::new(RouterIo {
+                conn_threads: Vec::new(),
+                streams: Vec::new(),
+                next_conn_id: 0,
+            })),
+        }
+    }
+
+    /// The fleet configuration this router was started with.
+    pub fn config(&self) -> &RouterConfig {
+        &self.core.cfg
+    }
+
+    /// Live cached outcomes per ring member, `(shard, resident keys)` —
+    /// the affinity evidence: with key-affinity routing the sum equals
+    /// the workload's distinct key count, with no key cached twice.
+    pub fn resident_keys(&self) -> Vec<(usize, usize)> {
+        let members = self.core.ring.lock().unwrap().members().to_vec();
+        members.into_iter().map(|s| (s, self.core.engines[s].cache_len())).collect()
+    }
+
+    /// The serving-only `topology` record (also answered on the wire).
+    pub fn topology(&self) -> jsonl::Json {
+        self.core.topology()
+    }
+
+    /// Opens an in-process connection: typed queries scattered across
+    /// the fleet, replies gathered back in submission order — the exact
+    /// semantics of a TCP connection, without the wire.
+    pub fn client(&self) -> RouterClient {
+        let id = {
+            let mut io = self.io.lock().unwrap();
+            let id = io.next_conn_id;
+            io.next_conn_id += 1;
+            id
+        };
+        RouterClient { conn: Arc::new(ConnShared::new(id)), core: Arc::clone(&self.core) }
+    }
+
+    /// Kills one shard: removes it from the ring (only its keys remap —
+    /// every other key keeps its warm backend), answers every request
+    /// in flight on it in its own reply slot with the documented
+    /// `overloaded` error, and drains its server. Returns the backend's
+    /// final stats, or `None` if the shard was already gone.
+    pub fn kill_shard(&self, shard: usize) -> Option<ServerStats> {
+        assert!(shard < self.core.cfg.shards, "shard {shard} out of range");
+        {
+            let mut ring = self.core.ring.lock().unwrap();
+            if !ring.members().contains(&shard) {
+                return None;
+            }
+            ring.remove(shard);
+        }
+        let lane = &self.core.lanes[shard];
+        {
+            // Flag and fail under the lane lock: dispatchers that chose
+            // this shard before the ring update re-route instead of
+            // enqueueing behind a dead backend.
+            let mut q = lane.inflight.lock().unwrap();
+            lane.lost.store(true, Ordering::SeqCst);
+            while let Some(p) = q.pop_front() {
+                deliver_refusal(
+                    &p,
+                    format!(
+                        "shard {shard} was lost with the request in flight; \
+                         not evaluated — the ring has rebalanced, retry"
+                    ),
+                );
+            }
+            lane.cv.notify_all();
+        }
+        let server = self.core.servers.lock().unwrap()[shard].take();
+        server.map(Server::shutdown)
+    }
+
+    /// Binds `addr` and accepts wire-v2 JSONL connections on a
+    /// background thread — the same wire a single server speaks, so
+    /// clients cannot tell a router from a server (except by asking:
+    /// `topology` only answers here, `stats`/`metrics`/`trace` only
+    /// answer on a shard). Returns the bound address (so `:0` works).
+    pub fn listen(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let core = Arc::clone(&self.core);
+        let io_state = Arc::clone(&self.io);
+        let acceptor = std::thread::Builder::new()
+            .name("parspeed-route-accept".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if let Err(e) = spawn_conn(stream, &core, &io_state) {
+                            eprintln!("note: dropping connection: {e}");
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if core.draining.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn route acceptor");
+        self.acceptors.push(acceptor);
+        Ok(local)
+    }
+
+    /// Graceful drain: refuses new work in-slot, flushes every in-flight
+    /// reply through its origin slot, drains every surviving backend,
+    /// tears down connections, joins every thread. Returns each
+    /// surviving shard's final server stats.
+    pub fn shutdown(self) -> Vec<(usize, ServerStats)> {
+        self.core.draining.store(true, Ordering::SeqCst);
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
+        }
+        // Wait for every live lane to flush: backends are still running,
+        // so every pending slot gets its real reply.
+        for lane in &self.core.lanes {
+            if lane.lost.load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut q = lane.inflight.lock().unwrap();
+            while !q.is_empty() {
+                q = lane.cv.wait_timeout(q, Duration::from_millis(50)).unwrap().0;
+            }
+        }
+        for gather in self.gathers {
+            let _ = gather.join();
+        }
+        let servers = std::mem::take(&mut *self.core.servers.lock().unwrap());
+        let stats: Vec<(usize, ServerStats)> = servers
+            .into_iter()
+            .enumerate()
+            .filter_map(|(shard, server)| server.map(|s| (shard, s.shutdown())))
+            .collect();
+        // Every reply slot is answered; unblock the readers (EOF) so the
+        // writers flush and exit.
+        let (streams, conn_threads) = {
+            let mut io = self.io.lock().unwrap();
+            (std::mem::take(&mut io.streams), std::mem::take(&mut io.conn_threads))
+        };
+        for stream in &streams {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for thread in conn_threads {
+            let _ = thread.join();
+        }
+        stats
+    }
+}
+
+/// An in-process connection to the router: typed queries in, typed
+/// responses out, gathered in submission order — the router-side twin
+/// of [`parspeed_server::Client`].
+pub struct RouterClient {
+    conn: Arc<ConnShared>,
+    core: Arc<Core>,
+}
+
+impl RouterClient {
+    /// Submits one query, returning its connection-local sequence
+    /// number. Never blocks beyond the lane lock: refusals (draining
+    /// router, empty ring) are answered in the reply slot like any
+    /// other reply.
+    pub fn submit(&self, query: Query) -> u64 {
+        let seq = self.conn.alloc_seq();
+        self.core.dispatch(Pending {
+            conn: Arc::clone(&self.conn),
+            seq,
+            query,
+            version: WIRE_VERSION,
+            line_no: seq as usize + 1,
+            render: false,
+        });
+        seq
+    }
+
+    /// Receives the next reply in submission order, blocking until it
+    /// is released. Panics if nothing is outstanding.
+    pub fn recv(&self) -> (u64, Response) {
+        assert!(!self.conn.idle(), "recv with no outstanding submission");
+        match self.conn.next_released() {
+            Some((seq, Delivery::Typed(response))) => (seq, response),
+            Some((_, Delivery::Line(_))) => unreachable!("rendered delivery on a typed client"),
+            None => unreachable!("in-process connections never reach EOF"),
+        }
+    }
+
+    /// [`recv`](Self::recv) with a deadline; `None` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(u64, Response)> {
+        match self.conn.next_released_timeout(timeout)? {
+            (seq, Delivery::Typed(response)) => Some((seq, response)),
+            (_, Delivery::Line(_)) => unreachable!("rendered delivery on a typed client"),
+        }
+    }
+
+    /// Submit one query and wait for its reply.
+    pub fn call(&self, query: Query) -> Response {
+        let seq = self.submit(query);
+        let (got, response) = self.recv();
+        assert_eq!(got, seq, "per-connection ordering violated");
+        response
+    }
+}
+
+/// Registers an accepted stream and spawns its reader/writer pair.
+fn spawn_conn(
+    stream: TcpStream,
+    core: &Arc<Core>,
+    io_state: &Arc<Mutex<RouterIo>>,
+) -> io::Result<()> {
+    let reader_stream = stream.try_clone()?;
+    let teardown_clone = stream.try_clone()?;
+    let mut io = io_state.lock().unwrap();
+    let id = io.next_conn_id;
+    io.next_conn_id += 1;
+    let conn = Arc::new(ConnShared::new(id));
+
+    let reader_conn = Arc::clone(&conn);
+    let reader_core = Arc::clone(core);
+    let reader = std::thread::Builder::new()
+        .name(format!("parspeed-route-read-{id}"))
+        .spawn(move || reader_loop(reader_stream, reader_conn, reader_core))?;
+    let writer_conn = Arc::clone(&conn);
+    let writer = std::thread::Builder::new()
+        .name(format!("parspeed-route-write-{id}"))
+        .spawn(move || writer_loop(stream, writer_conn))?;
+
+    io.streams.push(teardown_clone);
+    io.conn_threads.push(reader);
+    io.conn_threads.push(writer);
+    Ok(())
+}
+
+/// Drives one connection's read half: parse lines, intercept the
+/// router-level ops, scatter everything else. The wire is the server's
+/// wire; the two router-only differences are `topology` (answered here,
+/// unknown to a shard) and `stats`/`metrics`/`trace` (per-shard state
+/// the router refuses to misattribute — probe a shard directly).
+fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, core: Arc<Core>) {
+    let mut line_no = 0usize;
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        line_no += 1;
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let seq = conn.alloc_seq();
+        let parsed = match jsonl::parse(text) {
+            Ok(v) => match v.get("op").and_then(jsonl::Json::as_str) {
+                Some("health") => {
+                    conn.route(seq, Delivery::Line(core.health().render()));
+                    continue;
+                }
+                Some("topology") => {
+                    conn.route(seq, Delivery::Line(core.topology().render()));
+                    continue;
+                }
+                Some(op @ ("stats" | "metrics" | "trace")) => {
+                    let e = jsonl::LineError {
+                        version: WIRE_VERSION,
+                        error: ParspeedError::unsupported(format!(
+                            "op \"{op}\" reports per-shard state; \
+                             probe a shard's own serving address"
+                        )),
+                    };
+                    conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no)));
+                    continue;
+                }
+                _ => jsonl::parse_query_value(&v),
+            },
+            Err(e) => Err(jsonl::LineError { version: 1, error: ParspeedError::parse(e) }),
+        };
+        match parsed {
+            Ok(parsed) => core.dispatch(Pending {
+                conn: Arc::clone(&conn),
+                seq,
+                query: parsed.query,
+                version: parsed.version,
+                line_no,
+                render: true,
+            }),
+            Err(e) => conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no))),
+        }
+    }
+    conn.mark_eof();
+}
+
+/// Drives one connection's write half: emit released replies in
+/// sequence order until the stream is flushed-and-done.
+fn writer_loop(stream: TcpStream, conn: Arc<ConnShared>) {
+    let mut out = BufWriter::new(&stream);
+    while let Some((_seq, delivery)) = conn.next_released() {
+        let line = match delivery {
+            Delivery::Line(line) => line,
+            Delivery::Typed(_) => unreachable!("typed delivery on a TCP connection"),
+        };
+        if out.write_all(line.as_bytes()).is_err()
+            || out.write_all(b"\n").is_err()
+            || out.flush().is_err()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parspeed_engine::{ArchKind, EvalValue, Request};
+
+    fn optimize(n: usize) -> Query {
+        Request::optimize(ArchKind::SyncBus, n).procs(64).query()
+    }
+
+    #[test]
+    fn round_trip_through_the_fleet_matches_the_engine() {
+        let router = Router::start(RouterConfig { shards: 3, ..RouterConfig::default() });
+        let client = router.client();
+        match client.call(optimize(256)) {
+            Response::Single(Ok(EvalValue::Optimum { processors, .. })) => {
+                assert_eq!(processors, 14) // the paper's §6.1 anchor
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stats = router.shutdown();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats.iter().map(|(_, s)| s.completed).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn topology_wire_shape_is_frozen() {
+        let router = Router::start(RouterConfig { shards: 2, ..RouterConfig::default() });
+        let client = router.client();
+        client.call(optimize(256));
+        let json = router.topology();
+        // The shape contract wire clients depend on: field order included.
+        let jsonl::Json::Obj(fields) = &json else { panic!("topology is not an object") };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["version", "op", "shards", "replicas", "members", "lost", "resident"]);
+        let rendered = json.render();
+        assert!(rendered.starts_with(r#"{"version":2,"op":"topology","shards":2,"#), "{rendered}");
+        assert!(rendered.contains(r#""members":[0,1],"lost":[]"#), "{rendered}");
+        // One query was cached somewhere in the fleet.
+        let total: usize = router.resident_keys().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn submissions_while_draining_get_the_refusal_in_slot() {
+        let router = Router::start(RouterConfig { shards: 2, ..RouterConfig::default() });
+        let client = router.client();
+        client.call(optimize(128));
+        router.shutdown();
+        match client.call(optimize(256)) {
+            Response::Invalid(e) => {
+                assert_eq!(e.kind(), "overloaded");
+                assert!(e.to_string().contains("draining"), "{e}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The consistent-hash ring: canonical routing hashes onto shard ids.
+//!
+//! Each shard owns [`HashRing::replicas`] virtual points on a 64-bit
+//! circle; a query routes to the owner of the first point at or after
+//! its [`routing_hash`](parspeed_engine::routing_hash). Consistency is
+//! the whole point: removing one shard moves only the keys that shard
+//! owned (they fall through to the next point clockwise) — every other
+//! key keeps its warm backend, so a shard loss costs one shard's worth
+//! of cache, not the fleet's.
+//!
+//! Virtual-point hashes use the engine's [`FxHasher`] with the shard and
+//! replica indices as input, so ring placement is a pure function of the
+//! member set — two routers configured alike route alike, with no state
+//! to synchronize.
+//!
+//! [`FxHasher`]: parspeed_engine::FxHasher
+
+use parspeed_engine::FxBuildHasher;
+use std::hash::BuildHasher as _;
+
+/// A consistent-hash ring over shard ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Virtual points per shard. More replicas smooth the load split
+    /// (the spread of arc lengths shrinks like 1/√replicas) at the cost
+    /// of a larger point table; 64–128 is the practical sweet spot.
+    replicas: usize,
+    /// `(point hash, shard id)`, sorted by hash. Binary-searched on
+    /// every route.
+    points: Vec<(u64, usize)>,
+    /// Live members, sorted, deduplicated.
+    members: Vec<usize>,
+}
+
+impl HashRing {
+    /// An empty ring with `replicas` virtual points per future member.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas >= 1, "a shard needs at least one ring point");
+        HashRing { replicas, points: Vec::new(), members: Vec::new() }
+    }
+
+    /// A ring over shards `0..shards`.
+    pub fn with_shards(shards: usize, replicas: usize) -> Self {
+        let mut ring = Self::new(replicas);
+        for shard in 0..shards {
+            ring.add(shard);
+        }
+        ring
+    }
+
+    /// Virtual points per member.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Live members, sorted ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Whether no member is left to route to.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The hash of one virtual point. A pure function of `(shard,
+    /// replica)`, so placement never depends on insertion order or ring
+    /// history. FxHash alone clusters on small sequential inputs (its
+    /// arcs come out wildly uneven), so its output goes through a
+    /// splitmix64 finalizer for full avalanche.
+    fn point_hash(shard: usize, replica: usize) -> u64 {
+        let mut x = FxBuildHasher::default().hash_one((shard as u64, replica as u64));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Adds a member (no-op if already present).
+    pub fn add(&mut self, shard: usize) {
+        if self.members.contains(&shard) {
+            return;
+        }
+        self.members.push(shard);
+        self.members.sort_unstable();
+        for replica in 0..self.replicas {
+            self.points.push((Self::point_hash(shard, replica), shard));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a member (no-op if absent). Only the removed member's
+    /// keys change owner.
+    pub fn remove(&mut self, shard: usize) {
+        self.members.retain(|&s| s != shard);
+        self.points.retain(|&(_, s)| s != shard);
+    }
+
+    /// Routes a key hash to the owning shard: the first virtual point at
+    /// or after the hash, wrapping at the top of the circle. `None` only
+    /// on an empty ring.
+    pub fn route(&self, key_hash: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(h, _)| h < key_hash);
+        let (_, shard) = self.points[if idx == self.points.len() { 0 } else { idx }];
+        Some(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn owners(ring: &HashRing, keys: &[u64]) -> Vec<usize> {
+        keys.iter().map(|&k| ring.route(k).unwrap()).collect()
+    }
+
+    fn test_keys(count: usize) -> Vec<u64> {
+        // An LCG spread over the full 64-bit circle.
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        (0..count)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_independent_of_history() {
+        let keys = test_keys(500);
+        let fresh = HashRing::with_shards(4, 64);
+        let mut grown = HashRing::new(64);
+        // Insert in a different order; placement must not care.
+        for shard in [2, 0, 3, 1] {
+            grown.add(shard);
+        }
+        assert_eq!(owners(&fresh, &keys), owners(&grown, &keys));
+        assert_eq!(fresh.members(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn removal_only_remaps_the_lost_shards_keys() {
+        let keys = test_keys(2000);
+        let mut ring = HashRing::with_shards(4, 64);
+        let before = owners(&ring, &keys);
+        ring.remove(2);
+        let after = owners(&ring, &keys);
+        let mut moved = 0usize;
+        for ((&key, &was), &now) in keys.iter().zip(&before).zip(&after) {
+            if was == 2 {
+                assert_ne!(now, 2, "key {key:#x} still routes to the removed shard");
+            } else {
+                assert_eq!(was, now, "key {key:#x} moved although its shard survived");
+            }
+            if was != now {
+                moved += 1;
+            }
+        }
+        // Roughly a quarter of the keys lived on the lost shard.
+        assert!(moved > 0 && moved < keys.len() / 2, "moved {moved} of {}", keys.len());
+    }
+
+    #[test]
+    fn load_splits_roughly_evenly_with_enough_replicas() {
+        let keys = test_keys(8000);
+        let ring = HashRing::with_shards(4, 128);
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for owner in owners(&ring, &keys) {
+            *counts.entry(owner).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4, "every shard owns some keys");
+        let ideal = keys.len() / 4;
+        for (&shard, &count) in &counts {
+            assert!(
+                count > ideal / 2 && count < ideal * 2,
+                "shard {shard} owns {count} of {} keys (ideal {ideal})",
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let mut ring = HashRing::with_shards(1, 8);
+        assert_eq!(ring.route(42), Some(0));
+        ring.remove(0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.route(42), None);
+    }
+}

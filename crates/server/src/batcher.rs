@@ -144,6 +144,13 @@ impl Shared {
         MetricsSnapshot { stats: self.stats(), stages: self.obs.stage_summaries() }
     }
 
+    /// The lightweight liveness record (the `health` op): uptime, the
+    /// drain flag, and the shard id — one queue-lock acquisition, no
+    /// counter snapshot.
+    pub fn health(&self) -> jsonl::Json {
+        crate::stats::health_to_json(self.obs.uptime_seconds(), self.is_draining(), self.cfg.shard)
+    }
+
     /// Starts the drain: no further admissions; pending batches fire
     /// immediately; workers exit once the queue is empty.
     pub fn drain(&self) {

@@ -22,8 +22,12 @@ use std::time::{Duration, Instant};
 
 /// One reply on its way back to a connection: typed for in-process
 /// clients, a pre-rendered JSONL line for TCP connections.
+///
+/// Public (with [`ConnShared`]) so sharded frontends — the
+/// `parspeed-router` scatter/gather tier — can feed gathered backend
+/// replies through the exact reorder machinery a local server uses.
 #[derive(Debug)]
-pub(crate) enum Delivery {
+pub enum Delivery {
     /// A typed response (in-process clients).
     Typed(Response),
     /// A rendered JSONL response line, newline excluded (TCP).
@@ -48,8 +52,15 @@ struct Router {
 
 /// The state one connection shares between its submitter, the batcher
 /// workers, and its reply consumer.
+///
+/// Public so other frontends (the consistent-hash router) reuse the
+/// same seq-keyed reorder buffer instead of reinventing ordered reply
+/// delivery: allocate with [`alloc_seq`](ConnShared::alloc_seq), route
+/// replies as they arrive — from any thread, in any order — and consume
+/// them strictly in sequence with
+/// [`next_released`](ConnShared::next_released).
 #[derive(Debug)]
-pub(crate) struct ConnShared {
+pub struct ConnShared {
     /// Frontend-assigned connection id (the [`SlotAddr::client`]
     /// half of every tag this connection submits).
     ///
@@ -63,6 +74,7 @@ pub(crate) struct ConnShared {
 }
 
 impl ConnShared {
+    /// A bare connection (no observability attribution).
     pub fn new(id: u64) -> Self {
         ConnShared { id, obs: None, state: Mutex::new(Router::default()), cv: Condvar::new() }
     }

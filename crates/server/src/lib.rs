@@ -64,11 +64,11 @@ mod metrics;
 mod net;
 mod stats;
 
+pub use conn::{ConnShared, Delivery};
 pub use metrics::{MetricsSnapshot, ServerObs};
-pub use stats::ServerStats;
+pub use stats::{health_to_json, ServerStats};
 
 use batcher::{Job, Shared};
-use conn::{ConnShared, Delivery};
 use parspeed_engine::{Query, Response, Service, WIRE_VERSION};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -101,6 +101,11 @@ pub struct ServerConfig {
     /// Keep the last N request traces in a ring (`--trace N`, the
     /// `trace` op). 0 — the default — disables tracing entirely.
     pub trace: usize,
+    /// The shard id this server answers `{"op":"health"}` probes with —
+    /// `Some` when the server runs as one backend of a sharded router
+    /// fleet, `None` (the default) for a standalone server, which
+    /// reports `"shard":null`.
+    pub shard: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +117,7 @@ impl Default for ServerConfig {
             queue_depth: 4096,
             observe: true,
             trace: 0,
+            shard: None,
         }
     }
 }

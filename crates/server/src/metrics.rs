@@ -73,6 +73,12 @@ impl ServerObs {
         self.trace.capacity()
     }
 
+    /// Seconds since the server started (the `health` op's uptime).
+    /// Always live — the epoch is stamped even with observability off.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
     /// Attributes one latency sample (no-op when disabled).
     pub(crate) fn record(&self, stage: Stage, nanos: u64) {
         if self.enabled {

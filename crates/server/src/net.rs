@@ -13,7 +13,7 @@
 //! the connection (later lines still answer) and not the batcher (other
 //! clients' in-flight requests never see it).
 //!
-//! Three extra ops exist only on the serving wire, all answered in the
+//! Four extra ops exist only on the serving wire, all answered in the
 //! request's own reply slot without entering the batcher:
 //! `{"op":"stats"}` answers the server's
 //! [`ServerStats`](crate::ServerStats) snapshot (byte-frozen shape);
@@ -21,7 +21,10 @@
 //! [`MetricsSnapshot`](crate::MetricsSnapshot) — the same counters plus
 //! engine time, the dedup factor, and one latency-histogram summary per
 //! pipeline stage; `{"op":"trace"}` answers the ring of recent request
-//! traces (empty unless the server runs with `--trace N`).
+//! traces (empty unless the server runs with `--trace N`);
+//! `{"op":"health"}` answers the byte-frozen liveness record
+//! ([`health_to_json`](crate::health_to_json)) load-balancer probes
+//! poll without paying for a counter snapshot.
 
 use crate::batcher::{Job, Shared};
 use crate::conn::{ConnShared, Delivery};
@@ -51,6 +54,10 @@ pub(crate) fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, shared: Arc<
             Ok(v) => match v.get("op").and_then(jsonl::Json::as_str) {
                 Some("stats") => {
                     conn.route(seq, Delivery::Line(shared.stats().to_json().render()));
+                    continue;
+                }
+                Some("health") => {
+                    conn.route(seq, Delivery::Line(shared.health().render()));
                     continue;
                 }
                 Some("metrics") => {

@@ -218,6 +218,24 @@ impl ServerStats {
     }
 }
 
+/// The `{"op":"health"}` wire reply — the lightweight liveness record a
+/// load-balancer probe reads without paying for a full counter snapshot:
+/// `{"version":2,"op":"health","ok":true,"uptime_seconds":…,
+/// "draining":…,"shard":…}`. `shard` is the backend's id behind a
+/// router, `null` on a standalone server. **Byte-compatible by
+/// contract** like the `stats` op: the field set and order are frozen
+/// by test; richer data belongs on `{"op":"metrics"}`.
+pub fn health_to_json(uptime_seconds: f64, draining: bool, shard: Option<usize>) -> Json {
+    Json::Obj(vec![
+        ("version".into(), Json::Num(WIRE_VERSION as f64)),
+        ("op".into(), Json::Str("health".into())),
+        ("ok".into(), Json::Bool(true)),
+        ("uptime_seconds".into(), Json::Num(uptime_seconds)),
+        ("draining".into(), Json::Bool(draining)),
+        ("shard".into(), shard.map_or(Json::Null, |s| Json::Num(s as f64))),
+    ])
+}
+
 impl fmt::Display for ServerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -304,6 +322,33 @@ mod tests {
                 "draining",
             ]
         );
+    }
+
+    #[test]
+    fn health_wire_shape_is_frozen() {
+        // Same contract as the stats op: exactly these fields, in
+        // exactly this order — probes parse this positionally.
+        let Json::Obj(fields) = health_to_json(1.5, false, None) else {
+            panic!("health renders an object")
+        };
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["version", "op", "ok", "uptime_seconds", "draining", "shard"]);
+    }
+
+    #[test]
+    fn health_reports_shard_identity_and_drain() {
+        let standalone = health_to_json(0.25, false, None).render();
+        let back = parspeed_engine::jsonl::parse(&standalone).unwrap();
+        assert_eq!(back.get("op").unwrap().as_str(), Some("health"));
+        assert_eq!(back.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(back.get("shard"), Some(&Json::Null));
+        assert_eq!(back.get("draining"), Some(&Json::Bool(false)));
+
+        let sharded = health_to_json(9.0, true, Some(2)).render();
+        let back = parspeed_engine::jsonl::parse(&sharded).unwrap();
+        assert_eq!(back.get("shard").unwrap().as_usize(), Some(2));
+        assert_eq!(back.get("draining"), Some(&Json::Bool(true)));
+        assert_eq!(back.get("uptime_seconds").unwrap().as_f64(), Some(9.0));
     }
 
     #[test]

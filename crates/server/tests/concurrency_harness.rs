@@ -16,8 +16,10 @@
 
 use parspeed_engine::{ArchKind, Engine, Query, Request, Response};
 use parspeed_server::{Server, ServerConfig};
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
 use std::sync::{Arc, Barrier};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Deterministic script randomness (splitmix-style LCG).
 struct Lcg(u64);
@@ -175,4 +177,88 @@ fn shared_traffic_coalesces_across_clients() {
     assert_eq!(stats.completed, (clients * per_client) as u64);
     assert!(stats.cross_client_batches >= 1, "a 200ms window never coalesced two clients: {stats}");
     assert!(stats.cross_client_dedup_hits > 0, "cross-client duplicates never deduped: {stats}");
+}
+
+/// One scripted disconnect schedule: ghost connections submit into an
+/// open window and vanish before their replies route.
+fn run_disconnect_script(seed: u64) {
+    let mut lcg = Lcg(seed ^ 0xD15C);
+    let ghosts = 1 + lcg.below(3) as usize; // 1..=3
+    let per_ghost: Vec<usize> = (0..ghosts).map(|_| 1 + lcg.below(3) as usize).collect();
+
+    let mut server = Server::start(
+        Arc::new(Engine::default()),
+        // A window long enough that a ghost provably disconnects while
+        // its requests are still pending in the batcher.
+        ServerConfig {
+            window: Duration::from_millis(100),
+            max_batch: 4096,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.listen(("127.0.0.1", 0)).expect("bind");
+
+    let mut admitted = 0u64;
+    for (g, &count) in per_ghost.iter().enumerate() {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for tag in 0..count {
+            let line = format!(
+                r#"{{"op":"optimize","version":2,"arch":"sync-bus","n":{},"stencil":"5pt","shape":"square","procs":32}}"#,
+                64 + (g * 101 + tag)
+            );
+            stream.write_all(line.as_bytes()).expect("write");
+            stream.write_all(b"\n").expect("write");
+        }
+        admitted += count as u64;
+        // Wait for admission (the submit counter), then vanish with the
+        // window still open — the replies have nowhere to go.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().submitted < admitted {
+            assert!(Instant::now() < deadline, "ghost {g}'s requests never admitted");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let _ = stream.shutdown(Shutdown::Both);
+        drop(stream);
+    }
+
+    // A live in-process client shares the same windows as the ghosts
+    // and must be completely unaffected by their disconnects.
+    let live = server.client();
+    let live_count = 1 + lcg.below(4) as usize;
+    for tag in 0..live_count {
+        live.submit(query_for(90, tag));
+    }
+    let reference =
+        Engine::default().run_batch(&(0..live_count).map(|t| query_for(90, t)).collect::<Vec<_>>());
+    for (tag, want) in reference.responses.iter().enumerate() {
+        let (seq, got) = live.recv();
+        assert_eq!(seq, tag as u64, "live client out of order (seed {seed})");
+        assert_eq!(&got, want, "live client slot {tag} wrong (seed {seed})");
+    }
+
+    // The drain is the leak detector: a reorder-buffer slot that was
+    // allocated but never routed would leave a writer waiting forever
+    // and hang the join below.
+    let stats = server.shutdown();
+    let total = admitted + live_count as u64;
+    assert_eq!(stats.submitted, total, "seed {seed}: {stats}");
+    // No skew: every admitted request was batched, evaluated, and
+    // counted complete, ghosts included — the batch-group counters
+    // never learn the consumer died.
+    assert_eq!(stats.completed, total, "seed {seed}: {stats}");
+    assert_eq!(stats.batched_requests, total, "seed {seed}: {stats}");
+    assert_eq!(stats.overloaded, 0, "seed {seed}: {stats}");
+    assert_eq!(stats.connections, ghosts as u64 + 1, "seed {seed}: {stats}");
+    assert_eq!(stats.queue_depth, 0, "seed {seed}: jobs left in the queue: {stats}");
+}
+
+/// Mid-window disconnects: a connection that submits and drops before
+/// its reply routes must leak nothing — not a reorder-buffer slot (the
+/// drain would hang), not a counter (completed/batched stay exact) —
+/// and must never disturb a live client sharing its batches.
+#[test]
+fn mid_window_disconnect_leaks_no_slots_and_skews_no_counters() {
+    for seed in 0..6 {
+        run_disconnect_script(seed);
+    }
 }
