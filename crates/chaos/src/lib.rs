@@ -1,0 +1,388 @@
+//! `parspeed-chaos` — seeded, deterministic fault injection for the
+//! serving tier.
+//!
+//! The paper's argument is that overhead — not raw compute — decides
+//! the optimal architecture, and a lost or straggling shard is the
+//! overhead term at its worst: Gunther's `T∞` critical-path bound says
+//! one wedged backend *is* the fleet's execution time unless the
+//! serving tier routes around it. Routing around failure is only
+//! trustworthy if failure itself is a reproducible input, so this crate
+//! makes it one: a [`FaultPlan`] is a script of [`Trigger`]s (kill a
+//! shard at request K, delay a lane, drop or duplicate a reply, wedge a
+//! lane, panic a worker) plus a seeded RNG for jitter, installable on a
+//! router or server behind an `Option` hook that costs nothing when
+//! absent. The same seed and script produce the same event trace, so
+//! every failure mode the resilience layer handles is a unit test, not
+//! a production incident.
+//!
+//! The crate depends on nothing and knows nothing about the engine or
+//! the serving layers: it hands out actions and records events; the
+//! host decides what "kill shard 2" means.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The splitmix64 finalizer: a cheap, well-mixed stateless hash used
+/// for deterministic jitter (the same mix the router's hash ring uses
+/// for point placement).
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A tiny seeded generator (splitmix64 stream) for scripted randomness.
+/// Deterministic: the same seed yields the same sequence on every run
+/// and every platform.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.state)
+    }
+
+    /// A value in `0..n` (`n = 0` answers 0).
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter, in
+/// milliseconds, for retry attempt `attempt` (1-based).
+///
+/// The first attempt after a failure is an immediate failover (0 ms):
+/// the ring has already rebalanced, so there is nothing to wait for.
+/// From the second attempt on, the raw delay doubles from `base_ms` up
+/// to `cap_ms`, and the jitter draws deterministically from
+/// `[raw/2, raw]` using `seed` and the per-request `token` — the same
+/// request retries on the same schedule every run, while distinct
+/// requests decorrelate (no thundering herd at a readmitted shard).
+pub fn backoff_ms(base_ms: u64, cap_ms: u64, attempt: u32, seed: u64, token: u64) -> u64 {
+    if attempt <= 1 || base_ms == 0 {
+        return 0;
+    }
+    let doublings = (attempt - 2).min(63);
+    let raw = base_ms.saturating_shl(doublings).min(cap_ms.max(base_ms));
+    let lo = raw / 2;
+    lo + mix(seed ^ token ^ u64::from(attempt)) % (raw - lo + 1)
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        if self == 0 {
+            0
+        } else if n >= self.leading_zeros() {
+            u64::MAX
+        } else {
+            self << n
+        }
+    }
+}
+
+/// One injectable failure. Shard indices are host-interpreted (the
+/// router's lane numbers); the plan itself attaches no meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill a shard outright: remove it from the ring and drain it —
+    /// the process-death failure mode.
+    KillShard {
+        /// The shard to kill.
+        shard: usize,
+    },
+    /// Add `millis` of latency to the shard's next reply — the
+    /// straggler failure mode (the paper's slowest-processor term).
+    DelayLane {
+        /// The lane to slow down.
+        shard: usize,
+        /// Extra latency, milliseconds.
+        millis: u64,
+    },
+    /// Swallow the shard's next reply — the lost-message failure mode;
+    /// the waiting request must be retried elsewhere.
+    DropReply {
+        /// The lane whose next reply is lost.
+        shard: usize,
+    },
+    /// Deliver the shard's next reply twice — the duplicated-message
+    /// failure mode; the gather layer must suppress the copy.
+    DuplicateReply {
+        /// The lane whose next reply duplicates.
+        shard: usize,
+    },
+    /// Stop the shard from answering without killing it — the
+    /// hung-backend failure mode that trips a circuit breaker.
+    WedgeLane {
+        /// The lane to wedge.
+        shard: usize,
+    },
+    /// Panic a batcher worker mid-service — the bug failure mode; the
+    /// server must recover and still answer every admitted slot.
+    PanicWorker,
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultAction::KillShard { shard } => write!(f, "kill:{shard}"),
+            FaultAction::DelayLane { shard, millis } => write!(f, "delay:{shard}:{millis}"),
+            FaultAction::DropReply { shard } => write!(f, "drop:{shard}"),
+            FaultAction::DuplicateReply { shard } => write!(f, "dup:{shard}"),
+            FaultAction::WedgeLane { shard } => write!(f, "wedge:{shard}"),
+            FaultAction::PanicWorker => write!(f, "panic"),
+        }
+    }
+}
+
+/// A scripted failure: `action` fires when the host's request counter
+/// reaches `at_request` (1-based — the Kth admitted request trips it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trigger {
+    /// The 1-based request index that trips the action.
+    pub at_request: u64,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic fault script plus its event trace.
+///
+/// The host ticks the plan once per admitted request
+/// ([`on_request`](FaultPlan::on_request)); actions whose trigger index
+/// has been reached fire exactly once, in script order. Everything the
+/// plan causes is appended to an event trace
+/// ([`record`](FaultPlan::record) / [`events`](FaultPlan::events)), and
+/// the determinism contract — same seed, same script, same workload ⇒
+/// same trace — is what the bench's robustness gate asserts.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    triggers: Vec<Trigger>,
+    counter: AtomicU64,
+    cursor: Mutex<usize>,
+    events: Mutex<Vec<String>>,
+}
+
+impl FaultPlan {
+    /// A plan over `triggers` (sorted by request index; ties fire in
+    /// the given order) with `seed` driving every jitter draw.
+    pub fn new(seed: u64, mut triggers: Vec<Trigger>) -> Self {
+        triggers.sort_by_key(|t| t.at_request);
+        FaultPlan {
+            seed,
+            triggers,
+            counter: AtomicU64::new(0),
+            cursor: Mutex::new(0),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Parses the CLI spec: comma-separated `ACTION@K` items, where `K`
+    /// is the 1-based request index and `ACTION` is one of
+    /// `kill:S`, `delay:S:MS`, `drop:S`, `dup:S`, `wedge:S`, `panic`.
+    ///
+    /// Example: `"kill:1@120,delay:0:25@40,panic@9"`.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut triggers = Vec::new();
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (action, at) = item
+                .split_once('@')
+                .ok_or_else(|| format!("fault `{item}`: expected ACTION@REQUEST"))?;
+            let at_request: u64 = at
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault `{item}`: request index must be a positive integer"))?;
+            if at_request == 0 {
+                return Err(format!("fault `{item}`: request indices are 1-based"));
+            }
+            let parts: Vec<&str> = action.trim().split(':').collect();
+            let shard_of = |s: &str| {
+                s.parse::<usize>().map_err(|_| format!("fault `{item}`: bad shard index `{s}`"))
+            };
+            let action = match parts.as_slice() {
+                ["kill", s] => FaultAction::KillShard { shard: shard_of(s)? },
+                ["delay", s, ms] => FaultAction::DelayLane {
+                    shard: shard_of(s)?,
+                    millis: ms
+                        .parse()
+                        .map_err(|_| format!("fault `{item}`: bad delay millis `{ms}`"))?,
+                },
+                ["drop", s] => FaultAction::DropReply { shard: shard_of(s)? },
+                ["dup", s] => FaultAction::DuplicateReply { shard: shard_of(s)? },
+                ["wedge", s] => FaultAction::WedgeLane { shard: shard_of(s)? },
+                ["panic"] => FaultAction::PanicWorker,
+                _ => {
+                    return Err(format!(
+                        "fault `{item}`: unknown action; one of kill:S, delay:S:MS, drop:S, \
+                         dup:S, wedge:S, panic"
+                    ))
+                }
+            };
+            triggers.push(Trigger { at_request, action });
+        }
+        if triggers.is_empty() {
+            return Err("fault plan is empty; expected ACTION@REQUEST[,ACTION@REQUEST...]".into());
+        }
+        Ok(FaultPlan::new(seed, triggers))
+    }
+
+    /// The seed every jitter draw derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The script, in firing order.
+    pub fn triggers(&self) -> &[Trigger] {
+        &self.triggers
+    }
+
+    /// How many requests have ticked the plan so far.
+    pub fn requests_seen(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+
+    /// Ticks the request counter and returns every not-yet-fired action
+    /// whose trigger index has been reached. Each trigger fires exactly
+    /// once, in script order, however many threads tick concurrently.
+    pub fn on_request(&self) -> Vec<FaultAction> {
+        let k = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut cursor = self.cursor.lock().unwrap();
+        let mut due = Vec::new();
+        while *cursor < self.triggers.len() && self.triggers[*cursor].at_request <= k {
+            due.push(self.triggers[*cursor].action);
+            *cursor += 1;
+        }
+        due
+    }
+
+    /// Appends one line to the event trace (hosts record what each
+    /// fired action actually did, plus every recovery step it caused).
+    pub fn record(&self, event: impl Into<String>) {
+        self.events.lock().unwrap().push(event.into());
+    }
+
+    /// The event trace so far, oldest first.
+    pub fn events(&self) -> Vec<String> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// The trace as one newline-joined string — the determinism
+    /// fingerprint (same seed + script + workload ⇒ identical string).
+    pub fn trace(&self) -> String {
+        self.events.lock().unwrap().join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_spread() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        // A different seed diverges immediately.
+        let mut c = FaultRng::new(43);
+        assert_ne!(xs[0], c.next_u64());
+        // next_below stays in range.
+        let mut r = FaultRng::new(7);
+        assert!((0..100).all(|_| r.next_below(10) < 10));
+        assert_eq!(FaultRng::new(1).next_below(0), 0);
+    }
+
+    #[test]
+    fn backoff_is_immediate_then_doubling_then_capped() {
+        // Attempt 1: immediate failover.
+        assert_eq!(backoff_ms(2, 50, 1, 9, 9), 0);
+        // Attempt k >= 2: raw doubles 2, 4, 8, ... capped at 50, jitter
+        // within [raw/2, raw].
+        for (attempt, raw) in [(2u32, 2u64), (3, 4), (4, 8), (5, 16), (6, 32), (7, 50), (8, 50)] {
+            let ms = backoff_ms(2, 50, attempt, 9, 9);
+            assert!(ms >= raw / 2 && ms <= raw, "attempt {attempt}: {ms} vs raw {raw}");
+        }
+        // Deterministic per (seed, token, attempt); tokens decorrelate.
+        assert_eq!(backoff_ms(2, 50, 5, 1, 77), backoff_ms(2, 50, 5, 1, 77));
+        let spread: std::collections::HashSet<u64> =
+            (0..32).map(|token| backoff_ms(16, 4096, 9, 1, token)).collect();
+        assert!(spread.len() > 8, "jitter collapsed: {spread:?}");
+        // Huge attempt counts saturate instead of overflowing.
+        assert_eq!(backoff_ms(2, 50, u32::MAX, 0, 0).max(25), backoff_ms(2, 50, u32::MAX, 0, 0));
+    }
+
+    #[test]
+    fn triggers_fire_once_in_order() {
+        let plan = FaultPlan::new(
+            0,
+            vec![
+                Trigger { at_request: 3, action: FaultAction::PanicWorker },
+                Trigger { at_request: 1, action: FaultAction::KillShard { shard: 2 } },
+                Trigger { at_request: 3, action: FaultAction::DropReply { shard: 0 } },
+            ],
+        );
+        assert_eq!(plan.on_request(), vec![FaultAction::KillShard { shard: 2 }]);
+        assert!(plan.on_request().is_empty());
+        assert_eq!(
+            plan.on_request(),
+            vec![FaultAction::PanicWorker, FaultAction::DropReply { shard: 0 }]
+        );
+        assert!(plan.on_request().is_empty());
+        assert_eq!(plan.requests_seen(), 4);
+    }
+
+    #[test]
+    fn a_skipped_index_still_fires_late_triggers() {
+        // A trigger whose exact index never ticks (e.g. the counter
+        // jumps in a concurrent race) fires on the next tick past it.
+        let plan =
+            FaultPlan::new(0, vec![Trigger { at_request: 2, action: FaultAction::PanicWorker }]);
+        plan.counter.store(5, Ordering::SeqCst);
+        assert_eq!(plan.on_request(), vec![FaultAction::PanicWorker]);
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_spec() {
+        let plan = FaultPlan::parse("kill:1@120, delay:0:25@40,drop:2@10,dup:2@11", 7).unwrap();
+        assert_eq!(plan.seed(), 7);
+        let rendered: Vec<String> =
+            plan.triggers().iter().map(|t| format!("{}@{}", t.action, t.at_request)).collect();
+        // Sorted by request index.
+        assert_eq!(rendered, ["drop:2@10", "dup:2@11", "delay:0:25@40", "kill:1@120"]);
+        assert!(FaultPlan::parse("wedge:3@5,panic@9", 0).is_ok());
+
+        for bad in ["", "kill:1", "kill@3", "kill:x@3", "delay:0@3", "kill:1@0", "explode:1@3"] {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn event_trace_is_order_preserving() {
+        let plan = FaultPlan::new(1, vec![]);
+        plan.record("a");
+        plan.record(String::from("b"));
+        assert_eq!(plan.events(), ["a", "b"]);
+        assert_eq!(plan.trace(), "a\nb");
+    }
+}

@@ -5,7 +5,7 @@
 use crate::args::{err, Args, CliError};
 use parspeed_engine::Engine;
 use parspeed_router::predict::{predict, FleetModel, SweepPoint, WorkloadProfile};
-use parspeed_router::{Router, RouterConfig};
+use parspeed_router::{BreakerPolicy, RetryPolicy, Router, RouterConfig};
 use parspeed_server::ServerConfig;
 use std::io::{BufRead as _, Write as _};
 use std::sync::Arc;
@@ -21,6 +21,17 @@ pub const KEYS: &[&str] = &[
     "queue-depth",
     "cache-capacity",
     "threads",
+    "poll-ms",
+    "accept-poll-us",
+    "deadline-ms",
+    "retry-max",
+    "backoff-base-ms",
+    "backoff-cap-ms",
+    "breaker-threshold",
+    "probe-after-ms",
+    "stall-after-ms",
+    "fault-plan",
+    "fault-seed",
     "distinct",
     "capacity",
     "max-shards",
@@ -32,6 +43,10 @@ pub const SWITCHES: &[&str] = &["predict", "stats"];
 pub const USAGE: &str = "parspeed route [--addr HOST:PORT] [--shards N] [--replicas N]
                [--window-us N] [--max-batch N] [--workers N]
                [--queue-depth N] [--cache-capacity N] [--threads N]
+               [--poll-ms N] [--accept-poll-us N] [--deadline-ms N]
+               [--retry-max N] [--backoff-base-ms N] [--backoff-cap-ms N]
+               [--breaker-threshold N] [--probe-after-ms N]
+               [--stall-after-ms N] [--fault-plan SPEC] [--fault-seed N]
                [--stats]
        parspeed route --predict --distinct D --capacity C
                [--max-shards N] [--sweep P:SECS,P:SECS,...]
@@ -41,13 +56,22 @@ result cache) behind one wire-v2 JSONL address. Every request is routed
 by consistent-hashing its canonical cache key onto a hash ring, so
 duplicated traffic always lands on the same warm shard and the fleet's
 aggregate cache holds N times the keys. The wire is `parspeed serve`'s
-wire, with two router-level differences: `{\"op\":\"topology\"}` answers
-the live fleet (members, ring replicas, per-shard resident keys) and
-`{\"op\":\"stats\"}`/`metrics`/`trace` refuse with
+wire, with router-level differences: `{\"op\":\"topology\"}` answers
+the live fleet (members, ring replicas, per-shard resident keys),
+`{\"op\":\"metrics\"}` answers the router-scoped record — the
+resilience counters plus each shard's breaker state — and
+`{\"op\":\"stats\"}`/`trace` refuse with
 \"error_kind\":\"unsupported\" (per-shard state; probe a shard).
 `{\"op\":\"health\"}` answers with \"shard\":null — backends answer
 theirs with their shard id. Prints `routing on HOST:PORT`, serves until
 stdin reaches EOF (Ctrl-D), drains every in-flight reply, and exits.
+
+A lost or tripped shard does not lose requests: in-flight idempotent
+work fails over around the ring with capped, deterministically jittered
+backoff; per-shard circuit breakers open on consecutive failures or a
+reply stall and readmit the shard through a half-open probe. Requests
+may carry \"deadline_ms\"; an expired budget answers its own slot with
+\"error_kind\":\"deadline_exceeded\".
 
 Predict mode (--predict): the paper sizes the fleet. A workload with D
 distinct cache keys over C-entry shard caches is the paper's bounded-
@@ -65,14 +89,40 @@ minimizes — quantization, memory floor, and infeasibility included.
   --queue-depth N      per-shard submission-queue bound (default 4096)
   --cache-capacity N   per-shard result-cache entries (default 65536)
   --threads N          per-shard engine executor threads (0 = default)
+  --poll-ms N          gather/park poll interval in milliseconds
+                       (default 50)
+  --accept-poll-us N   sleep between accept attempts on the nonblocking
+                       listener (default 200)
+  --deadline-ms N      default per-request deadline budget applied to
+                       requests that carry none (default off)
+  --retry-max N        dispatch attempts per request before the slot
+                       refuses with the rebalance hint (default 3)
+  --backoff-base-ms N  base of the capped exponential retry backoff
+                       (default 2)
+  --backoff-cap-ms N   backoff ceiling in milliseconds (default 50)
+  --breaker-threshold N  consecutive shard failures that open its
+                       circuit breaker (default 3)
+  --probe-after-ms N   how long an open breaker waits before the
+                       half-open readmission probe (default 250)
+  --stall-after-ms N   reply silence on a lane that counts as a stall
+                       and trips the breaker (default 1000)
+  --fault-plan SPEC    install a deterministic fault plan, e.g.
+                       `kill:0@3,drop:1@7` — ACTION@REQUEST pairs
+                       (kill:S, delay:S:MS, drop:S, dup:S, wedge:S)
+                       firing at 1-based request indices
+  --fault-seed N       seed for the fault plan's deterministic jitter
+                       (default 0); the same seed replays the same trace
   --stats              print per-shard telemetry after draining
   --predict            predict the optimal fleet size and exit
   --distinct D         distinct cache keys the workload touches
   --capacity C         result-cache entries one shard holds
   --max-shards N       largest fleet to consider (default 16)
-  --sweep P:S,...      measured sweep, `shards:seconds` pairs; with
-                       fewer than three sizes the prediction degrades
-                       to the memory floor ceil(D/C)";
+  --sweep P:S,...      measured sweep, `shards:seconds` pairs; suffix a
+                       pair with `!` (e.g. `3:14.9!`) to mark it
+                       degraded — taken with shards lost mid-run — so
+                       the fit excludes it; with fewer than three clean
+                       sizes the prediction degrades to the memory
+                       floor ceil(D/C)";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -86,10 +136,38 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         queue_depth: args.usize_or("queue-depth", 4096)?,
         ..ServerConfig::default()
     };
+    let retry_defaults = RetryPolicy::default();
+    let breaker_defaults = BreakerPolicy::default();
     let config = RouterConfig {
         shards: args.usize_or("shards", 4)?,
         replicas: args.usize_or("replicas", 64)?,
         backend,
+        poll: Duration::from_millis(args.usize_or("poll-ms", 50)? as u64),
+        accept_poll: Duration::from_micros(args.usize_or("accept-poll-us", 200)? as u64),
+        default_deadline: args.usize_opt("deadline-ms")?.map(|ms| Duration::from_millis(ms as u64)),
+        retry: RetryPolicy {
+            max_attempts: args.usize_or("retry-max", retry_defaults.max_attempts as usize)? as u32,
+            backoff_base_ms: args
+                .usize_or("backoff-base-ms", retry_defaults.backoff_base_ms as usize)?
+                as u64,
+            backoff_cap_ms: args
+                .usize_or("backoff-cap-ms", retry_defaults.backoff_cap_ms as usize)?
+                as u64,
+            seed: args.usize_or("fault-seed", retry_defaults.seed as usize)? as u64,
+        },
+        breaker: BreakerPolicy {
+            failure_threshold: args
+                .usize_or("breaker-threshold", breaker_defaults.failure_threshold as usize)?
+                as u32,
+            probe_after: Duration::from_millis(
+                args.usize_or("probe-after-ms", breaker_defaults.probe_after.as_millis() as usize)?
+                    as u64,
+            ),
+            stall_after: Duration::from_millis(
+                args.usize_or("stall-after-ms", breaker_defaults.stall_after.as_millis() as usize)?
+                    as u64,
+            ),
+        },
     };
     for (flag, value) in [
         ("shards", config.shards),
@@ -97,11 +175,14 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         ("max-batch", backend.max_batch),
         ("workers", backend.workers),
         ("queue-depth", backend.queue_depth),
+        ("retry-max", config.retry.max_attempts as usize),
+        ("breaker-threshold", config.breaker.failure_threshold as usize),
     ] {
         if value == 0 {
             return Err(err(format!("flag `--{flag}` must be at least 1")));
         }
     }
+    let plan = super::serve::fault_plan(args)?;
     let cache_capacity =
         args.usize_or("cache-capacity", parspeed_engine::DEFAULT_CACHE_CAPACITY)?;
     let threads = args.usize_or("threads", 0)?;
@@ -114,6 +195,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 .build(),
         )
     });
+    if plan.is_some() {
+        router.install_fault_plan(plan);
+    }
     let addr = args.str_or("addr", "127.0.0.1:0");
     let local = router.listen(addr).map_err(|e| err(format!("cannot bind `{addr}`: {e}")))?;
 
@@ -126,9 +210,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             break;
         }
     }
+    let resilience = router.resilience();
     let stats = router.shutdown();
     if args.switch("stats") {
         let mut out = String::from("drained");
+        let snap = resilience.snapshot();
+        for (name, value) in snap.fields() {
+            if value > 0 {
+                out.push_str(&format!("\nresilience {name}: {value}"));
+            }
+        }
         for (shard, s) in &stats {
             out.push_str(&format!("\nshard {shard}: {s}"));
         }
@@ -151,6 +242,7 @@ fn run_predict(args: &Args) -> Result<String, CliError> {
     }
     let max_shards = args.usize_or("max-shards", 16)?;
     let sweep = parse_sweep(args.str_opt("sweep").unwrap_or(""))?;
+    let degraded = sweep.iter().filter(|p| p.degraded).count();
     let profile = WorkloadProfile { distinct_keys: distinct, shard_capacity: capacity };
     let p = predict(profile, &sweep, max_shards).map_err(|e| err(e.to_string()))?;
     let mut out = format!(
@@ -161,18 +253,21 @@ fn run_predict(args: &Args) -> Result<String, CliError> {
     match p.model {
         Some(FleetModel { scatter, coordination, floor }) => out.push_str(&format!(
             "\nfitted curve      T(P) = {scatter:.4}/P + {coordination:.4}*P + {floor:.4}  \
-             ({} sweep points)",
-            sweep.len()
+             ({} sweep points, {} degraded excluded)",
+            sweep.len() - degraded,
+            degraded
         )),
         None => out.push_str(
-            "\nfitted curve      none (fewer than three feasible sweep sizes); \
+            "\nfitted curve      none (fewer than three clean feasible sweep sizes); \
              the memory floor decides",
         ),
     }
     Ok(out)
 }
 
-/// Parses `--sweep 4:12.3,6:10.1,8:11.0` into sweep points.
+/// Parses `--sweep 4:12.3,6:10.1,8:11.0` into sweep points. A trailing
+/// `!` on a pair (`3:14.9!`) marks the sample degraded — measured with
+/// shards lost mid-run — so the fit excludes it.
 fn parse_sweep(text: &str) -> Result<Vec<SweepPoint>, CliError> {
     let text = text.trim();
     if text.is_empty() {
@@ -181,13 +276,38 @@ fn parse_sweep(text: &str) -> Result<Vec<SweepPoint>, CliError> {
     text.split(',')
         .map(|pair| {
             let bad = || err(format!("--sweep: `{pair}` is not `shards:seconds`"));
-            let (p, s) = pair.split_once(':').ok_or_else(bad)?;
+            let (clean, degraded) = match pair.trim().strip_suffix('!') {
+                Some(rest) => (rest, true),
+                None => (pair.trim(), false),
+            };
+            let (p, s) = clean.split_once(':').ok_or_else(bad)?;
             let shards: usize = p.trim().parse().map_err(|_| bad())?;
             let seconds: f64 = s.trim().parse().map_err(|_| bad())?;
             if shards == 0 || !seconds.is_finite() || seconds <= 0.0 {
                 return Err(bad());
             }
-            Ok(SweepPoint { shards, seconds })
+            Ok(SweepPoint { shards, seconds, degraded })
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_pairs_parse_with_the_degraded_suffix() {
+        let points = parse_sweep("4:12.3, 6:10.1!, 8:11.0").expect("parses");
+        assert_eq!(points.len(), 3);
+        assert!(!points[0].degraded && points[1].degraded && !points[2].degraded);
+        assert_eq!(points[1].shards, 6);
+        assert_eq!(points[1].seconds, 10.1);
+    }
+
+    #[test]
+    fn malformed_sweep_pairs_refuse() {
+        for bad in ["4", "0:1.0", "4:-1.0", "4:NaN", "4:1.0!!", "!4:1.0"] {
+            assert!(parse_sweep(bad).is_err(), "{bad} should refuse");
+        }
+    }
 }

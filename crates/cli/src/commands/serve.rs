@@ -2,8 +2,9 @@
 //! wire-v2 JSONL framing, cross-client micro-batching into the engine.
 
 use crate::args::{err, Args, CliError};
+use parspeed_chaos::FaultPlan;
 use parspeed_engine::Engine;
-use parspeed_server::{Server, ServerConfig};
+use parspeed_server::{BrownoutConfig, Server, ServerConfig};
 use std::io::{BufRead as _, Write as _};
 use std::sync::Arc;
 use std::time::Duration;
@@ -18,6 +19,11 @@ pub const KEYS: &[&str] = &[
     "shards",
     "threads",
     "trace",
+    "accept-poll-us",
+    "brownout-enter",
+    "brownout-exit",
+    "fault-plan",
+    "fault-seed",
 ];
 pub const SWITCHES: &[&str] = &["stats", "metrics-human", "no-observe"];
 
@@ -25,7 +31,9 @@ pub const SWITCHES: &[&str] = &["stats", "metrics-human", "no-observe"];
 pub const USAGE: &str = "parspeed serve [--addr HOST:PORT] [--window-us N] [--max-batch N]
                [--workers N] [--queue-depth N] [--cache-capacity N]
                [--shards N] [--threads N] [--trace N] [--stats]
-               [--metrics-human] [--no-observe]
+               [--metrics-human] [--no-observe] [--accept-poll-us N]
+               [--brownout-enter N --brownout-exit N]
+               [--fault-plan SPEC] [--fault-seed N]
 
 Serves the wire-v2 JSONL request schema of `parspeed batch` over TCP to
 many simultaneous clients: one JSON request per line in, one JSON
@@ -34,15 +42,18 @@ requests from all connections are coalesced by a micro-batching window
 into single engine batches, so dedup and the result cache amortize
 across clients. Serving-only ops: `{\"op\":\"stats\"}` answers a live
 telemetry snapshot, `{\"op\":\"metrics\"}` adds per-stage latency
-histograms (see `parspeed help metrics`), `{\"op\":\"trace\"}` answers
-the recent-request trace ring.
+histograms plus the resilience counters (see `parspeed help metrics`),
+`{\"op\":\"trace\"}` answers the recent-request trace ring.
 
 Prints `listening on HOST:PORT` (so `--addr 127.0.0.1:0` works), then
 serves until stdin reaches EOF (Ctrl-D), drains — every accepted request
 is answered before connections close — and exits. Requests refused by
-admission control (full submission queue, draining server) are answered
-in their own reply slot with \"error_kind\":\"overloaded\", never by
-disconnecting the client.
+admission control (full submission queue, draining server, brownout
+shedding) are answered in their own reply slot with
+\"error_kind\":\"overloaded\", never by disconnecting the client. Any
+request line may carry \"deadline_ms\": if the budget expires before the
+result is produced the slot answers \"error_kind\":\"deadline_exceeded\"
+(see crates/engine/src/README.md, Failure semantics).
 
   --addr HOST:PORT     listen address (default 127.0.0.1:0)
   --window-us N        micro-batch window in microseconds: how long the
@@ -59,11 +70,53 @@ disconnecting the client.
   --trace N            keep the last N request traces (default 0 = off);
                        served by `{\"op\":\"trace\"}` and flushed as
                        JSONL to stderr on drain
+  --accept-poll-us N   sleep between accept attempts on the nonblocking
+                       listener (default 200)
+  --brownout-enter N   queue depth at which brownout degradation starts:
+                       cold requests shed as overloaded, cached requests
+                       still answer (default off)
+  --brownout-exit N    queue depth at which full service resumes; must
+                       be below --brownout-enter
+  --fault-plan SPEC    install a deterministic fault plan, e.g.
+                       `panic@3,delay:0:5@7` — ACTION@REQUEST pairs
+                       (kill:S, delay:S:MS, drop:S, dup:S, wedge:S,
+                       panic) firing at 1-based request indices
+  --fault-seed N       seed for the fault plan's deterministic jitter
+                       (default 0); the same seed replays the same trace
   --stats              print the final telemetry snapshot after draining
   --metrics-human      print the final per-stage latency histograms as a
                        Prometheus-style text exposition after draining
   --no-observe         disable stage-latency recording and tracing
                        (counters and the stats op stay on)";
+
+/// Parses the optional brownout watermark pair.
+fn brownout_config(args: &Args) -> Result<Option<BrownoutConfig>, CliError> {
+    match (args.usize_opt("brownout-enter")?, args.usize_opt("brownout-exit")?) {
+        (None, None) => Ok(None),
+        (Some(enter), Some(exit)) => {
+            if enter == 0 || exit >= enter {
+                return Err(err(
+                    "--brownout-exit must be below --brownout-enter (and enter at least 1)",
+                ));
+            }
+            Ok(Some(BrownoutConfig { enter, exit }))
+        }
+        _ => Err(err("brownout needs both --brownout-enter and --brownout-exit")),
+    }
+}
+
+/// Parses the optional `--fault-plan SPEC` (+ `--fault-seed N`).
+pub(crate) fn fault_plan(args: &Args) -> Result<Option<Arc<FaultPlan>>, CliError> {
+    let Some(spec) = args.str_opt("fault-plan") else {
+        if args.usize_opt("fault-seed")?.is_some() {
+            return Err(err("--fault-seed needs --fault-plan"));
+        }
+        return Ok(None);
+    };
+    let seed = args.usize_or("fault-seed", 0)? as u64;
+    let plan = FaultPlan::parse(spec, seed).map_err(|e| err(format!("--fault-plan: {e}")))?;
+    Ok(Some(Arc::new(plan)))
+}
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -75,6 +128,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         observe: !args.switch("no-observe"),
         trace: args.usize_or("trace", 0)?,
         shard: None,
+        accept_poll: Duration::from_micros(args.usize_or("accept-poll-us", 200)? as u64),
+        brownout: brownout_config(args)?,
     };
     if args.switch("metrics-human") && !config.observe {
         return Err(err("--metrics-human needs stage recording; drop --no-observe"));
@@ -88,6 +143,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             return Err(err(format!("flag `--{flag}` must be at least 1")));
         }
     }
+    let plan = fault_plan(args)?;
     let engine = Engine::builder()
         .cache_capacity(args.usize_or("cache-capacity", parspeed_engine::DEFAULT_CACHE_CAPACITY)?)
         .cache_shards(args.usize_or("shards", 16)?)
@@ -95,6 +151,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         .experiment_runner(crate::commands::experiment::runner)
         .build();
     let mut server = Server::start(Arc::new(engine), config);
+    if plan.is_some() {
+        server.install_fault_plan(plan);
+    }
     let addr = args.str_or("addr", "127.0.0.1:0");
     let local = server.listen(addr).map_err(|e| err(format!("cannot bind `{addr}`: {e}")))?;
 
@@ -111,8 +170,10 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         }
     }
     // The obs handle outlives shutdown; grab it first so the final
-    // histograms and the trace ring survive the drain.
+    // histograms and the trace ring survive the drain. Same for the
+    // resilience counters.
     let obs = server.observability();
+    let resilience = server.resilience();
     let stats = server.shutdown();
     if obs.trace_capacity() > 0 {
         // Flush the trace ring as JSONL on stderr, oldest first, so a
@@ -123,7 +184,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     }
     let mut out = if args.switch("stats") { format!("drained; {stats}") } else { "drained".into() };
     if args.switch("metrics-human") {
-        let snapshot = parspeed_server::MetricsSnapshot { stats, stages: obs.stage_summaries() };
+        let snapshot = parspeed_server::MetricsSnapshot {
+            stats,
+            stages: obs.stage_summaries(),
+            resilience: resilience.snapshot(),
+            // The server has drained: brownout is necessarily over.
+            brownout: false,
+        };
         out.push('\n');
         out.push_str(snapshot.render_human().trim_end());
     }

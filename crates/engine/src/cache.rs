@@ -213,6 +213,17 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         out
     }
 
+    /// True when `key` is resident, without promoting it or touching the
+    /// hit/miss counters — a pure peek for callers (the brownout prober)
+    /// that ask "would this be a hit?" without committing to a lookup.
+    /// Answering the probe must not distort recency or the measured hit
+    /// rate, or the probe itself would keep cold keys warm.
+    pub fn contains(&self, key: &K) -> bool {
+        let hash = fx_hash(key);
+        let shard = self.shard_of(hash).lock().expect("cache shard poisoned");
+        shard.map.get(&hash).is_some_and(|bucket| bucket.iter().any(|e| &e.key == key))
+    }
+
     /// Stores `value` under `key`, evicting least-recently-used entries of
     /// the same shard if the shard is over capacity.
     pub fn insert(&self, key: K, value: V) {
@@ -263,6 +274,32 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_neither_promotes_nor_counts() {
+        let c: ShardedLru<u64, String> = ShardedLru::new(16, 4);
+        assert!(!c.contains(&1));
+        c.insert(1, "one".into());
+        assert!(c.contains(&1));
+        assert!(!c.contains(&2));
+        // The peek left the stats untouched: no hits, no misses.
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (0, 0, 1));
+    }
+
+    #[test]
+    fn contains_does_not_refresh_recency() {
+        // One shard, capacity 2: insert a, b, peek a, insert c. If the
+        // peek promoted, b would be evicted; it must be a that goes.
+        let c: ShardedLru<u64, u64> = ShardedLru::new(2, 1);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.contains(&1));
+        c.insert(3, 30);
+        assert!(!c.contains(&1), "peek must not have promoted key 1");
+        assert!(c.contains(&2));
+        assert!(c.contains(&3));
     }
 
     #[test]

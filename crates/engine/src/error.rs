@@ -5,7 +5,7 @@
 //! and JSONL reader returned bare `String`s, and the CLI wrapped whatever
 //! it caught in its own error type. [`ParspeedError`] replaces all of
 //! those at the service boundary: every error a [`Request`](crate::Request)
-//! can produce is one of six kinds, each kind has a stable wire name
+//! can produce is one of seven kinds, each kind has a stable wire name
 //! ([`ParspeedError::kind`]), and the human-readable message is preserved
 //! verbatim so rerouting a caller through the service never changes what
 //! they see.
@@ -40,6 +40,13 @@ pub enum ParspeedError {
     /// serving layer's documented overload answer, delivered in the
     /// request's own reply slot rather than by disconnecting the client.
     Overloaded(String),
+    /// The request's deadline (`deadline_ms` on the wire, or a serving
+    /// tier default) expired before the result could be produced. The
+    /// request may or may not have been evaluated — only retry-safe
+    /// (idempotent) queries should be resubmitted. Answered in the
+    /// request's own reply slot, like every other refusal; never
+    /// produced by [`Engine`](crate::Engine) itself.
+    DeadlineExceeded(String),
     /// An invariant broke inside the engine. Should never happen; kept in
     /// the taxonomy so nothing maps to a panic.
     Internal(String),
@@ -71,6 +78,11 @@ impl ParspeedError {
         ParspeedError::Overloaded(msg.into())
     }
 
+    /// Deadline expiry at the serving tier.
+    pub fn deadline_exceeded(msg: impl Into<String>) -> Self {
+        ParspeedError::DeadlineExceeded(msg.into())
+    }
+
     /// The stable wire name of this error's kind (the JSONL `error_kind`
     /// field of wire v2).
     pub fn kind(&self) -> &'static str {
@@ -80,6 +92,7 @@ impl ParspeedError {
             ParspeedError::Infeasible(_) => "infeasible",
             ParspeedError::Unsupported(_) => "unsupported",
             ParspeedError::Overloaded(_) => "overloaded",
+            ParspeedError::DeadlineExceeded(_) => "deadline_exceeded",
             ParspeedError::Internal(_) => "internal",
         }
     }
@@ -92,6 +105,7 @@ impl ParspeedError {
             | ParspeedError::Infeasible(m)
             | ParspeedError::Unsupported(m)
             | ParspeedError::Overloaded(m)
+            | ParspeedError::DeadlineExceeded(m)
             | ParspeedError::Internal(m) => m,
         }
     }
@@ -140,6 +154,7 @@ mod tests {
             ParspeedError::infeasible("x"),
             ParspeedError::unsupported("x"),
             ParspeedError::overloaded("x"),
+            ParspeedError::deadline_exceeded("x"),
             ParspeedError::Internal("x".into()),
         ]
         .iter()
@@ -147,7 +162,15 @@ mod tests {
         .collect();
         assert_eq!(
             kinds,
-            vec!["parse", "invalid_request", "infeasible", "unsupported", "overloaded", "internal"]
+            vec![
+                "parse",
+                "invalid_request",
+                "infeasible",
+                "unsupported",
+                "overloaded",
+                "deadline_exceeded",
+                "internal"
+            ]
         );
     }
 }

@@ -409,11 +409,17 @@ fn parse_procs(obj: &Json) -> Result<Option<usize>, String> {
 /// Rejects top-level fields the op does not define, so a typo'd optional
 /// field (e.g. `memory_word`) errors instead of silently changing the
 /// query's meaning — the same strictness `machine` objects already get.
-/// `version` is always allowed (every op is versioned).
+/// `version` is always allowed (every op is versioned), and so is
+/// `deadline_ms` (every op may carry a deadline; the serving tier reads
+/// it, the query does not).
 fn check_fields(obj: &Json, op: &str, allowed: &[&str]) -> Result<(), String> {
     let Json::Obj(fields) = obj else { return Err("request must be an object".into()) };
     for (key, _) in fields {
-        if key != "op" && key != "version" && !allowed.contains(&key.as_str()) {
+        if key != "op"
+            && key != "version"
+            && key != "deadline_ms"
+            && !allowed.contains(&key.as_str())
+        {
             return Err(format!(
                 "unknown field `{key}` for op `{op}`; allowed: {}",
                 allowed.join(", ")
@@ -431,6 +437,12 @@ pub struct ParsedLine {
     pub query: Query,
     /// The line's declared wire version (1 when absent).
     pub version: u32,
+    /// The optional `deadline_ms` budget the line carried: how many
+    /// milliseconds the caller gives the serving tier before it would
+    /// rather have a `deadline_exceeded` answer than keep waiting.
+    /// `None` when absent; never part of the [`Query`] itself (two
+    /// lines differing only in deadline dedup to one evaluation).
+    pub deadline_ms: Option<u64>,
 }
 
 /// A request line that never became a [`Query`]: what went wrong plus the
@@ -460,8 +472,23 @@ pub fn parse_query(line: &str) -> Result<ParsedLine, LineError> {
 pub fn parse_query_value(obj: &Json) -> Result<ParsedLine, LineError> {
     let fail = |version, msg| LineError { version, error: ParspeedError::parse(msg) };
     let version = version_of(obj).map_err(|e| fail(1, e))?;
+    let deadline_ms = deadline_of(obj).map_err(|e| fail(version, e))?;
     let query = query_of(obj).map_err(|e| fail(version, e))?;
-    Ok(ParsedLine { query, version })
+    Ok(ParsedLine { query, version, deadline_ms })
+}
+
+fn deadline_of(obj: &Json) -> Result<Option<u64>, String> {
+    match obj.get("deadline_ms") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => match v.as_usize() {
+            Some(0) => Err("`deadline_ms` must be a positive integer (got 0)".into()),
+            Some(ms) => Ok(Some(ms as u64)),
+            None => Err(format!(
+                "`deadline_ms` must be a positive integer of milliseconds, got {}",
+                v.render()
+            )),
+        },
+    }
 }
 
 fn version_of(obj: &Json) -> Result<u32, String> {
@@ -945,6 +972,46 @@ mod tests {
                 assert_eq!(procs, Some(64));
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_ms_rides_any_op_without_entering_the_query() {
+        let with = parse_query(
+            r#"{"op":"optimize","version":2,"arch":"sync-bus","n":256,"stencil":"5pt",
+                "shape":"square","procs":64,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(with.deadline_ms, Some(250));
+        let without = parse_query(
+            r#"{"op":"optimize","version":2,"arch":"sync-bus","n":256,"stencil":"5pt",
+                "shape":"square","procs":64}"#,
+        )
+        .unwrap();
+        assert_eq!(without.deadline_ms, None);
+        // The deadline is an envelope field, not part of the query: the
+        // two lines dedup to the same evaluation.
+        assert_eq!(with.query, without.query);
+        // Ops with no extra fields of their own carry it too.
+        let ping = parse_query(
+            r#"{"op":"minsize","version":2,"variant":"sync-strip",
+            "e":6.0,"k":2,"procs":64,"deadline_ms":1}"#,
+        )
+        .unwrap();
+        assert_eq!(ping.deadline_ms, Some(1));
+    }
+
+    #[test]
+    fn deadline_ms_must_be_a_positive_integer() {
+        for bad in [r#""soon""#, "0", "-5", "2.5", "true"] {
+            let line = format!(
+                r#"{{"op":"optimize","version":2,"arch":"sync-bus","n":256,"stencil":"5pt",
+                    "shape":"square","procs":64,"deadline_ms":{bad}}}"#
+            );
+            let err = parse_query(&line).expect_err(&format!("accepted deadline_ms:{bad}"));
+            assert_eq!(err.error.kind(), "parse", "deadline_ms:{bad}");
+            assert_eq!(err.version, 2, "deadline errors keep the declared version");
+            assert!(err.error.message().contains("deadline_ms"), "{}", err.error);
         }
     }
 

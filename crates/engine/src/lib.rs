@@ -330,6 +330,25 @@ impl Engine {
         *self.recorder.write().unwrap() = recorder;
     }
 
+    /// True when `query` would be answered entirely from the result
+    /// cache: every unique evaluation it plans to is resident, and the
+    /// query is a pure evaluation (effect queries — thread
+    /// measurements, experiments — are never cached, and invalid
+    /// queries have nothing to serve). A pure peek: neither recency nor
+    /// the hit/miss counters move, so probing is free of observable
+    /// side effects. This is the engine half of the serving tier's
+    /// brownout mode — under pressure a server can answer exactly the
+    /// queries this says are warm and shed the rest.
+    pub fn is_cached(&self, query: &Query) -> bool {
+        let plan = Plan::build(std::slice::from_ref(query));
+        match &plan.slots[0] {
+            Slot::Effect(_) | Slot::Invalid(_) => false,
+            Slot::Single(_) | Slot::Sweep(_) => {
+                plan.unique.iter().all(|key| self.cache.contains(key))
+            }
+        }
+    }
+
     /// Cumulative cache counters.
     pub fn cache_stats(&self) -> CacheStatsSnapshot {
         self.cache.stats()
@@ -425,6 +444,26 @@ mod tests {
         );
         assert!(matches!(out.responses[2], Response::Single(Ok(_))));
         assert_eq!(out.telemetry.atoms, 2);
+    }
+
+    #[test]
+    fn is_cached_tracks_the_result_cache_without_touching_it() {
+        let engine = Engine::builder().build();
+        assert!(!engine.is_cached(&q(128, None)), "cold cache has nothing");
+        engine.run_batch(&[q(128, None)]);
+        let stats_before = engine.cache_stats();
+        assert!(engine.is_cached(&q(128, None)));
+        assert!(!engine.is_cached(&q(256, None)));
+        // Probing moved no counters: it must be invisible on the
+        // admission path.
+        let stats_after = engine.cache_stats();
+        assert_eq!(
+            (stats_before.hits, stats_before.misses),
+            (stats_after.hits, stats_after.misses)
+        );
+        // Invalid and effect queries are never "cached".
+        assert!(!engine.is_cached(&q(0, None)));
+        assert!(!engine.is_cached(&Query::Experiment { id: "e1".into(), quick: true }));
     }
 
     #[test]

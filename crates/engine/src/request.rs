@@ -1031,6 +1031,25 @@ pub enum Query {
     },
 }
 
+impl Query {
+    /// Whether re-executing this query after a failure is safe —
+    /// i.e. whether the serving tier may transparently retry it on
+    /// another shard.
+    ///
+    /// Every query but two is a pure function of its parameters
+    /// (deterministic model evaluation, cached like a value), so
+    /// running it twice is invisible. [`Query::Threads`] is a
+    /// wall-clock *measurement* and [`Query::Experiment`] may time
+    /// real executions, so a retry would silently answer with a
+    /// different measurement than the one that was lost; the router
+    /// refuses to fail those over and answers `overloaded` with a
+    /// `retry_after_ms` hint instead, leaving the retry decision to
+    /// the caller.
+    pub fn retry_safe(&self) -> bool {
+        !matches!(self, Query::Threads { .. } | Query::Experiment { .. })
+    }
+}
+
 /// The canonical, deduplicated form of one atomic evaluation. Everything
 /// the evaluator needs is in the key; everything presentational (names,
 /// labels) is not.
@@ -1279,6 +1298,34 @@ mod tests {
             let back = MachineKey::new(&m).to_params();
             assert_eq!(m, back);
         }
+    }
+
+    #[test]
+    fn only_measurement_queries_are_retry_unsafe() {
+        let workload =
+            WorkloadSpec { n: 128, stencil: StencilSpec::FivePoint, shape: ShapeKey::Square };
+        let pure = Query::Optimize {
+            arch: ArchKind::SyncBus,
+            machine: MachineSpec::default(),
+            workload,
+            procs: None,
+            memory_words: None,
+        };
+        assert!(pure.retry_safe());
+        assert!(
+            Query::Compare { machine: MachineSpec::default(), workload, procs: None }.retry_safe()
+        );
+        // Wall-clock measurements must not be silently re-run elsewhere.
+        assert!(!Query::Threads {
+            n: 64,
+            stencil: StencilSpec::FivePoint,
+            shape: ShapeKey::Square,
+            threads: vec![1, 2],
+            iters: 1,
+            repeats: 1,
+        }
+        .retry_safe());
+        assert!(!Query::Experiment { id: "e1".into(), quick: true }.retry_safe());
     }
 
     #[test]

@@ -694,6 +694,17 @@ pub trait Service {
     /// attribute); [`Engine`] stores the recorder and reports through
     /// it on every subsequent batch.
     fn install_recorder(&self, _recorder: Arc<dyn crate::Recorder>) {}
+
+    /// True when `query` would be answered entirely from warm state (for
+    /// [`Engine`], the result cache) without fresh evaluation. Serving
+    /// layers use this as the brownout probe: under pressure they keep
+    /// answering warm queries and shed cold ones as `overloaded`. Must
+    /// be cheap and side-effect free — it runs on the admission path.
+    /// The default says nothing is warm, which degrades brownout to
+    /// plain shedding.
+    fn probe_cached(&self, _query: &Query) -> bool {
+        false
+    }
 }
 
 impl Service for Engine {
@@ -721,6 +732,10 @@ impl Service for Engine {
 
     fn install_recorder(&self, recorder: Arc<dyn crate::Recorder>) {
         self.set_recorder(Some(recorder));
+    }
+
+    fn probe_cached(&self, query: &Query) -> bool {
+        self.is_cached(query)
     }
 }
 

@@ -44,10 +44,12 @@
 
 pub mod histogram;
 pub mod render;
+pub mod resilience;
 pub mod stage;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, ShardedHistogram, BUCKETS};
 pub use render::{render_exposition, render_exposition_labeled};
+pub use resilience::{ResilienceCounters, ResilienceSnapshot};
 pub use stage::{NoopRecorder, Recorder, Stage, StageClock, StageSet, StageSummary};
 pub use trace::{TraceEvent, TraceRing};

@@ -1,0 +1,174 @@
+//! Resilience counters: the failure-path twin of the stage histograms.
+//!
+//! The stage pipeline decomposes where *successful* requests spend
+//! time; these counters decompose what the serving tier did when a
+//! shard died, stalled, or lied. Every count is a recovery action the
+//! router or server took on the caller's behalf — a retry, a failover
+//! to the ring successor, a deadline answered in-slot, a shed under
+//! brownout — so the `metrics` op can expose the fault story with the
+//! same fidelity the happy path gets.
+//!
+//! [`ResilienceCounters`] is the live atomic record (shared via `Arc`
+//! between the dispatch and gather sides); [`ResilienceSnapshot`] is
+//! the frozen copy renderers serialize. The snapshot's
+//! [`fields`](ResilienceSnapshot::fields) iteration is the single
+//! source of field names and order, so the server's JSON and the
+//! router's JSON cannot drift apart.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counts of every recovery action the serving tier has taken.
+///
+/// All methods are lock-free increments; reading is a
+/// [`snapshot`](ResilienceCounters::snapshot). The default value is
+/// all-zero.
+#[derive(Debug, Default)]
+pub struct ResilienceCounters {
+    /// Requests re-submitted after a failure (every attempt past the
+    /// first counts once).
+    pub retries: AtomicU64,
+    /// Requests re-routed to a different shard after their original
+    /// owner was lost or tripped.
+    pub failovers: AtomicU64,
+    /// Requests answered `deadline_exceeded` in-slot.
+    pub deadline_missed: AtomicU64,
+    /// Cold requests shed as `overloaded` while in brownout mode.
+    pub shed: AtomicU64,
+    /// Worker panics caught by the batcher's panic shield.
+    pub worker_panics: AtomicU64,
+    /// Circuit-breaker transitions into the open state.
+    pub breaker_opened: AtomicU64,
+    /// Circuit-breaker readmissions (half-open probe succeeded and the
+    /// shard rejoined the ring).
+    pub breaker_reclosed: AtomicU64,
+    /// Duplicate replies detected at the gather side and suppressed.
+    pub duplicates_suppressed: AtomicU64,
+    /// Replies dropped in flight (the request was recovered by retry,
+    /// but the original answer never arrived).
+    pub replies_dropped: AtomicU64,
+}
+
+impl ResilienceCounters {
+    /// A fresh all-zero set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A consistent-enough copy for rendering (each field is read
+    /// atomically; the set as a whole is not a transaction, matching
+    /// every other counter surface in the workspace).
+    pub fn snapshot(&self) -> ResilienceSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ResilienceSnapshot {
+            retries: load(&self.retries),
+            failovers: load(&self.failovers),
+            deadline_missed: load(&self.deadline_missed),
+            shed: load(&self.shed),
+            worker_panics: load(&self.worker_panics),
+            breaker_opened: load(&self.breaker_opened),
+            breaker_reclosed: load(&self.breaker_reclosed),
+            duplicates_suppressed: load(&self.duplicates_suppressed),
+            replies_dropped: load(&self.replies_dropped),
+        }
+    }
+
+    /// Adds one to `counter` — sugar for the common increment.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A frozen copy of [`ResilienceCounters`] for serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResilienceSnapshot {
+    /// See [`ResilienceCounters::retries`].
+    pub retries: u64,
+    /// See [`ResilienceCounters::failovers`].
+    pub failovers: u64,
+    /// See [`ResilienceCounters::deadline_missed`].
+    pub deadline_missed: u64,
+    /// See [`ResilienceCounters::shed`].
+    pub shed: u64,
+    /// See [`ResilienceCounters::worker_panics`].
+    pub worker_panics: u64,
+    /// See [`ResilienceCounters::breaker_opened`].
+    pub breaker_opened: u64,
+    /// See [`ResilienceCounters::breaker_reclosed`].
+    pub breaker_reclosed: u64,
+    /// See [`ResilienceCounters::duplicates_suppressed`].
+    pub duplicates_suppressed: u64,
+    /// See [`ResilienceCounters::replies_dropped`].
+    pub replies_dropped: u64,
+}
+
+impl ResilienceSnapshot {
+    /// Every field as `(wire name, value)`, in the frozen wire order.
+    /// All renderers build from this list so field names never drift
+    /// between the server's and the router's `metrics` replies.
+    pub fn fields(&self) -> [(&'static str, u64); 9] {
+        [
+            ("retries", self.retries),
+            ("failovers", self.failovers),
+            ("deadline_missed", self.deadline_missed),
+            ("shed", self.shed),
+            ("worker_panics", self.worker_panics),
+            ("breaker_opened", self.breaker_opened),
+            ("breaker_reclosed", self.breaker_reclosed),
+            ("duplicates_suppressed", self.duplicates_suppressed),
+            ("replies_dropped", self.replies_dropped),
+        ]
+    }
+
+    /// True when nothing unusual has happened — renderers may compress
+    /// an all-quiet section.
+    pub fn is_quiet(&self) -> bool {
+        self.fields().iter().all(|(_, v)| *v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps_and_fields_stay_aligned() {
+        let c = ResilienceCounters::new();
+        assert!(c.snapshot().is_quiet());
+
+        ResilienceCounters::bump(&c.retries);
+        ResilienceCounters::bump(&c.retries);
+        ResilienceCounters::bump(&c.failovers);
+        ResilienceCounters::bump(&c.deadline_missed);
+        ResilienceCounters::bump(&c.shed);
+        ResilienceCounters::bump(&c.worker_panics);
+        ResilienceCounters::bump(&c.breaker_opened);
+        ResilienceCounters::bump(&c.breaker_reclosed);
+        ResilienceCounters::bump(&c.duplicates_suppressed);
+        ResilienceCounters::bump(&c.replies_dropped);
+
+        let snap = c.snapshot();
+        assert!(!snap.is_quiet());
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.failovers, 1);
+
+        // The wire-name list is the contract: fixed names, fixed order,
+        // one entry per counter.
+        let names: Vec<&str> = snap.fields().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "retries",
+                "failovers",
+                "deadline_missed",
+                "shed",
+                "worker_panics",
+                "breaker_opened",
+                "breaker_reclosed",
+                "duplicates_suppressed",
+                "replies_dropped",
+            ]
+        );
+        let total: u64 = snap.fields().iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 10);
+    }
+}

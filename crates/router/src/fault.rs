@@ -1,0 +1,114 @@
+//! Retry, failover, and circuit-breaker policy for the router.
+//!
+//! The router's resilience story has three deterministic pieces, all
+//! configured here and executed in `lib.rs`:
+//!
+//! * **Retry with capped exponential backoff** ([`RetryPolicy`]): when a
+//!   shard is lost with a request in flight, a retry-safe request
+//!   ([`parspeed_engine::Query::retry_safe`]) fails over to the key's
+//!   ring successor. The first failover is immediate; later attempts
+//!   back off on the deterministic schedule of
+//!   [`parspeed_chaos::backoff_ms`], so the same seed replays the same
+//!   waits.
+//! * **Per-shard circuit breaker** ([`BreakerPolicy`]):
+//!   a shard that stalls (its oldest in-flight request exceeds
+//!   `stall_after` with no reply) or fails repeatedly (consecutive
+//!   `internal`-kind replies reach `failure_threshold`) is tripped out
+//!   of the ring. In-flight requests on the tripped shard redispatch;
+//!   after `probe_after` the shard is readmitted half-open, and one
+//!   successful reply recloses the breaker. A failed probe re-opens it
+//!   with a doubled probe interval.
+//! * **Deadlines**: a request whose budget expires before any shard
+//!   answers is refused in-slot with the `deadline_exceeded` kind; the
+//!   remaining budget travels to the backend with every (re)dispatch.
+
+use std::time::Duration;
+
+/// Retry/failover policy for requests lost with a shard
+/// (`parspeed route` exposes every field as a flag).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total dispatch attempts per request (first try included); when
+    /// exhausted the request answers `overloaded` with a
+    /// machine-readable `retry_after_ms=` hint.
+    pub max_attempts: u32,
+    /// Backoff base in milliseconds: attempt 3 waits up to `base`,
+    /// attempt 4 up to `2×base`, … (the first failover never waits).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed for the deterministic backoff jitter — the same seed and
+    /// the same traffic replay the same waits.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 3, backoff_base_ms: 2, backoff_cap_ms: 50, seed: 0 }
+    }
+}
+
+/// Per-shard circuit-breaker policy.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerPolicy {
+    /// Consecutive `internal`-kind replies that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker waits before readmitting the shard
+    /// half-open for a probe. Doubles on every failed probe.
+    pub probe_after: Duration,
+    /// A shard whose oldest in-flight request has waited this long with
+    /// no reply at all is declared stalled and tripped.
+    pub stall_after: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            probe_after: Duration::from_millis(250),
+            stall_after: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One shard's breaker state. `Closed` routes normally; `Open` is out
+/// of the ring awaiting its probe time; `HalfOpen` is back in the ring
+/// on probation — the next reply decides.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BreakerState {
+    /// Healthy; counts consecutive failed replies toward the threshold.
+    Closed { failures: u32 },
+    /// Tripped out of the ring until the probe instant.
+    Open { probe_at: std::time::Instant, probe_interval: Duration },
+    /// Readmitted on probation; carries the interval to double if the
+    /// probe fails.
+    HalfOpen { probe_interval: Duration },
+}
+
+impl BreakerState {
+    /// The wire name of this state (router `metrics` record).
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed { .. } => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half-open",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_state_wire_names_are_stable() {
+        let now = std::time::Instant::now();
+        let states = [
+            BreakerState::Closed { failures: 0 },
+            BreakerState::Open { probe_at: now, probe_interval: Duration::from_millis(250) },
+            BreakerState::HalfOpen { probe_interval: Duration::from_millis(500) },
+        ];
+        let names: Vec<&str> = states.iter().map(BreakerState::name).collect();
+        assert_eq!(names, ["closed", "open", "half-open"]);
+    }
+}

@@ -23,12 +23,33 @@
 //!   through the exact seq-keyed reorder machinery
 //!   ([`parspeed_server::ConnShared`]) a local server uses,
 //!   so scattering across shards never reorders a connection's stream;
-//! * **shard loss is an answer, not a disconnect** — killing a shard
-//!   rebalances the ring (only the lost shard's keys move) and answers
-//!   every in-flight request on it in its own reply slot with the
-//!   documented `overloaded` error; no connection is ever dropped;
+//! * **shard loss fails over, not disconnects** — killing a shard
+//!   rebalances the ring (only the lost shard's keys move) and
+//!   *redispatches* every retry-safe request in flight on it to the
+//!   key's ring successor, with deterministic capped backoff
+//!   ([`RetryPolicy`]); retry-unsafe requests (wall-clock measurements)
+//!   answer the documented `overloaded` refusal carrying a
+//!   machine-readable `retry_after_ms=` hint. No connection is ever
+//!   dropped;
+//! * **deadlines are answered, not dropped** — a request whose
+//!   `deadline_ms` budget expires answers the `deadline_exceeded` kind
+//!   in its own reply slot; the remaining budget travels with every
+//!   (re)dispatch so a backend never computes an answer nobody waits
+//!   for;
+//! * **sick shards trip a breaker** — a shard that stalls or fails
+//!   repeatedly is tripped out of the ring ([`BreakerPolicy`]),
+//!   readmitted half-open after a probe interval, and reclosed on the
+//!   first healthy reply (failed probes double the interval);
 //! * **graceful drain** — router shutdown refuses new work in-slot,
 //!   flushes every in-flight reply, then drains each backend.
+//!
+//! Every recovery action counts into the fleet-level
+//! [`parspeed_obs::ResilienceCounters`], answered on the wire by the
+//! router-scoped `{"op":"metrics"}` record, and all of it is
+//! deterministically testable: a seeded [`parspeed_chaos::FaultPlan`]
+//! installed with [`Router::install_fault_plan`] kills shards, delays,
+//! drops, or duplicates replies, and wedges lanes at scripted request
+//! indices — the same seed replays the same event trace.
 //!
 //! The fleet is *self-sizing*: [`predict`] fits a measured shard sweep
 //! to the paper's execution-time shape and runs `Query::Optimize` over
@@ -40,10 +61,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod predict;
 pub mod ring;
 
+pub use fault::{BreakerPolicy, RetryPolicy};
+
+use fault::BreakerState;
+use parspeed_chaos::{mix, FaultAction, FaultPlan};
 use parspeed_engine::{jsonl, routing_hash, Engine, ParspeedError, Query, Response, WIRE_VERSION};
+use parspeed_obs::ResilienceCounters;
 use parspeed_server::{
     health_to_json, Client, ConnShared, Delivery, Server, ServerConfig, ServerStats,
 };
@@ -51,7 +78,7 @@ use ring::HashRing;
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -69,16 +96,40 @@ pub struct RouterConfig {
     /// The configuration every shard's server runs with
     /// ([`ServerConfig::shard`] is overridden per backend).
     pub backend: ServerConfig,
+    /// Park/poll interval for the gather threads and the shutdown drain
+    /// (`--poll-ms`) — formerly three hard-coded 50 ms constants.
+    pub poll: Duration,
+    /// Sleep between accept attempts on the nonblocking listener
+    /// (`--accept-poll-us`).
+    pub accept_poll: Duration,
+    /// Deadline granted to every request that does not carry its own
+    /// `deadline_ms` (`--deadline-ms`); `None` means no default.
+    pub default_deadline: Option<Duration>,
+    /// Retry/failover policy for requests lost with their shard.
+    pub retry: RetryPolicy,
+    /// Per-shard circuit-breaker policy.
+    pub breaker: BreakerPolicy,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        RouterConfig { shards: 4, replicas: 64, backend: ServerConfig::default() }
+        RouterConfig {
+            shards: 4,
+            replicas: 64,
+            backend: ServerConfig::default(),
+            poll: Duration::from_millis(50),
+            accept_poll: Duration::from_micros(200),
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+        }
     }
 }
 
 /// One scattered request waiting for its shard's reply: the origin
-/// reply slot plus everything needed to render into it.
+/// reply slot plus everything needed to render into it — and the
+/// resilience state (deadline budget, attempt count, jitter token) that
+/// travels with the slot across failovers.
 struct Pending {
     conn: Arc<ConnShared>,
     seq: u64,
@@ -86,6 +137,15 @@ struct Pending {
     version: u32,
     line_no: usize,
     render: bool,
+    /// Absolute budget: expire answers `deadline_exceeded` in-slot.
+    deadline: Option<Instant>,
+    /// Dispatch attempts already burned (0 on first dispatch).
+    attempts: u32,
+    /// Stable per-request token feeding the deterministic backoff
+    /// jitter — the same request retries on the same schedule.
+    token: u64,
+    /// When this slot was last submitted to a lane (stall detection).
+    submitted: Instant,
 }
 
 /// Routes one response into its origin reply slot, rendering for TCP
@@ -103,6 +163,10 @@ fn deliver_refusal(p: &Pending, msg: String) {
     deliver(p, Response::Invalid(ParspeedError::overloaded(msg)));
 }
 
+fn deliver_deadline(p: &Pending, msg: String) {
+    deliver(p, Response::Invalid(ParspeedError::deadline_exceeded(msg)));
+}
+
 /// One shard's scatter lane: the in-process client into its server plus
 /// the FIFO of origin slots awaiting replies. The backend answers a
 /// connection's requests in submission order, so pushing and submitting
@@ -118,6 +182,20 @@ struct Lane {
     /// The shard was killed: the ring no longer routes here, every
     /// pending slot has been answered, late backend replies are noise.
     lost: AtomicBool,
+    /// Backend replies to discard on arrival: answers for slots a
+    /// breaker trip already redispatched. Skipping them keeps the FIFO
+    /// aligned with the reply stream after readmission.
+    skip: AtomicU64,
+    /// Injected fault (one-shot): milliseconds to stall the next reply.
+    delay_ms: AtomicU64,
+    /// Injected fault: replies to drop (the slot redispatches).
+    drop_next: AtomicU64,
+    /// Injected fault: replies to treat as duplicated (the second copy
+    /// is suppressed).
+    dup_next: AtomicU64,
+    /// Injected fault: the lane stops consuming replies entirely, like
+    /// a hung connection — only the stall breaker gets it out.
+    wedged: AtomicBool,
 }
 
 /// Everything the dispatchers, gather threads, and frontends share.
@@ -129,18 +207,47 @@ struct Core {
     servers: Mutex<Vec<Option<Server>>>,
     epoch: Instant,
     draining: AtomicBool,
+    /// Fleet-level recovery counters (the router-scoped `metrics` op).
+    resilience: Arc<ResilienceCounters>,
+    /// Per-shard circuit breakers. Lock order: breaker → ring → lane.
+    breakers: Vec<Mutex<BreakerState>>,
+    /// The installed deterministic fault plan, if any.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl Core {
+    fn plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().unwrap().clone()
+    }
+
     /// Scatter: hash the query's canonical key onto the ring and hand it
     /// to the owning lane. Every refusal is answered in the request's
     /// own reply slot — dispatch never blocks beyond the lane lock and
     /// never drops a slot.
-    fn dispatch(&self, pending: Pending) {
+    fn dispatch(&self, mut pending: Pending) {
         if self.draining.load(Ordering::SeqCst) {
             deliver_refusal(
                 &pending,
                 "router is draining for shutdown; request refused (not evaluated)".into(),
+            );
+            return;
+        }
+        if pending.attempts == 0 {
+            // First dispatch only: tick the fault plan (one scripted
+            // index per admitted request) and grant the default budget.
+            self.tick_faults();
+            if pending.deadline.is_none() {
+                pending.deadline = self.cfg.default_deadline.map(|d| Instant::now() + d);
+            }
+        }
+        self.admit_probes();
+        if pending.deadline.is_some_and(|d| Instant::now() >= d) {
+            ResilienceCounters::bump(&self.resilience.deadline_missed);
+            deliver_deadline(
+                &pending,
+                "deadline expired before any shard was reached; \
+                 request refused (not evaluated)"
+                    .into(),
             );
             return;
         }
@@ -164,12 +271,279 @@ impl Core {
             }
             // Submit under the lane lock: the backend replies to this
             // client in submission order, so the FIFO and the reply
-            // stream can never disagree.
-            lane.client.submit(pending.query.clone());
+            // stream can never disagree. The remaining deadline budget
+            // travels with the submission.
+            pending.submitted = Instant::now();
+            lane.client.submit_with_deadline(pending.query.clone(), pending.deadline);
             q.push_back(pending);
             lane.cv.notify_all();
             return;
         }
+    }
+
+    /// Fires any fault-plan triggers due at this request index. Called
+    /// once per admitted request (never on retries).
+    fn tick_faults(&self) {
+        let Some(plan) = self.plan() else { return };
+        for action in plan.on_request() {
+            let in_range = match action {
+                FaultAction::KillShard { shard }
+                | FaultAction::DelayLane { shard, .. }
+                | FaultAction::DropReply { shard }
+                | FaultAction::DuplicateReply { shard }
+                | FaultAction::WedgeLane { shard } => shard < self.cfg.shards,
+                FaultAction::PanicWorker => true,
+            };
+            if !in_range {
+                plan.record(format!("router: ignoring fault {action} (shard out of range)"));
+                continue;
+            }
+            match action {
+                FaultAction::KillShard { shard } => {
+                    self.kill_shard(shard);
+                }
+                FaultAction::DelayLane { shard, millis } => {
+                    self.lanes[shard].delay_ms.fetch_add(millis, Ordering::SeqCst);
+                    plan.record(format!("router: armed {millis} ms reply delay on lane {shard}"));
+                }
+                FaultAction::DropReply { shard } => {
+                    self.lanes[shard].drop_next.fetch_add(1, Ordering::SeqCst);
+                    plan.record(format!("router: armed a reply drop on lane {shard}"));
+                }
+                FaultAction::DuplicateReply { shard } => {
+                    self.lanes[shard].dup_next.fetch_add(1, Ordering::SeqCst);
+                    plan.record(format!("router: armed a duplicate reply on lane {shard}"));
+                }
+                FaultAction::WedgeLane { shard } => {
+                    self.lanes[shard].wedged.store(true, Ordering::SeqCst);
+                    plan.record(format!("router: wedged lane {shard} (replies will stall)"));
+                }
+                FaultAction::PanicWorker => {
+                    plan.record(
+                        "router: ignoring worker-level fault \
+                         (install the plan on a shard server)",
+                    );
+                }
+            }
+        }
+    }
+
+    /// Readmits breaker-opened shards whose probe time has arrived:
+    /// half-open, back in the ring, lane unwedged. Cheap (one mutex try
+    /// per shard), called on every dispatch.
+    fn admit_probes(&self) {
+        let now = Instant::now();
+        for (shard, slot) in self.breakers.iter().enumerate() {
+            let mut state = slot.lock().unwrap();
+            let BreakerState::Open { probe_at, probe_interval } = *state else { continue };
+            if now < probe_at || self.lanes[shard].lost.load(Ordering::SeqCst) {
+                continue;
+            }
+            *state = BreakerState::HalfOpen { probe_interval };
+            // A readmitted lane consumes replies again (an injected
+            // wedge is healed by the probe).
+            self.lanes[shard].wedged.store(false, Ordering::SeqCst);
+            self.ring.lock().unwrap().add(shard);
+            if let Some(plan) = self.plan() {
+                plan.record(format!("router: shard {shard} readmitted half-open for a probe"));
+            }
+        }
+    }
+
+    /// Records the health of one delivered reply into the shard's
+    /// breaker: a healthy reply recloses a half-open breaker (or resets
+    /// the failure streak); an `internal`-kind reply counts toward the
+    /// trip threshold, and fails a probe outright.
+    fn note_reply(&self, shard: usize, healthy: bool) {
+        let mut state = self.breakers[shard].lock().unwrap();
+        match (*state, healthy) {
+            (BreakerState::HalfOpen { .. }, true) => {
+                *state = BreakerState::Closed { failures: 0 };
+                ResilienceCounters::bump(&self.resilience.breaker_reclosed);
+                drop(state);
+                if let Some(plan) = self.plan() {
+                    plan.record(format!(
+                        "router: breaker reclosed on shard {shard} (probe succeeded)"
+                    ));
+                }
+            }
+            (BreakerState::Closed { failures }, true) if failures > 0 => {
+                *state = BreakerState::Closed { failures: 0 };
+            }
+            (BreakerState::Closed { failures }, false) => {
+                if failures + 1 >= self.cfg.breaker.failure_threshold {
+                    *state = BreakerState::Closed { failures: 0 };
+                    drop(state);
+                    self.trip_shard(shard, "consecutive failures");
+                } else {
+                    *state = BreakerState::Closed { failures: failures + 1 };
+                }
+            }
+            (BreakerState::HalfOpen { .. }, false) => {
+                drop(state);
+                self.trip_shard(shard, "probe failed");
+            }
+            // Late replies from an already-open breaker, and healthy
+            // replies on a clean closed breaker: nothing to record.
+            _ => {}
+        }
+    }
+
+    /// Trips one shard's breaker open: out of the ring, in-flight slots
+    /// redispatched, stale backend replies marked for skipping. The
+    /// shard's server keeps running — readmission is the probe's job.
+    fn trip_shard(&self, shard: usize, why: &str) {
+        let lane = &self.lanes[shard];
+        if lane.lost.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut state = self.breakers[shard].lock().unwrap();
+            let interval = match *state {
+                BreakerState::Open { .. } => return, // already tripped
+                BreakerState::Closed { .. } => self.cfg.breaker.probe_after,
+                // A failed probe doubles the wait before the next one.
+                BreakerState::HalfOpen { probe_interval } => probe_interval * 2,
+            };
+            *state = BreakerState::Open {
+                probe_at: Instant::now() + interval,
+                probe_interval: interval,
+            };
+            let mut ring = self.ring.lock().unwrap();
+            if ring.members().contains(&shard) {
+                ring.remove(shard);
+            }
+        }
+        ResilienceCounters::bump(&self.resilience.breaker_opened);
+        let drained: Vec<Pending> = {
+            let mut q = lane.inflight.lock().unwrap();
+            // The backend will still answer these submissions
+            // eventually; skip those stale replies so the FIFO stays
+            // aligned when the shard is readmitted.
+            lane.skip.fetch_add(q.len() as u64, Ordering::SeqCst);
+            let v: Vec<Pending> = q.drain(..).collect();
+            lane.cv.notify_all();
+            v
+        };
+        if let Some(plan) = self.plan() {
+            plan.record(format!(
+                "router: breaker opened on shard {shard} ({why}); \
+                 {} in-flight redispatched",
+                drained.len()
+            ));
+        }
+        for p in drained {
+            self.redispatch(p, shard);
+        }
+    }
+
+    /// Retries one slot whose shard failed under it: immediate failover
+    /// on the first attempt, deterministic capped backoff after, with
+    /// the documented in-slot refusals when the budget, the attempt
+    /// cap, or retry-safety says stop.
+    fn redispatch(&self, mut p: Pending, from_shard: usize) {
+        p.attempts += 1;
+        let r = self.cfg.retry;
+        if p.deadline.is_some_and(|d| Instant::now() >= d) {
+            ResilienceCounters::bump(&self.resilience.deadline_missed);
+            deliver_deadline(
+                &p,
+                format!(
+                    "deadline expired while failing over from shard {from_shard}; \
+                     result not produced (the request may or may not have been evaluated)"
+                ),
+            );
+            return;
+        }
+        // The client-facing hint: the deterministic wait the next
+        // attempt would use — never zero, which would read as "hammer
+        // the router immediately".
+        let hint = parspeed_chaos::backoff_ms(
+            r.backoff_base_ms,
+            r.backoff_cap_ms,
+            p.attempts + 1,
+            r.seed,
+            p.token,
+        )
+        .max(1);
+        if !p.query.retry_safe() {
+            deliver_refusal(
+                &p,
+                format!(
+                    "shard {from_shard} was lost with the request in flight; not evaluated — \
+                     this query measures wall-clock time and is not retry-safe; \
+                     the ring has rebalanced, retry_after_ms={hint}"
+                ),
+            );
+            return;
+        }
+        if p.attempts >= r.max_attempts {
+            deliver_refusal(
+                &p,
+                format!(
+                    "shard {from_shard} was lost with the request in flight; not evaluated — \
+                     {} dispatch attempts exhausted; \
+                     the ring has rebalanced, retry_after_ms={hint}",
+                    p.attempts
+                ),
+            );
+            return;
+        }
+        ResilienceCounters::bump(&self.resilience.retries);
+        if !self.ring.lock().unwrap().members().contains(&from_shard) {
+            // The shard left the ring: this retry lands on the key's
+            // ring successor, not the same backend.
+            ResilienceCounters::bump(&self.resilience.failovers);
+        }
+        let wait = parspeed_chaos::backoff_ms(
+            r.backoff_base_ms,
+            r.backoff_cap_ms,
+            p.attempts,
+            r.seed,
+            p.token,
+        );
+        if wait > 0 {
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+        self.dispatch(p);
+    }
+
+    /// Kills one shard: ring removal, in-flight redispatch, backend
+    /// drain. Returns the backend's final stats, or `None` if the shard
+    /// was already out of the ring.
+    fn kill_shard(&self, shard: usize) -> Option<ServerStats> {
+        assert!(shard < self.cfg.shards, "shard {shard} out of range");
+        {
+            let mut ring = self.ring.lock().unwrap();
+            if !ring.members().contains(&shard) {
+                return None;
+            }
+            ring.remove(shard);
+        }
+        let lane = &self.lanes[shard];
+        let drained: Vec<Pending> = {
+            // Flag and drain under the lane lock: dispatchers that chose
+            // this shard before the ring update re-route instead of
+            // enqueueing behind a dead backend.
+            let mut q = lane.inflight.lock().unwrap();
+            lane.lost.store(true, Ordering::SeqCst);
+            let v: Vec<Pending> = q.drain(..).collect();
+            lane.cv.notify_all();
+            v
+        };
+        if let Some(plan) = self.plan() {
+            plan.record(format!(
+                "router: shard {shard} lost; {} in-flight slot(s) redispatched",
+                drained.len()
+            ));
+        }
+        // Redispatch before draining the dead backend: failovers answer
+        // at the survivors' speed, not the corpse's.
+        for p in drained {
+            self.redispatch(p, shard);
+        }
+        let server = self.servers.lock().unwrap()[shard].take();
+        server.map(Server::shutdown)
     }
 
     /// The router's own `health` record: uptime and drain flag, shard
@@ -180,6 +554,43 @@ impl Core {
             self.draining.load(Ordering::SeqCst),
             None,
         )
+    }
+
+    /// The router-scoped `metrics` record: the fleet-level resilience
+    /// counters plus each shard's breaker state. Per-shard serving
+    /// metrics still live on the shards (`stats`/`trace` refuse here).
+    fn metrics(&self) -> jsonl::Json {
+        let breakers: Vec<jsonl::Json> = self
+            .breakers
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| {
+                let state = if self.lanes[shard].lost.load(Ordering::SeqCst) {
+                    "lost"
+                } else {
+                    slot.lock().unwrap().name()
+                };
+                jsonl::Json::Obj(vec![
+                    ("shard".into(), jsonl::Json::Num(shard as f64)),
+                    ("state".into(), jsonl::Json::Str(state.into())),
+                ])
+            })
+            .collect();
+        let resilience = jsonl::Json::Obj(
+            self.resilience
+                .snapshot()
+                .fields()
+                .iter()
+                .map(|&(k, v)| (k.to_string(), jsonl::Json::Num(v as f64)))
+                .collect(),
+        );
+        jsonl::Json::Obj(vec![
+            ("version".into(), jsonl::Json::Num(WIRE_VERSION as f64)),
+            ("op".into(), jsonl::Json::Str("metrics".into())),
+            ("scope".into(), jsonl::Json::Str("router".into())),
+            ("resilience".into(), resilience),
+            ("breakers".into(), jsonl::Json::Arr(breakers)),
+        ])
     }
 
     /// The serving-only `topology` record: the live fleet as the ring
@@ -210,10 +621,25 @@ impl Core {
         ])
     }
 
+    /// Trips the stall breaker if the lane's oldest in-flight slot has
+    /// waited past the stall threshold with no reply at all.
+    fn check_stall(&self, lane: &Lane) {
+        let stalled = {
+            let q = lane.inflight.lock().unwrap();
+            !lane.lost.load(Ordering::SeqCst)
+                && q.front().is_some_and(|p| p.submitted.elapsed() >= self.cfg.breaker.stall_after)
+        };
+        if stalled {
+            self.trip_shard(lane.shard, "reply stall");
+        }
+    }
+
     /// Gather: pump one lane's replies back into their origin slots, in
-    /// lane-FIFO order. Exits when the lane is lost, or when the router
-    /// is draining and nothing is in flight.
+    /// lane-FIFO order, applying any armed injected faults on the way.
+    /// Exits when the lane is lost, or when the router is draining and
+    /// nothing is in flight.
     fn gather_loop(&self, lane: &Lane) {
+        let poll = self.cfg.poll;
         loop {
             // Park until something is in flight (or the lane is done).
             {
@@ -228,33 +654,101 @@ impl Core {
                     if self.draining.load(Ordering::SeqCst) {
                         return;
                     }
-                    q = lane.cv.wait_timeout(q, Duration::from_millis(50)).unwrap().0;
+                    q = lane.cv.wait_timeout(q, poll).unwrap().0;
                 }
+            }
+            // An injected wedge: stop consuming replies, as a hung
+            // backend connection would — only the stall breaker (which
+            // redispatches the waiting slots) gets the lane out.
+            if lane.wedged.load(Ordering::SeqCst) {
+                self.check_stall(lane);
+                std::thread::sleep(poll.min(Duration::from_millis(5)));
+                continue;
             }
             // Short poll, not a blocking recv: a kill can answer the
             // pending slots out from under us, and the next park
             // iteration must notice the lost flag.
-            let Some((_, response)) = lane.client.recv_timeout(Duration::from_millis(50)) else {
+            let Some((_, response)) = lane.client.recv_timeout(poll) else {
+                // No reply inside the window: a slow backend is fine,
+                // a stalled one must trip.
+                self.check_stall(lane);
                 continue;
             };
-            let popped = {
+            let delay = lane.delay_ms.swap(0, Ordering::SeqCst);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            enum Got {
+                Deliver(Box<Pending>),
+                Stale,
+                Done,
+            }
+            let got = {
                 let mut q = lane.inflight.lock().unwrap();
                 if lane.lost.load(Ordering::SeqCst) {
                     // The kill already answered every pending slot;
                     // this reply (flushed by the backend's drain) has
                     // no waiter.
-                    None
+                    Got::Done
+                } else if lane
+                    .skip
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    // A stale answer for a slot a breaker trip already
+                    // redispatched: discard to keep the FIFO aligned.
+                    Got::Stale
                 } else {
-                    Some(q.pop_front().expect("backend reply without a pending request"))
+                    Got::Deliver(Box::new(
+                        q.pop_front().expect("backend reply without a pending request"),
+                    ))
                 }
             };
-            match popped {
-                Some(p) => {
-                    deliver(&p, response);
-                    lane.cv.notify_all();
+            let p = match got {
+                Got::Done => return,
+                Got::Stale => continue,
+                Got::Deliver(p) => *p,
+            };
+            if lane
+                .drop_next
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                // Injected reply drop: the backend's answer evaporates;
+                // the slot retries instead of waiting forever.
+                ResilienceCounters::bump(&self.resilience.replies_dropped);
+                if let Some(plan) = self.plan() {
+                    plan.record(format!(
+                        "router: dropped a reply on lane {}; slot redispatched",
+                        lane.shard
+                    ));
                 }
-                None => return,
+                self.redispatch(p, lane.shard);
+                lane.cv.notify_all();
+                continue;
             }
+            if lane
+                .dup_next
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                // Injected duplicate: the reply "arrives twice"; the
+                // second copy is suppressed — every slot is delivered
+                // exactly once, never routed twice.
+                ResilienceCounters::bump(&self.resilience.duplicates_suppressed);
+                if let Some(plan) = self.plan() {
+                    plan.record(format!(
+                        "router: suppressed a duplicate reply on lane {}",
+                        lane.shard
+                    ));
+                }
+            }
+            // Book-keep before delivering: a closed-loop client that
+            // just saw its reply must also see the counters it caused.
+            let healthy = !matches!(&response, Response::Invalid(e) if e.kind() == "internal");
+            self.note_reply(lane.shard, healthy);
+            deliver(&p, response);
+            lane.cv.notify_all();
         }
     }
 }
@@ -305,6 +799,11 @@ impl Router {
                 inflight: Mutex::new(VecDeque::new()),
                 cv: Condvar::new(),
                 lost: AtomicBool::new(false),
+                skip: AtomicU64::new(0),
+                delay_ms: AtomicU64::new(0),
+                drop_next: AtomicU64::new(0),
+                dup_next: AtomicU64::new(0),
+                wedged: AtomicBool::new(false),
             }));
         }
         let core = Arc::new(Core {
@@ -315,6 +814,11 @@ impl Router {
             servers: Mutex::new(servers),
             epoch: Instant::now(),
             draining: AtomicBool::new(false),
+            resilience: Arc::new(ResilienceCounters::new()),
+            breakers: (0..config.shards)
+                .map(|_| Mutex::new(BreakerState::Closed { failures: 0 }))
+                .collect(),
+            faults: Mutex::new(None),
         });
         let gathers = core
             .lanes
@@ -345,6 +849,25 @@ impl Router {
         &self.core.cfg
     }
 
+    /// The fleet-level resilience counters: every retry, failover,
+    /// missed deadline, breaker transition, and suppressed duplicate.
+    pub fn resilience(&self) -> Arc<ResilienceCounters> {
+        Arc::clone(&self.core.resilience)
+    }
+
+    /// The router-scoped `metrics` record (also answered on the wire).
+    pub fn metrics(&self) -> jsonl::Json {
+        self.core.metrics()
+    }
+
+    /// Installs (or clears, with `None`) a deterministic fault plan:
+    /// scripted kills, delays, drops, duplicates, and wedges fire at
+    /// their request indices, and every recovery action is recorded to
+    /// the plan's event trace — the same seed replays the same trace.
+    pub fn install_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.core.faults.lock().unwrap() = plan;
+    }
+
     /// Live cached outcomes per ring member, `(shard, resident keys)` —
     /// the affinity evidence: with key-affinity routing the sum equals
     /// the workload's distinct key count, with no key cached twice.
@@ -372,52 +895,29 @@ impl Router {
     }
 
     /// Kills one shard: removes it from the ring (only its keys remap —
-    /// every other key keeps its warm backend), answers every request
-    /// in flight on it in its own reply slot with the documented
-    /// `overloaded` error, and drains its server. Returns the backend's
-    /// final stats, or `None` if the shard was already gone.
+    /// every other key keeps its warm backend), *redispatches* every
+    /// retry-safe request in flight on it to the key's ring successor
+    /// (retry-unsafe ones answer the documented `overloaded` refusal
+    /// with a `retry_after_ms=` hint), and drains its server. Returns
+    /// the backend's final stats, or `None` if the shard was already
+    /// gone.
     pub fn kill_shard(&self, shard: usize) -> Option<ServerStats> {
-        assert!(shard < self.core.cfg.shards, "shard {shard} out of range");
-        {
-            let mut ring = self.core.ring.lock().unwrap();
-            if !ring.members().contains(&shard) {
-                return None;
-            }
-            ring.remove(shard);
-        }
-        let lane = &self.core.lanes[shard];
-        {
-            // Flag and fail under the lane lock: dispatchers that chose
-            // this shard before the ring update re-route instead of
-            // enqueueing behind a dead backend.
-            let mut q = lane.inflight.lock().unwrap();
-            lane.lost.store(true, Ordering::SeqCst);
-            while let Some(p) = q.pop_front() {
-                deliver_refusal(
-                    &p,
-                    format!(
-                        "shard {shard} was lost with the request in flight; \
-                         not evaluated — the ring has rebalanced, retry"
-                    ),
-                );
-            }
-            lane.cv.notify_all();
-        }
-        let server = self.core.servers.lock().unwrap()[shard].take();
-        server.map(Server::shutdown)
+        self.core.kill_shard(shard)
     }
 
     /// Binds `addr` and accepts wire-v2 JSONL connections on a
     /// background thread — the same wire a single server speaks, so
     /// clients cannot tell a router from a server (except by asking:
-    /// `topology` only answers here, `stats`/`metrics`/`trace` only
-    /// answer on a shard). Returns the bound address (so `:0` works).
+    /// `topology` and the router-scoped `metrics` answer here,
+    /// `stats`/`trace` only answer on a shard). Returns the bound
+    /// address (so `:0` works).
     pub fn listen(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let core = Arc::clone(&self.core);
         let io_state = Arc::clone(&self.io);
+        let accept_poll = self.core.cfg.accept_poll;
         let acceptor = std::thread::Builder::new()
             .name("parspeed-route-accept".into())
             .spawn(move || loop {
@@ -431,7 +931,7 @@ impl Router {
                         if core.draining.load(Ordering::SeqCst) {
                             return;
                         }
-                        std::thread::sleep(Duration::from_micros(200));
+                        std::thread::sleep(accept_poll);
                     }
                     Err(_) => return,
                 }
@@ -452,13 +952,14 @@ impl Router {
         }
         // Wait for every live lane to flush: backends are still running,
         // so every pending slot gets its real reply.
+        let poll = self.core.cfg.poll;
         for lane in &self.core.lanes {
             if lane.lost.load(Ordering::SeqCst) {
                 continue;
             }
             let mut q = lane.inflight.lock().unwrap();
             while !q.is_empty() {
-                q = lane.cv.wait_timeout(q, Duration::from_millis(50)).unwrap().0;
+                q = lane.cv.wait_timeout(q, poll).unwrap().0;
             }
         }
         for gather in self.gathers {
@@ -500,6 +1001,14 @@ impl RouterClient {
     /// router, empty ring) are answered in the reply slot like any
     /// other reply.
     pub fn submit(&self, query: Query) -> u64 {
+        self.submit_with_deadline(query, None)
+    }
+
+    /// [`submit`](Self::submit) with an absolute deadline: if the
+    /// budget expires before any shard answers — across queueing,
+    /// batching, and failover — the slot answers the
+    /// `deadline_exceeded` kind instead of blocking forever.
+    pub fn submit_with_deadline(&self, query: Query, deadline: Option<Instant>) -> u64 {
         let seq = self.conn.alloc_seq();
         self.core.dispatch(Pending {
             conn: Arc::clone(&self.conn),
@@ -508,6 +1017,10 @@ impl RouterClient {
             version: WIRE_VERSION,
             line_no: seq as usize + 1,
             render: false,
+            deadline,
+            attempts: 0,
+            token: mix(self.conn.id).wrapping_add(seq),
+            submitted: Instant::now(),
         });
         seq
     }
@@ -534,6 +1047,15 @@ impl RouterClient {
     /// Submit one query and wait for its reply.
     pub fn call(&self, query: Query) -> Response {
         let seq = self.submit(query);
+        let (got, response) = self.recv();
+        assert_eq!(got, seq, "per-connection ordering violated");
+        response
+    }
+
+    /// Submit one query with a deadline and wait for its reply (which
+    /// may be the in-slot `deadline_exceeded` answer).
+    pub fn call_with_deadline(&self, query: Query, deadline: Instant) -> Response {
+        let seq = self.submit_with_deadline(query, Some(deadline));
         let (got, response) = self.recv();
         assert_eq!(got, seq, "per-connection ordering violated");
         response
@@ -571,9 +1093,10 @@ fn spawn_conn(
 
 /// Drives one connection's read half: parse lines, intercept the
 /// router-level ops, scatter everything else. The wire is the server's
-/// wire; the two router-only differences are `topology` (answered here,
-/// unknown to a shard) and `stats`/`metrics`/`trace` (per-shard state
-/// the router refuses to misattribute — probe a shard directly).
+/// wire; the router-only differences are `topology` (answered here,
+/// unknown to a shard), `metrics` (answered here with the
+/// router-scoped resilience record), and `stats`/`trace` (per-shard
+/// state the router refuses to misattribute — probe a shard directly).
 fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, core: Arc<Core>) {
     let mut line_no = 0usize;
     for line in BufReader::new(stream).lines() {
@@ -594,7 +1117,11 @@ fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, core: Arc<Core>) {
                     conn.route(seq, Delivery::Line(core.topology().render()));
                     continue;
                 }
-                Some(op @ ("stats" | "metrics" | "trace")) => {
+                Some("metrics") => {
+                    conn.route(seq, Delivery::Line(core.metrics().render()));
+                    continue;
+                }
+                Some(op @ ("stats" | "trace")) => {
                     let e = jsonl::LineError {
                         version: WIRE_VERSION,
                         error: ParspeedError::unsupported(format!(
@@ -610,14 +1137,23 @@ fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, core: Arc<Core>) {
             Err(e) => Err(jsonl::LineError { version: 1, error: ParspeedError::parse(e) }),
         };
         match parsed {
-            Ok(parsed) => core.dispatch(Pending {
-                conn: Arc::clone(&conn),
-                seq,
-                query: parsed.query,
-                version: parsed.version,
-                line_no,
-                render: true,
-            }),
+            Ok(parsed) => {
+                let now = Instant::now();
+                core.dispatch(Pending {
+                    conn: Arc::clone(&conn),
+                    seq,
+                    query: parsed.query,
+                    version: parsed.version,
+                    line_no,
+                    render: true,
+                    // The budget starts at admission: queueing, batching,
+                    // and failover all spend from it.
+                    deadline: parsed.deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+                    attempts: 0,
+                    token: mix(conn.id).wrapping_add(seq),
+                    submitted: now,
+                });
+            }
             Err(e) => conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no))),
         }
     }
@@ -684,6 +1220,23 @@ mod tests {
         // One query was cached somewhere in the fleet.
         let total: usize = router.resident_keys().iter().map(|(_, n)| n).sum();
         assert_eq!(total, 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn router_metrics_reports_resilience_and_breakers() {
+        let router = Router::start(RouterConfig { shards: 2, ..RouterConfig::default() });
+        let json = router.metrics();
+        let jsonl::Json::Obj(fields) = &json else { panic!("metrics is not an object") };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["version", "op", "scope", "resilience", "breakers"]);
+        let rendered = json.render();
+        assert!(rendered.contains(r#""scope":"router""#), "{rendered}");
+        assert!(rendered.contains(r#""retries":0"#), "{rendered}");
+        assert!(rendered.contains(r#"{"shard":0,"state":"closed"}"#), "{rendered}");
+        router.kill_shard(1);
+        let rendered = router.metrics().render();
+        assert!(rendered.contains(r#"{"shard":1,"state":"lost"}"#), "{rendered}");
         router.shutdown();
     }
 

@@ -74,6 +74,11 @@ pub struct SweepPoint {
     pub shards: usize,
     /// Wall-clock seconds to serve the workload.
     pub seconds: f64,
+    /// The measurement raced a fleet degradation (a shard lost or
+    /// breaker-opened mid-run, visible as a non-empty `lost` list in
+    /// the `topology` record): the time is real but was not served by
+    /// `shards` healthy backends, so [`fit`] excludes it.
+    pub degraded: bool,
 }
 
 /// The fitted serving curve `T(P) = scatter/P + coordination·P + floor`.
@@ -97,12 +102,15 @@ impl FleetModel {
 }
 
 /// Least-squares fit of `T(P) = W/P + γ·P + β` over a measured sweep
-/// (basis `1/P, P, 1`). Needs at least three distinct fleet sizes;
-/// `None` otherwise. Coefficients are clamped to the model's domain
-/// (`tfp, b > 0`, `c ≥ 0` downstream), so a noisy sweep still maps to
-/// a valid machine.
+/// (basis `1/P, P, 1`). Samples flagged [`SweepPoint::degraded`] are
+/// excluded first — a time measured against a partially-lost fleet is
+/// not a point on the healthy curve. Needs at least three distinct
+/// *clean* fleet sizes; `None` otherwise. Coefficients are clamped to
+/// the model's domain (`tfp, b > 0`, `c ≥ 0` downstream), so a noisy
+/// sweep still maps to a valid machine.
 pub fn fit(points: &[SweepPoint]) -> Option<FleetModel> {
-    let mut distinct: Vec<usize> = points.iter().map(|p| p.shards).collect();
+    let clean: Vec<SweepPoint> = points.iter().copied().filter(|p| !p.degraded).collect();
+    let mut distinct: Vec<usize> = clean.iter().map(|p| p.shards).collect();
     distinct.sort_unstable();
     distinct.dedup();
     if distinct.len() < 3 {
@@ -112,7 +120,7 @@ pub fn fit(points: &[SweepPoint]) -> Option<FleetModel> {
     let basis = |p: f64| [1.0 / p, p, 1.0];
     let mut ata = [[0.0f64; 3]; 3];
     let mut atb = [0.0f64; 3];
-    for pt in points {
+    for pt in &clean {
         let row = basis(pt.shards as f64);
         for i in 0..3 {
             for j in 0..3 {
@@ -244,7 +252,11 @@ mod tests {
     fn sweep_from(model: FleetModel, sizes: &[usize]) -> Vec<SweepPoint> {
         sizes
             .iter()
-            .map(|&shards| SweepPoint { shards, seconds: model.seconds_at(shards) })
+            .map(|&shards| SweepPoint {
+                shards,
+                seconds: model.seconds_at(shards),
+                degraded: false,
+            })
             .collect()
     }
 
@@ -263,6 +275,68 @@ mod tests {
         assert!(fit(&sweep_from(truth, &[2, 4])).is_none());
         // Repeats of the same size do not count as new information.
         assert!(fit(&sweep_from(truth, &[2, 2, 4, 4])).is_none());
+    }
+
+    #[test]
+    fn degraded_samples_are_excluded_from_the_fit() {
+        let truth = FleetModel { scatter: 12.0, coordination: 0.25, floor: 3.0 };
+        let mut sweep = sweep_from(truth, &[2, 3, 4, 6]);
+        // A wildly wrong time measured while a shard was lost: flagged
+        // degraded, it must not bend the fitted curve at all.
+        sweep.push(SweepPoint { shards: 8, seconds: 1e6, degraded: true });
+        let got = fit(&sweep).unwrap();
+        assert!((got.scatter - truth.scatter).abs() < 1e-9, "{got:?}");
+        assert!((got.coordination - truth.coordination).abs() < 1e-9, "{got:?}");
+        assert!((got.floor - truth.floor).abs() < 1e-9, "{got:?}");
+        // Degraded points do not count toward the three-size minimum.
+        let mut thin = sweep_from(truth, &[2, 4]);
+        thin.push(SweepPoint { shards: 6, seconds: truth.seconds_at(6), degraded: true });
+        assert!(fit(&thin).is_none(), "a degraded point must not satisfy the minimum");
+    }
+
+    #[test]
+    fn shard_loss_mid_sweep_flags_the_sample_as_degraded() {
+        use crate::{Router, RouterConfig};
+        use parspeed_server::ServerConfig;
+        use std::time::{Duration, Instant};
+
+        // Three clean synthetic points, plus one measured *live* against
+        // a real fleet that loses a shard mid-measurement. The topology
+        // record's `lost` list is the degradation signal the measuring
+        // client reads.
+        let profile = WorkloadProfile { distinct_keys: 144, shard_capacity: 36 };
+        let truth = FleetModel { scatter: 36.0, coordination: 1.0, floor: 0.5 };
+        let mut sweep = sweep_from(truth, &[4, 6, 8]);
+
+        let router = Router::start(RouterConfig {
+            shards: 6,
+            backend: ServerConfig { window: Duration::from_micros(200), ..ServerConfig::default() },
+            ..RouterConfig::default()
+        });
+        let client = router.client();
+        let t0 = Instant::now();
+        for (i, n) in (64..96).enumerate() {
+            if i == 16 {
+                router.kill_shard(0).expect("shard 0 was live");
+            }
+            let q = Request::optimize(ArchKind::SyncBus, n).procs(32).query();
+            assert!(matches!(client.call(q), Response::Single(Ok(_))));
+        }
+        let seconds = t0.elapsed().as_secs_f64().max(1e-9);
+        let lost = {
+            let topo = router.topology();
+            !matches!(topo.get("lost"), Some(parspeed_engine::jsonl::Json::Arr(l)) if l.is_empty())
+        };
+        assert!(lost, "the kill must be visible in the topology record");
+        sweep.push(SweepPoint { shards: 6, seconds, degraded: lost });
+        router.shutdown();
+
+        // The degraded live sample changes nothing: the prediction is
+        // the clean sweep's prediction.
+        let with = predict(profile, &sweep, 8).unwrap();
+        let without = predict(profile, &sweep[..3], 8).unwrap();
+        assert_eq!(with.shards, without.shards);
+        assert_eq!(with.shards, 6, "{with:?}");
     }
 
     #[test]

@@ -1,11 +1,13 @@
-//! Shard loss is an answer, not a disconnect.
+//! Shard loss fails over, not disconnects.
 //!
-//! Killing a backend must (1) answer every request in flight on it in
-//! its own reply slot with the documented `overloaded` error, (2) leave
-//! requests in flight on *other* shards untouched, (3) remap only the
-//! lost shard's keys (consistent rebalance), and (4) keep every
-//! connection alive and usable — the lost shard's traffic re-routes on
-//! retry.
+//! Killing a backend must (1) redispatch every retry-safe request in
+//! flight on it to the key's ring successor, answering the *real*
+//! result in the original reply slot, (2) leave requests in flight on
+//! *other* shards untouched, (3) remap only the lost shard's keys
+//! (consistent rebalance), and (4) keep every connection alive and
+//! usable. Retry-unsafe requests (wall-clock measurements) instead
+//! answer the documented `overloaded` refusal with a machine-readable
+//! `retry_after_ms=` hint.
 
 use parspeed_engine::{routing_hash, ArchKind, Engine, Query, Request, Response};
 use parspeed_router::ring::HashRing;
@@ -63,27 +65,28 @@ fn in_flight_requests_on_a_lost_shard_answer_in_slot() {
     let stats = router.kill_shard(victim).expect("victim was live");
     assert!(stats.draining, "the lost backend was not drained");
 
-    // Slots 0..3 answer the documented error — in order, in slot.
+    // Slots 0..3 fail over to the ring successor and answer the *real*
+    // result — in order, in slot, bit-identical to a serial engine.
+    let expect_a = Engine::default().run_batch(&[query(a)]).responses.remove(0);
     for i in 0..3u64 {
         let (seq, response) = client.recv();
         assert_eq!(seq, i);
-        match response {
-            Response::Invalid(e) => {
-                assert_eq!(e.kind(), "overloaded");
-                assert!(e.to_string().contains(&format!("shard {victim} was lost")), "{e}");
-            }
-            other => panic!("slot {i}: expected the loss answer, got {other:?}"),
-        }
+        assert_eq!(response, expect_a, "slot {i}: failover must answer the real result");
     }
     // Slot 3 still gets its real answer from the surviving shard.
     let (seq, response) = client.recv();
     assert_eq!(seq, 3);
     assert_eq!(response, Engine::default().run_batch(&[query(b)]).responses.remove(0));
 
-    // No disconnect: the same connection retries the lost key and the
+    // Every failover was counted.
+    let snap = router.resilience().snapshot();
+    assert_eq!(snap.retries, 3);
+    assert_eq!(snap.failovers, 3);
+
+    // No disconnect: the same connection reuses the lost key and the
     // ring re-routes it to a survivor.
     let retried = client.call(query(a));
-    assert_eq!(retried, Engine::default().run_batch(&[query(a)]).responses.remove(0));
+    assert_eq!(retried, expect_a);
 
     // The rebalance removed exactly the victim.
     let members: Vec<usize> = router.resident_keys().iter().map(|&(s, _)| s).collect();

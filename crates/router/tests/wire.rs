@@ -1,8 +1,9 @@
 //! The router's TCP wire: the server's wire-v2 JSONL, fronted by the
 //! fleet. A client cannot tell a router from a server except by asking:
 //! `health` answers with `"shard":null` (the router is the front),
-//! `topology` answers only here, and `stats`/`metrics`/`trace` refuse
-//! with the `unsupported` kind (per-shard state — probe a shard).
+//! `topology` and the router-scoped `metrics` answer only here, and
+//! `stats`/`trace` refuse with the `unsupported` kind (per-shard state
+//! — probe a shard).
 //! Everything else scatters, gathers, and comes back bit-identical to a
 //! serial engine, in slot order, parse errors included.
 
@@ -104,9 +105,23 @@ fn health_and_topology_answer_at_the_router_level() {
 }
 
 #[test]
+fn router_metrics_answers_the_router_scoped_record() {
+    let (router, addr) = start_tcp_router(2);
+    let replies = roundtrip(addr, &[r#"{"op":"metrics","version":2}"#]);
+    assert_eq!(replies.len(), 1, "{replies:?}");
+    let v = jsonl::parse(&replies[0]).expect("metrics is JSON");
+    assert_eq!(v.get("op").unwrap().as_str(), Some("metrics"), "{}", replies[0]);
+    assert_eq!(v.get("scope").unwrap().as_str(), Some("router"), "{}", replies[0]);
+    let resilience = v.get("resilience").expect("resilience object");
+    assert_eq!(resilience.get("retries").unwrap().as_usize(), Some(0), "{}", replies[0]);
+    assert!(replies[0].contains(r#"{"shard":0,"state":"closed"}"#), "{}", replies[0]);
+    router.shutdown();
+}
+
+#[test]
 fn per_shard_ops_refuse_with_the_unsupported_kind() {
     let (router, addr) = start_tcp_router(2);
-    for (i, op) in ["stats", "metrics", "trace"].iter().enumerate() {
+    for (i, op) in ["stats", "trace"].iter().enumerate() {
         let replies = roundtrip(addr, &[&format!(r#"{{"op":"{op}","version":2}}"#)]);
         assert_eq!(replies.len(), 1, "op {op}");
         let v = jsonl::parse(&replies[0]).expect("reply is JSON");

@@ -23,10 +23,13 @@ use crate::conn::{ConnShared, Delivery};
 use crate::metrics::{ns_between, MetricsSnapshot, ServerObs};
 use crate::stats::{Counters, ServerStats};
 use crate::ServerConfig;
+use parspeed_chaos::{FaultAction, FaultPlan};
 use parspeed_engine::{jsonl, ParspeedError, Query, Response, Service, SlotAddr, TaggedRequest};
-use parspeed_obs::{Stage, TraceEvent};
+use parspeed_obs::{ResilienceCounters, Stage, TraceEvent};
 use std::collections::HashSet;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -49,6 +52,9 @@ pub(crate) struct Job {
     pub render: bool,
     /// When admission accepted the request (`queue` stage start).
     pub submitted: Instant,
+    /// Absolute expiry: past it, the slot answers `deadline_exceeded`
+    /// instead of entering the engine (`None` = no deadline).
+    pub deadline: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -71,34 +77,88 @@ pub(crate) struct Shared {
     /// Per-stage histograms, trace ring, batch ids. Shared with every
     /// connection (route timing) and installed into the engine.
     pub obs: Arc<ServerObs>,
+    /// Recovery-action counters (the `metrics` op's `resilience`
+    /// section): deadline misses, shed requests, caught panics.
+    pub resilience: Arc<ResilienceCounters>,
+    /// The installed fault plan, if any (`Server::install_fault_plan`).
+    pub faults: Mutex<Option<Arc<FaultPlan>>>,
+    /// Whether brownout (cache-only degradation) is currently active.
+    /// Only moves when [`ServerConfig::brownout`] is set; updated under
+    /// the queue lock, read lock-free by `metrics`.
+    brownout_active: AtomicBool,
+    /// Worker panics the fault plan has scheduled but not yet fired
+    /// (consumed by the next batch, inside the panic shield).
+    pending_panics: AtomicU64,
+    /// Injected latency (ms) the next batch must sleep before serving.
+    pending_delay_ms: AtomicU64,
     queue: Mutex<SubmissionQueue>,
     cv: Condvar,
 }
 
 impl Shared {
     pub fn new(service: Arc<dyn Service + Send + Sync>, cfg: ServerConfig) -> Self {
+        if let Some(b) = cfg.brownout {
+            assert!(b.exit < b.enter, "brownout exit watermark must be below enter");
+        }
         Shared {
             service,
             cfg,
             counters: Counters::default(),
             obs: Arc::new(ServerObs::new(cfg.observe, cfg.trace)),
+            resilience: Arc::new(ResilienceCounters::new()),
+            faults: Mutex::new(None),
+            brownout_active: AtomicBool::new(false),
+            pending_panics: AtomicU64::new(0),
+            pending_delay_ms: AtomicU64::new(0),
             queue: Mutex::new(SubmissionQueue::default()),
             cv: Condvar::new(),
         }
     }
 
+    /// Whether cache-only degradation is active right now.
+    pub fn in_brownout(&self) -> bool {
+        self.brownout_active.load(Ordering::Relaxed)
+    }
+
     /// Admission control: queue the job, or answer its slot with an
     /// `overloaded` error on a full queue / draining server. Never
     /// blocks beyond the queue lock and never disconnects anyone.
+    ///
+    /// With brownout watermarks configured, pressure degrades service
+    /// before refusing it outright: once the queue reaches the `enter`
+    /// watermark, only requests the service says are warm
+    /// ([`Service::probe_cached`]) are admitted — cold ones shed with
+    /// the overload answer — until the queue falls back to `exit`.
     pub fn submit(&self, job: Job) {
         self.counters.add(&self.counters.submitted, 1);
+        if let Some(plan) = self.faults.lock().unwrap().clone() {
+            self.apply_faults(&plan);
+        }
+        // The cache probe takes cache-shard locks and (for sweeps) a
+        // plan expansion — do it before the queue lock, and only when
+        // brownout is configured at all.
+        let warm = self.cfg.brownout.is_some() && self.service.probe_cached(&job.query);
         let mut q = self.queue.lock().unwrap();
+        if let Some(b) = self.cfg.brownout {
+            if q.jobs.len() >= b.enter {
+                self.brownout_active.store(true, Ordering::Relaxed);
+            } else if q.jobs.len() <= b.exit {
+                self.brownout_active.store(false, Ordering::Relaxed);
+            }
+        }
         let refusal = if q.draining {
             Some("server is draining for shutdown; request refused (not evaluated)".to_string())
         } else if q.jobs.len() >= self.cfg.queue_depth {
             Some(format!(
                 "server overloaded: submission queue is full ({} pending); \
                  request refused (not evaluated), retry later",
+                q.jobs.len()
+            ))
+        } else if self.brownout_active.load(Ordering::Relaxed) && !warm {
+            ResilienceCounters::bump(&self.resilience.shed);
+            Some(format!(
+                "server in brownout (queue depth {} over watermark): cold request shed \
+                 (not evaluated), retry later; cached requests still answer",
                 q.jobs.len()
             ))
         } else {
@@ -122,6 +182,27 @@ impl Shared {
         }
     }
 
+    /// Ticks the installed fault plan for one submission and arms the
+    /// actions a standalone server can express: `panic` fires inside
+    /// the next batch (under the panic shield), `delay` stalls the next
+    /// batch. Ring-level actions are recorded and ignored — a lone
+    /// server has no ring.
+    fn apply_faults(&self, plan: &FaultPlan) {
+        for action in plan.on_request() {
+            match action {
+                FaultAction::PanicWorker => {
+                    self.pending_panics.fetch_add(1, Ordering::SeqCst);
+                    plan.record("server: armed worker panic for the next batch");
+                }
+                FaultAction::DelayLane { shard, millis } => {
+                    self.pending_delay_ms.fetch_add(millis, Ordering::SeqCst);
+                    plan.record(format!("server: armed {millis} ms delay (lane {shard})"));
+                }
+                other => plan.record(format!("server: ignoring ring-level fault {other}")),
+            }
+        }
+    }
+
     /// Whether the server is draining for shutdown.
     pub fn is_draining(&self) -> bool {
         self.queue.lock().unwrap().draining
@@ -141,7 +222,12 @@ impl Shared {
 
     /// The full observability snapshot (the `metrics` op).
     pub fn metrics(&self) -> MetricsSnapshot {
-        MetricsSnapshot { stats: self.stats(), stages: self.obs.stage_summaries() }
+        MetricsSnapshot {
+            stats: self.stats(),
+            stages: self.obs.stage_summaries(),
+            resilience: self.resilience.snapshot(),
+            brownout: self.in_brownout(),
+        }
     }
 
     /// The lightweight liveness record (the `health` op): uptime, the
@@ -204,8 +290,46 @@ impl Shared {
     /// Runs one coalesced batch through the service and routes every
     /// reply to its slot. `popped` is when the batch left the queue
     /// (the per-request `queue` stage end, used for trace events).
+    ///
+    /// Two failure paths resolve here, both in-slot: a job whose
+    /// deadline expired while it queued answers `deadline_exceeded`
+    /// without entering the engine, and a worker panic mid-service
+    /// (a service bug, or an injected `panic` fault) is caught by a
+    /// panic shield that answers every slot with the `internal` error
+    /// and keeps the worker alive — an admitted request is answered no
+    /// matter what happens to its batch.
     fn execute(&self, jobs: Vec<Job>, popped: Instant) {
         let c = &self.counters;
+
+        // Injected straggler latency fires before the deadline check, so
+        // a delayed batch can push queued requests past their budgets —
+        // exactly the failure the deadline exists to bound.
+        let delay_ms = self.pending_delay_ms.swap(0, Ordering::SeqCst);
+        if delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        }
+
+        let now = Instant::now();
+        let (jobs, expired): (Vec<Job>, Vec<Job>) =
+            jobs.into_iter().partition(|j| j.deadline.is_none_or(|d| now < d));
+        if !expired.is_empty() {
+            let _group = c.batch_group();
+            c.add(&c.completed, expired.len() as u64);
+            for job in &expired {
+                ResilienceCounters::bump(&self.resilience.deadline_missed);
+                deliver(
+                    job,
+                    Response::Invalid(ParspeedError::deadline_exceeded(
+                        "deadline expired while the request queued; result not produced \
+                         (the request was not evaluated)",
+                    )),
+                );
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+
         let batch_id = self.obs.next_batch_id();
         let clients: HashSet<u64> = jobs.iter().map(|j| j.conn.id).collect();
 
@@ -213,7 +337,50 @@ impl Shared {
             .iter()
             .map(|j| (SlotAddr { client: j.conn.id, seq: j.seq }, j.query.clone()))
             .collect();
-        match self.service.call_tagged(&TaggedRequest::new(tagged)) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let armed = self
+                .pending_panics
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok();
+            if armed {
+                panic!("injected worker panic (fault plan)");
+            }
+            self.service.call_tagged(&TaggedRequest::new(tagged))
+        }));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(_) => {
+                // The shield: the batch died mid-service, but every
+                // admitted slot still answers, and this worker thread
+                // survives to serve the next batch.
+                ResilienceCounters::bump(&self.resilience.worker_panics);
+                if let Some(plan) = self.faults.lock().unwrap().clone() {
+                    plan.record(format!(
+                        "server: worker panic caught; {} slot(s) answered internal",
+                        jobs.len()
+                    ));
+                }
+                {
+                    let _group = c.batch_group();
+                    c.add(&c.batches, 1);
+                    c.add(&c.batched_requests, jobs.len() as u64);
+                    c.raise(&c.max_batch_fill, jobs.len() as u64);
+                    c.add(&c.completed, jobs.len() as u64);
+                }
+                for job in &jobs {
+                    deliver(
+                        job,
+                        Response::Invalid(ParspeedError::Internal(
+                            "worker panicked while serving the batch; the request may or may \
+                             not have been evaluated"
+                                .into(),
+                        )),
+                    );
+                }
+                return;
+            }
+        };
+        match result {
             Ok(reply) => {
                 let engine_nanos = (reply.telemetry.wall_seconds * 1e9) as u64;
                 {

@@ -65,7 +65,7 @@ mod net;
 mod stats;
 
 pub use conn::{ConnShared, Delivery};
-pub use metrics::{MetricsSnapshot, ServerObs};
+pub use metrics::{resilience_to_json, MetricsSnapshot, ServerObs};
 pub use stats::{health_to_json, ServerStats};
 
 use batcher::{Job, Shared};
@@ -106,6 +106,30 @@ pub struct ServerConfig {
     /// fleet, `None` (the default) for a standalone server, which
     /// reports `"shard":null`.
     pub shard: Option<usize>,
+    /// How long the acceptor sleeps between polls of a quiet listening
+    /// socket (`--accept-poll-us`). Bounds how fast a drain is noticed;
+    /// previously a hard-coded 200 µs.
+    pub accept_poll: Duration,
+    /// Brownout (cache-only degradation) watermarks, `None` (the
+    /// default) to disable. See [`BrownoutConfig`].
+    pub brownout: Option<BrownoutConfig>,
+}
+
+/// Brownout watermarks: under queue pressure the server degrades to
+/// cache-only service — requests whose results are warm in the engine's
+/// result cache still answer, cold ones are shed as `overloaded` (and
+/// counted in the `metrics` op's `resilience.shed`). Hysteresis keeps
+/// the mode from flapping: brownout starts when the submission queue
+/// reaches `enter` pending requests and ends when it falls back to
+/// `exit` (`exit < enter`).
+#[derive(Debug, Clone, Copy)]
+pub struct BrownoutConfig {
+    /// Queue depth at or above which brownout begins
+    /// (`--brownout-enter`).
+    pub enter: usize,
+    /// Queue depth at or below which brownout ends
+    /// (`--brownout-exit`).
+    pub exit: usize,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +142,8 @@ impl Default for ServerConfig {
             observe: true,
             trace: 0,
             shard: None,
+            accept_poll: Duration::from_micros(200),
+            brownout: None,
         }
     }
 }
@@ -210,7 +236,7 @@ impl Server {
                         if shared.is_draining() {
                             return;
                         }
-                        std::thread::sleep(Duration::from_micros(200));
+                        std::thread::sleep(shared.cfg.accept_poll);
                     }
                     Err(_) => return,
                 }
@@ -236,6 +262,27 @@ impl Server {
     /// metrics or flush the trace ring after the drain.
     pub fn observability(&self) -> Arc<ServerObs> {
         Arc::clone(&self.shared.obs)
+    }
+
+    /// The server's resilience counters (retries, deadline misses,
+    /// shed requests, caught panics — the `metrics` op's `resilience`
+    /// section). Like [`observability`](Server::observability), the
+    /// handle stays valid after shutdown.
+    pub fn resilience(&self) -> Arc<parspeed_obs::ResilienceCounters> {
+        Arc::clone(&self.shared.resilience)
+    }
+
+    /// Installs a deterministic [`FaultPlan`](parspeed_chaos::FaultPlan)
+    /// (or, with `None`, removes it). While installed, every admitted
+    /// request ticks the plan once, and due triggers fire against this
+    /// server: `panic` panics a batcher worker mid-batch (the panic
+    /// shield answers every slot and keeps the worker alive),
+    /// `delay:S:MS` stalls the next batch by `MS` milliseconds. Ring
+    ///-level actions (`kill`/`drop`/`dup`/`wedge`) have no meaning on a
+    /// standalone server and are recorded as ignored. Zero cost when
+    /// absent: one mutex-guarded `Option` check per batch.
+    pub fn install_fault_plan(&self, plan: Option<Arc<parspeed_chaos::FaultPlan>>) {
+        *self.shared.faults.lock().unwrap() = plan;
     }
 
     /// Graceful drain: stops admitting (late requests get the
@@ -325,6 +372,16 @@ impl Client {
     /// queue, draining server) is answered with the `overloaded` error
     /// in its reply slot like any other reply.
     pub fn submit(&self, query: Query) -> u64 {
+        self.submit_with_deadline(query, None)
+    }
+
+    /// [`submit`](Self::submit) with an absolute deadline: if the
+    /// result is not produced by `deadline`, the slot answers with the
+    /// `deadline_exceeded` error instead. The deadline is checked when
+    /// the batch fires, so a reply can arrive slightly past it (the
+    /// batch that beat the deadline still delivers) but an expired
+    /// request never occupies engine time.
+    pub fn submit_with_deadline(&self, query: Query, deadline: Option<Instant>) -> u64 {
         let seq = self.conn.alloc_seq();
         self.shared.submit(Job {
             conn: Arc::clone(&self.conn),
@@ -334,6 +391,7 @@ impl Client {
             line_no: seq as usize + 1,
             render: false,
             submitted: Instant::now(),
+            deadline,
         });
         seq
     }
@@ -362,6 +420,15 @@ impl Client {
     /// Submit one query and wait for its reply.
     pub fn call(&self, query: Query) -> Response {
         let seq = self.submit(query);
+        let (got, response) = self.recv();
+        assert_eq!(got, seq, "per-connection ordering violated");
+        response
+    }
+
+    /// Submit one query with an absolute deadline and wait for its
+    /// reply (a result, or the `deadline_exceeded` error in its slot).
+    pub fn call_with_deadline(&self, query: Query, deadline: Instant) -> Response {
+        let seq = self.submit_with_deadline(query, Some(deadline));
         let (got, response) = self.recv();
         assert_eq!(got, seq, "per-connection ordering violated");
         response

@@ -18,7 +18,9 @@
 use crate::stats::ServerStats;
 use parspeed_engine::jsonl::Json;
 use parspeed_engine::WIRE_VERSION;
-use parspeed_obs::{render_exposition, Recorder, Stage, StageSet, StageSummary};
+use parspeed_obs::{
+    render_exposition, Recorder, ResilienceSnapshot, Stage, StageSet, StageSummary,
+};
 use parspeed_obs::{TraceEvent, TraceRing};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -121,6 +123,12 @@ pub struct MetricsSnapshot {
     pub stats: ServerStats,
     /// One summary per stage, in canonical pipeline order.
     pub stages: Vec<(Stage, StageSummary)>,
+    /// Recovery-action counters: deadline misses, shed requests,
+    /// caught worker panics (and, on a router, retries/failovers/
+    /// breaker transitions).
+    pub resilience: ResilienceSnapshot,
+    /// Whether cache-only brownout degradation is active right now.
+    pub brownout: bool,
 }
 
 impl MetricsSnapshot {
@@ -156,6 +164,7 @@ impl MetricsSnapshot {
             ("op".into(), Json::Str("metrics".into())),
             ("stats".into(), Json::Obj(stats)),
             ("stages".into(), Json::Obj(stages)),
+            ("resilience".into(), resilience_to_json(&self.resilience, self.brownout)),
         ])
     }
 
@@ -182,6 +191,16 @@ impl MetricsSnapshot {
             };
             out.push_str(&format!("parspeed_{name} {rendered}\n"));
         }
+        // The resilience counters (absent on pre-resilience records).
+        if let Some(Json::Obj(resilience)) = v.get("resilience") {
+            for (name, value) in resilience {
+                let rendered = match value {
+                    Json::Bool(b) => if *b { "1" } else { "0" }.to_string(),
+                    other => other.render(),
+                };
+                out.push_str(&format!("parspeed_resilience_{name} {rendered}\n"));
+            }
+        }
         let Json::Obj(stages) = v.get("stages")? else { return None };
         let summaries: Vec<(&str, StageSummary)> = stages
             .iter()
@@ -204,6 +223,17 @@ impl MetricsSnapshot {
         out.push_str(&render_exposition(&summaries));
         Some(out)
     }
+}
+
+/// The shared `resilience` wire object — one field per
+/// [`ResilienceSnapshot`] counter (names and order from
+/// [`ResilienceSnapshot::fields`], so the server's and the router's
+/// `metrics` replies can never drift) plus the live `brownout` flag.
+pub fn resilience_to_json(snap: &ResilienceSnapshot, brownout: bool) -> Json {
+    let mut fields: Vec<(String, Json)> =
+        snap.fields().iter().map(|(name, v)| (name.to_string(), Json::Num(*v as f64))).collect();
+    fields.push(("brownout".into(), Json::Bool(brownout)));
+    Json::Obj(fields)
 }
 
 /// The `{"op":"trace"}` wire reply: ring capacity, kept count, and the
@@ -243,9 +273,12 @@ mod tests {
         let obs = ServerObs::new(true, 4);
         obs.record(Stage::Queue, 1000);
         obs.record(Stage::Exec, 2_000_000);
+        let resilience = ResilienceSnapshot { deadline_missed: 3, ..Default::default() };
         let snapshot = MetricsSnapshot {
             stats: Counters::default().snapshot(0, false),
             stages: obs.stage_summaries(),
+            resilience,
+            brownout: false,
         };
         let rendered = snapshot.to_json().render();
         let back = parspeed_engine::jsonl::parse(&rendered).unwrap();
@@ -260,6 +293,12 @@ mod tests {
             assert!(s.get("p999_ns").is_some());
         }
         assert_eq!(stages.get("queue").unwrap().get("count").unwrap().as_usize(), Some(1));
+        // The resilience section rides the metrics op, one field per
+        // counter plus the brownout flag.
+        let res = back.get("resilience").unwrap();
+        assert_eq!(res.get("deadline_missed").unwrap().as_usize(), Some(3));
+        assert_eq!(res.get("retries").unwrap().as_usize(), Some(0));
+        assert_eq!(res.get("brownout"), Some(&Json::Bool(false)));
     }
 
     #[test]
@@ -269,12 +308,16 @@ mod tests {
         let snapshot = MetricsSnapshot {
             stats: Counters::default().snapshot(2, true),
             stages: obs.stage_summaries(),
+            resilience: ResilienceSnapshot::default(),
+            brownout: true,
         };
         let direct = snapshot.render_human();
         let wire = parspeed_engine::jsonl::parse(&snapshot.to_json().render()).unwrap();
         assert_eq!(MetricsSnapshot::render_human_wire(&wire).unwrap(), direct);
         assert!(direct.contains("parspeed_queue_depth 2"), "{direct}");
         assert!(direct.contains("parspeed_draining 1"), "{direct}");
+        assert!(direct.contains("parspeed_resilience_retries 0"), "{direct}");
+        assert!(direct.contains("parspeed_resilience_brownout 1"), "{direct}");
         assert!(direct.contains("parspeed_stage_latency_ns{stage=\"plan\",quantile=\"0.5\"}"));
     }
 

@@ -85,6 +85,7 @@ pub(crate) fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, shared: Arc<
                     v1_lines += 1;
                     shared.counters.add(&shared.counters.v1_lines, 1);
                 }
+                let now = std::time::Instant::now();
                 shared.submit(Job {
                     conn: Arc::clone(&conn),
                     seq,
@@ -92,7 +93,12 @@ pub(crate) fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, shared: Arc<
                     version: parsed.version,
                     line_no,
                     render: true,
-                    submitted: std::time::Instant::now(),
+                    submitted: now,
+                    // The budget starts at admission: what is left after
+                    // queueing and batching is what the engine may use.
+                    deadline: parsed
+                        .deadline_ms
+                        .map(|ms| now + std::time::Duration::from_millis(ms)),
                 });
             }
             Err(e) => conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no))),
