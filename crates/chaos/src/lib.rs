@@ -140,6 +140,23 @@ pub enum FaultAction {
     /// Panic a batcher worker mid-service — the bug failure mode; the
     /// server must recover and still answer every admitted slot.
     PanicWorker,
+    /// Make the supervisor's next respawn attempt for this shard fail —
+    /// the replacement-also-dies failure mode that exercises respawn
+    /// backoff and the respawn budget.
+    RespawnDeny {
+        /// The shard whose next respawn is denied.
+        shard: usize,
+    },
+    /// Kill a shard and deny its next `times` respawn attempts — the
+    /// crash-loop failure mode; a supervisor with `max_respawns` below
+    /// `times` must degrade to permanent eviction instead of flapping
+    /// the ring.
+    CrashLoop {
+        /// The shard that crash-loops.
+        shard: usize,
+        /// How many consecutive respawn attempts fail.
+        times: u64,
+    },
 }
 
 impl std::fmt::Display for FaultAction {
@@ -151,6 +168,8 @@ impl std::fmt::Display for FaultAction {
             FaultAction::DuplicateReply { shard } => write!(f, "dup:{shard}"),
             FaultAction::WedgeLane { shard } => write!(f, "wedge:{shard}"),
             FaultAction::PanicWorker => write!(f, "panic"),
+            FaultAction::RespawnDeny { shard } => write!(f, "respawn-deny:{shard}"),
+            FaultAction::CrashLoop { shard, times } => write!(f, "crashloop:{shard}:{times}"),
         }
     }
 }
@@ -199,43 +218,64 @@ impl FaultPlan {
 
     /// Parses the CLI spec: comma-separated `ACTION@K` items, where `K`
     /// is the 1-based request index and `ACTION` is one of
-    /// `kill:S`, `delay:S:MS`, `drop:S`, `dup:S`, `wedge:S`, `panic`.
+    /// `kill:S`, `delay:S:MS`, `drop:S`, `dup:S`, `wedge:S`, `panic`,
+    /// `respawn-deny:S`, `crashloop:S:N`.
     ///
     /// Example: `"kill:1@120,delay:0:25@40,panic@9"`.
+    ///
+    /// Errors name the offending item *and* its 1-based position in the
+    /// spec (`fault 2 (\`kill\`): …`), so a typo in a long plan is
+    /// findable without bisecting the string.
     pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
         let mut triggers = Vec::new();
-        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            let (action, at) = item
-                .split_once('@')
-                .ok_or_else(|| format!("fault `{item}`: expected ACTION@REQUEST"))?;
-            let at_request: u64 = at
-                .trim()
-                .parse()
-                .map_err(|_| format!("fault `{item}`: request index must be a positive integer"))?;
+        for (pos, item) in spec.split(',').map(str::trim).enumerate() {
+            let pos = pos + 1; // 1-based, counting empty fields too
+            if item.is_empty() {
+                continue;
+            }
+            let fail = |msg: String| Err(format!("fault {pos} (`{item}`): {msg}"));
+            let Some((action, at)) = item.split_once('@') else {
+                return fail("expected ACTION@REQUEST".into());
+            };
+            let Ok(at_request) = at.trim().parse::<u64>() else {
+                return fail(format!("request index `{}` must be a positive integer", at.trim()));
+            };
             if at_request == 0 {
-                return Err(format!("fault `{item}`: request indices are 1-based"));
+                return fail("request indices are 1-based".into());
             }
             let parts: Vec<&str> = action.trim().split(':').collect();
             let shard_of = |s: &str| {
-                s.parse::<usize>().map_err(|_| format!("fault `{item}`: bad shard index `{s}`"))
+                s.parse::<usize>()
+                    .map_err(|_| format!("fault {pos} (`{item}`): bad shard index `{s}`"))
             };
             let action = match parts.as_slice() {
                 ["kill", s] => FaultAction::KillShard { shard: shard_of(s)? },
-                ["delay", s, ms] => FaultAction::DelayLane {
-                    shard: shard_of(s)?,
-                    millis: ms
-                        .parse()
-                        .map_err(|_| format!("fault `{item}`: bad delay millis `{ms}`"))?,
-                },
+                ["delay", s, ms] => {
+                    let Ok(millis) = ms.parse() else {
+                        return fail(format!("bad delay millis `{ms}`"));
+                    };
+                    FaultAction::DelayLane { shard: shard_of(s)?, millis }
+                }
                 ["drop", s] => FaultAction::DropReply { shard: shard_of(s)? },
                 ["dup", s] => FaultAction::DuplicateReply { shard: shard_of(s)? },
                 ["wedge", s] => FaultAction::WedgeLane { shard: shard_of(s)? },
                 ["panic"] => FaultAction::PanicWorker,
+                ["respawn-deny", s] => FaultAction::RespawnDeny { shard: shard_of(s)? },
+                ["crashloop", s, n] => {
+                    let Ok(times) = n.parse::<u64>() else {
+                        return fail(format!("bad crash-loop count `{n}`"));
+                    };
+                    if times == 0 {
+                        return fail("crash-loop count must be at least 1".into());
+                    }
+                    FaultAction::CrashLoop { shard: shard_of(s)?, times }
+                }
                 _ => {
-                    return Err(format!(
-                        "fault `{item}`: unknown action; one of kill:S, delay:S:MS, drop:S, \
-                         dup:S, wedge:S, panic"
-                    ))
+                    return fail(
+                        "unknown action; one of kill:S, delay:S:MS, drop:S, dup:S, wedge:S, \
+                         panic, respawn-deny:S, crashloop:S:N"
+                            .into(),
+                    )
                 }
             };
             triggers.push(Trigger { at_request, action });
@@ -371,10 +411,49 @@ mod tests {
         // Sorted by request index.
         assert_eq!(rendered, ["drop:2@10", "dup:2@11", "delay:0:25@40", "kill:1@120"]);
         assert!(FaultPlan::parse("wedge:3@5,panic@9", 0).is_ok());
+        assert!(FaultPlan::parse("respawn-deny:0@7,crashloop:2:3@50", 0).is_ok());
 
         for bad in ["", "kill:1", "kill@3", "kill:x@3", "delay:0@3", "kill:1@0", "explode:1@3"] {
             assert!(FaultPlan::parse(bad, 0).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn self_healing_actions_round_trip_their_spec_spelling() {
+        let plan = FaultPlan::parse("crashloop:1:4@9, respawn-deny:3@2", 0).unwrap();
+        let rendered: Vec<String> =
+            plan.triggers().iter().map(|t| format!("{}@{}", t.action, t.at_request)).collect();
+        assert_eq!(rendered, ["respawn-deny:3@2", "crashloop:1:4@9"]);
+        assert_eq!(plan.triggers()[1].action, FaultAction::CrashLoop { shard: 1, times: 4 });
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_item_and_its_position() {
+        // One malformed shape per case; every error names the bad token
+        // and its 1-based comma position in the spec.
+        let cases = [
+            ("kill:0@1,kill:1", "fault 2 (`kill:1`): expected ACTION@REQUEST"),
+            ("kill@3", "fault 1 (`kill@3`): unknown action"),
+            ("panic@1,panic@1,kill:x@3", "fault 3 (`kill:x@3`): bad shard index `x`"),
+            ("delay:0@3", "fault 1 (`delay:0@3`): unknown action"),
+            ("delay:0:ms@3", "fault 1 (`delay:0:ms@3`): bad delay millis `ms`"),
+            ("kill:1@0", "fault 1 (`kill:1@0`): request indices are 1-based"),
+            ("panic@1,explode:1@3", "fault 2 (`explode:1@3`): unknown action"),
+            ("panic@x", "fault 1 (`panic@x`): request index `x` must be a positive integer"),
+            ("crashloop:0:0@5", "fault 1 (`crashloop:0:0@5`): crash-loop count must be at least 1"),
+            ("crashloop:0:n@5", "fault 1 (`crashloop:0:n@5`): bad crash-loop count `n`"),
+            ("respawn-deny:z@5", "fault 1 (`respawn-deny:z@5`): bad shard index `z`"),
+            // Empty fields still count toward the position.
+            (",,kill:1", "fault 3 (`kill:1`): expected ACTION@REQUEST"),
+        ];
+        for (spec, want) in cases {
+            let err = FaultPlan::parse(spec, 0).unwrap_err();
+            assert!(err.starts_with(want), "spec {spec:?}: got {err:?}, want prefix {want:?}");
+        }
+        assert_eq!(
+            FaultPlan::parse("", 0).unwrap_err(),
+            "fault plan is empty; expected ACTION@REQUEST[,ACTION@REQUEST...]"
+        );
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! sizing (`--predict`).
 
 use crate::args::{err, Args, CliError};
-use parspeed_engine::Engine;
+use parspeed_engine::{CheckpointPolicy, CheckpointStore, Engine};
 use parspeed_router::predict::{predict, FleetModel, SweepPoint, WorkloadProfile};
-use parspeed_router::{BreakerPolicy, RetryPolicy, Router, RouterConfig};
+use parspeed_router::{BreakerPolicy, RetryPolicy, Router, RouterConfig, SupervisorPolicy};
 use parspeed_server::ServerConfig;
 use std::io::{BufRead as _, Write as _};
 use std::sync::Arc;
@@ -32,6 +32,10 @@ pub const KEYS: &[&str] = &[
     "stall-after-ms",
     "fault-plan",
     "fault-seed",
+    "respawn-after-ms",
+    "max-respawns",
+    "warm-fraction",
+    "checkpoint-every",
     "distinct",
     "capacity",
     "max-shards",
@@ -47,7 +51,8 @@ pub const USAGE: &str = "parspeed route [--addr HOST:PORT] [--shards N] [--repli
                [--retry-max N] [--backoff-base-ms N] [--backoff-cap-ms N]
                [--breaker-threshold N] [--probe-after-ms N]
                [--stall-after-ms N] [--fault-plan SPEC] [--fault-seed N]
-               [--stats]
+               [--respawn-after-ms N] [--max-respawns N]
+               [--warm-fraction F] [--checkpoint-every N] [--stats]
        parspeed route --predict --distinct D --capacity C
                [--max-shards N] [--sweep P:SECS,P:SECS,...]
 
@@ -108,10 +113,25 @@ minimizes — quantization, memory floor, and infeasibility included.
                        and trips the breaker (default 1000)
   --fault-plan SPEC    install a deterministic fault plan, e.g.
                        `kill:0@3,drop:1@7` — ACTION@REQUEST pairs
-                       (kill:S, delay:S:MS, drop:S, dup:S, wedge:S)
-                       firing at 1-based request indices
+                       (kill:S, delay:S:MS, drop:S, dup:S, wedge:S,
+                       respawn-deny:S, crashloop:S:N) firing at 1-based
+                       request indices
   --fault-seed N       seed for the fault plan's deterministic jitter
                        (default 0); the same seed replays the same trace
+  --respawn-after-ms N run the self-healing supervisor: a shard lost
+                       this long is respawned — fresh server + engine,
+                       readiness probe, cache-warm replay of its hot
+                       keys — and readmitted to the ring (default off;
+                       a killed shard stays dead)
+  --max-respawns N     respawn attempts per shard before permanent
+                       eviction (default 3)
+  --warm-fraction F    fraction (0..=1) of a shard's hot keys the
+                       replacement replays before rejoining (default
+                       0.5)
+  --checkpoint-every N checkpoint long solves every N convergence
+                       checks into a fleet-shared store, so an
+                       interrupted solve resumes on its failover shard
+                       instead of restarting (default off)
   --stats              print per-shard telemetry after draining
   --predict            predict the optimal fleet size and exit
   --distinct D         distinct cache keys the workload touches
@@ -138,6 +158,26 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     };
     let retry_defaults = RetryPolicy::default();
     let breaker_defaults = BreakerPolicy::default();
+    let sup_defaults = SupervisorPolicy::default();
+    let warm_fraction = args.f64_or("warm-fraction", sup_defaults.warm_fraction)?;
+    if !(0.0..=1.0).contains(&warm_fraction) {
+        return Err(err("flag `--warm-fraction` must be between 0 and 1"));
+    }
+    let supervisor = args.usize_opt("respawn-after-ms")?.map(|ms| SupervisorPolicy {
+        respawn_after: Duration::from_millis(ms as u64),
+        max_respawns: sup_defaults.max_respawns,
+        respawn_backoff: sup_defaults.respawn_backoff,
+        warm_fraction,
+    });
+    let supervisor = match (supervisor, args.usize_opt("max-respawns")?) {
+        (Some(s), Some(n)) => Some(SupervisorPolicy { max_respawns: n as u32, ..s }),
+        (None, Some(_)) => {
+            return Err(err(
+                "flag `--max-respawns` needs the supervisor; add `--respawn-after-ms N`",
+            ))
+        }
+        (s, None) => s,
+    };
     let config = RouterConfig {
         shards: args.usize_or("shards", 4)?,
         replicas: args.usize_or("replicas", 64)?,
@@ -168,6 +208,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                     as u64,
             ),
         },
+        supervisor,
     };
     for (flag, value) in [
         ("shards", config.shards),
@@ -186,14 +227,23 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let cache_capacity =
         args.usize_or("cache-capacity", parspeed_engine::DEFAULT_CACHE_CAPACITY)?;
     let threads = args.usize_or("threads", 0)?;
-    let mut router = Router::start_with(config, |_shard| {
-        Arc::new(
-            Engine::builder()
-                .cache_capacity(cache_capacity)
-                .threads(threads)
-                .experiment_runner(crate::commands::experiment::runner)
-                .build(),
-        )
+    // One checkpoint store for the whole fleet: a solve interrupted on
+    // a dying shard resumes from its last checkpoint on the failover
+    // (or respawned) shard instead of restarting from iteration zero.
+    let checkpoints = match args.usize_opt("checkpoint-every")? {
+        Some(0) => return Err(err("flag `--checkpoint-every` must be at least 1")),
+        Some(every) => Some((Arc::new(CheckpointStore::new(64)), CheckpointPolicy::every(every))),
+        None => None,
+    };
+    let mut router = Router::start_with(config, move |_shard| {
+        let mut builder = Engine::builder()
+            .cache_capacity(cache_capacity)
+            .threads(threads)
+            .experiment_runner(crate::commands::experiment::runner);
+        if let Some((store, policy)) = &checkpoints {
+            builder = builder.checkpoints(Arc::clone(store), *policy);
+        }
+        Arc::new(builder.build())
     });
     if plan.is_some() {
         router.install_fault_plan(plan);

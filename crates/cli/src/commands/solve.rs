@@ -44,8 +44,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         builder = builder.check_policy(CheckSpec::parse(policy).map_err(CliError)?);
     }
     let query = builder.query();
-    let EvalValue::Solve { converged, iterations, final_diff, max_error, global_reductions } =
-        eval_single(query)?
+    let EvalValue::Solve {
+        converged, iterations, final_diff, max_error, global_reductions, ..
+    } = eval_single(query)?
     else {
         unreachable!("solve queries produce solve values")
     };

@@ -29,8 +29,8 @@ use parspeed_exec::measure::measure_scaling;
 use parspeed_exec::PartitionedJacobi;
 use parspeed_grid::{Decomposition, Grid2D, RectDecomposition, StripDecomposition};
 use parspeed_solver::{
-    CgSolver, JacobiSolver, Manufactured, MultigridSolver, PoissonProblem, RedBlackSolver,
-    SolveStatus, SorSolver,
+    CgSolver, CheckpointCtx, CheckpointPolicy, CheckpointStore, JacobiSolver, Manufactured,
+    MultigridSolver, PoissonProblem, RedBlackSolver, SolveStatus, SorSolver,
 };
 use rayon::prelude::*;
 use rayon::ThreadPool;
@@ -90,8 +90,24 @@ pub fn solve_plan_error(n: usize, solver: SolverKind) -> Option<ParspeedError> {
     None
 }
 
-/// Evaluates one canonical key.
+/// The checkpoint-store key for a canonical evaluation: the same hash
+/// family as [`crate::routing_hash`], so every shard of a fleet —
+/// including the one a solve fails over to — derives the same key from
+/// the same canonical evaluation.
+pub fn checkpoint_key(key: &EvalKey) -> u64 {
+    use std::hash::BuildHasher as _;
+    crate::fxhash::FxBuildHasher::default().hash_one(key)
+}
+
+/// Evaluates one canonical key (without checkpoint/restart — the naive
+/// baseline and single ad-hoc callers).
 pub fn evaluate(key: &EvalKey) -> EvalOutcome {
+    evaluate_ckpt(key, None)
+}
+
+/// Evaluates one canonical key, resuming long solves from (and
+/// snapshotting them into) `ckpt`'s store when one is supplied.
+pub fn evaluate_ckpt(key: &EvalKey, ckpt: Option<CheckpointCtx<'_>>) -> EvalOutcome {
     match *key {
         EvalKey::Optimize { arch, machine, n, shape, e, k, budget, memory_words } => {
             let m = machine.to_params();
@@ -173,7 +189,7 @@ pub fn evaluate(key: &EvalKey) -> EvalOutcome {
             })
         }
         EvalKey::Solve { n, solver, tol, stencil, partitions, max_iters, check } => {
-            solve(n, solver, tol.get(), stencil.to_stencil(), partitions, max_iters, check)
+            solve(n, solver, tol.get(), stencil.to_stencil(), partitions, max_iters, check, ckpt)
         }
     }
 }
@@ -187,15 +203,21 @@ fn solve(
     partitions: usize,
     max_iters: usize,
     check: Option<CheckKey>,
+    ckpt: Option<CheckpointCtx<'_>>,
 ) -> EvalOutcome {
     let problem = PoissonProblem::manufactured(n, Manufactured::SinSin);
     let mut global_reductions = None;
+    let mut resumed_from = None;
     // An unset policy runs the solver's historical default schedule.
     let policy =
         check.map(CheckKey::to_policy).unwrap_or_else(|| solver.default_check().to_policy());
     let (u, status): (Grid2D, SolveStatus) = match solver {
-        SolverKind::Jacobi => JacobiSolver { tol, max_iters, check: policy, ..Default::default() }
-            .solve(&problem, &stencil),
+        SolverKind::Jacobi => {
+            let s = JacobiSolver { tol, max_iters, check: policy, ..Default::default() };
+            let (u, status, resumed) = s.solve_checkpointed(&problem, &stencil, ckpt);
+            resumed_from = resumed;
+            (u, status)
+        }
         SolverKind::Sor => SorSolver { max_iters, check: policy, ..SorSolver::optimal(n, tol) }
             .solve(&problem, &stencil),
         SolverKind::RedBlack => {
@@ -224,7 +246,8 @@ fn solve(
             // paying for ghost frames it can never amortize.
             let depth = DEEP_HALO_DEPTH.min(policy.first_check()).max(1);
             let mut exec = PartitionedJacobi::with_depth(&problem, &stencil, &d, depth);
-            let run = exec.solve(tol, max_iters, policy);
+            let (run, resumed) = exec.solve_checkpointed(tol, max_iters, policy, ckpt);
+            resumed_from = resumed;
             let status = SolveStatus {
                 converged: run.converged,
                 iterations: run.iterations,
@@ -239,6 +262,7 @@ fn solve(
         final_diff: status.final_diff,
         max_error: error_vs_exact(&problem, &u),
         global_reductions,
+        resumed_from,
     })
 }
 
@@ -293,10 +317,27 @@ pub fn run_effect(effect: &EffectKey, runner: Option<ExperimentRunner>) -> EvalO
 /// `None` uses the machine-default parallelism. Single-key batches skip
 /// the pool entirely.
 pub fn evaluate_all(keys: &[EvalKey], pool: Option<&ThreadPool>) -> Vec<EvalOutcome> {
+    evaluate_all_ckpt(keys, pool, None)
+}
+
+/// [`evaluate_all`] with checkpoint/restart: when `ckpt` supplies a
+/// store and cadence, long solves snapshot at check boundaries under
+/// [`checkpoint_key`] and resume from any snapshot a previous
+/// (interrupted) evaluation of the same key left behind.
+pub fn evaluate_all_ckpt(
+    keys: &[EvalKey],
+    pool: Option<&ThreadPool>,
+    ckpt: Option<(&CheckpointStore, CheckpointPolicy)>,
+) -> Vec<EvalOutcome> {
+    let eval = |key: &EvalKey| {
+        let ctx =
+            ckpt.map(|(store, policy)| CheckpointCtx { store, policy, key: checkpoint_key(key) });
+        evaluate_ckpt(key, ctx)
+    };
     if keys.len() <= 1 {
-        return keys.iter().map(evaluate).collect();
+        return keys.iter().map(eval).collect();
     }
-    let run = || keys.par_iter().map(evaluate).collect();
+    let run = || keys.par_iter().map(eval).collect();
     match pool {
         Some(pool) => pool.install(run),
         None => run(),
@@ -419,15 +460,75 @@ mod tests {
                 final_diff,
                 max_error,
                 global_reductions,
+                resumed_from,
             } => {
                 assert_eq!(converged, s.converged);
                 assert_eq!(iterations, s.iterations);
                 assert_eq!(final_diff.to_bits(), s.final_diff.to_bits());
                 assert_eq!(max_error.to_bits(), error_vs_exact(&problem, &u).to_bits());
                 assert_eq!(global_reductions, Some(stats.global_reductions));
+                assert_eq!(resumed_from, None);
             }
             other => panic!("expected solve, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checkpointed_evaluation_resumes_bit_identically_and_cleans_up() {
+        let key = EvalKey::Solve {
+            n: 16,
+            solver: SolverKind::Jacobi,
+            tol: F64Key::new(1e-8),
+            stencil: StencilKey::FivePoint,
+            partitions: 0,
+            max_iters: 10_000,
+            check: None,
+        };
+        let clean = evaluate(&key).unwrap();
+
+        // Interrupt: a budget-capped run of the same solve stands in for a
+        // shard dying mid-evaluation — its snapshots stay in the shared
+        // store under the canonical checkpoint key.
+        let store = CheckpointStore::new(8);
+        let problem = PoissonProblem::manufactured(16, Manufactured::SinSin);
+        let policy = SolverKind::Jacobi.default_check().to_policy();
+        let ctx = CheckpointCtx {
+            store: &store,
+            policy: CheckpointPolicy::default(),
+            key: checkpoint_key(&key),
+        };
+        let capped = JacobiSolver { tol: 1e-8, max_iters: 40, check: policy, ..Default::default() };
+        let (_, partial, _) =
+            capped.solve_checkpointed(&problem, &StencilKey::FivePoint.to_stencil(), Some(ctx));
+        assert!(!partial.converged && !store.is_empty(), "the interruption left a snapshot");
+
+        // Failover: evaluating the same canonical key against the store
+        // resumes the solve instead of restarting it — and the answer is
+        // bit-identical to the uninterrupted run.
+        let out = evaluate_all_ckpt(&[key], None, Some((&store, CheckpointPolicy::default())));
+        match (clean, out[0].clone().unwrap()) {
+            (
+                EvalValue::Solve { converged, iterations, final_diff, max_error, .. },
+                EvalValue::Solve {
+                    converged: c2,
+                    iterations: i2,
+                    final_diff: f2,
+                    max_error: e2,
+                    resumed_from,
+                    ..
+                },
+            ) => {
+                assert_eq!(converged, c2);
+                assert_eq!(iterations, i2);
+                assert_eq!(final_diff.to_bits(), f2.to_bits());
+                assert_eq!(max_error.to_bits(), e2.to_bits());
+                let from = resumed_from.expect("the failover run resumed");
+                assert!(from > 0 && from < iterations);
+            }
+            other => panic!("expected two solves, got {other:?}"),
+        }
+        assert!(store.is_empty(), "a converged solve cleans up its snapshot");
+        assert_eq!(store.resumes(), 1);
     }
 
     #[test]

@@ -760,7 +760,14 @@ fn value_fields(value: &EvalValue) -> Vec<(String, Json)> {
                 ("seq_time".into(), Json::Num(*seq_time)),
             ]
         }
-        EvalValue::Solve { converged, iterations, final_diff, max_error, global_reductions } => {
+        EvalValue::Solve {
+            converged,
+            iterations,
+            final_diff,
+            max_error,
+            global_reductions,
+            resumed_from,
+        } => {
             let mut fields = vec![
                 ("converged".into(), Json::Bool(*converged)),
                 ("iterations".into(), Json::Num(*iterations as f64)),
@@ -769,6 +776,9 @@ fn value_fields(value: &EvalValue) -> Vec<(String, Json)> {
             ];
             if let Some(r) = global_reductions {
                 fields.push(("global_reductions".into(), Json::Num(*r as f64)));
+            }
+            if let Some(from) = resumed_from {
+                fields.push(("resumed_from_iteration".into(), Json::Num(*from as f64)));
             }
             fields
         }

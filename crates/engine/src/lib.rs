@@ -67,9 +67,10 @@ pub mod workloads;
 
 pub use cache::CacheStatsSnapshot;
 pub use error::ParspeedError;
-pub use exec::ExperimentRunner;
+pub use exec::{checkpoint_key, ExperimentRunner};
 pub use fxhash::{FxBuildHasher, FxHasher};
 pub use parspeed_obs::{Recorder, Stage};
+pub use parspeed_solver::{CheckpointPolicy, CheckpointStore};
 pub use plan::{routing_hash, Plan, PlanTiming, PointLabel, Slot};
 pub use request::{
     ArchKind, CheckKey, CheckSpec, EffectKey, EvalKey, EvalOutcome, EvalValue, Lever, MachineSpec,
@@ -126,12 +127,13 @@ pub struct BatchOutput {
 }
 
 /// Configuration for an [`Engine`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineBuilder {
     cache_capacity: usize,
     cache_shards: usize,
     threads: usize,
     experiment_runner: Option<ExperimentRunner>,
+    checkpoints: Option<(Arc<CheckpointStore>, CheckpointPolicy)>,
 }
 
 impl Default for EngineBuilder {
@@ -141,6 +143,7 @@ impl Default for EngineBuilder {
             cache_shards: 16,
             threads: 0,
             experiment_runner: None,
+            checkpoints: None,
         }
     }
 }
@@ -179,6 +182,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables checkpoint/restart for long solves: snapshots land in
+    /// `store` at `policy`'s cadence, and a solve whose key already has a
+    /// snapshot (left by an interrupted evaluation) resumes from it
+    /// instead of restarting at iteration zero. Share one store
+    /// (`Arc`-clone it into every engine of a fleet) so a solve killed on
+    /// one shard resumes on the shard it fails over to. Resumed answers
+    /// are bit-identical to uninterrupted ones; the reply carries
+    /// `resumed_from` as provenance.
+    pub fn checkpoints(mut self, store: Arc<CheckpointStore>, policy: CheckpointPolicy) -> Self {
+        self.checkpoints = Some((store, policy));
+        self
+    }
+
     /// Builds the engine. A fixed thread count builds the worker pool
     /// here, once — the per-batch path only borrows it.
     pub fn build(self) -> Engine {
@@ -193,6 +209,7 @@ impl EngineBuilder {
             threads: self.threads,
             pool,
             experiment_runner: self.experiment_runner,
+            checkpoints: self.checkpoints,
             recorder: RwLock::new(None),
         }
     }
@@ -206,6 +223,7 @@ pub struct Engine {
     threads: usize,
     pool: Option<rayon::ThreadPool>,
     experiment_runner: Option<ExperimentRunner>,
+    checkpoints: Option<(Arc<CheckpointStore>, CheckpointPolicy)>,
     /// Per-stage latency recorder, installed by a serving layer (or any
     /// embedder) through [`Service::install_recorder`]. `None` — the
     /// default — skips every clock read in [`run_batch`](Engine::run_batch),
@@ -267,12 +285,17 @@ impl Engine {
         // Evaluate the misses in parallel, in deterministic key order.
         let t_exec = recorder.as_ref().map(|_| Instant::now());
         let miss_keys: Vec<EvalKey> = miss_idx.iter().map(|&i| plan.unique[i]).collect();
-        let fresh = exec::evaluate_all(&miss_keys, self.pool.as_ref());
+        let ckpt = self.checkpoints.as_ref().map(|(store, policy)| (store.as_ref(), *policy));
+        let fresh = exec::evaluate_all_ckpt(&miss_keys, self.pool.as_ref(), ckpt);
         let mut exec_nanos = t_exec.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
         let t_insert = recorder.as_ref().map(|_| Instant::now());
         for (&i, outcome) in miss_idx.iter().zip(fresh) {
-            self.cache.insert(plan.unique[i], outcome.clone());
+            // The cache stores the normalized outcome: `resumed_from` is
+            // provenance of *this* evaluation (the value itself is
+            // bit-identical either way), and a later cache hit did not
+            // resume anything.
+            self.cache.insert(plan.unique[i], normalize_resume(&outcome));
             outcomes[i] = Some(outcome);
         }
         cache_nanos += t_insert.map_or(0, |t| t.elapsed().as_nanos() as u64);
@@ -349,6 +372,13 @@ impl Engine {
         }
     }
 
+    /// The checkpoint store this engine snapshots into, when
+    /// checkpoint/restart is enabled (see [`EngineBuilder::checkpoints`]).
+    /// Serving layers aggregate its counters into their metrics.
+    pub fn checkpoint_store(&self) -> Option<&Arc<CheckpointStore>> {
+        self.checkpoints.as_ref().map(|(store, _)| store)
+    }
+
     /// Cumulative cache counters.
     pub fn cache_stats(&self) -> CacheStatsSnapshot {
         self.cache.stats()
@@ -358,6 +388,16 @@ impl Engine {
     pub fn cache_len(&self) -> usize {
         self.cache.len()
     }
+}
+
+/// The cache-ready copy of an outcome: a resumed solve is stored as if it
+/// had run uninterrupted.
+fn normalize_resume(outcome: &EvalOutcome) -> EvalOutcome {
+    let mut normalized = outcome.clone();
+    if let Ok(EvalValue::Solve { resumed_from: resumed @ Some(_), .. }) = &mut normalized {
+        *resumed = None;
+    }
+    normalized
 }
 
 /// The naive baseline the engine is benchmarked against: evaluates every

@@ -1273,6 +1273,12 @@ pub enum EvalValue {
         max_error: f64,
         /// Global reductions performed (CG only).
         global_reductions: Option<usize>,
+        /// The iteration this solve resumed from, when it restarted from
+        /// a checkpoint instead of iteration zero (`None` for a solve
+        /// that ran uninterrupted — the overwhelmingly common case). The
+        /// value is provenance, not result: a resumed solve is
+        /// bit-identical to an uninterrupted one.
+        resumed_from: Option<usize>,
     },
     /// Result of a thread-scaling measurement.
     Threads {

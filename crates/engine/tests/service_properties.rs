@@ -107,6 +107,7 @@ fn direct_answers() -> Vec<Response> {
         final_diff: status.final_diff,
         max_error,
         global_reductions: Some(stats.global_reductions),
+        resumed_from: None,
     });
 
     // The two optimizer entries.

@@ -31,7 +31,7 @@ use crate::CheckPolicy;
 use parspeed_grid::halo::{plan_deep, CopySpec};
 use parspeed_grid::{Decomposition, Grid2D, Region};
 use parspeed_solver::apply::jacobi_sweep_region;
-use parspeed_solver::{Boundary, PoissonProblem};
+use parspeed_solver::{Boundary, Checkpoint, CheckpointCtx, PoissonProblem};
 use parspeed_stencil::Stencil;
 use rayon::prelude::*;
 
@@ -250,6 +250,103 @@ impl PartitionedJacobi {
     pub fn solve(&mut self, tol: f64, max_iters: usize, policy: CheckPolicy) -> SolveRun {
         let mut policy = policy;
         self.solve_scheduled(tol, max_iters, &mut policy)
+    }
+
+    /// [`solve`](Self::solve) with checkpoint/restart: a surviving
+    /// snapshot for this solve's key restores every partition's owned
+    /// interior and the global iteration/check counters (halos are
+    /// republished from the restored owners on the first exchange, so
+    /// resumption is bit-identical); checkpoint-scheduled check
+    /// boundaries snapshot the assembled solution; a converged solve
+    /// removes its entry. The second return is the iteration the solve
+    /// resumed from (`None` when it started fresh).
+    ///
+    /// Must be called on a freshly built executor: the resume decision
+    /// keys off `iterations() == 0`.
+    pub fn solve_checkpointed(
+        &mut self,
+        tol: f64,
+        max_iters: usize,
+        policy: CheckPolicy,
+        ctx: Option<CheckpointCtx<'_>>,
+    ) -> (SolveRun, Option<usize>) {
+        let mut resumed_from = None;
+        let mut checks = 0usize;
+        if let Some(ctx) = ctx {
+            if self.iterations == 0 {
+                if let Some(cp) = ctx.store.load(ctx.key) {
+                    if cp.rows == self.n
+                        && cp.cols == self.n
+                        && cp.iteration > 0
+                        && cp.iteration <= max_iters
+                    {
+                        self.restore(&cp);
+                        checks = cp.checks;
+                        resumed_from = Some(cp.iteration);
+                        ctx.store.note_resume();
+                    }
+                }
+            }
+        }
+        let mut diff = f64::INFINITY;
+        // Fast-forward the check cursor: the schedule is a pure function
+        // of the iteration count, so the resumed run checks at exactly
+        // the iterations the uninterrupted run would have.
+        let mut next_check = policy.first_check();
+        let mut done = self.iterations;
+        while next_check <= done {
+            next_check = policy.next_check(next_check);
+        }
+        let mut checks_since_snapshot = 0usize;
+        while done < max_iters {
+            let target = next_check.min(max_iters).max(done + 1);
+            let block = (target - done).min(self.depth);
+            let at_check = done + block == target;
+            let d = self.iterate_block(block, at_check);
+            done += block;
+            if let Some(d) = d {
+                checks += 1;
+                diff = d;
+                if diff < tol {
+                    if let Some(ctx) = ctx {
+                        ctx.store.remove(ctx.key);
+                    }
+                    let run =
+                        SolveRun { converged: true, iterations: done, checks, final_diff: diff };
+                    return (run, resumed_from);
+                }
+                while next_check <= done {
+                    next_check = policy.next_check(next_check);
+                }
+                if let Some(ctx) = ctx {
+                    if done < max_iters {
+                        checks_since_snapshot += 1;
+                        if checks_since_snapshot >= ctx.policy.every {
+                            checks_since_snapshot = 0;
+                            let cp = Checkpoint::capture(&self.solution(), done, checks);
+                            ctx.store.save(ctx.key, cp);
+                        }
+                    }
+                }
+            }
+        }
+        (SolveRun { converged: false, iterations: done, checks, final_diff: diff }, resumed_from)
+    }
+
+    /// Installs a snapshot: every partition's owned interior is written
+    /// from the global grid and the iteration counter jumps to the
+    /// boundary. Halo cells are left alone — the next exchange's
+    /// publish phase reads the restored owners, so the first block after
+    /// a resume sees exactly the halos the uninterrupted run saw.
+    fn restore(&mut self, cp: &Checkpoint) {
+        for part in &mut self.parts {
+            let (r0, c0, c1) = (part.region.r0, part.region.c0, part.region.c1);
+            for gr in r0..part.region.r1 {
+                let src = &cp.interior[gr * cp.cols + c0..gr * cp.cols + c1];
+                part.u.interior_row_mut(gr - r0).copy_from_slice(src);
+            }
+        }
+        self.iterations = cp.iteration;
     }
 
     /// [`PartitionedJacobi::solve`] under any [`CheckScheduler`] —
@@ -564,6 +661,77 @@ mod tests {
         }
         let seq = sequential_after(&p, &s, 30);
         assert_bitwise_equal(&exec.solution(), &seq, "single");
+    }
+
+    #[test]
+    fn checkpointed_partitioned_solves_resume_bit_identically() {
+        use parspeed_solver::{CheckpointCtx, CheckpointPolicy, CheckpointStore};
+        // Fixed-budget runs (tol 0 never converges) over every catalogue
+        // stencil, shallow and deep halos: the first leg dies at its
+        // budget, the second resumes from the surviving snapshot and must
+        // match both the uninterrupted partitioned run and the sequential
+        // solver, bit for bit.
+        for s in Stencil::catalog() {
+            let p = PoissonProblem::manufactured(16, Manufactured::SinSin);
+            let d = StripDecomposition::new(16, 4);
+            for depth in [1usize, 3] {
+                let store = CheckpointStore::new(2);
+                let ctx =
+                    CheckpointCtx { store: &store, policy: CheckpointPolicy::every(1), key: 9 };
+                let mut interrupted = PartitionedJacobi::with_depth(&p, &s, &d, depth);
+                let (run1, from1) =
+                    interrupted.solve_checkpointed(0.0, 17, CheckPolicy::Every(4), Some(ctx));
+                assert!(!run1.converged);
+                assert_eq!(from1, None);
+                // Checks at 4, 8, 12, 16; the cap (17) takes no snapshot.
+                assert_eq!(store.load(9).unwrap().iteration, 16);
+                let mut resumed = PartitionedJacobi::with_depth(&p, &s, &d, depth);
+                let (run2, from2) =
+                    resumed.solve_checkpointed(0.0, 40, CheckPolicy::Every(4), Some(ctx));
+                assert_eq!(from2, Some(16), "{} depth {depth}", s.name());
+                assert_eq!(run2.iterations, 40);
+                let mut clean = PartitionedJacobi::with_depth(&p, &s, &d, depth);
+                let (run_ref, _) = clean.solve_checkpointed(0.0, 40, CheckPolicy::Every(4), None);
+                assert_eq!(run2.checks, run_ref.checks, "{}", s.name());
+                assert_eq!(run2.final_diff.to_bits(), run_ref.final_diff.to_bits());
+                assert_bitwise_equal(&resumed.solution(), &clean.solution(), s.name());
+                assert_bitwise_equal(&resumed.solution(), &sequential_after(&p, &s, 40), s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_converged_solve_cleans_up_and_matches_the_clean_run() {
+        use parspeed_solver::{CheckpointCtx, CheckpointPolicy, CheckpointStore};
+        // A 2-D decomposition with a deep halo, run to convergence:
+        // interrupt halfway, resume, and demand the clean run's full
+        // SolveRun (global iteration count, total check count, final
+        // diff) plus the assembled grid, bitwise — then the store entry
+        // is gone.
+        let p = PoissonProblem::manufactured(24, Manufactured::Bubble);
+        let s = Stencil::five_point();
+        let d = RectDecomposition::new(24, 3, 2);
+        let mut clean = PartitionedJacobi::with_depth(&p, &s, &d, 4);
+        let (run_ref, _) = clean.solve_checkpointed(1e-8, 100_000, CheckPolicy::Every(8), None);
+        assert!(run_ref.converged);
+
+        let store = CheckpointStore::new(2);
+        let ctx = CheckpointCtx { store: &store, policy: CheckpointPolicy::every(2), key: 3 };
+        let cut = run_ref.iterations / 2;
+        let mut interrupted = PartitionedJacobi::with_depth(&p, &s, &d, 4);
+        let (run1, _) = interrupted.solve_checkpointed(1e-8, cut, CheckPolicy::Every(8), Some(ctx));
+        assert!(!run1.converged);
+        let saved = store.load(3).expect("snapshot survives");
+        assert!(saved.iteration < cut);
+
+        let mut resumed = PartitionedJacobi::with_depth(&p, &s, &d, 4);
+        let (run2, from) =
+            resumed.solve_checkpointed(1e-8, 100_000, CheckPolicy::Every(8), Some(ctx));
+        assert_eq!(from, Some(saved.iteration));
+        assert_eq!(run2, run_ref);
+        assert_bitwise_equal(&resumed.solution(), &clean.solution(), "rect deep resume");
+        assert!(store.load(3).is_none(), "converged solve must clean up");
+        assert_eq!(store.resumes(), 1);
     }
 
     #[test]

@@ -46,6 +46,17 @@ pub struct ResilienceCounters {
     /// Replies dropped in flight (the request was recovered by retry,
     /// but the original answer never arrived).
     pub replies_dropped: AtomicU64,
+    /// Shards respawned by the supervisor (a replacement backend was
+    /// started for a lost shard).
+    pub respawns: AtomicU64,
+    /// Hot keys replayed into a replacement shard during cache-warm
+    /// rejoin (keys only — the shard recomputes through the engine).
+    pub warmup_keys_replayed: AtomicU64,
+    /// Solver checkpoints taken at check boundaries.
+    pub checkpoints_taken: AtomicU64,
+    /// Solves resumed from a checkpoint instead of restarting at
+    /// iteration zero.
+    pub resumes: AtomicU64,
 }
 
 impl ResilienceCounters {
@@ -69,6 +80,10 @@ impl ResilienceCounters {
             breaker_reclosed: load(&self.breaker_reclosed),
             duplicates_suppressed: load(&self.duplicates_suppressed),
             replies_dropped: load(&self.replies_dropped),
+            respawns: load(&self.respawns),
+            warmup_keys_replayed: load(&self.warmup_keys_replayed),
+            checkpoints_taken: load(&self.checkpoints_taken),
+            resumes: load(&self.resumes),
         }
     }
 
@@ -99,13 +114,21 @@ pub struct ResilienceSnapshot {
     pub duplicates_suppressed: u64,
     /// See [`ResilienceCounters::replies_dropped`].
     pub replies_dropped: u64,
+    /// See [`ResilienceCounters::respawns`].
+    pub respawns: u64,
+    /// See [`ResilienceCounters::warmup_keys_replayed`].
+    pub warmup_keys_replayed: u64,
+    /// See [`ResilienceCounters::checkpoints_taken`].
+    pub checkpoints_taken: u64,
+    /// See [`ResilienceCounters::resumes`].
+    pub resumes: u64,
 }
 
 impl ResilienceSnapshot {
     /// Every field as `(wire name, value)`, in the frozen wire order.
     /// All renderers build from this list so field names never drift
     /// between the server's and the router's `metrics` replies.
-    pub fn fields(&self) -> [(&'static str, u64); 9] {
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
         [
             ("retries", self.retries),
             ("failovers", self.failovers),
@@ -116,6 +139,10 @@ impl ResilienceSnapshot {
             ("breaker_reclosed", self.breaker_reclosed),
             ("duplicates_suppressed", self.duplicates_suppressed),
             ("replies_dropped", self.replies_dropped),
+            ("respawns", self.respawns),
+            ("warmup_keys_replayed", self.warmup_keys_replayed),
+            ("checkpoints_taken", self.checkpoints_taken),
+            ("resumes", self.resumes),
         ]
     }
 
@@ -145,6 +172,10 @@ mod tests {
         ResilienceCounters::bump(&c.breaker_reclosed);
         ResilienceCounters::bump(&c.duplicates_suppressed);
         ResilienceCounters::bump(&c.replies_dropped);
+        ResilienceCounters::bump(&c.respawns);
+        ResilienceCounters::bump(&c.warmup_keys_replayed);
+        ResilienceCounters::bump(&c.checkpoints_taken);
+        ResilienceCounters::bump(&c.resumes);
 
         let snap = c.snapshot();
         assert!(!snap.is_quiet());
@@ -166,9 +197,13 @@ mod tests {
                 "breaker_reclosed",
                 "duplicates_suppressed",
                 "replies_dropped",
+                "respawns",
+                "warmup_keys_replayed",
+                "checkpoints_taken",
+                "resumes",
             ]
         );
         let total: u64 = snap.fields().iter().map(|(_, v)| v).sum();
-        assert_eq!(total, 10);
+        assert_eq!(total, 14);
     }
 }

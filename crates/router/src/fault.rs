@@ -21,6 +21,14 @@
 //! * **Deadlines**: a request whose budget expires before any shard
 //!   answers is refused in-slot with the `deadline_exceeded` kind; the
 //!   remaining budget travels to the backend with every (re)dispatch.
+//! * **Shard supervision** ([`SupervisorPolicy`]): a *lost* shard (its
+//!   server is gone — a wedged-but-alive shard is the breaker's
+//!   problem) is respawned by the router's supervisor: a fresh
+//!   server + engine, a readiness probe, a cache-warm replay of the
+//!   shard's hot keys, and only then readmission to the ring. Respawn
+//!   attempts are budgeted and backed off on the same deterministic
+//!   schedule as retries; a shard that keeps dying is permanently
+//!   evicted — the ring shrinks once, it never flaps.
 
 use std::time::Duration;
 
@@ -67,6 +75,45 @@ impl Default for BreakerPolicy {
             failure_threshold: 3,
             probe_after: Duration::from_millis(250),
             stall_after: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Shard supervision: when and how the router respawns a lost shard.
+///
+/// `parspeed route` exposes these as `--respawn-after-ms`,
+/// `--max-respawns`, and `--warm-fraction`.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorPolicy {
+    /// How long a shard must have been continuously lost before the
+    /// first respawn attempt (debounce — also the floor between
+    /// attempts).
+    pub respawn_after: Duration,
+    /// Respawn attempts granted per shard over the router's lifetime.
+    /// A shard observed lost with its budget spent is permanently
+    /// evicted: a machine-readable event is recorded and the ring
+    /// never readmits it.
+    pub max_respawns: u32,
+    /// Backoff base between consecutive respawn attempts of the same
+    /// shard; later attempts wait on the deterministic
+    /// [`parspeed_chaos::backoff_ms`] schedule (capped at 32× the
+    /// base), so a crash-looping shard degrades to eviction without
+    /// ever flapping the ring.
+    pub respawn_backoff: Duration,
+    /// Fraction (`0.0`..=`1.0`) of the shard's recorded hot keys the
+    /// replacement must have replayed — recomputed through the normal
+    /// engine path, so replies stay bit-identical — before it rejoins
+    /// the ring.
+    pub warm_fraction: f64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            respawn_after: Duration::from_millis(50),
+            max_respawns: 3,
+            respawn_backoff: Duration::from_millis(100),
+            warm_fraction: 0.5,
         }
     }
 }

@@ -65,11 +65,14 @@ pub mod fault;
 pub mod predict;
 pub mod ring;
 
-pub use fault::{BreakerPolicy, RetryPolicy};
+pub use fault::{BreakerPolicy, RetryPolicy, SupervisorPolicy};
 
 use fault::BreakerState;
 use parspeed_chaos::{mix, FaultAction, FaultPlan};
-use parspeed_engine::{jsonl, routing_hash, Engine, ParspeedError, Query, Response, WIRE_VERSION};
+use parspeed_engine::{
+    jsonl, routing_hash, ArchKind, CheckpointStore, Engine, ParspeedError, Query, Request,
+    Response, WIRE_VERSION,
+};
 use parspeed_obs::ResilienceCounters;
 use parspeed_server::{
     health_to_json, Client, ConnShared, Delivery, Server, ServerConfig, ServerStats,
@@ -109,6 +112,11 @@ pub struct RouterConfig {
     pub retry: RetryPolicy,
     /// Per-shard circuit-breaker policy.
     pub breaker: BreakerPolicy,
+    /// Shard supervision: `Some` runs the self-healing supervisor
+    /// (respawn, cache-warm rejoin, eviction); `None` — the default —
+    /// keeps the pre-supervision behavior where a killed shard stays
+    /// dead.
+    pub supervisor: Option<SupervisorPolicy>,
 }
 
 impl Default for RouterConfig {
@@ -122,9 +130,15 @@ impl Default for RouterConfig {
             default_deadline: None,
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
+            supervisor: None,
         }
     }
 }
+
+/// Most recent distinct keys remembered per shard for cache-warm
+/// rejoin. Keys only — the values are recomputed by the replacement —
+/// so the memory bound is a ring of queries, not a result cache.
+const HOT_KEYS_PER_SHARD: usize = 128;
 
 /// One scattered request waiting for its shard's reply: the origin
 /// reply slot plus everything needed to render into it — and the
@@ -174,7 +188,10 @@ fn deliver_deadline(p: &Pending, msg: String) {
 /// gather thread pops the front for each reply.
 struct Lane {
     shard: usize,
-    client: Client,
+    /// The in-process client into this shard's *current* server. A
+    /// respawn swaps it for a client into the replacement; readers take
+    /// the lock only long enough to clone the `Arc`.
+    client: Mutex<Arc<Client>>,
     inflight: Mutex<VecDeque<Pending>>,
     /// Signals the gather thread (work arrived) and the drain loop
     /// (lane emptied).
@@ -196,6 +213,45 @@ struct Lane {
     /// Injected fault: the lane stops consuming replies entirely, like
     /// a hung connection — only the stall breaker gets it out.
     wedged: AtomicBool,
+    /// Bounded ring of the most recent distinct keys routed here,
+    /// newest at the back (see [`HOT_KEYS_PER_SHARD`]): the warmup set
+    /// a replacement shard replays before rejoining the ring.
+    hot: Mutex<VecDeque<(u64, Query)>>,
+    /// Injected fault: deny this many upcoming respawn attempts (each
+    /// denial burns one attempt from the respawn budget).
+    respawn_deny: AtomicU64,
+    /// Injected fault: kill the replacement this many more times right
+    /// after it rejoins — the deterministic crash-loop driver.
+    crashloop: AtomicU64,
+}
+
+impl Lane {
+    fn client(&self) -> Arc<Client> {
+        Arc::clone(&self.client.lock().unwrap())
+    }
+}
+
+/// Per-shard supervision state (under `Core::sup`).
+#[derive(Debug, Clone, Copy, Default)]
+struct SupState {
+    /// When the supervisor first observed this shard lost (`None` while
+    /// healthy).
+    lost_at: Option<Instant>,
+    /// Respawn attempts burned (denied, failed, or successful).
+    respawns: u32,
+    /// Budget exhausted: the shard is out of the fleet for good.
+    evicted: bool,
+}
+
+/// Per-shard warmup progress (the `warmup` wire op).
+#[derive(Debug, Clone, Copy, Default)]
+struct WarmupStatus {
+    /// A warmup replay is running right now.
+    active: bool,
+    /// Keys this replay will push through the replacement.
+    target: u64,
+    /// Keys replayed so far (equal to `target` once complete).
+    replayed: u64,
 }
 
 /// Everything the dispatchers, gather threads, and frontends share.
@@ -203,21 +259,37 @@ struct Core {
     cfg: RouterConfig,
     ring: Mutex<HashRing>,
     lanes: Vec<Arc<Lane>>,
-    engines: Vec<Arc<Engine>>,
+    /// Each shard's engine; a respawn swaps in the replacement's.
+    engines: Vec<Mutex<Arc<Engine>>>,
     servers: Mutex<Vec<Option<Server>>>,
     epoch: Instant,
     draining: AtomicBool,
     /// Fleet-level recovery counters (the router-scoped `metrics` op).
     resilience: Arc<ResilienceCounters>,
-    /// Per-shard circuit breakers. Lock order: breaker → ring → lane.
+    /// Per-shard circuit breakers. Lock order: sup → breaker → ring →
+    /// lane.
     breakers: Vec<Mutex<BreakerState>>,
     /// The installed deterministic fault plan, if any.
     faults: Mutex<Option<Arc<FaultPlan>>>,
+    /// Builds a shard's engine — kept so the supervisor can build
+    /// replacements with the caller's exact wiring (cache capacity,
+    /// shared checkpoint store, …).
+    factory: Box<dyn Fn(usize) -> Arc<Engine> + Send + Sync>,
+    /// Per-shard supervision state.
+    sup: Mutex<Vec<SupState>>,
+    /// Per-shard warmup progress.
+    warmups: Vec<Mutex<WarmupStatus>>,
+    /// Gather threads spawned for respawned shards, joined at shutdown.
+    extra_gathers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Core {
     fn plan(&self) -> Option<Arc<FaultPlan>> {
         self.faults.lock().unwrap().clone()
+    }
+
+    fn engine(&self, shard: usize) -> Arc<Engine> {
+        Arc::clone(&self.engines[shard].lock().unwrap())
     }
 
     /// Scatter: hash the query's canonical key onto the ring and hand it
@@ -263,6 +335,7 @@ impl Core {
                 return;
             };
             let lane = &self.lanes[shard];
+            self.record_hot(lane, hash, &pending.query);
             let mut q = lane.inflight.lock().unwrap();
             if lane.lost.load(Ordering::SeqCst) {
                 // Lost between the ring lookup and the lane lock; the
@@ -274,11 +347,27 @@ impl Core {
             // stream can never disagree. The remaining deadline budget
             // travels with the submission.
             pending.submitted = Instant::now();
-            lane.client.submit_with_deadline(pending.query.clone(), pending.deadline);
+            lane.client().submit_with_deadline(pending.query.clone(), pending.deadline);
             q.push_back(pending);
             lane.cv.notify_all();
             return;
         }
+    }
+
+    /// Remembers `query` in the shard's hot-key ring (keys only, newest
+    /// at the back, distinct by routing hash). Effect queries are
+    /// excluded — replaying a wall-clock measurement is not a warmup.
+    fn record_hot(&self, lane: &Lane, hash: u64, query: &Query) {
+        if !query.retry_safe() {
+            return;
+        }
+        let mut hot = lane.hot.lock().unwrap();
+        if let Some(pos) = hot.iter().position(|&(h, _)| h == hash) {
+            hot.remove(pos);
+        } else if hot.len() >= HOT_KEYS_PER_SHARD {
+            hot.pop_front();
+        }
+        hot.push_back((hash, query.clone()));
     }
 
     /// Fires any fault-plan triggers due at this request index. Called
@@ -291,7 +380,9 @@ impl Core {
                 | FaultAction::DelayLane { shard, .. }
                 | FaultAction::DropReply { shard }
                 | FaultAction::DuplicateReply { shard }
-                | FaultAction::WedgeLane { shard } => shard < self.cfg.shards,
+                | FaultAction::WedgeLane { shard }
+                | FaultAction::RespawnDeny { shard }
+                | FaultAction::CrashLoop { shard, .. } => shard < self.cfg.shards,
                 FaultAction::PanicWorker => true,
             };
             if !in_range {
@@ -317,6 +408,17 @@ impl Core {
                 FaultAction::WedgeLane { shard } => {
                     self.lanes[shard].wedged.store(true, Ordering::SeqCst);
                     plan.record(format!("router: wedged lane {shard} (replies will stall)"));
+                }
+                FaultAction::RespawnDeny { shard } => {
+                    self.lanes[shard].respawn_deny.fetch_add(1, Ordering::SeqCst);
+                    plan.record(format!("router: armed a respawn denial on shard {shard}"));
+                }
+                FaultAction::CrashLoop { shard, times } => {
+                    // One kill now, `times - 1` more armed against each
+                    // future rejoin: the deterministic crash-loop.
+                    self.lanes[shard].crashloop.store(times.saturating_sub(1), Ordering::SeqCst);
+                    plan.record(format!("router: crash-looping shard {shard} ({times} kill(s))"));
+                    self.kill_shard(shard);
                 }
                 FaultAction::PanicWorker => {
                     plan.record(
@@ -537,23 +639,37 @@ impl Core {
                 drained.len()
             ));
         }
-        // Redispatch before draining the dead backend: failovers answer
-        // at the survivors' speed, not the corpse's.
+        // Claim the backend before redispatching (so a concurrent
+        // supervisor respawn can never install a replacement we would
+        // then tear down), but shut it down only after: failovers
+        // answer at the survivors' speed, not the corpse's.
+        let server = self.servers.lock().unwrap()[shard].take();
         for p in drained {
             self.redispatch(p, shard);
         }
-        let server = self.servers.lock().unwrap()[shard].take();
         server.map(Server::shutdown)
     }
 
     /// The router's own `health` record: uptime and drain flag, shard
-    /// `null` (the router is the front, not a backend).
+    /// `null` (the router is the front, not a backend) — plus the
+    /// additive `breakers` summary (one state word per shard). New
+    /// fields append after the frozen six-field prefix; positional
+    /// parsers of the original record keep working.
     fn health(&self) -> jsonl::Json {
-        health_to_json(
+        let mut json = health_to_json(
             self.epoch.elapsed().as_secs_f64(),
             self.draining.load(Ordering::SeqCst),
             None,
-        )
+        );
+        if let jsonl::Json::Obj(fields) = &mut json {
+            fields.push((
+                "breakers".into(),
+                jsonl::Json::Arr(
+                    self.shard_states().into_iter().map(|s| jsonl::Json::Str(s.into())).collect(),
+                ),
+            ));
+        }
+        json
     }
 
     /// The router-scoped `metrics` record: the fleet-level resilience
@@ -561,24 +677,35 @@ impl Core {
     /// metrics still live on the shards (`stats`/`trace` refuse here).
     fn metrics(&self) -> jsonl::Json {
         let breakers: Vec<jsonl::Json> = self
-            .breakers
-            .iter()
+            .shard_states()
+            .into_iter()
             .enumerate()
-            .map(|(shard, slot)| {
-                let state = if self.lanes[shard].lost.load(Ordering::SeqCst) {
-                    "lost"
-                } else {
-                    slot.lock().unwrap().name()
-                };
+            .map(|(shard, state)| {
                 jsonl::Json::Obj(vec![
                     ("shard".into(), jsonl::Json::Num(shard as f64)),
                     ("state".into(), jsonl::Json::Str(state.into())),
                 ])
             })
             .collect();
+        // The checkpoint counters live on the (typically fleet-shared)
+        // store, not the router; fold them in, counting each distinct
+        // store once.
+        let mut snapshot = self.resilience.snapshot();
+        let mut seen: Vec<*const CheckpointStore> = Vec::new();
+        for shard in 0..self.cfg.shards {
+            let engine = self.engine(shard);
+            if let Some(store) = engine.checkpoint_store() {
+                let ptr = Arc::as_ptr(store);
+                if seen.contains(&ptr) {
+                    continue;
+                }
+                seen.push(ptr);
+                snapshot.checkpoints_taken += store.taken();
+                snapshot.resumes += store.resumes();
+            }
+        }
         let resilience = jsonl::Json::Obj(
-            self.resilience
-                .snapshot()
+            snapshot
                 .fields()
                 .iter()
                 .map(|&(k, v)| (k.to_string(), jsonl::Json::Num(v as f64)))
@@ -606,7 +733,7 @@ impl Core {
             .map(|s| jsonl::Json::Num(s as f64))
             .collect();
         let resident: Vec<jsonl::Json> =
-            members.iter().map(|&s| jsonl::Json::Num(self.engines[s].cache_len() as f64)).collect();
+            members.iter().map(|&s| jsonl::Json::Num(self.engine(s).cache_len() as f64)).collect();
         jsonl::Json::Obj(vec![
             ("version".into(), jsonl::Json::Num(WIRE_VERSION as f64)),
             ("op".into(), jsonl::Json::Str("topology".into())),
@@ -640,6 +767,10 @@ impl Core {
     /// nothing is in flight.
     fn gather_loop(&self, lane: &Lane) {
         let poll = self.cfg.poll;
+        // The client can only change between gather generations (a
+        // respawn swaps it after this loop has exited on `lost`), so
+        // one clone up front is safe.
+        let client = lane.client();
         loop {
             // Park until something is in flight (or the lane is done).
             {
@@ -668,7 +799,7 @@ impl Core {
             // Short poll, not a blocking recv: a kill can answer the
             // pending slots out from under us, and the next park
             // iteration must notice the lost flag.
-            let Some((_, response)) = lane.client.recv_timeout(poll) else {
+            let Some((_, response)) = client.recv_timeout(poll) else {
                 // No reply inside the window: a slow backend is fine,
                 // a stalled one must trip.
                 self.check_stall(lane);
@@ -751,6 +882,225 @@ impl Core {
             lane.cv.notify_all();
         }
     }
+
+    /// The supervisor thread: scans for lost shards and heals them.
+    /// Wedged-but-alive shards are deliberately not its business — the
+    /// stall breaker already trips, probes, and recloses those; the
+    /// supervisor handles the one failure the breaker cannot: the
+    /// server is *gone*.
+    fn supervisor_loop(self: &Arc<Self>) {
+        let Some(policy) = self.cfg.supervisor else { return };
+        let tick = self.cfg.poll.min(Duration::from_millis(10));
+        while !self.draining.load(Ordering::SeqCst) {
+            for shard in 0..self.cfg.shards {
+                self.supervise_shard(shard, policy);
+            }
+            std::thread::sleep(tick);
+        }
+    }
+
+    /// One supervision step for one shard: observe loss, debounce,
+    /// spend (or exhaust) the respawn budget, respawn.
+    fn supervise_shard(self: &Arc<Self>, shard: usize, policy: SupervisorPolicy) {
+        let lane = &self.lanes[shard];
+        if !lane.lost.load(Ordering::SeqCst) {
+            self.sup.lock().unwrap()[shard].lost_at = None;
+            return;
+        }
+        let attempt = {
+            let mut sup = self.sup.lock().unwrap();
+            let st = &mut sup[shard];
+            if st.evicted {
+                return;
+            }
+            if st.respawns >= policy.max_respawns {
+                st.evicted = true;
+                let spent = st.respawns;
+                drop(sup);
+                // Machine-readable: the one line an operator's tooling
+                // greps for when a shard leaves the fleet for good.
+                if let Some(plan) = self.plan() {
+                    plan.record(format!(
+                        "{{\"event\":\"shard-evicted\",\"shard\":{shard},\"respawns\":{spent}}}"
+                    ));
+                }
+                return;
+            }
+            let lost_at = *st.lost_at.get_or_insert_with(Instant::now);
+            let attempt = st.respawns + 1;
+            // Deterministic-jitter backoff on top of the debounce floor:
+            // attempt 1 waits only `respawn_after`, later attempts add
+            // the capped `backoff_ms` schedule.
+            let base = policy.respawn_backoff.as_millis() as u64;
+            let jitter = parspeed_chaos::backoff_ms(
+                base,
+                base.saturating_mul(32),
+                attempt,
+                self.cfg.retry.seed,
+                mix(shard as u64),
+            );
+            if lost_at.elapsed() < policy.respawn_after + Duration::from_millis(jitter) {
+                return;
+            }
+            st.respawns = attempt; // every attempt spends budget
+            attempt
+        };
+        // A scripted denial (chaos `respawn-deny:S`): the attempt burns
+        // with no replacement — capacity was refused.
+        if lane
+            .respawn_deny
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            self.sup.lock().unwrap()[shard].lost_at = Some(Instant::now());
+            if let Some(plan) = self.plan() {
+                plan.record(format!("router: respawn of shard {shard} denied (attempt {attempt})"));
+            }
+            return;
+        }
+        self.respawn_shard(shard, attempt, policy);
+    }
+
+    /// Spawns a replacement shard: fresh server + engine from the
+    /// factory, readiness probe, cache-warm replay, and — only once all
+    /// of that held — readmission to the ring. A failure at any step
+    /// abandons the replacement and leaves the ring exactly as it was:
+    /// the ring changes at most once per successful respawn, never
+    /// half-way.
+    fn respawn_shard(self: &Arc<Self>, shard: usize, attempt: u32, policy: SupervisorPolicy) {
+        let lane = &self.lanes[shard];
+        let abandon = |server: Server, why: &str| {
+            server.shutdown();
+            self.sup.lock().unwrap()[shard].lost_at = Some(Instant::now());
+            if let Some(plan) = self.plan() {
+                plan.record(format!(
+                    "router: respawn of shard {shard} abandoned ({why}, attempt {attempt})"
+                ));
+            }
+        };
+        let engine = (self.factory)(shard);
+        let server =
+            Server::start(engine.clone(), ServerConfig { shard: Some(shard), ..self.cfg.backend });
+        let client = server.client();
+
+        // Readiness: the replacement must answer a real query before it
+        // can own keys.
+        client.submit(Request::optimize(ArchKind::SyncBus, 64).procs(4).query());
+        if client.recv_timeout(self.cfg.breaker.stall_after).is_none() {
+            abandon(server, "readiness probe stalled");
+            return;
+        }
+
+        // Cache-warm rejoin: replay the warm fraction of the shard's
+        // hot keys, newest first. Keys only — the replacement computes
+        // every value through the normal engine path, so its replies
+        // are bit-identical to any other shard's.
+        let keys: Vec<Query> = {
+            let hot = lane.hot.lock().unwrap();
+            let want = ((hot.len() as f64) * policy.warm_fraction.clamp(0.0, 1.0)).ceil() as usize;
+            hot.iter().rev().take(want).map(|(_, q)| q.clone()).collect()
+        };
+        *self.warmups[shard].lock().unwrap() =
+            WarmupStatus { active: true, target: keys.len() as u64, replayed: 0 };
+        for query in &keys {
+            client.submit(query.clone());
+            if client.recv_timeout(self.cfg.breaker.stall_after).is_none() {
+                self.warmups[shard].lock().unwrap().active = false;
+                abandon(server, "warmup replay stalled");
+                return;
+            }
+            ResilienceCounters::bump(&self.resilience.warmup_keys_replayed);
+            self.warmups[shard].lock().unwrap().replayed += 1;
+        }
+        self.warmups[shard].lock().unwrap().active = false;
+
+        // Install: server and client in place, injected faults cleared,
+        // breaker closed, gather thread running — and only then the
+        // ring readmission that routes traffic here.
+        self.servers.lock().unwrap()[shard] = Some(server);
+        *self.engines[shard].lock().unwrap() = engine;
+        *lane.client.lock().unwrap() = Arc::new(client);
+        lane.skip.store(0, Ordering::SeqCst);
+        lane.delay_ms.store(0, Ordering::SeqCst);
+        lane.drop_next.store(0, Ordering::SeqCst);
+        lane.dup_next.store(0, Ordering::SeqCst);
+        lane.wedged.store(false, Ordering::SeqCst);
+        *self.breakers[shard].lock().unwrap() = BreakerState::Closed { failures: 0 };
+        lane.lost.store(false, Ordering::SeqCst);
+        let gather = {
+            let core = Arc::clone(self);
+            let lane = Arc::clone(&self.lanes[shard]);
+            std::thread::Builder::new()
+                .name(format!("parspeed-gather-{shard}-r{attempt}"))
+                .spawn(move || core.gather_loop(&lane))
+                .expect("spawn gather thread")
+        };
+        self.extra_gathers.lock().unwrap().push(gather);
+        {
+            let mut ring = self.ring.lock().unwrap();
+            if !ring.members().contains(&shard) {
+                ring.add(shard);
+            }
+        }
+        ResilienceCounters::bump(&self.resilience.respawns);
+        if let Some(plan) = self.plan() {
+            plan.record(format!(
+                "router: shard {shard} respawned and rejoined the ring \
+                 (attempt {attempt}, {} key(s) warm)",
+                keys.len()
+            ));
+        }
+        // An armed crash-loop (chaos `crashloop:S:N`): the replacement
+        // dies on arrival, spending another respawn from the budget.
+        if lane
+            .crashloop
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            if let Some(plan) = self.plan() {
+                plan.record(format!("router: crash-loop killed shard {shard} again"));
+            }
+            self.kill_shard(shard);
+            self.sup.lock().unwrap()[shard].lost_at = Some(Instant::now());
+        }
+    }
+
+    /// Each shard's one-word condition for `metrics` and `health`:
+    /// `evicted` dominates `lost` dominates the breaker state.
+    fn shard_states(&self) -> Vec<&'static str> {
+        let sup = self.sup.lock().unwrap();
+        (0..self.cfg.shards)
+            .map(|shard| {
+                if sup[shard].evicted {
+                    "evicted"
+                } else if self.lanes[shard].lost.load(Ordering::SeqCst) {
+                    "lost"
+                } else {
+                    self.breakers[shard].lock().unwrap().name()
+                }
+            })
+            .collect()
+    }
+
+    /// The `warmup` wire record: per-shard cache-warm rejoin progress.
+    fn warmup(&self) -> jsonl::Json {
+        let shards: Vec<jsonl::Json> = (0..self.cfg.shards)
+            .map(|shard| {
+                let w = *self.warmups[shard].lock().unwrap();
+                jsonl::Json::Obj(vec![
+                    ("shard".into(), jsonl::Json::Num(shard as f64)),
+                    ("active".into(), jsonl::Json::Bool(w.active)),
+                    ("target".into(), jsonl::Json::Num(w.target as f64)),
+                    ("replayed".into(), jsonl::Json::Num(w.replayed as f64)),
+                ])
+            })
+            .collect();
+        jsonl::Json::Obj(vec![
+            ("version".into(), jsonl::Json::Num(WIRE_VERSION as f64)),
+            ("op".into(), jsonl::Json::Str("warmup".into())),
+            ("shards".into(), jsonl::Json::Arr(shards)),
+        ])
+    }
 }
 
 struct RouterIo {
@@ -765,6 +1115,7 @@ struct RouterIo {
 pub struct Router {
     core: Arc<Core>,
     gathers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     acceptors: Vec<JoinHandle<()>>,
     io: Arc<Mutex<RouterIo>>,
 }
@@ -779,7 +1130,10 @@ impl Router {
     /// Starts the fleet with one engine per shard from `factory` —
     /// benches and tests use this to pin per-shard cache capacity (the
     /// paper's per-processor memory constraint).
-    pub fn start_with(config: RouterConfig, factory: impl Fn(usize) -> Arc<Engine>) -> Router {
+    pub fn start_with(
+        config: RouterConfig,
+        factory: impl Fn(usize) -> Arc<Engine> + Send + Sync + 'static,
+    ) -> Router {
         assert!(config.shards >= 1, "router needs at least one shard");
         let mut engines = Vec::with_capacity(config.shards);
         let mut servers = Vec::with_capacity(config.shards);
@@ -791,11 +1145,11 @@ impl Router {
                 ServerConfig { shard: Some(shard), ..config.backend },
             );
             let client = server.client();
-            engines.push(engine);
+            engines.push(Mutex::new(engine));
             servers.push(Some(server));
             lanes.push(Arc::new(Lane {
                 shard,
-                client,
+                client: Mutex::new(Arc::new(client)),
                 inflight: Mutex::new(VecDeque::new()),
                 cv: Condvar::new(),
                 lost: AtomicBool::new(false),
@@ -804,6 +1158,9 @@ impl Router {
                 drop_next: AtomicU64::new(0),
                 dup_next: AtomicU64::new(0),
                 wedged: AtomicBool::new(false),
+                hot: Mutex::new(VecDeque::new()),
+                respawn_deny: AtomicU64::new(0),
+                crashloop: AtomicU64::new(0),
             }));
         }
         let core = Arc::new(Core {
@@ -819,6 +1176,10 @@ impl Router {
                 .map(|_| Mutex::new(BreakerState::Closed { failures: 0 }))
                 .collect(),
             faults: Mutex::new(None),
+            factory: Box::new(factory),
+            sup: Mutex::new(vec![SupState::default(); config.shards]),
+            warmups: (0..config.shards).map(|_| Mutex::new(WarmupStatus::default())).collect(),
+            extra_gathers: Mutex::new(Vec::new()),
         });
         let gathers = core
             .lanes
@@ -832,9 +1193,17 @@ impl Router {
                     .expect("spawn gather thread")
             })
             .collect();
+        let supervisor = core.cfg.supervisor.is_some().then(|| {
+            let core = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name("parspeed-supervisor".into())
+                .spawn(move || core.supervisor_loop())
+                .expect("spawn supervisor thread")
+        });
         Router {
             core,
             gathers,
+            supervisor,
             acceptors: Vec::new(),
             io: Arc::new(Mutex::new(RouterIo {
                 conn_threads: Vec::new(),
@@ -860,6 +1229,19 @@ impl Router {
         self.core.metrics()
     }
 
+    /// The `warmup` record: per-shard cache-warm rejoin progress (also
+    /// answered on the wire).
+    pub fn warmup(&self) -> jsonl::Json {
+        self.core.warmup()
+    }
+
+    /// Shards the supervisor permanently evicted (respawn budget
+    /// exhausted). Empty without a supervisor.
+    pub fn evicted_shards(&self) -> Vec<usize> {
+        let sup = self.core.sup.lock().unwrap();
+        (0..self.core.cfg.shards).filter(|&s| sup[s].evicted).collect()
+    }
+
     /// Installs (or clears, with `None`) a deterministic fault plan:
     /// scripted kills, delays, drops, duplicates, and wedges fire at
     /// their request indices, and every recovery action is recorded to
@@ -873,7 +1255,7 @@ impl Router {
     /// the workload's distinct key count, with no key cached twice.
     pub fn resident_keys(&self) -> Vec<(usize, usize)> {
         let members = self.core.ring.lock().unwrap().members().to_vec();
-        members.into_iter().map(|s| (s, self.core.engines[s].cache_len())).collect()
+        members.into_iter().map(|s| (s, self.core.engine(s).cache_len())).collect()
     }
 
     /// The serving-only `topology` record (also answered on the wire).
@@ -950,6 +1332,11 @@ impl Router {
         for acceptor in self.acceptors {
             let _ = acceptor.join();
         }
+        // The supervisor exits on the drain flag; stop it first so no
+        // respawn races the teardown below.
+        if let Some(supervisor) = self.supervisor {
+            let _ = supervisor.join();
+        }
         // Wait for every live lane to flush: backends are still running,
         // so every pending slot gets its real reply.
         let poll = self.core.cfg.poll;
@@ -963,6 +1350,9 @@ impl Router {
             }
         }
         for gather in self.gathers {
+            let _ = gather.join();
+        }
+        for gather in std::mem::take(&mut *self.core.extra_gathers.lock().unwrap()) {
             let _ = gather.join();
         }
         let servers = std::mem::take(&mut *self.core.servers.lock().unwrap());
@@ -1119,6 +1509,10 @@ fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, core: Arc<Core>) {
                 }
                 Some("metrics") => {
                     conn.route(seq, Delivery::Line(core.metrics().render()));
+                    continue;
+                }
+                Some("warmup") => {
+                    conn.route(seq, Delivery::Line(core.warmup().render()));
                     continue;
                 }
                 Some(op @ ("stats" | "trace")) => {

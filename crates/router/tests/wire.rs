@@ -86,6 +86,26 @@ fn health_and_topology_answer_at_the_router_level() {
     assert_eq!(health.get("draining"), Some(&jsonl::Json::Bool(false)));
     // The router is the front, not a backend.
     assert_eq!(health.get("shard"), Some(&jsonl::Json::Null), "{}", replies[0]);
+    // Additive only: the frozen six-field prefix stays first, then the
+    // per-shard breaker summary appends.
+    let jsonl::Json::Obj(fields) = &health else { panic!("health is not an object") };
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        ["version", "op", "ok", "uptime_seconds", "draining", "shard", "breakers"],
+        "{}",
+        replies[0]
+    );
+    assert_eq!(
+        health.get("breakers"),
+        Some(&jsonl::Json::Arr(vec![
+            jsonl::Json::Str("closed".into()),
+            jsonl::Json::Str("closed".into()),
+            jsonl::Json::Str("closed".into()),
+        ])),
+        "{}",
+        replies[0]
+    );
 
     let topology = jsonl::parse(&replies[1]).expect("topology is JSON");
     assert_eq!(topology.get("op").unwrap().as_str(), Some("topology"));

@@ -232,9 +232,20 @@ impl Shared {
 
     /// The lightweight liveness record (the `health` op): uptime, the
     /// drain flag, and the shard id — one queue-lock acquisition, no
-    /// counter snapshot.
+    /// counter snapshot — plus the additive `brownout` flag (cache-only
+    /// degradation active right now). New fields append after the
+    /// frozen six-field prefix, so positional probes of the original
+    /// record keep working.
     pub fn health(&self) -> jsonl::Json {
-        crate::stats::health_to_json(self.obs.uptime_seconds(), self.is_draining(), self.cfg.shard)
+        let mut json = crate::stats::health_to_json(
+            self.obs.uptime_seconds(),
+            self.is_draining(),
+            self.cfg.shard,
+        );
+        if let jsonl::Json::Obj(fields) = &mut json {
+            fields.push(("brownout".into(), jsonl::Json::Bool(self.in_brownout())));
+        }
+        json
     }
 
     /// Starts the drain: no further admissions; pending batches fire

@@ -149,3 +149,24 @@ fn unsupported_future_version_answers_in_its_slot_only() {
     assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(true)));
     server.shutdown();
 }
+
+#[test]
+fn health_keeps_the_frozen_prefix_and_appends_brownout() {
+    let (server, addr) = start_tcp_server();
+    let replies = roundtrip(addr, &[r#"{"op":"health","version":2}"#]);
+    assert_eq!(replies.len(), 1, "{replies:?}");
+    let jsonl::Json::Obj(fields) = jsonl::parse(&replies[0]).unwrap() else {
+        panic!("health is not an object: {}", replies[0]);
+    };
+    // The original six fields stay first, in order — positional probes
+    // of the pre-brownout record keep working; new fields only append.
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        ["version", "op", "ok", "uptime_seconds", "draining", "shard", "brownout"],
+        "{}",
+        replies[0]
+    );
+    assert!(replies[0].contains(r#""brownout":false"#), "{}", replies[0]);
+    server.shutdown();
+}

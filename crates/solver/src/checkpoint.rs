@@ -1,0 +1,262 @@
+//! Checkpoint/restart for long iterative solves.
+//!
+//! A solve interrupted by shard loss used to restart from iteration
+//! zero — the recovery curve of the whole fleet was gated on redoing
+//! work that had already been paid for (Gunther's `T∞` critical-path
+//! bound, applied to lost state instead of lost capacity). This module
+//! makes solver state restartable:
+//!
+//! * [`CheckpointPolicy`] — snapshot cadence, counted in convergence
+//!   checks: the solver already pays for a global reduction at each
+//!   check, so check boundaries are the only places a snapshot is
+//!   taken (and the only places one is *needed* — between checks the
+//!   iterate is reconstructible by re-running from the last boundary).
+//! * [`Checkpoint`] — one snapshot: the interior of the current
+//!   iterate plus the iteration/check counters. The check-policy
+//!   cursor is *not* stored: every [`crate::CheckPolicy`] schedule is
+//!   a pure function of the iteration count, so a resume fast-forwards
+//!   the cursor deterministically. Solvers here are RNG-free by
+//!   construction, so the snapshot is complete.
+//! * [`CheckpointStore`] — a bounded in-memory store keyed by the
+//!   canonical cache-key hash. Shared (`Arc`) across every engine in a
+//!   fleet it stands in for a checkpoint service: a solve killed on
+//!   one shard resumes from its latest snapshot on the failover shard.
+//! * [`CheckpointCtx`] — the store + policy + key bundle a
+//!   checkpoint-aware solve call carries.
+//!
+//! Resume is **bit-identical**: Jacobi reads only the previous
+//! iterate, the previous iterate's interior is exactly what the
+//! snapshot holds, boundary/halo values are reconstructed from the
+//! problem (they never change), and the scratch buffer's interior is
+//! always fully written before it is read. The property tests in
+//! `jacobi.rs` and the partitioned executor pin this for every
+//! stencil, check policy, and checkpoint granularity.
+
+use parspeed_grid::Grid2D;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How often to snapshot: every `every`-th convergence check. Checks
+/// are where the solver already synchronizes, so the snapshot adds one
+/// interior copy and no extra reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Snapshot cadence in convergence checks (`1` = every check).
+    pub every: usize,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy { every: 1 }
+    }
+}
+
+impl CheckpointPolicy {
+    /// A policy snapshotting every `every`-th check (`every ≥ 1`).
+    pub fn every(every: usize) -> Self {
+        assert!(every >= 1, "checkpoint cadence must be at least 1 check");
+        CheckpointPolicy { every }
+    }
+}
+
+/// One solver snapshot: the current iterate's interior plus the
+/// counters a resume needs. Boundary and halo cells are excluded on
+/// purpose — they are a pure function of the problem and are rebuilt
+/// on resume, which keeps the snapshot exactly `rows × cols` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Iteration count at the snapshot (a check boundary).
+    pub iteration: usize,
+    /// Convergence checks performed up to and including the boundary.
+    pub checks: usize,
+    /// Interior rows of the snapshotted grid.
+    pub rows: usize,
+    /// Interior columns of the snapshotted grid.
+    pub cols: usize,
+    /// Row-major interior values (`rows × cols`).
+    pub interior: Vec<f64>,
+}
+
+impl Checkpoint {
+    /// Captures `u`'s interior at iteration `iteration` (after `checks`
+    /// convergence checks).
+    pub fn capture(u: &Grid2D, iteration: usize, checks: usize) -> Self {
+        let (rows, cols) = (u.rows(), u.cols());
+        let mut interior = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            interior.extend_from_slice(u.interior_row(r));
+        }
+        Checkpoint { iteration, checks, rows, cols, interior }
+    }
+
+    /// Whether this snapshot fits grid `u` (same interior shape).
+    pub fn fits(&self, u: &Grid2D) -> bool {
+        self.rows == u.rows() && self.cols == u.cols()
+    }
+
+    /// Writes the snapshot back into `u`'s interior (halo untouched).
+    pub fn restore_into(&self, u: &mut Grid2D) {
+        assert!(self.fits(u), "checkpoint shape mismatch");
+        for r in 0..self.rows {
+            u.interior_row_mut(r)
+                .copy_from_slice(&self.interior[r * self.cols..(r + 1) * self.cols]);
+        }
+    }
+}
+
+/// A bounded in-memory checkpoint store keyed by the canonical
+/// cache-key hash (the same hash that routes the request, so the
+/// failover shard computes the same key and finds the snapshot).
+///
+/// Capacity-bounded with least-recently-saved eviction: a runaway
+/// workload of distinct long solves degrades to restart-from-zero,
+/// never to unbounded memory. Completed solves remove their entry.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    taken: AtomicU64,
+    resumes: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, Checkpoint>,
+    order: VecDeque<u64>, // save order, oldest first
+}
+
+impl CheckpointStore {
+    /// A store holding at most `capacity` snapshots (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "checkpoint store needs capacity for at least one snapshot");
+        CheckpointStore {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            taken: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+        }
+    }
+
+    /// Saves (or replaces) the snapshot for `key`, evicting the oldest
+    /// entry when the store is full.
+    pub fn save(&self, key: u64, checkpoint: Checkpoint) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.insert(key, checkpoint).is_some() {
+            inner.order.retain(|&k| k != key);
+        }
+        inner.order.push_back(key);
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else { break };
+            inner.map.remove(&oldest);
+        }
+        self.taken.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The latest snapshot for `key`, if one survives.
+    pub fn load(&self, key: u64) -> Option<Checkpoint> {
+        self.inner.lock().unwrap().map.get(&key).cloned()
+    }
+
+    /// Drops `key`'s snapshot (a completed solve cleans up after
+    /// itself).
+    pub fn remove(&self, key: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.map.remove(&key).is_some() {
+            inner.order.retain(|&k| k != key);
+        }
+    }
+
+    /// Snapshots currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total snapshots taken (the `checkpoints_taken` counter).
+    pub fn taken(&self) -> u64 {
+        self.taken.load(Ordering::Relaxed)
+    }
+
+    /// Total solves resumed from a snapshot (the `resumes` counter).
+    pub fn resumes(&self) -> u64 {
+        self.resumes.load(Ordering::Relaxed)
+    }
+
+    /// Records one resume (called by the solver that restored state).
+    pub fn note_resume(&self) {
+        self.resumes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Everything a checkpoint-aware solve call needs: where snapshots
+/// live, how often to take them, and which key this solve is.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointCtx<'a> {
+    /// The (typically fleet-shared) store.
+    pub store: &'a CheckpointStore,
+    /// Snapshot cadence.
+    pub policy: CheckpointPolicy,
+    /// The canonical cache-key hash identifying this solve.
+    pub key: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(rows: usize, cols: usize, halo: usize, seed: f64) -> Grid2D {
+        let mut g = Grid2D::new(rows, cols, halo);
+        for r in 0..rows {
+            for c in 0..cols {
+                g.set(r, c, seed + (r * cols + c) as f64);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn capture_restore_round_trips_the_interior_only() {
+        let g = grid(4, 3, 2, 0.5);
+        let cp = Checkpoint::capture(&g, 17, 3);
+        assert_eq!(cp.iteration, 17);
+        assert_eq!(cp.checks, 3);
+        assert_eq!(cp.interior.len(), 12);
+        // Restore into a grid with different interior but its own halo.
+        let mut h = grid(4, 3, 2, 100.0);
+        h.set_h(-1, -1, 7.25);
+        cp.restore_into(&mut h);
+        assert_eq!(h.max_abs_diff(&g), 0.0);
+        assert_eq!(h.get_h(-1, -1), 7.25, "halo must be untouched");
+        assert!(!cp.fits(&grid(3, 3, 0, 0.0)));
+    }
+
+    #[test]
+    fn store_is_bounded_with_oldest_first_eviction() {
+        let store = CheckpointStore::new(2);
+        let cp = |i| Checkpoint::capture(&grid(2, 2, 0, i as f64), i, 1);
+        store.save(1, cp(1));
+        store.save(2, cp(2));
+        store.save(3, cp(3)); // evicts key 1
+        assert_eq!(store.len(), 2);
+        assert!(store.load(1).is_none());
+        assert!(store.load(2).is_some());
+        assert!(store.load(3).is_some());
+        // Re-saving refreshes recency: key 2 survives the next eviction.
+        store.save(2, cp(20));
+        store.save(4, cp(4)); // evicts key 3, not key 2
+        assert!(store.load(3).is_none());
+        assert_eq!(store.load(2).unwrap().iteration, 20);
+        assert_eq!(store.taken(), 5);
+        store.remove(2);
+        assert!(store.load(2).is_none());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.resumes(), 0);
+        store.note_resume();
+        assert_eq!(store.resumes(), 1);
+    }
+}

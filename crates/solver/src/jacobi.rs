@@ -1,6 +1,7 @@
 //! Point Jacobi and weighted Jacobi — the algorithm the paper models.
 
 use crate::apply::{jacobi_sweep_blend, jacobi_sweep_blend_par, jacobi_sweep_blend_region};
+use crate::checkpoint::{Checkpoint, CheckpointCtx};
 use crate::{CheckPolicy, PoissonProblem, SolveStatus};
 use parspeed_grid::{BandSchedule, Grid2D, Region};
 use parspeed_stencil::Stencil;
@@ -76,6 +77,24 @@ impl JacobiSolver {
     /// Solves `problem` with `stencil`; returns the solution grid (halo =
     /// stencil reach) and the solve status.
     pub fn solve(&self, problem: &PoissonProblem, stencil: &Stencil) -> (Grid2D, SolveStatus) {
+        let (u, status, _) = self.solve_checkpointed(problem, stencil, None);
+        (u, status)
+    }
+
+    /// [`solve`](Self::solve) with checkpoint/restart: if `ctx` holds a
+    /// surviving snapshot for this solve's key, iteration resumes from
+    /// it (bit-identically — Jacobi reads only the previous iterate, and
+    /// the snapshot *is* the previous iterate); at checkpoint-scheduled
+    /// check boundaries the current iterate is snapshotted; a converged
+    /// solve removes its entry (a capped one keeps it, so a retry with a
+    /// higher budget resumes). The third return is the iteration the
+    /// solve resumed from (`None` when it started fresh).
+    pub fn solve_checkpointed(
+        &self,
+        problem: &PoissonProblem,
+        stencil: &Stencil,
+        ctx: Option<CheckpointCtx<'_>>,
+    ) -> (Grid2D, SolveStatus, Option<usize>) {
         assert!(self.omega > 0.0 && self.omega <= 1.0, "need 0 < ω ≤ 1");
         let halo = stencil.reach();
         let h2 = problem.h() * problem.h();
@@ -84,8 +103,30 @@ impl JacobiSolver {
         let f = problem.forcing();
 
         let mut iterations = 0;
+        let mut resumed_from = None;
+        if let Some(ctx) = ctx {
+            if let Some(cp) = ctx.store.load(ctx.key) {
+                if cp.fits(&u) && cp.iteration > 0 && cp.iteration <= self.max_iters {
+                    // The snapshot is the iterate at a check boundary;
+                    // the scratch buffer needs no restore (its interior
+                    // is always fully written before it is read) and the
+                    // halo is the problem's boundary data, unchanged.
+                    cp.restore_into(&mut u);
+                    iterations = cp.iteration;
+                    resumed_from = Some(cp.iteration);
+                    ctx.store.note_resume();
+                }
+            }
+        }
         let mut diff = f64::INFINITY;
+        // The check schedule is a pure function of the iteration count:
+        // fast-forwarding reproduces exactly the cursor the uninterrupted
+        // run had at this iteration.
         let mut next_check = self.check.first_check();
+        while next_check <= iterations {
+            next_check = self.check.next_check(next_check);
+        }
+        let mut checks_since_snapshot = 0usize;
         while iterations < self.max_iters {
             // Run to the next scheduled check (or the cap, whichever is
             // first) in blocks; only the block ending on a check pays for
@@ -98,14 +139,29 @@ impl JacobiSolver {
             if at_check {
                 diff = d;
                 if diff < self.tol {
-                    return (u, SolveStatus { converged: true, iterations, final_diff: diff });
+                    if let Some(ctx) = ctx {
+                        ctx.store.remove(ctx.key);
+                    }
+                    let status = SolveStatus { converged: true, iterations, final_diff: diff };
+                    return (u, status, resumed_from);
                 }
                 while next_check <= iterations {
                     next_check = self.check.next_check(next_check);
                 }
+                if let Some(ctx) = ctx {
+                    if iterations < self.max_iters {
+                        checks_since_snapshot += 1;
+                        if checks_since_snapshot >= ctx.policy.every {
+                            checks_since_snapshot = 0;
+                            ctx.store.save(ctx.key, Checkpoint::capture(&u, iterations, 0));
+                        }
+                    }
+                }
             }
         }
-        (u, SolveStatus { converged: false, iterations, final_diff: diff })
+        // A capped solve keeps its latest snapshot: a retry with a
+        // higher budget resumes instead of restarting.
+        (u, SolveStatus { converged: false, iterations, final_diff: diff }, resumed_from)
     }
 
     /// Advances `block ≥ 1` iterations, leaving the newest iterate in `u`.
@@ -367,6 +423,75 @@ mod tests {
             assert_eq!(s_seq.iterations, s_par.iterations, "{}", s.name());
             assert_eq!(u_seq.max_abs_diff(&u_par), 0.0, "{}", s.name());
         }
+    }
+
+    #[test]
+    fn resumed_solves_are_bit_identical_at_every_checkpoint_granularity() {
+        use crate::checkpoint::{CheckpointCtx, CheckpointPolicy, CheckpointStore};
+        // Interrupt a solve by capping its budget (the snapshot the
+        // "dead shard" left behind survives), then resume with the full
+        // budget and demand the uninterrupted result, bit for bit —
+        // every catalogue stencil, eager + geometric check schedules,
+        // and several checkpoint cadences.
+        let p = PoissonProblem::manufactured(12, Manufactured::SinSin);
+        for s in Stencil::catalog() {
+            for check in [CheckPolicy::Every(3), CheckPolicy::geometric()] {
+                let solver = JacobiSolver { omega: 0.8, tol: 1e-9, check, ..Default::default() };
+                let (u_ref, st_ref) = solver.solve(&p, &s);
+                assert!(st_ref.converged, "{}", s.name());
+                for every in [1usize, 2, 4] {
+                    for cut in [st_ref.iterations / 3, 2 * st_ref.iterations / 3] {
+                        let store = CheckpointStore::new(4);
+                        let policy = CheckpointPolicy::every(every);
+                        let ctx = CheckpointCtx { store: &store, policy, key: 7 };
+                        // First leg: dies (runs out of budget) at `cut`.
+                        let interrupted = JacobiSolver { max_iters: cut, ..solver };
+                        let (_, st1, from1) = interrupted.solve_checkpointed(&p, &s, Some(ctx));
+                        assert!(!st1.converged);
+                        assert_eq!(from1, None);
+                        let saved = store.load(7).expect("snapshot survives the interruption");
+                        assert!(saved.iteration < cut);
+                        // Second leg: the failover resumes and finishes.
+                        let (u2, st2, from2) = solver.solve_checkpointed(&p, &s, Some(ctx));
+                        assert_eq!(from2, Some(saved.iteration), "{} every={every}", s.name());
+                        assert_eq!(st2.iterations, st_ref.iterations, "{}", s.name());
+                        assert_eq!(st2.final_diff.to_bits(), st_ref.final_diff.to_bits());
+                        assert_eq!(
+                            u2.max_abs_diff(&u_ref),
+                            0.0,
+                            "{} {check:?} every={every} cut={cut}",
+                            s.name()
+                        );
+                        // Converged: the solve cleaned up after itself.
+                        assert!(store.load(7).is_none());
+                        assert_eq!(store.resumes(), 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_cadence_counts_checks_not_iterations() {
+        use crate::checkpoint::{CheckpointCtx, CheckpointPolicy, CheckpointStore};
+        // tol = 0 never converges: exactly max_iters run, checks land
+        // every 5 iterations, snapshots every 2nd check — the surviving
+        // snapshot is the last boundary before the cap.
+        let p = PoissonProblem::manufactured(10, Manufactured::Bubble);
+        let store = CheckpointStore::new(2);
+        let ctx = CheckpointCtx { store: &store, policy: CheckpointPolicy::every(2), key: 1 };
+        let solver = JacobiSolver {
+            tol: 0.0,
+            max_iters: 23,
+            check: CheckPolicy::Every(5),
+            ..Default::default()
+        };
+        let (_, st, from) = solver.solve_checkpointed(&p, &Stencil::five_point(), Some(ctx));
+        assert!(!st.converged);
+        assert_eq!(from, None);
+        // Checks at 5, 10, 15, 20 (and the cap 23); snapshots at 10, 20.
+        assert_eq!(store.taken(), 2);
+        assert_eq!(store.load(1).unwrap().iteration, 20);
     }
 
     #[test]

@@ -26,13 +26,19 @@
 //! * [`MultigridSolver`] — geometric V-cycle multigrid (the MGR\[v\]-class
 //!   method of the paper's related work, ref \[7\]);
 //! * [`Manufactured`] — analytic solutions for verification;
-//! * [`norms`] — sequential and rayon-parallel reductions.
+//! * [`norms`] — sequential and rayon-parallel reductions;
+//! * [`CheckpointPolicy`] / [`CheckpointStore`] — checkpoint/restart for
+//!   long solves: snapshots at convergence-check boundaries, bounded
+//!   in-memory store keyed by the canonical cache-key hash, bit-identical
+//!   resume (the serving tier's failover path picks a solve up where the
+//!   lost shard left it instead of restarting at iteration zero).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod apply;
 mod cg;
+mod checkpoint;
 mod convergence;
 mod jacobi;
 mod manufactured;
@@ -43,6 +49,7 @@ mod redblack;
 mod sor;
 
 pub use cg::{CgSolver, CgStats};
+pub use checkpoint::{Checkpoint, CheckpointCtx, CheckpointPolicy, CheckpointStore};
 pub use convergence::CheckPolicy;
 pub use jacobi::JacobiSolver;
 pub use manufactured::Manufactured;
