@@ -1,6 +1,6 @@
-//! Machine-readable performance snapshot → `BENCH_PR9.json`.
+//! Machine-readable performance snapshot → `BENCH_PR10.json`.
 //!
-//! Seven sections, each a paper-relevant hot path:
+//! Sections, each a paper-relevant hot path:
 //!
 //! * **kernels** (PR 3): for each catalogue stencil, the full-interior
 //!   Jacobi sweep — generic tap-driven vs fused row-slice vs fused rayon
@@ -52,10 +52,18 @@
 //!   ≥ 0.95× the throughput of a fleet that never faulted (≥ 0.8×
 //!   under --quick noise), with zero dropped requests, bit-identical
 //!   replies, and a reproducible kill → respawn → warmup → rejoin
-//!   event trace.
+//!   event trace;
+//! * **server_io** (PR 10): the TCP frontends head-to-head over real
+//!   sockets — the legacy thread-per-connection frontend at `C`
+//!   concurrent connections against the readiness-driven event loop at
+//!   `10 C` connections, same per-connection workload. The event loop
+//!   must *serve* the 10× connection count (every reply delivered) on a
+//!   flat thread budget (one loop thread, measured as process
+//!   thread-count growth while the connections are open, vs two threads
+//!   per connection), without collapsing on throughput.
 //!
 //! ```text
-//! cargo run --release -p parspeed-bench --bin perf_snapshot            # n=1024 → BENCH_PR9.json
+//! cargo run --release -p parspeed-bench --bin perf_snapshot            # n=1024 → BENCH_PR10.json
 //! cargo run --release -p parspeed-bench --bin perf_snapshot -- --quick --check --out target/smoke.json
 //! ```
 //!
@@ -103,6 +111,10 @@ struct Config {
     shard_capacity: usize,
     shard_sweep: &'static [usize],
     shard_max: usize,
+    /// server_io section: thread-frontend connection count (the event
+    /// loop runs 10× this) and requests per connection.
+    io_conns: usize,
+    io_requests_per_conn: usize,
     quick: bool,
     check: bool,
     out: String,
@@ -130,9 +142,11 @@ fn parse_args() -> Config {
         shard_capacity: 36,
         shard_sweep: &[1, 2, 3, 4, 6, 8],
         shard_max: 8,
+        io_conns: 100,
+        io_requests_per_conn: 50,
         quick: false,
         check: false,
-        out: "BENCH_PR9.json".into(),
+        out: "BENCH_PR10.json".into(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -149,6 +163,8 @@ fn parse_args() -> Config {
                 cfg.shard_capacity = 16;
                 cfg.shard_sweep = &[1, 2, 4];
                 cfg.shard_max = 4;
+                cfg.io_conns = 50;
+                cfg.io_requests_per_conn = 10;
                 cfg.quick = true;
             }
             "--check" => cfg.check = true,
@@ -1197,6 +1213,141 @@ fn snapshot_self_healing(cfg: &Config) -> SelfHealingBench {
     }
 }
 
+struct IoModeRun {
+    connections: usize,
+    requests: usize,
+    seconds: f64,
+    /// Process thread-count growth while every connection was open —
+    /// the frontend's per-connection thread bill (client threads are
+    /// zero in both modes: the driver is single-threaded).
+    extra_threads: i64,
+    complete: bool,
+}
+
+impl IoModeRun {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.seconds
+    }
+}
+
+struct ServerIoBench {
+    requests_per_conn: usize,
+    threads: IoModeRun,
+    event_loop: IoModeRun,
+}
+
+/// Reads a numeric `/proc/self/status` field (Linux; the only platform
+/// the snapshot runs on).
+fn proc_status(field: &str) -> i64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix(field))
+                .and_then(|rest| rest.trim_start_matches(':').split_whitespace().next())
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One frontend run over real TCP: open `conns` concurrent connections,
+/// write every request line (keeping all connections open — this is
+/// where thread-per-connection pays its bill), sample the thread count,
+/// then half-close and drain every reply stream. Single-threaded
+/// driver, identical for both modes, so the comparison isolates the
+/// frontend.
+fn run_io_mode(
+    io: parspeed_server::IoModel,
+    conns: usize,
+    per_conn: usize,
+    trials: usize,
+) -> IoModeRun {
+    use std::io::{BufRead, BufReader, Write};
+    let request = b"{\"op\":\"table1\",\"version\":2,\"n\":64,\"stencil\":\"5pt\"}\n";
+    let mut best: Option<IoModeRun> = None;
+    for _ in 0..trials {
+        let mut server = Server::start(
+            Arc::new(Engine::default()),
+            ServerConfig {
+                window: Duration::from_micros(200),
+                max_batch: 1024,
+                workers: 2,
+                queue_depth: conns * per_conn,
+                io,
+                ..ServerConfig::default()
+            },
+        );
+        let addr = server.listen(("127.0.0.1", 0)).expect("bind");
+        let threads_before = proc_status("Threads");
+        let start = Instant::now();
+        let mut streams = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+            for _ in 0..per_conn {
+                stream.write_all(request).expect("write");
+            }
+            streams.push(stream);
+        }
+        // Wait until the frontend has *accepted* every connection (the
+        // kernel completes handshakes into the backlog long before the
+        // acceptor gets to them), then sample: every connection is open
+        // and loaded, and the gap between the two frontends is the
+        // per-connection thread bill, visible right here.
+        let accept_deadline = Instant::now() + Duration::from_secs(60);
+        while (server.stats().connections as usize) < conns {
+            assert!(Instant::now() < accept_deadline, "frontend never accepted the fleet");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let extra_threads = proc_status("Threads") - threads_before;
+        let mut complete = true;
+        for stream in &streams {
+            stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+        }
+        for stream in streams {
+            let replies = BufReader::new(stream).lines().filter(|l| l.is_ok()).count();
+            if replies != per_conn {
+                eprintln!("SERVER_IO ANOMALY ({io:?}): {replies} of {per_conn} replies");
+                complete = false;
+            }
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let stats = server.shutdown();
+        if stats.completed as usize != conns * per_conn || stats.overloaded != 0 {
+            eprintln!("SERVER_IO ANOMALY ({io:?}): {stats}");
+            complete = false;
+        }
+        let run = IoModeRun {
+            connections: conns,
+            requests: conns * per_conn,
+            seconds,
+            extra_threads,
+            complete,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                (run.complete && !b.complete)
+                    || (run.complete == b.complete && run.seconds < b.seconds)
+            }
+        };
+        if better {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one trial")
+}
+
+/// The frontends head-to-head: the legacy thread frontend at `C`
+/// connections vs the event loop at `10 C` — the connection-scaling
+/// claim of the readiness-driven rewrite, measured.
+fn snapshot_server_io(cfg: &Config) -> ServerIoBench {
+    use parspeed_server::IoModel;
+    let per_conn = cfg.io_requests_per_conn;
+    let threads = run_io_mode(IoModel::Threads, cfg.io_conns, per_conn, cfg.trials);
+    let event_loop = run_io_mode(IoModel::EventLoop, cfg.io_conns * 10, per_conn, cfg.trials);
+    ServerIoBench { requests_per_conn: per_conn, threads, event_loop }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn to_json(
     cfg: &Config,
@@ -1209,6 +1360,7 @@ fn to_json(
     sh: &ShardingBench,
     rb: &RobustnessBench,
     heal: &SelfHealingBench,
+    io: &ServerIoBench,
 ) -> Json {
     let kernels = rows
         .iter()
@@ -1358,14 +1510,34 @@ fn to_json(
         ("trace_reproducible".into(), Json::Bool(heal.trace_reproducible)),
         ("bit_identical".into(), Json::Bool(heal.identical)),
     ]);
+    let io_mode = |run: &IoModeRun| {
+        Json::Obj(vec![
+            ("connections".into(), Json::Num(run.connections as f64)),
+            ("requests".into(), Json::Num(run.requests as f64)),
+            ("seconds".into(), Json::Num(round3(run.seconds * 1e3) / 1e3)),
+            ("rps".into(), Json::Num(round3(run.rps()))),
+            ("extra_threads".into(), Json::Num(run.extra_threads as f64)),
+            ("complete".into(), Json::Bool(run.complete)),
+        ])
+    };
+    let server_io = Json::Obj(vec![
+        ("requests_per_conn".into(), Json::Num(io.requests_per_conn as f64)),
+        ("threads".into(), io_mode(&io.threads)),
+        ("event_loop".into(), io_mode(&io.event_loop)),
+        (
+            "connection_ratio".into(),
+            Json::Num(round3(io.event_loop.connections as f64 / io.threads.connections as f64)),
+        ),
+        ("rps_ratio".into(), Json::Num(round3(io.event_loop.rps() / io.threads.rps()))),
+    ]);
     Json::Obj(vec![
-        ("schema".into(), Json::Str("parspeed-perf-snapshot/v7".into())),
-        ("pr".into(), Json::Num(9.0)),
+        ("schema".into(), Json::Str("parspeed-perf-snapshot/v8".into())),
+        ("pr".into(), Json::Num(10.0)),
         (
             "bench".into(),
             Json::Str(
                 "Jacobi kernels, fused solver loop, deep halos, serving layer, observability, \
-                 sharded fleet, fault robustness, self-healing fleet"
+                 sharded fleet, fault robustness, self-healing fleet, event-loop frontend"
                     .into(),
             ),
         ),
@@ -1380,6 +1552,7 @@ fn to_json(
         ("sharding".into(), sharding),
         ("robustness".into(), robustness),
         ("self_healing".into(), self_healing),
+        ("server_io".into(), server_io),
     ])
 }
 
@@ -1397,9 +1570,10 @@ fn main() {
     let sh = snapshot_sharding(&cfg);
     let rb = snapshot_robustness(&cfg);
     let heal = snapshot_self_healing(&cfg);
+    let io = snapshot_server_io(&cfg);
     // A drifted kernel must never produce a committable snapshot, with or
     // without --check: fail after writing (the file records the evidence).
-    let json = to_json(&cfg, &rows, identical, &lp, &dh, &sv, &ob, &sh, &rb, &heal);
+    let json = to_json(&cfg, &rows, identical, &lp, &dh, &sv, &ob, &sh, &rb, &heal, &io);
     let text = json.render();
     if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
         if !dir.as_os_str().is_empty() {
@@ -1526,6 +1700,22 @@ fn main() {
         heal.requests - heal.replies,
         heal.trace_reproducible
     );
+    println!(
+        "server io: thread frontend {} conns × {} reqs {:.1} ms ({:.0} req/s, +{} threads) vs \
+         event loop {} conns × {} reqs {:.1} ms ({:.0} req/s, +{} threads) — {:.0}× the \
+         connections on a flat thread budget",
+        io.threads.connections,
+        io.requests_per_conn,
+        io.threads.seconds * 1e3,
+        io.threads.rps(),
+        io.threads.extra_threads,
+        io.event_loop.connections,
+        io.requests_per_conn,
+        io.event_loop.seconds * 1e3,
+        io.event_loop.rps(),
+        io.event_loop.extra_threads,
+        io.event_loop.connections as f64 / io.threads.connections as f64
+    );
     println!("wrote {}", cfg.out);
     assert!(identical, "fused kernels must be bit-identical to generic (snapshot records details)");
     assert!(lp.identical, "fused solver loop must be bit-identical to the three-pass loop");
@@ -1637,6 +1827,38 @@ fn main() {
             rejoin >= rejoin_floor,
             "post-rejoin throughput is {rejoin:.3}× the never-faulted baseline (≥ {rejoin_floor}×)"
         );
+        let ioj = reparsed.get("server_io").expect("server_io section");
+        let conn_ratio =
+            ioj.get("connection_ratio").and_then(Json::as_f64).expect("connection_ratio");
+        assert!(
+            conn_ratio >= 10.0,
+            "the event loop served only {conn_ratio:.1}× the thread frontend's connections"
+        );
+        for mode in ["threads", "event_loop"] {
+            assert_eq!(
+                ioj.get(mode).and_then(|m| m.get("complete")),
+                Some(&Json::Bool(true)),
+                "the {mode} frontend dropped replies"
+            );
+        }
+        let loop_threads = ioj
+            .get("event_loop")
+            .and_then(|m| m.get("extra_threads"))
+            .and_then(Json::as_f64)
+            .expect("extra_threads");
+        assert!(
+            loop_threads <= 8.0,
+            "the event loop grew {loop_threads} threads — readiness multiplexing is gone"
+        );
+        let rps_ratio = ioj.get("rps_ratio").and_then(Json::as_f64).expect("rps_ratio");
+        // The claim is connection *scaling*, not raw speed, but the loop
+        // must not collapse while scaling: a loose throughput floor
+        // (this box may be single-core, so both frontends serialize).
+        let rps_floor = if cfg.quick { 0.3 } else { 0.5 };
+        assert!(
+            rps_ratio >= rps_floor,
+            "event-loop throughput collapsed: {rps_ratio:.3}× the thread frontend (≥ {rps_floor}×)"
+        );
         for (section, ok) in [
             ("solver_loop", sl.get("bit_identical")),
             ("deep_halo", dhj.get("bit_identical")),
@@ -1655,9 +1877,11 @@ fn main() {
              sharded fleet {sh_x:.2}× ≥ {sh_floor}× over one server with the predicted \
              fleet size {predicted} within ±1 of the measured best {best}, the fault run \
              dropped nothing at {recovery:.2}× ≥ {recovery_floor}× recovery with a \
-             reproducible trace, and the self-healed fleet dropped nothing at \
+             reproducible trace, the self-healed fleet dropped nothing at \
              {rejoin:.2}× ≥ {rejoin_floor}× post-rejoin throughput after {heal_respawns:.0} \
-             respawn(s)",
+             respawn(s), and the event loop served {conn_ratio:.0}× the thread frontend's \
+             connections on +{loop_threads:.0} thread(s) at {rps_ratio:.2}× ≥ {rps_floor}× \
+             its throughput",
             overhead * 100.0,
             overhead_ceiling * 100.0
         );

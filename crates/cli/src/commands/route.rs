@@ -40,6 +40,9 @@ pub const KEYS: &[&str] = &[
     "capacity",
     "max-shards",
     "sweep",
+    "io",
+    "wbuf-shed-kib",
+    "wbuf-stop-kib",
 ];
 pub const SWITCHES: &[&str] = &["predict", "stats"];
 
@@ -53,6 +56,8 @@ pub const USAGE: &str = "parspeed route [--addr HOST:PORT] [--shards N] [--repli
                [--stall-after-ms N] [--fault-plan SPEC] [--fault-seed N]
                [--respawn-after-ms N] [--max-respawns N]
                [--warm-fraction F] [--checkpoint-every N] [--stats]
+               [--io event-loop|threads] [--wbuf-shed-kib N]
+               [--wbuf-stop-kib N]
        parspeed route --predict --distinct D --capacity C
                [--max-shards N] [--sweep P:SECS,P:SECS,...]
 
@@ -97,7 +102,13 @@ minimizes — quantization, memory floor, and infeasibility included.
   --poll-ms N          gather/park poll interval in milliseconds
                        (default 50)
   --accept-poll-us N   sleep between accept attempts on the nonblocking
-                       listener (default 200)
+                       listener (default 200; threads frontend only)
+  --io MODE            router TCP frontend: `event-loop` (default) or
+                       `threads` (see `parspeed help serve`)
+  --wbuf-shed-kib N    event loop: write-buffer KiB above which new
+                       requests shed as overloaded (default 256)
+  --wbuf-stop-kib N    event loop: write-buffer KiB above which the
+                       connection stops being read (default 1024)
   --deadline-ms N      default per-request deadline budget applied to
                        requests that carry none (default off)
   --retry-max N        dispatch attempts per request before the slot
@@ -209,6 +220,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             ),
         },
         supervisor,
+        io: super::serve::io_model(args)?,
+        event_loop: super::serve::event_loop_config(args)?,
     };
     for (flag, value) in [
         ("shards", config.shards),

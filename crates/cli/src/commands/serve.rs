@@ -4,7 +4,7 @@
 use crate::args::{err, Args, CliError};
 use parspeed_chaos::FaultPlan;
 use parspeed_engine::Engine;
-use parspeed_server::{BrownoutConfig, Server, ServerConfig};
+use parspeed_server::{BrownoutConfig, EventLoopConfig, IoModel, Server, ServerConfig};
 use std::io::{BufRead as _, Write as _};
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,6 +24,9 @@ pub const KEYS: &[&str] = &[
     "brownout-exit",
     "fault-plan",
     "fault-seed",
+    "io",
+    "wbuf-shed-kib",
+    "wbuf-stop-kib",
 ];
 pub const SWITCHES: &[&str] = &["stats", "metrics-human", "no-observe"];
 
@@ -34,6 +37,8 @@ pub const USAGE: &str = "parspeed serve [--addr HOST:PORT] [--window-us N] [--ma
                [--metrics-human] [--no-observe] [--accept-poll-us N]
                [--brownout-enter N --brownout-exit N]
                [--fault-plan SPEC] [--fault-seed N]
+               [--io event-loop|threads] [--wbuf-shed-kib N]
+               [--wbuf-stop-kib N]
 
 Serves the wire-v2 JSONL request schema of `parspeed batch` over TCP to
 many simultaneous clients: one JSON request per line in, one JSON
@@ -71,7 +76,20 @@ result is produced the slot answers \"error_kind\":\"deadline_exceeded\"
                        served by `{\"op\":\"trace\"}` and flushed as
                        JSONL to stderr on drain
   --accept-poll-us N   sleep between accept attempts on the nonblocking
-                       listener (default 200)
+                       listener (default 200; threads frontend only)
+  --io MODE            TCP frontend: `event-loop` (default) multiplexes
+                       every connection on one readiness-driven thread
+                       with reusable buffers and write backpressure;
+                       `threads` keeps the original two-OS-threads-per-
+                       connection frontend
+  --wbuf-shed-kib N    event loop: per-connection write-buffer KiB above
+                       which new engine-bound requests answer the
+                       overloaded error instead of being admitted — the
+                       client is not reading replies (default 256)
+  --wbuf-stop-kib N    event loop: write-buffer KiB above which the
+                       connection stops being read entirely until it
+                       drains back below the shed watermark
+                       (default 1024)
   --brownout-enter N   queue depth at which brownout degradation starts:
                        cold requests shed as overloaded, cached requests
                        still answer (default off)
@@ -88,6 +106,31 @@ result is produced the slot answers \"error_kind\":\"deadline_exceeded\"
                        Prometheus-style text exposition after draining
   --no-observe         disable stage-latency recording and tracing
                        (counters and the stats op stay on)";
+
+/// Parses the shared `--io` flag (`event-loop` | `threads`).
+pub(crate) fn io_model(args: &Args) -> Result<IoModel, CliError> {
+    match args.str_or("io", "event-loop") {
+        "event-loop" => Ok(IoModel::EventLoop),
+        "threads" => Ok(IoModel::Threads),
+        other => Err(err(format!("--io must be `event-loop` or `threads`, got `{other}`"))),
+    }
+}
+
+/// Parses the event-loop watermark flags over the defaults, keeping the
+/// shed-below-stop invariant.
+pub(crate) fn event_loop_config(args: &Args) -> Result<EventLoopConfig, CliError> {
+    let mut cfg = EventLoopConfig::default();
+    if let Some(kib) = args.usize_opt("wbuf-shed-kib")? {
+        cfg.shed_watermark = kib * 1024;
+    }
+    if let Some(kib) = args.usize_opt("wbuf-stop-kib")? {
+        cfg.stop_watermark = kib * 1024;
+    }
+    if cfg.shed_watermark == 0 || cfg.stop_watermark < cfg.shed_watermark {
+        return Err(err("--wbuf-stop-kib must be at least --wbuf-shed-kib (and shed at least 1)"));
+    }
+    Ok(cfg)
+}
 
 /// Parses the optional brownout watermark pair.
 fn brownout_config(args: &Args) -> Result<Option<BrownoutConfig>, CliError> {
@@ -130,6 +173,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         shard: None,
         accept_poll: Duration::from_micros(args.usize_or("accept-poll-us", 200)? as u64),
         brownout: brownout_config(args)?,
+        io: io_model(args)?,
+        event_loop: event_loop_config(args)?,
     };
     if args.switch("metrics-human") && !config.observe {
         return Err(err("--metrics-human needs stage recording; drop --no-observe"));
@@ -190,6 +235,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             resilience: resilience.snapshot(),
             // The server has drained: brownout is necessarily over.
             brownout: false,
+            latency: obs.latency_summary(),
         };
         out.push('\n');
         out.push_str(snapshot.render_human().trim_end());

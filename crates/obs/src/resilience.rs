@@ -57,6 +57,11 @@ pub struct ResilienceCounters {
     /// Solves resumed from a checkpoint instead of restarting at
     /// iteration zero.
     pub resumes: AtomicU64,
+    /// Replies routed to an already-answered reply slot and dropped
+    /// (the first answer is kept; a second route for the same sequence
+    /// number is a frontend bug surfaced here instead of silently
+    /// overwriting the original reply).
+    pub reorder_drops: AtomicU64,
 }
 
 impl ResilienceCounters {
@@ -84,6 +89,7 @@ impl ResilienceCounters {
             warmup_keys_replayed: load(&self.warmup_keys_replayed),
             checkpoints_taken: load(&self.checkpoints_taken),
             resumes: load(&self.resumes),
+            reorder_drops: load(&self.reorder_drops),
         }
     }
 
@@ -122,13 +128,15 @@ pub struct ResilienceSnapshot {
     pub checkpoints_taken: u64,
     /// See [`ResilienceCounters::resumes`].
     pub resumes: u64,
+    /// See [`ResilienceCounters::reorder_drops`].
+    pub reorder_drops: u64,
 }
 
 impl ResilienceSnapshot {
     /// Every field as `(wire name, value)`, in the frozen wire order.
     /// All renderers build from this list so field names never drift
     /// between the server's and the router's `metrics` replies.
-    pub fn fields(&self) -> [(&'static str, u64); 13] {
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
         [
             ("retries", self.retries),
             ("failovers", self.failovers),
@@ -143,6 +151,7 @@ impl ResilienceSnapshot {
             ("warmup_keys_replayed", self.warmup_keys_replayed),
             ("checkpoints_taken", self.checkpoints_taken),
             ("resumes", self.resumes),
+            ("reorder_drops", self.reorder_drops),
         ]
     }
 
@@ -176,6 +185,7 @@ mod tests {
         ResilienceCounters::bump(&c.warmup_keys_replayed);
         ResilienceCounters::bump(&c.checkpoints_taken);
         ResilienceCounters::bump(&c.resumes);
+        ResilienceCounters::bump(&c.reorder_drops);
 
         let snap = c.snapshot();
         assert!(!snap.is_quiet());
@@ -201,9 +211,10 @@ mod tests {
                 "warmup_keys_replayed",
                 "checkpoints_taken",
                 "resumes",
+                "reorder_drops",
             ]
         );
         let total: u64 = snap.fields().iter().map(|(_, v)| v).sum();
-        assert_eq!(total, 14);
+        assert_eq!(total, 15);
     }
 }

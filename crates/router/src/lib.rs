@@ -75,7 +75,8 @@ use parspeed_engine::{
 };
 use parspeed_obs::ResilienceCounters;
 use parspeed_server::{
-    health_to_json, Client, ConnShared, Delivery, Server, ServerConfig, ServerStats,
+    health_to_json, spawn_event_loop, Client, ConnShared, Delivery, EventLoopConfig, IoModel,
+    Server, ServerConfig, ServerStats, WireHandler,
 };
 use ring::HashRing;
 use std::collections::VecDeque;
@@ -117,6 +118,14 @@ pub struct RouterConfig {
     /// keeps the pre-supervision behavior where a killed shard stays
     /// dead.
     pub supervisor: Option<SupervisorPolicy>,
+    /// Which TCP frontend [`Router::listen`] attaches (`--io`): the
+    /// readiness-driven event loop (default) or the original
+    /// thread-per-connection pair.
+    pub io: IoModel,
+    /// Event-loop tuning for the router's own frontend — ignored under
+    /// [`IoModel::Threads`]. (The shard backends' frontends are
+    /// configured through [`RouterConfig::backend`].)
+    pub event_loop: EventLoopConfig,
 }
 
 impl Default for RouterConfig {
@@ -131,6 +140,8 @@ impl Default for RouterConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             supervisor: None,
+            io: IoModel::default(),
+            event_loop: EventLoopConfig::default(),
         }
     }
 }
@@ -309,7 +320,10 @@ impl Core {
             // index per admitted request) and grant the default budget.
             self.tick_faults();
             if pending.deadline.is_none() {
-                pending.deadline = self.cfg.default_deadline.map(|d| Instant::now() + d);
+                // `checked_add` so an absurd configured budget saturates
+                // to "no deadline" instead of panicking the frontend.
+                pending.deadline =
+                    self.cfg.default_deadline.and_then(|d| Instant::now().checked_add(d));
             }
         }
         self.admit_probes();
@@ -1296,30 +1310,47 @@ impl Router {
     pub fn listen(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let core = Arc::clone(&self.core);
-        let io_state = Arc::clone(&self.io);
-        let accept_poll = self.core.cfg.accept_poll;
-        let acceptor = std::thread::Builder::new()
-            .name("parspeed-route-accept".into())
-            .spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        if let Err(e) = spawn_conn(stream, &core, &io_state) {
-                            eprintln!("note: dropping connection: {e}");
+        match self.core.cfg.io {
+            IoModel::EventLoop => {
+                let handler: Arc<dyn WireHandler> = Arc::new(RouterHandler {
+                    core: Arc::clone(&self.core),
+                    io: Arc::clone(&self.io),
+                });
+                let thread = spawn_event_loop(
+                    listener,
+                    handler,
+                    self.core.cfg.event_loop,
+                    "parspeed-route-eventloop".into(),
+                )?;
+                self.acceptors.push(thread);
+            }
+            IoModel::Threads => {
+                listener.set_nonblocking(true)?;
+                let core = Arc::clone(&self.core);
+                let io_state = Arc::clone(&self.io);
+                let accept_poll = self.core.cfg.accept_poll;
+                let acceptor = std::thread::Builder::new()
+                    .name("parspeed-route-accept".into())
+                    .spawn(move || loop {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                if let Err(e) = spawn_conn(stream, &core, &io_state) {
+                                    eprintln!("note: dropping connection: {e}");
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                if core.draining.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                                std::thread::sleep(accept_poll);
+                            }
+                            Err(_) => return,
                         }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        if core.draining.load(Ordering::SeqCst) {
-                            return;
-                        }
-                        std::thread::sleep(accept_poll);
-                    }
-                    Err(_) => return,
-                }
-            })
-            .expect("spawn route acceptor");
-        self.acceptors.push(acceptor);
+                    })
+                    .expect("spawn route acceptor");
+                self.acceptors.push(acceptor);
+            }
+        }
         Ok(local)
     }
 
@@ -1481,12 +1512,97 @@ fn spawn_conn(
     Ok(())
 }
 
+/// Handles one trimmed, non-empty wire line for a router connection —
+/// shared by both frontends (thread-per-connection and the event loop)
+/// so the router's wire semantics cannot drift between them. The wire
+/// is the server's wire; the router-only differences are `topology`
+/// (answered here, unknown to a shard), `metrics` (answered here with
+/// the router-scoped resilience record), `warmup`, and `stats`/`trace`
+/// (per-shard state the router refuses to misattribute — probe a shard
+/// directly).
+///
+/// `shed` carries the event-loop write-backpressure verdict, exactly as
+/// in the server: engine-bound queries are refused in-slot with the
+/// `overloaded` answer; the cheap router ops still answer.
+fn process_line(
+    core: &Arc<Core>,
+    conn: &Arc<ConnShared>,
+    text: &str,
+    line_no: usize,
+    shed: Option<&str>,
+) {
+    let seq = conn.alloc_seq();
+    let parsed = match jsonl::parse(text) {
+        Ok(v) => match v.get("op").and_then(jsonl::Json::as_str) {
+            Some("health") => {
+                conn.route(seq, Delivery::Line(core.health().render()));
+                return;
+            }
+            Some("topology") => {
+                conn.route(seq, Delivery::Line(core.topology().render()));
+                return;
+            }
+            Some("metrics") => {
+                conn.route(seq, Delivery::Line(core.metrics().render()));
+                return;
+            }
+            Some("warmup") => {
+                conn.route(seq, Delivery::Line(core.warmup().render()));
+                return;
+            }
+            Some(op @ ("stats" | "trace")) => {
+                let e = jsonl::LineError {
+                    version: WIRE_VERSION,
+                    error: ParspeedError::unsupported(format!(
+                        "op \"{op}\" reports per-shard state; \
+                         probe a shard's own serving address"
+                    )),
+                };
+                conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no)));
+                return;
+            }
+            _ => jsonl::parse_query_value(&v),
+        },
+        // A line that is not JSON at all has no version field to honor,
+        // so it answers in the *current* wire shape (carrying
+        // `error_kind`), not the legacy v1 one — same rule as the
+        // server's frontend.
+        Err(e) => Err(jsonl::LineError { version: WIRE_VERSION, error: ParspeedError::parse(e) }),
+    };
+    match parsed {
+        Ok(parsed) => {
+            let now = Instant::now();
+            let pending = Pending {
+                conn: Arc::clone(conn),
+                seq,
+                query: parsed.query,
+                version: parsed.version,
+                line_no,
+                render: true,
+                // The budget starts at admission: queueing, batching,
+                // and failover all spend from it. A budget too large to
+                // represent (`u64::MAX` ms) is no deadline at all —
+                // `checked_add` saturates to `None` instead of
+                // panicking the frontend on `Instant` overflow.
+                deadline: parsed
+                    .deadline_ms
+                    .and_then(|ms| now.checked_add(Duration::from_millis(ms))),
+                attempts: 0,
+                token: mix(conn.id).wrapping_add(seq),
+                submitted: now,
+            };
+            match shed {
+                Some(msg) => deliver_refusal(&pending, msg.to_string()),
+                None => core.dispatch(pending),
+            }
+        }
+        Err(e) => conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no))),
+    }
+}
+
 /// Drives one connection's read half: parse lines, intercept the
-/// router-level ops, scatter everything else. The wire is the server's
-/// wire; the router-only differences are `topology` (answered here,
-/// unknown to a shard), `metrics` (answered here with the
-/// router-scoped resilience record), and `stats`/`trace` (per-shard
-/// state the router refuses to misattribute — probe a shard directly).
+/// router-level ops, scatter everything else (the thread-per-connection
+/// frontend; the event loop calls the same [`process_line`]).
 fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, core: Arc<Core>) {
     let mut line_no = 0usize;
     for line in BufReader::new(stream).lines() {
@@ -1496,62 +1612,45 @@ fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, core: Arc<Core>) {
         if text.is_empty() {
             continue;
         }
-        let seq = conn.alloc_seq();
-        let parsed = match jsonl::parse(text) {
-            Ok(v) => match v.get("op").and_then(jsonl::Json::as_str) {
-                Some("health") => {
-                    conn.route(seq, Delivery::Line(core.health().render()));
-                    continue;
-                }
-                Some("topology") => {
-                    conn.route(seq, Delivery::Line(core.topology().render()));
-                    continue;
-                }
-                Some("metrics") => {
-                    conn.route(seq, Delivery::Line(core.metrics().render()));
-                    continue;
-                }
-                Some("warmup") => {
-                    conn.route(seq, Delivery::Line(core.warmup().render()));
-                    continue;
-                }
-                Some(op @ ("stats" | "trace")) => {
-                    let e = jsonl::LineError {
-                        version: WIRE_VERSION,
-                        error: ParspeedError::unsupported(format!(
-                            "op \"{op}\" reports per-shard state; \
-                             probe a shard's own serving address"
-                        )),
-                    };
-                    conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no)));
-                    continue;
-                }
-                _ => jsonl::parse_query_value(&v),
-            },
-            Err(e) => Err(jsonl::LineError { version: 1, error: ParspeedError::parse(e) }),
-        };
-        match parsed {
-            Ok(parsed) => {
-                let now = Instant::now();
-                core.dispatch(Pending {
-                    conn: Arc::clone(&conn),
-                    seq,
-                    query: parsed.query,
-                    version: parsed.version,
-                    line_no,
-                    render: true,
-                    // The budget starts at admission: queueing, batching,
-                    // and failover all spend from it.
-                    deadline: parsed.deadline_ms.map(|ms| now + Duration::from_millis(ms)),
-                    attempts: 0,
-                    token: mix(conn.id).wrapping_add(seq),
-                    submitted: now,
-                });
-            }
-            Err(e) => conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no))),
-        }
+        process_line(&core, &conn, text, line_no, None);
     }
     conn.mark_eof();
+}
+
+/// Glues the shared event loop to the router core: same accept, buffer,
+/// and backpressure machinery as a server's frontend, dispatching into
+/// the scatter/gather fleet instead of a batcher.
+struct RouterHandler {
+    core: Arc<Core>,
+    io: Arc<Mutex<RouterIo>>,
+}
+
+impl WireHandler for RouterHandler {
+    fn connect(&self) -> Arc<ConnShared> {
+        let mut io = self.io.lock().unwrap();
+        let id = io.next_conn_id;
+        io.next_conn_id += 1;
+        Arc::new(ConnShared::new(id).with_resilience(Arc::clone(&self.core.resilience)))
+    }
+
+    fn line(
+        &self,
+        conn: &Arc<ConnShared>,
+        text: &str,
+        line_no: usize,
+        _v1_lines: &mut u64,
+        shed: Option<&str>,
+    ) {
+        process_line(&self.core, conn, text, line_no, shed);
+    }
+
+    fn disconnect(&self, conn: &Arc<ConnShared>, _v1_lines: u64) {
+        conn.mark_eof();
+    }
+
+    fn draining(&self) -> bool {
+        self.core.draining.load(Ordering::SeqCst)
+    }
 }
 
 /// Drives one connection's write half: emit released replies in

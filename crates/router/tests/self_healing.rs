@@ -221,7 +221,7 @@ fn metrics_are_consistent_under_concurrent_breaker_transitions() {
                 }
                 let resilience = json.get("resilience").expect("resilience object");
                 let jsonl::Json::Obj(counters) = resilience else { panic!("not an object") };
-                assert_eq!(counters.len(), 13, "counter set changed size");
+                assert_eq!(counters.len(), 14, "counter set changed size");
                 // Monotone under concurrency: a later snapshot never
                 // shows fewer retries than an earlier one.
                 let retries = resilience.get("retries").and_then(jsonl::Json::as_f64).unwrap();

@@ -65,11 +65,42 @@ fn queries_scatter_and_come_back_bit_identical_in_slot_order() {
     assert_eq!(replies[2], expect(optimize(128), 3));
     assert_eq!(replies[3], expect(optimize(256), 4));
 
-    // The garbage line answers its own slot and poisons nothing.
+    // The garbage line answers its own slot and poisons nothing — in
+    // the *current* wire shape (version + machine-readable error_kind),
+    // the same rule a standalone server applies: a line that is not
+    // JSON has no version field to honor, so it must not be answered in
+    // the legacy v1 shape that lacks the v2 error machinery.
     let err = jsonl::parse(&replies[1]).expect("reply is JSON");
     assert_eq!(err.get("ok"), Some(&jsonl::Json::Bool(false)), "{}", replies[1]);
+    assert_eq!(err.get("version").unwrap().as_usize(), Some(2), "{}", replies[1]);
+    assert_eq!(err.get("error_kind").unwrap().as_str(), Some("parse"), "{}", replies[1]);
     assert_eq!(err.get("line").unwrap().as_usize(), Some(2), "{}", replies[1]);
 
+    router.shutdown();
+}
+
+#[test]
+fn huge_deadline_budget_saturates_at_the_router_too() {
+    let (router, addr) = start_tcp_router(2);
+    // Same clamp as the server frontend: an unrepresentable budget
+    // (`Instant + u64::MAX ms` would overflow) means "no deadline", not
+    // a dead frontend thread and a wedged connection.
+    let huge = format!(
+        r#"{{"op":"optimize","version":2,"arch":"sync-bus","n":256,"stencil":"5pt","shape":"square","procs":64,"deadline_ms":{}}}"#,
+        u64::MAX
+    );
+    let replies = roundtrip(
+        addr,
+        &[
+            &huge,
+            r#"{"op":"optimize","version":2,"arch":"sync-bus","n":128,"stencil":"5pt","shape":"square","procs":64}"#,
+        ],
+    );
+    assert_eq!(replies.len(), 2, "connection died on the huge deadline: {replies:?}");
+    for line in &replies {
+        let v = jsonl::parse(line).expect("reply is JSON");
+        assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(true)), "{line}");
+    }
     router.shutdown();
 }
 

@@ -177,7 +177,7 @@ impl Shared {
             }
             Some(msg) => {
                 drop(q);
-                deliver_overload(&job, msg, &self.counters);
+                deliver_overload(&job, msg, &self.counters, &self.obs);
             }
         }
     }
@@ -227,6 +227,7 @@ impl Shared {
             stages: self.obs.stage_summaries(),
             resilience: self.resilience.snapshot(),
             brownout: self.in_brownout(),
+            latency: self.obs.latency_summary(),
         }
     }
 
@@ -334,6 +335,7 @@ impl Shared {
                         "deadline expired while the request queued; result not produced \
                          (the request was not evaluated)",
                     )),
+                    &self.obs,
                 );
             }
         }
@@ -386,6 +388,7 @@ impl Shared {
                              not have been evaluated"
                                 .into(),
                         )),
+                        &self.obs,
                     );
                 }
                 return;
@@ -435,7 +438,7 @@ impl Shared {
                 debug_assert_eq!(reply.replies.len(), jobs.len());
                 for (job, (slot, response)) in jobs.iter().zip(reply.replies) {
                     debug_assert_eq!(slot, SlotAddr { client: job.conn.id, seq: job.seq });
-                    deliver(job, response);
+                    deliver(job, response, &self.obs);
                 }
             }
             Err(e) => {
@@ -450,7 +453,7 @@ impl Shared {
                     c.add(&c.completed, jobs.len() as u64);
                 }
                 for job in &jobs {
-                    deliver(job, Response::Invalid(e.clone()));
+                    deliver(job, Response::Invalid(e.clone()), &self.obs);
                 }
             }
         }
@@ -458,7 +461,11 @@ impl Shared {
 }
 
 /// Routes one response to its job's slot, rendering for TCP connections.
-pub(crate) fn deliver(job: &Job, response: Response) {
+/// The single delivery funnel — every reply passes here, so the one
+/// end-to-end latency sample per request (admission to reply routed,
+/// the `metrics` op's SLO percentiles) can never be missed or doubled.
+pub(crate) fn deliver(job: &Job, response: Response, obs: &ServerObs) {
+    obs.record_latency(ns_between(job.submitted, Instant::now()));
     let delivery = if job.render {
         Delivery::Line(jsonl::render_response(&job.query, &response, job.version, job.line_no))
     } else {
@@ -468,7 +475,7 @@ pub(crate) fn deliver(job: &Job, response: Response) {
 }
 
 /// Answers a refused job's slot with the documented `overloaded` error.
-pub(crate) fn deliver_overload(job: &Job, msg: String, counters: &Counters) {
+pub(crate) fn deliver_overload(job: &Job, msg: String, counters: &Counters, obs: &ServerObs) {
     counters.add(&counters.overloaded, 1);
-    deliver(job, Response::Invalid(ParspeedError::overloaded(msg)));
+    deliver(job, Response::Invalid(ParspeedError::overloaded(msg)), obs);
 }

@@ -14,9 +14,10 @@
 
 use crate::metrics::{ns_between, ServerObs};
 use parspeed_engine::Response;
-use parspeed_obs::Stage;
+use parspeed_obs::{ResilienceCounters, Stage};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -69,19 +70,59 @@ pub struct ConnShared {
     /// Where `route`-stage latency (reply produced → released in order)
     /// is recorded; `None` on bare test connections.
     obs: Option<Arc<ServerObs>>,
+    /// Where a duplicate-seq route is counted (`reorder_drops`); `None`
+    /// on bare test connections.
+    resilience: Option<Arc<ResilienceCounters>>,
+    /// Called (outside the state lock) whenever `route` releases at
+    /// least one reply — the event-loop frontend's "this connection has
+    /// output" signal. Blocking frontends leave it unset and rely on
+    /// the condvar alone.
+    waker: Mutex<Option<Waker>>,
     state: Mutex<Router>,
     cv: Condvar,
+}
+
+/// The wake callback, newtyped so `ConnShared` can keep deriving
+/// `Debug` around a closure.
+struct Waker(Arc<dyn Fn() + Send + Sync>);
+
+impl fmt::Debug for Waker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Waker")
+    }
 }
 
 impl ConnShared {
     /// A bare connection (no observability attribution).
     pub fn new(id: u64) -> Self {
-        ConnShared { id, obs: None, state: Mutex::new(Router::default()), cv: Condvar::new() }
+        ConnShared {
+            id,
+            obs: None,
+            resilience: None,
+            waker: Mutex::new(None),
+            state: Mutex::new(Router::default()),
+            cv: Condvar::new(),
+        }
     }
 
     /// A connection wired to the server's observability state.
     pub fn with_obs(id: u64, obs: Arc<ServerObs>) -> Self {
         ConnShared { obs: Some(obs), ..Self::new(id) }
+    }
+
+    /// Attributes duplicate-route drops to `counters.reorder_drops`
+    /// (builder-style, used by both serving frontends).
+    pub fn with_resilience(mut self, counters: Arc<ResilienceCounters>) -> Self {
+        self.resilience = Some(counters);
+        self
+    }
+
+    /// Installs the wake callback [`route`](Self::route) invokes after
+    /// releasing replies. The event-loop frontend sets it right after
+    /// registering the connection — before any request is submitted, so
+    /// no release can slip by unseen.
+    pub fn set_waker(&self, wake: Arc<dyn Fn() + Send + Sync>) {
+        *self.waker.lock().unwrap() = Some(Waker(wake));
     }
 
     /// Hands out the next connection-local sequence number.
@@ -94,11 +135,24 @@ impl ConnShared {
 
     /// Delivers the reply for `seq`, releasing it (and any successors it
     /// unblocks) once every earlier sequence number has been released.
+    ///
+    /// Routing the same sequence number twice is a frontend bug (one
+    /// reply per slot is the layer's core guarantee). The **first**
+    /// answer wins: a duplicate is dropped — never silently overwriting
+    /// the original — and counted in the resilience `reorder_drops`
+    /// field so the `metrics` op surfaces the bug machine-readably.
     pub fn route(&self, seq: u64, delivery: Delivery) {
         let produced = Instant::now();
         let mut r = self.state.lock().unwrap();
-        debug_assert!(seq >= r.next_emit, "seq {seq} routed twice");
+        if seq < r.next_emit || r.pending.contains_key(&seq) {
+            drop(r);
+            if let Some(resilience) = &self.resilience {
+                ResilienceCounters::bump(&resilience.reorder_drops);
+            }
+            return;
+        }
         r.pending.insert(seq, (delivery, produced));
+        let mut released_any = false;
         loop {
             let emit = r.next_emit;
             let Some((d, produced)) = r.pending.remove(&emit) else { break };
@@ -109,8 +163,16 @@ impl ConnShared {
             }
             r.released.push_back((emit, d));
             r.next_emit += 1;
+            released_any = true;
         }
+        drop(r);
         self.cv.notify_all();
+        if released_any {
+            let wake = self.waker.lock().unwrap().as_ref().map(|w| Arc::clone(&w.0));
+            if let Some(wake) = wake {
+                wake();
+            }
+        }
     }
 
     /// Whether nothing is outstanding: no released reply waiting and
@@ -125,6 +187,14 @@ impl ConnShared {
     pub fn mark_eof(&self) {
         self.state.lock().unwrap().eof = true;
         self.cv.notify_all();
+    }
+
+    /// Pops the next in-order reply without blocking — `None` when
+    /// nothing is released right now. The event-loop frontend's
+    /// consumer: it learns about releases from the waker, never by
+    /// parking a thread here.
+    pub fn try_released(&self) -> Option<(u64, Delivery)> {
+        self.state.lock().unwrap().released.pop_front()
     }
 
     /// Pops the next in-order reply, blocking until one is released.
@@ -208,6 +278,71 @@ mod tests {
         conn.mark_eof();
         assert!(conn.next_released().is_some());
         assert!(conn.next_released().is_none());
+    }
+
+    #[test]
+    fn duplicate_route_keeps_the_first_reply_and_counts_the_drop() {
+        let counters = Arc::new(ResilienceCounters::new());
+        let conn = ConnShared::new(0).with_resilience(Arc::clone(&counters));
+        for _ in 0..2 {
+            conn.alloc_seq();
+        }
+        conn.route(0, typed("first"));
+        // A double-routed reply (released or still pending) is dropped,
+        // never overwriting the original, and the drop is counted.
+        conn.route(0, typed("dup-of-released"));
+        conn.route(1, typed("second"));
+        conn.route(1, typed("dup-of-released-2"));
+        let (_, d) = conn.next_released().unwrap();
+        assert_eq!(marker_of(&d), "first");
+        let (_, d) = conn.next_released().unwrap();
+        assert_eq!(marker_of(&d), "second");
+        assert_eq!(counters.snapshot().reorder_drops, 2);
+        assert!(conn.idle(), "duplicates must not occupy reply slots");
+    }
+
+    #[test]
+    fn duplicate_route_of_a_pending_reply_is_dropped_too() {
+        let counters = Arc::new(ResilienceCounters::new());
+        let conn = ConnShared::new(0).with_resilience(Arc::clone(&counters));
+        for _ in 0..2 {
+            conn.alloc_seq();
+        }
+        // seq 1 parks in the reorder buffer (seq 0 still missing); a
+        // second route for it must keep the parked original.
+        conn.route(1, typed("pending-original"));
+        conn.route(1, typed("pending-dup"));
+        assert_eq!(counters.snapshot().reorder_drops, 1);
+        conn.route(0, typed("a"));
+        let (_, d) = conn.next_released().unwrap();
+        assert_eq!(marker_of(&d), "a");
+        let (_, d) = conn.next_released().unwrap();
+        assert_eq!(marker_of(&d), "pending-original");
+    }
+
+    #[test]
+    fn waker_fires_on_release_and_try_released_never_blocks() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let conn = Arc::new(ConnShared::new(0));
+        let wakes = Arc::new(AtomicU64::new(0));
+        let counted = Arc::clone(&wakes);
+        conn.set_waker(Arc::new(move || {
+            counted.fetch_add(1, Ordering::SeqCst);
+        }));
+        for _ in 0..2 {
+            conn.alloc_seq();
+        }
+        assert!(conn.try_released().is_none());
+        // Out-of-order route releases nothing — and must not wake.
+        conn.route(1, typed("b"));
+        assert_eq!(wakes.load(Ordering::SeqCst), 0);
+        assert!(conn.try_released().is_none());
+        // The gap fill releases both and wakes once.
+        conn.route(0, typed("a"));
+        assert_eq!(wakes.load(Ordering::SeqCst), 1);
+        assert_eq!(marker_of(&conn.try_released().unwrap().1), "a");
+        assert_eq!(marker_of(&conn.try_released().unwrap().1), "b");
+        assert!(conn.try_released().is_none());
     }
 
     #[test]

@@ -60,11 +60,13 @@
 
 mod batcher;
 mod conn;
+mod eventloop;
 mod metrics;
 mod net;
 mod stats;
 
 pub use conn::{ConnShared, Delivery};
+pub use eventloop::{spawn_event_loop, EventLoopConfig, WireHandler};
 pub use metrics::{resilience_to_json, MetricsSnapshot, ServerObs};
 pub use stats::{health_to_json, ServerStats};
 
@@ -113,6 +115,27 @@ pub struct ServerConfig {
     /// Brownout (cache-only degradation) watermarks, `None` (the
     /// default) to disable. See [`BrownoutConfig`].
     pub brownout: Option<BrownoutConfig>,
+    /// Which TCP frontend [`Server::listen`] attaches (`--io`). The
+    /// default is the readiness-driven event loop; [`IoModel::Threads`]
+    /// keeps the original two-threads-per-connection frontend for
+    /// comparison and as a fallback.
+    pub io: IoModel,
+    /// Event-loop tuning (buffer watermarks, poll tick, line limit) —
+    /// ignored under [`IoModel::Threads`].
+    pub event_loop: EventLoopConfig,
+}
+
+/// How [`Server::listen`] drives accepted sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// One event-loop thread multiplexes every connection with
+    /// nonblocking I/O, reusable per-connection buffers, and write
+    /// backpressure ([`EventLoopConfig`]). The default.
+    #[default]
+    EventLoop,
+    /// Two OS threads (blocking reader + writer) per connection — the
+    /// original frontend, kept behind `--io threads`.
+    Threads,
 }
 
 /// Brownout watermarks: under queue pressure the server degrades to
@@ -144,6 +167,8 @@ impl Default for ServerConfig {
             shard: None,
             accept_poll: Duration::from_micros(200),
             brownout: None,
+            io: IoModel::default(),
+            event_loop: EventLoopConfig::default(),
         }
     }
 }
@@ -215,34 +240,54 @@ impl Server {
     }
 
     /// Binds `addr` and starts accepting wire-v2 JSONL connections on a
-    /// background thread. Returns the bound address (so `:0` works).
+    /// background thread (the event loop, or the thread-per-connection
+    /// acceptor under [`IoModel::Threads`] — identical wire semantics
+    /// either way). Returns the bound address (so `:0` works).
     pub fn listen(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        // Non-blocking accept so the thread can notice the drain flag.
-        listener.set_nonblocking(true)?;
-        let shared = Arc::clone(&self.shared);
-        let io_state = Arc::clone(&self.io);
-        let acceptor = std::thread::Builder::new()
-            .name("parspeed-accept".into())
-            .spawn(move || loop {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        if let Err(e) = spawn_conn(stream, &shared, &io_state) {
-                            eprintln!("note: dropping connection: {e}");
+        match self.shared.cfg.io {
+            IoModel::EventLoop => {
+                let handler: Arc<dyn WireHandler> = Arc::new(ServerHandler {
+                    shared: Arc::clone(&self.shared),
+                    io: Arc::clone(&self.io),
+                });
+                let thread = eventloop::spawn_event_loop(
+                    listener,
+                    handler,
+                    self.shared.cfg.event_loop,
+                    "parspeed-eventloop".into(),
+                )?;
+                self.acceptors.push(thread);
+            }
+            IoModel::Threads => {
+                // Non-blocking accept so the thread can notice the
+                // drain flag.
+                listener.set_nonblocking(true)?;
+                let shared = Arc::clone(&self.shared);
+                let io_state = Arc::clone(&self.io);
+                let acceptor = std::thread::Builder::new()
+                    .name("parspeed-accept".into())
+                    .spawn(move || loop {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                if let Err(e) = spawn_conn(stream, &shared, &io_state) {
+                                    eprintln!("note: dropping connection: {e}");
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                if shared.is_draining() {
+                                    return;
+                                }
+                                std::thread::sleep(shared.cfg.accept_poll);
+                            }
+                            Err(_) => return,
                         }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        if shared.is_draining() {
-                            return;
-                        }
-                        std::thread::sleep(shared.cfg.accept_poll);
-                    }
-                    Err(_) => return,
-                }
-            })
-            .expect("spawn acceptor");
-        self.acceptors.push(acceptor);
+                    })
+                    .expect("spawn acceptor");
+                self.acceptors.push(acceptor);
+            }
+        }
         Ok(local)
     }
 
@@ -327,7 +372,45 @@ fn alloc_conn(shared: &Shared, io: &mut IoState) -> Arc<ConnShared> {
     let id = io.next_conn_id;
     io.next_conn_id += 1;
     shared.counters.add(&shared.counters.connections, 1);
-    Arc::new(ConnShared::with_obs(id, Arc::clone(&shared.obs)))
+    Arc::new(
+        ConnShared::with_obs(id, Arc::clone(&shared.obs))
+            .with_resilience(Arc::clone(&shared.resilience)),
+    )
+}
+
+/// Glues the event loop to the batcher: connections allocate through
+/// [`alloc_conn`] and lines dispatch through the same
+/// [`net::process_line`] the blocking reader uses, so the two frontends
+/// cannot drift apart in wire behavior.
+struct ServerHandler {
+    shared: Arc<Shared>,
+    io: Arc<Mutex<IoState>>,
+}
+
+impl WireHandler for ServerHandler {
+    fn connect(&self) -> Arc<ConnShared> {
+        alloc_conn(&self.shared, &mut self.io.lock().unwrap())
+    }
+
+    fn line(
+        &self,
+        conn: &Arc<ConnShared>,
+        text: &str,
+        line_no: usize,
+        v1_lines: &mut u64,
+        shed: Option<&str>,
+    ) {
+        net::process_line(&self.shared, conn, text, line_no, v1_lines, shed);
+    }
+
+    fn disconnect(&self, conn: &Arc<ConnShared>, v1_lines: u64) {
+        net::note_v1_lines(conn.id, v1_lines);
+        conn.mark_eof();
+    }
+
+    fn draining(&self) -> bool {
+        self.shared.is_draining()
+    }
 }
 
 /// Registers an accepted stream and spawns its reader/writer pair.

@@ -19,7 +19,8 @@ use crate::stats::ServerStats;
 use parspeed_engine::jsonl::Json;
 use parspeed_engine::WIRE_VERSION;
 use parspeed_obs::{
-    render_exposition, Recorder, ResilienceSnapshot, Stage, StageSet, StageSummary,
+    render_exposition, Recorder, ResilienceSnapshot, ShardedHistogram, Stage, StageSet,
+    StageSummary,
 };
 use parspeed_obs::{TraceEvent, TraceRing};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,6 +39,11 @@ pub struct ServerObs {
     enabled: bool,
     epoch: Instant,
     stages: StageSet,
+    /// End-to-end request latency (admission to reply routed) — the SLO
+    /// histogram behind the `metrics` op's `latency` object. Every
+    /// delivery funnel records here, so overloads and deadline answers
+    /// count exactly like real results.
+    latency: ShardedHistogram,
     trace: TraceRing,
     batch_ids: AtomicU64,
 }
@@ -48,6 +54,7 @@ impl ServerObs {
             enabled,
             epoch: Instant::now(),
             stages: StageSet::new(),
+            latency: ShardedHistogram::new(),
             trace: TraceRing::new(if enabled { trace_capacity } else { 0 }),
             batch_ids: AtomicU64::new(0),
         }
@@ -86,6 +93,18 @@ impl ServerObs {
         if self.enabled {
             self.stages.record(stage, nanos);
         }
+    }
+
+    /// Counts one end-to-end latency sample (no-op when disabled).
+    pub(crate) fn record_latency(&self, nanos: u64) {
+        if self.enabled {
+            self.latency.record(nanos);
+        }
+    }
+
+    /// The end-to-end latency summary (p50/p90/p99/p999 and friends).
+    pub fn latency_summary(&self) -> StageSummary {
+        StageSummary::of(&self.latency.snapshot())
     }
 
     /// Hands out the next engine-batch id (trace correlation).
@@ -129,6 +148,10 @@ pub struct MetricsSnapshot {
     pub resilience: ResilienceSnapshot,
     /// Whether cache-only brownout degradation is active right now.
     pub brownout: bool,
+    /// End-to-end request latency (admission to reply routed): the SLO
+    /// percentiles — p50/p99/p999 — operators alert on, one histogram
+    /// across every connection and delivery path.
+    pub latency: StageSummary,
 }
 
 impl MetricsSnapshot {
@@ -144,27 +167,18 @@ impl MetricsSnapshot {
         let stages = self
             .stages
             .iter()
-            .map(|(stage, s)| {
-                (
-                    stage.name().to_string(),
-                    Json::Obj(vec![
-                        ("count".into(), Json::Num(s.count as f64)),
-                        ("total_ns".into(), Json::Num(s.total_ns as f64)),
-                        ("max_ns".into(), Json::Num(s.max_ns as f64)),
-                        ("p50_ns".into(), Json::Num(s.p50_ns as f64)),
-                        ("p90_ns".into(), Json::Num(s.p90_ns as f64)),
-                        ("p99_ns".into(), Json::Num(s.p99_ns as f64)),
-                        ("p999_ns".into(), Json::Num(s.p999_ns as f64)),
-                    ]),
-                )
-            })
+            .map(|(stage, s)| (stage.name().to_string(), summary_to_json(s)))
             .collect();
+        // `latency` appends after the frozen prefix (additive-append
+        // tail pattern): positional consumers of the original record
+        // keep working, new consumers find the SLO percentiles by name.
         Json::Obj(vec![
             ("version".into(), Json::Num(WIRE_VERSION as f64)),
             ("op".into(), Json::Str("metrics".into())),
             ("stats".into(), Json::Obj(stats)),
             ("stages".into(), Json::Obj(stages)),
             ("resilience".into(), resilience_to_json(&self.resilience, self.brownout)),
+            ("latency".into(), summary_to_json(&self.latency)),
         ])
     }
 
@@ -202,26 +216,43 @@ impl MetricsSnapshot {
             }
         }
         let Json::Obj(stages) = v.get("stages")? else { return None };
-        let summaries: Vec<(&str, StageSummary)> = stages
-            .iter()
-            .map(|(name, s)| {
-                let field = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
-                (
-                    name.as_str(),
-                    StageSummary {
-                        count: field("count"),
-                        total_ns: field("total_ns"),
-                        max_ns: field("max_ns"),
-                        p50_ns: field("p50_ns"),
-                        p90_ns: field("p90_ns"),
-                        p99_ns: field("p99_ns"),
-                        p999_ns: field("p999_ns"),
-                    },
-                )
-            })
-            .collect();
+        let mut summaries: Vec<(&str, StageSummary)> =
+            stages.iter().map(|(name, s)| (name.as_str(), summary_from_json(s))).collect();
+        // End-to-end latency renders as one more labeled series (absent
+        // on pre-latency records).
+        if let Some(latency) = v.get("latency") {
+            summaries.push(("e2e", summary_from_json(latency)));
+        }
         out.push_str(&render_exposition(&summaries));
         Some(out)
+    }
+}
+
+/// One histogram summary as its wire object (shared by the per-stage
+/// and end-to-end `latency` sections, so the shapes cannot drift).
+fn summary_to_json(s: &StageSummary) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Num(s.count as f64)),
+        ("total_ns".into(), Json::Num(s.total_ns as f64)),
+        ("max_ns".into(), Json::Num(s.max_ns as f64)),
+        ("p50_ns".into(), Json::Num(s.p50_ns as f64)),
+        ("p90_ns".into(), Json::Num(s.p90_ns as f64)),
+        ("p99_ns".into(), Json::Num(s.p99_ns as f64)),
+        ("p999_ns".into(), Json::Num(s.p999_ns as f64)),
+    ])
+}
+
+/// The inverse of [`summary_to_json`], tolerant of missing fields.
+fn summary_from_json(s: &Json) -> StageSummary {
+    let field = |k: &str| s.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    StageSummary {
+        count: field("count"),
+        total_ns: field("total_ns"),
+        max_ns: field("max_ns"),
+        p50_ns: field("p50_ns"),
+        p90_ns: field("p90_ns"),
+        p99_ns: field("p99_ns"),
+        p999_ns: field("p999_ns"),
     }
 }
 
@@ -274,11 +305,13 @@ mod tests {
         obs.record(Stage::Queue, 1000);
         obs.record(Stage::Exec, 2_000_000);
         let resilience = ResilienceSnapshot { deadline_missed: 3, ..Default::default() };
+        obs.record_latency(3_000_000);
         let snapshot = MetricsSnapshot {
             stats: Counters::default().snapshot(0, false),
             stages: obs.stage_summaries(),
             resilience,
             brownout: false,
+            latency: obs.latency_summary(),
         };
         let rendered = snapshot.to_json().render();
         let back = parspeed_engine::jsonl::parse(&rendered).unwrap();
@@ -299,17 +332,24 @@ mod tests {
         assert_eq!(res.get("deadline_missed").unwrap().as_usize(), Some(3));
         assert_eq!(res.get("retries").unwrap().as_usize(), Some(0));
         assert_eq!(res.get("brownout"), Some(&Json::Bool(false)));
+        // The end-to-end SLO section: appended after the frozen prefix,
+        // same summary shape as a stage.
+        let latency = back.get("latency").unwrap();
+        assert_eq!(latency.get("count").unwrap().as_usize(), Some(1));
+        assert!(latency.get("p999_ns").unwrap().as_f64().unwrap() >= 1.0);
     }
 
     #[test]
     fn human_rendering_is_shared_between_typed_and_wire_paths() {
         let obs = ServerObs::new(true, 0);
         obs.record(Stage::Plan, 500);
+        obs.record_latency(2_500);
         let snapshot = MetricsSnapshot {
             stats: Counters::default().snapshot(2, true),
             stages: obs.stage_summaries(),
             resilience: ResilienceSnapshot::default(),
             brownout: true,
+            latency: obs.latency_summary(),
         };
         let direct = snapshot.render_human();
         let wire = parspeed_engine::jsonl::parse(&snapshot.to_json().render()).unwrap();
@@ -319,6 +359,7 @@ mod tests {
         assert!(direct.contains("parspeed_resilience_retries 0"), "{direct}");
         assert!(direct.contains("parspeed_resilience_brownout 1"), "{direct}");
         assert!(direct.contains("parspeed_stage_latency_ns{stage=\"plan\",quantile=\"0.5\"}"));
+        assert!(direct.contains("parspeed_stage_latency_ns{stage=\"e2e\",quantile=\"0.999\"}"));
     }
 
     #[test]

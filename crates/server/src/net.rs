@@ -26,13 +26,112 @@
 //! ([`health_to_json`](crate::health_to_json)) load-balancer probes
 //! poll without paying for a counter snapshot.
 
-use crate::batcher::{Job, Shared};
+use crate::batcher::{deliver_overload, Job, Shared};
 use crate::conn::{ConnShared, Delivery};
 use crate::metrics;
-use parspeed_engine::{jsonl, WIRE_VERSION};
+use parspeed_engine::{jsonl, ParspeedError, WIRE_VERSION};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handles one trimmed, non-empty wire line for a connection — the
+/// single parse/dispatch path both frontends (thread-per-connection and
+/// the event loop) share, so the wire semantics cannot drift between
+/// them. Allocates the line's reply slot, intercepts the serving-only
+/// ops, and either admits the query or routes the error answer.
+///
+/// `shed` carries the event-loop write-backpressure verdict: `Some`
+/// when the connection's write buffer is over the shed watermark, in
+/// which case engine-bound queries are refused in-slot with the
+/// documented `overloaded` answer (the client is not consuming replies;
+/// admitting more work would only grow the buffer). Serving-only ops
+/// and parse errors still answer — their replies are small and a
+/// health probe must work *especially* under overload.
+pub(crate) fn process_line(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    text: &str,
+    line_no: usize,
+    v1_lines: &mut u64,
+    shed: Option<&str>,
+) {
+    let seq = conn.alloc_seq();
+    // One tokenization per line: the serving-only ops are
+    // intercepted from the parsed value (the engine's reader does not
+    // know them), everything else becomes a query from the same value.
+    let parsed = match jsonl::parse(text) {
+        Ok(v) => match v.get("op").and_then(jsonl::Json::as_str) {
+            Some("stats") => {
+                conn.route(seq, Delivery::Line(shared.stats().to_json().render()));
+                return;
+            }
+            Some("health") => {
+                conn.route(seq, Delivery::Line(shared.health().render()));
+                return;
+            }
+            Some("metrics") => {
+                conn.route(seq, Delivery::Line(shared.metrics().to_json().render()));
+                return;
+            }
+            Some("trace") => {
+                let reply =
+                    metrics::trace_to_json(&shared.obs.trace_events(), shared.obs.trace_capacity());
+                conn.route(seq, Delivery::Line(reply.render()));
+                return;
+            }
+            _ => jsonl::parse_query_value(&v),
+        },
+        // A line that is not JSON at all has no version field to honor,
+        // so it answers in the *current* wire shape (carrying
+        // `error_kind`), not the legacy v1 one — v2 clients should
+        // never receive replies missing v2 machinery.
+        Err(e) => Err(jsonl::LineError { version: WIRE_VERSION, error: ParspeedError::parse(e) }),
+    };
+    match parsed {
+        Ok(parsed) => {
+            if parsed.version < WIRE_VERSION {
+                *v1_lines += 1;
+                shared.counters.add(&shared.counters.v1_lines, 1);
+            }
+            let now = Instant::now();
+            let job = Job {
+                conn: Arc::clone(conn),
+                seq,
+                query: parsed.query,
+                version: parsed.version,
+                line_no,
+                render: true,
+                submitted: now,
+                // The budget starts at admission: what is left after
+                // queueing and batching is what the engine may use. A
+                // budget too large to represent (`u64::MAX` ms) is no
+                // deadline at all — `checked_add` saturates to `None`
+                // instead of panicking the frontend on `Instant`
+                // overflow.
+                deadline: parsed
+                    .deadline_ms
+                    .and_then(|ms| now.checked_add(Duration::from_millis(ms))),
+            };
+            match shed {
+                Some(msg) => deliver_overload(&job, msg.to_string(), &shared.counters, &shared.obs),
+                None => shared.submit(job),
+            }
+        }
+        Err(e) => conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no))),
+    }
+}
+
+/// Logs the once-per-connection wire-v1 deprecation note (the same one
+/// `parspeed batch` prints in file mode).
+pub(crate) fn note_v1_lines(conn_id: u64, v1_lines: u64) {
+    if v1_lines > 0 {
+        eprintln!(
+            "note: connection {conn_id} sent {v1_lines} request line(s) using deprecated wire v1; \
+             add \"version\":2 (see crates/engine/src/README.md)"
+        );
+    }
+}
 
 /// Drives one connection's read half: parse lines, admit queries, route
 /// parse failures and stats snapshots straight to the reply stream.
@@ -46,72 +145,9 @@ pub(crate) fn reader_loop(stream: TcpStream, conn: Arc<ConnShared>, shared: Arc<
         if text.is_empty() {
             continue;
         }
-        let seq = conn.alloc_seq();
-        // One tokenization per line: the serving-only ops are
-        // intercepted from the parsed value (the engine's reader does not
-        // know them), everything else becomes a query from the same value.
-        let parsed = match jsonl::parse(text) {
-            Ok(v) => match v.get("op").and_then(jsonl::Json::as_str) {
-                Some("stats") => {
-                    conn.route(seq, Delivery::Line(shared.stats().to_json().render()));
-                    continue;
-                }
-                Some("health") => {
-                    conn.route(seq, Delivery::Line(shared.health().render()));
-                    continue;
-                }
-                Some("metrics") => {
-                    conn.route(seq, Delivery::Line(shared.metrics().to_json().render()));
-                    continue;
-                }
-                Some("trace") => {
-                    let reply = metrics::trace_to_json(
-                        &shared.obs.trace_events(),
-                        shared.obs.trace_capacity(),
-                    );
-                    conn.route(seq, Delivery::Line(reply.render()));
-                    continue;
-                }
-                _ => jsonl::parse_query_value(&v),
-            },
-            Err(e) => Err(jsonl::LineError {
-                version: 1,
-                error: parspeed_engine::ParspeedError::parse(e),
-            }),
-        };
-        match parsed {
-            Ok(parsed) => {
-                if parsed.version < WIRE_VERSION {
-                    v1_lines += 1;
-                    shared.counters.add(&shared.counters.v1_lines, 1);
-                }
-                let now = std::time::Instant::now();
-                shared.submit(Job {
-                    conn: Arc::clone(&conn),
-                    seq,
-                    query: parsed.query,
-                    version: parsed.version,
-                    line_no,
-                    render: true,
-                    submitted: now,
-                    // The budget starts at admission: what is left after
-                    // queueing and batching is what the engine may use.
-                    deadline: parsed
-                        .deadline_ms
-                        .map(|ms| now + std::time::Duration::from_millis(ms)),
-                });
-            }
-            Err(e) => conn.route(seq, Delivery::Line(jsonl::render_parse_error(&e, line_no))),
-        }
+        process_line(&shared, &conn, text, line_no, &mut v1_lines, None);
     }
-    if v1_lines > 0 {
-        // The same deprecation note `parspeed batch` prints in file mode.
-        eprintln!(
-            "note: connection {} sent {v1_lines} request line(s) using deprecated wire v1; \
-             add \"version\":2 (see crates/engine/src/README.md)",
-            conn.id
-        );
-    }
+    note_v1_lines(conn.id, v1_lines);
     conn.mark_eof();
 }
 

@@ -63,9 +63,15 @@ fn malformed_line_mid_stream_poisons_nothing() {
         let v = jsonl::parse(line).expect("reply is JSON");
         match i {
             1 => {
-                // Raw garbage: not JSON at all → legacy-shaped parse error
-                // carrying this connection's 1-based line number.
+                // Raw garbage: not JSON at all, so there is no version
+                // field to honor — the reply answers in the *current*
+                // wire shape (version + machine-readable error_kind),
+                // carrying this connection's 1-based line number. It
+                // used to answer in the legacy v1 shape, which stranded
+                // v2 clients without the error_kind machinery.
                 assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(false)), "{line}");
+                assert_eq!(v.get("version").unwrap().as_usize(), Some(2), "{line}");
+                assert_eq!(v.get("error_kind").unwrap().as_str(), Some("parse"), "{line}");
                 assert_eq!(v.get("line").unwrap().as_usize(), Some(2), "{line}");
             }
             3 => {
@@ -148,6 +154,32 @@ fn unsupported_future_version_answers_in_its_slot_only() {
     let v = jsonl::parse(&replies[1]).unwrap();
     assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(true)));
     server.shutdown();
+}
+
+#[test]
+fn huge_deadline_budget_saturates_instead_of_killing_the_connection() {
+    let (server, addr) = start_tcp_server();
+    // `Instant + u64::MAX ms` overflows; before the `checked_add` clamp
+    // this panicked the per-connection reader (thread frontend) or the
+    // whole event loop, silently dropping the connection — and every
+    // connection after it. Now an unrepresentable budget means "no
+    // deadline": the request evaluates, and later lines still answer.
+    let huge = format!(
+        r#"{{"op":"table1","version":2,"n":64,"stencil":"5pt","deadline_ms":{}}}"#,
+        u64::MAX
+    );
+    let almost = format!(
+        r#"{{"op":"table1","version":2,"n":64,"stencil":"5pt","deadline_ms":{}}}"#,
+        u64::MAX - 1
+    );
+    let replies = roundtrip(addr, &[&huge, &almost, GOOD_V2]);
+    assert_eq!(replies.len(), 3, "connection died on the huge deadline: {replies:?}");
+    for line in &replies {
+        let v = jsonl::parse(line).expect("reply is JSON");
+        assert_eq!(v.get("ok"), Some(&jsonl::Json::Bool(true)), "{line}");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 3);
 }
 
 #[test]
